@@ -1,0 +1,58 @@
+// Ablation A3: the paper calls selecting "the next packet to arrive" after
+// a timer expiry "a necessary approximation but seemingly inconsequential".
+// We quantify it: coalescing missed expiries (one pending selection, the
+// operational behavior) vs queueing them (back-to-back selections after an
+// idle gap).
+#include "bench_common.h"
+#include "core/metrics.h"
+#include "core/samplers.h"
+#include "core/targets.h"
+
+using namespace netsample;
+
+int main() {
+  bench::banner("Ablation A3: timer expiry policy (coalesce vs queue)",
+                "Systematic timer sampling, 1024s interval, both targets");
+
+  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+  const auto interval = ex.interval(1024.0);
+
+  TextTable t({"target", "1/x", "coalesce phi", "queue phi", "coalesce n",
+               "queue n"});
+  for (auto target :
+       {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+    const auto layout = core::make_target_histogram(target);
+    const auto population =
+        core::bin_values(core::population_values(interval, target), layout);
+    for (std::uint64_t k : {16ULL, 64ULL, 256ULL, 1024ULL}) {
+      const auto period = MicroDuration{static_cast<std::int64_t>(
+          ex.mean_interarrival_usec() * static_cast<double>(k))};
+      double phi[2];
+      std::uint64_t n[2];
+      const core::ExpiryPolicy policies[2] = {core::ExpiryPolicy::kCoalesce,
+                                              core::ExpiryPolicy::kQueue};
+      for (int i = 0; i < 2; ++i) {
+        core::SystematicTimerSampler sampler(period, policies[i]);
+        const auto sample = core::draw(interval, sampler);
+        const auto observed =
+            core::bin_values(core::sample_values(sample, target), layout);
+        const auto m = core::score_sample(observed, population,
+                                          1.0 / static_cast<double>(k));
+        phi[i] = m.phi;
+        n[i] = m.sample_n;
+      }
+      t.add_row({core::target_name(target), fmt_fraction(k),
+                 fmt_double(phi[0], 4), fmt_double(phi[1], 4),
+                 std::to_string(n[0]), std::to_string(n[1])});
+      netsample::bench::csv({"ablA3", core::target_name(target),
+                             std::to_string(k), fmt_double(phi[0], 5),
+                             fmt_double(phi[1], 5)});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::note("expected: queueing recovers a slightly larger sample after");
+  bench::note("idle gaps but does not rescue the timer methods' bias --");
+  bench::note("supporting the paper's 'seemingly inconsequential' remark.");
+  return 0;
+}

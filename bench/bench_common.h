@@ -1,0 +1,40 @@
+// Shared scaffolding for the figure/table reproduction binaries.
+//
+// Every binary prints (a) a banner naming the paper artifact it regenerates,
+// (b) the paper's reported values where the paper gives them, and (c) our
+// measured values, as an aligned table plus `CSV,`-prefixed lines that a
+// plotting script can grep out.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exper/experiment.h"
+#include "exper/runner.h"
+#include "util/format.h"
+
+namespace netsample::bench {
+
+/// Default experiment context: the calibrated synthetic SDSC hour.
+/// Seed 23 everywhere makes every bench reproducible run-to-run.
+inline constexpr std::uint64_t kDefaultSeed = 23;
+
+inline void banner(const std::string& artifact, const std::string& what) {
+  std::cout << "==============================================================\n"
+            << artifact << "\n"
+            << what << "\n"
+            << "==============================================================\n";
+}
+
+inline void note(const std::string& text) { std::cout << "  " << text << "\n"; }
+
+/// Emit one machine-readable CSV line (greppable with '^CSV,').
+inline void csv(const std::vector<std::string>& fields) {
+  std::cout << "CSV";
+  for (const auto& f : fields) std::cout << "," << f;
+  std::cout << "\n";
+}
+
+}  // namespace netsample::bench

@@ -1,0 +1,61 @@
+// Extension E4: Figure 1 at per-node resolution.
+//
+// The paper's Section 2: the NOC polls ~14 T1 nodes every 15 minutes; the
+// published Figure 1 plots the backbone-wide totals. With heterogeneous
+// nodal traffic shares, the busy nodes saturate their statistics processors
+// first, so the aggregate gap opens gradually -- exactly the soft onset the
+// paper's figure shows. This bench prints the aggregate series plus the
+// saturation month of each node.
+#include "bench_common.h"
+#include "collector/noc.h"
+
+using namespace netsample;
+
+int main() {
+  bench::banner("Extension E4: Figure 1 at per-node resolution",
+                "14-node fleet, heterogeneous shares, shared growth curve");
+
+  const auto cfg = collector::NocSimulation::default_fleet();
+  const auto months = collector::NocSimulation(cfg).run();
+
+  TextTable t({"month", "SNMP (G)", "categorized (G)", "gap %",
+               "nodes losing >5%"});
+  for (std::size_t m = 0; m < months.size(); m += 3) {
+    const auto& month = months[m];
+    int losing = 0;
+    for (const auto& node : month.per_node) {
+      if (node.discrepancy_fraction > 0.05) ++losing;
+    }
+    t.add_row({month.label, fmt_double(month.snmp_total / 1e9, 2),
+               fmt_double(month.categorized_total / 1e9, 2),
+               fmt_double(100.0 * month.discrepancy_fraction, 1),
+               std::to_string(losing) + "/" +
+                   std::to_string(month.per_node.size())});
+    bench::csv({"extE4", month.label, fmt_double(month.snmp_total / 1e9, 3),
+                fmt_double(month.categorized_total / 1e9, 3),
+                fmt_double(100.0 * month.discrepancy_fraction, 2),
+                std::to_string(losing)});
+  }
+  t.print(std::cout);
+
+  std::cout << "\nfirst month each node loses >5% of its categorization:\n";
+  TextTable nodes({"node", "share", "first losing month"});
+  for (std::size_t n = 0; n < cfg.nodes.size(); ++n) {
+    std::string first = "(never)";
+    for (const auto& month : months) {
+      if (month.per_node[n].sampling_active) break;
+      if (month.per_node[n].discrepancy_fraction > 0.05) {
+        first = month.label;
+        break;
+      }
+    }
+    nodes.add_row({cfg.nodes[n].name, fmt_double(cfg.nodes[n].traffic_share, 1),
+                   first});
+  }
+  nodes.print(std::cout);
+  std::cout << "\n";
+  bench::note("expected: heavier-share nodes start losing first; the");
+  bench::note("aggregate gap (Figure 1) opens gradually as nodes saturate");
+  bench::note("one by one, then closes at the Sep 91 sampling deployment.");
+  return 0;
+}

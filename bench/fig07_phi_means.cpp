@@ -1,0 +1,50 @@
+// Figure 7: the means of Figure 6's boxplots -- mean systematic phi for the
+// packet-size target vs sampling fraction (1024-second interval).
+#include <algorithm>
+
+#include "bench_common.h"
+#include "core/theory.h"
+
+using namespace netsample;
+
+int main() {
+  bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
+                "Mean systematic phi, packet size, 1024s interval");
+
+  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+
+  exper::CellConfig cfg;
+  cfg.method = core::Method::kSystematicCount;
+  cfg.target = core::Target::kPacketSize;
+  cfg.interval = ex.interval(1024.0);
+  cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+
+  // Closed-form prediction for an unbiased sampler (core/theory.h): the
+  // measured systematic curve should track it, since systematic/count is
+  // effectively unbiased on this traffic.
+  const std::size_t bins =
+      core::make_target_histogram(cfg.target).bin_count();
+
+  TextTable t({"1/x", "mean phi", "theory E[phi]", "mean n", "curve"});
+  for (std::uint64_t k : exper::granularity_ladder(4, 32768)) {
+    cfg.granularity = k;
+    cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
+    const auto cell = exper::run_cell(cfg);
+    const double phi = cell.phi_mean();
+    const double theory = core::expected_phi(
+        bins, static_cast<std::uint64_t>(
+                  std::max(1.0, cell.mean_sample_size())));
+    std::string bar(static_cast<std::size_t>(phi * 150.0), '*');
+    t.add_row({fmt_fraction(k), fmt_double(phi, 4), fmt_double(theory, 4),
+               fmt_double(cell.mean_sample_size(), 0), bar});
+    netsample::bench::csv({"fig07", std::to_string(k), fmt_double(phi, 5),
+                           fmt_double(theory, 5),
+                           fmt_double(cell.mean_sample_size(), 1)});
+  }
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::note("expected shape: monotone growth, near zero at 1/4; the");
+  bench::note("measured curve tracks the closed-form multinomial prediction");
+  bench::note("(unbiasedness of packet-count sampling, quantified).");
+  return 0;
+}

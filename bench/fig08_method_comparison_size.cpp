@@ -1,0 +1,9 @@
+// Figure 8: mean sample phi-value scores as a function of sampling fraction
+// for the packet size distribution, all five methods.
+#include "method_comparison.h"
+
+int main() {
+  return netsample::bench::run_method_comparison(
+      netsample::core::Target::kPacketSize, "fig08",
+      "Figure 8 (paper: mean phi vs fraction, packet size, 5 methods)");
+}

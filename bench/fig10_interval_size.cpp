@@ -1,0 +1,9 @@
+// Figure 10: mean systematic phi scores for the packet size distribution as
+// a function of elapsed time (minutes), at several sampling fractions.
+#include "interval_sweep.h"
+
+int main() {
+  return netsample::bench::run_interval_sweep(
+      netsample::core::Target::kPacketSize, "fig10",
+      "Figure 10 (paper: systematic phi vs elapsed time, packet size)");
+}

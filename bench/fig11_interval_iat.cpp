@@ -1,0 +1,9 @@
+// Figure 11: mean systematic phi scores for the interarrival time
+// distribution as a function of elapsed time (minutes).
+#include "interval_sweep.h"
+
+int main() {
+  return netsample::bench::run_interval_sweep(
+      netsample::core::Target::kInterarrivalTime, "fig11",
+      "Figure 11 (paper: systematic phi vs elapsed time, interarrival)");
+}

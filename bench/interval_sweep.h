@@ -1,0 +1,63 @@
+// Shared driver for Figures 10 and 11: mean systematic phi vs elapsed
+// measurement time for several sampling fractions.
+#pragma once
+
+#include "bench_common.h"
+#include "util/asciichart.h"
+
+namespace netsample::bench {
+
+inline int run_interval_sweep(core::Target target, const char* figure_id,
+                              const char* figure_title) {
+  banner(figure_title,
+         "Systematic sampling; exponentially growing measurement intervals");
+
+  exper::Experiment ex(kDefaultSeed, 60.0);
+
+  // Exponentially growing windows relative to the trace start (in minutes,
+  // as the paper's x axis), capped at the full hour.
+  const std::vector<double> minutes = {0.5, 1, 2, 4, 8, 16, 32, 60};
+  const std::vector<std::uint64_t> fractions = {16, 256, 4096};
+
+  std::vector<ChartSeries> chart = {
+      {"1/16", '6', {}}, {"1/256", '2', {}}, {"1/4096", '4', {}}};
+  std::vector<std::string> x_ticks;
+
+  TextTable t({"minutes", "1/16", "1/256", "1/4096"});
+  for (double m : minutes) {
+    std::vector<std::string> row = {fmt_double(m, 1)};
+    std::vector<std::string> csv_row = {figure_id, fmt_double(m, 2)};
+    x_ticks.push_back(fmt_double(m, 1) + "min");
+    std::size_t series_index = 0;
+    for (std::uint64_t k : fractions) {
+      exper::CellConfig cfg;
+      cfg.method = core::Method::kSystematicCount;
+      cfg.target = target;
+      cfg.granularity = k;
+      cfg.interval = ex.interval(m * 60.0);
+      cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+      cfg.replications = 5;
+      cfg.base_seed = 211;
+      const auto cell = exper::run_cell(cfg);
+      row.push_back(fmt_double(cell.phi_mean(), 4));
+      csv_row.push_back(fmt_double(cell.phi_mean(), 5));
+      chart[series_index++].y.push_back(std::max(1e-5, cell.phi_mean()));
+    }
+    t.add_row(std::move(row));
+    csv(csv_row);
+  }
+  t.print(std::cout);
+
+  ChartOptions opts;
+  opts.log_y = true;
+  opts.height = 14;
+  opts.x_label = "elapsed measurement time (log-spaced)";
+  std::cout << "\nmean phi (log scale):\n"
+            << render_chart(chart, x_ticks, opts) << "\n";
+  note("paper shape: noisy at short intervals; for all sampling fractions");
+  note("the scores improve (phi falls) as elapsed time grows; coarser");
+  note("fractions sit uniformly higher.");
+  return 0;
+}
+
+}  // namespace netsample::bench

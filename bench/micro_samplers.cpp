@@ -1,0 +1,78 @@
+// Microbenchmarks: per-packet cost of every sampling discipline.
+//
+// The operational question behind the paper's Section 2: the selection code
+// runs in the forwarding path of the T3 subsystems, so its per-packet cost
+// is what bounds the switching capacity impact.
+#include <benchmark/benchmark.h>
+
+#include "core/samplers.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace netsample;
+
+const trace::Trace& bench_trace() {
+  static const trace::Trace t =
+      synth::TraceModel(synth::sdsc_minutes_config(2.0, 23)).generate();
+  return t;
+}
+
+void run_sampler(benchmark::State& state, core::Sampler& sampler) {
+  const auto view = bench_trace().view();
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    sampler.begin(view.start_time());
+    for (const auto& p : view) {
+      if (sampler.offer(p)) ++selected;
+    }
+    benchmark::DoNotOptimize(selected);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.size()));
+}
+
+void BM_SystematicCount(benchmark::State& state) {
+  core::SystematicCountSampler s(static_cast<std::uint64_t>(state.range(0)));
+  run_sampler(state, s);
+}
+BENCHMARK(BM_SystematicCount)->Arg(50)->Arg(1024);
+
+void BM_StratifiedCount(benchmark::State& state) {
+  core::StratifiedCountSampler s(static_cast<std::uint64_t>(state.range(0)),
+                                 Rng(7));
+  run_sampler(state, s);
+}
+BENCHMARK(BM_StratifiedCount)->Arg(50)->Arg(1024);
+
+void BM_SimpleRandom(benchmark::State& state) {
+  const auto n = bench_trace().size() / static_cast<std::size_t>(state.range(0));
+  core::SimpleRandomSampler s(n, bench_trace().size(), Rng(7));
+  run_sampler(state, s);
+}
+BENCHMARK(BM_SimpleRandom)->Arg(50)->Arg(1024);
+
+void BM_SystematicTimer(benchmark::State& state) {
+  core::SystematicTimerSampler s(
+      MicroDuration{2358 * state.range(0)});
+  run_sampler(state, s);
+}
+BENCHMARK(BM_SystematicTimer)->Arg(50)->Arg(1024);
+
+void BM_StratifiedTimer(benchmark::State& state) {
+  core::StratifiedTimerSampler s(MicroDuration{2358 * state.range(0)}, Rng(7));
+  run_sampler(state, s);
+}
+BENCHMARK(BM_StratifiedTimer)->Arg(50)->Arg(1024);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  for (auto _ : state) {
+    synth::TraceModel model(
+        synth::sdsc_minutes_config(1.0, static_cast<std::uint64_t>(state.iterations())));
+    auto t = model.generate();
+    benchmark::DoNotOptimize(t.size());
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Unit(benchmark::kMillisecond);
+
+}  // namespace

@@ -1,0 +1,97 @@
+// Microbenchmarks for the statistics path: binning, scoring, and the
+// special functions that back the chi-squared significance levels.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+
+#include "core/metrics.h"
+#include "core/targets.h"
+#include "stats/descriptive.h"
+#include "stats/special.h"
+#include "synth/presets.h"
+
+namespace {
+
+using namespace netsample;
+
+const trace::Trace& bench_trace() {
+  static const trace::Trace t =
+      synth::TraceModel(synth::sdsc_minutes_config(2.0, 23)).generate();
+  return t;
+}
+
+void BM_BinPopulationSizes(benchmark::State& state) {
+  const auto view = bench_trace().view();
+  for (auto _ : state) {
+    auto h = core::bin_population(view, core::Target::kPacketSize);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.size()));
+}
+BENCHMARK(BM_BinPopulationSizes);
+
+void BM_BinPopulationInterarrivals(benchmark::State& state) {
+  const auto view = bench_trace().view();
+  for (auto _ : state) {
+    auto h = core::bin_population(view, core::Target::kInterarrivalTime);
+    benchmark::DoNotOptimize(h.total());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.size()));
+}
+BENCHMARK(BM_BinPopulationInterarrivals);
+
+void BM_ScoreSample(benchmark::State& state) {
+  const auto view = bench_trace().view();
+  const auto population = core::bin_population(view, core::Target::kPacketSize);
+  auto sample = population;  // same layout, perturbed counts
+  for (auto _ : state) {
+    auto m = core::score_sample(sample, population, 0.02);
+    benchmark::DoNotOptimize(m.phi);
+  }
+}
+BENCHMARK(BM_ScoreSample);
+
+void BM_MomentAccumulator(benchmark::State& state) {
+  const auto sizes = bench_trace().view().sizes();
+  for (auto _ : state) {
+    stats::MomentAccumulator acc;
+    for (double x : sizes) acc.add(x);
+    benchmark::DoNotOptimize(acc.kurtosis());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(sizes.size()));
+}
+BENCHMARK(BM_MomentAccumulator);
+
+void BM_ChiSquaredSf(benchmark::State& state) {
+  double x = 0.1;
+  for (auto _ : state) {
+    x += 0.001;
+    if (x > 40.0) x = 0.1;
+    benchmark::DoNotOptimize(stats::chi_squared_sf(x, 4.0));
+  }
+}
+BENCHMARK(BM_ChiSquaredSf);
+
+void BM_NormalQuantile(benchmark::State& state) {
+  double p = 0.01;
+  for (auto _ : state) {
+    p += 1e-5;
+    if (p > 0.99) p = 0.01;
+    benchmark::DoNotOptimize(stats::normal_quantile(p));
+  }
+}
+BENCHMARK(BM_NormalQuantile);
+
+void BM_QuantileSorted(benchmark::State& state) {
+  auto sizes = bench_trace().view().sizes();
+  std::sort(sizes.begin(), sizes.end());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stats::quantile_sorted(sizes, 0.95));
+  }
+}
+BENCHMARK(BM_QuantileSorted);
+
+}  // namespace

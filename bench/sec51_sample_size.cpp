@@ -1,0 +1,57 @@
+// Section 5.1: theoretical random-sample sizes for estimating the mean of
+// each target to +-5% / +-1% at 95% confidence (Cochran's formula).
+//
+// Two sets of rows: one from the paper's published population parameters
+// (which must reproduce the paper's 1590 / 39752 / 2066 / 51644 exactly up
+// to rounding), one from our synthetic population's own parameters.
+#include "bench_common.h"
+#include "core/design.h"
+
+using namespace netsample;
+
+namespace {
+
+void plan_rows(TextTable& t, const std::string& target, double mu, double sigma,
+               std::uint64_t population, const std::string& paper5,
+               const std::string& paper1) {
+  for (double r : {5.0, 1.0}) {
+    const auto p = core::plan_sample_size(mu, sigma, r, 0.95, population);
+    t.add_row({target, fmt_double(mu, 0), fmt_double(sigma, 0),
+               fmt_double(r, 0) + "%", r == 5.0 ? paper5 : paper1,
+               std::to_string(p.n),
+               population ? fmt_double(100.0 * p.sampling_fraction, 3) + "%"
+                          : "-"});
+    netsample::bench::csv({"sec51", target, fmt_double(r, 0), std::to_string(p.n),
+                           fmt_double(p.n_infinite, 1)});
+  }
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Section 5.1 (paper: theoretical sample sizes for means)",
+                "n = (100 z sigma / (r mu))^2 at 95% confidence (z = 1.96)");
+
+  TextTable t({"target", "mu", "sigma", "accuracy", "paper n", "our n",
+               "fraction of 1.6M"});
+
+  // From the paper's published population parameters.
+  plan_rows(t, "pkt size (paper params)", 232.0, 236.0, 1'600'000, "1590",
+            "39752");
+  plan_rows(t, "interarrival (paper params)", 2358.0, 2734.0, 1'600'000, "2066",
+            "51644");
+
+  // From our synthetic population's measured parameters.
+  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+  plan_rows(t, "pkt size (our trace)", ex.mean_packet_size(),
+            ex.stddev_packet_size(), ex.population_size(), "-", "-");
+  plan_rows(t, "interarrival (our trace)", ex.mean_interarrival_usec(),
+            ex.stddev_interarrival_usec(), ex.population_size(), "-", "-");
+
+  t.print(std::cout);
+  std::cout << "\n";
+  bench::note("note (paper): the mean is a poor descriptor for these bimodal/");
+  bench::note("skewed distributions, which motivates the distributional");
+  bench::note("phi-metric methodology of Sections 5.2-7.");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 2: summary statistics of the per-second packet, byte, and mean
+// packet size distributions over the hour-long parent population.
+#include "bench_common.h"
+#include "trace/summary.h"
+
+using namespace netsample;
+
+namespace {
+
+void row(TextTable& t, const std::string& name, const stats::Summary& s,
+         const std::vector<std::string>& paper) {
+  t.add_row({name + " (paper)", paper[0], paper[1], paper[2], paper[3], paper[4],
+             paper[5], paper[6], paper[7], paper[8]});
+  t.add_row({name + " (ours)", fmt_double(s.min, 1), fmt_double(s.q1, 1),
+             fmt_double(s.median, 1), fmt_double(s.q3, 1), fmt_double(s.max, 1),
+             fmt_double(s.mean, 1), fmt_double(s.stddev, 1),
+             fmt_double(s.skewness, 2), fmt_double(s.kurtosis, 2)});
+  netsample::bench::csv({"table02", name, fmt_double(s.min, 2), fmt_double(s.q1, 2),
+                         fmt_double(s.median, 2), fmt_double(s.q3, 2),
+                         fmt_double(s.max, 2), fmt_double(s.mean, 2),
+                         fmt_double(s.stddev, 2), fmt_double(s.skewness, 3),
+                         fmt_double(s.kurtosis, 3)});
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Table 2 (paper: per-second volume distribution summary)",
+                "Synthetic SDSC hour vs the paper's 1.636M-packet hour");
+
+  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+  const auto s = trace::summarize_per_second(ex.full());
+
+  bench::note("population: " + fmt_count(s.total_packets) +
+              " packets (paper: 1,636,000)");
+  std::cout << "\n";
+
+  TextTable t({"distribution", "min", "25%", "median", "75%", "max", "mean",
+               "stddev", "skew", "kurtosis"});
+  row(t, "packets/s", s.packet_rate,
+      {"156", "364", "412", "473", "966", "424.2", "85.1", "0.96", "4.95"});
+  row(t, "kB/s", s.kilobyte_rate,
+      {"26.6", "71.1", "90.9", "117.6", "330.6", "98.6", "38.6", "1.2", "5.2"});
+  row(t, "mean pkt size (B)", s.mean_packet_size,
+      {"82", "190", "222", "259", "398", "226.2", "50.5", "0.36", "2.9"});
+  t.print(std::cout);
+  return 0;
+}

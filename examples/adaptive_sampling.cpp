@@ -1,0 +1,68 @@
+// Adaptive sampling-rate control under load growth.
+//
+// Replays the NSFNET story (Section 2 / Figure 1) in closed loop: a
+// statistics processor with a fixed per-cycle header budget watches its
+// offered load grow, and the AdaptiveRateController walks the sampling
+// granularity up the power-of-two ladder just fast enough to keep the
+// examined count inside budget -- no silent data loss, no hand-tuned 1/50.
+#include <cmath>
+#include <iostream>
+
+#include "core/adaptive.h"
+#include "core/design.h"
+#include "util/format.h"
+#include "util/rng.h"
+
+using namespace netsample;
+
+int main() {
+  std::cout << "Adaptive sampling-rate control (closed-loop Section 2)\n"
+            << "-------------------------------------------------------\n";
+
+  // A collection cycle is 15 minutes; the processor can examine 1.5M
+  // headers per cycle (~1667 headers/s).
+  core::AdaptiveControllerConfig cfg;
+  cfg.examined_budget_per_cycle = 1'500'000;
+  cfg.headroom = 0.8;
+  cfg.min_granularity = 1;
+  cfg.max_granularity = 1024;
+  core::AdaptiveRateController controller(cfg);
+
+  std::cout << "budget: " << fmt_count(cfg.examined_budget_per_cycle)
+            << " examined headers/cycle, headroom "
+            << fmt_double(cfg.headroom * 100, 0) << "%\n\n";
+
+  // Offered load: starts at 0.9M packets/cycle and grows 6%/cycle with
+  // 10% log-normal noise (compressed months, same dynamics as Figure 1).
+  Rng rng(1991);
+  double offered = 0.9e6;
+
+  TextTable t({"cycle", "offered", "k", "examined", "budget used %",
+               "accuracy at 95% (mean size)"});
+  for (int cycle = 0; cycle < 36; ++cycle) {
+    const double noisy = offered * std::exp(rng.normal(-0.005, 0.1));
+    const auto offered_pkts = static_cast<std::uint64_t>(noisy);
+    const std::uint64_t k = controller.observe_cycle(offered_pkts);
+    const double examined = noisy / static_cast<double>(k);
+    const double used =
+        100.0 * examined / static_cast<double>(cfg.examined_budget_per_cycle);
+    // What the sample size buys, via Cochran backwards (paper's mu/sigma).
+    const double acc = core::achievable_accuracy_pct(
+        232.0, 236.0, static_cast<std::uint64_t>(examined), 0.95);
+    if (cycle % 2 == 0) {
+      t.add_row({std::to_string(cycle), fmt_count(offered_pkts),
+                 "1/" + std::to_string(k),
+                 fmt_count(static_cast<std::uint64_t>(examined)),
+                 fmt_double(used, 1), "+-" + fmt_double(acc, 2) + "%"});
+    }
+    offered *= 1.06;
+  }
+  t.print(std::cout);
+
+  std::cout
+      << "\nReading: as offered load grows ~8x, the controller doubles k\n"
+         "three times (1/1 -> 1/8); examined headers never exceed the budget,\n"
+         "so no cycle suffers the silent losses of Figure 1, and the accuracy\n"
+         "cost of each step is known in advance from Cochran's formula.\n";
+  return 0;
+}

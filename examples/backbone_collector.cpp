@@ -1,0 +1,102 @@
+// Backbone collection walkthrough (Section 2): a T3 node's statistics
+// pipeline with 1-in-50 systematic selection in the forwarding path, a
+// 15-minute NOC poll cycle, and population-scale estimates recovered from
+// the sampled objects.
+#include <iostream>
+
+#include "charact/agent.h"
+#include "net/headers.h"
+#include "net/ipv4.h"
+#include "net/ports.h"
+#include "synth/presets.h"
+#include "util/format.h"
+
+using namespace netsample;
+
+int main() {
+  std::cout << "T3 backbone node statistics collection (Section 2)\n"
+            << "---------------------------------------------------\n";
+
+  // 35 minutes of traffic -> three poll cycles (15 + 15 + 5).
+  synth::TraceModel model(synth::sdsc_minutes_config(35.0, 11));
+  const auto trace = model.generate();
+
+  // The subsystem firmware forwards every fiftieth header to the RS/6000.
+  constexpr std::uint64_t kGranularity = 50;
+  std::uint64_t counter = 0;
+  charact::CollectionAgent agent(
+      charact::NodeType::kT3,
+      [&counter](const trace::PacketRecord&) {
+        return counter++ % kGranularity == 0;
+      });
+  agent.run(trace.view());
+
+  std::cout << "offered " << fmt_count(trace.size()) << " packets; "
+            << agent.reports().size() << " collection cycles\n\n";
+
+  // Ground truth for comparison.
+  charact::ProtocolDistributionObject truth;
+  for (const auto& p : trace.packets()) truth.observe(p);
+  std::uint64_t true_total = 0;
+  for (const auto& [proto, vol] : truth.cells()) true_total += vol.packets;
+
+  TextTable cycles({"cycle", "offered", "examined", "est. total",
+                    "true-total err %"});
+  std::uint64_t est_sum = 0;
+  for (const auto& rep : agent.reports()) {
+    const std::uint64_t est = rep.packets_examined * kGranularity;
+    est_sum += est;
+    const double err = 100.0 *
+                       (static_cast<double>(est) -
+                        static_cast<double>(rep.packets_offered)) /
+                       static_cast<double>(rep.packets_offered);
+    cycles.add_row({std::to_string(rep.cycle), fmt_count(rep.packets_offered),
+                    fmt_count(rep.packets_examined), fmt_count(est),
+                    fmt_double(err, 2)});
+  }
+  cycles.print(std::cout);
+
+  std::cout << "\nprotocol mix, estimated from samples vs truth:\n";
+  TextTable protos({"protocol", "true pkts", "est. pkts", "err %"});
+  std::map<std::uint8_t, std::uint64_t> sampled_protos;
+  for (const auto& rep : agent.reports()) {
+    for (const auto& [proto, vol] : rep.protocols) {
+      sampled_protos[proto] += vol.packets;
+    }
+  }
+  for (const auto& [proto, vol] : truth.cells()) {
+    const std::uint64_t est = sampled_protos[proto] * kGranularity;
+    const double err = 100.0 *
+                       (static_cast<double>(est) -
+                        static_cast<double>(vol.packets)) /
+                       static_cast<double>(vol.packets);
+    protos.add_row({net::ip_proto_name(proto), fmt_count(vol.packets),
+                    fmt_count(est), fmt_double(err, 2)});
+  }
+  protos.print(std::cout);
+
+  std::cout << "\ntop sampled services across the run:\n";
+  charact::PortDistributionObject ports;
+  counter = 0;
+  for (const auto& p : trace.packets()) {
+    if (counter++ % kGranularity == 0) ports.observe(p);
+  }
+  TextTable top({"proto", "service", "est. pkts"});
+  for (const auto& [key, vol] : ports.top(6)) {
+    const auto name =
+        key.port == 0 ? std::string("(other)")
+                      : std::string(net::well_known_port_name(key.port)
+                                        .value_or("?"));
+    top.add_row({net::ip_proto_name(key.protocol), name,
+                 fmt_count(vol.packets * kGranularity)});
+  }
+  top.print(std::cout);
+
+  std::cout << "\nTotal estimate " << fmt_count(est_sum) << " vs true "
+            << fmt_count(true_total) << " packets ("
+            << fmt_double(100.0 * (static_cast<double>(est_sum) / true_total - 1.0),
+                          2)
+            << "% error): sampling preserves the aggregate signatures while\n"
+               "examining 2% of headers -- the trade the NSFNET made in 1991.\n";
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "charact/agent.h"
+
+#include <stdexcept>
+
+namespace netsample::charact {
+
+const char* object_kind_name(ObjectKind k) {
+  switch (k) {
+    case ObjectKind::kNetMatrix: return "src-dst net matrix (pkts/bytes)";
+    case ObjectKind::kPortDistribution:
+      return "TCP/UDP port distribution, well-known subset (pkts/bytes)";
+    case ObjectKind::kProtocolDistribution:
+      return "protocol over IP distribution (pkts/bytes)";
+    case ObjectKind::kPacketLengthHistogram:
+      return "packet-length histogram, 50-byte granularity";
+    case ObjectKind::kOutboundVolume: return "packet volume out of node";
+    case ObjectKind::kArrivalRateHistogram:
+      return "per-second arrival rate histogram, 20 pps granularity";
+    case ObjectKind::kTransitVolume: return "NSS transit traffic volume";
+  }
+  return "unknown";
+}
+
+bool node_supports(NodeType node, ObjectKind kind) {
+  if (node == NodeType::kT1) return true;
+  switch (kind) {
+    case ObjectKind::kNetMatrix:
+    case ObjectKind::kPortDistribution:
+    case ObjectKind::kProtocolDistribution:
+      return true;
+    default:
+      return false;
+  }
+}
+
+CollectionAgent::CollectionAgent(NodeType node, Selector selector,
+                                 MicroDuration poll_period)
+    : node_(node), selector_(std::move(selector)), poll_period_(poll_period) {
+  if (poll_period_.usec <= 0) {
+    throw std::invalid_argument("collection agent: poll period must be positive");
+  }
+}
+
+void CollectionAgent::offer(const trace::PacketRecord& p) {
+  if (!cycle_open_) {
+    cycle_open_ = true;
+    cycle_end_usec_ =
+        p.timestamp.usec + static_cast<std::uint64_t>(poll_period_.usec);
+  }
+  while (p.timestamp.usec >= cycle_end_usec_) {
+    snapshot();
+    cycle_end_usec_ += static_cast<std::uint64_t>(poll_period_.usec);
+  }
+
+  ++packets_offered_;
+  if (selector_ && !selector_(p)) return;
+  ++packets_examined_;
+
+  net_matrix_.observe(p);
+  ports_.observe(p);
+  protocols_.observe(p);
+  if (node_ == NodeType::kT1) {
+    lengths_.observe(p);
+    rates_.observe(p);
+    outbound_.observe(p);
+  }
+}
+
+void CollectionAgent::run(trace::TraceView view) {
+  for (const auto& p : view) offer(p);
+  flush();
+}
+
+void CollectionAgent::flush() {
+  if (cycle_open_) snapshot();
+  cycle_open_ = false;
+}
+
+void CollectionAgent::snapshot() {
+  rates_.flush();
+  CollectionReport r;
+  r.cycle = cycle_index_++;
+  r.packets_examined = packets_examined_;
+  r.packets_offered = packets_offered_;
+  r.net_matrix = net_matrix_.cells();
+  r.ports = ports_.cells();
+  r.protocols = protocols_.cells();
+  if (node_ == NodeType::kT1) {
+    const auto& lh = lengths_.histogram().counts();
+    r.length_histogram.assign(lh.begin(), lh.end());
+    const auto& rh = rates_.histogram().counts();
+    r.arrival_rate_histogram.assign(rh.begin(), rh.end());
+    r.outbound = outbound_.volume();
+  }
+  reports_.push_back(std::move(r));
+
+  packets_examined_ = 0;
+  packets_offered_ = 0;
+  net_matrix_.reset();
+  ports_.reset();
+  protocols_.reset();
+  lengths_.reset();
+  rates_.reset();
+  outbound_.reset();
+}
+
+Volume CollectionAgent::total_examined() const {
+  Volume v;
+  for (const auto& r : reports_) {
+    v.packets += r.packets_examined;
+    Volume cycle_bytes;
+    for (const auto& [proto, vol] : r.protocols) {
+      (void)proto;
+      cycle_bytes.bytes += vol.bytes;
+    }
+    v.bytes += cycle_bytes.bytes;
+  }
+  return v;
+}
+
+}  // namespace netsample::charact

@@ -1,0 +1,104 @@
+// Node-side collection agent with the NSFNET 15-minute poll cycle.
+//
+// Models the operational pipeline of Section 2: packets stream past the
+// node; a selector (every packet, or a 1-in-k sampler) decides which headers
+// reach the characterization software; the NOC polls every 15 minutes, at
+// which point the node reports its objects and resets the counters.
+//
+// T1 nodes (NNStat on a dedicated RT/PC) supported all seven objects of
+// Table 1; T3 nodes (ARTS on the RS/6000) supported only the first three.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "charact/objects.h"
+#include "trace/trace.h"
+
+namespace netsample::charact {
+
+enum class NodeType { kT1, kT3 };
+
+/// Identifiers for Table 1's objects.
+enum class ObjectKind {
+  kNetMatrix,
+  kPortDistribution,
+  kProtocolDistribution,
+  kPacketLengthHistogram,
+  kOutboundVolume,
+  kArrivalRateHistogram,
+  kTransitVolume,
+};
+
+[[nodiscard]] const char* object_kind_name(ObjectKind k);
+
+/// Which objects a node type collects (Table 1's Y / N/A column).
+[[nodiscard]] bool node_supports(NodeType node, ObjectKind kind);
+
+/// Snapshot of all supported objects at a poll.
+struct CollectionReport {
+  std::uint64_t cycle{0};
+  std::uint64_t packets_examined{0};   // selected packets this cycle
+  std::uint64_t packets_offered{0};    // all packets that passed the node
+  std::map<NetMatrixObject::Key, Volume> net_matrix;
+  std::map<PortDistributionObject::Key, Volume> ports;
+  std::map<std::uint8_t, Volume> protocols;
+  std::vector<std::uint64_t> length_histogram;        // empty on T3
+  std::vector<std::uint64_t> arrival_rate_histogram;  // empty on T3
+  Volume outbound;                                    // zero on T3
+};
+
+/// Packet selector: returns true if the packet header is examined. The
+/// default examines everything (the pre-September-1991 T1 configuration).
+using Selector = std::function<bool(const trace::PacketRecord&)>;
+
+class CollectionAgent {
+ public:
+  /// `poll_period` defaults to the operational 15 minutes.
+  explicit CollectionAgent(
+      NodeType node, Selector selector = nullptr,
+      MicroDuration poll_period = MicroDuration::from_seconds(900));
+
+  /// Offer one packet in arrival order. If the packet's timestamp crosses a
+  /// poll boundary, the pending cycle is reported into `reports()` first.
+  void offer(const trace::PacketRecord& p);
+
+  /// Drive a whole view through the agent, then flush the final cycle.
+  void run(trace::TraceView view);
+
+  /// Flush the in-progress cycle into reports().
+  void flush();
+
+  [[nodiscard]] NodeType node() const { return node_; }
+  [[nodiscard]] const std::vector<CollectionReport>& reports() const {
+    return reports_;
+  }
+
+  /// Aggregate volumes across all completed cycles.
+  [[nodiscard]] Volume total_examined() const;
+
+ private:
+  void snapshot();
+
+  NodeType node_;
+  Selector selector_;
+  MicroDuration poll_period_;
+  bool cycle_open_{false};
+  std::uint64_t cycle_index_{0};
+  std::uint64_t cycle_end_usec_{0};
+  std::uint64_t packets_examined_{0};
+  std::uint64_t packets_offered_{0};
+
+  NetMatrixObject net_matrix_;
+  PortDistributionObject ports_;
+  ProtocolDistributionObject protocols_;
+  PacketLengthHistogramObject lengths_;
+  ArrivalRateHistogramObject rates_;
+  VolumeObject outbound_{"outbound-volume"};
+
+  std::vector<CollectionReport> reports_;
+};
+
+}  // namespace netsample::charact

@@ -1,0 +1,117 @@
+#include "charact/objects.h"
+
+#include <algorithm>
+
+#include "net/ports.h"
+
+namespace netsample::charact {
+
+namespace {
+
+template <typename Map>
+std::vector<std::pair<typename Map::key_type, Volume>> top_by_packets(
+    const Map& cells, std::size_t n) {
+  std::vector<std::pair<typename Map::key_type, Volume>> rows(cells.begin(),
+                                                              cells.end());
+  std::stable_sort(rows.begin(), rows.end(), [](const auto& a, const auto& b) {
+    return a.second.packets > b.second.packets;
+  });
+  if (rows.size() > n) rows.resize(n);
+  return rows;
+}
+
+template <typename Map>
+std::vector<double> aligned_counts(const Map& mine, const Map& reference) {
+  std::vector<double> out;
+  out.reserve(reference.size());
+  for (const auto& [key, unused] : reference) {
+    (void)unused;
+    const auto it = mine.find(key);
+    out.push_back(it == mine.end() ? 0.0
+                                   : static_cast<double>(it->second.packets));
+  }
+  return out;
+}
+
+}  // namespace
+
+void NetMatrixObject::observe(const trace::PacketRecord& p) {
+  const Key key{net::NetworkNumber::of(p.src), net::NetworkNumber::of(p.dst)};
+  cells_[key].add(p);
+}
+
+std::vector<std::pair<NetMatrixObject::Key, Volume>> NetMatrixObject::top(
+    std::size_t n) const {
+  return top_by_packets(cells_, n);
+}
+
+std::vector<double> NetMatrixObject::counts_aligned_with(
+    const NetMatrixObject& reference) const {
+  return aligned_counts(cells_, reference.cells_);
+}
+
+void PortDistributionObject::observe(const trace::PacketRecord& p) {
+  if (p.protocol != 6 && p.protocol != 17) return;
+  const auto service = net::service_port(p.src_port, p.dst_port);
+  const Key key{p.protocol, service.value_or(0)};
+  cells_[key].add(p);
+}
+
+std::vector<std::pair<PortDistributionObject::Key, Volume>>
+PortDistributionObject::top(std::size_t n) const {
+  return top_by_packets(cells_, n);
+}
+
+std::vector<double> PortDistributionObject::counts_aligned_with(
+    const PortDistributionObject& reference) const {
+  return aligned_counts(cells_, reference.cells_);
+}
+
+void ProtocolDistributionObject::observe(const trace::PacketRecord& p) {
+  cells_[p.protocol].add(p);
+}
+
+PacketLengthHistogramObject::PacketLengthHistogramObject()
+    : hist_(stats::Histogram::equal_width(50.0, 31)) {}  // covers 0..1500+
+
+void PacketLengthHistogramObject::observe(const trace::PacketRecord& p) {
+  hist_.add(static_cast<double>(p.size));
+}
+
+ArrivalRateHistogramObject::ArrivalRateHistogramObject()
+    : hist_(stats::Histogram::equal_width(20.0, 60)) {}  // 0..1200+ pps
+
+void ArrivalRateHistogramObject::observe(const trace::PacketRecord& p) {
+  const std::uint64_t second = p.timestamp.seconds();
+  if (!have_second_) {
+    have_second_ = true;
+    current_second_ = second;
+    count_in_second_ = 0;
+  }
+  if (second != current_second_) {
+    hist_.add(static_cast<double>(count_in_second_));
+    // Seconds with no packets at all still happened; bin them as zero.
+    for (std::uint64_t s = current_second_ + 1; s < second; ++s) {
+      hist_.add(0.0);
+    }
+    current_second_ = second;
+    count_in_second_ = 0;
+  }
+  ++count_in_second_;
+}
+
+void ArrivalRateHistogramObject::flush() {
+  if (have_second_) {
+    hist_.add(static_cast<double>(count_in_second_));
+    have_second_ = false;
+    count_in_second_ = 0;
+  }
+}
+
+void ArrivalRateHistogramObject::reset() {
+  hist_.reset();
+  have_second_ = false;
+  count_in_second_ = 0;
+}
+
+}  // namespace netsample::charact

@@ -1,0 +1,189 @@
+// NSFNET traffic-characterization objects (Table 1 of the paper).
+//
+// These are the "statistical objects" NNStat (T1) and ARTS (T3) built from
+// examined packet headers:
+//
+//   relative to the exterior nodal interface
+//     * source-destination traffic matrix by network number (pkts/bytes)
+//     * TCP/UDP port distribution, well-known subset (pkts/bytes)
+//     * distribution of protocol over IP (pkts/bytes)
+//     * packet-length histogram at 50-byte granularity          (T1 only)
+//     * packet volume going out of the backbone node            (T1 only)
+//   NSS-centric
+//     * per-second histogram of packet arrival rates (20 pps)   (T1 only)
+//     * NSS transit traffic volume                              (T1 only)
+//
+// Every object implements CharactObject so a collection agent can feed it
+// sampled packets uniformly, report it, and reset it each collection cycle.
+// When fed from a 1-in-k sample, multiply reported volumes by k to estimate
+// population quantities (see core/estimators.h for interval estimates).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "stats/histogram.h"
+#include "trace/packet_record.h"
+
+namespace netsample::charact {
+
+/// Packet+byte tally, the value type of every NSFNET object.
+struct Volume {
+  std::uint64_t packets{0};
+  std::uint64_t bytes{0};
+
+  void add(const trace::PacketRecord& p) {
+    packets += 1;
+    bytes += p.size;
+  }
+  Volume& operator+=(const Volume& o) {
+    packets += o.packets;
+    bytes += o.bytes;
+    return *this;
+  }
+  friend bool operator==(const Volume&, const Volume&) = default;
+};
+
+class CharactObject {
+ public:
+  virtual ~CharactObject() = default;
+
+  /// Feed one (possibly sampled) packet header.
+  virtual void observe(const trace::PacketRecord& p) = 0;
+
+  /// Reset all counters (the 15-minute collection cycle does this).
+  virtual void reset() = 0;
+
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Source-destination traffic volume matrix keyed by classful network
+/// number pair.
+class NetMatrixObject final : public CharactObject {
+ public:
+  using Key = std::pair<net::NetworkNumber, net::NetworkNumber>;
+
+  void observe(const trace::PacketRecord& p) override;
+  void reset() override { cells_.clear(); }
+  [[nodiscard]] std::string name() const override { return "net-matrix"; }
+
+  [[nodiscard]] const std::map<Key, Volume>& cells() const { return cells_; }
+  [[nodiscard]] std::size_t pair_count() const { return cells_.size(); }
+
+  /// Rows sorted by descending packet volume (for top-N reports).
+  [[nodiscard]] std::vector<std::pair<Key, Volume>> top(std::size_t n) const;
+
+  /// Per-cell packet counts as a vector aligned with `reference` ordering;
+  /// pairs absent here contribute zero. Used to score sampled matrices
+  /// against the full-trace matrix with the paper's metrics.
+  [[nodiscard]] std::vector<double> counts_aligned_with(
+      const NetMatrixObject& reference) const;
+
+ private:
+  std::map<Key, Volume> cells_;
+};
+
+/// TCP/UDP port distribution over the well-known subset (plus an "other"
+/// bucket), pkts/bytes, per protocol.
+class PortDistributionObject final : public CharactObject {
+ public:
+  struct Key {
+    std::uint8_t protocol;  // 6 or 17
+    std::uint16_t port;     // 0 == the "other" bucket
+    auto operator<=>(const Key&) const = default;
+  };
+
+  void observe(const trace::PacketRecord& p) override;
+  void reset() override { cells_.clear(); }
+  [[nodiscard]] std::string name() const override { return "port-distribution"; }
+
+  [[nodiscard]] const std::map<Key, Volume>& cells() const { return cells_; }
+  [[nodiscard]] std::vector<std::pair<Key, Volume>> top(std::size_t n) const;
+  [[nodiscard]] std::vector<double> counts_aligned_with(
+      const PortDistributionObject& reference) const;
+
+ private:
+  std::map<Key, Volume> cells_;
+};
+
+/// Distribution of protocol over IP (TCP, UDP, ICMP, ...), pkts/bytes.
+class ProtocolDistributionObject final : public CharactObject {
+ public:
+  void observe(const trace::PacketRecord& p) override;
+  void reset() override { cells_.clear(); }
+  [[nodiscard]] std::string name() const override {
+    return "protocol-distribution";
+  }
+
+  [[nodiscard]] const std::map<std::uint8_t, Volume>& cells() const {
+    return cells_;
+  }
+
+ private:
+  std::map<std::uint8_t, Volume> cells_;
+};
+
+/// Packet-length histogram at 50-byte granularity (T1 only).
+class PacketLengthHistogramObject final : public CharactObject {
+ public:
+  PacketLengthHistogramObject();
+
+  void observe(const trace::PacketRecord& p) override;
+  void reset() override { hist_.reset(); }
+  [[nodiscard]] std::string name() const override {
+    return "packet-length-histogram";
+  }
+
+  [[nodiscard]] const stats::Histogram& histogram() const { return hist_; }
+
+ private:
+  stats::Histogram hist_;
+};
+
+/// Per-second histogram of packet arrival rates at 20 pps granularity
+/// (T1 only). Buffers the current second's count, then bins it.
+class ArrivalRateHistogramObject final : public CharactObject {
+ public:
+  ArrivalRateHistogramObject();
+
+  void observe(const trace::PacketRecord& p) override;
+  void reset() override;
+  [[nodiscard]] std::string name() const override {
+    return "arrival-rate-histogram";
+  }
+
+  /// Flush the in-progress second into the histogram (call at cycle end).
+  void flush();
+
+  [[nodiscard]] const stats::Histogram& histogram() const { return hist_; }
+
+ private:
+  stats::Histogram hist_;
+  bool have_second_{false};
+  std::uint64_t current_second_{0};
+  std::uint64_t count_in_second_{0};
+};
+
+/// Total packet/byte volume (the T1 "packet volume going out of backbone
+/// node" and "transit traffic volume" objects are both plain volumes with
+/// different feeds).
+class VolumeObject final : public CharactObject {
+ public:
+  explicit VolumeObject(std::string label) : label_(std::move(label)) {}
+
+  void observe(const trace::PacketRecord& p) override { volume_.add(p); }
+  void reset() override { volume_ = Volume{}; }
+  [[nodiscard]] std::string name() const override { return label_; }
+
+  [[nodiscard]] const Volume& volume() const { return volume_; }
+
+ private:
+  std::string label_;
+  Volume volume_;
+};
+
+}  // namespace netsample::charact

@@ -1,0 +1,81 @@
+#include "collector/backbone.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace netsample::collector {
+
+namespace {
+constexpr int kHoursPerMonth = 30 * 24;
+constexpr double kSecondsPerHour = 3600.0;
+const char* kMonthNames[12] = {"Jan", "Feb", "Mar", "Apr", "May", "Jun",
+                               "Jul", "Aug", "Sep", "Oct", "Nov", "Dec"};
+}  // namespace
+
+std::string month_label(int m) {
+  const int year = 89 + (m / 12);
+  return std::string(kMonthNames[m % 12]) + " " + std::to_string(year % 100);
+}
+
+BackboneSimulation::BackboneSimulation(BackboneConfig config)
+    : config_(config) {
+  if (config_.months <= 0 || config_.initial_monthly_packets <= 0.0 ||
+      config_.processor_capacity_pps <= 0.0 || config_.monthly_growth <= 0.0 ||
+      config_.sampling_granularity == 0) {
+    throw std::invalid_argument("backbone simulation: invalid configuration");
+  }
+}
+
+std::vector<MonthResult> BackboneSimulation::run() const {
+  Rng rng(config_.seed);
+  std::vector<MonthResult> out;
+  out.reserve(static_cast<std::size_t>(config_.months));
+
+  double monthly = config_.initial_monthly_packets;
+  for (int m = 0; m < config_.months; ++m) {
+    MonthResult r;
+    r.month = m;
+    r.label = month_label(m);
+    r.sampling_active = config_.sampling_deploy_month >= 0 &&
+                        m >= config_.sampling_deploy_month;
+    const std::uint64_t k =
+        r.sampling_active ? config_.sampling_granularity : 1;
+
+    const double mean_hourly = monthly / kHoursPerMonth;
+    double offered = 0.0;
+    double examined = 0.0;
+    for (int h = 0; h < kHoursPerMonth; ++h) {
+      // Diurnal swing plus log-normal hour-to-hour noise.
+      const double phase =
+          2.0 * std::numbers::pi * static_cast<double>(h % 24) / 24.0;
+      const double diurnal =
+          1.0 + config_.diurnal_amplitude * std::sin(phase - std::numbers::pi / 2);
+      const double sigma = config_.hourly_log_sigma;
+      const double noise = std::exp(rng.normal(-sigma * sigma / 2.0, sigma));
+      const double volume = mean_hourly * diurnal * noise;
+      offered += volume;
+
+      // The stats processor sees volume/k headers this hour and can examine
+      // at most capacity_pps * 3600 of them.
+      const double headers = volume / static_cast<double>(k);
+      const double capacity = config_.processor_capacity_pps * kSecondsPerHour;
+      examined += std::min(headers, capacity);
+    }
+
+    r.offered_packets = offered;
+    r.snmp_packets = offered;  // SNMP counters live in the forwarding path
+    r.examined_packets = examined;
+    r.categorized_estimate = examined * static_cast<double>(k);
+    r.discrepancy_fraction =
+        (r.snmp_packets - r.categorized_estimate) / r.snmp_packets;
+    out.push_back(std::move(r));
+
+    monthly *= config_.monthly_growth;
+  }
+  return out;
+}
+
+}  // namespace netsample::collector

@@ -1,0 +1,58 @@
+#include "core/adaptive.h"
+
+#include <bit>
+#include <stdexcept>
+
+namespace netsample::core {
+
+namespace {
+
+bool is_power_of_two(std::uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+AdaptiveRateController::AdaptiveRateController(AdaptiveControllerConfig config)
+    : config_(config), k_(config.min_granularity) {
+  if (config_.examined_budget_per_cycle == 0) {
+    throw std::invalid_argument("adaptive: zero examined budget");
+  }
+  if (!is_power_of_two(config_.min_granularity) ||
+      !is_power_of_two(config_.max_granularity) ||
+      config_.min_granularity > config_.max_granularity) {
+    throw std::invalid_argument(
+        "adaptive: granularity bounds must be powers of two, min <= max");
+  }
+  if (!(config_.headroom > 0.0 && config_.headroom <= 1.0)) {
+    throw std::invalid_argument("adaptive: headroom must be in (0,1]");
+  }
+  if (!(config_.smoothing_alpha > 0.0 && config_.smoothing_alpha <= 1.0)) {
+    throw std::invalid_argument("adaptive: alpha must be in (0,1]");
+  }
+}
+
+std::uint64_t AdaptiveRateController::observe_cycle(
+    std::uint64_t offered_packets) {
+  const double offered = static_cast<double>(offered_packets);
+  if (!have_estimate_) {
+    load_estimate_ = offered;
+    have_estimate_ = true;
+  } else {
+    load_estimate_ = config_.smoothing_alpha * offered +
+                     (1.0 - config_.smoothing_alpha) * load_estimate_;
+  }
+
+  // Smallest power-of-two k within bounds whose expected examined count
+  // fits the effective budget. Always picks the finest acceptable k, so
+  // accuracy is never sacrificed beyond what capacity demands.
+  const double effective_budget =
+      config_.headroom * static_cast<double>(config_.examined_budget_per_cycle);
+  std::uint64_t k = config_.min_granularity;
+  while (k < config_.max_granularity &&
+         load_estimate_ / static_cast<double>(k) > effective_budget) {
+    k <<= 1;
+  }
+  k_ = k;
+  return k_;
+}
+
+}  // namespace netsample::core

@@ -1,0 +1,60 @@
+// Adaptive sampling-rate control.
+//
+// Section 2's operational problem in closed-loop form: the T1 NNStat
+// processor silently lost data when offered headers exceeded its capacity,
+// and the fix (a fixed 1-in-50) was chosen by hand. This controller picks
+// the granularity automatically, cycle by cycle: after each collection
+// cycle it observes the offered packet count and adjusts k so that the
+// *next* cycle's expected examined-header count stays inside a budget while
+// never sampling coarser than needed (coarser k costs accuracy -- Figures
+// 6-9). Granularities are restricted to a ladder (default powers of two) so
+// that the discipline stays a clean 1-in-k systematic sampler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace netsample::core {
+
+struct AdaptiveControllerConfig {
+  /// Maximum headers the statistics processor can examine per cycle.
+  std::uint64_t examined_budget_per_cycle{100000};
+  /// Use at most this fraction of the budget (headroom for bursts).
+  double headroom{0.8};
+  /// Granularity bounds; k is always a power of two within [min, max].
+  std::uint64_t min_granularity{1};
+  std::uint64_t max_granularity{65536};
+  /// Exponential smoothing of the offered-load observations (0 < alpha <= 1;
+  /// 1 = trust the last cycle completely).
+  double smoothing_alpha{0.5};
+};
+
+class AdaptiveRateController {
+ public:
+  /// Throws std::invalid_argument for empty budgets, non-power-of-two or
+  /// inverted bounds, or alpha outside (0, 1].
+  explicit AdaptiveRateController(AdaptiveControllerConfig config);
+
+  /// Current granularity k: examine every k-th packet this cycle.
+  [[nodiscard]] std::uint64_t granularity() const { return k_; }
+
+  /// Report a finished cycle's offered packet count; returns the
+  /// granularity to use for the next cycle.
+  std::uint64_t observe_cycle(std::uint64_t offered_packets);
+
+  /// The smoothed offered-load estimate driving decisions.
+  [[nodiscard]] double load_estimate() const { return load_estimate_; }
+
+  /// Expected examined count next cycle at the current granularity.
+  [[nodiscard]] double expected_examined() const {
+    return load_estimate_ / static_cast<double>(k_);
+  }
+
+ private:
+  AdaptiveControllerConfig config_;
+  std::uint64_t k_;
+  double load_estimate_{0.0};
+  bool have_estimate_{false};
+};
+
+}  // namespace netsample::core

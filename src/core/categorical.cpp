@@ -1,0 +1,94 @@
+#include "core/categorical.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "net/ports.h"
+
+namespace netsample::core {
+
+CategoricalTarget::CategoricalTarget(std::string name, CategoryKeyFn key_fn,
+                                     trace::TraceView population)
+    : name_(std::move(name)), key_fn_(std::move(key_fn)) {
+  if (population.empty()) {
+    throw std::invalid_argument("categorical target: empty population");
+  }
+  std::map<std::uint64_t, double> counts;
+  for (const auto& p : population) counts[key_fn_(p)] += 1.0;
+
+  // Order categories by descending population count so reports and top-N
+  // truncations are natural.
+  std::vector<std::pair<std::uint64_t, double>> ordered(counts.begin(),
+                                                        counts.end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.second > b.second;
+                   });
+  population_counts_.reserve(ordered.size() + 1);
+  for (std::size_t i = 0; i < ordered.size(); ++i) {
+    index_.emplace(ordered[i].first, i);
+    population_counts_.push_back(ordered[i].second);
+  }
+  population_counts_.push_back(0.0);  // overflow slot
+}
+
+std::vector<double> CategoricalTarget::count_packets(
+    std::span<const trace::PacketRecord> packets) const {
+  std::vector<double> out(population_counts_.size(), 0.0);
+  for (const auto& p : packets) {
+    const auto it = index_.find(key_fn_(p));
+    if (it == index_.end()) {
+      out.back() += 1.0;  // overflow: category absent from the population
+    } else {
+      out[it->second] += 1.0;
+    }
+  }
+  return out;
+}
+
+std::vector<double> CategoricalTarget::sample_counts(const Sample& s) const {
+  std::vector<double> out(population_counts_.size(), 0.0);
+  for (std::size_t i : s.indices) {
+    const auto it = index_.find(key_fn_(s.parent[i]));
+    if (it == index_.end()) {
+      out.back() += 1.0;
+    } else {
+      out[it->second] += 1.0;
+    }
+  }
+  return out;
+}
+
+double CategoricalTarget::coverage(std::span<const double> counts) const {
+  if (index_.empty()) return 0.0;
+  std::size_t covered = 0;
+  const std::size_t n = std::min(counts.size(), index_.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    if (counts[i] > 0.0) ++covered;
+  }
+  return static_cast<double>(covered) / static_cast<double>(index_.size());
+}
+
+CategoryKeyFn protocol_key() {
+  return [](const trace::PacketRecord& p) {
+    return static_cast<std::uint64_t>(p.protocol);
+  };
+}
+
+CategoryKeyFn service_port_key() {
+  return [](const trace::PacketRecord& p) -> std::uint64_t {
+    if (p.protocol != 6 && p.protocol != 17) return 0xFFFFFFFFull;  // non-transport
+    const auto svc = net::service_port(p.src_port, p.dst_port);
+    return (std::uint64_t{p.protocol} << 16) | svc.value_or(0);
+  };
+}
+
+CategoryKeyFn network_pair_key() {
+  return [](const trace::PacketRecord& p) {
+    const auto src = net::NetworkNumber::of(p.src);
+    const auto dst = net::NetworkNumber::of(p.dst);
+    return (std::uint64_t{src.prefix()} << 32) | dst.prefix();
+  };
+}
+
+}  // namespace netsample::core

@@ -1,0 +1,79 @@
+// Categorical analysis targets (the paper's Section 8 extension).
+//
+// "Our methodology can be extended and applied to characterizations of
+// network traffic that are based on proportions, e.g., TCP/UDP port
+// distribution. More difficult would be to characterize the goodness of fit
+// of the sampled source-destination traffic matrix, mainly because of its
+// large size and because many traffic pairs generate small amounts of
+// traffic during typical sampling intervals."
+//
+// A CategoricalTarget maps each packet to a category id; the category space
+// is fixed by the *population* (categories seen in the full interval), and
+// sampled packets falling in unseen categories land in a reserved overflow
+// slot (impossible for subsets of the population, but kept for samples of
+// other traffic). The resulting count vectors feed score_counts() exactly
+// like the histogram targets, so phi/chi2/cost apply unchanged.
+//
+// Provided targets:
+//   * protocol-over-IP distribution
+//   * TCP/UDP well-known service distribution (port "other" included)
+//   * source-destination network-number matrix (the "more difficult" case)
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/targets.h"
+#include "trace/trace.h"
+
+namespace netsample::core {
+
+/// A keying function from packet to an opaque 64-bit category key.
+using CategoryKeyFn = std::function<std::uint64_t(const trace::PacketRecord&)>;
+
+class CategoricalTarget {
+ public:
+  /// Build the category space from the population view: every key observed
+  /// becomes a category, ordered by descending population count.
+  /// Throws std::invalid_argument on an empty view.
+  CategoricalTarget(std::string name, CategoryKeyFn key_fn,
+                    trace::TraceView population);
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+
+  /// Number of categories (excluding the overflow slot).
+  [[nodiscard]] std::size_t category_count() const { return index_.size(); }
+
+  /// Population counts, one per category, plus a trailing overflow slot
+  /// (always 0 for the population itself).
+  [[nodiscard]] const std::vector<double>& population_counts() const {
+    return population_counts_;
+  }
+
+  /// Count a sample's packets into the population's category space.
+  [[nodiscard]] std::vector<double> sample_counts(const Sample& s) const;
+
+  /// Count any packet sequence into the category space.
+  [[nodiscard]] std::vector<double> count_packets(
+      std::span<const trace::PacketRecord> packets) const;
+
+  /// Fraction of categories that received at least one sampled packet --
+  /// the paper's small-cell concern, directly measured.
+  [[nodiscard]] double coverage(std::span<const double> counts) const;
+
+ private:
+  std::string name_;
+  CategoryKeyFn key_fn_;
+  std::map<std::uint64_t, std::size_t> index_;  // key -> category position
+  std::vector<double> population_counts_;
+};
+
+/// Ready-made keying functions for the paper's objects.
+[[nodiscard]] CategoryKeyFn protocol_key();
+[[nodiscard]] CategoryKeyFn service_port_key();   // well-known port or 0
+[[nodiscard]] CategoryKeyFn network_pair_key();   // classful src/dst nets
+
+}  // namespace netsample::core

@@ -1,0 +1,49 @@
+#include "core/design.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace netsample::core {
+
+SampleSizePlan plan_sample_size(double mu, double sigma, double accuracy_pct,
+                                double confidence, std::uint64_t population) {
+  if (mu <= 0.0 || sigma <= 0.0) {
+    throw std::invalid_argument("sample size plan requires mu > 0, sigma > 0");
+  }
+  if (accuracy_pct <= 0.0) {
+    throw std::invalid_argument("accuracy must be positive");
+  }
+  SampleSizePlan p;
+  p.accuracy_pct = accuracy_pct;
+  p.confidence = confidence;
+  p.z = stats::z_for_confidence(confidence);  // validates confidence range
+
+  const double ratio = 100.0 * p.z * sigma / (accuracy_pct * mu);
+  p.n_infinite = ratio * ratio;
+  // Nearest integer, matching how the paper (and Cochran's worked examples)
+  // report n; the fractional packet is statistically meaningless.
+  p.n = static_cast<std::uint64_t>(std::llround(p.n_infinite));
+
+  if (population > 0) {
+    const double n0 = p.n_infinite;
+    const double n_corr = n0 / (1.0 + n0 / static_cast<double>(population));
+    p.n_fpc = static_cast<std::uint64_t>(std::llround(n_corr));
+    p.sampling_fraction =
+        static_cast<double>(p.n) / static_cast<double>(population);
+  }
+  return p;
+}
+
+double achievable_accuracy_pct(double mu, double sigma, std::uint64_t n,
+                               double confidence) {
+  if (mu <= 0.0 || sigma <= 0.0) {
+    throw std::invalid_argument("accuracy requires mu > 0, sigma > 0");
+  }
+  if (n == 0) throw std::invalid_argument("accuracy requires n > 0");
+  const double z = stats::z_for_confidence(confidence);
+  return 100.0 * z * sigma / (std::sqrt(static_cast<double>(n)) * mu);
+}
+
+}  // namespace netsample::core

@@ -1,0 +1,41 @@
+// Statistical design of sampling plans (Section 5.1 of the paper).
+//
+// Cochran's formula for the simple-random sample size needed to estimate a
+// population mean to within +-r% at a given confidence:
+//
+//     n0 = (100 * z * sigma / (r * mu))^2
+//
+// assuming an infinite population; the finite-population correction
+// n = n0 / (1 + n0/N) applies when n0 is a non-trivial fraction of N.
+// The paper evaluates this for its two targets at r = 5% and 1%.
+#pragma once
+
+#include <cstdint>
+
+namespace netsample::core {
+
+struct SampleSizePlan {
+  double accuracy_pct{5.0};     // r: half-width of the CI as a % of the mean
+  double confidence{0.95};      // 1 - alpha
+  double z{0};                  // two-sided z value for the confidence
+  double n_infinite{0};         // n0, infinite-population size (real-valued)
+  std::uint64_t n{0};           // ceil(n0), the paper's reported figure
+  std::uint64_t n_fpc{0};       // with finite-population correction (0 if N unknown)
+  double sampling_fraction{0};  // n / N (0 if N unknown)
+};
+
+/// Compute the plan. mu and sigma are the *population* mean and standard
+/// deviation of the estimand; population = 0 means "treat as infinite".
+/// Throws std::invalid_argument for non-positive mu/sigma/accuracy or
+/// confidence outside (0,1).
+[[nodiscard]] SampleSizePlan plan_sample_size(double mu, double sigma,
+                                              double accuracy_pct,
+                                              double confidence,
+                                              std::uint64_t population = 0);
+
+/// Inverse question: the accuracy (r%, at the given confidence) achievable
+/// with a sample of size n from a population with the given mu/sigma.
+[[nodiscard]] double achievable_accuracy_pct(double mu, double sigma,
+                                             std::uint64_t n, double confidence);
+
+}  // namespace netsample::core

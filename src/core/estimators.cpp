@@ -1,0 +1,123 @@
+#include "core/estimators.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace netsample::core {
+
+Estimate estimate_total(double sampled_total, double sampling_fraction,
+                        double confidence) {
+  if (!(sampling_fraction > 0.0 && sampling_fraction <= 1.0)) {
+    throw std::invalid_argument("estimate_total: fraction must be in (0,1]");
+  }
+  if (sampled_total < 0.0) {
+    throw std::invalid_argument("estimate_total: negative sampled total");
+  }
+  const double z = stats::z_for_confidence(confidence);
+  Estimate e;
+  e.confidence = confidence;
+  e.value = sampled_total / sampling_fraction;
+  // Binomial thinning: Var(T_hat) ~ T * (1-f) / f; with T unknown, plug in
+  // the estimate. Reduces to zero at f == 1.
+  const double var = e.value * (1.0 - sampling_fraction) / sampling_fraction;
+  const double half = z * std::sqrt(std::max(0.0, var));
+  e.ci_low = std::max(0.0, e.value - half);
+  e.ci_high = e.value + half;
+  return e;
+}
+
+Estimate estimate_weighted_total(std::span<const double> sampled_weights,
+                                 double sampling_fraction, double confidence) {
+  if (!(sampling_fraction > 0.0 && sampling_fraction <= 1.0)) {
+    throw std::invalid_argument(
+        "estimate_weighted_total: fraction must be in (0,1]");
+  }
+  double sum = 0.0, sum2 = 0.0;
+  for (double w : sampled_weights) {
+    sum += w;
+    sum2 += w * w;
+  }
+  const double z = stats::z_for_confidence(confidence);
+  Estimate e;
+  e.confidence = confidence;
+  e.value = sum / sampling_fraction;
+  const double var = (1.0 - sampling_fraction) * sum2 /
+                     (sampling_fraction * sampling_fraction);
+  const double half = z * std::sqrt(std::max(0.0, var));
+  e.ci_low = std::max(0.0, e.value - half);
+  e.ci_high = e.value + half;
+  return e;
+}
+
+Estimate estimate_mean(std::span<const double> sample_values,
+                       std::uint64_t population_size, double confidence) {
+  if (sample_values.empty()) {
+    throw std::invalid_argument("estimate_mean: empty sample");
+  }
+  const double n = static_cast<double>(sample_values.size());
+  double sum = 0.0;
+  for (double x : sample_values) sum += x;
+  const double mean = sum / n;
+  double ss = 0.0;
+  for (double x : sample_values) ss += (x - mean) * (x - mean);
+  const double s2 = sample_values.size() > 1 ? ss / (n - 1.0) : 0.0;
+
+  double se2 = s2 / n;
+  if (population_size > 0) {
+    const double fpc =
+        1.0 - n / static_cast<double>(population_size);  // finite pop. corr.
+    se2 *= std::max(0.0, fpc);
+  }
+  const double z = stats::z_for_confidence(confidence);
+  const double half = z * std::sqrt(se2);
+
+  Estimate e;
+  e.confidence = confidence;
+  e.value = mean;
+  e.ci_low = mean - half;
+  e.ci_high = mean + half;
+  return e;
+}
+
+Estimate estimate_proportion(std::uint64_t successes, std::uint64_t trials,
+                             double confidence) {
+  if (trials == 0) {
+    throw std::invalid_argument("estimate_proportion: zero trials");
+  }
+  if (successes > trials) {
+    throw std::invalid_argument("estimate_proportion: successes > trials");
+  }
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(successes) / n;
+  const double z = stats::z_for_confidence(confidence);
+  const double z2 = z * z;
+
+  // Wilson score interval.
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+
+  Estimate e;
+  e.confidence = confidence;
+  e.value = p;
+  e.ci_low = std::max(0.0, center - half);
+  e.ci_high = std::min(1.0, center + half);
+  return e;
+}
+
+std::vector<Estimate> estimate_category_totals(
+    std::span<const double> sampled_counts, double sampling_fraction,
+    double confidence) {
+  std::vector<Estimate> out;
+  out.reserve(sampled_counts.size());
+  for (double c : sampled_counts) {
+    out.push_back(estimate_total(c, sampling_fraction, confidence));
+  }
+  return out;
+}
+
+}  // namespace netsample::core

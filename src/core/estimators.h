@@ -1,0 +1,71 @@
+// Population estimation from samples, with confidence intervals.
+//
+// The operational counterpart of the paper's evaluation: once a sampling
+// discipline is deployed, the collector must *estimate* population
+// quantities from the sampled packets and know how much to trust them.
+// Estimators here cover what the NSFNET objects needed:
+//
+//   * totals (packets/bytes): expansion estimator  T_hat = t_sample / f
+//   * means: sample mean with a normal-approximation CI, with the finite
+//     population correction when the population size is known
+//   * proportions: Wilson score interval (robust at small counts, unlike
+//     the Wald interval)
+//
+// All estimators treat the sample as (approximately) a simple random
+// sample; the paper's result that packet-triggered disciplines behave
+// interchangeably is what justifies applying them to systematic and
+// stratified samples too.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netsample::core {
+
+/// An estimate with a symmetric (or interval) confidence range.
+struct Estimate {
+  double value{0};
+  double ci_low{0};
+  double ci_high{0};
+  double confidence{0.95};
+};
+
+/// Expansion estimate of a population total from a sampled total.
+/// `sampling_fraction` must be in (0, 1]. The CI treats the sampled total
+/// as a Poisson-binomial count (normal approximation).
+/// Throws std::invalid_argument on a bad fraction.
+[[nodiscard]] Estimate estimate_total(double sampled_total,
+                                      double sampling_fraction,
+                                      double confidence = 0.95);
+
+/// Horvitz-Thompson expansion estimate of a *weighted* population total
+/// (e.g. bytes: each sampled packet contributes its size). The per-unit
+/// weights matter for the variance -- byte totals are much noisier than
+/// packet counts because byte mass concentrates in large packets:
+///   T_hat = sum(w_i) / f,   Var_hat = (1-f)/f^2 * sum(w_i^2).
+/// Throws std::invalid_argument on a bad fraction.
+[[nodiscard]] Estimate estimate_weighted_total(
+    std::span<const double> sampled_weights, double sampling_fraction,
+    double confidence = 0.95);
+
+/// Mean of `sample_values` as an estimate of the population mean.
+/// `population_size` = 0 means "effectively infinite" (no FPC).
+/// Throws std::invalid_argument on an empty sample.
+[[nodiscard]] Estimate estimate_mean(std::span<const double> sample_values,
+                                     std::uint64_t population_size = 0,
+                                     double confidence = 0.95);
+
+/// Proportion estimate from `successes` out of `trials`, Wilson score CI.
+/// Throws std::invalid_argument if trials == 0 or successes > trials.
+[[nodiscard]] Estimate estimate_proportion(std::uint64_t successes,
+                                           std::uint64_t trials,
+                                           double confidence = 0.95);
+
+/// Per-category population-count estimates from sampled category counts:
+/// each count is expanded by 1/f. Returns one Estimate per input count.
+[[nodiscard]] std::vector<Estimate> estimate_category_totals(
+    std::span<const double> sampled_counts, double sampling_fraction,
+    double confidence = 0.95);
+
+}  // namespace netsample::core

@@ -1,0 +1,82 @@
+#include "core/metrics.h"
+
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace netsample::core {
+
+DisparityMetrics score_counts(std::span<const double> observed,
+                              std::span<const double> population,
+                              double sampling_fraction) {
+  if (observed.size() != population.size()) {
+    throw std::invalid_argument("score: bin layout mismatch");
+  }
+  double pop_total = 0.0, obs_total = 0.0;
+  for (double v : population) pop_total += v;
+  for (double v : observed) obs_total += v;
+  if (pop_total <= 0.0) {
+    throw std::invalid_argument("score: empty population");
+  }
+
+  DisparityMetrics m;
+  m.sample_n = static_cast<std::uint64_t>(std::llround(obs_total));
+  m.population_n = static_cast<std::uint64_t>(std::llround(pop_total));
+
+  double f = sampling_fraction;
+  if (f <= 0.0) f = obs_total / pop_total;
+  if (f <= 0.0) f = 1.0;  // degenerate empty sample; cost = population mass
+
+  double phi_n = 0.0;
+  std::size_t bins_used = 0;
+  for (std::size_t i = 0; i < observed.size(); ++i) {
+    const double pi = population[i] / pop_total;
+    const double expected = pi * obs_total;
+    const double oi = observed[i];
+
+    // Population-scale l1: the sample's estimate of this bin's population
+    // count is O_i / f.
+    m.cost += std::fabs(oi / f - population[i]);
+
+    if (expected > 0.0) {
+      const double diff = oi - expected;
+      m.chi2 += diff * diff / expected;
+      m.x2 += diff * diff / (expected * expected);
+      ++bins_used;
+    } else if (oi > 0.0) {
+      // Observations in a bin the population says is impossible.
+      m.chi2 += oi * 1e12;
+      m.x2 += oi * 1e12;
+    }
+    phi_n += expected + oi;
+  }
+  m.rcost = m.cost * f;
+
+  const std::size_t b = observed.size();
+  m.avg_norm_dev = b > 0 ? std::sqrt(m.x2 / static_cast<double>(b)) : 0.0;
+  m.phi = phi_n > 0.0 ? std::sqrt(m.chi2 / phi_n) : 0.0;
+
+  m.dof = bins_used > 1 ? static_cast<double>(bins_used - 1) : 1.0;
+  m.significance =
+      obs_total > 0.0 ? stats::chi_squared_sf(m.chi2, m.dof) : 1.0;
+  return m;
+}
+
+DisparityMetrics score_sample(const stats::Histogram& sample,
+                              const stats::Histogram& population,
+                              double sampling_fraction) {
+  if (sample.bin_count() != population.bin_count()) {
+    throw std::invalid_argument("score: bin layout mismatch");
+  }
+  std::vector<double> obs(sample.bin_count());
+  std::vector<double> pop(population.bin_count());
+  for (std::size_t i = 0; i < obs.size(); ++i) {
+    obs[i] = static_cast<double>(sample.count(i));
+    pop[i] = static_cast<double>(population.count(i));
+  }
+  return score_counts(obs, pop, sampling_fraction);
+}
+
+}  // namespace netsample::core

@@ -1,0 +1,56 @@
+// Metrics of disparity between a sampled distribution and its parent
+// population (Section 5.2 of the paper).
+//
+// Given bin counts O (sample) and the parent's bin proportions, we compute:
+//
+//   chi2      = sum (O_i - E_i)^2 / E_i,  E_i = p_i * n_sample
+//   sig       = P(Chi2_dof >= chi2)       (the chi-squared significance level)
+//   cost      = sum | O_i / f - Pop_i |   (l1 at population scale: the
+//               provider's over/under-charge in packets; f = sampling fraction)
+//   rcost     = cost * f                  (relative cost; equals the l1
+//               distance at sample scale)
+//   X2        = sum (O_i - E_i)^2 / E_i^2 (Paxson's size-invariant variant)
+//   k         = sqrt(X2 / B)              ("average normalized deviation")
+//   phi       = sqrt(chi2 / n),  n = sum_i (E_i + O_i)   (Fleiss)
+//
+// phi is the paper's metric of choice: ~0 for a perfect sample, growing as
+// the sample diverges, and insensitive to sample size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "stats/gof.h"
+#include "stats/histogram.h"
+
+namespace netsample::core {
+
+struct DisparityMetrics {
+  double chi2{0};
+  double dof{0};
+  double significance{1.0};
+  double cost{0};
+  double rcost{0};
+  double x2{0};
+  double avg_norm_dev{0};  // k = sqrt(X2/B)
+  double phi{0};
+  std::uint64_t sample_n{0};
+  std::uint64_t population_n{0};
+};
+
+/// Score a sample histogram against its parent population histogram. The
+/// two must share bin layout. `sampling_fraction` is the *intended* fraction
+/// 1/k used for the cost scaling; pass 0 to use the achieved fraction
+/// sample_n / population_n.
+/// Throws std::invalid_argument on layout mismatch or empty population.
+[[nodiscard]] DisparityMetrics score_sample(const stats::Histogram& sample,
+                                            const stats::Histogram& population,
+                                            double sampling_fraction = 0.0);
+
+/// Lower-level entry point on raw counts (used by the characterization
+/// layer, whose objects aren't stats::Histogram).
+[[nodiscard]] DisparityMetrics score_counts(std::span<const double> observed,
+                                            std::span<const double> population,
+                                            double sampling_fraction = 0.0);
+
+}  // namespace netsample::core

@@ -1,0 +1,49 @@
+// The sampler abstraction (Section 4 of the paper).
+//
+// A Sampler is a streaming, one-pass packet-selection discipline: the
+// forwarding path offers it every packet and it answers "include this one in
+// the sample?". This is exactly the shape of the mechanism the paper
+// describes being pushed into the T3 subsystems' firmware (and the shape
+// sFlow/NetFlow sampled exports later standardized): selection must be
+// decidable online, per packet, with O(1) state.
+//
+// The five disciplines of the paper are concrete Samplers (samplers.h);
+// experiments drive them over TraceViews with draw_sample().
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/trace.h"
+#include "util/timeval.h"
+
+namespace netsample::core {
+
+class Sampler {
+ public:
+  virtual ~Sampler() = default;
+
+  /// Start a pass over an observation interval beginning at `interval_start`.
+  /// Count-triggered samplers ignore the time; timer-triggered samplers arm
+  /// their first deadline relative to it. Must be called before offer().
+  virtual void begin(MicroTime interval_start) = 0;
+
+  /// Offer the next packet in arrival order; returns true to include it.
+  [[nodiscard]] virtual bool offer(const trace::PacketRecord& p) = 0;
+
+  /// Human-readable discipline name ("systematic/count", ...).
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Drive `sampler` over every packet of `view` (calling begin() with the
+/// view's start time) and collect the selected packets.
+[[nodiscard]] std::vector<trace::PacketRecord> draw_sample(trace::TraceView view,
+                                                           Sampler& sampler);
+
+/// As draw_sample, but returns the *indices* of selected packets within the
+/// view — used by tests that check selection patterns.
+[[nodiscard]] std::vector<std::size_t> draw_sample_indices(trace::TraceView view,
+                                                           Sampler& sampler);
+
+}  // namespace netsample::core

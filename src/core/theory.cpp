@@ -1,0 +1,41 @@
+#include "core/theory.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace netsample::core {
+
+namespace {
+
+void check_args(std::size_t bins, std::uint64_t n) {
+  if (bins < 2) throw std::invalid_argument("phi theory requires >= 2 bins");
+  if (n == 0) throw std::invalid_argument("phi theory requires n > 0");
+}
+
+}  // namespace
+
+double expected_chi2(std::size_t bins) {
+  if (bins < 2) throw std::invalid_argument("phi theory requires >= 2 bins");
+  return static_cast<double>(bins - 1);
+}
+
+double expected_phi(std::size_t bins, std::uint64_t sample_size) {
+  check_args(bins, sample_size);
+  const double nu = static_cast<double>(bins - 1);
+  // E[sqrt(X)] for X ~ chi2(nu) is sqrt(2) Gamma((nu+1)/2) / Gamma(nu/2);
+  // dividing by sqrt(n_phi) = sqrt(2n) cancels the sqrt(2).
+  const double mean_root_chi2 =
+      std::exp(std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0));
+  return mean_root_chi2 / std::sqrt(static_cast<double>(sample_size));
+}
+
+double phi_quantile(std::size_t bins, std::uint64_t sample_size, double q) {
+  check_args(bins, sample_size);
+  const double nu = static_cast<double>(bins - 1);
+  const double x = stats::chi_squared_quantile(q, nu);
+  return std::sqrt(x / (2.0 * static_cast<double>(sample_size)));
+}
+
+}  // namespace netsample::core

@@ -1,0 +1,33 @@
+// Closed-form sampling theory for the phi metric.
+//
+// For an *unbiased* sampling discipline, the binned sample counts are
+// approximately multinomial around the population proportions, so the
+// chi-squared statistic over B bins follows a chi-squared distribution with
+// nu = B - 1 degrees of freedom regardless of the sample size. Since
+// phi = sqrt(chi2 / n_phi) with n_phi = sum(E_i + O_i) ~ 2n, the whole
+// phi-vs-fraction curve of Figures 6/7 has a closed form:
+//
+//   E[phi]       ~ Gamma(nu/2 + 1/2) / Gamma(nu/2) / sqrt(n)
+//   quantile_q   ~ sqrt( chi2_quantile(q, nu) / (2 n) )
+//
+// Timer-driven disciplines violate the unbiasedness assumption, which is
+// exactly why their curves sit on a floor above these predictions -- the
+// gap between measurement and this theory isolates the selection bias.
+#pragma once
+
+#include <cstdint>
+
+namespace netsample::core {
+
+/// Expected chi-squared statistic for an unbiased sample: B - 1.
+[[nodiscard]] double expected_chi2(std::size_t bins);
+
+/// Expected phi for an unbiased sample of size n binned into `bins` bins.
+/// Throws std::invalid_argument for bins < 2 or n == 0.
+[[nodiscard]] double expected_phi(std::size_t bins, std::uint64_t sample_size);
+
+/// The q-quantile of phi under the unbiased model (q in (0,1)).
+[[nodiscard]] double phi_quantile(std::size_t bins, std::uint64_t sample_size,
+                                  double q);
+
+}  // namespace netsample::core

@@ -1,0 +1,32 @@
+#include "exper/experiment.h"
+
+#include "stats/descriptive.h"
+
+namespace netsample::exper {
+
+Experiment::Experiment(std::uint64_t seed, double minutes) {
+  synth::TraceModel model(synth::sdsc_minutes_config(minutes, seed));
+  trace_ = model.generate();
+  compute_population_stats();
+}
+
+Experiment::Experiment(trace::Trace t) : trace_(std::move(t)) {
+  compute_population_stats();
+}
+
+void Experiment::compute_population_stats() {
+  stats::MomentAccumulator size_acc, iat_acc;
+  const auto view = trace_.view();
+  for (const auto& p : view) size_acc.add(static_cast<double>(p.size));
+  for (double g : view.interarrivals()) iat_acc.add(g);
+  mean_size_ = size_acc.mean();
+  sd_size_ = size_acc.population_stddev();
+  mean_iat_ = iat_acc.mean();
+  sd_iat_ = iat_acc.population_stddev();
+}
+
+trace::TraceView Experiment::interval(double seconds) const {
+  return trace_.view().prefix_duration(MicroDuration::from_seconds(seconds));
+}
+
+}  // namespace netsample::exper

@@ -1,0 +1,52 @@
+// Shared experiment context: the parent population every figure reuses.
+//
+// Owns the calibrated synthetic hour (or a pcap-loaded trace), its
+// population statistics, and the derived quantities samplers need (mean
+// interarrival time for timer periods, population size for simple random).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/targets.h"
+#include "synth/presets.h"
+#include "trace/summary.h"
+#include "trace/trace.h"
+
+namespace netsample::exper {
+
+class Experiment {
+ public:
+  /// Build from the calibrated synthetic SDSC hour.
+  explicit Experiment(std::uint64_t seed = 23, double minutes = 60.0);
+
+  /// Build from an existing trace (e.g. loaded from pcap).
+  explicit Experiment(trace::Trace t);
+
+  [[nodiscard]] const trace::Trace& trace() const { return trace_; }
+  [[nodiscard]] trace::TraceView full() const { return trace_.view(); }
+
+  /// Prefix window of the first `seconds` of the trace (the paper's
+  /// "interval"): e.g. interval(1024) or interval(2048).
+  [[nodiscard]] trace::TraceView interval(double seconds) const;
+
+  /// Population mean interarrival time in microseconds (drives timer
+  /// periods so timer and count methods have comparable cost).
+  [[nodiscard]] double mean_interarrival_usec() const { return mean_iat_; }
+
+  /// Population mean / stddev of packet size (drives Cochran plans).
+  [[nodiscard]] double mean_packet_size() const { return mean_size_; }
+  [[nodiscard]] double stddev_packet_size() const { return sd_size_; }
+  [[nodiscard]] double stddev_interarrival_usec() const { return sd_iat_; }
+
+  [[nodiscard]] std::uint64_t population_size() const { return trace_.size(); }
+
+ private:
+  void compute_population_stats();
+
+  trace::Trace trace_;
+  double mean_iat_{0}, sd_iat_{0};
+  double mean_size_{0}, sd_size_{0};
+};
+
+}  // namespace netsample::exper

@@ -1,0 +1,68 @@
+// Replication runner and parameter sweeps (Section 7 of the paper).
+//
+// An experiment cell is (method, target, granularity, interval). We run R
+// replications of the cell -- varying the start offset for deterministic
+// methods and the RNG seed for random ones, exactly as the paper "varied
+// the point within the data set at which to begin the sampling procedure"
+// -- score each sample against the parent with the phi-family metrics, and
+// aggregate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/samplers.h"
+#include "core/targets.h"
+#include "stats/boxplot.h"
+#include "trace/trace.h"
+
+namespace netsample::exper {
+
+struct CellConfig {
+  core::Method method{core::Method::kSystematicCount};
+  core::Target target{core::Target::kPacketSize};
+  std::uint64_t granularity{50};
+  trace::TraceView interval;
+  /// Population mean interarrival (usec), needed by timer methods.
+  double mean_interarrival_usec{0.0};
+  int replications{5};
+  std::uint64_t base_seed{1};
+};
+
+struct CellResult {
+  CellConfig config;
+  std::vector<core::DisparityMetrics> replications;
+
+  /// phi scores across replications.
+  [[nodiscard]] std::vector<double> phi_values() const;
+  [[nodiscard]] double phi_mean() const;
+  [[nodiscard]] stats::BoxplotSummary phi_boxplot() const;
+  [[nodiscard]] double mean_sample_size() const;
+  /// Replications whose chi-squared significance falls below `alpha`
+  /// (the paper's "rejected by the chi-squared test" count).
+  [[nodiscard]] int rejections_at(double alpha) const;
+};
+
+/// Run one experiment cell. Population binning is computed once per call.
+/// Throws std::invalid_argument for an empty interval or bad config.
+[[nodiscard]] CellResult run_cell(const CellConfig& config);
+
+/// Sweep granularities for a fixed method/target/interval (Figures 6-9).
+[[nodiscard]] std::vector<CellResult> sweep_granularity(
+    CellConfig base, const std::vector<std::uint64_t>& granularities);
+
+/// Sweep interval lengths for fixed method/target/granularity (Figures
+/// 10-11). `interval_seconds` values are prefixes of `full`.
+[[nodiscard]] std::vector<CellResult> sweep_interval(
+    CellConfig base, trace::TraceView full,
+    const std::vector<double>& interval_seconds);
+
+/// The paper's exponential granularity ladder 2, 4, ..., 32768.
+[[nodiscard]] std::vector<std::uint64_t> granularity_ladder(
+    std::uint64_t from = 2, std::uint64_t to = 32768);
+
+/// Build the sampler spec for replication r of a cell (exposed for tests).
+[[nodiscard]] core::SamplerSpec replication_spec(const CellConfig& config, int r);
+
+}  // namespace netsample::exper

@@ -1,0 +1,29 @@
+#include "net/checksum.h"
+
+namespace netsample::net {
+
+std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                  std::uint32_t acc) {
+  std::size_t i = 0;
+  for (; i + 1 < data.size(); i += 2) {
+    acc += (std::uint32_t{data[i]} << 8) | std::uint32_t{data[i + 1]};
+  }
+  if (i < data.size()) {
+    // Odd trailing byte is padded with zero on the right (RFC 1071).
+    acc += std::uint32_t{data[i]} << 8;
+  }
+  return acc;
+}
+
+std::uint16_t checksum_finish(std::uint32_t acc) {
+  while (acc >> 16) {
+    acc = (acc & 0xFFFFu) + (acc >> 16);
+  }
+  return static_cast<std::uint16_t>(~acc & 0xFFFFu);
+}
+
+std::uint16_t internet_checksum(std::span<const std::uint8_t> data) {
+  return checksum_finish(checksum_accumulate(data));
+}
+
+}  // namespace netsample::net

@@ -1,0 +1,22 @@
+// The Internet checksum (RFC 1071) used by IPv4/ICMP headers and, with a
+// pseudo-header, by TCP and UDP. Needed so the pcap writer can emit packets
+// that external tools accept, and so the reader can validate captures.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace netsample::net {
+
+/// One's-complement sum of a byte buffer, folded to 16 bits (not inverted).
+/// Exposed separately so callers can chain buffers (header + pseudo-header).
+[[nodiscard]] std::uint32_t checksum_accumulate(std::span<const std::uint8_t> data,
+                                                std::uint32_t acc = 0);
+
+/// Fold an accumulated sum and invert: the final RFC 1071 checksum value.
+[[nodiscard]] std::uint16_t checksum_finish(std::uint32_t acc);
+
+/// Convenience: checksum of a single contiguous buffer.
+[[nodiscard]] std::uint16_t internet_checksum(std::span<const std::uint8_t> data);
+
+}  // namespace netsample::net

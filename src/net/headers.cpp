@@ -1,0 +1,187 @@
+#include "net/headers.h"
+
+#include "net/checksum.h"
+#include "util/byteorder.h"
+
+namespace netsample::net {
+
+namespace {
+
+Status short_buffer(const char* what, std::size_t need, std::size_t have) {
+  return Status(StatusCode::kDataLoss,
+                std::string(what) + ": need " + std::to_string(need) +
+                    " bytes, have " + std::to_string(have));
+}
+
+/// IPv4 pseudo-header contribution to the TCP/UDP checksum.
+std::uint32_t pseudo_header_sum(Ipv4Address src, Ipv4Address dst,
+                                std::uint8_t proto, std::uint16_t length) {
+  std::uint8_t buf[12];
+  store_be32(buf, src.value());
+  store_be32(buf + 4, dst.value());
+  buf[8] = 0;
+  buf[9] = proto;
+  store_be16(buf + 10, length);
+  return checksum_accumulate(std::span<const std::uint8_t>(buf, sizeof(buf)));
+}
+
+}  // namespace
+
+StatusOr<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return short_buffer("IPv4 header", 20, data.size());
+  Ipv4Header h;
+  h.version = data[0] >> 4;
+  h.ihl = data[0] & 0x0F;
+  if (h.version != 4) {
+    return Status(StatusCode::kInvalidArgument,
+                  "not IPv4: version=" + std::to_string(h.version));
+  }
+  if (h.ihl < 5) {
+    return Status(StatusCode::kDataLoss,
+                  "bad IHL: " + std::to_string(h.ihl));
+  }
+  if (data.size() < h.header_bytes()) {
+    return short_buffer("IPv4 options", h.header_bytes(), data.size());
+  }
+  h.tos = data[1];
+  h.total_length = load_be16(data.data() + 2);
+  h.identification = load_be16(data.data() + 4);
+  const std::uint16_t frag = load_be16(data.data() + 6);
+  h.flags = static_cast<std::uint8_t>(frag >> 13);
+  h.fragment_offset = frag & 0x1FFF;
+  h.ttl = data[8];
+  h.protocol = data[9];
+  h.header_checksum = load_be16(data.data() + 10);
+  h.src = Ipv4Address(load_be32(data.data() + 12));
+  h.dst = Ipv4Address(load_be32(data.data() + 16));
+  if (h.total_length < h.header_bytes()) {
+    return Status(StatusCode::kDataLoss,
+                  "total_length smaller than header: " +
+                      std::to_string(h.total_length));
+  }
+  return h;
+}
+
+StatusOr<TcpHeader> parse_tcp(std::span<const std::uint8_t> data) {
+  if (data.size() < 20) return short_buffer("TCP header", 20, data.size());
+  TcpHeader h;
+  h.src_port = load_be16(data.data());
+  h.dst_port = load_be16(data.data() + 2);
+  h.seq = load_be32(data.data() + 4);
+  h.ack = load_be32(data.data() + 8);
+  h.data_offset = data[12] >> 4;
+  h.flags = data[13];
+  h.window = load_be16(data.data() + 14);
+  h.checksum = load_be16(data.data() + 16);
+  h.urgent = load_be16(data.data() + 18);
+  if (h.data_offset < 5) {
+    return Status(StatusCode::kDataLoss,
+                  "bad TCP data offset: " + std::to_string(h.data_offset));
+  }
+  return h;
+}
+
+StatusOr<UdpHeader> parse_udp(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return short_buffer("UDP header", 8, data.size());
+  UdpHeader h;
+  h.src_port = load_be16(data.data());
+  h.dst_port = load_be16(data.data() + 2);
+  h.length = load_be16(data.data() + 4);
+  h.checksum = load_be16(data.data() + 6);
+  if (h.length < 8) {
+    return Status(StatusCode::kDataLoss,
+                  "bad UDP length: " + std::to_string(h.length));
+  }
+  return h;
+}
+
+StatusOr<IcmpHeader> parse_icmp(std::span<const std::uint8_t> data) {
+  if (data.size() < 8) return short_buffer("ICMP header", 8, data.size());
+  IcmpHeader h;
+  h.type = data[0];
+  h.code = data[1];
+  h.checksum = load_be16(data.data() + 2);
+  h.rest = load_be32(data.data() + 4);
+  return h;
+}
+
+bool ipv4_checksum_ok(std::span<const std::uint8_t> header_bytes) {
+  if (header_bytes.size() < 20) return false;
+  const std::size_t ihl_bytes = std::size_t{header_bytes[0] & 0x0Fu} * 4;
+  if (ihl_bytes < 20 || header_bytes.size() < ihl_bytes) return false;
+  // A valid header sums (including the stored checksum) to 0xFFFF, so the
+  // finished (inverted) checksum over the whole header is zero.
+  return internet_checksum(header_bytes.first(ihl_bytes)) == 0;
+}
+
+std::vector<std::uint8_t> build_ipv4_packet(Ipv4Header hdr,
+                                            std::span<const std::uint8_t> payload) {
+  hdr.version = 4;
+  if (hdr.ihl < 5) hdr.ihl = 5;
+  const std::size_t hlen = hdr.header_bytes();
+  hdr.total_length = static_cast<std::uint16_t>(hlen + payload.size());
+
+  std::vector<std::uint8_t> out(hlen + payload.size(), 0);
+  out[0] = static_cast<std::uint8_t>((hdr.version << 4) | hdr.ihl);
+  out[1] = hdr.tos;
+  store_be16(out.data() + 2, hdr.total_length);
+  store_be16(out.data() + 4, hdr.identification);
+  store_be16(out.data() + 6,
+             static_cast<std::uint16_t>((std::uint16_t{hdr.flags} << 13) |
+                                        hdr.fragment_offset));
+  out[8] = hdr.ttl;
+  out[9] = hdr.protocol;
+  // checksum bytes 10..11 left zero for computation
+  store_be32(out.data() + 12, hdr.src.value());
+  store_be32(out.data() + 16, hdr.dst.value());
+  const std::uint16_t csum =
+      internet_checksum(std::span<const std::uint8_t>(out.data(), hlen));
+  store_be16(out.data() + 10, csum);
+  std::copy(payload.begin(), payload.end(), out.begin() + static_cast<std::ptrdiff_t>(hlen));
+  return out;
+}
+
+std::vector<std::uint8_t> build_tcp_segment(const TcpHeader& hdr, Ipv4Address src,
+                                            Ipv4Address dst,
+                                            std::span<const std::uint8_t> payload) {
+  const std::size_t hlen = std::size_t{hdr.data_offset < 5 ? std::uint8_t{5}
+                                                           : hdr.data_offset} * 4;
+  std::vector<std::uint8_t> out(hlen + payload.size(), 0);
+  store_be16(out.data(), hdr.src_port);
+  store_be16(out.data() + 2, hdr.dst_port);
+  store_be32(out.data() + 4, hdr.seq);
+  store_be32(out.data() + 8, hdr.ack);
+  out[12] = static_cast<std::uint8_t>((hlen / 4) << 4);
+  out[13] = hdr.flags;
+  store_be16(out.data() + 14, hdr.window);
+  // checksum bytes 16..17 left zero for computation
+  store_be16(out.data() + 18, hdr.urgent);
+  std::copy(payload.begin(), payload.end(), out.begin() + static_cast<std::ptrdiff_t>(hlen));
+
+  std::uint32_t acc = pseudo_header_sum(src, dst, 6 /*TCP*/,
+                                        static_cast<std::uint16_t>(out.size()));
+  acc = checksum_accumulate(out, acc);
+  store_be16(out.data() + 16, checksum_finish(acc));
+  return out;
+}
+
+std::vector<std::uint8_t> build_udp_datagram(UdpHeader hdr, Ipv4Address src,
+                                             Ipv4Address dst,
+                                             std::span<const std::uint8_t> payload) {
+  hdr.length = static_cast<std::uint16_t>(8 + payload.size());
+  std::vector<std::uint8_t> out(hdr.length, 0);
+  store_be16(out.data(), hdr.src_port);
+  store_be16(out.data() + 2, hdr.dst_port);
+  store_be16(out.data() + 4, hdr.length);
+  // checksum bytes 6..7 left zero for computation
+  std::copy(payload.begin(), payload.end(), out.begin() + 8);
+
+  std::uint32_t acc = pseudo_header_sum(src, dst, 17 /*UDP*/, hdr.length);
+  acc = checksum_accumulate(out, acc);
+  std::uint16_t csum = checksum_finish(acc);
+  if (csum == 0) csum = 0xFFFF;  // RFC 768: transmitted zero means "no checksum"
+  store_be16(out.data() + 6, csum);
+  return out;
+}
+
+}  // namespace netsample::net

@@ -1,0 +1,131 @@
+// IPv4 / TCP / UDP / ICMP header parsing and construction.
+//
+// The characterization layer (the paper's Table 1 objects) needs exactly the
+// fields NNStat/ARTS read from each sampled header: total length, protocol,
+// source/destination address, and transport ports. We parse from raw bytes
+// into plain structs ("header views") and can also serialize structs back to
+// wire format, with correct checksums, so synthetic traces round-trip through
+// the pcap layer and external tools.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "net/ipv4.h"
+#include "util/status.h"
+
+namespace netsample::net {
+
+/// IP protocol numbers we classify (the paper's protocol-over-IP object).
+enum class IpProto : std::uint8_t {
+  kIcmp = 1,
+  kIgmp = 2,
+  kTcp = 6,
+  kEgp = 8,
+  kUdp = 17,
+  kOther = 255,
+};
+
+[[nodiscard]] constexpr const char* ip_proto_name(std::uint8_t proto) {
+  switch (proto) {
+    case 1: return "ICMP";
+    case 2: return "IGMP";
+    case 6: return "TCP";
+    case 8: return "EGP";
+    case 17: return "UDP";
+    default: return "other";
+  }
+}
+
+/// Decoded IPv4 header. Field names follow RFC 791.
+struct Ipv4Header {
+  std::uint8_t version{4};
+  std::uint8_t ihl{5};          // header length in 32-bit words
+  std::uint8_t tos{0};
+  std::uint16_t total_length{0};  // header + payload, bytes
+  std::uint16_t identification{0};
+  std::uint8_t flags{0};        // 3 bits
+  std::uint16_t fragment_offset{0};  // in 8-byte units
+  std::uint8_t ttl{64};
+  std::uint8_t protocol{0};
+  std::uint16_t header_checksum{0};
+  Ipv4Address src;
+  Ipv4Address dst;
+
+  [[nodiscard]] std::size_t header_bytes() const { return std::size_t{ihl} * 4; }
+  [[nodiscard]] std::size_t payload_bytes() const {
+    return total_length >= header_bytes() ? total_length - header_bytes() : 0;
+  }
+};
+
+/// Decoded TCP header (options are preserved as raw bytes).
+struct TcpHeader {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint32_t seq{0};
+  std::uint32_t ack{0};
+  std::uint8_t data_offset{5};  // in 32-bit words
+  std::uint8_t flags{0};        // CWR..FIN bits
+  std::uint16_t window{0};
+  std::uint16_t checksum{0};
+  std::uint16_t urgent{0};
+
+  static constexpr std::uint8_t kFin = 0x01;
+  static constexpr std::uint8_t kSyn = 0x02;
+  static constexpr std::uint8_t kRst = 0x04;
+  static constexpr std::uint8_t kPsh = 0x08;
+  static constexpr std::uint8_t kAck = 0x10;
+
+  [[nodiscard]] std::size_t header_bytes() const {
+    return std::size_t{data_offset} * 4;
+  }
+};
+
+/// Decoded UDP header.
+struct UdpHeader {
+  std::uint16_t src_port{0};
+  std::uint16_t dst_port{0};
+  std::uint16_t length{0};  // header + payload
+  std::uint16_t checksum{0};
+};
+
+/// Decoded ICMP header (type/code/checksum + rest-of-header word).
+struct IcmpHeader {
+  std::uint8_t type{0};
+  std::uint8_t code{0};
+  std::uint16_t checksum{0};
+  std::uint32_t rest{0};
+};
+
+/// Parse an IPv4 header from `data` (which must start at the IP header).
+/// Fails on short buffers, non-IPv4 versions, and bad IHL.
+[[nodiscard]] StatusOr<Ipv4Header> parse_ipv4(std::span<const std::uint8_t> data);
+
+/// Parse transport headers from the bytes *after* the IP header.
+[[nodiscard]] StatusOr<TcpHeader> parse_tcp(std::span<const std::uint8_t> data);
+[[nodiscard]] StatusOr<UdpHeader> parse_udp(std::span<const std::uint8_t> data);
+[[nodiscard]] StatusOr<IcmpHeader> parse_icmp(std::span<const std::uint8_t> data);
+
+/// Verify the IPv4 header checksum over the raw header bytes.
+[[nodiscard]] bool ipv4_checksum_ok(std::span<const std::uint8_t> header_bytes);
+
+/// Serialize an IPv4 header (computing the checksum) followed by `payload`
+/// into a fresh wire-format packet. `hdr.total_length` is overwritten with
+/// the correct value.
+[[nodiscard]] std::vector<std::uint8_t> build_ipv4_packet(
+    Ipv4Header hdr, std::span<const std::uint8_t> payload);
+
+/// Serialize a TCP header (no options beyond data_offset padding) and payload
+/// into the TCP segment bytes, computing the checksum with the IPv4
+/// pseudo-header for `src`/`dst`.
+[[nodiscard]] std::vector<std::uint8_t> build_tcp_segment(
+    const TcpHeader& hdr, Ipv4Address src, Ipv4Address dst,
+    std::span<const std::uint8_t> payload);
+
+/// Serialize a UDP datagram, computing length and checksum.
+[[nodiscard]] std::vector<std::uint8_t> build_udp_datagram(
+    UdpHeader hdr, Ipv4Address src, Ipv4Address dst,
+    std::span<const std::uint8_t> payload);
+
+}  // namespace netsample::net

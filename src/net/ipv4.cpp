@@ -1,0 +1,32 @@
+#include "net/ipv4.h"
+
+#include <cstdio>
+
+namespace netsample::net {
+
+StatusOr<Ipv4Address> Ipv4Address::parse(const std::string& s) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char trailing = 0;
+  const int matched =
+      std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &trailing);
+  if (matched != 4 || a > 255 || b > 255 || c > 255 || d > 255) {
+    return Status(StatusCode::kInvalidArgument,
+                  "not a dotted-quad IPv4 address: '" + s + "'");
+  }
+  return Ipv4Address(static_cast<std::uint8_t>(a), static_cast<std::uint8_t>(b),
+                     static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(d));
+}
+
+std::string Ipv4Address::to_string() const {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%u.%u.%u.%u", octet(0), octet(1), octet(2),
+                octet(3));
+  return buf;
+}
+
+std::string NetworkNumber::to_string() const {
+  Ipv4Address as_addr(prefix_);
+  return as_addr.to_string() + "/" + std::to_string(prefix_len_);
+}
+
+}  // namespace netsample::net

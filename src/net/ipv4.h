@@ -1,0 +1,108 @@
+// IPv4 addresses and 1993-era classful network numbers.
+//
+// The NSFNET statistics objects (Table 1 of the paper) aggregate traffic by
+// *network number*, which in 1993 meant classful A/B/C prefixes: the NNStat
+// and ARTS "net matrix" objects keyed source/destination pairs on these.
+// We implement the classful rules exactly so the characterization layer can
+// reproduce that keying.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace netsample::net {
+
+/// An IPv4 address held in host byte order for convenient arithmetic.
+class Ipv4Address {
+ public:
+  constexpr Ipv4Address() = default;
+  constexpr explicit Ipv4Address(std::uint32_t host_order) : addr_(host_order) {}
+  constexpr Ipv4Address(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d)
+      : addr_((std::uint32_t{a} << 24) | (std::uint32_t{b} << 16) |
+              (std::uint32_t{c} << 8) | std::uint32_t{d}) {}
+
+  /// Parse dotted-quad notation ("132.239.1.5").
+  static StatusOr<Ipv4Address> parse(const std::string& s);
+
+  [[nodiscard]] constexpr std::uint32_t value() const { return addr_; }
+  [[nodiscard]] constexpr std::uint8_t octet(int i) const {
+    return static_cast<std::uint8_t>(addr_ >> (8 * (3 - i)));
+  }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(Ipv4Address, Ipv4Address) = default;
+
+ private:
+  std::uint32_t addr_{0};
+};
+
+/// Classful address classes as defined pre-CIDR (RFC 791 era).
+enum class AddressClass : std::uint8_t { kA, kB, kC, kD /*multicast*/, kE /*reserved*/ };
+
+[[nodiscard]] constexpr AddressClass address_class(Ipv4Address a) {
+  const std::uint32_t v = a.value();
+  if ((v & 0x80000000u) == 0) return AddressClass::kA;
+  if ((v & 0xC0000000u) == 0x80000000u) return AddressClass::kB;
+  if ((v & 0xE0000000u) == 0xC0000000u) return AddressClass::kC;
+  if ((v & 0xF0000000u) == 0xE0000000u) return AddressClass::kD;
+  return AddressClass::kE;
+}
+
+/// A classful network number: the address masked to its class prefix.
+/// This is the aggregation key of the NSFNET source/destination matrix.
+class NetworkNumber {
+ public:
+  constexpr NetworkNumber() = default;
+
+  /// Derive the network number of a host address under classful rules.
+  static constexpr NetworkNumber of(Ipv4Address a) {
+    switch (address_class(a)) {
+      case AddressClass::kA:
+        return NetworkNumber(a.value() & 0xFF000000u, 8);
+      case AddressClass::kB:
+        return NetworkNumber(a.value() & 0xFFFF0000u, 16);
+      case AddressClass::kC:
+        return NetworkNumber(a.value() & 0xFFFFFF00u, 24);
+      case AddressClass::kD:
+      case AddressClass::kE:
+        // Multicast/reserved space has no network number; key on the
+        // full address so such packets never alias a real network.
+        return NetworkNumber(a.value(), 32);
+    }
+    return NetworkNumber(a.value(), 32);
+  }
+
+  [[nodiscard]] constexpr std::uint32_t prefix() const { return prefix_; }
+  [[nodiscard]] constexpr int prefix_len() const { return prefix_len_; }
+
+  [[nodiscard]] std::string to_string() const;
+
+  friend constexpr auto operator<=>(NetworkNumber, NetworkNumber) = default;
+
+ private:
+  constexpr NetworkNumber(std::uint32_t prefix, int len)
+      : prefix_(prefix), prefix_len_(len) {}
+
+  std::uint32_t prefix_{0};
+  int prefix_len_{0};
+};
+
+}  // namespace netsample::net
+
+template <>
+struct std::hash<netsample::net::Ipv4Address> {
+  std::size_t operator()(const netsample::net::Ipv4Address& a) const noexcept {
+    return std::hash<std::uint32_t>{}(a.value());
+  }
+};
+
+template <>
+struct std::hash<netsample::net::NetworkNumber> {
+  std::size_t operator()(const netsample::net::NetworkNumber& n) const noexcept {
+    return std::hash<std::uint64_t>{}(
+        (std::uint64_t{n.prefix()} << 8) | static_cast<std::uint64_t>(n.prefix_len()));
+  }
+};

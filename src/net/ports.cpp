@@ -1,0 +1,63 @@
+#include "net/ports.h"
+
+#include <algorithm>
+#include <array>
+
+namespace netsample::net {
+
+namespace {
+
+// Period-accurate well-known services (1993 /etc/services subset that the
+// NSFNET reports broke out). Kept sorted by port for binary search.
+constexpr std::array<WellKnownPort, 22> kPorts = {{
+    {20, "ftp-data"},
+    {21, "ftp"},
+    {23, "telnet"},
+    {25, "smtp"},
+    {37, "time"},
+    {42, "nameserver"},
+    {43, "whois"},
+    {53, "domain"},
+    {69, "tftp"},
+    {70, "gopher"},
+    {79, "finger"},
+    {80, "www"},
+    {109, "pop2"},
+    {110, "pop3"},
+    {111, "sunrpc"},
+    {119, "nntp"},
+    {123, "ntp"},
+    {161, "snmp"},
+    {179, "bgp"},
+    {512, "exec"},
+    {513, "login"},
+    {514, "shell"},
+}};
+
+}  // namespace
+
+std::span<const WellKnownPort> well_known_ports() { return kPorts; }
+
+std::optional<std::string_view> well_known_port_name(std::uint16_t port) {
+  const auto it = std::lower_bound(
+      kPorts.begin(), kPorts.end(), port,
+      [](const WellKnownPort& w, std::uint16_t p) { return w.port < p; });
+  if (it != kPorts.end() && it->port == port) return it->name;
+  return std::nullopt;
+}
+
+bool is_well_known_port(std::uint16_t port) {
+  return well_known_port_name(port).has_value();
+}
+
+std::optional<std::uint16_t> service_port(std::uint16_t src_port,
+                                          std::uint16_t dst_port) {
+  const bool src_wk = is_well_known_port(src_port);
+  const bool dst_wk = is_well_known_port(dst_port);
+  if (src_wk && dst_wk) return std::min(src_port, dst_port);
+  if (src_wk) return src_port;
+  if (dst_wk) return dst_port;
+  return std::nullopt;
+}
+
+}  // namespace netsample::net

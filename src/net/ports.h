@@ -1,0 +1,36 @@
+// Well-known TCP/UDP port registry (the 1993 subset NSFNET reported on).
+//
+// The T1/T3 "TCP/UDP port distribution, well-known subset" object (Table 1)
+// counted traffic against a fixed list of service ports and lumped the rest
+// into an "other" bucket. We reproduce that list from the period's
+// /etc/services plus the NSFNET reports.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace netsample::net {
+
+struct WellKnownPort {
+  std::uint16_t port;
+  std::string_view name;
+};
+
+/// The registry, in ascending port order.
+[[nodiscard]] std::span<const WellKnownPort> well_known_ports();
+
+/// Look up a port's service name; nullopt if it is not in the subset.
+[[nodiscard]] std::optional<std::string_view> well_known_port_name(std::uint16_t port);
+
+/// True if the port is in the well-known subset.
+[[nodiscard]] bool is_well_known_port(std::uint16_t port);
+
+/// The port an NNStat-style object keys a packet on: the *well-known* end if
+/// exactly one end is well-known, the lower port if both are, nullopt if
+/// neither (those packets land in the "other" bucket).
+[[nodiscard]] std::optional<std::uint16_t> service_port(std::uint16_t src_port,
+                                                        std::uint16_t dst_port);
+
+}  // namespace netsample::net

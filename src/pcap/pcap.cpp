@@ -1,0 +1,269 @@
+#include "pcap/pcap.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+#include "net/headers.h"
+#include "util/byteorder.h"
+
+namespace netsample::pcap {
+
+namespace {
+
+constexpr std::size_t kGlobalHeaderSize = 24;
+constexpr std::size_t kRecordHeaderSize = 16;
+constexpr std::size_t kEthernetHeaderSize = 14;
+constexpr std::uint16_t kEtherTypeIpv4 = 0x0800;
+
+std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
+  return swapped ? load_be32(p) : load_le32(p);
+}
+
+std::uint16_t read_u16(const std::uint8_t* p, bool swapped) {
+  return swapped ? load_be16(p) : load_le16(p);
+}
+
+}  // namespace
+
+StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kGlobalHeaderSize) {
+    return Status(StatusCode::kDataLoss,
+                  "pcap: file shorter than global header (" +
+                      std::to_string(bytes.size()) + " bytes)");
+  }
+  // The magic is stored in the writer's host order; reading it little-endian
+  // and seeing the swapped constant means the writer was big-endian.
+  const std::uint32_t magic_le = load_le32(bytes.data());
+  bool swapped;
+  if (magic_le == kMagicNative) {
+    swapped = false;
+  } else if (magic_le == kMagicSwapped) {
+    swapped = true;
+  } else {
+    return Status(StatusCode::kInvalidArgument,
+                  "pcap: bad magic (not a classic pcap file)");
+  }
+
+  CaptureFile file;
+  file.byte_swapped = swapped;
+  const std::uint16_t major = read_u16(bytes.data() + 4, swapped);
+  if (major != kVersionMajor) {
+    return Status(StatusCode::kUnimplemented,
+                  "pcap: unsupported version " + std::to_string(major));
+  }
+  file.snaplen = read_u32(bytes.data() + 16, swapped);
+  file.link_type = read_u32(bytes.data() + 20, swapped);
+
+  std::size_t off = kGlobalHeaderSize;
+  while (off + kRecordHeaderSize <= bytes.size()) {
+    const std::uint32_t ts_sec = read_u32(bytes.data() + off, swapped);
+    const std::uint32_t ts_usec = read_u32(bytes.data() + off + 4, swapped);
+    const std::uint32_t incl_len = read_u32(bytes.data() + off + 8, swapped);
+    const std::uint32_t orig_len = read_u32(bytes.data() + off + 12, swapped);
+    off += kRecordHeaderSize;
+    if (incl_len > file.snaplen + 4096 || off + incl_len > bytes.size()) {
+      // Torn trailing record: keep the complete prefix.
+      break;
+    }
+    RawPacket rec;
+    rec.timestamp = MicroTime::from_sec_usec(ts_sec, ts_usec);
+    rec.orig_len = orig_len;
+    rec.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
+                    bytes.begin() + static_cast<std::ptrdiff_t>(off + incl_len));
+    file.records.push_back(std::move(rec));
+    off += incl_len;
+  }
+  return file;
+}
+
+StatusOr<CaptureFile> read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "pcap: cannot open '" + path + "'");
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return parse(bytes);
+}
+
+std::vector<std::uint8_t> serialize(const CaptureFile& file) {
+  std::vector<std::uint8_t> out;
+  std::size_t total = kGlobalHeaderSize;
+  for (const auto& r : file.records) total += kRecordHeaderSize + r.data.size();
+  out.reserve(total);
+
+  auto push_u16 = [&](std::uint16_t v) {
+    std::uint8_t buf[2];
+    store_le16(buf, v);
+    out.insert(out.end(), buf, buf + 2);
+  };
+  auto push_u32 = [&](std::uint32_t v) {
+    std::uint8_t buf[4];
+    store_le32(buf, v);
+    out.insert(out.end(), buf, buf + 4);
+  };
+
+  push_u32(kMagicNative);
+  push_u16(kVersionMajor);
+  push_u16(kVersionMinor);
+  push_u32(0);  // thiszone
+  push_u32(0);  // sigfigs
+  push_u32(file.snaplen);
+  push_u32(file.link_type);
+
+  for (const auto& r : file.records) {
+    push_u32(static_cast<std::uint32_t>(r.timestamp.seconds()));
+    push_u32(static_cast<std::uint32_t>(r.timestamp.subsec_usec()));
+    push_u32(static_cast<std::uint32_t>(r.data.size()));
+    push_u32(r.orig_len);
+    out.insert(out.end(), r.data.begin(), r.data.end());
+  }
+  return out;
+}
+
+Status write_file(const std::string& path, const CaptureFile& file) {
+  std::ofstream outf(path, std::ios::binary | std::ios::trunc);
+  if (!outf) {
+    return Status(StatusCode::kNotFound, "pcap: cannot create '" + path + "'");
+  }
+  const auto bytes = serialize(file);
+  outf.write(reinterpret_cast<const char*>(bytes.data()),
+             static_cast<std::streamsize>(bytes.size()));
+  if (!outf) {
+    return Status(StatusCode::kDataLoss, "pcap: short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+trace::Trace decode(const CaptureFile& file, DecodeStats* stats) {
+  DecodeStats local;
+  std::vector<trace::PacketRecord> records;
+  records.reserve(file.records.size());
+
+  for (const auto& raw : file.records) {
+    std::span<const std::uint8_t> ip_bytes(raw.data);
+    if (file.link_type == kLinkTypeEthernet) {
+      if (ip_bytes.size() < kEthernetHeaderSize) {
+        ++local.malformed;
+        continue;
+      }
+      const std::uint16_t ether_type = load_be16(ip_bytes.data() + 12);
+      if (ether_type != kEtherTypeIpv4) {
+        ++local.non_ipv4;
+        continue;
+      }
+      ip_bytes = ip_bytes.subspan(kEthernetHeaderSize);
+    }
+
+    auto ip = net::parse_ipv4(ip_bytes);
+    if (!ip) {
+      if (ip.status().code() == StatusCode::kInvalidArgument) {
+        ++local.non_ipv4;
+      } else {
+        ++local.malformed;
+      }
+      continue;
+    }
+
+    trace::PacketRecord rec;
+    rec.timestamp = raw.timestamp;
+    rec.size = ip->total_length;
+    rec.protocol = ip->protocol;
+    rec.src = ip->src;
+    rec.dst = ip->dst;
+
+    const auto payload = ip_bytes.subspan(
+        std::min(ip->header_bytes(), ip_bytes.size()));
+    // Only unfragmented first fragments carry a transport header.
+    if (ip->fragment_offset == 0) {
+      if (ip->protocol == 6) {
+        if (auto tcp = net::parse_tcp(payload)) {
+          rec.src_port = tcp->src_port;
+          rec.dst_port = tcp->dst_port;
+          rec.tcp_flags = tcp->flags;
+        }
+      } else if (ip->protocol == 17) {
+        if (auto udp = net::parse_udp(payload)) {
+          rec.src_port = udp->src_port;
+          rec.dst_port = udp->dst_port;
+        }
+      }
+    }
+    records.push_back(rec);
+    ++local.decoded;
+  }
+
+  if (!std::is_sorted(records.begin(), records.end(),
+                      [](const trace::PacketRecord& a, const trace::PacketRecord& b) {
+                        return a.timestamp < b.timestamp;
+                      })) {
+    std::stable_sort(records.begin(), records.end(),
+                     [](const trace::PacketRecord& a, const trace::PacketRecord& b) {
+                       return a.timestamp < b.timestamp;
+                     });
+    ++local.out_of_order;
+  }
+  if (stats != nullptr) *stats = local;
+  return trace::Trace(std::move(records));
+}
+
+CaptureFile encode(const trace::Trace& t, std::uint32_t snaplen) {
+  CaptureFile file;
+  file.link_type = kLinkTypeRaw;
+  file.snaplen = snaplen;
+  file.records.reserve(t.size());
+
+  for (const auto& rec : t.packets()) {
+    net::Ipv4Header ip;
+    ip.protocol = rec.protocol;
+    ip.src = rec.src;
+    ip.dst = rec.dst;
+    ip.ttl = 30;
+
+    // Build a transport header matching the record, then pad the payload so
+    // the IP total length equals rec.size.
+    std::vector<std::uint8_t> transport;
+    const std::size_t ip_hlen = 20;
+    const std::size_t want_payload = rec.size > ip_hlen ? rec.size - ip_hlen : 0;
+    if (rec.protocol == 6 && want_payload >= 20) {
+      net::TcpHeader tcp;
+      tcp.src_port = rec.src_port;
+      tcp.dst_port = rec.dst_port;
+      tcp.flags = rec.tcp_flags;
+      tcp.window = 4096;
+      std::vector<std::uint8_t> body(want_payload - 20, 0);
+      transport = net::build_tcp_segment(tcp, rec.src, rec.dst, body);
+    } else if (rec.protocol == 17 && want_payload >= 8) {
+      net::UdpHeader udp;
+      udp.src_port = rec.src_port;
+      udp.dst_port = rec.dst_port;
+      std::vector<std::uint8_t> body(want_payload - 8, 0);
+      transport = net::build_udp_datagram(udp, rec.src, rec.dst, body);
+    } else {
+      transport.assign(want_payload, 0);
+    }
+
+    RawPacket raw;
+    raw.timestamp = rec.timestamp;
+    auto wire = net::build_ipv4_packet(ip, transport);
+    raw.orig_len = static_cast<std::uint32_t>(wire.size());
+    if (wire.size() > snaplen) wire.resize(snaplen);
+    raw.data = std::move(wire);
+    file.records.push_back(std::move(raw));
+  }
+  return file;
+}
+
+StatusOr<trace::Trace> read_trace(const std::string& path, DecodeStats* stats) {
+  auto file = read_file(path);
+  if (!file) return file.status();
+  return decode(*file, stats);
+}
+
+Status write_trace(const std::string& path, const trace::Trace& t,
+                   std::uint32_t snaplen) {
+  return write_file(path, encode(t, snaplen));
+}
+
+}  // namespace netsample::pcap

@@ -1,0 +1,122 @@
+#include "pcap/stream.h"
+
+#include <algorithm>
+#include <array>
+
+#include "net/headers.h"
+#include "util/byteorder.h"
+
+namespace netsample::pcap {
+
+namespace {
+
+std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
+  return swapped ? load_be32(p) : load_le32(p);
+}
+std::uint16_t read_u16(const std::uint8_t* p, bool swapped) {
+  return swapped ? load_be16(p) : load_le16(p);
+}
+
+}  // namespace
+
+StreamReader::StreamReader(const std::string& path)
+    : in_(path, std::ios::binary) {
+  if (!in_) {
+    status_ = Status(StatusCode::kNotFound, "pcap: cannot open '" + path + "'");
+    return;
+  }
+  std::array<std::uint8_t, 24> header{};
+  if (!in_.read(reinterpret_cast<char*>(header.data()), header.size())) {
+    status_ = Status(StatusCode::kDataLoss, "pcap: short global header");
+    return;
+  }
+  const std::uint32_t magic_le = load_le32(header.data());
+  if (magic_le == kMagicNative) {
+    swapped_ = false;
+  } else if (magic_le == kMagicSwapped) {
+    swapped_ = true;
+  } else {
+    status_ = Status(StatusCode::kInvalidArgument, "pcap: bad magic");
+    return;
+  }
+  const std::uint16_t major = read_u16(header.data() + 4, swapped_);
+  if (major != kVersionMajor) {
+    status_ = Status(StatusCode::kUnimplemented,
+                     "pcap: unsupported version " + std::to_string(major));
+    return;
+  }
+  snaplen_ = read_u32(header.data() + 16, swapped_);
+  link_type_ = read_u32(header.data() + 20, swapped_);
+}
+
+std::optional<RawPacket> StreamReader::next() {
+  if (!ok()) return std::nullopt;
+  std::array<std::uint8_t, 16> rec{};
+  if (!in_.read(reinterpret_cast<char*>(rec.data()), rec.size())) {
+    return std::nullopt;  // clean EOF or torn header: stop
+  }
+  const std::uint32_t ts_sec = read_u32(rec.data(), swapped_);
+  const std::uint32_t ts_usec = read_u32(rec.data() + 4, swapped_);
+  const std::uint32_t incl_len = read_u32(rec.data() + 8, swapped_);
+  const std::uint32_t orig_len = read_u32(rec.data() + 12, swapped_);
+  if (incl_len > snaplen_ + 4096) {
+    return std::nullopt;  // implausible length: treat as torn
+  }
+  RawPacket out;
+  out.timestamp = MicroTime::from_sec_usec(ts_sec, ts_usec);
+  out.orig_len = orig_len;
+  out.data.resize(incl_len);
+  if (!in_.read(reinterpret_cast<char*>(out.data.data()), incl_len)) {
+    return std::nullopt;  // torn body
+  }
+  ++records_read_;
+  return out;
+}
+
+StreamWriter::StreamWriter(const std::string& path, std::uint32_t link_type,
+                           std::uint32_t snaplen)
+    : out_(path, std::ios::binary | std::ios::trunc), snaplen_(snaplen) {
+  if (!out_) {
+    status_ = Status(StatusCode::kNotFound, "pcap: cannot create '" + path + "'");
+    return;
+  }
+  CaptureFile empty;
+  empty.link_type = link_type;
+  empty.snaplen = snaplen;
+  const auto header = serialize(empty);  // header of an empty capture
+  out_.write(reinterpret_cast<const char*>(header.data()),
+             static_cast<std::streamsize>(header.size()));
+  if (!out_) {
+    status_ = Status(StatusCode::kDataLoss, "pcap: header write failed");
+  }
+}
+
+bool StreamWriter::write(const RawPacket& record) {
+  if (!ok()) return false;
+  std::array<std::uint8_t, 16> hdr{};
+  store_le32(hdr.data(), static_cast<std::uint32_t>(record.timestamp.seconds()));
+  store_le32(hdr.data() + 4,
+             static_cast<std::uint32_t>(record.timestamp.subsec_usec()));
+  const std::uint32_t incl =
+      std::min<std::uint32_t>(static_cast<std::uint32_t>(record.data.size()),
+                              snaplen_);
+  store_le32(hdr.data() + 8, incl);
+  store_le32(hdr.data() + 12, record.orig_len);
+  out_.write(reinterpret_cast<const char*>(hdr.data()), hdr.size());
+  out_.write(reinterpret_cast<const char*>(record.data.data()), incl);
+  if (!out_) {
+    status_ = Status(StatusCode::kDataLoss, "pcap: record write failed");
+    return false;
+  }
+  ++records_written_;
+  return true;
+}
+
+bool StreamWriter::write_packet(const trace::PacketRecord& packet) {
+  // Reuse the in-memory encoder for a single packet.
+  trace::Trace one(std::vector<trace::PacketRecord>{packet});
+  const auto file = encode(one, snaplen_);
+  return write(file.records.front());
+}
+
+}  // namespace netsample::pcap

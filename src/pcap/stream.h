@@ -1,0 +1,77 @@
+// Streaming pcap I/O: record-at-a-time reading and writing.
+//
+// The in-memory API (pcap.h) is convenient for experiments; operational
+// tools cannot always afford to hold a multi-gigabyte capture. StreamReader
+// yields one RawPacket at a time from disk with O(record) memory, and
+// StreamWriter appends records as they are produced (e.g. by a sampler in
+// a filtering pipeline). Both share the format logic via pcap.h semantics
+// and are covered by equivalence tests against the in-memory path.
+#pragma once
+
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "pcap/pcap.h"
+
+namespace netsample::pcap {
+
+class StreamReader {
+ public:
+  /// Opens and validates the global header; check ok() before reading.
+  explicit StreamReader(const std::string& path);
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.is_ok(); }
+
+  [[nodiscard]] std::uint32_t link_type() const { return link_type_; }
+  [[nodiscard]] std::uint32_t snaplen() const { return snaplen_; }
+  [[nodiscard]] bool byte_swapped() const { return swapped_; }
+
+  /// Next record, or nullopt at end of file / on a torn trailing record
+  /// (mirroring parse()'s prefix semantics). Never throws.
+  [[nodiscard]] std::optional<RawPacket> next();
+
+  /// Records returned so far.
+  [[nodiscard]] std::uint64_t records_read() const { return records_read_; }
+
+ private:
+  std::ifstream in_;
+  Status status_;
+  std::uint32_t link_type_{kLinkTypeRaw};
+  std::uint32_t snaplen_{65535};
+  bool swapped_{false};
+  std::uint64_t records_read_{0};
+};
+
+class StreamWriter {
+ public:
+  /// Creates/truncates the file and writes the global header immediately.
+  StreamWriter(const std::string& path, std::uint32_t link_type = kLinkTypeRaw,
+               std::uint32_t snaplen = 65535);
+
+  [[nodiscard]] const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.is_ok(); }
+
+  /// Append one record (data longer than snaplen is truncated; orig_len is
+  /// preserved). Returns false once the stream has failed.
+  bool write(const RawPacket& record);
+
+  /// Convenience: encode and append a PacketRecord as a raw-IP record.
+  bool write_packet(const trace::PacketRecord& packet);
+
+  [[nodiscard]] std::uint64_t records_written() const {
+    return records_written_;
+  }
+
+  /// Flush buffered output (also happens on destruction).
+  void flush() { out_.flush(); }
+
+ private:
+  std::ofstream out_;
+  Status status_;
+  std::uint32_t snaplen_;
+  std::uint64_t records_written_{0};
+};
+
+}  // namespace netsample::pcap

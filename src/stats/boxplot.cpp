@@ -1,0 +1,79 @@
+#include "stats/boxplot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "stats/descriptive.h"
+
+namespace netsample::stats {
+
+BoxplotSummary boxplot(std::span<const double> data) {
+  if (data.empty()) throw std::invalid_argument("boxplot of empty data");
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  BoxplotSummary b;
+  b.min = sorted.front();
+  b.max = sorted.back();
+  b.q1 = quantile_sorted(sorted, 0.25);
+  b.median = quantile_sorted(sorted, 0.50);
+  b.q3 = quantile_sorted(sorted, 0.75);
+  double sum = 0.0;
+  for (double x : sorted) sum += x;
+  b.mean = sum / static_cast<double>(sorted.size());
+
+  const double iqr = b.q3 - b.q1;
+  const double lo_fence = b.q1 - 1.5 * iqr;
+  const double hi_fence = b.q3 + 1.5 * iqr;
+
+  // Whiskers extend to the most extreme data point within the fences.
+  b.whisker_low = b.q1;
+  b.whisker_high = b.q3;
+  for (double x : sorted) {
+    if (x >= lo_fence) {
+      b.whisker_low = x;
+      break;
+    }
+  }
+  for (auto it = sorted.rbegin(); it != sorted.rend(); ++it) {
+    if (*it <= hi_fence) {
+      b.whisker_high = *it;
+      break;
+    }
+  }
+  for (double x : sorted) {
+    if (x < lo_fence || x > hi_fence) b.outliers.push_back(x);
+  }
+  return b;
+}
+
+std::string boxplot_ascii(const BoxplotSummary& b, double axis_min,
+                          double axis_max, std::size_t width) {
+  if (width < 10) width = 10;
+  std::string line(width, ' ');
+  const double span = axis_max - axis_min;
+  auto col = [&](double v) -> std::size_t {
+    if (span <= 0.0) return 0;
+    double t = (v - axis_min) / span;
+    t = std::clamp(t, 0.0, 1.0);
+    return static_cast<std::size_t>(std::lround(t * static_cast<double>(width - 1)));
+  };
+  const std::size_t wl = col(b.whisker_low);
+  const std::size_t q1 = col(b.q1);
+  const std::size_t md = col(b.median);
+  const std::size_t q3 = col(b.q3);
+  const std::size_t wh = col(b.whisker_high);
+  for (std::size_t i = wl; i <= wh && i < width; ++i) line[i] = '-';
+  for (std::size_t i = q1; i <= q3 && i < width; ++i) line[i] = '=';
+  line[wl] = '|';
+  line[wh] = '|';
+  line[q1] = '[';
+  line[q3] = ']';
+  line[md] = 'M';
+  for (double o : b.outliers) line[col(o)] = 'o';
+  return line;
+}
+
+}  // namespace netsample::stats

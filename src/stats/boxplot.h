@@ -1,0 +1,35 @@
+// Boxplot summaries in the convention of the paper's Figure 6.
+//
+// Footnote 4 of the paper: "the dotted lines (or 'whiskers') ... extend to
+// the extreme values of data or 1.5 times the interquartile difference from
+// the center, whichever is less." We reproduce exactly that rule and also
+// report the points falling outside the whiskers (outliers).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netsample::stats {
+
+struct BoxplotSummary {
+  double min{0};
+  double whisker_low{0};
+  double q1{0};
+  double median{0};
+  double q3{0};
+  double whisker_high{0};
+  double max{0};
+  double mean{0};
+  std::vector<double> outliers;  // points beyond the whiskers
+};
+
+/// Compute a boxplot summary; throws std::invalid_argument on empty input.
+[[nodiscard]] BoxplotSummary boxplot(std::span<const double> data);
+
+/// Render the box as a one-line ASCII glyph over [axis_min, axis_max],
+/// e.g. "  |----[==M==]--------|   " — used by the fig06 bench output.
+[[nodiscard]] std::string boxplot_ascii(const BoxplotSummary& b, double axis_min,
+                                        double axis_max, std::size_t width);
+
+}  // namespace netsample::stats

@@ -1,0 +1,140 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace netsample::stats {
+
+void MomentAccumulator::add(double x) {
+  // Pebay's single-pass update of central moments.
+  const double n1 = static_cast<double>(n_);
+  ++n_;
+  const double n = static_cast<double>(n_);
+  const double delta = x - m1_;
+  const double delta_n = delta / n;
+  const double delta_n2 = delta_n * delta_n;
+  const double term1 = delta * delta_n * n1;
+  m1_ += delta_n;
+  m4_ += term1 * delta_n2 * (n * n - 3 * n + 3) + 6 * delta_n2 * m2_ -
+         4 * delta_n * m3_;
+  m3_ += term1 * delta_n * (n - 2) - 3 * delta_n * m2_;
+  m2_ += term1;
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+double MomentAccumulator::population_variance() const {
+  if (n_ == 0) return 0.0;
+  return m2_ / static_cast<double>(n_);
+}
+
+double MomentAccumulator::sample_variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double MomentAccumulator::population_stddev() const {
+  return std::sqrt(population_variance());
+}
+
+double MomentAccumulator::sample_stddev() const {
+  return std::sqrt(sample_variance());
+}
+
+double MomentAccumulator::skewness() const {
+  if (n_ == 0 || m2_ == 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return std::sqrt(n) * m3_ / std::pow(m2_, 1.5);
+}
+
+double MomentAccumulator::kurtosis() const {
+  if (n_ == 0 || m2_ == 0.0) return 0.0;
+  const double n = static_cast<double>(n_);
+  return n * m4_ / (m2_ * m2_);
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.m1_ - m1_;
+  const double delta2 = delta * delta;
+  const double delta3 = delta2 * delta;
+  const double delta4 = delta2 * delta2;
+
+  const double m1 = m1_ + delta * nb / n;
+  const double m2 = m2_ + other.m2_ + delta2 * na * nb / n;
+  const double m3 = m3_ + other.m3_ + delta3 * na * nb * (na - nb) / (n * n) +
+                    3.0 * delta * (na * other.m2_ - nb * m2_) / n;
+  const double m4 =
+      m4_ + other.m4_ +
+      delta4 * na * nb * (na * na - na * nb + nb * nb) / (n * n * n) +
+      6.0 * delta2 * (na * na * other.m2_ + nb * nb * m2_) / (n * n) +
+      4.0 * delta * (na * other.m3_ - nb * m3_) / n;
+
+  n_ += other.n_;
+  m1_ = m1;
+  m2_ = m2;
+  m3_ = m3;
+  m4_ = m4;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+double quantile_sorted(std::span<const double> sorted, double q) {
+  if (sorted.empty()) {
+    throw std::invalid_argument("quantile of empty data");
+  }
+  if (q <= 0.0) return sorted.front();
+  if (q >= 1.0) return sorted.back();
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] + frac * (sorted[lo + 1] - sorted[lo]);
+}
+
+std::vector<double> quantiles(std::span<const double> data,
+                              std::span<const double> qs) {
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<double> out;
+  out.reserve(qs.size());
+  for (double q : qs) out.push_back(quantile_sorted(sorted, q));
+  return out;
+}
+
+Summary summarize(std::span<const double> data) {
+  Summary s;
+  if (data.empty()) return s;
+  MomentAccumulator acc;
+  for (double x : data) acc.add(x);
+  std::vector<double> sorted(data.begin(), data.end());
+  std::sort(sorted.begin(), sorted.end());
+
+  s.n = acc.count();
+  s.min = acc.min();
+  s.max = acc.max();
+  s.p5 = quantile_sorted(sorted, 0.05);
+  s.q1 = quantile_sorted(sorted, 0.25);
+  s.median = quantile_sorted(sorted, 0.50);
+  s.q3 = quantile_sorted(sorted, 0.75);
+  s.p95 = quantile_sorted(sorted, 0.95);
+  s.mean = acc.mean();
+  s.stddev = acc.population_stddev();
+  s.skewness = acc.skewness();
+  s.kurtosis = acc.kurtosis();
+  return s;
+}
+
+}  // namespace netsample::stats

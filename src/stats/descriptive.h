@@ -1,0 +1,66 @@
+// Descriptive statistics: streaming moments and quantiles.
+//
+// The paper reports population summaries as min / quartiles / 5%,95% /
+// max / mean / standard deviation / skewness / kurtosis (Tables 2 and 3).
+// Moments are accumulated with Welford-style online updates (numerically
+// stable for the million-packet populations); quantiles use the standard
+// linear-interpolation estimator (R type 7) over sorted data.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netsample::stats {
+
+/// Online accumulator for the first four central moments.
+class MomentAccumulator {
+ public:
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? m1_ : 0.0; }
+  /// Population variance (divide by n): we treat the trace as the complete
+  /// parent population per the paper's framing.
+  [[nodiscard]] double population_variance() const;
+  /// Sample variance (divide by n-1), for sample-based estimates.
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double population_stddev() const;
+  [[nodiscard]] double sample_stddev() const;
+  /// Skewness g1 = m3 / m2^{3/2} (population form).
+  [[nodiscard]] double skewness() const;
+  /// Kurtosis m4 / m2^2 (NOT excess; the paper's Table 2 reports ~3 for
+  /// near-normal distributions, so it uses the non-excess convention).
+  [[nodiscard]] double kurtosis() const;
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
+  [[nodiscard]] double sum() const { return m1_ * static_cast<double>(n_); }
+
+  /// Merge another accumulator's observations into this one.
+  void merge(const MomentAccumulator& other);
+
+ private:
+  std::uint64_t n_{0};
+  double m1_{0}, m2_{0}, m3_{0}, m4_{0};
+  double min_{0}, max_{0};
+};
+
+/// Quantile of *sorted* data by linear interpolation (R type 7).
+/// q in [0,1]; q=0.5 is the median. Throws std::invalid_argument on empty.
+[[nodiscard]] double quantile_sorted(std::span<const double> sorted, double q);
+
+/// Convenience: copies, sorts, and evaluates several quantiles at once.
+[[nodiscard]] std::vector<double> quantiles(std::span<const double> data,
+                                            std::span<const double> qs);
+
+/// Full summary in the layout of the paper's Table 2 / Table 3 rows.
+struct Summary {
+  std::uint64_t n{0};
+  double min{0}, p5{0}, q1{0}, median{0}, q3{0}, p95{0}, max{0};
+  double mean{0}, stddev{0}, skewness{0}, kurtosis{0};
+};
+
+/// Compute a Summary over the data (population stddev convention).
+[[nodiscard]] Summary summarize(std::span<const double> data);
+
+}  // namespace netsample::stats

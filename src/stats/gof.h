@@ -1,0 +1,72 @@
+// Goodness-of-fit tests: Pearson chi-squared, Kolmogorov-Smirnov, and
+// Anderson-Darling.
+//
+// The paper uses the chi-squared *test* to check whether a sample is
+// statistically compatible with the parent trace (Section 5.2, Section 6)
+// and cites KS and Anderson-Darling as alternatives that have "proven
+// difficult to apply" to wide-area traffic; we implement all three so users
+// can make the comparison themselves.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <span>
+
+namespace netsample::stats {
+
+/// Result of a Pearson chi-squared test of observed vs expected bin counts.
+struct ChiSquaredResult {
+  double statistic{0};        // sum (O-E)^2 / E
+  double degrees_of_freedom{0};
+  double significance{1.0};   // P(Chi2_dof >= statistic), the p-value
+  std::size_t bins_used{0};   // bins with nonzero expected count
+  bool expected_counts_adequate{true};  // every used bin had E >= 5
+};
+
+/// Pearson test of `observed` against `expected` (same length). Bins with
+/// zero expected count are skipped. `fitted_parameters` is subtracted from
+/// the degrees of freedom along with the customary 1.
+/// Throws std::invalid_argument on length mismatch or fewer than 2 usable bins.
+[[nodiscard]] ChiSquaredResult chi_squared_test(std::span<const double> observed,
+                                                std::span<const double> expected,
+                                                int fitted_parameters = 0);
+
+/// Chi-squared test of homogeneity: are two sets of bin counts draws from
+/// the same underlying distribution? Unlike chi_squared_test, neither side
+/// is treated as ground truth -- expected counts come from the pooled
+/// proportions, and dof = (bins - 1) * (samples - 1) = bins - 1 here.
+/// Used to compare two *samples* (e.g. two sampling disciplines' outputs)
+/// without access to the parent population.
+/// Throws std::invalid_argument on mismatched lengths, empty inputs, or
+/// fewer than 2 usable bins.
+[[nodiscard]] ChiSquaredResult chi_squared_homogeneity(
+    std::span<const double> counts_a, std::span<const double> counts_b);
+
+/// Result of a Kolmogorov-Smirnov test.
+struct KsResult {
+  double statistic{0};   // sup |F1 - F2|
+  double significance{1.0};
+};
+
+/// One-sample KS: empirical CDF of `data` (unsorted ok, copied) against a
+/// continuous reference CDF. Significance from the asymptotic Kolmogorov
+/// distribution with Stephens' small-sample correction.
+[[nodiscard]] KsResult ks_test(std::span<const double> data,
+                               const std::function<double(double)>& cdf);
+
+/// Two-sample KS: compares the empirical CDFs of two data sets.
+[[nodiscard]] KsResult ks_test_two_sample(std::span<const double> a,
+                                          std::span<const double> b);
+
+/// Result of an Anderson-Darling A^2 test against a continuous CDF.
+struct AndersonDarlingResult {
+  double a_squared{0};
+  /// Approximate p-value for the case of a fully-specified null distribution
+  /// (no fitted parameters), per Marsaglia & Marsaglia's asymptotic fit.
+  double significance{1.0};
+};
+
+[[nodiscard]] AndersonDarlingResult anderson_darling_test(
+    std::span<const double> data, const std::function<double(double)>& cdf);
+
+}  // namespace netsample::stats

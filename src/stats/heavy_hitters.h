@@ -1,0 +1,109 @@
+// Misra-Gries heavy-hitters summary: space-bounded frequent-item counting.
+//
+// The paper's closing problem (Section 8): the source-destination matrix is
+// hard to characterize under sampling "mainly because of its large size".
+// The operational fix is to not keep the full matrix at all: a Misra-Gries
+// summary with m counters tracks every key whose true frequency exceeds
+// n/(m+1), using O(m) memory regardless of the key universe, with a
+// deterministic undercount bound of n/(m+1). Combined with packet sampling
+// it gives the "big cells are fine" part of the matrix at bounded cost.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace netsample::stats {
+
+template <typename Key>
+class MisraGries {
+ public:
+  /// `counters` is the summary size m; throws std::invalid_argument if 0.
+  explicit MisraGries(std::size_t counters) : capacity_(counters) {
+    if (counters == 0) {
+      throw std::invalid_argument("MisraGries requires at least one counter");
+    }
+  }
+
+  void add(const Key& key, std::uint64_t weight = 1) {
+    total_ += weight;
+    const auto it = counts_.find(key);
+    if (it != counts_.end()) {
+      it->second += weight;
+      return;
+    }
+    if (counts_.size() < capacity_) {
+      counts_.emplace(key, weight);
+      return;
+    }
+    // Decrement-all step, batched by the smallest surviving decrement.
+    std::uint64_t decrement = weight;
+    for (const auto& [k, c] : counts_) {
+      (void)k;
+      decrement = std::min(decrement, c);
+    }
+    std::uint64_t remaining_weight = weight - decrement;
+    for (auto iter = counts_.begin(); iter != counts_.end();) {
+      iter->second -= decrement;
+      if (iter->second == 0) {
+        iter = counts_.erase(iter);
+      } else {
+        ++iter;
+      }
+    }
+    if (remaining_weight > 0) add(key, remaining_weight);
+  }
+
+  /// Estimated count for a key (an undercount by at most error_bound()).
+  [[nodiscard]] std::uint64_t estimate(const Key& key) const {
+    const auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  /// Maximum possible undercount: total / (m + 1).
+  [[nodiscard]] std::uint64_t error_bound() const {
+    return total_ / (capacity_ + 1);
+  }
+
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::size_t size() const { return counts_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Tracked keys ordered by descending estimated count.
+  [[nodiscard]] std::vector<std::pair<Key, std::uint64_t>> top(
+      std::size_t n) const {
+    std::vector<std::pair<Key, std::uint64_t>> out(counts_.begin(),
+                                                   counts_.end());
+    std::stable_sort(out.begin(), out.end(), [](const auto& a, const auto& b) {
+      return a.second > b.second;
+    });
+    if (out.size() > n) out.resize(n);
+    return out;
+  }
+
+  /// Merge another summary (standard MG merge: add then re-trim). The
+  /// resulting error bound is the sum of both inputs' bounds.
+  void merge(const MisraGries& other) {
+    for (const auto& [k, c] : other.counts_) add(k, c);
+    total_ += other.total_ - other.summarized_total();
+  }
+
+ private:
+  /// Sum of retained counters (used to avoid double counting in merge).
+  [[nodiscard]] std::uint64_t summarized_total() const {
+    std::uint64_t s = 0;
+    for (const auto& [k, c] : counts_) {
+      (void)k;
+      s += c;
+    }
+    return s;
+  }
+
+  std::size_t capacity_;
+  std::uint64_t total_{0};
+  std::map<Key, std::uint64_t> counts_;
+};
+
+}  // namespace netsample::stats

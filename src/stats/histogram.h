@@ -1,0 +1,66 @@
+// Fixed-edge histograms.
+//
+// The paper's entire scoring machinery works on binned counts: hand-chosen
+// bins for the two targets (packet size, interarrival time), a 50-byte
+// packet-length histogram and a 20-pps rate histogram for the NNStat
+// objects. We provide one histogram type driven by an explicit edge list
+// plus helpers for equal-width layouts.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace netsample::stats {
+
+/// A one-dimensional histogram over bins defined by interior edges.
+///
+/// `edges = {e0, e1, ..., em}` defines m+1 bins:
+///   (-inf, e0), [e0, e1), ..., [e_{m-1}, e_m), [e_m, +inf)
+/// i.e. interior edges are *lower bounds* of the bin to their right.
+/// With no edges there is a single catch-all bin.
+class Histogram {
+ public:
+  /// Edges must be strictly increasing; throws std::invalid_argument otherwise.
+  explicit Histogram(std::vector<double> edges);
+
+  /// Equal-width layout: bins [0,w), [w,2w), ... , [ (n-1)w, +inf ).
+  /// Reproduces the NNStat "granularity" histograms (50-byte, 20-pps).
+  static Histogram equal_width(double width, std::size_t bin_count);
+
+  void add(double x, std::uint64_t weight = 1);
+
+  /// Index of the bin x falls into.
+  [[nodiscard]] std::size_t bin_index(double x) const;
+
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const { return counts_.at(bin); }
+  [[nodiscard]] std::span<const std::uint64_t> counts() const { return counts_; }
+  [[nodiscard]] std::uint64_t total() const { return total_; }
+  [[nodiscard]] std::span<const double> edges() const { return edges_; }
+
+  /// Proportion of observations in each bin (empty histogram -> all zeros).
+  [[nodiscard]] std::vector<double> proportions() const;
+
+  /// Counts as doubles, rescaled so they sum to `target_total`. This is how
+  /// sample histograms are scaled up to the population size before computing
+  /// chi-square-family disparity metrics.
+  [[nodiscard]] std::vector<double> scaled_counts(double target_total) const;
+
+  /// Human-readable label of a bin, e.g. "[41, 181)" or "< 41" / ">= 3600".
+  [[nodiscard]] std::string bin_label(std::size_t bin) const;
+
+  /// Reset all counts to zero (the 15-minute collection cycle does this).
+  void reset();
+
+  /// Merge counts from a histogram with identical edges; throws on mismatch.
+  void merge(const Histogram& other);
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_{0};
+};
+
+}  // namespace netsample::stats

@@ -1,0 +1,74 @@
+#include "stats/mannwhitney.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <vector>
+
+#include "stats/special.h"
+
+namespace netsample::stats {
+
+MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                 std::span<const double> b) {
+  if (a.empty() || b.empty()) {
+    throw std::invalid_argument("mann_whitney_u: empty sample");
+  }
+  const double na = static_cast<double>(a.size());
+  const double nb = static_cast<double>(b.size());
+
+  // Pool, sort, assign mid-ranks to ties.
+  struct Entry {
+    double value;
+    bool from_a;
+  };
+  std::vector<Entry> pooled;
+  pooled.reserve(a.size() + b.size());
+  for (double v : a) pooled.push_back({v, true});
+  for (double v : b) pooled.push_back({v, false});
+  std::sort(pooled.begin(), pooled.end(),
+            [](const Entry& x, const Entry& y) { return x.value < y.value; });
+
+  double rank_sum_a = 0.0;
+  double tie_correction = 0.0;
+  std::size_t i = 0;
+  while (i < pooled.size()) {
+    std::size_t j = i;
+    while (j < pooled.size() && pooled[j].value == pooled[i].value) ++j;
+    const double tied = static_cast<double>(j - i);
+    // Mid-rank for the tied block spanning 1-based ranks [i+1, j].
+    const double mid_rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
+    for (std::size_t k = i; k < j; ++k) {
+      if (pooled[k].from_a) rank_sum_a += mid_rank;
+    }
+    tie_correction += tied * tied * tied - tied;
+    i = j;
+  }
+
+  const double u_a = rank_sum_a - na * (na + 1.0) / 2.0;
+
+  MannWhitneyResult r;
+  r.u = u_a;
+  r.prob_a_greater = u_a / (na * nb);
+
+  const double n = na + nb;
+  const double mean_u = na * nb / 2.0;
+  double var_u = na * nb / 12.0 *
+                 ((n + 1.0) - tie_correction / (n * (n - 1.0)));
+  if (var_u <= 0.0) {
+    // All values identical: no evidence of any difference.
+    r.z = 0.0;
+    r.significance = 1.0;
+    return r;
+  }
+  // Continuity correction toward the mean.
+  const double diff = u_a - mean_u;
+  const double corrected =
+      diff > 0.5 ? diff - 0.5 : (diff < -0.5 ? diff + 0.5 : 0.0);
+  r.z = corrected / std::sqrt(var_u);
+  r.significance = 2.0 * (1.0 - normal_cdf(std::fabs(r.z)));
+  r.significance = std::clamp(r.significance, 0.0, 1.0);
+  return r;
+}
+
+}  // namespace netsample::stats

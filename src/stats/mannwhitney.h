@@ -1,0 +1,33 @@
+// Mann-Whitney U test (Wilcoxon rank-sum): a nonparametric comparison of
+// two samples of scores.
+//
+// The paper: correlation among samples "inhibits statistically precise
+// statements about the superiority of one sampling method over another. On
+// the other hand this approach does allow us to easily order sampling
+// methods based on their performance." The rank-sum test makes that
+// ordering statement quantitative without assuming phi scores are normal:
+// it tests whether one method's phi replications are stochastically larger
+// than another's.
+#pragma once
+
+#include <span>
+
+namespace netsample::stats {
+
+struct MannWhitneyResult {
+  double u{0};            // U statistic of sample A
+  double z{0};            // normal approximation (tie-corrected)
+  double significance{1}; // two-sided p-value
+  /// P(random a > random b) + 0.5 P(tie): the common-language effect size.
+  /// 0.5 means indistinguishable; 1.0 means every a exceeds every b.
+  double prob_a_greater{0.5};
+};
+
+/// Two-sided test of H0: samples a and b come from the same distribution.
+/// Uses the normal approximation with tie correction (adequate for the
+/// replication counts used here, n >= ~8 total).
+/// Throws std::invalid_argument if either sample is empty.
+[[nodiscard]] MannWhitneyResult mann_whitney_u(std::span<const double> a,
+                                               std::span<const double> b);
+
+}  // namespace netsample::stats

@@ -1,0 +1,93 @@
+#include "stats/psquare.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netsample::stats {
+
+P2Quantile::P2Quantile(double q) : q_(q) {
+  if (!(q > 0.0 && q < 1.0)) {
+    throw std::domain_error("P2Quantile requires q in (0,1)");
+  }
+  desired_ = {1.0, 1.0 + 2.0 * q_, 1.0 + 4.0 * q_, 3.0 + 2.0 * q_, 5.0};
+  increments_ = {0.0, q_ / 2.0, q_, (1.0 + q_) / 2.0, 1.0};
+}
+
+void P2Quantile::add(double x) {
+  ++count_;
+  if (count_ <= 5) {
+    heights_[count_ - 1] = x;
+    if (count_ == 5) {
+      std::sort(heights_.begin(), heights_.end());
+      for (int i = 0; i < 5; ++i) positions_[i] = i + 1;
+    }
+    return;
+  }
+
+  // Find the cell k containing x and update extreme markers.
+  int k;
+  if (x < heights_[0]) {
+    heights_[0] = x;
+    k = 0;
+  } else if (x >= heights_[4]) {
+    heights_[4] = x;
+    k = 3;
+  } else {
+    k = 0;
+    while (k < 3 && x >= heights_[k + 1]) ++k;
+  }
+
+  for (int i = k + 1; i < 5; ++i) positions_[i] += 1.0;
+  for (int i = 0; i < 5; ++i) {
+    desired_[i] += increments_[i];
+  }
+
+  // Adjust interior markers toward their desired positions.
+  for (int i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - positions_[i];
+    const bool move_right = d >= 1.0 && positions_[i + 1] - positions_[i] > 1.0;
+    const bool move_left = d <= -1.0 && positions_[i - 1] - positions_[i] < -1.0;
+    if (move_right || move_left) {
+      parabolic_or_linear_adjust(i, move_right ? 1.0 : -1.0);
+    }
+  }
+}
+
+void P2Quantile::parabolic_or_linear_adjust(int i, double d) {
+  const double qp = heights_[i];
+  const double np = positions_[i];
+  const double n_lo = positions_[i - 1];
+  const double n_hi = positions_[i + 1];
+  const double q_lo = heights_[i - 1];
+  const double q_hi = heights_[i + 1];
+
+  // Piecewise-parabolic prediction.
+  double candidate =
+      qp + d / (n_hi - n_lo) *
+               ((np - n_lo + d) * (q_hi - qp) / (n_hi - np) +
+                (n_hi - np - d) * (qp - q_lo) / (np - n_lo));
+  if (candidate <= q_lo || candidate >= q_hi) {
+    // Fall back to linear prediction toward the neighbor in direction d.
+    const double qn = d > 0 ? q_hi : q_lo;
+    const double nn = d > 0 ? n_hi : n_lo;
+    candidate = qp + d * (qn - qp) / (nn - np);
+  }
+  heights_[i] = candidate;
+  positions_[i] += d;
+}
+
+double P2Quantile::value() const {
+  if (count_ == 0) throw std::logic_error("P2Quantile::value on empty stream");
+  if (count_ >= 5) return heights_[2];
+  // Exact quantile of the few observations seen so far.
+  std::array<double, 5> tmp = heights_;
+  const auto n = static_cast<std::size_t>(count_);
+  std::sort(tmp.begin(), tmp.begin() + static_cast<long>(n));
+  const double pos = q_ * static_cast<double>(n - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= n) return tmp[n - 1];
+  return tmp[lo] + frac * (tmp[lo + 1] - tmp[lo]);
+}
+
+}  // namespace netsample::stats

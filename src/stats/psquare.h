@@ -1,0 +1,39 @@
+// P^2 streaming quantile estimation (Jain & Chlamtac, 1985).
+//
+// Operational motivation: a collection agent that wants the median packet
+// size or the 95th-percentile interarrival time cannot afford to store the
+// observations (that is the whole premise of the paper). The P^2 algorithm
+// maintains five markers and estimates any fixed quantile online in O(1)
+// memory, with parabolic interpolation between markers.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace netsample::stats {
+
+class P2Quantile {
+ public:
+  /// Estimate the q-quantile, q in (0,1). Throws std::domain_error otherwise.
+  explicit P2Quantile(double q);
+
+  void add(double x);
+
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+
+  /// Current estimate. For fewer than 5 observations, the exact sample
+  /// quantile of what has been seen. Throws std::logic_error when empty.
+  [[nodiscard]] double value() const;
+
+ private:
+  void parabolic_or_linear_adjust(int i, double d);
+
+  double q_;
+  std::uint64_t count_{0};
+  std::array<double, 5> heights_{};       // marker heights
+  std::array<double, 5> positions_{};     // actual marker positions (1-based)
+  std::array<double, 5> desired_{};       // desired marker positions
+  std::array<double, 5> increments_{};    // desired position increments
+};
+
+}  // namespace netsample::stats

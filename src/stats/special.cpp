@@ -1,0 +1,176 @@
+#include "stats/special.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace netsample::stats {
+
+namespace {
+
+constexpr int kMaxIterations = 500;
+constexpr double kEpsilon = 1e-15;
+constexpr double kTiny = 1e-300;
+
+/// Lower incomplete gamma by series expansion: good for x < a + 1.
+double gamma_p_series(double a, double x) {
+  double ap = a;
+  double sum = 1.0 / a;
+  double term = sum;
+  for (int i = 0; i < kMaxIterations; ++i) {
+    ap += 1.0;
+    term *= x / ap;
+    sum += term;
+    if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
+  }
+  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+/// Upper incomplete gamma by Lentz continued fraction: good for x >= a + 1.
+double gamma_q_contfrac(double a, double x) {
+  double b = x + 1.0 - a;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= kMaxIterations; ++i) {
+    const double an = -static_cast<double>(i) * (static_cast<double>(i) - a);
+    b += 2.0;
+    d = an * d + b;
+    if (std::fabs(d) < kTiny) d = kTiny;
+    c = b + an / c;
+    if (std::fabs(c) < kTiny) c = kTiny;
+    d = 1.0 / d;
+    const double delta = d * c;
+    h *= delta;
+    if (std::fabs(delta - 1.0) < kEpsilon) break;
+  }
+  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+}
+
+}  // namespace
+
+double regularized_gamma_p(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("regularized_gamma_p requires a>0, x>=0");
+  }
+  if (x == 0.0) return 0.0;
+  if (x < a + 1.0) return gamma_p_series(a, x);
+  return 1.0 - gamma_q_contfrac(a, x);
+}
+
+double regularized_gamma_q(double a, double x) {
+  if (a <= 0.0 || x < 0.0) {
+    throw std::domain_error("regularized_gamma_q requires a>0, x>=0");
+  }
+  if (x == 0.0) return 1.0;
+  if (x < a + 1.0) return 1.0 - gamma_p_series(a, x);
+  return gamma_q_contfrac(a, x);
+}
+
+double chi_squared_cdf(double x, double k) {
+  if (x <= 0.0) return 0.0;
+  return regularized_gamma_p(k / 2.0, x / 2.0);
+}
+
+double chi_squared_sf(double x, double k) {
+  if (x <= 0.0) return 1.0;
+  return regularized_gamma_q(k / 2.0, x / 2.0);
+}
+
+double chi_squared_quantile(double p, double k) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("chi_squared_quantile requires p in (0,1)");
+  }
+  if (k <= 0.0) {
+    throw std::domain_error("chi_squared_quantile requires k > 0");
+  }
+  // Wilson-Hilferty approximation as the bracketing seed.
+  const double z = normal_quantile(p);
+  const double c = 2.0 / (9.0 * k);
+  double x = k * std::pow(1.0 - c + z * std::sqrt(c), 3.0);
+  if (x <= 0.0) x = 1e-8;
+
+  // Expand a bracket around the seed, then bisect.
+  double lo = x, hi = x;
+  while (chi_squared_cdf(lo, k) > p && lo > 1e-300) lo /= 2.0;
+  while (chi_squared_cdf(hi, k) < p && hi < 1e300) hi *= 2.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    if (chi_squared_cdf(mid, k) < p) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+    if (hi - lo < 1e-12 * (1.0 + hi)) break;
+  }
+  return 0.5 * (lo + hi);
+}
+
+double normal_cdf(double x) {
+  return 0.5 * std::erfc(-x / std::sqrt(2.0));
+}
+
+double normal_quantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    throw std::domain_error("normal_quantile requires p in (0,1)");
+  }
+  // Acklam's rational approximation.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double p_low = 0.02425;
+  double x;
+  if (p < p_low) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - p_low) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement using the exact CDF.
+  const double e = normal_cdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+double z_for_confidence(double confidence) {
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    throw std::domain_error("confidence must be in (0,1)");
+  }
+  return normal_quantile(0.5 + confidence / 2.0);
+}
+
+double kolmogorov_sf(double lambda) {
+  if (lambda <= 0.0) return 1.0;
+  double sum = 0.0;
+  double sign = 1.0;
+  for (int j = 1; j <= 100; ++j) {
+    const double term =
+        sign * std::exp(-2.0 * static_cast<double>(j) * static_cast<double>(j) *
+                        lambda * lambda);
+    sum += term;
+    if (std::fabs(term) < 1e-16) break;
+    sign = -sign;
+  }
+  const double q = 2.0 * sum;
+  if (q < 0.0) return 0.0;
+  if (q > 1.0) return 1.0;
+  return q;
+}
+
+}  // namespace netsample::stats

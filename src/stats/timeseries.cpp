@@ -1,0 +1,75 @@
+#include "stats/timeseries.h"
+
+#include <stdexcept>
+
+namespace netsample::stats {
+
+namespace {
+
+double mean_of(std::span<const double> data) {
+  double sum = 0.0;
+  for (double x : data) sum += x;
+  return sum / static_cast<double>(data.size());
+}
+
+}  // namespace
+
+double autocorrelation(std::span<const double> data, std::size_t lag) {
+  if (data.size() < 2 || lag >= data.size()) {
+    throw std::invalid_argument("autocorrelation: lag out of range");
+  }
+  const double m = mean_of(data);
+  double var = 0.0;
+  for (double x : data) var += (x - m) * (x - m);
+  if (var == 0.0) {
+    throw std::invalid_argument("autocorrelation of constant series");
+  }
+  double cov = 0.0;
+  for (std::size_t i = 0; i + lag < data.size(); ++i) {
+    cov += (data[i] - m) * (data[i + lag] - m);
+  }
+  return cov / var;
+}
+
+std::vector<double> acf(std::span<const double> data, std::size_t max_lag) {
+  std::vector<double> out;
+  const std::size_t limit = data.size() > 1 ? data.size() - 1 : 0;
+  for (std::size_t k = 1; k <= max_lag && k <= limit; ++k) {
+    out.push_back(autocorrelation(data, k));
+  }
+  return out;
+}
+
+double index_of_dispersion(std::span<const double> counts, std::size_t window) {
+  if (window == 0 || counts.size() < window) {
+    throw std::invalid_argument("index_of_dispersion: bad window");
+  }
+  // Aggregate into non-overlapping windows.
+  std::vector<double> sums;
+  sums.reserve(counts.size() / window);
+  for (std::size_t i = 0; i + window <= counts.size(); i += window) {
+    double s = 0.0;
+    for (std::size_t j = 0; j < window; ++j) s += counts[i + j];
+    sums.push_back(s);
+  }
+  if (sums.size() < 2) {
+    throw std::invalid_argument("index_of_dispersion: too few windows");
+  }
+  const double m = mean_of(sums);
+  if (m == 0.0) return 0.0;
+  double var = 0.0;
+  for (double s : sums) var += (s - m) * (s - m);
+  var /= static_cast<double>(sums.size());
+  return var / m;
+}
+
+std::vector<IdcPoint> idc_curve(std::span<const double> counts,
+                                std::size_t max_window) {
+  std::vector<IdcPoint> out;
+  for (std::size_t w = 1; w <= max_window && counts.size() / w >= 2; w *= 2) {
+    out.push_back({w, index_of_dispersion(counts, w)});
+  }
+  return out;
+}
+
+}  // namespace netsample::stats

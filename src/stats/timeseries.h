@@ -1,0 +1,41 @@
+// Time-series statistics for characterizing traffic burstiness.
+//
+// The paper's headline result hinges on serial structure in the packet
+// process (trains of closely spaced packets). These helpers quantify that
+// structure so the workload calibration and the burstiness ablation can
+// report it: the autocorrelation function of a series, and the index of
+// dispersion for counts (IDC) -- variance/mean of counts in windows of
+// growing size, flat at 1 for Poisson arrivals and growing for bursty ones.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace netsample::stats {
+
+/// Lag-k sample autocorrelation of `data` (biased estimator, the standard
+/// ACF normalization). Throws std::invalid_argument if k >= data.size() or
+/// data is constant/empty.
+[[nodiscard]] double autocorrelation(std::span<const double> data, std::size_t lag);
+
+/// ACF at lags 1..max_lag (clamped to data.size()-1).
+[[nodiscard]] std::vector<double> acf(std::span<const double> data,
+                                      std::size_t max_lag);
+
+/// Index of dispersion for counts: given per-slot counts (e.g. packets per
+/// second), IDC(m) = Var(sum of m consecutive slots) / Mean(sum of m slots).
+/// For a Poisson process IDC(m) == 1 for all m; bursty/correlated traffic
+/// has IDC growing with m.
+[[nodiscard]] double index_of_dispersion(std::span<const double> counts,
+                                         std::size_t window);
+
+/// IDC at a ladder of window sizes (1, 2, 4, ... up to max_window).
+struct IdcPoint {
+  std::size_t window;
+  double idc;
+};
+[[nodiscard]] std::vector<IdcPoint> idc_curve(std::span<const double> counts,
+                                              std::size_t max_window);
+
+}  // namespace netsample::stats

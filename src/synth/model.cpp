@@ -1,0 +1,234 @@
+#include "synth/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "net/ipv4.h"
+
+namespace netsample::synth {
+
+namespace {
+
+/// Zipf(s) sampler over ranks [0, n) via inverse-CDF on precomputed weights.
+class ZipfSampler {
+ public:
+  ZipfSampler(int n, double s) {
+    cumulative_.reserve(static_cast<std::size_t>(n));
+    double acc = 0.0;
+    for (int r = 1; r <= n; ++r) {
+      acc += 1.0 / std::pow(static_cast<double>(r), s);
+      cumulative_.push_back(acc);
+    }
+  }
+
+  [[nodiscard]] int draw(Rng& rng) const {
+    const double u = rng.uniform01() * cumulative_.back();
+    const auto it = std::lower_bound(cumulative_.begin(), cumulative_.end(), u);
+    return static_cast<int>(it - cumulative_.begin());
+  }
+
+ private:
+  std::vector<double> cumulative_;
+};
+
+std::uint16_t draw_size(const FlowTypeSpec& flow, Rng& rng) {
+  double total = 0.0;
+  for (const auto& c : flow.sizes) total += c.weight;
+  double u = rng.uniform01() * total;
+  for (const auto& c : flow.sizes) {
+    if (u < c.weight || &c == &flow.sizes.back()) {
+      if (c.lo == c.hi) return c.lo;
+      return static_cast<std::uint16_t>(rng.uniform_in(c.lo, c.hi));
+    }
+    u -= c.weight;
+  }
+  return flow.sizes.back().hi;
+}
+
+}  // namespace
+
+TraceModel::TraceModel(TraceModelConfig config) : config_(std::move(config)) {
+  if (config_.flows.empty()) {
+    throw std::invalid_argument("trace model: flow mix is empty");
+  }
+  if (config_.duration.usec <= 0) {
+    throw std::invalid_argument("trace model: duration must be positive");
+  }
+  if (config_.mean_gap_usec <= 0) {
+    throw std::invalid_argument("trace model: mean gap must be positive");
+  }
+  if (config_.train_length_model == TrainLengthModel::kPareto &&
+      config_.pareto_shape <= 1.0) {
+    throw std::invalid_argument(
+        "trace model: pareto shape must exceed 1 (finite mean)");
+  }
+
+  double weight_total = 0.0;
+  double mean_len = 0.0;
+  double within_gap_mass = 0.0;  // sum_t w_t * (len_t - 1) * gap_t
+  for (const auto& f : config_.flows) {
+    if (f.train_weight <= 0.0 || f.mean_train_len < 1.0 || f.sizes.empty() ||
+        f.within_gap_mean_usec < 0.0) {
+      throw std::invalid_argument("trace model: bad flow spec '" + f.name + "'");
+    }
+    weight_total += f.train_weight;
+  }
+  for (const auto& f : config_.flows) {
+    const double w = f.train_weight / weight_total;
+    mean_len += w * f.mean_train_len;
+    within_gap_mass += w * (f.mean_train_len - 1.0) * f.within_gap_mean_usec;
+    cumulative_train_weight_.push_back(
+        (cumulative_train_weight_.empty() ? 0.0 : cumulative_train_weight_.back()) +
+        w);
+  }
+  mean_train_len_ = mean_len;
+
+  // Overall mean gap = [within mass + 1 between-gap per train] / packets
+  // per train. Solve for the between-train mean.
+  between_gap_mean_ = mean_len * config_.mean_gap_usec - within_gap_mass;
+  if (between_gap_mean_ <= 0.0) {
+    throw std::invalid_argument(
+        "trace model: within-train gaps exceed the target mean gap; "
+        "reduce train lengths or within-gap means");
+  }
+}
+
+trace::Trace TraceModel::generate() const {
+  Rng rng(config_.seed);
+  Rng endpoint_rng = rng.split();
+  Rng size_rng = rng.split();
+  Rng gap_rng = rng.split();
+  Rng modulation_rng = rng.split();
+
+  // --- Endpoint structure ------------------------------------------------
+  // Local side: SDSC's class-B network 132.249/16. Remote side: a Zipf-
+  // popular pool of classful networks (class B and C mix).
+  std::vector<std::uint32_t> remote_networks;
+  remote_networks.reserve(static_cast<std::size_t>(config_.remote_networks));
+  for (int i = 0; i < config_.remote_networks; ++i) {
+    if (i % 3 == 0) {
+      // class C: 192..223 . x . y . 0
+      const std::uint32_t b1 = 192 + endpoint_rng.uniform_below(32);
+      const std::uint32_t b2 = endpoint_rng.uniform_below(256);
+      const std::uint32_t b3 = endpoint_rng.uniform_below(256);
+      remote_networks.push_back((b1 << 24) | (b2 << 16) | (b3 << 8));
+    } else {
+      // class B: 128..191 . x . 0 . 0
+      const std::uint32_t b1 = 128 + endpoint_rng.uniform_below(64);
+      const std::uint32_t b2 = endpoint_rng.uniform_below(256);
+      remote_networks.push_back((b1 << 24) | (b2 << 16));
+    }
+  }
+  const ZipfSampler network_zipf(config_.remote_networks, config_.zipf_s);
+  const ZipfSampler host_zipf(config_.hosts_per_network, 0.5);
+
+  // --- Per-second rate modulation ----------------------------------------
+  const std::size_t total_seconds =
+      static_cast<std::size_t>(config_.duration.usec / 1'000'000) + 2;
+  std::vector<double> modulation(total_seconds, 1.0);
+  if (config_.modulation.enabled) {
+    const double a = config_.modulation.ar1;
+    const double sx = config_.modulation.log_sigma;
+    const double eps = sx * std::sqrt(std::max(1e-12, 1.0 - a * a));
+    double x = modulation_rng.normal(0.0, sx);  // stationary start
+    for (auto& m : modulation) {
+      m = std::exp(x - sx * sx / 2.0);  // E[m] == 1
+      x = a * x + modulation_rng.normal(0.0, eps);
+    }
+  }
+  auto gap_scale = [&](std::uint64_t t_usec) {
+    const std::size_t s = static_cast<std::size_t>(t_usec / 1'000'000);
+    return s < modulation.size() ? modulation[s] : 1.0;
+  };
+
+  // --- Main generation loop ----------------------------------------------
+  std::vector<trace::PacketRecord> packets;
+  packets.reserve(static_cast<std::size_t>(
+      config_.duration.to_seconds() * 1e6 / config_.mean_gap_usec * 1.1));
+
+  const std::uint64_t end_usec = static_cast<std::uint64_t>(config_.duration.usec);
+  double t = gap_rng.exponential(between_gap_mean_);
+
+  while (static_cast<std::uint64_t>(t) < end_usec) {
+    // Pick the train's flow type.
+    const double u = gap_rng.uniform01();
+    std::size_t type = 0;
+    while (type + 1 < cumulative_train_weight_.size() &&
+           u >= cumulative_train_weight_[type]) {
+      ++type;
+    }
+    const FlowTypeSpec& flow = config_.flows[type];
+
+    // Pick the train's flow endpoints.
+    const std::uint32_t remote =
+        remote_networks[static_cast<std::size_t>(network_zipf.draw(endpoint_rng))];
+    const std::uint32_t remote_host =
+        remote | (1 + static_cast<std::uint32_t>(host_zipf.draw(endpoint_rng)));
+    const std::uint32_t local_host =
+        (132u << 24) | (249u << 16) |
+        static_cast<std::uint32_t>(
+            1 + endpoint_rng.uniform_below(
+                    static_cast<std::uint64_t>(config_.hosts_per_network) * 8));
+    const std::uint16_t dst_port =
+        flow.service_ports.empty()
+            ? static_cast<std::uint16_t>(1024 + endpoint_rng.uniform_below(4000))
+            : flow.service_ports[endpoint_rng.uniform_below(flow.service_ports.size())];
+    const std::uint16_t src_port =
+        static_cast<std::uint16_t>(1024 + endpoint_rng.uniform_below(4000));
+
+    // Train length: 1 + a nonnegative tail whose mean is mean_train_len - 1.
+    std::uint64_t train_len = 1;
+    if (flow.mean_train_len > 1.0) {
+      if (config_.train_length_model == TrainLengthModel::kGeometric) {
+        train_len = 1 + gap_rng.geometric(1.0 / flow.mean_train_len);
+      } else {
+        // Pareto tail with matching mean: E[floor(X)] ~ E[X] - 1/2, so aim
+        // the continuous mean at (mean_len - 1) + 1/2.
+        const double alpha = config_.pareto_shape;
+        const double target = flow.mean_train_len - 0.5;
+        const double xm = target * (alpha - 1.0) / alpha;
+        train_len =
+            1 + static_cast<std::uint64_t>(gap_rng.pareto(xm, alpha));
+      }
+    }
+
+    for (std::uint64_t i = 0; i < train_len; ++i) {
+      const std::uint64_t ts = static_cast<std::uint64_t>(t);
+      if (ts >= end_usec) break;
+
+      trace::PacketRecord rec;
+      rec.timestamp = MicroTime{ts};
+      rec.size = draw_size(flow, size_rng);
+      rec.protocol = flow.protocol;
+      rec.src = net::Ipv4Address(local_host);
+      rec.dst = net::Ipv4Address(remote_host);
+      if (flow.protocol == 6 || flow.protocol == 17) {
+        rec.src_port = src_port;
+        rec.dst_port = dst_port;
+      }
+      if (flow.protocol == 6) {
+        rec.tcp_flags = (i == 0 && gap_rng.bernoulli(0.08))
+                            ? std::uint8_t{0x02 | 0x10}   // SYN|ACK-ish start
+                            : std::uint8_t{0x10};         // ACK
+        if (rec.size > 41) rec.tcp_flags |= 0x08;          // PSH on data
+      }
+      packets.push_back(rec);
+
+      const bool last_in_train = (i + 1 == train_len);
+      const double mean =
+          last_in_train ? between_gap_mean_ : flow.within_gap_mean_usec;
+      double gap = gap_rng.exponential(std::max(1.0, mean));
+      gap *= gap_scale(ts);
+      t += std::max(1.0, gap);
+    }
+  }
+
+  trace::Trace out(std::move(packets));
+  if (config_.clock_tick.usec > 0) {
+    out.quantize_clock(config_.clock_tick);
+  }
+  return out;
+}
+
+}  // namespace netsample::synth

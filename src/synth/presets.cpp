@@ -1,0 +1,139 @@
+#include "synth/presets.h"
+
+namespace netsample::synth {
+
+TraceModelConfig sdsc_hour_config(std::uint64_t seed) {
+  return sdsc_minutes_config(60.0, seed);
+}
+
+TraceModelConfig sdsc_minutes_config(double minutes, std::uint64_t seed) {
+  TraceModelConfig cfg;
+  cfg.duration = MicroDuration::from_seconds(minutes * 60.0);
+  cfg.mean_gap_usec = 2358.0;  // Table 3 population mean
+  cfg.clock_tick = MicroDuration{400};
+  cfg.seed = seed;
+  cfg.modulation = RateModulation{true, 0.9, 0.2};
+
+  // Flow mix calibrated so the aggregate packet-size marginal matches
+  // Table 3: P(40B) ~ 0.30, P(552B) ~ 0.25, median ~76, mean ~232, and the
+  // per-packet shares are bulk ~0.22, ACK-stream ~0.18, interactive ~0.36,
+  // transaction ~0.12, mail ~0.10 (train weights below are packet shares
+  // divided by mean train length, then normalized).
+  //
+  // Within-train gaps use a common 1400 us mean; the between-train gap mean
+  // is derived by the model so the population mean stays 2358 us.
+  cfg.flows = {
+      // Outbound bulk data: FTP-data and NNTP pushes. Runs of 552-byte
+      // segments (the era's common 512-byte-MSS + headers), rare 576/1500.
+      FlowTypeSpec{
+          .name = "bulk-data",
+          .train_weight = 0.063,
+          .mean_train_len = 9.0,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{0.90, 552, 552}, {0.025, 576, 576}, {0.015, 1500, 1500},
+                    {0.03, 40, 40}, {0.03, 256, 512}},
+          .protocol = 6,
+          .service_ports = {20, 119},
+      },
+      // ACK streams: the outbound halves of inbound bulk transfers --
+      // pure 40-byte packets (IP + TCP headers, no payload) in trains.
+      FlowTypeSpec{
+          .name = "ack-stream",
+          .train_weight = 0.078,
+          .mean_train_len = 6.0,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{1.0, 40, 40}},
+          .protocol = 6,
+          .service_ports = {20, 21, 80, 70},
+      },
+      // Interactive sessions (telnet/rlogin): isolated small packets --
+      // echoes and keystrokes at 40-75 B, occasional screen redraws.
+      FlowTypeSpec{
+          .name = "interactive",
+          .train_weight = 0.547,
+          .mean_train_len = 1.7,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{0.30, 40, 40}, {0.45, 41, 75}, {0.20, 76, 180},
+                    {0.05, 552, 552}},
+          .protocol = 6,
+          .service_ports = {23, 513, 79},
+      },
+      // Transactions: DNS, SNMP, sunrpc over UDP -- single datagrams.
+      FlowTypeSpec{
+          .name = "transaction-udp",
+          .train_weight = 0.214,
+          .mean_train_len = 1.3,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{0.15, 41, 75}, {0.50, 76, 180}, {0.35, 181, 551}},
+          .protocol = 17,
+          .service_ports = {53, 161, 111, 123},
+      },
+      // Mail and news article bursts: mixed mid-size and full segments.
+      FlowTypeSpec{
+          .name = "mail-news",
+          .train_weight = 0.074,
+          .mean_train_len = 3.5,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{0.35, 552, 552}, {0.35, 181, 551}, {0.20, 76, 180},
+                    {0.10, 40, 40}},
+          .protocol = 6,
+          .service_ports = {25, 119},
+      },
+      // A trickle of ICMP (echo, unreachable). Carries the population's
+      // sub-40-byte tail (IP + ICMP can be as small as 28 bytes; TCP
+      // packets cannot go below 40).
+      FlowTypeSpec{
+          .name = "icmp",
+          .train_weight = 0.024,
+          .mean_train_len = 1.1,
+          .within_gap_mean_usec = 1400.0,
+          .sizes = {{0.45, 28, 55}, {0.55, 56, 84}},
+          .protocol = 1,
+          .service_ports = {},
+      },
+  };
+  return cfg;
+}
+
+TraceModelConfig fixwest_minutes_config(double minutes, std::uint64_t seed) {
+  // Start from the SDSC mix, then shift toward a transit profile.
+  TraceModelConfig cfg = sdsc_minutes_config(minutes, seed);
+  cfg.mean_gap_usec = 2100.0;  // somewhat busier aggregate
+  cfg.remote_networks = 600;   // flatter, larger network population
+  cfg.zipf_s = 0.7;
+  cfg.modulation.log_sigma = 0.25;
+
+  for (auto& f : cfg.flows) {
+    if (f.name == "bulk-data") {
+      f.train_weight *= 1.8;       // more transit bulk
+      f.mean_train_len = 11.0;
+    } else if (f.name == "interactive") {
+      f.train_weight *= 0.55;      // less interactive across an exchange
+    } else if (f.name == "mail-news") {
+      f.train_weight *= 1.6;
+    } else if (f.name == "ack-stream") {
+      f.train_weight *= 1.2;
+    }
+  }
+  return cfg;
+}
+
+TraceModelConfig poissonified(TraceModelConfig config) {
+  // Re-balance train weights to per-packet shares, then collapse every train
+  // to a single packet: the size marginal and mean rate are preserved while
+  // all burst structure disappears.
+  double weight_total = 0.0;
+  for (const auto& f : config.flows) weight_total += f.train_weight;
+  double mean_len = 0.0;
+  for (const auto& f : config.flows) {
+    mean_len += f.train_weight / weight_total * f.mean_train_len;
+  }
+  for (auto& f : config.flows) {
+    f.train_weight = f.train_weight / weight_total * f.mean_train_len / mean_len;
+    f.mean_train_len = 1.0;
+    f.within_gap_mean_usec = 0.0;  // unused with single-packet trains
+  }
+  return config;
+}
+
+}  // namespace netsample::synth

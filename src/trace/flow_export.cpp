@@ -1,0 +1,131 @@
+#include "trace/flow_export.h"
+
+#include <cstring>
+#include <fstream>
+
+#include "util/byteorder.h"
+
+namespace netsample::trace {
+
+namespace {
+
+constexpr std::size_t kHeaderSize = 16;
+constexpr std::size_t kRecordSize = 48;
+constexpr char kMagic[4] = {'N', 'S', 'F', 'E'};
+
+void push_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  std::uint8_t buf[2];
+  store_le16(buf, v);
+  out.insert(out.end(), buf, buf + 2);
+}
+void push_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  std::uint8_t buf[4];
+  store_le32(buf, v);
+  out.insert(out.end(), buf, buf + 4);
+}
+void push_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  push_u32(out, static_cast<std::uint32_t>(v));
+  push_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+std::uint64_t read_u64(const std::uint8_t* p) {
+  return std::uint64_t{load_le32(p)} |
+         (std::uint64_t{load_le32(p + 4)} << 32);
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> serialize_flows(
+    const std::vector<FlowRecord>& records) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kHeaderSize + records.size() * kRecordSize);
+  out.insert(out.end(), kMagic, kMagic + 4);
+  push_u16(out, kFlowExportVersion);
+  push_u16(out, 0);  // reserved
+  push_u64(out, records.size());
+
+  for (const auto& r : records) {
+    push_u32(out, r.key.src.value());
+    push_u32(out, r.key.dst.value());
+    push_u16(out, r.key.src_port);
+    push_u16(out, r.key.dst_port);
+    out.push_back(r.key.protocol);
+    out.push_back(static_cast<std::uint8_t>((r.saw_syn ? 1 : 0) |
+                                            (r.saw_fin ? 2 : 0)));
+    push_u16(out, 0);  // reserved / alignment
+    push_u64(out, r.first_seen.usec);
+    push_u64(out, r.last_seen.usec);
+    push_u64(out, r.packets);
+    push_u64(out, r.bytes);
+  }
+  return out;
+}
+
+StatusOr<std::vector<FlowRecord>> parse_flows(
+    std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kHeaderSize) {
+    return Status(StatusCode::kDataLoss, "flow export: short header");
+  }
+  if (std::memcmp(bytes.data(), kMagic, 4) != 0) {
+    return Status(StatusCode::kInvalidArgument, "flow export: bad magic");
+  }
+  const std::uint16_t version = load_le16(bytes.data() + 4);
+  if (version != kFlowExportVersion) {
+    return Status(StatusCode::kUnimplemented,
+                  "flow export: unsupported version " + std::to_string(version));
+  }
+  const std::uint64_t count = read_u64(bytes.data() + 8);
+  if (bytes.size() < kHeaderSize + count * kRecordSize) {
+    return Status(StatusCode::kDataLoss,
+                  "flow export: truncated payload (have " +
+                      std::to_string(bytes.size()) + " bytes, need " +
+                      std::to_string(kHeaderSize + count * kRecordSize) + ")");
+  }
+
+  std::vector<FlowRecord> records;
+  records.reserve(count);
+  const std::uint8_t* p = bytes.data() + kHeaderSize;
+  for (std::uint64_t i = 0; i < count; ++i, p += kRecordSize) {
+    FlowRecord r;
+    r.key.src = net::Ipv4Address(load_le32(p));
+    r.key.dst = net::Ipv4Address(load_le32(p + 4));
+    r.key.src_port = load_le16(p + 8);
+    r.key.dst_port = load_le16(p + 10);
+    r.key.protocol = p[12];
+    r.saw_syn = (p[13] & 1) != 0;
+    r.saw_fin = (p[13] & 2) != 0;
+    r.first_seen = MicroTime{read_u64(p + 16)};
+    r.last_seen = MicroTime{read_u64(p + 24)};
+    r.packets = read_u64(p + 32);
+    r.bytes = read_u64(p + 40);
+    records.push_back(r);
+  }
+  return records;
+}
+
+Status write_flows(const std::string& path,
+                   const std::vector<FlowRecord>& records) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status(StatusCode::kNotFound, "flow export: cannot create " + path);
+  }
+  const auto bytes = serialize_flows(records);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  if (!out) {
+    return Status(StatusCode::kDataLoss, "flow export: short write");
+  }
+  return Status::ok();
+}
+
+StatusOr<std::vector<FlowRecord>> read_flows(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status(StatusCode::kNotFound, "flow export: cannot open " + path);
+  }
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+  return parse_flows(bytes);
+}
+
+}  // namespace netsample::trace

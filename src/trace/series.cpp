@@ -1,0 +1,50 @@
+#include "trace/series.h"
+
+namespace netsample::trace {
+
+PerSecondSeries::PerSecondSeries(TraceView view) {
+  if (view.empty()) return;
+  const std::uint64_t t0 = view.start_time().usec;
+  const std::uint64_t span = view.end_time().usec - t0;
+  buckets_.resize(span / 1'000'000ULL + 1);
+  for (const auto& p : view) {
+    const std::size_t s =
+        static_cast<std::size_t>((p.timestamp.usec - t0) / 1'000'000ULL);
+    buckets_[s].packets += 1;
+    buckets_[s].bytes += p.size;
+  }
+}
+
+std::vector<double> PerSecondSeries::packet_rates() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(static_cast<double>(b.packets));
+  return out;
+}
+
+std::vector<double> PerSecondSeries::byte_rates() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) out.push_back(static_cast<double>(b.bytes));
+  return out;
+}
+
+std::vector<double> PerSecondSeries::kilobyte_rates() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    out.push_back(static_cast<double>(b.bytes) / 1000.0);
+  }
+  return out;
+}
+
+std::vector<double> PerSecondSeries::mean_sizes() const {
+  std::vector<double> out;
+  out.reserve(buckets_.size());
+  for (const auto& b : buckets_) {
+    if (b.packets > 0) out.push_back(b.mean_packet_size());
+  }
+  return out;
+}
+
+}  // namespace netsample::trace

@@ -1,0 +1,49 @@
+// Per-second volume series (the paper's Table 2 view of the trace).
+//
+// Table 2 summarizes three per-second distributions over the hour: packet
+// arrivals (pps), byte arrivals (kB/s), and mean per-second packet size.
+// We bucket the trace by wall-clock second relative to the interval start
+// and expose the three series for summarization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace netsample::trace {
+
+struct SecondBucket {
+  std::uint64_t packets{0};
+  std::uint64_t bytes{0};
+
+  [[nodiscard]] double mean_packet_size() const {
+    return packets == 0 ? 0.0
+                        : static_cast<double>(bytes) / static_cast<double>(packets);
+  }
+};
+
+class PerSecondSeries {
+ public:
+  /// Bucket every packet of `view` by floor((t - t_start)/1s). Empty seconds
+  /// inside the span are kept (zero packets), matching how an operational
+  /// per-second rate histogram would see them.
+  explicit PerSecondSeries(TraceView view);
+
+  [[nodiscard]] std::size_t seconds() const { return buckets_.size(); }
+  [[nodiscard]] const SecondBucket& bucket(std::size_t s) const {
+    return buckets_.at(s);
+  }
+
+  /// The three Table-2 series. `mean_sizes` skips empty seconds (a mean
+  /// packet size is undefined there).
+  [[nodiscard]] std::vector<double> packet_rates() const;
+  [[nodiscard]] std::vector<double> byte_rates() const;       // bytes per second
+  [[nodiscard]] std::vector<double> kilobyte_rates() const;   // kB per second
+  [[nodiscard]] std::vector<double> mean_sizes() const;
+
+ private:
+  std::vector<SecondBucket> buckets_;
+};
+
+}  // namespace netsample::trace

@@ -1,0 +1,30 @@
+#include "trace/summary.h"
+
+namespace netsample::trace {
+
+PerSecondSummary summarize_per_second(TraceView view) {
+  PerSecondSummary s;
+  s.total_packets = view.size();
+  if (view.empty()) return s;
+  PerSecondSeries series(view);
+  const auto pps = series.packet_rates();
+  const auto kbps = series.kilobyte_rates();
+  const auto sizes = series.mean_sizes();
+  s.packet_rate = stats::summarize(pps);
+  s.kilobyte_rate = stats::summarize(kbps);
+  s.mean_packet_size = stats::summarize(sizes);
+  return s;
+}
+
+PopulationSummary summarize_population(TraceView view) {
+  PopulationSummary s;
+  s.total_packets = view.size();
+  if (view.empty()) return s;
+  const auto sizes = view.sizes();
+  s.packet_size = stats::summarize(sizes);
+  const auto iats = view.interarrivals();
+  if (!iats.empty()) s.interarrival = stats::summarize(iats);
+  return s;
+}
+
+}  // namespace netsample::trace

@@ -1,0 +1,29 @@
+// Whole-trace summaries in the layout of the paper's Tables 2 and 3.
+#pragma once
+
+#include "stats/descriptive.h"
+#include "trace/series.h"
+#include "trace/trace.h"
+
+namespace netsample::trace {
+
+/// Table 2: per-second packet / byte / mean-size distribution summaries.
+struct PerSecondSummary {
+  stats::Summary packet_rate;      // packets per second
+  stats::Summary kilobyte_rate;    // kB per second
+  stats::Summary mean_packet_size; // bytes
+  std::uint64_t total_packets{0};
+};
+
+[[nodiscard]] PerSecondSummary summarize_per_second(TraceView view);
+
+/// Table 3: population packet-size and interarrival-time distributions.
+struct PopulationSummary {
+  stats::Summary packet_size;      // bytes
+  stats::Summary interarrival;     // microseconds
+  std::uint64_t total_packets{0};
+};
+
+[[nodiscard]] PopulationSummary summarize_population(TraceView view);
+
+}  // namespace netsample::trace

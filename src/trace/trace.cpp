@@ -1,0 +1,100 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace netsample::trace {
+
+MicroTime TraceView::start_time() const {
+  if (packets_.empty()) throw std::out_of_range("start_time of empty view");
+  return packets_.front().timestamp;
+}
+
+MicroTime TraceView::end_time() const {
+  if (packets_.empty()) throw std::out_of_range("end_time of empty view");
+  return packets_.back().timestamp;
+}
+
+MicroDuration TraceView::duration() const { return end_time() - start_time(); }
+
+TraceView TraceView::window(MicroTime t0, MicroTime t1) const {
+  if (t1 <= t0) return TraceView{};
+  const auto lo = std::lower_bound(
+      packets_.begin(), packets_.end(), t0,
+      [](const PacketRecord& p, MicroTime t) { return p.timestamp < t; });
+  const auto hi = std::lower_bound(
+      lo, packets_.end(), t1,
+      [](const PacketRecord& p, MicroTime t) { return p.timestamp < t; });
+  return TraceView(packets_.subspan(
+      static_cast<std::size_t>(lo - packets_.begin()),
+      static_cast<std::size_t>(hi - lo)));
+}
+
+TraceView TraceView::prefix_duration(MicroDuration d) const {
+  if (packets_.empty() || d.usec <= 0) return TraceView{};
+  return window(start_time(), start_time() + d);
+}
+
+std::uint64_t TraceView::total_bytes() const {
+  std::uint64_t total = 0;
+  for (const auto& p : packets_) total += p.size;
+  return total;
+}
+
+std::vector<double> TraceView::sizes() const {
+  std::vector<double> out;
+  out.reserve(packets_.size());
+  for (const auto& p : packets_) out.push_back(static_cast<double>(p.size));
+  return out;
+}
+
+std::vector<double> TraceView::interarrivals() const {
+  std::vector<double> out;
+  if (packets_.size() < 2) return out;
+  out.reserve(packets_.size() - 1);
+  for (std::size_t i = 1; i < packets_.size(); ++i) {
+    out.push_back(static_cast<double>(
+        (packets_[i].timestamp - packets_[i - 1].timestamp).usec));
+  }
+  return out;
+}
+
+Trace::Trace(std::vector<PacketRecord> packets) : packets_(std::move(packets)) {
+  if (!std::is_sorted(packets_.begin(), packets_.end(),
+                      [](const PacketRecord& a, const PacketRecord& b) {
+                        return a.timestamp < b.timestamp;
+                      })) {
+    throw std::invalid_argument("trace packets must be time-ordered");
+  }
+}
+
+void Trace::append(const PacketRecord& p) {
+  if (!packets_.empty() && p.timestamp < packets_.back().timestamp) {
+    throw std::invalid_argument("appending packet would break time order");
+  }
+  packets_.push_back(p);
+}
+
+std::size_t Trace::quantize_clock(MicroDuration tick) {
+  if (tick.usec <= 0) {
+    throw std::invalid_argument("clock tick must be positive");
+  }
+  const auto t = static_cast<std::uint64_t>(tick.usec);
+  std::size_t changed = 0;
+  for (auto& p : packets_) {
+    const std::uint64_t q = (p.timestamp.usec / t) * t;
+    if (q != p.timestamp.usec) {
+      p.timestamp = MicroTime{q};
+      ++changed;
+    }
+  }
+  return changed;
+}
+
+void Trace::rebase_to_zero() {
+  if (packets_.empty()) return;
+  const std::uint64_t t0 = packets_.front().timestamp.usec;
+  for (auto& p : packets_) p.timestamp = MicroTime{p.timestamp.usec - t0};
+}
+
+}  // namespace netsample::trace

@@ -1,0 +1,89 @@
+// In-memory packet traces and time-window views.
+//
+// A Trace owns a time-ordered vector of PacketRecords and is the "parent
+// population" of every sampling experiment. TraceView is a non-owning,
+// contiguous window over a Trace — the paper's exponentially growing
+// measurement intervals are TraceViews, so no experiment ever copies the
+// population.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "trace/packet_record.h"
+#include "util/timeval.h"
+
+namespace netsample::trace {
+
+/// Non-owning view over a contiguous run of packets. Cheap to copy.
+class TraceView {
+ public:
+  TraceView() = default;
+  explicit TraceView(std::span<const PacketRecord> packets) : packets_(packets) {}
+
+  [[nodiscard]] std::span<const PacketRecord> packets() const { return packets_; }
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] const PacketRecord& operator[](std::size_t i) const {
+    return packets_[i];
+  }
+  [[nodiscard]] auto begin() const { return packets_.begin(); }
+  [[nodiscard]] auto end() const { return packets_.end(); }
+
+  /// First/last timestamps; both throw std::out_of_range when empty.
+  [[nodiscard]] MicroTime start_time() const;
+  [[nodiscard]] MicroTime end_time() const;
+  [[nodiscard]] MicroDuration duration() const;
+
+  /// Sub-window of packets with timestamp in [t0, t1). Binary search; O(log n).
+  [[nodiscard]] TraceView window(MicroTime t0, MicroTime t1) const;
+
+  /// Prefix covering the first `d` of the view's span (the paper's growing
+  /// interval experiment: window(start, start + d)).
+  [[nodiscard]] TraceView prefix_duration(MicroDuration d) const;
+
+  /// Total IP bytes across the view.
+  [[nodiscard]] std::uint64_t total_bytes() const;
+
+  /// Packet sizes as doubles (analysis target #1).
+  [[nodiscard]] std::vector<double> sizes() const;
+
+  /// Interarrival times in microseconds (analysis target #2); size()-1
+  /// entries. Empty for views with fewer than 2 packets.
+  [[nodiscard]] std::vector<double> interarrivals() const;
+
+ private:
+  std::span<const PacketRecord> packets_;
+};
+
+/// Owning, time-ordered packet trace.
+class Trace {
+ public:
+  Trace() = default;
+  /// Takes ownership; throws std::invalid_argument if timestamps decrease.
+  explicit Trace(std::vector<PacketRecord> packets);
+
+  /// Append a packet; throws std::invalid_argument if it breaks time order.
+  void append(const PacketRecord& p);
+
+  [[nodiscard]] std::size_t size() const { return packets_.size(); }
+  [[nodiscard]] bool empty() const { return packets_.empty(); }
+  [[nodiscard]] const PacketRecord& operator[](std::size_t i) const {
+    return packets_[i];
+  }
+  [[nodiscard]] std::span<const PacketRecord> packets() const { return packets_; }
+  [[nodiscard]] TraceView view() const { return TraceView(packets_); }
+
+  /// Quantize all timestamps down to multiples of `tick` — models the
+  /// 400 us measurement clock of the paper's capture environment.
+  /// Returns the number of packets whose timestamp changed.
+  std::size_t quantize_clock(MicroDuration tick);
+
+  /// Rebase timestamps so the first packet is at t=0.
+  void rebase_to_zero();
+
+ private:
+  std::vector<PacketRecord> packets_;
+};
+
+}  // namespace netsample::trace

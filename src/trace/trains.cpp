@@ -1,0 +1,72 @@
+#include "trace/trains.h"
+
+#include <stdexcept>
+
+namespace netsample::trace {
+
+std::vector<Train> detect_trains(TraceView view, MicroDuration max_gap) {
+  if (max_gap.usec <= 0) {
+    throw std::invalid_argument("detect_trains: max_gap must be positive");
+  }
+  std::vector<Train> out;
+  if (view.empty()) return out;
+
+  Train current;
+  current.first_index = 0;
+  current.packets = 1;
+  current.bytes = view[0].size;
+  current.start = view[0].timestamp;
+  current.end = view[0].timestamp;
+
+  for (std::size_t i = 1; i < view.size(); ++i) {
+    const auto gap = view[i].timestamp - view[i - 1].timestamp;
+    if (gap <= max_gap) {
+      current.packets += 1;
+      current.bytes += view[i].size;
+      current.end = view[i].timestamp;
+    } else {
+      out.push_back(current);
+      current = Train{};
+      current.first_index = i;
+      current.packets = 1;
+      current.bytes = view[i].size;
+      current.start = view[i].timestamp;
+      current.end = view[i].timestamp;
+    }
+  }
+  out.push_back(current);
+  return out;
+}
+
+TrainStats train_stats(TraceView view, MicroDuration max_gap) {
+  TrainStats s;
+  const auto trains = detect_trains(view, max_gap);
+  s.trains = trains.size();
+  if (trains.empty()) return s;
+
+  std::vector<double> lengths;
+  lengths.reserve(trains.size());
+  double dur_sum = 0.0;
+  std::uint64_t interior = 0;
+  for (const auto& t : trains) {
+    lengths.push_back(static_cast<double>(t.packets));
+    dur_sum += static_cast<double>(t.duration().usec);
+    interior += t.packets - 1;
+  }
+  double gap_sum = 0.0;
+  for (std::size_t i = 1; i < trains.size(); ++i) {
+    gap_sum += static_cast<double>((trains[i].start - trains[i - 1].end).usec);
+  }
+
+  s.length_summary = stats::summarize(lengths);
+  s.mean_length_packets = s.length_summary.mean;
+  s.mean_duration_usec = dur_sum / static_cast<double>(trains.size());
+  s.mean_intertrain_gap_usec =
+      trains.size() > 1 ? gap_sum / static_cast<double>(trains.size() - 1) : 0.0;
+  s.interior_fraction =
+      view.empty() ? 0.0
+                   : static_cast<double>(interior) / static_cast<double>(view.size());
+  return s;
+}
+
+}  // namespace netsample::trace

@@ -1,0 +1,49 @@
+// Packet-train detection (Jain & Routhier's train model, the era's standard
+// description of traffic burst structure).
+//
+// A train is a maximal run of packets whose successive gaps are all below a
+// threshold (the "maximum allowed inter-car gap"). Train statistics both
+// validate the synthetic workload's burst structure and explain the paper's
+// timer-sampling result: timer triggers land between trains, so train
+// interiors are under-sampled.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "stats/descriptive.h"
+#include "trace/trace.h"
+
+namespace netsample::trace {
+
+struct Train {
+  std::size_t first_index{0};  // position within the analyzed view
+  std::size_t packets{0};
+  std::uint64_t bytes{0};
+  MicroTime start;
+  MicroTime end;
+
+  [[nodiscard]] MicroDuration duration() const { return end - start; }
+};
+
+/// Split a view into trains using the given maximum intra-train gap.
+/// Throws std::invalid_argument unless max_gap > 0.
+[[nodiscard]] std::vector<Train> detect_trains(TraceView view,
+                                               MicroDuration max_gap);
+
+/// Aggregate train statistics.
+struct TrainStats {
+  std::uint64_t trains{0};
+  double mean_length_packets{0};
+  double mean_duration_usec{0};
+  double mean_intertrain_gap_usec{0};
+  /// Fraction of all packets that are train interiors (not train heads);
+  /// this is the traffic mass a between-train timer trigger cannot select
+  /// first.
+  double interior_fraction{0};
+  stats::Summary length_summary;
+};
+
+[[nodiscard]] TrainStats train_stats(TraceView view, MicroDuration max_gap);
+
+}  // namespace netsample::trace

@@ -1,0 +1,85 @@
+#include "trace/transform.h"
+
+#include <queue>
+#include <stdexcept>
+
+#include "net/ports.h"
+
+namespace netsample::trace {
+
+Trace merge(const std::vector<TraceView>& inputs) {
+  struct Head {
+    std::size_t input;
+    std::size_t index;
+    MicroTime time;
+  };
+  // Min-heap ordered by (time, input index) for stability.
+  auto cmp = [](const Head& a, const Head& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.input > b.input;
+  };
+  std::priority_queue<Head, std::vector<Head>, decltype(cmp)> heap(cmp);
+
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    total += inputs[i].size();
+    if (!inputs[i].empty()) {
+      heap.push(Head{i, 0, inputs[i][0].timestamp});
+    }
+  }
+
+  std::vector<PacketRecord> out;
+  out.reserve(total);
+  while (!heap.empty()) {
+    const Head h = heap.top();
+    heap.pop();
+    out.push_back(inputs[h.input][h.index]);
+    const std::size_t next = h.index + 1;
+    if (next < inputs[h.input].size()) {
+      heap.push(Head{h.input, next, inputs[h.input][next].timestamp});
+    }
+  }
+  return Trace(std::move(out));
+}
+
+Trace filter(TraceView input, const PacketPredicate& keep) {
+  std::vector<PacketRecord> out;
+  for (const auto& p : input) {
+    if (keep(p)) out.push_back(p);
+  }
+  return Trace(std::move(out));
+}
+
+Trace time_shift(TraceView input, MicroDuration delta) {
+  std::vector<PacketRecord> out;
+  out.reserve(input.size());
+  for (const auto& p : input) {
+    if (delta.usec < 0 &&
+        p.timestamp.usec < static_cast<std::uint64_t>(-delta.usec)) {
+      throw std::invalid_argument("time_shift: would move before time zero");
+    }
+    PacketRecord shifted = p;
+    shifted.timestamp = p.timestamp + delta;
+    out.push_back(shifted);
+  }
+  return Trace(std::move(out));
+}
+
+PacketPredicate by_protocol(std::uint8_t protocol) {
+  return [protocol](const PacketRecord& p) { return p.protocol == protocol; };
+}
+
+PacketPredicate by_service_port(std::uint16_t port) {
+  return [port](const PacketRecord& p) {
+    if (p.protocol != 6 && p.protocol != 17) return false;
+    return net::service_port(p.src_port, p.dst_port).value_or(0xFFFF) == port;
+  };
+}
+
+PacketPredicate by_destination_network(net::NetworkNumber network) {
+  return [network](const PacketRecord& p) {
+    return net::NetworkNumber::of(p.dst) == network;
+  };
+}
+
+}  // namespace netsample::trace

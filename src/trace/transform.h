@@ -1,0 +1,37 @@
+// Trace manipulation: merging, filtering, slicing.
+//
+// Operational uses: a backbone node aggregates several interfaces into one
+// measurement stream (merge); analyses are often restricted to a protocol
+// or service (filter); experiments replay shifted copies of a workload to
+// scale load (time_shift). All transforms preserve the time-order
+// invariant by construction.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "trace/trace.h"
+
+namespace netsample::trace {
+
+/// Predicate on packets.
+using PacketPredicate = std::function<bool(const PacketRecord&)>;
+
+/// Merge any number of traces into one time-ordered trace (stable: ties
+/// keep the order of the input list). K-way merge, O(total log k).
+[[nodiscard]] Trace merge(const std::vector<TraceView>& inputs);
+
+/// Keep only packets satisfying the predicate.
+[[nodiscard]] Trace filter(TraceView input, const PacketPredicate& keep);
+
+/// Copy a view into an owning trace with all timestamps shifted by `delta`
+/// (useful for overlaying load: merge({a, time_shift(a, d)})).
+/// Throws std::invalid_argument if the shift would underflow time zero.
+[[nodiscard]] Trace time_shift(TraceView input, MicroDuration delta);
+
+/// Ready-made predicates.
+[[nodiscard]] PacketPredicate by_protocol(std::uint8_t protocol);
+[[nodiscard]] PacketPredicate by_service_port(std::uint16_t port);
+[[nodiscard]] PacketPredicate by_destination_network(net::NetworkNumber net);
+
+}  // namespace netsample::trace

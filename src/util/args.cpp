@@ -1,0 +1,116 @@
+#include "util/args.h"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace netsample {
+
+void ArgParser::add_flag(const std::string& name, const std::string& value_name,
+                         const std::string& help,
+                         std::optional<std::string> def) {
+  specs_[name] = FlagSpec{value_name, help, std::move(def)};
+}
+
+Status ArgParser::parse(const std::vector<std::string>& args) {
+  values_.clear();
+  positionals_.clear();
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) != 0) {
+      positionals_.push_back(a);
+      continue;
+    }
+    std::string name = a.substr(2);
+    std::string inline_value;
+    bool has_inline = false;
+    const auto eq = name.find('=');
+    if (eq != std::string::npos) {
+      inline_value = name.substr(eq + 1);
+      name = name.substr(0, eq);
+      has_inline = true;
+    }
+    const auto it = specs_.find(name);
+    if (it == specs_.end()) {
+      return Status(StatusCode::kInvalidArgument, "unknown flag --" + name);
+    }
+    if (it->second.value_name.empty()) {
+      if (has_inline) {
+        return Status(StatusCode::kInvalidArgument,
+                      "switch --" + name + " takes no value");
+      }
+      values_[name] = "true";
+      continue;
+    }
+    if (has_inline) {
+      values_[name] = inline_value;
+    } else {
+      if (i + 1 >= args.size()) {
+        return Status(StatusCode::kInvalidArgument,
+                      "flag --" + name + " requires a value");
+      }
+      values_[name] = args[++i];
+    }
+  }
+  return Status::ok();
+}
+
+bool ArgParser::has(const std::string& name) const {
+  if (values_.count(name)) return true;
+  const auto it = specs_.find(name);
+  return it != specs_.end() && it->second.default_value.has_value();
+}
+
+std::string ArgParser::get_string(const std::string& name) const {
+  const auto it = values_.find(name);
+  if (it != values_.end()) return it->second;
+  const auto spec = specs_.find(name);
+  if (spec != specs_.end() && spec->second.default_value) {
+    return *spec->second.default_value;
+  }
+  throw std::invalid_argument("missing flag --" + name);
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const long long out = std::strtoll(v.c_str(), &end, 10);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": '" + v +
+                                "' is not an integer");
+  }
+  return out;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+  const std::string v = get_string(name);
+  char* end = nullptr;
+  const double out = std::strtod(v.c_str(), &end);
+  if (end == v.c_str() || *end != '\0') {
+    throw std::invalid_argument("flag --" + name + ": '" + v +
+                                "' is not a number");
+  }
+  return out;
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+  if (values_.count(name)) return values_.at(name) == "true";
+  const auto spec = specs_.find(name);
+  if (spec != specs_.end() && spec->second.default_value) {
+    return *spec->second.default_value == "true";
+  }
+  return false;
+}
+
+std::string ArgParser::help() const {
+  std::string out;
+  for (const auto& [name, spec] : specs_) {
+    out += "  --" + name;
+    if (!spec.value_name.empty()) out += " <" + spec.value_name + ">";
+    out += "\n      " + spec.help;
+    if (spec.default_value) out += " (default: " + *spec.default_value + ")";
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace netsample

@@ -1,0 +1,113 @@
+#include "util/asciichart.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/format.h"
+
+namespace netsample {
+
+std::string render_chart(const std::vector<ChartSeries>& series,
+                         const std::vector<std::string>& x_ticks,
+                         const ChartOptions& options) {
+  if (series.empty() || series[0].y.empty()) {
+    throw std::invalid_argument("render_chart: no data");
+  }
+  const std::size_t n = series[0].y.size();
+  for (const auto& s : series) {
+    if (s.y.size() != n) {
+      throw std::invalid_argument("render_chart: ragged series");
+    }
+  }
+  if (!x_ticks.empty() && x_ticks.size() != n) {
+    throw std::invalid_argument("render_chart: x_ticks length mismatch");
+  }
+
+  auto transform = [&](double v) {
+    if (!options.log_y) return v;
+    if (v <= 0.0) {
+      throw std::invalid_argument("render_chart: log axis needs positive data");
+    }
+    return std::log10(v);
+  };
+
+  double lo = transform(series[0].y[0]);
+  double hi = lo;
+  for (const auto& s : series) {
+    for (double v : s.y) {
+      const double t = transform(v);
+      lo = std::min(lo, t);
+      hi = std::max(hi, t);
+    }
+  }
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  const std::size_t width = std::max<std::size_t>(options.width, n);
+  const std::size_t height = std::max<std::size_t>(options.height, 4);
+  std::vector<std::string> grid(height, std::string(width, ' '));
+
+  auto col_of = [&](std::size_t i) {
+    if (n == 1) return width / 2;
+    return i * (width - 1) / (n - 1);
+  };
+  auto row_of = [&](double v) {
+    const double t = (transform(v) - lo) / (hi - lo);
+    const auto r = static_cast<std::size_t>(
+        std::lround((1.0 - t) * static_cast<double>(height - 1)));
+    return std::min(r, height - 1);
+  };
+
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i < n; ++i) {
+      auto& cell = grid[row_of(s.y[i])][col_of(i)];
+      // Overlapping series show 'x' so collisions are visible.
+      cell = (cell == ' ' || cell == s.glyph) ? s.glyph : 'x';
+    }
+  }
+
+  // Assemble with a labeled y-axis (top, middle, bottom values).
+  auto untransform = [&](double t) {
+    return options.log_y ? std::pow(10.0, t) : t;
+  };
+  auto label_of = [&](std::size_t row) -> std::string {
+    const double t =
+        hi - (hi - lo) * static_cast<double>(row) / static_cast<double>(height - 1);
+    return fmt_double(untransform(t), 3);
+  };
+
+  std::size_t label_width = 0;
+  for (std::size_t r : {std::size_t{0}, height / 2, height - 1}) {
+    label_width = std::max(label_width, label_of(r).size());
+  }
+
+  std::string out;
+  for (std::size_t r = 0; r < height; ++r) {
+    std::string label;
+    if (r == 0 || r == height / 2 || r == height - 1) label = label_of(r);
+    label.insert(0, label_width - label.size(), ' ');
+    out += label + " |" + grid[r] + "\n";
+  }
+  out += std::string(label_width + 1, ' ') + '+' + std::string(width, '-') + "\n";
+  if (!x_ticks.empty()) {
+    std::string ticks(width, ' ');
+    const std::string& first = x_ticks.front();
+    const std::string& last = x_ticks.back();
+    ticks.replace(0, std::min(first.size(), width), first);
+    if (last.size() < width) {
+      ticks.replace(width - last.size(), last.size(), last);
+    }
+    out += std::string(label_width + 2, ' ') + ticks + "\n";
+  }
+  if (!options.x_label.empty()) {
+    out += std::string(label_width + 2, ' ') + options.x_label + "\n";
+  }
+  std::string legend;
+  for (const auto& s : series) {
+    legend += std::string(1, s.glyph) + " " + s.name + "   ";
+  }
+  out += std::string(label_width + 2, ' ') + legend + "\n";
+  return out;
+}
+
+}  // namespace netsample

@@ -1,0 +1,38 @@
+// Multi-series ASCII line charts for the bench binaries.
+//
+// The paper's figures are log-x line plots (phi vs sampling fraction,
+// phi vs elapsed minutes). Rendering them directly in the bench output
+// makes the shapes reviewable without a plotting step. Series are plotted
+// into a character grid with per-series glyphs and a labeled y-axis.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace netsample {
+
+struct ChartSeries {
+  std::string name;
+  char glyph{'*'};
+  std::vector<double> y;  // one value per x position (NaN-free)
+};
+
+struct ChartOptions {
+  std::size_t width{64};    // plot columns (one per x when x_count smaller)
+  std::size_t height{16};   // plot rows
+  bool log_y{false};        // log10 y-axis (all values must be > 0)
+  std::string x_label;      // printed under the axis
+};
+
+/// Render series (all the same length) into a multi-line string. The x
+/// positions are the value indices, spread evenly across the width --
+/// appropriate for the exponential ladders the benches sweep, which are
+/// uniform in log space. `x_ticks` (same length as the series, may be
+/// empty) annotates the first/last columns.
+/// Throws std::invalid_argument on empty/ragged input or non-positive
+/// values with log_y.
+[[nodiscard]] std::string render_chart(const std::vector<ChartSeries>& series,
+                                       const std::vector<std::string>& x_ticks,
+                                       const ChartOptions& options = {});
+
+}  // namespace netsample

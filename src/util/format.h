@@ -1,0 +1,39 @@
+// Small text-table and number formatting helpers shared by the bench
+// binaries and examples. All paper tables/figures are emitted as aligned
+// ASCII tables plus machine-readable CSV lines, so a plotting script can
+// regenerate the figures without re-running the experiments.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace netsample {
+
+/// Format a double with `prec` significant decimal places, trimming noise.
+[[nodiscard]] std::string fmt_double(double v, int prec = 4);
+
+/// Format a fraction like 1/4096 as "1/4096".
+[[nodiscard]] std::string fmt_fraction(std::uint64_t denom);
+
+/// Format a byte count with thousands separators ("1,636,000").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+/// An aligned ASCII table builder. Rows are added as vectors of cells;
+/// `print` pads every column to its widest cell.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace netsample

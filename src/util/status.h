@@ -1,0 +1,110 @@
+// Lightweight status / expected-value types for fallible I/O paths.
+//
+// Constructor failures and programming errors throw (per the Core
+// Guidelines); routine, recoverable failures on the file-parsing paths
+// (truncated pcap, malformed header) return StatusOr so callers can keep
+// streaming past bad records.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace netsample {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kDataLoss,        // truncated / corrupt input
+  kUnimplemented,
+  kInternal,
+};
+
+[[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
+  switch (c) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalidArgument: return "INVALID_ARGUMENT";
+    case StatusCode::kOutOfRange: return "OUT_OF_RANGE";
+    case StatusCode::kNotFound: return "NOT_FOUND";
+    case StatusCode::kDataLoss: return "DATA_LOSS";
+    case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
+    case StatusCode::kInternal: return "INTERNAL";
+  }
+  return "UNKNOWN";
+}
+
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status ok() { return Status{}; }
+
+  [[nodiscard]] bool is_ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] StatusCode code() const { return code_; }
+  [[nodiscard]] const std::string& message() const { return message_; }
+
+  [[nodiscard]] std::string to_string() const {
+    if (is_ok()) return "OK";
+    return std::string(status_code_name(code_)) + ": " + message_;
+  }
+
+ private:
+  StatusCode code_{StatusCode::kOk};
+  std::string message_;
+};
+
+/// Either a value or an error Status. Minimal local stand-in for
+/// std::expected (C++23) so the library stays at C++20.
+template <typename T>
+class StatusOr {
+ public:
+  StatusOr(T value) : rep_(std::move(value)) {}                    // NOLINT(google-explicit-constructor)
+  StatusOr(Status status) : rep_(std::move(status)) {              // NOLINT(google-explicit-constructor)
+    if (std::get<Status>(rep_).is_ok()) {
+      throw std::logic_error("StatusOr constructed from OK status without value");
+    }
+  }
+
+  [[nodiscard]] bool has_value() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return has_value(); }
+
+  [[nodiscard]] const T& value() const& {
+    check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T& value() & {
+    check();
+    return std::get<T>(rep_);
+  }
+  [[nodiscard]] T&& value() && {
+    check();
+    return std::get<T>(std::move(rep_));
+  }
+
+  [[nodiscard]] Status status() const {
+    if (has_value()) return Status::ok();
+    return std::get<Status>(rep_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void check() const {
+    if (!has_value()) {
+      throw std::runtime_error("StatusOr has no value: " +
+                               std::get<Status>(rep_).to_string());
+    }
+  }
+
+  std::variant<T, Status> rep_;
+};
+
+}  // namespace netsample

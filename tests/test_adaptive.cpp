@@ -1,0 +1,111 @@
+#include "core/adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::core {
+namespace {
+
+AdaptiveControllerConfig config(std::uint64_t budget = 1000) {
+  AdaptiveControllerConfig c;
+  c.examined_budget_per_cycle = budget;
+  c.headroom = 1.0;
+  c.min_granularity = 1;
+  c.max_granularity = 1024;
+  c.smoothing_alpha = 1.0;  // trust each cycle fully: deterministic tests
+  return c;
+}
+
+TEST(AdaptiveController, StartsAtMinGranularity) {
+  AdaptiveRateController ctl(config());
+  EXPECT_EQ(ctl.granularity(), 1u);
+}
+
+TEST(AdaptiveController, StaysFineUnderLightLoad) {
+  AdaptiveRateController ctl(config(1000));
+  EXPECT_EQ(ctl.observe_cycle(500), 1u);
+  EXPECT_EQ(ctl.observe_cycle(999), 1u);
+}
+
+TEST(AdaptiveController, CoarsensExactlyEnough) {
+  AdaptiveRateController ctl(config(1000));
+  EXPECT_EQ(ctl.observe_cycle(1001), 2u);    // 1001/2 < 1000
+  EXPECT_EQ(ctl.observe_cycle(5000), 8u);    // 5000/8 = 625 < 1000
+  EXPECT_EQ(ctl.observe_cycle(100000), 128u);
+}
+
+TEST(AdaptiveController, RecoversFinerWhenLoadDrops) {
+  AdaptiveRateController ctl(config(1000));
+  EXPECT_EQ(ctl.observe_cycle(100000), 128u);
+  EXPECT_EQ(ctl.observe_cycle(500), 1u);
+}
+
+TEST(AdaptiveController, RespectsMaxGranularity) {
+  auto cfg = config(10);
+  cfg.max_granularity = 64;
+  AdaptiveRateController ctl(cfg);
+  EXPECT_EQ(ctl.observe_cycle(1'000'000), 64u);  // clamped
+  EXPECT_GT(ctl.expected_examined(), 10.0);      // over budget but capped
+}
+
+TEST(AdaptiveController, HeadroomShrinksEffectiveBudget) {
+  auto cfg = config(1000);
+  cfg.headroom = 0.5;
+  AdaptiveRateController ctl(cfg);
+  EXPECT_EQ(ctl.observe_cycle(600), 2u);  // 600 > 500 effective
+}
+
+TEST(AdaptiveController, SmoothingDampsSpikes) {
+  auto cfg = config(1000);
+  cfg.smoothing_alpha = 0.1;
+  AdaptiveRateController ctl(cfg);
+  EXPECT_EQ(ctl.observe_cycle(800), 1u);
+  // One spike barely moves the estimate: 0.1*10000 + 0.9*800 = 1720 -> k=2.
+  EXPECT_EQ(ctl.observe_cycle(10000), 2u);
+  EXPECT_NEAR(ctl.load_estimate(), 1720.0, 1.0);
+}
+
+TEST(AdaptiveController, ExpectedExaminedReflectsDecision) {
+  AdaptiveRateController ctl(config(1000));
+  ctl.observe_cycle(3000);
+  EXPECT_EQ(ctl.granularity(), 4u);
+  EXPECT_DOUBLE_EQ(ctl.expected_examined(), 750.0);
+}
+
+TEST(AdaptiveController, Validation) {
+  auto cfg = config();
+  cfg.examined_budget_per_cycle = 0;
+  EXPECT_THROW(AdaptiveRateController{cfg}, std::invalid_argument);
+
+  cfg = config();
+  cfg.min_granularity = 3;  // not a power of two
+  EXPECT_THROW(AdaptiveRateController{cfg}, std::invalid_argument);
+
+  cfg = config();
+  cfg.min_granularity = 64;
+  cfg.max_granularity = 8;
+  EXPECT_THROW(AdaptiveRateController{cfg}, std::invalid_argument);
+
+  cfg = config();
+  cfg.headroom = 0.0;
+  EXPECT_THROW(AdaptiveRateController{cfg}, std::invalid_argument);
+
+  cfg = config();
+  cfg.smoothing_alpha = 1.5;
+  EXPECT_THROW(AdaptiveRateController{cfg}, std::invalid_argument);
+}
+
+TEST(AdaptiveController, NeverExceedsBudgetUnderGrowth) {
+  // Property: with max granularity high enough, the expected examined count
+  // stays within budget across a long growth run.
+  AdaptiveRateController ctl(config(1000));
+  double load = 100.0;
+  for (int cycle = 0; cycle < 60; ++cycle) {
+    ctl.observe_cycle(static_cast<std::uint64_t>(load));
+    EXPECT_LE(ctl.expected_examined(), 1000.0 + 1e-9) << "cycle " << cycle;
+    load *= 1.15;
+  }
+  EXPECT_GT(ctl.granularity(), 1u);
+}
+
+}  // namespace
+}  // namespace netsample::core

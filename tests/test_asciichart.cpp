@@ -1,0 +1,77 @@
+#include "util/asciichart.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netsample {
+namespace {
+
+TEST(AsciiChart, RendersSingleSeries) {
+  ChartSeries s{"phi", '*', {1.0, 2.0, 3.0, 4.0}};
+  const auto out = render_chart({s}, {});
+  // Four plotted points plus the legend glyph.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '*'), 5);
+  // Legend mentions the series.
+  EXPECT_NE(out.find("* phi"), std::string::npos);
+  // Axis present.
+  EXPECT_NE(out.find('+'), std::string::npos);
+}
+
+TEST(AsciiChart, HighestValueOnTopRow) {
+  ChartSeries s{"v", '*', {0.0, 10.0}};
+  const auto out = render_chart({s}, {}, ChartOptions{.width = 10, .height = 5, .log_y = false, .x_label = ""});
+  // First rendered line (top row) must contain the glyph for the max.
+  const auto first_line = out.substr(0, out.find('\n'));
+  EXPECT_NE(first_line.find('*'), std::string::npos);
+}
+
+TEST(AsciiChart, CollisionsMarkedWithX) {
+  ChartSeries a{"a", 'a', {1.0, 5.0}};
+  ChartSeries b{"b", 'b', {1.0, 9.0}};
+  const auto out = render_chart({a, b}, {}, ChartOptions{.width = 8, .height = 6, .log_y = false, .x_label = ""});
+  EXPECT_NE(out.find('x'), std::string::npos);  // shared point at (0, 1.0)
+}
+
+TEST(AsciiChart, LogScaleRequiresPositive) {
+  ChartSeries s{"v", '*', {0.0, 1.0}};
+  ChartOptions opts;
+  opts.log_y = true;
+  EXPECT_THROW((void)render_chart({s}, {}, opts), std::invalid_argument);
+  s.y = {0.001, 1.0};
+  EXPECT_NO_THROW((void)render_chart({s}, {}, opts));
+}
+
+TEST(AsciiChart, XTicksAppear) {
+  ChartSeries s{"v", '*', {1.0, 2.0, 3.0}};
+  const auto out = render_chart({s}, {"1/4", "1/8", "1/16"});
+  EXPECT_NE(out.find("1/4"), std::string::npos);
+  EXPECT_NE(out.find("1/16"), std::string::npos);
+}
+
+TEST(AsciiChart, Validation) {
+  EXPECT_THROW((void)render_chart({}, {}), std::invalid_argument);
+  ChartSeries empty{"e", '*', {}};
+  EXPECT_THROW((void)render_chart({empty}, {}), std::invalid_argument);
+  ChartSeries a{"a", 'a', {1.0, 2.0}};
+  ChartSeries ragged{"r", 'r', {1.0}};
+  EXPECT_THROW((void)render_chart({a, ragged}, {}), std::invalid_argument);
+  EXPECT_THROW((void)render_chart({a}, {"only-one-tick"}),
+               std::invalid_argument);
+}
+
+TEST(AsciiChart, ConstantSeriesDoesNotDivideByZero) {
+  ChartSeries s{"flat", '*', {5.0, 5.0, 5.0}};
+  EXPECT_NO_THROW((void)render_chart({s}, {}));
+}
+
+TEST(AsciiChart, XLabelPrinted) {
+  ChartSeries s{"v", '*', {1.0, 2.0}};
+  ChartOptions opts;
+  opts.x_label = "minutes";
+  const auto out = render_chart({s}, {}, opts);
+  EXPECT_NE(out.find("minutes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netsample

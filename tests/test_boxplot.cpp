@@ -1,0 +1,82 @@
+#include "stats/boxplot.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::stats {
+namespace {
+
+TEST(Boxplot, BasicQuartiles) {
+  const std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = boxplot(data);
+  EXPECT_DOUBLE_EQ(b.min, 1.0);
+  EXPECT_DOUBLE_EQ(b.max, 9.0);
+  EXPECT_DOUBLE_EQ(b.median, 5.0);
+  EXPECT_DOUBLE_EQ(b.q1, 3.0);
+  EXPECT_DOUBLE_EQ(b.q3, 7.0);
+  EXPECT_DOUBLE_EQ(b.mean, 5.0);
+  EXPECT_TRUE(b.outliers.empty());
+}
+
+TEST(Boxplot, WhiskersStopAtExtremesWithoutOutliers) {
+  const std::vector<double> data = {1, 2, 3, 4, 5};
+  const auto b = boxplot(data);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 1.0);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 5.0);
+}
+
+TEST(Boxplot, OutlierBeyondFenceIsExcludedFromWhisker) {
+  // IQR = 4 (q1=2.5... let's use an obvious case): data clustered 1..9 plus 100.
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const auto b = boxplot(data);
+  EXPECT_LT(b.whisker_high, 100.0);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], 100.0);
+  EXPECT_DOUBLE_EQ(b.max, 100.0);
+}
+
+TEST(Boxplot, LowOutlier) {
+  std::vector<double> data = {-100, 10, 11, 12, 13, 14, 15, 16, 17, 18};
+  const auto b = boxplot(data);
+  EXPECT_GT(b.whisker_low, -100.0);
+  ASSERT_EQ(b.outliers.size(), 1u);
+  EXPECT_DOUBLE_EQ(b.outliers[0], -100.0);
+}
+
+TEST(Boxplot, SingleValue) {
+  const auto b = boxplot(std::vector<double>{3.5});
+  EXPECT_DOUBLE_EQ(b.min, 3.5);
+  EXPECT_DOUBLE_EQ(b.median, 3.5);
+  EXPECT_DOUBLE_EQ(b.max, 3.5);
+  EXPECT_DOUBLE_EQ(b.whisker_low, 3.5);
+  EXPECT_DOUBLE_EQ(b.whisker_high, 3.5);
+}
+
+TEST(Boxplot, EmptyThrows) {
+  EXPECT_THROW((void)boxplot({}), std::invalid_argument);
+}
+
+TEST(BoxplotAscii, ContainsGlyphs) {
+  const std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9};
+  const auto b = boxplot(data);
+  const auto line = boxplot_ascii(b, 0.0, 10.0, 40);
+  EXPECT_EQ(line.size(), 40u);
+  EXPECT_NE(line.find('M'), std::string::npos);
+  EXPECT_NE(line.find('['), std::string::npos);
+  EXPECT_NE(line.find(']'), std::string::npos);
+  EXPECT_NE(line.find('|'), std::string::npos);
+}
+
+TEST(BoxplotAscii, OutliersMarked) {
+  std::vector<double> data = {1, 2, 3, 4, 5, 6, 7, 8, 9, 100};
+  const auto b = boxplot(data);
+  const auto line = boxplot_ascii(b, 0.0, 110.0, 60);
+  EXPECT_NE(line.find('o'), std::string::npos);
+}
+
+TEST(BoxplotAscii, DegenerateAxisDoesNotCrash) {
+  const auto b = boxplot(std::vector<double>{5.0, 5.0});
+  EXPECT_NO_THROW((void)boxplot_ascii(b, 5.0, 5.0, 20));
+}
+
+}  // namespace
+}  // namespace netsample::stats

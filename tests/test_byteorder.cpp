@@ -1,0 +1,68 @@
+#include "util/byteorder.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+namespace netsample {
+namespace {
+
+TEST(ByteOrder, Swap16) {
+  EXPECT_EQ(byteswap16(0x1234), 0x3412);
+  EXPECT_EQ(byteswap16(0x0000), 0x0000);
+  EXPECT_EQ(byteswap16(0xFFFF), 0xFFFF);
+  EXPECT_EQ(byteswap16(0x00FF), 0xFF00);
+}
+
+TEST(ByteOrder, Swap32) {
+  EXPECT_EQ(byteswap32(0x12345678u), 0x78563412u);
+  EXPECT_EQ(byteswap32(0x00000000u), 0x00000000u);
+  EXPECT_EQ(byteswap32(0xFFFFFFFFu), 0xFFFFFFFFu);
+  EXPECT_EQ(byteswap32(0x000000FFu), 0xFF000000u);
+}
+
+TEST(ByteOrder, SwapIsInvolution) {
+  for (std::uint32_t v : {0x12345678u, 0xDEADBEEFu, 0x00000001u}) {
+    EXPECT_EQ(byteswap32(byteswap32(v)), v);
+  }
+  for (std::uint16_t v : {std::uint16_t{0x1234}, std::uint16_t{0xBEEF}}) {
+    EXPECT_EQ(byteswap16(byteswap16(v)), v);
+  }
+}
+
+TEST(ByteOrder, LoadBigEndian) {
+  const std::array<std::uint8_t, 4> buf = {0x12, 0x34, 0x56, 0x78};
+  EXPECT_EQ(load_be16(buf.data()), 0x1234);
+  EXPECT_EQ(load_be32(buf.data()), 0x12345678u);
+}
+
+TEST(ByteOrder, LoadLittleEndian) {
+  const std::array<std::uint8_t, 4> buf = {0x78, 0x56, 0x34, 0x12};
+  EXPECT_EQ(load_le16(buf.data()), 0x5678);
+  EXPECT_EQ(load_le32(buf.data()), 0x12345678u);
+}
+
+TEST(ByteOrder, StoreLoadRoundTripBE) {
+  std::array<std::uint8_t, 4> buf{};
+  store_be32(buf.data(), 0xCAFEBABEu);
+  EXPECT_EQ(load_be32(buf.data()), 0xCAFEBABEu);
+  store_be16(buf.data(), 0xBEEF);
+  EXPECT_EQ(load_be16(buf.data()), 0xBEEF);
+}
+
+TEST(ByteOrder, StoreLoadRoundTripLE) {
+  std::array<std::uint8_t, 4> buf{};
+  store_le32(buf.data(), 0xCAFEBABEu);
+  EXPECT_EQ(load_le32(buf.data()), 0xCAFEBABEu);
+  store_le16(buf.data(), 0xBEEF);
+  EXPECT_EQ(load_le16(buf.data()), 0xBEEF);
+}
+
+TEST(ByteOrder, BEAndLEDifferOnAsymmetricValues) {
+  std::array<std::uint8_t, 4> buf{};
+  store_be32(buf.data(), 0x01020304u);
+  EXPECT_EQ(load_le32(buf.data()), 0x04030201u);
+}
+
+}  // namespace
+}  // namespace netsample

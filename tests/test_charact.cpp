@@ -1,0 +1,222 @@
+#include "charact/agent.h"
+#include "charact/objects.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::charact {
+namespace {
+
+trace::PacketRecord pkt(std::uint64_t usec, std::uint16_t size,
+                        std::uint8_t proto, net::Ipv4Address src,
+                        net::Ipv4Address dst, std::uint16_t sport = 0,
+                        std::uint16_t dport = 0) {
+  trace::PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  p.protocol = proto;
+  p.src = src;
+  p.dst = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  return p;
+}
+
+const net::Ipv4Address kSdsc1(132, 249, 1, 1);
+const net::Ipv4Address kSdsc2(132, 249, 7, 9);
+const net::Ipv4Address kRemoteB(128, 32, 5, 5);
+const net::Ipv4Address kRemoteC(192, 203, 230, 10);
+
+TEST(NetMatrix, AggregatesByNetworkNumberPair) {
+  NetMatrixObject m;
+  // Two hosts on the same source network to the same remote net: one cell.
+  m.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  m.observe(pkt(1, 200, 6, kSdsc2, kRemoteB));
+  m.observe(pkt(2, 300, 6, kSdsc1, kRemoteC));
+  EXPECT_EQ(m.pair_count(), 2u);
+
+  const auto rows = m.top(10);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].second.packets, 2u);
+  EXPECT_EQ(rows[0].second.bytes, 300u);
+}
+
+TEST(NetMatrix, TopNTruncates) {
+  NetMatrixObject m;
+  for (int i = 0; i < 10; ++i) {
+    m.observe(pkt(0, 100, 6, kSdsc1, net::Ipv4Address(192, 10, static_cast<std::uint8_t>(i), 1)));
+  }
+  EXPECT_EQ(m.top(3).size(), 3u);
+}
+
+TEST(NetMatrix, AlignedCountsAgainstReference) {
+  NetMatrixObject full, sampled;
+  full.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  full.observe(pkt(1, 100, 6, kSdsc1, kRemoteB));
+  full.observe(pkt(2, 100, 6, kSdsc1, kRemoteC));
+  sampled.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  const auto counts = sampled.counts_aligned_with(full);
+  ASSERT_EQ(counts.size(), 2u);
+  // Reference (map) order: B pair then C pair.
+  EXPECT_DOUBLE_EQ(counts[0] + counts[1], 1.0);
+}
+
+TEST(NetMatrix, ResetClears) {
+  NetMatrixObject m;
+  m.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  m.reset();
+  EXPECT_EQ(m.pair_count(), 0u);
+}
+
+TEST(PortDistribution, KeysOnWellKnownEnd) {
+  PortDistributionObject o;
+  o.observe(pkt(0, 100, 6, kSdsc1, kRemoteB, 1025, 23));   // telnet
+  o.observe(pkt(1, 100, 6, kSdsc1, kRemoteB, 23, 2000));   // telnet (reversed)
+  o.observe(pkt(2, 100, 17, kSdsc1, kRemoteB, 3000, 53));  // dns
+  o.observe(pkt(3, 100, 6, kSdsc1, kRemoteB, 4000, 5000)); // other
+  ASSERT_EQ(o.cells().size(), 3u);
+  const auto telnet = o.cells().find({6, 23});
+  ASSERT_NE(telnet, o.cells().end());
+  EXPECT_EQ(telnet->second.packets, 2u);
+  const auto other = o.cells().find({6, 0});
+  ASSERT_NE(other, o.cells().end());
+  EXPECT_EQ(other->second.packets, 1u);
+}
+
+TEST(PortDistribution, IgnoresNonTransportProtocols) {
+  PortDistributionObject o;
+  o.observe(pkt(0, 100, 1, kSdsc1, kRemoteB));
+  EXPECT_TRUE(o.cells().empty());
+}
+
+TEST(ProtocolDistribution, CountsPacketsAndBytes) {
+  ProtocolDistributionObject o;
+  o.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(1, 200, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(2, 50, 17, kSdsc1, kRemoteB));
+  o.observe(pkt(3, 60, 1, kSdsc1, kRemoteB));
+  ASSERT_EQ(o.cells().size(), 3u);
+  EXPECT_EQ(o.cells().at(6).packets, 2u);
+  EXPECT_EQ(o.cells().at(6).bytes, 300u);
+  EXPECT_EQ(o.cells().at(17).packets, 1u);
+  EXPECT_EQ(o.cells().at(1).bytes, 60u);
+}
+
+TEST(PacketLengthHistogram, FiftyByteGranularity) {
+  PacketLengthHistogramObject o;
+  o.observe(pkt(0, 40, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(1, 49, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(2, 552, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(3, 1500, 6, kSdsc1, kRemoteB));
+  const auto& h = o.histogram();
+  EXPECT_EQ(h.count(h.bin_index(40)), 2u);
+  EXPECT_EQ(h.count(h.bin_index(552)), 1u);
+  EXPECT_EQ(h.count(h.bin_index(1500)), 1u);
+  EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(ArrivalRateHistogram, BinsCompletedSeconds) {
+  ArrivalRateHistogramObject o;
+  // 3 packets in second 0, 1 packet in second 2 (second 1 empty).
+  o.observe(pkt(100, 40, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(200'000, 40, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(900'000, 40, 6, kSdsc1, kRemoteB));
+  o.observe(pkt(2'100'000, 40, 6, kSdsc1, kRemoteB));
+  o.flush();
+  const auto& h = o.histogram();
+  EXPECT_EQ(h.total(), 3u);  // seconds 0, 1, 2
+  // 3 pps, the empty second's 0 pps, and 1 pps all land in the [0,20) bin.
+  EXPECT_EQ(h.count(h.bin_index(0.0)), 3u);
+}
+
+TEST(ArrivalRateHistogram, FlushIsIdempotent) {
+  ArrivalRateHistogramObject o;
+  o.observe(pkt(0, 40, 6, kSdsc1, kRemoteB));
+  o.flush();
+  o.flush();
+  EXPECT_EQ(o.histogram().total(), 1u);
+}
+
+TEST(VolumeObject, Accumulates) {
+  VolumeObject v("test");
+  v.observe(pkt(0, 100, 6, kSdsc1, kRemoteB));
+  v.observe(pkt(1, 200, 6, kSdsc1, kRemoteB));
+  EXPECT_EQ(v.volume().packets, 2u);
+  EXPECT_EQ(v.volume().bytes, 300u);
+  v.reset();
+  EXPECT_EQ(v.volume().packets, 0u);
+}
+
+TEST(NodeSupport, Table1Matrix) {
+  // T1 supports everything.
+  for (auto k : {ObjectKind::kNetMatrix, ObjectKind::kPortDistribution,
+                 ObjectKind::kProtocolDistribution,
+                 ObjectKind::kPacketLengthHistogram, ObjectKind::kOutboundVolume,
+                 ObjectKind::kArrivalRateHistogram, ObjectKind::kTransitVolume}) {
+    EXPECT_TRUE(node_supports(NodeType::kT1, k));
+  }
+  // T3 supports only the first three.
+  EXPECT_TRUE(node_supports(NodeType::kT3, ObjectKind::kNetMatrix));
+  EXPECT_TRUE(node_supports(NodeType::kT3, ObjectKind::kPortDistribution));
+  EXPECT_TRUE(node_supports(NodeType::kT3, ObjectKind::kProtocolDistribution));
+  EXPECT_FALSE(node_supports(NodeType::kT3, ObjectKind::kPacketLengthHistogram));
+  EXPECT_FALSE(node_supports(NodeType::kT3, ObjectKind::kArrivalRateHistogram));
+  EXPECT_FALSE(node_supports(NodeType::kT3, ObjectKind::kOutboundVolume));
+  EXPECT_FALSE(node_supports(NodeType::kT3, ObjectKind::kTransitVolume));
+}
+
+TEST(CollectionAgent, PollCycleReportsAndResets) {
+  // 20-minute stream with a 15-minute poll: expect 2 reports.
+  std::vector<trace::PacketRecord> v;
+  for (int i = 0; i < 1200; ++i) {
+    v.push_back(pkt(static_cast<std::uint64_t>(i) * 1'000'000, 100, 6, kSdsc1,
+                    kRemoteB, 1025, 23));
+  }
+  CollectionAgent agent(NodeType::kT1);
+  agent.run(trace::Trace(std::move(v)).view());
+  ASSERT_EQ(agent.reports().size(), 2u);
+  EXPECT_EQ(agent.reports()[0].packets_examined, 900u);
+  EXPECT_EQ(agent.reports()[1].packets_examined, 300u);
+  EXPECT_EQ(agent.reports()[0].cycle, 0u);
+  EXPECT_EQ(agent.reports()[1].cycle, 1u);
+}
+
+TEST(CollectionAgent, SelectorSamplesHeaders) {
+  std::vector<trace::PacketRecord> v;
+  for (int i = 0; i < 500; ++i) {
+    v.push_back(pkt(static_cast<std::uint64_t>(i) * 1000, 100, 6, kSdsc1,
+                    kRemoteB, 1025, 23));
+  }
+  int counter = 0;
+  CollectionAgent agent(NodeType::kT3, [&counter](const trace::PacketRecord&) {
+    return counter++ % 50 == 0;  // the operational 1-in-50
+  });
+  agent.run(trace::Trace(std::move(v)).view());
+  ASSERT_EQ(agent.reports().size(), 1u);
+  EXPECT_EQ(agent.reports()[0].packets_offered, 500u);
+  EXPECT_EQ(agent.reports()[0].packets_examined, 10u);
+}
+
+TEST(CollectionAgent, T3OmitsT1OnlyObjects) {
+  std::vector<trace::PacketRecord> v = {pkt(0, 100, 6, kSdsc1, kRemoteB, 1, 23)};
+  CollectionAgent agent(NodeType::kT3);
+  agent.run(trace::Trace(std::move(v)).view());
+  ASSERT_EQ(agent.reports().size(), 1u);
+  EXPECT_TRUE(agent.reports()[0].length_histogram.empty());
+  EXPECT_TRUE(agent.reports()[0].arrival_rate_histogram.empty());
+  EXPECT_EQ(agent.reports()[0].outbound.packets, 0u);
+  EXPECT_FALSE(agent.reports()[0].protocols.empty());
+}
+
+TEST(CollectionAgent, EmptySecondCyclesSkipped) {
+  CollectionAgent agent(NodeType::kT1);
+  agent.flush();  // nothing offered: no report
+  EXPECT_TRUE(agent.reports().empty());
+}
+
+TEST(CollectionAgent, InvalidPollPeriodThrows) {
+  EXPECT_THROW(CollectionAgent(NodeType::kT1, nullptr, MicroDuration{0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsample::charact

@@ -1,0 +1,98 @@
+#include "collector/backbone.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::collector {
+namespace {
+
+BackboneConfig default_config() { return BackboneConfig{}; }
+
+TEST(BackboneSimulation, ValidatesConfig) {
+  auto cfg = default_config();
+  cfg.months = 0;
+  EXPECT_THROW(BackboneSimulation{cfg}, std::invalid_argument);
+  cfg = default_config();
+  cfg.processor_capacity_pps = 0;
+  EXPECT_THROW(BackboneSimulation{cfg}, std::invalid_argument);
+  cfg = default_config();
+  cfg.sampling_granularity = 0;
+  EXPECT_THROW(BackboneSimulation{cfg}, std::invalid_argument);
+}
+
+TEST(BackboneSimulation, DeterministicInSeed) {
+  const auto a = BackboneSimulation(default_config()).run();
+  const auto b = BackboneSimulation(default_config()).run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].snmp_packets, b[i].snmp_packets);
+    EXPECT_DOUBLE_EQ(a[i].categorized_estimate, b[i].categorized_estimate);
+  }
+}
+
+TEST(BackboneSimulation, TrafficGrowsMonthOverMonth) {
+  const auto r = BackboneSimulation(default_config()).run();
+  EXPECT_GT(r.back().snmp_packets, 4.0 * r.front().snmp_packets);
+}
+
+TEST(BackboneSimulation, EarlyMonthsHaveNoDiscrepancy) {
+  const auto r = BackboneSimulation(default_config()).run();
+  EXPECT_LT(r[0].discrepancy_fraction, 0.02);
+  EXPECT_LT(r[3].discrepancy_fraction, 0.02);
+}
+
+TEST(BackboneSimulation, DiscrepancyGrowsBeforeSamplingDeployment) {
+  const auto cfg = default_config();
+  const auto r = BackboneSimulation(cfg).run();
+  const int pre = cfg.sampling_deploy_month - 1;
+  // The month before sampling deployment shows a significant loss,
+  // and it exceeds the loss two years earlier (Figure 1's widening gap).
+  EXPECT_GT(r[pre].discrepancy_fraction, 0.10);
+  EXPECT_GT(r[pre].discrepancy_fraction, r[pre - 24].discrepancy_fraction);
+}
+
+TEST(BackboneSimulation, SamplingDeploymentClosesTheGap) {
+  const auto cfg = default_config();
+  const auto r = BackboneSimulation(cfg).run();
+  const int pre = cfg.sampling_deploy_month - 1;
+  const int post = cfg.sampling_deploy_month;
+  EXPECT_TRUE(r[post].sampling_active);
+  EXPECT_FALSE(r[pre].sampling_active);
+  EXPECT_LT(r[post].discrepancy_fraction, r[pre].discrepancy_fraction / 4.0);
+  EXPECT_LT(r[post].discrepancy_fraction, 0.02);
+}
+
+TEST(BackboneSimulation, NeverDeployingSamplingKeepsLosing) {
+  auto cfg = default_config();
+  cfg.sampling_deploy_month = -1;
+  const auto r = BackboneSimulation(cfg).run();
+  EXPECT_FALSE(r.back().sampling_active);
+  EXPECT_GT(r.back().discrepancy_fraction, 0.3);
+}
+
+TEST(BackboneSimulation, SnmpAlwaysMatchesOfferedLoad) {
+  const auto r = BackboneSimulation(default_config()).run();
+  for (const auto& m : r) {
+    EXPECT_DOUBLE_EQ(m.snmp_packets, m.offered_packets);
+    EXPECT_LE(m.categorized_estimate, m.snmp_packets * 1.0000001);
+  }
+}
+
+TEST(BackboneSimulation, HigherCapacityDelaysTheGap) {
+  auto cfg = default_config();
+  cfg.sampling_deploy_month = -1;
+  const auto low = BackboneSimulation(cfg).run();
+  cfg.processor_capacity_pps *= 4.0;
+  const auto high = BackboneSimulation(cfg).run();
+  const std::size_t mid = low.size() / 2;
+  EXPECT_GT(low[mid].discrepancy_fraction, high[mid].discrepancy_fraction);
+}
+
+TEST(MonthLabel, FormatsCalendarMonths) {
+  EXPECT_EQ(month_label(0), "Jan 89");
+  EXPECT_EQ(month_label(11), "Dec 89");
+  EXPECT_EQ(month_label(12), "Jan 90");
+  EXPECT_EQ(month_label(32), "Sep 91");
+}
+
+}  // namespace
+}  // namespace netsample::collector

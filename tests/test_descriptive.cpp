@@ -1,0 +1,164 @@
+#include "stats/descriptive.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(MomentAccumulator, EmptyIsZero) {
+  MomentAccumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 0.0);
+}
+
+TEST(MomentAccumulator, SingleValue) {
+  MomentAccumulator acc;
+  acc.add(7.0);
+  EXPECT_EQ(acc.count(), 1u);
+  EXPECT_DOUBLE_EQ(acc.mean(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.min(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.0);
+  EXPECT_DOUBLE_EQ(acc.population_variance(), 0.0);
+  EXPECT_DOUBLE_EQ(acc.sample_variance(), 0.0);
+}
+
+TEST(MomentAccumulator, KnownSmallDataSet) {
+  // Data: 2, 4, 4, 4, 5, 5, 7, 9 -- classic example with mean 5, pop sd 2.
+  MomentAccumulator acc;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) acc.add(x);
+  EXPECT_DOUBLE_EQ(acc.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(acc.population_stddev(), 2.0);
+  EXPECT_NEAR(acc.sample_variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), 2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 9.0);
+}
+
+TEST(MomentAccumulator, SymmetricDataHasZeroSkew) {
+  MomentAccumulator acc;
+  for (double x : {-2.0, -1.0, 0.0, 1.0, 2.0}) acc.add(x);
+  EXPECT_NEAR(acc.skewness(), 0.0, 1e-12);
+}
+
+TEST(MomentAccumulator, KurtosisOfTwoPointDistributionIsOne) {
+  // {-1, 1} repeated: m4/m2^2 == 1, the minimum possible kurtosis.
+  MomentAccumulator acc;
+  for (int i = 0; i < 100; ++i) {
+    acc.add(-1.0);
+    acc.add(1.0);
+  }
+  EXPECT_NEAR(acc.kurtosis(), 1.0, 1e-12);
+}
+
+TEST(MomentAccumulator, GaussianSkewKurtosis) {
+  Rng rng(99);
+  MomentAccumulator acc;
+  for (int i = 0; i < 400000; ++i) acc.add(rng.normal());
+  EXPECT_NEAR(acc.skewness(), 0.0, 0.02);
+  EXPECT_NEAR(acc.kurtosis(), 3.0, 0.05);
+}
+
+TEST(MomentAccumulator, ExponentialSkewIsTwo) {
+  Rng rng(7);
+  MomentAccumulator acc;
+  for (int i = 0; i < 500000; ++i) acc.add(rng.exponential(1.0));
+  EXPECT_NEAR(acc.skewness(), 2.0, 0.1);
+}
+
+TEST(MomentAccumulator, MergeEqualsSequential) {
+  Rng rng(5);
+  MomentAccumulator whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    whole.add(x);
+    (i < 400 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.mean(), whole.mean(), 1e-9);
+  EXPECT_NEAR(a.population_variance(), whole.population_variance(), 1e-9);
+  EXPECT_NEAR(a.skewness(), whole.skewness(), 1e-9);
+  EXPECT_NEAR(a.kurtosis(), whole.kurtosis(), 1e-9);
+  EXPECT_DOUBLE_EQ(a.min(), whole.min());
+  EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(MomentAccumulator, MergeWithEmptyIsIdentity) {
+  MomentAccumulator a, empty;
+  a.add(1.0);
+  a.add(2.0);
+  const double mean_before = a.mean();
+  a.merge(empty);
+  EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+  MomentAccumulator b;
+  b.merge(a);
+  EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+}
+
+TEST(MomentAccumulator, NumericallyStableForLargeOffsets) {
+  MomentAccumulator acc;
+  for (int i = 0; i < 1000; ++i) acc.add(1e9 + (i % 2));
+  EXPECT_NEAR(acc.population_variance(), 0.25, 1e-6);
+}
+
+TEST(QuantileSorted, ExactOrderStatistics) {
+  const std::vector<double> v = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.0);
+}
+
+TEST(QuantileSorted, LinearInterpolation) {
+  const std::vector<double> v = {0, 10};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.5), 5.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 0.25), 2.5);
+}
+
+TEST(QuantileSorted, EmptyThrows) {
+  EXPECT_THROW((void)quantile_sorted({}, 0.5), std::invalid_argument);
+}
+
+TEST(QuantileSorted, ClampsOutOfRangeQ) {
+  const std::vector<double> v = {1, 2, 3};
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, -0.5), 1.0);
+  EXPECT_DOUBLE_EQ(quantile_sorted(v, 1.5), 3.0);
+}
+
+TEST(Quantiles, MultipleAtOnce) {
+  const std::vector<double> data = {5, 1, 4, 2, 3};  // unsorted on purpose
+  const std::vector<double> qs = {0.0, 0.5, 1.0};
+  const auto r = quantiles(data, qs);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r[0], 1.0);
+  EXPECT_DOUBLE_EQ(r[1], 3.0);
+  EXPECT_DOUBLE_EQ(r[2], 5.0);
+}
+
+TEST(Summarize, FullLayout) {
+  std::vector<double> data;
+  for (int i = 1; i <= 100; ++i) data.push_back(static_cast<double>(i));
+  const auto s = summarize(data);
+  EXPECT_EQ(s.n, 100u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 100.0);
+  EXPECT_DOUBLE_EQ(s.median, 50.5);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_NEAR(s.q1, 25.75, 1e-12);
+  EXPECT_NEAR(s.q3, 75.25, 1e-12);
+  EXPECT_NEAR(s.stddev, std::sqrt((100.0 * 100.0 - 1.0) / 12.0), 1e-9);
+}
+
+TEST(Summarize, EmptyDataGivesZeroSummary) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+}  // namespace
+}  // namespace netsample::stats

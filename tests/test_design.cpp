@@ -1,0 +1,99 @@
+#include "core/design.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::core {
+namespace {
+
+// Section 5.1 of the paper computes these exact sample sizes from the trace
+// population parameters. Our implementation must reproduce them.
+
+// Tolerances of a few samples absorb the difference between the paper's
+// rounded z = 1.96 and our exact z = 1.9599640.
+
+TEST(SampleSizePlan, PaperPacketSizeAt5Pct) {
+  // mu = 232 bytes, sigma = 236, r = 5%, 95% confidence -> n = 1590.
+  const auto p = plan_sample_size(232.0, 236.0, 5.0, 0.95);
+  EXPECT_NEAR(static_cast<double>(p.n), 1590.0, 1.0);
+}
+
+TEST(SampleSizePlan, PaperPacketSizeAt1Pct) {
+  // r = 1% -> n = 39752.
+  const auto p = plan_sample_size(232.0, 236.0, 1.0, 0.95);
+  EXPECT_NEAR(static_cast<double>(p.n), 39752.0, 2.0);
+}
+
+TEST(SampleSizePlan, PaperInterarrivalAt5Pct) {
+  // mu = 2358 us, sigma = 2734 -> n = 2066.
+  const auto p = plan_sample_size(2358.0, 2734.0, 5.0, 0.95);
+  EXPECT_NEAR(static_cast<double>(p.n), 2066.0, 1.0);
+}
+
+TEST(SampleSizePlan, PaperInterarrivalAt1Pct) {
+  // r = 1% -> n = 51644.
+  const auto p = plan_sample_size(2358.0, 2734.0, 1.0, 0.95);
+  EXPECT_NEAR(static_cast<double>(p.n), 51644.0, 3.0);
+}
+
+TEST(SampleSizePlan, SamplingFractionAgainstPaperPopulation)
+{
+  // 1590 out of ~1.6M is a fraction of ~0.1% (the paper's "around 0.10%").
+  const auto p = plan_sample_size(232.0, 236.0, 5.0, 0.95, 1'600'000);
+  EXPECT_NEAR(p.sampling_fraction, 0.001, 0.0002);
+  // The finite-population correction barely moves n at this scale.
+  EXPECT_LE(p.n_fpc, p.n);
+  EXPECT_GT(p.n_fpc, p.n - 5);
+}
+
+TEST(SampleSizePlan, FpcMattersForSmallPopulations) {
+  const auto p = plan_sample_size(100.0, 100.0, 5.0, 0.95, 2000);
+  // n0 = (1.96*100/5)^2 ~ 1537; FPC shrinks it drastically for N=2000.
+  EXPECT_GT(p.n, 1500u);
+  EXPECT_LT(p.n_fpc, 900u);
+}
+
+TEST(SampleSizePlan, TighterAccuracyNeedsMoreSamples) {
+  const auto loose = plan_sample_size(232.0, 236.0, 10.0, 0.95);
+  const auto tight = plan_sample_size(232.0, 236.0, 2.0, 0.95);
+  EXPECT_LT(loose.n, tight.n);
+  // Quadratic scaling: 5x tighter accuracy -> 25x samples.
+  EXPECT_NEAR(static_cast<double>(tight.n) / static_cast<double>(loose.n), 25.0,
+              0.5);
+}
+
+TEST(SampleSizePlan, HigherConfidenceNeedsMoreSamples) {
+  const auto lo = plan_sample_size(232.0, 236.0, 5.0, 0.90);
+  const auto hi = plan_sample_size(232.0, 236.0, 5.0, 0.99);
+  EXPECT_LT(lo.n, hi.n);
+  EXPECT_NEAR(lo.z, 1.645, 0.001);
+  EXPECT_NEAR(hi.z, 2.576, 0.001);
+}
+
+TEST(SampleSizePlan, Validation) {
+  EXPECT_THROW((void)plan_sample_size(0.0, 1.0, 5.0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)plan_sample_size(1.0, 0.0, 5.0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)plan_sample_size(1.0, 1.0, 0.0, 0.95), std::invalid_argument);
+  EXPECT_THROW((void)plan_sample_size(1.0, 1.0, 5.0, 1.5), std::domain_error);
+}
+
+TEST(AchievableAccuracy, InvertsThePlan) {
+  const auto p = plan_sample_size(232.0, 236.0, 5.0, 0.95);
+  const double r = achievable_accuracy_pct(232.0, 236.0, p.n, 0.95);
+  EXPECT_NEAR(r, 5.0, 0.01);
+}
+
+TEST(AchievableAccuracy, MoreSamplesTightenAccuracy) {
+  const double r1 = achievable_accuracy_pct(232.0, 236.0, 1000, 0.95);
+  const double r2 = achievable_accuracy_pct(232.0, 236.0, 4000, 0.95);
+  EXPECT_NEAR(r1 / r2, 2.0, 0.01);  // 4x samples -> 2x accuracy
+}
+
+TEST(AchievableAccuracy, Validation) {
+  EXPECT_THROW((void)achievable_accuracy_pct(0.0, 1.0, 100, 0.95),
+               std::invalid_argument);
+  EXPECT_THROW((void)achievable_accuracy_pct(1.0, 1.0, 0, 0.95),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsample::core

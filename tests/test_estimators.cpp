@@ -1,0 +1,209 @@
+#include "core/estimators.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netsample::core {
+namespace {
+
+TEST(EstimateTotal, ExpandsBySamplingFraction) {
+  const auto e = estimate_total(200.0, 0.02);
+  EXPECT_DOUBLE_EQ(e.value, 10000.0);
+  EXPECT_LT(e.ci_low, e.value);
+  EXPECT_GT(e.ci_high, e.value);
+}
+
+TEST(EstimateTotal, FullCensusHasNoUncertainty) {
+  const auto e = estimate_total(500.0, 1.0);
+  EXPECT_DOUBLE_EQ(e.value, 500.0);
+  EXPECT_DOUBLE_EQ(e.ci_low, 500.0);
+  EXPECT_DOUBLE_EQ(e.ci_high, 500.0);
+}
+
+TEST(EstimateTotal, ZeroSampleGivesZeroPoint) {
+  const auto e = estimate_total(0.0, 0.1);
+  EXPECT_DOUBLE_EQ(e.value, 0.0);
+  EXPECT_DOUBLE_EQ(e.ci_low, 0.0);
+}
+
+TEST(EstimateTotal, Validation) {
+  EXPECT_THROW((void)estimate_total(10.0, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_total(10.0, 1.5), std::invalid_argument);
+  EXPECT_THROW((void)estimate_total(-1.0, 0.5), std::invalid_argument);
+}
+
+TEST(EstimateTotal, CoverageMatchesConfidence) {
+  // Thin a known population of N=100000 at f=0.02 repeatedly; the CI should
+  // contain N about 95% of the time.
+  Rng rng(8);
+  const double n_pop = 100000.0;
+  const double f = 0.02;
+  int covered = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    double sampled = 0.0;
+    // Binomial(N, f) via normal approximation is what the estimator assumes;
+    // draw it exactly by thinning in chunks.
+    for (int i = 0; i < 100; ++i) {
+      // 1000 packets per chunk.
+      for (int j = 0; j < 1000; ++j) {
+        if (rng.bernoulli(f)) sampled += 1.0;
+      }
+    }
+    const auto e = estimate_total(sampled, f, 0.95);
+    if (e.ci_low <= n_pop && n_pop <= e.ci_high) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), 0.95, 0.05);
+}
+
+TEST(EstimateWeightedTotal, PointEstimateExpands) {
+  const std::vector<double> weights = {100, 200, 300};
+  const auto e = estimate_weighted_total(weights, 0.1);
+  EXPECT_DOUBLE_EQ(e.value, 6000.0);
+  EXPECT_LT(e.ci_low, e.value);
+  EXPECT_GT(e.ci_high, e.value);
+}
+
+TEST(EstimateWeightedTotal, CensusHasZeroWidth) {
+  const std::vector<double> weights = {100, 200};
+  const auto e = estimate_weighted_total(weights, 1.0);
+  EXPECT_DOUBLE_EQ(e.value, 300.0);
+  EXPECT_DOUBLE_EQ(e.ci_low, 300.0);
+  EXPECT_DOUBLE_EQ(e.ci_high, 300.0);
+}
+
+TEST(EstimateWeightedTotal, HeavierWeightsWidenTheInterval) {
+  // Same total weight, concentrated vs spread: concentration means more
+  // variance in what sampling might miss.
+  const std::vector<double> spread(100, 10.0);
+  const std::vector<double> concentrated = {1000.0};
+  const auto e_spread = estimate_weighted_total(spread, 0.1);
+  const auto e_conc = estimate_weighted_total(concentrated, 0.1);
+  EXPECT_DOUBLE_EQ(e_spread.value, e_conc.value);
+  EXPECT_LT(e_spread.ci_high - e_spread.ci_low,
+            e_conc.ci_high - e_conc.ci_low);
+}
+
+TEST(EstimateWeightedTotal, CoverageUnderBernoulliThinning) {
+  Rng rng(12);
+  // Population: 20000 packets with bimodal sizes (the paper's shape).
+  std::vector<double> sizes;
+  double truth = 0.0;
+  for (int i = 0; i < 20000; ++i) {
+    const double s = rng.bernoulli(0.4) ? 552.0 : 40.0;
+    sizes.push_back(s);
+    truth += s;
+  }
+  const double f = 0.05;
+  int covered = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> sampled;
+    for (double s : sizes) {
+      if (rng.bernoulli(f)) sampled.push_back(s);
+    }
+    const auto e = estimate_weighted_total(sampled, f, 0.95);
+    if (e.ci_low <= truth && truth <= e.ci_high) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), 0.95, 0.05);
+}
+
+TEST(EstimateWeightedTotal, Validation) {
+  const std::vector<double> w = {1.0};
+  EXPECT_THROW((void)estimate_weighted_total(w, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_weighted_total(w, 1.1), std::invalid_argument);
+}
+
+TEST(EstimateMean, PointAndInterval) {
+  const std::vector<double> data = {10, 12, 8, 11, 9, 10, 12, 8};
+  const auto e = estimate_mean(data);
+  EXPECT_DOUBLE_EQ(e.value, 10.0);
+  EXPECT_LT(e.ci_low, 10.0);
+  EXPECT_GT(e.ci_high, 10.0);
+}
+
+TEST(EstimateMean, FpcTightensInterval) {
+  std::vector<double> data;
+  Rng rng(9);
+  for (int i = 0; i < 500; ++i) data.push_back(rng.uniform(0.0, 100.0));
+  const auto infinite = estimate_mean(data, 0);
+  const auto finite = estimate_mean(data, 1000);  // sampled half the population
+  EXPECT_LT(finite.ci_high - finite.ci_low, infinite.ci_high - infinite.ci_low);
+  EXPECT_DOUBLE_EQ(finite.value, infinite.value);
+}
+
+TEST(EstimateMean, CensusHasZeroWidth) {
+  const std::vector<double> data = {1, 2, 3, 4};
+  const auto e = estimate_mean(data, 4);
+  EXPECT_NEAR(e.ci_high - e.ci_low, 0.0, 1e-12);
+}
+
+TEST(EstimateMean, EmptyThrows) {
+  EXPECT_THROW((void)estimate_mean({}), std::invalid_argument);
+}
+
+TEST(EstimateMean, SingleValueHasZeroSpreadEstimate) {
+  const std::vector<double> one = {7.0};
+  const auto e = estimate_mean(one);
+  EXPECT_DOUBLE_EQ(e.value, 7.0);
+  EXPECT_DOUBLE_EQ(e.ci_low, 7.0);
+}
+
+TEST(EstimateProportion, WilsonInterval) {
+  const auto e = estimate_proportion(30, 100);
+  EXPECT_DOUBLE_EQ(e.value, 0.3);
+  // Wilson bounds for 30/100 at 95%: about [0.218, 0.397].
+  EXPECT_NEAR(e.ci_low, 0.218, 0.005);
+  EXPECT_NEAR(e.ci_high, 0.397, 0.005);
+}
+
+TEST(EstimateProportion, ExtremesStayInUnitInterval) {
+  const auto zero = estimate_proportion(0, 50);
+  EXPECT_DOUBLE_EQ(zero.value, 0.0);
+  EXPECT_GE(zero.ci_low, 0.0);
+  EXPECT_GT(zero.ci_high, 0.0);  // Wilson never collapses at the boundary
+
+  const auto all = estimate_proportion(50, 50);
+  EXPECT_DOUBLE_EQ(all.value, 1.0);
+  EXPECT_LT(all.ci_low, 1.0);
+  EXPECT_LE(all.ci_high, 1.0);
+}
+
+TEST(EstimateProportion, Validation) {
+  EXPECT_THROW((void)estimate_proportion(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)estimate_proportion(5, 4), std::invalid_argument);
+}
+
+TEST(EstimateProportion, CoverageMatchesConfidence) {
+  Rng rng(10);
+  const double p_true = 0.12;
+  int covered = 0;
+  const int trials = 500;
+  for (int t = 0; t < trials; ++t) {
+    std::uint64_t hits = 0;
+    const std::uint64_t n = 400;
+    for (std::uint64_t i = 0; i < n; ++i) {
+      if (rng.bernoulli(p_true)) ++hits;
+    }
+    const auto e = estimate_proportion(hits, n, 0.95);
+    if (e.ci_low <= p_true && p_true <= e.ci_high) ++covered;
+  }
+  EXPECT_NEAR(covered / static_cast<double>(trials), 0.95, 0.04);
+}
+
+TEST(EstimateCategoryTotals, OnePerCategory) {
+  const std::vector<double> counts = {10, 5, 0};
+  const auto est = estimate_category_totals(counts, 0.1);
+  ASSERT_EQ(est.size(), 3u);
+  EXPECT_DOUBLE_EQ(est[0].value, 100.0);
+  EXPECT_DOUBLE_EQ(est[1].value, 50.0);
+  EXPECT_DOUBLE_EQ(est[2].value, 0.0);
+  EXPECT_GT(est[0].ci_high, est[0].value);
+}
+
+}  // namespace
+}  // namespace netsample::core

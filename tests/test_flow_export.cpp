@@ -1,0 +1,114 @@
+#include "trace/flow_export.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "synth/presets.h"
+
+namespace netsample::trace {
+namespace {
+
+std::vector<FlowRecord> sample_records() {
+  FlowRecord a;
+  a.key = {net::Ipv4Address(132, 249, 1, 5), net::Ipv4Address(192, 203, 230, 10),
+           1025, 23, 6};
+  a.first_seen = MicroTime{1000};
+  a.last_seen = MicroTime{900000};
+  a.packets = 42;
+  a.bytes = 9001;
+  a.saw_syn = true;
+
+  FlowRecord b;
+  b.key = {net::Ipv4Address(132, 249, 9, 9), net::Ipv4Address(128, 32, 1, 1),
+           2001, 53, 17};
+  b.first_seen = MicroTime{5000};
+  b.last_seen = MicroTime{5000};
+  b.packets = 1;
+  b.bytes = 76;
+  b.saw_fin = false;
+  return {a, b};
+}
+
+TEST(FlowExport, SerializeParseRoundTrip) {
+  const auto records = sample_records();
+  const auto bytes = serialize_flows(records);
+  const auto parsed = parse_flows(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 2u);
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].key, records[i].key);
+    EXPECT_EQ((*parsed)[i].first_seen, records[i].first_seen);
+    EXPECT_EQ((*parsed)[i].last_seen, records[i].last_seen);
+    EXPECT_EQ((*parsed)[i].packets, records[i].packets);
+    EXPECT_EQ((*parsed)[i].bytes, records[i].bytes);
+    EXPECT_EQ((*parsed)[i].saw_syn, records[i].saw_syn);
+    EXPECT_EQ((*parsed)[i].saw_fin, records[i].saw_fin);
+  }
+}
+
+TEST(FlowExport, EmptyListRoundTrips) {
+  const auto bytes = serialize_flows({});
+  const auto parsed = parse_flows(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->empty());
+}
+
+TEST(FlowExport, RejectsBadMagic) {
+  auto bytes = serialize_flows(sample_records());
+  bytes[0] = 'X';
+  const auto parsed = parse_flows(bytes);
+  EXPECT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FlowExport, RejectsWrongVersion) {
+  auto bytes = serialize_flows(sample_records());
+  bytes[4] = 99;
+  EXPECT_EQ(parse_flows(bytes).status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(FlowExport, RejectsTruncation) {
+  auto bytes = serialize_flows(sample_records());
+  bytes.resize(bytes.size() - 1);
+  EXPECT_EQ(parse_flows(bytes).status().code(), StatusCode::kDataLoss);
+  bytes.resize(8);
+  EXPECT_EQ(parse_flows(bytes).status().code(), StatusCode::kDataLoss);
+}
+
+TEST(FlowExport, FileRoundTrip) {
+  const auto path =
+      (std::filesystem::temp_directory_path() / "netsample_flows.nsfe").string();
+  const auto records = sample_records();
+  ASSERT_TRUE(write_flows(path, records).is_ok());
+  const auto loaded = read_flows(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->size(), records.size());
+  std::remove(path.c_str());
+}
+
+TEST(FlowExport, MissingFileFails) {
+  EXPECT_EQ(read_flows("/nonexistent/flows.nsfe").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(FlowExport, EndToEndFromFlowTable) {
+  // Assemble flows from synthetic traffic, export, reload, and compare the
+  // aggregate statistics.
+  synth::TraceModel model(synth::sdsc_minutes_config(0.5, 13));
+  const auto t = model.generate();
+  FlowTable table(MicroDuration::from_seconds(30));
+  table.run(t.view());
+
+  const auto bytes = serialize_flows(table.expired());
+  const auto parsed = parse_flows(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), table.expired().size());
+  std::uint64_t packets = 0;
+  for (const auto& f : *parsed) packets += f.packets;
+  EXPECT_EQ(packets, t.size());
+}
+
+}  // namespace
+}  // namespace netsample::trace

@@ -1,0 +1,141 @@
+#include "trace/flows.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "synth/presets.h"
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, net::Ipv4Address src, net::Ipv4Address dst,
+                 std::uint16_t sport, std::uint16_t dport,
+                 std::uint8_t proto = 6, std::uint16_t size = 100,
+                 std::uint8_t flags = 0x10) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.src = src;
+  p.dst = dst;
+  p.src_port = sport;
+  p.dst_port = dport;
+  p.protocol = proto;
+  p.size = size;
+  p.tcp_flags = flags;
+  return p;
+}
+
+const net::Ipv4Address kA(10, 0, 0, 1);
+const net::Ipv4Address kB(10, 0, 0, 2);
+const net::Ipv4Address kC(10, 0, 0, 3);
+
+TEST(FlowTable, GroupsByFiveTuple) {
+  FlowTable table(MicroDuration::from_seconds(60));
+  table.offer(pkt(0, kA, kB, 1025, 23));
+  table.offer(pkt(1000, kA, kB, 1025, 23, 6, 200));
+  table.offer(pkt(2000, kA, kB, 1026, 23));  // different src port
+  table.offer(pkt(3000, kA, kC, 1025, 23));  // different dst
+  EXPECT_EQ(table.active_flows(), 3u);
+  table.flush();
+  EXPECT_EQ(table.expired().size(), 3u);
+
+  const auto top = table.top_by_packets(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].packets, 2u);
+  EXPECT_EQ(top[0].bytes, 300u);
+}
+
+TEST(FlowTable, TracksTimesAndFlags) {
+  FlowTable table(MicroDuration::from_seconds(60));
+  table.offer(pkt(1000, kA, kB, 1025, 23, 6, 40, 0x02));  // SYN
+  table.offer(pkt(5000, kA, kB, 1025, 23, 6, 100, 0x18));
+  table.offer(pkt(9000, kA, kB, 1025, 23, 6, 40, 0x11));  // FIN|ACK
+  table.flush();
+  ASSERT_EQ(table.expired().size(), 1u);
+  const auto& f = table.expired()[0];
+  EXPECT_EQ(f.first_seen.usec, 1000u);
+  EXPECT_EQ(f.last_seen.usec, 9000u);
+  EXPECT_EQ(f.duration().usec, 8000);
+  EXPECT_TRUE(f.saw_syn);
+  EXPECT_TRUE(f.saw_fin);
+  EXPECT_DOUBLE_EQ(f.mean_packet_size(), 60.0);
+}
+
+TEST(FlowTable, IdleTimeoutExpiresFlows) {
+  FlowTable table(MicroDuration::from_seconds(1));
+  table.offer(pkt(0, kA, kB, 1025, 23));
+  // 5 seconds later (far beyond timeout + amortization slack).
+  table.offer(pkt(5'000'000, kA, kC, 1025, 23));
+  EXPECT_EQ(table.expired().size(), 1u);
+  EXPECT_EQ(table.active_flows(), 1u);
+}
+
+TEST(FlowTable, ContinuingTrafficKeepsFlowAlive) {
+  FlowTable table(MicroDuration::from_seconds(1));
+  for (int i = 0; i < 100; ++i) {
+    table.offer(pkt(static_cast<std::uint64_t>(i) * 500'000, kA, kB, 1025, 23));
+  }
+  table.flush();
+  EXPECT_EQ(table.expired().size(), 1u);
+  EXPECT_EQ(table.expired()[0].packets, 100u);
+}
+
+TEST(FlowTable, RejectsTimeTravel) {
+  FlowTable table(MicroDuration::from_seconds(1));
+  table.offer(pkt(1000, kA, kB, 1, 2));
+  EXPECT_THROW(table.offer(pkt(500, kA, kB, 1, 2)), std::invalid_argument);
+}
+
+TEST(FlowTable, RejectsBadTimeout) {
+  EXPECT_THROW(FlowTable(MicroDuration{0}), std::invalid_argument);
+  EXPECT_THROW(FlowTable(MicroDuration{-5}), std::invalid_argument);
+}
+
+TEST(FlowTable, StatsAggregate) {
+  FlowTable table(MicroDuration::from_seconds(60));
+  table.offer(pkt(0, kA, kB, 1, 2, 6, 100));
+  table.offer(pkt(1'000'000, kA, kB, 1, 2, 6, 100));
+  table.offer(pkt(2'000'000, kA, kC, 3, 4, 17, 50));
+  table.flush();
+  const auto s = table.stats();
+  EXPECT_EQ(s.flows, 2u);
+  EXPECT_EQ(s.packets, 3u);
+  EXPECT_EQ(s.bytes, 250u);
+  EXPECT_DOUBLE_EQ(s.mean_flow_packets, 1.5);
+  EXPECT_NEAR(s.mean_flow_duration_sec, 0.5, 1e-9);
+}
+
+TEST(FlowTable, RunDrivesWholeView) {
+  // The synthetic workload should decompose into a plausible flow structure:
+  // more than one packet per flow on average (trains), flows spanning
+  // multiple networks.
+  synth::TraceModel model(synth::sdsc_minutes_config(1.0, 77));
+  const auto t = model.generate();
+  FlowTable table(MicroDuration::from_seconds(30));
+  table.run(t.view());
+  const auto s = table.stats();
+  EXPECT_EQ(s.packets, t.size());
+  EXPECT_GT(s.flows, 100u);
+  EXPECT_GT(s.mean_flow_packets, 1.5);
+  const auto top = table.top_by_packets(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_GE(top[0].packets, top[4].packets);
+}
+
+TEST(FlowKeyHash, DistinctKeysRarelyCollide) {
+  FlowKeyHash h;
+  std::set<std::size_t> hashes;
+  int total = 0;
+  for (int i = 0; i < 30; ++i) {
+    for (std::uint16_t port : {23, 25, 119}) {
+      FlowKey k{net::Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i)),
+                kB, static_cast<std::uint16_t>(1024 + i), port, 6};
+      hashes.insert(h(k));
+      ++total;
+    }
+  }
+  EXPECT_EQ(hashes.size(), static_cast<std::size_t>(total));
+}
+
+}  // namespace
+}  // namespace netsample::trace

@@ -1,0 +1,61 @@
+#include "util/format.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace netsample {
+namespace {
+
+TEST(FmtDouble, TrimsTrailingZeros) {
+  EXPECT_EQ(fmt_double(1.5), "1.5");
+  EXPECT_EQ(fmt_double(1.5000), "1.5");
+  EXPECT_EQ(fmt_double(2.0), "2.0");
+  EXPECT_EQ(fmt_double(0.1234, 4), "0.1234");
+}
+
+TEST(FmtDouble, RespectsPrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(3.14159, 0), "3");
+}
+
+TEST(FmtDouble, NegativeValues) {
+  EXPECT_EQ(fmt_double(-1.25, 2), "-1.25");
+}
+
+TEST(FmtFraction, Format) {
+  EXPECT_EQ(fmt_fraction(50), "1/50");
+  EXPECT_EQ(fmt_fraction(32768), "1/32768");
+}
+
+TEST(FmtCount, ThousandsSeparators) {
+  EXPECT_EQ(fmt_count(0), "0");
+  EXPECT_EQ(fmt_count(999), "999");
+  EXPECT_EQ(fmt_count(1000), "1,000");
+  EXPECT_EQ(fmt_count(1636000), "1,636,000");
+  EXPECT_EQ(fmt_count(1234567890), "1,234,567,890");
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"a", "bb"});
+  t.add_row({"xxx", "y"});
+  t.add_row({"z", "wwww"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  // Header, separator, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  EXPECT_NE(out.find("xxx"), std::string::npos);
+  EXPECT_NE(out.find("wwww"), std::string::npos);
+}
+
+TEST(TextTable, ShortRowsArePadded) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_EQ(t.rows(), 1u);
+  std::ostringstream os;
+  EXPECT_NO_THROW(t.print(os));
+}
+
+}  // namespace
+}  // namespace netsample

@@ -1,0 +1,186 @@
+#include "stats/gof.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "stats/special.h"
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(ChiSquaredTest, PerfectFitIsZero) {
+  const std::vector<double> o = {10, 20, 30};
+  const auto r = chi_squared_test(o, o);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+  EXPECT_DOUBLE_EQ(r.degrees_of_freedom, 2.0);
+  EXPECT_DOUBLE_EQ(r.significance, 1.0);
+  EXPECT_TRUE(r.expected_counts_adequate);
+}
+
+TEST(ChiSquaredTest, HandComputedStatistic) {
+  // O = {8, 12}, E = {10, 10}: chi2 = 4/10 + 4/10 = 0.8, dof 1.
+  const std::vector<double> o = {8, 12};
+  const std::vector<double> e = {10, 10};
+  const auto r = chi_squared_test(o, e);
+  EXPECT_NEAR(r.statistic, 0.8, 1e-12);
+  EXPECT_NEAR(r.significance, chi_squared_sf(0.8, 1), 1e-12);
+}
+
+TEST(ChiSquaredTest, FittedParametersReduceDof) {
+  const std::vector<double> o = {8, 12, 9, 11};
+  const std::vector<double> e = {10, 10, 10, 10};
+  EXPECT_DOUBLE_EQ(chi_squared_test(o, e, 0).degrees_of_freedom, 3.0);
+  EXPECT_DOUBLE_EQ(chi_squared_test(o, e, 1).degrees_of_freedom, 2.0);
+}
+
+TEST(ChiSquaredTest, ZeroExpectedBinsAreSkipped) {
+  const std::vector<double> o = {8, 12, 0};
+  const std::vector<double> e = {10, 10, 0};
+  const auto r = chi_squared_test(o, e);
+  EXPECT_EQ(r.bins_used, 2u);
+  EXPECT_NEAR(r.statistic, 0.8, 1e-12);
+}
+
+TEST(ChiSquaredTest, ObservationsInImpossibleBinExplode) {
+  const std::vector<double> o = {8, 12, 5};
+  const std::vector<double> e = {10, 10, 0};
+  const auto r = chi_squared_test(o, e);
+  EXPECT_GT(r.statistic, 1e10);
+  EXPECT_NEAR(r.significance, 0.0, 1e-12);
+}
+
+TEST(ChiSquaredTest, SmallExpectedCountsFlagged) {
+  const std::vector<double> o = {3, 12};
+  const std::vector<double> e = {2, 13};
+  EXPECT_FALSE(chi_squared_test(o, e).expected_counts_adequate);
+}
+
+TEST(ChiSquaredTest, ErrorsOnBadInput) {
+  EXPECT_THROW((void)chi_squared_test(std::vector<double>{1.0},
+                                      std::vector<double>{1.0, 2.0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)chi_squared_test(std::vector<double>{1.0},
+                                      std::vector<double>{1.0}),
+               std::invalid_argument);
+}
+
+TEST(ChiSquaredTest, RejectionRateMatchesAlpha) {
+  // Draw multinomial samples from the true distribution; the test should
+  // reject at roughly the nominal rate.
+  Rng rng(11);
+  const std::vector<double> probs = {0.3, 0.3, 0.2, 0.2};
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> obs(probs.size(), 0.0);
+    const int n = 500;
+    for (int i = 0; i < n; ++i) {
+      double u = rng.uniform01();
+      for (std::size_t b = 0; b < probs.size(); ++b) {
+        if (u < probs[b] || b + 1 == probs.size()) {
+          obs[b] += 1.0;
+          break;
+        }
+        u -= probs[b];
+      }
+    }
+    std::vector<double> exp(probs.size());
+    for (std::size_t b = 0; b < probs.size(); ++b) exp[b] = probs[b] * n;
+    if (chi_squared_test(obs, exp).significance < 0.05) ++rejections;
+  }
+  // ~5% +- sampling noise.
+  EXPECT_GE(rejections, 5);
+  EXPECT_LE(rejections, 45);
+}
+
+TEST(KsTest, UniformDataAgainstUniformCdf) {
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.uniform01());
+  const auto r = ks_test(data, [](double x) {
+    if (x < 0) return 0.0;
+    if (x > 1) return 1.0;
+    return x;
+  });
+  EXPECT_LT(r.statistic, 0.05);
+  EXPECT_GT(r.significance, 0.01);
+}
+
+TEST(KsTest, DetectsWrongDistribution) {
+  Rng rng(5);
+  std::vector<double> data;
+  for (int i = 0; i < 2000; ++i) data.push_back(rng.exponential(1.0));
+  // Test exponential data against a uniform CDF on [0, 5]: should reject.
+  const auto r = ks_test(data, [](double x) {
+    if (x < 0) return 0.0;
+    if (x > 5) return 1.0;
+    return x / 5.0;
+  });
+  EXPECT_LT(r.significance, 1e-6);
+}
+
+TEST(KsTest, EmptyThrows) {
+  EXPECT_THROW((void)ks_test({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+}
+
+TEST(KsTestTwoSample, SameDistributionAccepted) {
+  Rng rng(7);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.normal());
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.normal());
+  const auto r = ks_test_two_sample(a, b);
+  EXPECT_GT(r.significance, 0.01);
+}
+
+TEST(KsTestTwoSample, DifferentDistributionsRejected) {
+  Rng rng(9);
+  std::vector<double> a, b;
+  for (int i = 0; i < 1500; ++i) a.push_back(rng.normal(0.0, 1.0));
+  for (int i = 0; i < 1500; ++i) b.push_back(rng.normal(1.0, 1.0));
+  const auto r = ks_test_two_sample(a, b);
+  EXPECT_LT(r.significance, 1e-6);
+}
+
+TEST(KsTestTwoSample, IdenticalSamplesHaveZeroStatistic) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto r = ks_test_two_sample(a, a);
+  EXPECT_DOUBLE_EQ(r.statistic, 0.0);
+}
+
+TEST(AndersonDarling, UniformDataAccepted) {
+  Rng rng(13);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.uniform01());
+  const auto r = anderson_darling_test(data, [](double x) {
+    if (x < 0) return 0.0;
+    if (x > 1) return 1.0;
+    return x;
+  });
+  EXPECT_LT(r.a_squared, 4.0);
+  EXPECT_GT(r.significance, 0.001);
+}
+
+TEST(AndersonDarling, WrongDistributionRejected) {
+  Rng rng(17);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.uniform01() * 0.5);
+  const auto r = anderson_darling_test(data, [](double x) {
+    if (x < 0) return 0.0;
+    if (x > 1) return 1.0;
+    return x;
+  });
+  EXPECT_GT(r.a_squared, 10.0);
+  EXPECT_LT(r.significance, 1e-6);
+}
+
+TEST(AndersonDarling, EmptyThrows) {
+  EXPECT_THROW((void)anderson_darling_test({}, [](double) { return 0.5; }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace netsample::stats

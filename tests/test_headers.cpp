@@ -1,0 +1,187 @@
+#include "net/headers.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/checksum.h"
+
+namespace netsample::net {
+namespace {
+
+Ipv4Header make_ip(std::uint8_t proto) {
+  Ipv4Header h;
+  h.protocol = proto;
+  h.src = Ipv4Address(132, 249, 1, 5);
+  h.dst = Ipv4Address(192, 203, 230, 10);
+  h.ttl = 30;
+  h.identification = 0x1234;
+  return h;
+}
+
+TEST(Ipv4, BuildParseRoundTrip) {
+  const std::vector<std::uint8_t> payload(32, 0xAB);
+  const auto wire = build_ipv4_packet(make_ip(6), payload);
+  ASSERT_EQ(wire.size(), 20u + 32u);
+
+  const auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->version, 4);
+  EXPECT_EQ(parsed->ihl, 5);
+  EXPECT_EQ(parsed->total_length, 52);
+  EXPECT_EQ(parsed->protocol, 6);
+  EXPECT_EQ(parsed->identification, 0x1234);
+  EXPECT_EQ(parsed->src.to_string(), "132.249.1.5");
+  EXPECT_EQ(parsed->dst.to_string(), "192.203.230.10");
+  EXPECT_EQ(parsed->payload_bytes(), 32u);
+}
+
+TEST(Ipv4, BuiltPacketHasValidChecksum) {
+  const auto wire = build_ipv4_packet(make_ip(17), std::vector<std::uint8_t>(8));
+  EXPECT_TRUE(ipv4_checksum_ok(wire));
+}
+
+TEST(Ipv4, CorruptedChecksumIsRejected) {
+  auto wire = build_ipv4_packet(make_ip(17), std::vector<std::uint8_t>(8));
+  wire[15] ^= 0xFF;  // corrupt source address
+  EXPECT_FALSE(ipv4_checksum_ok(wire));
+}
+
+TEST(Ipv4, ParseRejectsShortBuffer) {
+  const std::vector<std::uint8_t> tiny(10, 0x45);
+  const auto r = parse_ipv4(tiny);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(Ipv4, ParseRejectsNonV4) {
+  std::vector<std::uint8_t> wire =
+      build_ipv4_packet(make_ip(6), std::vector<std::uint8_t>(4));
+  wire[0] = 0x65;  // version 6
+  const auto r = parse_ipv4(wire);
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(Ipv4, ParseRejectsBadIhl) {
+  std::vector<std::uint8_t> wire =
+      build_ipv4_packet(make_ip(6), std::vector<std::uint8_t>(4));
+  wire[0] = 0x43;  // IHL 3 words < minimum 5
+  EXPECT_FALSE(parse_ipv4(wire).has_value());
+}
+
+TEST(Ipv4, ParseHandlesOptions) {
+  Ipv4Header h = make_ip(6);
+  h.ihl = 6;  // 24-byte header, 4 bytes of options (zeros)
+  const auto wire = build_ipv4_packet(h, std::vector<std::uint8_t>(4, 0x11));
+  const auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->ihl, 6);
+  EXPECT_EQ(parsed->header_bytes(), 24u);
+  EXPECT_EQ(parsed->payload_bytes(), 4u);
+}
+
+TEST(Ipv4, FragmentFieldsRoundTrip) {
+  Ipv4Header h = make_ip(6);
+  h.flags = 0x1;            // more fragments
+  h.fragment_offset = 185;  // arbitrary 8-byte units
+  const auto wire = build_ipv4_packet(h, {});
+  const auto parsed = parse_ipv4(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->flags, 0x1);
+  EXPECT_EQ(parsed->fragment_offset, 185);
+}
+
+TEST(Tcp, BuildParseRoundTrip) {
+  TcpHeader t;
+  t.src_port = 1025;
+  t.dst_port = 23;
+  t.seq = 0xDEADBEEF;
+  t.ack = 0x01020304;
+  t.flags = TcpHeader::kAck | TcpHeader::kPsh;
+  t.window = 4096;
+  const std::vector<std::uint8_t> payload = {'h', 'i'};
+  const auto seg = build_tcp_segment(t, Ipv4Address(1, 2, 3, 4),
+                                     Ipv4Address(5, 6, 7, 8), payload);
+  ASSERT_EQ(seg.size(), 22u);
+
+  const auto parsed = parse_tcp(seg);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 1025);
+  EXPECT_EQ(parsed->dst_port, 23);
+  EXPECT_EQ(parsed->seq, 0xDEADBEEFu);
+  EXPECT_EQ(parsed->ack, 0x01020304u);
+  EXPECT_EQ(parsed->flags, TcpHeader::kAck | TcpHeader::kPsh);
+  EXPECT_EQ(parsed->window, 4096);
+  EXPECT_EQ(parsed->header_bytes(), 20u);
+}
+
+TEST(Tcp, ChecksumCoversPseudoHeader) {
+  TcpHeader t;
+  t.src_port = 20;
+  t.dst_port = 1026;
+  const auto seg = build_tcp_segment(t, Ipv4Address(1, 2, 3, 4),
+                                     Ipv4Address(5, 6, 7, 8), {});
+  // Verify by recomputing: sum(pseudo) + sum(segment) must finish to 0.
+  std::uint8_t pseudo[12] = {1, 2, 3, 4, 5, 6, 7, 8, 0, 6, 0,
+                             static_cast<std::uint8_t>(seg.size())};
+  std::uint32_t acc = checksum_accumulate(pseudo);
+  acc = checksum_accumulate(seg, acc);
+  EXPECT_EQ(checksum_finish(acc), 0x0000);
+}
+
+TEST(Tcp, ParseRejectsShort) {
+  EXPECT_FALSE(parse_tcp(std::vector<std::uint8_t>(12)).has_value());
+}
+
+TEST(Tcp, ParseRejectsBadDataOffset) {
+  std::vector<std::uint8_t> seg(20, 0);
+  seg[12] = 0x20;  // data offset 2 words
+  EXPECT_FALSE(parse_tcp(seg).has_value());
+}
+
+TEST(Udp, BuildParseRoundTrip) {
+  UdpHeader u;
+  u.src_port = 1027;
+  u.dst_port = 53;
+  const std::vector<std::uint8_t> payload(25, 0x42);
+  const auto dgram = build_udp_datagram(u, Ipv4Address(9, 9, 9, 9),
+                                        Ipv4Address(8, 8, 8, 8), payload);
+  ASSERT_EQ(dgram.size(), 33u);
+  const auto parsed = parse_udp(dgram);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->src_port, 1027);
+  EXPECT_EQ(parsed->dst_port, 53);
+  EXPECT_EQ(parsed->length, 33);
+  EXPECT_NE(parsed->checksum, 0);  // zero is transmitted as 0xFFFF
+}
+
+TEST(Udp, ParseRejectsShortAndBadLength) {
+  EXPECT_FALSE(parse_udp(std::vector<std::uint8_t>(4)).has_value());
+  std::vector<std::uint8_t> bad(8, 0);
+  bad[5] = 4;  // length 4 < 8
+  EXPECT_FALSE(parse_udp(bad).has_value());
+}
+
+TEST(Icmp, ParseBasics) {
+  std::vector<std::uint8_t> wire = {8, 0, 0x12, 0x34, 0, 1, 0, 2};
+  const auto parsed = parse_icmp(wire);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->type, 8);
+  EXPECT_EQ(parsed->code, 0);
+  EXPECT_EQ(parsed->checksum, 0x1234);
+  EXPECT_EQ(parsed->rest, 0x00010002u);
+  EXPECT_FALSE(parse_icmp(std::vector<std::uint8_t>(7)).has_value());
+}
+
+TEST(IpProtoName, KnownAndUnknown) {
+  EXPECT_STREQ(ip_proto_name(6), "TCP");
+  EXPECT_STREQ(ip_proto_name(17), "UDP");
+  EXPECT_STREQ(ip_proto_name(1), "ICMP");
+  EXPECT_STREQ(ip_proto_name(2), "IGMP");
+  EXPECT_STREQ(ip_proto_name(8), "EGP");
+  EXPECT_STREQ(ip_proto_name(99), "other");
+}
+
+}  // namespace
+}  // namespace netsample::net

@@ -1,0 +1,144 @@
+#include "stats/heavy_hitters.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(MisraGries, ZeroCountersThrows) {
+  EXPECT_THROW(MisraGries<int>(0), std::invalid_argument);
+}
+
+TEST(MisraGries, ExactWhenUnderCapacity) {
+  MisraGries<std::string> mg(10);
+  mg.add("a", 5);
+  mg.add("b", 3);
+  mg.add("a", 2);
+  EXPECT_EQ(mg.estimate("a"), 7u);
+  EXPECT_EQ(mg.estimate("b"), 3u);
+  EXPECT_EQ(mg.estimate("c"), 0u);
+  EXPECT_EQ(mg.total(), 10u);
+  EXPECT_EQ(mg.size(), 2u);
+}
+
+TEST(MisraGries, UndercountBoundHolds) {
+  // Stream: one heavy key (40%) plus 1000 distinct light keys.
+  MisraGries<int> mg(9);  // error bound = n/10
+  Rng rng(3);
+  const int n = 50000;
+  int heavy_true = 0;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.4)) {
+      mg.add(-1);
+      ++heavy_true;
+    } else {
+      mg.add(static_cast<int>(rng.uniform_below(1000)));
+    }
+  }
+  const auto est = mg.estimate(-1);
+  EXPECT_LE(est, static_cast<std::uint64_t>(heavy_true));
+  EXPECT_GE(est + mg.error_bound(), static_cast<std::uint64_t>(heavy_true));
+  // A 40% key against a 10-counter summary must survive.
+  const auto top = mg.top(1);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0].first, -1);
+}
+
+TEST(MisraGries, GuaranteedKeysAreKept) {
+  // Any key with frequency > n/(m+1) must be tracked. m=4, so >20%.
+  MisraGries<char> mg(4);
+  // 'x' appears 30 of 100 times, spread through an adversarial stream of
+  // distinct other keys.
+  int others = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (i % 10 < 3) {
+      mg.add('x');
+    } else {
+      mg.add(static_cast<char>(-(++others % 100) - 1));
+    }
+  }
+  EXPECT_GT(mg.estimate('x'), 0u);
+}
+
+TEST(MisraGries, SizeNeverExceedsCapacity) {
+  MisraGries<int> mg(7);
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    mg.add(static_cast<int>(rng.uniform_below(5000)));
+    ASSERT_LE(mg.size(), 7u);
+  }
+}
+
+TEST(MisraGries, WeightedAdds) {
+  MisraGries<int> mg(2);
+  mg.add(1, 100);
+  mg.add(2, 50);
+  mg.add(3, 30);  // forces a decrement of min(30, 50, 100)... batched
+  EXPECT_LE(mg.size(), 2u);
+  EXPECT_GE(mg.estimate(1), 70u);  // heavy key survives with most mass
+  EXPECT_EQ(mg.total(), 180u);
+}
+
+TEST(MisraGries, TopOrdering) {
+  MisraGries<int> mg(5);
+  mg.add(1, 10);
+  mg.add(2, 30);
+  mg.add(3, 20);
+  const auto top = mg.top(2);
+  ASSERT_EQ(top.size(), 2u);
+  EXPECT_EQ(top[0].first, 2);
+  EXPECT_EQ(top[1].first, 3);
+}
+
+TEST(MisraGries, MergePreservesTotalsAndHeavyKeys) {
+  MisraGries<int> a(8), b(8);
+  Rng rng(7);
+  int heavy = 0;
+  for (int i = 0; i < 5000; ++i) {
+    auto& target = (i % 2 == 0) ? a : b;
+    if (rng.bernoulli(0.5)) {
+      target.add(42);
+      ++heavy;
+    } else {
+      target.add(static_cast<int>(rng.uniform_below(300)));
+    }
+  }
+  const auto total_before = a.total() + b.total();
+  a.merge(b);
+  EXPECT_EQ(a.total(), total_before);
+  EXPECT_EQ(a.top(1)[0].first, 42);
+  EXPECT_LE(a.estimate(42), static_cast<std::uint64_t>(heavy));
+}
+
+TEST(MisraGries, NetMatrixUseCase) {
+  // The Section 8 scenario: network-pair keys, Zipf-ish popularity, small
+  // summary. The top pair must be identified and estimated within bound.
+  MisraGries<std::uint64_t> mg(32);
+  Rng rng(11);
+  std::uint64_t top_true = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform01();
+    std::uint64_t pair;
+    if (u < 0.15) {
+      pair = 0;  // the heavy pair
+      ++top_true;
+    } else {
+      pair = 1 + rng.uniform_below(5000);
+    }
+    mg.add(pair);
+  }
+  const auto top = mg.top(1);
+  ASSERT_FALSE(top.empty());
+  EXPECT_EQ(top[0].first, 0u);
+  EXPECT_NEAR(static_cast<double>(mg.estimate(0)),
+              static_cast<double>(top_true),
+              static_cast<double>(mg.error_bound()));
+}
+
+}  // namespace
+}  // namespace netsample::stats

@@ -1,0 +1,146 @@
+#include "stats/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace netsample::stats {
+namespace {
+
+TEST(Histogram, EdgesDefineLowerBoundBins) {
+  // The paper's packet-size bins: <41, [41,181), >=181.
+  Histogram h({41.0, 181.0});
+  EXPECT_EQ(h.bin_count(), 3u);
+  EXPECT_EQ(h.bin_index(40.0), 0u);
+  EXPECT_EQ(h.bin_index(41.0), 1u);
+  EXPECT_EQ(h.bin_index(180.0), 1u);
+  EXPECT_EQ(h.bin_index(181.0), 2u);
+  EXPECT_EQ(h.bin_index(1500.0), 2u);
+}
+
+TEST(Histogram, RejectsUnsortedOrDuplicateEdges) {
+  EXPECT_THROW(Histogram({2.0, 1.0}), std::invalid_argument);
+  EXPECT_THROW(Histogram({1.0, 1.0}), std::invalid_argument);
+}
+
+TEST(Histogram, NoEdgesMeansSingleBin) {
+  Histogram h{std::vector<double>{}};
+  EXPECT_EQ(h.bin_count(), 1u);
+  h.add(-1e9);
+  h.add(1e9);
+  EXPECT_EQ(h.count(0), 2u);
+}
+
+TEST(Histogram, AddWithWeight) {
+  Histogram h({10.0});
+  h.add(5.0, 7);
+  h.add(15.0);
+  EXPECT_EQ(h.count(0), 7u);
+  EXPECT_EQ(h.count(1), 1u);
+  EXPECT_EQ(h.total(), 8u);
+}
+
+TEST(Histogram, Proportions) {
+  Histogram h({10.0});
+  h.add(1.0);
+  h.add(2.0);
+  h.add(20.0);
+  h.add(30.0);
+  const auto p = h.proportions();
+  EXPECT_DOUBLE_EQ(p[0], 0.5);
+  EXPECT_DOUBLE_EQ(p[1], 0.5);
+}
+
+TEST(Histogram, ProportionsOfEmptyAreZero) {
+  Histogram h({10.0});
+  for (double p : h.proportions()) EXPECT_DOUBLE_EQ(p, 0.0);
+}
+
+TEST(Histogram, ScaledCountsSumToTarget) {
+  Histogram h({10.0, 20.0});
+  h.add(5.0);
+  h.add(15.0);
+  h.add(15.0);
+  const auto sc = h.scaled_counts(300.0);
+  EXPECT_DOUBLE_EQ(std::accumulate(sc.begin(), sc.end(), 0.0), 300.0);
+  EXPECT_DOUBLE_EQ(sc[0], 100.0);
+  EXPECT_DOUBLE_EQ(sc[1], 200.0);
+}
+
+TEST(Histogram, BinLabels) {
+  Histogram h({41.0, 181.0});
+  EXPECT_EQ(h.bin_label(0), "< 41");
+  EXPECT_EQ(h.bin_label(1), "[41, 181)");
+  EXPECT_EQ(h.bin_label(2), ">= 181");
+}
+
+TEST(Histogram, ResetClearsCounts) {
+  Histogram h({1.0});
+  h.add(0.5);
+  h.add(2.0);
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+  EXPECT_EQ(h.count(0), 0u);
+  EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(Histogram, MergeAddsCounts) {
+  Histogram a({5.0}), b({5.0});
+  a.add(1.0);
+  b.add(1.0);
+  b.add(10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(0), 2u);
+  EXPECT_EQ(a.count(1), 1u);
+  EXPECT_EQ(a.total(), 3u);
+}
+
+TEST(Histogram, MergeRejectsDifferentLayouts) {
+  Histogram a({5.0}), b({6.0});
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(Histogram, EqualWidthLayout) {
+  // NNStat's 50-byte packet-length histogram.
+  auto h = Histogram::equal_width(50.0, 31);
+  EXPECT_EQ(h.bin_count(), 32u);  // 31 edges -> 32 bins incl. (-inf, 0)
+  EXPECT_EQ(h.bin_index(-1.0), 0u);
+  EXPECT_EQ(h.bin_index(0.0), 1u);
+  EXPECT_EQ(h.bin_index(49.0), 1u);
+  EXPECT_EQ(h.bin_index(50.0), 2u);
+  EXPECT_EQ(h.bin_index(1499.0), 30u);
+  EXPECT_EQ(h.bin_index(1500.0), 31u);
+}
+
+TEST(Histogram, EqualWidthRejectsBadParams) {
+  EXPECT_THROW(Histogram::equal_width(0.0, 5), std::invalid_argument);
+  EXPECT_THROW(Histogram::equal_width(10.0, 0), std::invalid_argument);
+}
+
+class HistogramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(HistogramPropertyTest, EveryValueLandsInExactlyOneBinAndTotalsAgree) {
+  // Property: for any edge layout, adding N values yields total N and the
+  // per-bin counts sum to N; bin_index is consistent with edges.
+  const int seed = GetParam();
+  std::vector<double> edges;
+  for (int i = 0; i < seed % 7 + 1; ++i) {
+    edges.push_back(static_cast<double>(i * (seed + 1)));
+  }
+  Histogram h(edges);
+  std::uint64_t n = 0;
+  for (int i = -50; i < 50; ++i) {
+    h.add(static_cast<double>(i) * 1.5, static_cast<std::uint64_t>(seed % 3 + 1));
+    n += static_cast<std::uint64_t>(seed % 3 + 1);
+  }
+  std::uint64_t sum = 0;
+  for (std::size_t b = 0; b < h.bin_count(); ++b) sum += h.count(b);
+  EXPECT_EQ(sum, n);
+  EXPECT_EQ(h.total(), n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Layouts, HistogramPropertyTest,
+                         ::testing::Values(0, 1, 2, 3, 5, 8, 13, 21));
+
+}  // namespace
+}  // namespace netsample::stats

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "stats/gof.h"
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(ChiSquaredHomogeneity, IdenticalProportionsScoreZero) {
+  const std::vector<double> a = {100, 200, 300};
+  const std::vector<double> b = {10, 20, 30};
+  const auto r = chi_squared_homogeneity(a, b);
+  EXPECT_NEAR(r.statistic, 0.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.significance, 1.0);
+  EXPECT_DOUBLE_EQ(r.degrees_of_freedom, 2.0);
+}
+
+TEST(ChiSquaredHomogeneity, HandComputed2x2) {
+  // Classic 2x2: a = {10, 20}, b = {20, 10}. Pooled row totals {30, 30},
+  // column totals {30, 30}, total 60; E = 15 everywhere; chi2 = 4*25/15.
+  const std::vector<double> a = {10, 20};
+  const std::vector<double> b = {20, 10};
+  const auto r = chi_squared_homogeneity(a, b);
+  EXPECT_NEAR(r.statistic, 100.0 / 15.0, 1e-12);
+  EXPECT_DOUBLE_EQ(r.degrees_of_freedom, 1.0);
+}
+
+TEST(ChiSquaredHomogeneity, DetectsDifferentDistributions) {
+  const std::vector<double> a = {500, 300, 200};
+  const std::vector<double> b = {200, 300, 500};
+  EXPECT_LT(chi_squared_homogeneity(a, b).significance, 1e-6);
+}
+
+TEST(ChiSquaredHomogeneity, SymmetricInArguments) {
+  const std::vector<double> a = {50, 70, 80};
+  const std::vector<double> b = {60, 60, 90};
+  const auto ab = chi_squared_homogeneity(a, b);
+  const auto ba = chi_squared_homogeneity(b, a);
+  EXPECT_NEAR(ab.statistic, ba.statistic, 1e-12);
+}
+
+TEST(ChiSquaredHomogeneity, EmptyBinsSkipped) {
+  const std::vector<double> a = {10, 0, 20};
+  const std::vector<double> b = {12, 0, 18};
+  const auto r = chi_squared_homogeneity(a, b);
+  EXPECT_EQ(r.bins_used, 2u);
+}
+
+TEST(ChiSquaredHomogeneity, Validation) {
+  const std::vector<double> a = {1, 2};
+  const std::vector<double> short_b = {1};
+  EXPECT_THROW((void)chi_squared_homogeneity(a, short_b),
+               std::invalid_argument);
+  const std::vector<double> zeros = {0, 0};
+  EXPECT_THROW((void)chi_squared_homogeneity(a, zeros), std::invalid_argument);
+}
+
+TEST(ChiSquaredHomogeneity, SmallCountsFlagged) {
+  const std::vector<double> a = {3, 30};
+  const std::vector<double> b = {4, 28};
+  EXPECT_FALSE(chi_squared_homogeneity(a, b).expected_counts_adequate);
+}
+
+TEST(ChiSquaredHomogeneity, FalsePositiveRateMatchesAlpha) {
+  // Draw both samples from the same multinomial; rejection rate ~ 5%.
+  Rng rng(19);
+  const std::vector<double> probs = {0.4, 0.35, 0.25};
+  int rejections = 0;
+  const int trials = 300;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a(3, 0.0), b(3, 0.0);
+    for (int i = 0; i < 400; ++i) {
+      auto draw = [&](std::vector<double>& out) {
+        double u = rng.uniform01();
+        for (std::size_t c = 0; c < probs.size(); ++c) {
+          if (u < probs[c] || c + 1 == probs.size()) {
+            out[c] += 1.0;
+            break;
+          }
+          u -= probs[c];
+        }
+      };
+      draw(a);
+      draw(b);
+    }
+    if (chi_squared_homogeneity(a, b).significance < 0.05) ++rejections;
+  }
+  EXPECT_GE(rejections, 2);
+  EXPECT_LE(rejections, 35);
+}
+
+}  // namespace
+}  // namespace netsample::stats

@@ -1,0 +1,107 @@
+#include "net/ipv4.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace netsample::net {
+namespace {
+
+TEST(Ipv4Address, ConstructFromOctets) {
+  const Ipv4Address a(132, 249, 1, 5);
+  EXPECT_EQ(a.value(), 0x84F90105u);
+  EXPECT_EQ(a.octet(0), 132);
+  EXPECT_EQ(a.octet(1), 249);
+  EXPECT_EQ(a.octet(2), 1);
+  EXPECT_EQ(a.octet(3), 5);
+}
+
+TEST(Ipv4Address, ToString) {
+  EXPECT_EQ(Ipv4Address(10, 0, 0, 1).to_string(), "10.0.0.1");
+  EXPECT_EQ(Ipv4Address(255, 255, 255, 255).to_string(), "255.255.255.255");
+}
+
+TEST(Ipv4Address, ParseValid) {
+  const auto a = Ipv4Address::parse("192.203.230.10");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->to_string(), "192.203.230.10");
+}
+
+TEST(Ipv4Address, ParseRejectsMalformed) {
+  for (const char* bad : {"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d",
+                          "1.2.3.4x", "1..2.3"}) {
+    EXPECT_FALSE(Ipv4Address::parse(bad).has_value()) << bad;
+  }
+}
+
+TEST(Ipv4Address, ParseRoundTripsToString) {
+  for (const char* s : {"0.0.0.0", "132.249.20.33", "223.255.255.254"}) {
+    const auto a = Ipv4Address::parse(s);
+    ASSERT_TRUE(a.has_value());
+    EXPECT_EQ(a->to_string(), s);
+  }
+}
+
+TEST(AddressClass, ClassfulBoundaries) {
+  EXPECT_EQ(address_class(Ipv4Address(0, 0, 0, 1)), AddressClass::kA);
+  EXPECT_EQ(address_class(Ipv4Address(127, 255, 255, 255)), AddressClass::kA);
+  EXPECT_EQ(address_class(Ipv4Address(128, 0, 0, 1)), AddressClass::kB);
+  EXPECT_EQ(address_class(Ipv4Address(191, 255, 0, 1)), AddressClass::kB);
+  EXPECT_EQ(address_class(Ipv4Address(192, 0, 0, 1)), AddressClass::kC);
+  EXPECT_EQ(address_class(Ipv4Address(223, 255, 255, 1)), AddressClass::kC);
+  EXPECT_EQ(address_class(Ipv4Address(224, 0, 0, 1)), AddressClass::kD);
+  EXPECT_EQ(address_class(Ipv4Address(240, 0, 0, 1)), AddressClass::kE);
+}
+
+TEST(NetworkNumber, ClassAMasksTo8) {
+  const auto n = NetworkNumber::of(Ipv4Address(10, 1, 2, 3));
+  EXPECT_EQ(n.prefix_len(), 8);
+  EXPECT_EQ(n.to_string(), "10.0.0.0/8");
+}
+
+TEST(NetworkNumber, ClassBMasksTo16) {
+  const auto n = NetworkNumber::of(Ipv4Address(132, 249, 20, 33));
+  EXPECT_EQ(n.prefix_len(), 16);
+  EXPECT_EQ(n.to_string(), "132.249.0.0/16");
+}
+
+TEST(NetworkNumber, ClassCMasksTo24) {
+  const auto n = NetworkNumber::of(Ipv4Address(192, 203, 230, 10));
+  EXPECT_EQ(n.prefix_len(), 24);
+  EXPECT_EQ(n.to_string(), "192.203.230.0/24");
+}
+
+TEST(NetworkNumber, HostsOnSameNetworkShareNumber) {
+  const auto a = NetworkNumber::of(Ipv4Address(132, 249, 1, 1));
+  const auto b = NetworkNumber::of(Ipv4Address(132, 249, 200, 9));
+  EXPECT_EQ(a, b);
+}
+
+TEST(NetworkNumber, DifferentNetworksDiffer) {
+  const auto a = NetworkNumber::of(Ipv4Address(132, 249, 1, 1));
+  const auto b = NetworkNumber::of(Ipv4Address(132, 250, 1, 1));
+  EXPECT_NE(a, b);
+}
+
+TEST(NetworkNumber, MulticastKeysOnFullAddress) {
+  const auto a = NetworkNumber::of(Ipv4Address(224, 0, 0, 5));
+  EXPECT_EQ(a.prefix_len(), 32);
+}
+
+TEST(Ipv4Address, Hashable) {
+  std::unordered_set<Ipv4Address> set;
+  set.insert(Ipv4Address(1, 2, 3, 4));
+  set.insert(Ipv4Address(1, 2, 3, 4));
+  set.insert(Ipv4Address(1, 2, 3, 5));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(NetworkNumber, Hashable) {
+  std::unordered_set<NetworkNumber> set;
+  set.insert(NetworkNumber::of(Ipv4Address(132, 249, 1, 1)));
+  set.insert(NetworkNumber::of(Ipv4Address(132, 249, 9, 9)));
+  EXPECT_EQ(set.size(), 1u);
+}
+
+}  // namespace
+}  // namespace netsample::net

@@ -1,0 +1,89 @@
+#include "stats/mannwhitney.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(MannWhitney, IdenticalSamplesAreIndistinguishable) {
+  const std::vector<double> a = {1, 2, 3, 4, 5};
+  const auto r = mann_whitney_u(a, a);
+  EXPECT_NEAR(r.prob_a_greater, 0.5, 1e-12);
+  EXPECT_GT(r.significance, 0.9);
+}
+
+TEST(MannWhitney, CompleteSeparationDetected) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5, 6, 7, 8};
+  const std::vector<double> hi = {11, 12, 13, 14, 15, 16, 17, 18};
+  const auto r = mann_whitney_u(hi, lo);
+  EXPECT_DOUBLE_EQ(r.prob_a_greater, 1.0);
+  EXPECT_LT(r.significance, 0.001);
+  EXPECT_GT(r.z, 3.0);
+}
+
+TEST(MannWhitney, DirectionMatters) {
+  const std::vector<double> lo = {1, 2, 3, 4, 5};
+  const std::vector<double> hi = {6, 7, 8, 9, 10};
+  const auto hi_first = mann_whitney_u(hi, lo);
+  const auto lo_first = mann_whitney_u(lo, hi);
+  EXPECT_GT(hi_first.prob_a_greater, 0.99);
+  EXPECT_LT(lo_first.prob_a_greater, 0.01);
+  EXPECT_NEAR(hi_first.significance, lo_first.significance, 1e-12);
+}
+
+TEST(MannWhitney, AllTiedValuesGiveNoEvidence) {
+  const std::vector<double> a = {5, 5, 5};
+  const std::vector<double> b = {5, 5, 5, 5};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_DOUBLE_EQ(r.significance, 1.0);
+  EXPECT_NEAR(r.prob_a_greater, 0.5, 1e-12);
+}
+
+TEST(MannWhitney, TiesHandledWithMidRanks) {
+  const std::vector<double> a = {1, 2, 2, 3};
+  const std::vector<double> b = {2, 3, 3, 4};
+  const auto r = mann_whitney_u(a, b);
+  EXPECT_LT(r.prob_a_greater, 0.5);  // a is stochastically smaller
+  EXPECT_GE(r.significance, 0.0);
+  EXPECT_LE(r.significance, 1.0);
+}
+
+TEST(MannWhitney, EmptySampleThrows) {
+  const std::vector<double> a = {1.0};
+  EXPECT_THROW((void)mann_whitney_u(a, {}), std::invalid_argument);
+  EXPECT_THROW((void)mann_whitney_u({}, a), std::invalid_argument);
+}
+
+TEST(MannWhitney, FalsePositiveRateUnderNull) {
+  Rng rng(83);
+  int rejections = 0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 12; ++i) a.push_back(rng.normal());
+    for (int i = 0; i < 12; ++i) b.push_back(rng.normal());
+    if (mann_whitney_u(a, b).significance < 0.05) ++rejections;
+  }
+  // ~5% nominal; allow generous slack for the normal approximation.
+  EXPECT_LE(rejections, 40);
+}
+
+TEST(MannWhitney, PowerAgainstShiftedAlternative) {
+  Rng rng(89);
+  int detections = 0;
+  const int trials = 200;
+  for (int t = 0; t < trials; ++t) {
+    std::vector<double> a, b;
+    for (int i = 0; i < 15; ++i) a.push_back(rng.normal(1.5, 1.0));
+    for (int i = 0; i < 15; ++i) b.push_back(rng.normal(0.0, 1.0));
+    if (mann_whitney_u(a, b).significance < 0.05) ++detections;
+  }
+  EXPECT_GT(detections, 150);  // strong shift, good power expected
+}
+
+}  // namespace
+}  // namespace netsample::stats

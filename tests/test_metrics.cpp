@@ -1,0 +1,158 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "stats/special.h"
+
+namespace netsample::core {
+namespace {
+
+stats::Histogram hist(std::vector<double> edges, std::vector<std::uint64_t> counts) {
+  stats::Histogram h(std::move(edges));
+  // Fill by adding representative values per bin.
+  const auto& e = h.edges();
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    double v;
+    if (b == 0) {
+      v = e.front() - 1.0;
+    } else if (b >= e.size()) {
+      v = e.back() + 1.0;
+    } else {
+      v = (e[b - 1] + e[b]) / 2.0;
+    }
+    if (counts[b] > 0) h.add(v, counts[b]);
+  }
+  return h;
+}
+
+TEST(ScoreCounts, PerfectProportionsGiveZeroPhi) {
+  // Sample is an exact 1/10 scale model of the population.
+  const std::vector<double> pop = {300, 300, 400};
+  const std::vector<double> obs = {30, 30, 40};
+  const auto m = score_counts(obs, pop, 0.1);
+  EXPECT_DOUBLE_EQ(m.chi2, 0.0);
+  EXPECT_DOUBLE_EQ(m.phi, 0.0);
+  EXPECT_DOUBLE_EQ(m.cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.rcost, 0.0);
+  EXPECT_DOUBLE_EQ(m.x2, 0.0);
+  EXPECT_DOUBLE_EQ(m.significance, 1.0);
+  EXPECT_EQ(m.sample_n, 100u);
+  EXPECT_EQ(m.population_n, 1000u);
+}
+
+TEST(ScoreCounts, HandComputedChiSquared) {
+  // Population proportions 0.5/0.5 over 1000; sample of 100 split 60/40.
+  // E = {50, 50}; chi2 = 100/50 + 100/50 = 4.
+  const std::vector<double> pop = {500, 500};
+  const std::vector<double> obs = {60, 40};
+  const auto m = score_counts(obs, pop, 0.1);
+  EXPECT_NEAR(m.chi2, 4.0, 1e-12);
+  EXPECT_NEAR(m.significance, stats::chi_squared_sf(4.0, 1), 1e-12);
+  // phi = sqrt(chi2 / sum(E + O)) = sqrt(4 / 200).
+  EXPECT_NEAR(m.phi, std::sqrt(4.0 / 200.0), 1e-12);
+  // X2 = 100/2500 + 100/2500 = 0.08; k = sqrt(0.08/2) = 0.2.
+  EXPECT_NEAR(m.x2, 0.08, 1e-12);
+  EXPECT_NEAR(m.avg_norm_dev, 0.2, 1e-12);
+  // cost at population scale: |600-500| + |400-500| = 200; rcost = 20.
+  EXPECT_NEAR(m.cost, 200.0, 1e-12);
+  EXPECT_NEAR(m.rcost, 20.0, 1e-12);
+}
+
+TEST(ScoreCounts, DefaultFractionUsesAchieved) {
+  const std::vector<double> pop = {500, 500};
+  const std::vector<double> obs = {60, 40};
+  // Achieved fraction = 100/1000 = 0.1, same as the explicit test above.
+  const auto m = score_counts(obs, pop);
+  EXPECT_NEAR(m.cost, 200.0, 1e-12);
+  EXPECT_NEAR(m.rcost, 20.0, 1e-12);
+}
+
+TEST(ScoreCounts, PhiInsensitiveToSampleSize) {
+  // Two samples with identical *proportional* deviation: phi should match
+  // closely while chi2 scales with n (the paper's reason for choosing phi).
+  const std::vector<double> pop = {500, 500};
+  const std::vector<double> small = {60, 40};
+  const std::vector<double> large = {600, 400};
+  const auto ms = score_counts(small, pop, 0.1);
+  const auto ml = score_counts(large, pop, 1.0);
+  EXPECT_NEAR(ml.chi2, 10.0 * ms.chi2, 1e-9);
+  EXPECT_NEAR(ms.phi, ml.phi, 1e-12);
+}
+
+TEST(ScoreCounts, EmptySampleScoresWithoutCrashing) {
+  const std::vector<double> pop = {500, 500};
+  const std::vector<double> obs = {0, 0};
+  const auto m = score_counts(obs, pop, 0.001);
+  EXPECT_EQ(m.sample_n, 0u);
+  EXPECT_DOUBLE_EQ(m.phi, 0.0);  // no observations, no deviation evidence
+  EXPECT_GT(m.cost, 0.0);        // but the provider lost all the traffic
+}
+
+TEST(ScoreCounts, ImpossibleBinObservationsExplodePhi) {
+  const std::vector<double> pop = {1000, 0};
+  const std::vector<double> obs = {90, 10};
+  const auto m = score_counts(obs, pop, 0.1);
+  EXPECT_GT(m.chi2, 1e10);
+  EXPECT_LT(m.significance, 1e-9);
+}
+
+TEST(ScoreCounts, Validation) {
+  EXPECT_THROW(
+      (void)score_counts(std::vector<double>{1.0}, std::vector<double>{1.0, 2.0}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      (void)score_counts(std::vector<double>{1.0, 2.0}, std::vector<double>{0.0, 0.0}),
+      std::invalid_argument);
+}
+
+TEST(ScoreSample, HistogramInterface) {
+  const auto pop = hist({41.0, 181.0}, {300, 300, 400});
+  const auto obs = hist({41.0, 181.0}, {30, 30, 40});
+  const auto m = score_sample(obs, pop, 0.1);
+  EXPECT_DOUBLE_EQ(m.phi, 0.0);
+}
+
+TEST(ScoreSample, LayoutMismatchThrows) {
+  const auto pop = hist({41.0, 181.0}, {300, 300, 400});
+  const auto obs = hist({41.0}, {30, 70});
+  EXPECT_THROW((void)score_sample(obs, pop, 0.1), std::invalid_argument);
+}
+
+TEST(ScoreCounts, WorseSamplesGetLargerPhi) {
+  const std::vector<double> pop = {400, 300, 300};
+  const std::vector<double> good = {41, 29, 30};
+  const std::vector<double> bad = {70, 20, 10};
+  const auto mg = score_counts(good, pop, 0.1);
+  const auto mb = score_counts(bad, pop, 0.1);
+  EXPECT_LT(mg.phi, mb.phi);
+  EXPECT_LT(mg.cost, mb.cost);
+  EXPECT_LT(mg.x2, mb.x2);
+  EXPECT_GT(mg.significance, mb.significance);
+}
+
+/// Parameterized property: for any deviation scale, cost == rcost / fraction
+/// and phi stays within [0, ~1].
+class MetricScaleTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(MetricScaleTest, InternalConsistency) {
+  const double f = GetParam();
+  const std::vector<double> pop = {5000, 3000, 2000};
+  std::vector<double> obs(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    obs[i] = pop[i] * f * (i == 0 ? 1.1 : 0.9);
+  }
+  const auto m = score_counts(obs, pop, f);
+  EXPECT_NEAR(m.rcost, m.cost * f, 1e-9);
+  EXPECT_GE(m.phi, 0.0);
+  EXPECT_LE(m.phi, 1.0);
+  EXPECT_GE(m.significance, 0.0);
+  EXPECT_LE(m.significance, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fractions, MetricScaleTest,
+                         ::testing::Values(0.5, 0.1, 0.02, 0.004, 0.0005));
+
+}  // namespace
+}  // namespace netsample::core

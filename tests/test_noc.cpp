@@ -1,0 +1,86 @@
+#include "collector/noc.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::collector {
+namespace {
+
+TEST(NocSimulation, ValidatesFleet) {
+  NocConfig cfg;
+  EXPECT_THROW(NocSimulation{cfg}, std::invalid_argument);
+  cfg.nodes.push_back(NodeConfig{"bad", 0.0, 100.0});
+  EXPECT_THROW(NocSimulation{cfg}, std::invalid_argument);
+  cfg.nodes[0] = NodeConfig{"bad", 1.0, 0.0};
+  EXPECT_THROW(NocSimulation{cfg}, std::invalid_argument);
+}
+
+TEST(NocSimulation, AggregatesAcrossNodes) {
+  const auto cfg = NocSimulation::default_fleet();
+  const auto months = NocSimulation(cfg).run();
+  ASSERT_EQ(months.size(), static_cast<std::size_t>(cfg.base.months));
+  for (const auto& m : months) {
+    ASSERT_EQ(m.per_node.size(), cfg.nodes.size());
+    double snmp = 0.0, cat = 0.0;
+    for (const auto& node : m.per_node) {
+      snmp += node.snmp_packets;
+      cat += node.categorized_estimate;
+    }
+    EXPECT_NEAR(m.snmp_total, snmp, 1e-6 * snmp);
+    EXPECT_NEAR(m.categorized_total, cat, 1e-6 * std::max(1.0, cat));
+  }
+}
+
+TEST(NocSimulation, TrafficSharesAreRespected) {
+  const auto cfg = NocSimulation::default_fleet();
+  const auto months = NocSimulation(cfg).run();
+  // Month 0: node offered volumes should be proportional to shares
+  // (up to hourly noise, which averages out over 720 hours).
+  const auto& m0 = months.front();
+  const double big = m0.per_node[0].offered_packets;   // share 3.0
+  const double small = m0.per_node.back().offered_packets;  // share 0.3
+  EXPECT_NEAR(big / small, 10.0, 1.5);
+}
+
+TEST(NocSimulation, BusyNodesSaturateFirst) {
+  auto cfg = NocSimulation::default_fleet();
+  cfg.base.sampling_deploy_month = -1;  // never deploy: watch saturation
+  const auto months = NocSimulation(cfg).run();
+  // Mid-simulation, the biggest node should be losing a larger fraction
+  // than the smallest node.
+  const auto& mid = months[months.size() / 2];
+  EXPECT_GT(mid.per_node[0].discrepancy_fraction,
+            mid.per_node.back().discrepancy_fraction);
+}
+
+TEST(NocSimulation, AggregateGapGrowsThenSamplingCloses) {
+  const auto cfg = NocSimulation::default_fleet();
+  const auto months = NocSimulation(cfg).run();
+  const int deploy = cfg.base.sampling_deploy_month;
+  EXPECT_LT(months[2].discrepancy_fraction, 0.05);
+  EXPECT_GT(months[static_cast<std::size_t>(deploy) - 1].discrepancy_fraction,
+            0.08);
+  EXPECT_LT(months[static_cast<std::size_t>(deploy)].discrepancy_fraction,
+            0.02);
+}
+
+TEST(NocSimulation, DeterministicAcrossRuns) {
+  const auto cfg = NocSimulation::default_fleet();
+  const auto a = NocSimulation(cfg).run();
+  const auto b = NocSimulation(cfg).run();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].snmp_total, b[i].snmp_total);
+  }
+}
+
+TEST(NocSimulation, NodesHaveIndependentNoise) {
+  const auto cfg = NocSimulation::default_fleet();
+  const auto months = NocSimulation(cfg).run();
+  // Two same-share nodes (indices 5 and 6, both 1.0) must not produce
+  // identical offered volumes.
+  EXPECT_NE(months[0].per_node[5].offered_packets,
+            months[0].per_node[6].offered_packets);
+}
+
+}  // namespace
+}  // namespace netsample::collector

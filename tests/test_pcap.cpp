@@ -1,0 +1,232 @@
+#include "pcap/pcap.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "net/headers.h"
+#include "util/byteorder.h"
+
+namespace netsample::pcap {
+namespace {
+
+trace::PacketRecord rec(std::uint64_t usec, std::uint16_t size,
+                        std::uint8_t proto = 6, std::uint16_t sport = 1025,
+                        std::uint16_t dport = 23) {
+  trace::PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  p.protocol = proto;
+  p.src = net::Ipv4Address(132, 249, 1, 5);
+  p.dst = net::Ipv4Address(192, 203, 230, 10);
+  if (proto == 6 || proto == 17) {
+    p.src_port = sport;
+    p.dst_port = dport;
+  }
+  if (proto == 6) p.tcp_flags = 0x18;  // PSH|ACK
+  return p;
+}
+
+trace::Trace small_trace() {
+  return trace::Trace({rec(0, 40), rec(400, 552), rec(1200, 552, 17, 2000, 53),
+                       rec(2000, 76), rec(123456789, 1500)});
+}
+
+TEST(Pcap, SerializeParseRoundTrip) {
+  const auto file = encode(small_trace());
+  const auto bytes = serialize(file);
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->link_type, kLinkTypeRaw);
+  EXPECT_FALSE(parsed->byte_swapped);
+  ASSERT_EQ(parsed->records.size(), 5u);
+  EXPECT_EQ(parsed->records[0].timestamp.usec, 0u);
+  EXPECT_EQ(parsed->records[4].timestamp.usec, 123456789u);
+}
+
+TEST(Pcap, EncodeDecodePreservesRecords) {
+  const auto original = small_trace();
+  const auto decoded = decode(encode(original));
+  ASSERT_EQ(decoded.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(decoded[i], original[i]) << "record " << i;
+  }
+}
+
+TEST(Pcap, EncodeProducesValidIpChecksums) {
+  const auto file = encode(small_trace());
+  for (const auto& r : file.records) {
+    EXPECT_TRUE(net::ipv4_checksum_ok(r.data));
+  }
+}
+
+TEST(Pcap, SnaplenTruncatesButPreservesHeaders) {
+  const auto file = encode(small_trace(), 64);
+  for (const auto& r : file.records) {
+    EXPECT_LE(r.data.size(), 64u);
+  }
+  DecodeStats stats;
+  const auto decoded = decode(file, &stats);
+  EXPECT_EQ(stats.decoded, 5u);
+  // Sizes come from the IP total_length field, not the captured length.
+  EXPECT_EQ(decoded[4].size, 1500);
+  EXPECT_EQ(decoded[1].dst_port, 23);
+}
+
+TEST(Pcap, ParseRejectsGarbage) {
+  const std::vector<std::uint8_t> junk = {1, 2, 3, 4, 5};
+  EXPECT_FALSE(parse(junk).has_value());
+  std::vector<std::uint8_t> bad_magic(24, 0);
+  EXPECT_FALSE(parse(bad_magic).has_value());
+}
+
+TEST(Pcap, ParseSurvivesTornTrailingRecord) {
+  const auto file = encode(small_trace());
+  auto bytes = serialize(file);
+  bytes.resize(bytes.size() - 7);  // tear the last record
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->records.size(), 4u);
+}
+
+TEST(Pcap, ParseByteSwappedFile) {
+  // Hand-build a big-endian (swapped relative to LE reader) capture with one
+  // raw-IP record.
+  const auto wire = net::build_ipv4_packet(
+      [] {
+        net::Ipv4Header h;
+        h.protocol = 1;
+        h.src = net::Ipv4Address(1, 2, 3, 4);
+        h.dst = net::Ipv4Address(5, 6, 7, 8);
+        return h;
+      }(),
+      std::vector<std::uint8_t>(8, 0));
+
+  std::vector<std::uint8_t> bytes(24 + 16 + wire.size());
+  store_be32(bytes.data(), kMagicNative);  // BE writer stores its native magic
+  store_be16(bytes.data() + 4, 2);
+  store_be16(bytes.data() + 6, 4);
+  store_be32(bytes.data() + 16, 65535);           // snaplen
+  store_be32(bytes.data() + 20, kLinkTypeRaw);    // linktype
+  store_be32(bytes.data() + 24, 12);              // ts_sec
+  store_be32(bytes.data() + 28, 500000);          // ts_usec
+  store_be32(bytes.data() + 32, static_cast<std::uint32_t>(wire.size()));
+  store_be32(bytes.data() + 36, static_cast<std::uint32_t>(wire.size()));
+  std::copy(wire.begin(), wire.end(), bytes.begin() + 40);
+
+  const auto parsed = parse(bytes);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(parsed->byte_swapped);
+  ASSERT_EQ(parsed->records.size(), 1u);
+  EXPECT_EQ(parsed->records[0].timestamp.usec, 12'500'000u);
+
+  const auto t = decode(*parsed);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].protocol, 1);
+}
+
+TEST(Pcap, DecodeStripsEthernetFraming) {
+  CaptureFile file;
+  file.link_type = kLinkTypeEthernet;
+  const auto ip = net::build_ipv4_packet(
+      [] {
+        net::Ipv4Header h;
+        h.protocol = 17;
+        h.src = net::Ipv4Address(9, 9, 9, 9);
+        h.dst = net::Ipv4Address(8, 8, 8, 8);
+        return h;
+      }(),
+      net::build_udp_datagram({.src_port = 2001, .dst_port = 53},
+                              net::Ipv4Address(9, 9, 9, 9),
+                              net::Ipv4Address(8, 8, 8, 8), {}));
+  RawPacket raw;
+  raw.timestamp = MicroTime{1000};
+  raw.data.assign(14, 0);
+  raw.data[12] = 0x08;  // EtherType IPv4
+  raw.data[13] = 0x00;
+  raw.data.insert(raw.data.end(), ip.begin(), ip.end());
+  raw.orig_len = static_cast<std::uint32_t>(raw.data.size());
+  file.records.push_back(raw);
+
+  // A non-IPv4 EtherType record should be counted and skipped.
+  RawPacket arp = raw;
+  arp.data[12] = 0x08;
+  arp.data[13] = 0x06;
+  file.records.push_back(arp);
+
+  DecodeStats stats;
+  const auto t = decode(file, &stats);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(stats.non_ipv4, 1u);
+  EXPECT_EQ(t[0].dst_port, 53);
+}
+
+TEST(Pcap, DecodeSkipsMalformedRecords) {
+  CaptureFile file;
+  file.link_type = kLinkTypeRaw;
+  RawPacket junk;
+  junk.timestamp = MicroTime{0};
+  junk.data = {0x45, 0x00};  // truncated IP header
+  file.records.push_back(junk);
+  DecodeStats stats;
+  const auto t = decode(file, &stats);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(stats.malformed, 1u);
+}
+
+TEST(Pcap, DecodeSortsOutOfOrderRecords) {
+  auto file = encode(small_trace());
+  std::swap(file.records[0], file.records[1]);
+  DecodeStats stats;
+  const auto t = decode(file, &stats);
+  EXPECT_EQ(stats.out_of_order, 1u);
+  EXPECT_LE(t[0].timestamp.usec, t[1].timestamp.usec);
+}
+
+TEST(Pcap, FileRoundTrip) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto path = (dir / "netsample_test_roundtrip.pcap").string();
+  const auto original = small_trace();
+  ASSERT_TRUE(write_trace(path, original).is_ok());
+
+  DecodeStats stats;
+  const auto loaded = read_trace(path, &stats);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(stats.decoded, original.size());
+  ASSERT_EQ(loaded->size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ((*loaded)[i], original[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Pcap, ReadMissingFileFails) {
+  const auto r = read_file("/nonexistent/definitely/missing.pcap");
+  EXPECT_FALSE(r.has_value());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Pcap, FragmentedPacketHasNoPorts) {
+  // A non-first fragment must not be parsed for transport headers.
+  net::Ipv4Header h;
+  h.protocol = 6;
+  h.fragment_offset = 100;
+  h.src = net::Ipv4Address(1, 1, 1, 1);
+  h.dst = net::Ipv4Address(2, 2, 2, 2);
+  CaptureFile file;
+  file.link_type = kLinkTypeRaw;
+  RawPacket raw;
+  raw.timestamp = MicroTime{0};
+  raw.data = net::build_ipv4_packet(h, std::vector<std::uint8_t>(64, 0xAA));
+  raw.orig_len = static_cast<std::uint32_t>(raw.data.size());
+  file.records.push_back(raw);
+
+  const auto t = decode(file);
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0].src_port, 0);
+  EXPECT_EQ(t[0].dst_port, 0);
+}
+
+}  // namespace
+}  // namespace netsample::pcap

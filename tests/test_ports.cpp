@@ -1,0 +1,50 @@
+#include "net/ports.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace netsample::net {
+namespace {
+
+TEST(WellKnownPorts, RegistryIsSortedAndNonEmpty) {
+  const auto ports = well_known_ports();
+  ASSERT_FALSE(ports.empty());
+  EXPECT_TRUE(std::is_sorted(
+      ports.begin(), ports.end(),
+      [](const WellKnownPort& a, const WellKnownPort& b) { return a.port < b.port; }));
+}
+
+TEST(WellKnownPorts, EraServicesPresent) {
+  EXPECT_EQ(well_known_port_name(23).value_or(""), "telnet");
+  EXPECT_EQ(well_known_port_name(21).value_or(""), "ftp");
+  EXPECT_EQ(well_known_port_name(20).value_or(""), "ftp-data");
+  EXPECT_EQ(well_known_port_name(25).value_or(""), "smtp");
+  EXPECT_EQ(well_known_port_name(53).value_or(""), "domain");
+  EXPECT_EQ(well_known_port_name(119).value_or(""), "nntp");
+  EXPECT_EQ(well_known_port_name(161).value_or(""), "snmp");
+}
+
+TEST(WellKnownPorts, UnknownPortsReturnNullopt) {
+  EXPECT_FALSE(well_known_port_name(0).has_value());
+  EXPECT_FALSE(well_known_port_name(1024).has_value());
+  EXPECT_FALSE(well_known_port_name(65535).has_value());
+  EXPECT_FALSE(is_well_known_port(6000));
+}
+
+TEST(ServicePort, PicksTheWellKnownEnd) {
+  EXPECT_EQ(service_port(1025, 23).value_or(0), 23);
+  EXPECT_EQ(service_port(23, 1025).value_or(0), 23);
+}
+
+TEST(ServicePort, BothWellKnownPicksLower) {
+  EXPECT_EQ(service_port(53, 123).value_or(0), 53);
+  EXPECT_EQ(service_port(123, 53).value_or(0), 53);
+}
+
+TEST(ServicePort, NeitherWellKnownIsNullopt) {
+  EXPECT_FALSE(service_port(1025, 2048).has_value());
+}
+
+}  // namespace
+}  // namespace netsample::net

@@ -1,0 +1,79 @@
+#include "trace/series.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, std::uint16_t size) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  return p;
+}
+
+TEST(PerSecondSeries, BucketsBySecond) {
+  Trace t({pkt(0, 100), pkt(500000, 200), pkt(1000000, 300), pkt(2500000, 400)});
+  PerSecondSeries s(t.view());
+  ASSERT_EQ(s.seconds(), 3u);
+  EXPECT_EQ(s.bucket(0).packets, 2u);
+  EXPECT_EQ(s.bucket(0).bytes, 300u);
+  EXPECT_EQ(s.bucket(1).packets, 1u);
+  EXPECT_EQ(s.bucket(2).packets, 1u);
+}
+
+TEST(PerSecondSeries, EmptySecondsAreKept) {
+  Trace t({pkt(0, 100), pkt(3200000, 100)});
+  PerSecondSeries s(t.view());
+  ASSERT_EQ(s.seconds(), 4u);
+  EXPECT_EQ(s.bucket(1).packets, 0u);
+  EXPECT_EQ(s.bucket(2).packets, 0u);
+}
+
+TEST(PerSecondSeries, RatesVectors) {
+  Trace t({pkt(0, 1000), pkt(100, 1000), pkt(1000000, 500)});
+  PerSecondSeries s(t.view());
+  const auto pps = s.packet_rates();
+  const auto bps = s.byte_rates();
+  const auto kbps = s.kilobyte_rates();
+  ASSERT_EQ(pps.size(), 2u);
+  EXPECT_DOUBLE_EQ(pps[0], 2.0);
+  EXPECT_DOUBLE_EQ(bps[0], 2000.0);
+  EXPECT_DOUBLE_EQ(kbps[0], 2.0);
+  EXPECT_DOUBLE_EQ(bps[1], 500.0);
+}
+
+TEST(PerSecondSeries, MeanSizesSkipEmptySeconds) {
+  Trace t({pkt(0, 100), pkt(2000000, 300)});
+  PerSecondSeries s(t.view());
+  const auto ms = s.mean_sizes();
+  ASSERT_EQ(ms.size(), 2u);  // second 1 (empty) skipped
+  EXPECT_DOUBLE_EQ(ms[0], 100.0);
+  EXPECT_DOUBLE_EQ(ms[1], 300.0);
+}
+
+TEST(PerSecondSeries, RelativeToViewStart) {
+  // A window starting mid-trace buckets relative to its own first packet.
+  Trace t({pkt(5'500'000, 10), pkt(5'900'000, 20), pkt(6'600'000, 30)});
+  PerSecondSeries s(t.view());
+  ASSERT_EQ(s.seconds(), 2u);
+  EXPECT_EQ(s.bucket(0).packets, 2u);  // 5.5s and 5.9s fall in [5.5, 6.5)
+  EXPECT_EQ(s.bucket(1).packets, 1u);
+}
+
+TEST(PerSecondSeries, EmptyViewYieldsNoSeconds) {
+  PerSecondSeries s{TraceView{}};
+  EXPECT_EQ(s.seconds(), 0u);
+  EXPECT_TRUE(s.packet_rates().empty());
+}
+
+TEST(SecondBucket, MeanPacketSize) {
+  SecondBucket b;
+  EXPECT_DOUBLE_EQ(b.mean_packet_size(), 0.0);
+  b.packets = 4;
+  b.bytes = 1000;
+  EXPECT_DOUBLE_EQ(b.mean_packet_size(), 250.0);
+}
+
+}  // namespace
+}  // namespace netsample::trace

@@ -1,0 +1,127 @@
+#include "stats/special.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace netsample::stats {
+namespace {
+
+// Reference values from standard statistical tables.
+
+TEST(RegularizedGamma, KnownValues) {
+  // P(1, x) = 1 - e^{-x}
+  EXPECT_NEAR(regularized_gamma_p(1.0, 1.0), 1.0 - std::exp(-1.0), 1e-12);
+  EXPECT_NEAR(regularized_gamma_p(1.0, 2.5), 1.0 - std::exp(-2.5), 1e-12);
+  // P(0.5, x) = erf(sqrt(x))
+  EXPECT_NEAR(regularized_gamma_p(0.5, 1.0), std::erf(1.0), 1e-10);
+  EXPECT_NEAR(regularized_gamma_p(0.5, 4.0), std::erf(2.0), 1e-10);
+}
+
+TEST(RegularizedGamma, ComplementarityPQ) {
+  for (double a : {0.5, 1.0, 2.5, 10.0, 50.0}) {
+    for (double x : {0.1, 1.0, 5.0, 20.0, 100.0}) {
+      EXPECT_NEAR(regularized_gamma_p(a, x) + regularized_gamma_q(a, x), 1.0,
+                  1e-12)
+          << "a=" << a << " x=" << x;
+    }
+  }
+}
+
+TEST(RegularizedGamma, BoundaryValues) {
+  EXPECT_DOUBLE_EQ(regularized_gamma_p(3.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(regularized_gamma_q(3.0, 0.0), 1.0);
+  EXPECT_NEAR(regularized_gamma_p(2.0, 1000.0), 1.0, 1e-12);
+}
+
+TEST(RegularizedGamma, DomainErrors) {
+  EXPECT_THROW((void)regularized_gamma_p(0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_p(-1.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_p(1.0, -0.1), std::domain_error);
+  EXPECT_THROW((void)regularized_gamma_q(0.0, 1.0), std::domain_error);
+}
+
+TEST(ChiSquared, CriticalValuesAtAlpha05) {
+  // Upper 5% critical values: chi2_{0.05, dof}.
+  EXPECT_NEAR(chi_squared_sf(3.841, 1), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(5.991, 2), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(9.488, 4), 0.05, 2e-4);
+  EXPECT_NEAR(chi_squared_sf(18.307, 10), 0.05, 2e-4);
+}
+
+TEST(ChiSquared, CdfSfComplement) {
+  for (double k : {1.0, 2.0, 4.0, 10.0}) {
+    for (double x : {0.5, 2.0, 8.0, 30.0}) {
+      EXPECT_NEAR(chi_squared_cdf(x, k) + chi_squared_sf(x, k), 1.0, 1e-12);
+    }
+  }
+}
+
+TEST(ChiSquared, EdgeCases) {
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(0.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(chi_squared_cdf(-1.0, 3), 0.0);
+  EXPECT_DOUBLE_EQ(chi_squared_sf(0.0, 3), 1.0);
+}
+
+TEST(ChiSquared, MedianOfDof2IsLn4) {
+  // chi2 with 2 dof is Exp(2): median = 2 ln 2.
+  EXPECT_NEAR(chi_squared_cdf(2.0 * std::log(2.0), 2), 0.5, 1e-12);
+}
+
+TEST(NormalCdf, StandardValues) {
+  EXPECT_NEAR(normal_cdf(0.0), 0.5, 1e-15);
+  EXPECT_NEAR(normal_cdf(1.0), 0.8413447460685429, 1e-12);
+  EXPECT_NEAR(normal_cdf(-1.0), 0.15865525393145707, 1e-12);
+  EXPECT_NEAR(normal_cdf(1.959963984540054), 0.975, 1e-12);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.01, 0.025, 0.1, 0.5, 0.9, 0.975, 0.99, 0.999}) {
+    EXPECT_NEAR(normal_cdf(normal_quantile(p)), p, 1e-10) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, KnownValues) {
+  EXPECT_NEAR(normal_quantile(0.5), 0.0, 1e-12);
+  EXPECT_NEAR(normal_quantile(0.975), 1.959963984540054, 1e-9);
+  EXPECT_NEAR(normal_quantile(0.995), 2.5758293035489004, 1e-9);
+}
+
+TEST(NormalQuantile, DomainErrors) {
+  EXPECT_THROW((void)normal_quantile(0.0), std::domain_error);
+  EXPECT_THROW((void)normal_quantile(1.0), std::domain_error);
+  EXPECT_THROW((void)normal_quantile(-0.1), std::domain_error);
+}
+
+TEST(ZForConfidence, PaperValue) {
+  // The paper's Section 5.1 uses z = 1.96 for 95% confidence.
+  EXPECT_NEAR(z_for_confidence(0.95), 1.96, 0.001);
+  EXPECT_NEAR(z_for_confidence(0.99), 2.576, 0.001);
+  EXPECT_NEAR(z_for_confidence(0.90), 1.645, 0.001);
+}
+
+TEST(ZForConfidence, DomainErrors) {
+  EXPECT_THROW((void)z_for_confidence(0.0), std::domain_error);
+  EXPECT_THROW((void)z_for_confidence(1.0), std::domain_error);
+}
+
+TEST(KolmogorovSf, KnownValues) {
+  // Q_KS(1.36) ~ 0.049 (the classic 5% critical value).
+  EXPECT_NEAR(kolmogorov_sf(1.36), 0.049, 0.002);
+  EXPECT_NEAR(kolmogorov_sf(1.63), 0.010, 0.002);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(kolmogorov_sf(-1.0), 1.0);
+  EXPECT_NEAR(kolmogorov_sf(10.0), 0.0, 1e-12);
+}
+
+TEST(KolmogorovSf, MonotoneDecreasing) {
+  double prev = 1.0;
+  for (double l = 0.1; l < 3.0; l += 0.1) {
+    const double q = kolmogorov_sf(l);
+    EXPECT_LE(q, prev + 1e-12);
+    prev = q;
+  }
+}
+
+}  // namespace
+}  // namespace netsample::stats

@@ -1,0 +1,79 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s(StatusCode::kDataLoss, "truncated record");
+  EXPECT_FALSE(s.is_ok());
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss);
+  EXPECT_EQ(s.message(), "truncated record");
+  EXPECT_EQ(s.to_string(), "DATA_LOSS: truncated record");
+}
+
+TEST(Status, CodeNamesAreDistinct) {
+  EXPECT_STREQ(status_code_name(StatusCode::kOk), "OK");
+  EXPECT_STREQ(status_code_name(StatusCode::kInvalidArgument),
+               "INVALID_ARGUMENT");
+  EXPECT_STREQ(status_code_name(StatusCode::kNotFound), "NOT_FOUND");
+  EXPECT_STREQ(status_code_name(StatusCode::kDataLoss), "DATA_LOSS");
+  EXPECT_STREQ(status_code_name(StatusCode::kUnimplemented), "UNIMPLEMENTED");
+  EXPECT_STREQ(status_code_name(StatusCode::kInternal), "INTERNAL");
+  EXPECT_STREQ(status_code_name(StatusCode::kOutOfRange), "OUT_OF_RANGE");
+}
+
+TEST(StatusOr, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_TRUE(static_cast<bool>(v));
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+  EXPECT_TRUE(v.status().is_ok());
+}
+
+TEST(StatusOr, HoldsError) {
+  StatusOr<int> v(Status(StatusCode::kNotFound, "nope"));
+  EXPECT_FALSE(v.has_value());
+  EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusOr, ValueOnErrorThrows) {
+  StatusOr<int> v(Status(StatusCode::kNotFound, "nope"));
+  EXPECT_THROW((void)v.value(), std::runtime_error);
+}
+
+TEST(StatusOr, ConstructingFromOkStatusThrows) {
+  EXPECT_THROW(StatusOr<int> v{Status::ok()}, std::logic_error);
+}
+
+TEST(StatusOr, ArrowOperatorWorks) {
+  struct Point {
+    int x;
+  };
+  StatusOr<Point> v(Point{5});
+  EXPECT_EQ(v->x, 5);
+}
+
+TEST(StatusOr, MutableValueCanBeModified) {
+  StatusOr<int> v(1);
+  *v = 9;
+  EXPECT_EQ(v.value(), 9);
+}
+
+TEST(StatusOr, MoveOutValue) {
+  StatusOr<std::string> v(std::string("hello"));
+  std::string s = std::move(v).value();
+  EXPECT_EQ(s, "hello");
+}
+
+}  // namespace
+}  // namespace netsample

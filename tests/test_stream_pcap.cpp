@@ -1,0 +1,141 @@
+#include "pcap/stream.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "synth/presets.h"
+
+namespace netsample::pcap {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+trace::Trace small_trace() {
+  synth::TraceModel model(synth::sdsc_minutes_config(0.05, 61));
+  return model.generate();
+}
+
+TEST(StreamReader, MatchesInMemoryParse) {
+  const auto path = temp_path("netsample_stream_eq.pcap");
+  const auto t = small_trace();
+  ASSERT_TRUE(write_trace(path, t, 96).is_ok());
+
+  const auto whole = read_file(path);
+  ASSERT_TRUE(whole.has_value());
+
+  StreamReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  EXPECT_EQ(reader.link_type(), whole->link_type);
+  EXPECT_EQ(reader.snaplen(), whole->snaplen);
+
+  std::size_t i = 0;
+  while (auto rec = reader.next()) {
+    ASSERT_LT(i, whole->records.size());
+    EXPECT_EQ(rec->timestamp, whole->records[i].timestamp);
+    EXPECT_EQ(rec->orig_len, whole->records[i].orig_len);
+    EXPECT_EQ(rec->data, whole->records[i].data);
+    ++i;
+  }
+  EXPECT_EQ(i, whole->records.size());
+  EXPECT_EQ(reader.records_read(), whole->records.size());
+  std::remove(path.c_str());
+}
+
+TEST(StreamReader, MissingFileReportsStatus) {
+  StreamReader reader("/nonexistent/stream.pcap");
+  EXPECT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(StreamReader, TornFileStopsAtPrefix) {
+  const auto path = temp_path("netsample_stream_torn.pcap");
+  const auto t = small_trace();
+  ASSERT_TRUE(write_trace(path, t, 96).is_ok());
+  // Truncate the file by a few bytes.
+  const auto full_size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, full_size - 5);
+
+  StreamReader reader(path);
+  ASSERT_TRUE(reader.ok());
+  std::size_t n = 0;
+  while (reader.next()) ++n;
+  EXPECT_EQ(n, t.size() - 1);
+  std::remove(path.c_str());
+}
+
+TEST(StreamWriter, RoundTripsThroughStreamReader) {
+  const auto path = temp_path("netsample_stream_writer.pcap");
+  const auto t = small_trace();
+  {
+    StreamWriter writer(path, kLinkTypeRaw, 96);
+    ASSERT_TRUE(writer.ok());
+    for (const auto& p : t.packets()) {
+      ASSERT_TRUE(writer.write_packet(p));
+    }
+    EXPECT_EQ(writer.records_written(), t.size());
+  }
+  // The streamed file must decode identically to the batch-encoded one.
+  const auto loaded = read_trace(path);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->size(), t.size());
+  for (std::size_t i = 0; i < t.size(); i += 17) {
+    EXPECT_EQ((*loaded)[i], t[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(StreamWriter, SnaplenTruncatesData) {
+  const auto path = temp_path("netsample_stream_snap.pcap");
+  StreamWriter writer(path, kLinkTypeRaw, 50);
+  RawPacket big;
+  big.timestamp = MicroTime{1};
+  big.orig_len = 200;
+  big.data.assign(200, 0xAB);
+  ASSERT_TRUE(writer.write(big));
+  writer.flush();
+
+  StreamReader reader(path);
+  const auto rec = reader.next();
+  ASSERT_TRUE(rec.has_value());
+  EXPECT_EQ(rec->data.size(), 50u);
+  EXPECT_EQ(rec->orig_len, 200u);
+  std::remove(path.c_str());
+}
+
+TEST(StreamWriter, BadPathReportsStatus) {
+  StreamWriter writer("/nonexistent/dir/file.pcap");
+  EXPECT_FALSE(writer.ok());
+  RawPacket rec;
+  EXPECT_FALSE(writer.write(rec));
+}
+
+TEST(StreamPipeline, FilterWhileStreaming) {
+  // The operational pattern: stream-read, sample, stream-write.
+  const auto in_path = temp_path("netsample_stream_in.pcap");
+  const auto out_path = temp_path("netsample_stream_out.pcap");
+  const auto t = small_trace();
+  ASSERT_TRUE(write_trace(in_path, t, 96).is_ok());
+
+  StreamReader reader(in_path);
+  StreamWriter writer(out_path, kLinkTypeRaw, 96);
+  std::uint64_t counter = 0;
+  while (auto rec = reader.next()) {
+    if (counter++ % 10 == 0) writer.write(*rec);
+  }
+  writer.flush();
+  EXPECT_EQ(writer.records_written(), (t.size() + 9) / 10);
+
+  const auto sampled = read_trace(out_path);
+  ASSERT_TRUE(sampled.has_value());
+  EXPECT_EQ(sampled->size(), (t.size() + 9) / 10);
+  std::remove(in_path.c_str());
+  std::remove(out_path.c_str());
+}
+
+}  // namespace
+}  // namespace netsample::pcap

@@ -1,0 +1,53 @@
+#include "trace/summary.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, std::uint16_t size) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  return p;
+}
+
+TEST(SummarizePopulation, BasicStatistics) {
+  // Sizes 40, 40, 552, 552 at gaps of 400us.
+  Trace t({pkt(0, 40), pkt(400, 40), pkt(800, 552), pkt(1200, 552)});
+  const auto s = summarize_population(t.view());
+  EXPECT_EQ(s.total_packets, 4u);
+  EXPECT_DOUBLE_EQ(s.packet_size.min, 40.0);
+  EXPECT_DOUBLE_EQ(s.packet_size.max, 552.0);
+  EXPECT_DOUBLE_EQ(s.packet_size.mean, 296.0);
+  EXPECT_DOUBLE_EQ(s.interarrival.mean, 400.0);
+  EXPECT_DOUBLE_EQ(s.interarrival.stddev, 0.0);
+}
+
+TEST(SummarizePopulation, EmptyViewIsZeroed) {
+  const auto s = summarize_population(TraceView{});
+  EXPECT_EQ(s.total_packets, 0u);
+  EXPECT_EQ(s.packet_size.n, 0u);
+}
+
+TEST(SummarizePerSecond, RatesAndSizes) {
+  // Two seconds: 3 packets of 100B, then 1 packet of 500B.
+  Trace t({pkt(0, 100), pkt(1000, 100), pkt(2000, 100), pkt(1'000'000, 500)});
+  const auto s = summarize_per_second(t.view());
+  EXPECT_EQ(s.total_packets, 4u);
+  EXPECT_DOUBLE_EQ(s.packet_rate.mean, 2.0);   // (3 + 1) / 2
+  EXPECT_DOUBLE_EQ(s.packet_rate.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.packet_rate.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.kilobyte_rate.mean, 0.4);  // (0.3 + 0.5) / 2
+  EXPECT_DOUBLE_EQ(s.mean_packet_size.mean, 300.0);  // (100 + 500) / 2
+}
+
+TEST(SummarizePerSecond, SingleSecond) {
+  Trace t({pkt(0, 40), pkt(5000, 40)});
+  const auto s = summarize_per_second(t.view());
+  EXPECT_DOUBLE_EQ(s.packet_rate.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.packet_rate.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace netsample::trace

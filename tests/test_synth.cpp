@@ -1,0 +1,259 @@
+#include "synth/presets.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/targets.h"
+#include "trace/summary.h"
+
+namespace netsample::synth {
+namespace {
+
+// Calibration tests use a 6-minute slice (~150k packets): statistics are
+// stable enough for the tolerances below while keeping the suite fast.
+class CalibratedTrace : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    TraceModel model(sdsc_minutes_config(6.0, 23));
+    trace_ = new trace::Trace(model.generate());
+  }
+  static void TearDownTestSuite() {
+    delete trace_;
+    trace_ = nullptr;
+  }
+  static trace::Trace* trace_;
+};
+
+trace::Trace* CalibratedTrace::trace_ = nullptr;
+
+TEST_F(CalibratedTrace, PacketCountMatchesRate) {
+  // ~424 pps * 360 s ~ 153k packets; allow +-15%.
+  EXPECT_GT(trace_->size(), 125000u);
+  EXPECT_LT(trace_->size(), 180000u);
+}
+
+TEST_F(CalibratedTrace, PacketSizeMarginalMatchesTable3) {
+  const auto s = trace::summarize_population(trace_->view()).packet_size;
+  EXPECT_GE(s.min, 28.0);
+  EXPECT_LE(s.max, 1500.0);
+  EXPECT_DOUBLE_EQ(s.q1, 40.0);     // paper: 25% = 40
+  EXPECT_NEAR(s.median, 76.0, 15);  // paper: 76
+  EXPECT_DOUBLE_EQ(s.q3, 552.0);    // paper: 75% = 552
+  EXPECT_DOUBLE_EQ(s.p95, 552.0);   // paper: 95% = 552
+  EXPECT_NEAR(s.mean, 232.0, 25.0);  // paper: 232
+  EXPECT_NEAR(s.stddev, 236.0, 30.0);  // paper: 236
+}
+
+TEST_F(CalibratedTrace, InterarrivalMarginalMatchesTable3) {
+  const auto s = trace::summarize_population(trace_->view()).interarrival;
+  EXPECT_NEAR(s.mean, 2358.0, 240.0);   // paper: 2358
+  EXPECT_NEAR(s.stddev, 2734.0, 550.0); // paper: 2734
+  EXPECT_DOUBLE_EQ(s.q1, 400.0);        // paper: 25% = 400
+  EXPECT_LE(s.p5, 400.0);               // paper: 5% < 400
+  EXPECT_NEAR(s.p95, 7600.0, 1600.0);   // paper: 95% = 7600
+  EXPECT_GT(s.max, 20000.0);            // paper: max 49600
+}
+
+TEST_F(CalibratedTrace, TimestampsAreClockQuantized) {
+  for (std::size_t i = 0; i < trace_->size(); i += 97) {
+    EXPECT_EQ((*trace_)[i].timestamp.usec % 400, 0u);
+  }
+}
+
+TEST_F(CalibratedTrace, PerSecondRatesMatchTable2) {
+  const auto s = trace::summarize_per_second(trace_->view());
+  EXPECT_NEAR(s.packet_rate.mean, 424.0, 60.0);  // paper: 424.2
+  EXPECT_NEAR(s.packet_rate.stddev, 85.0, 45.0); // paper: 85.1
+  EXPECT_NEAR(s.kilobyte_rate.mean, 98.6, 15.0); // paper: 98.6
+  EXPECT_NEAR(s.mean_packet_size.mean, 226.0, 25.0);  // paper: 226.2
+}
+
+TEST_F(CalibratedTrace, SizeBinsAreBimodal) {
+  const auto h = core::bin_population(trace_->view(), core::Target::kPacketSize);
+  const auto p = h.proportions();
+  // <41 and >=181 bins each hold a substantial share (ACK mode and data mode).
+  EXPECT_GT(p[0], 0.2);
+  EXPECT_GT(p[2], 0.25);
+  EXPECT_GT(p[1], 0.15);
+}
+
+TEST_F(CalibratedTrace, InterarrivalBinsReasonablyEven) {
+  const auto h =
+      core::bin_population(trace_->view(), core::Target::kInterarrivalTime);
+  for (double p : h.proportions()) {
+    EXPECT_GT(p, 0.05);  // the paper chose bins for a fairly even spread
+    EXPECT_LT(p, 0.50);
+  }
+}
+
+TEST_F(CalibratedTrace, ProtocolMixIsTcpDominated) {
+  std::size_t tcp = 0, udp = 0, icmp = 0;
+  for (const auto& p : trace_->packets()) {
+    if (p.protocol == 6) ++tcp;
+    else if (p.protocol == 17) ++udp;
+    else if (p.protocol == 1) ++icmp;
+  }
+  const double n = static_cast<double>(trace_->size());
+  EXPECT_GT(tcp / n, 0.70);
+  EXPECT_GT(udp / n, 0.02);
+  EXPECT_GT(icmp / n, 0.0);
+  EXPECT_LT(icmp / n, 0.05);
+}
+
+TEST_F(CalibratedTrace, SourceAddressesAreSdscClassB) {
+  for (std::size_t i = 0; i < trace_->size(); i += 199) {
+    const auto& p = (*trace_)[i];
+    EXPECT_EQ(p.src.octet(0), 132);
+    EXPECT_EQ(p.src.octet(1), 249);
+  }
+}
+
+TEST(TraceModel, DeterministicForSameSeed) {
+  TraceModel a(sdsc_minutes_config(0.5, 7));
+  TraceModel b(sdsc_minutes_config(0.5, 7));
+  const auto ta = a.generate();
+  const auto tb = b.generate();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); i += 13) {
+    EXPECT_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(TraceModel, DifferentSeedsDiffer) {
+  const auto ta = TraceModel(sdsc_minutes_config(0.5, 1)).generate();
+  const auto tb = TraceModel(sdsc_minutes_config(0.5, 2)).generate();
+  EXPECT_NE(ta.size(), tb.size());
+}
+
+TEST(TraceModel, ValidatesConfig) {
+  auto cfg = sdsc_minutes_config(1.0);
+  cfg.flows.clear();
+  EXPECT_THROW(TraceModel{cfg}, std::invalid_argument);
+
+  cfg = sdsc_minutes_config(1.0);
+  cfg.duration = MicroDuration{0};
+  EXPECT_THROW(TraceModel{cfg}, std::invalid_argument);
+
+  cfg = sdsc_minutes_config(1.0);
+  cfg.mean_gap_usec = -1.0;
+  EXPECT_THROW(TraceModel{cfg}, std::invalid_argument);
+
+  // Within-train gaps exceeding the target mean are infeasible.
+  cfg = sdsc_minutes_config(1.0);
+  for (auto& f : cfg.flows) f.within_gap_mean_usec = 1e9;
+  EXPECT_THROW(TraceModel{cfg}, std::invalid_argument);
+}
+
+TEST(TraceModel, BetweenGapDerivation) {
+  const TraceModel model(sdsc_minutes_config(1.0));
+  // Between-train gaps must exceed the overall mean (they compensate for the
+  // tight within-train gaps).
+  EXPECT_GT(model.between_gap_mean_usec(), model.config().mean_gap_usec);
+}
+
+TEST(Poissonified, PreservesSizeMarginalRemovesBursts) {
+  auto bursty_cfg = sdsc_minutes_config(4.0, 5);
+  auto poisson_cfg = poissonified(bursty_cfg);
+  const auto bursty = TraceModel(bursty_cfg).generate();
+  const auto poisson = TraceModel(poisson_cfg).generate();
+
+  // Size marginal preserved (means within a few percent).
+  const auto sb = trace::summarize_population(bursty.view()).packet_size;
+  const auto sp = trace::summarize_population(poisson.view()).packet_size;
+  EXPECT_NEAR(sb.mean, sp.mean, 0.06 * sb.mean);
+
+  // Burstiness removed: the poissonified gap distribution has lower
+  // coefficient of variation (quantization keeps it slightly above 1).
+  const auto gb = trace::summarize_population(bursty.view()).interarrival;
+  const auto gp = trace::summarize_population(poisson.view()).interarrival;
+  EXPECT_LT(gp.stddev / gp.mean, gb.stddev / gb.mean);
+}
+
+TEST(TraceModel, DisabledModulationFlattensRates) {
+  auto cfg = sdsc_minutes_config(4.0, 9);
+  cfg.modulation.enabled = false;
+  const auto flat = TraceModel(cfg).generate();
+  cfg.modulation.enabled = true;
+  const auto wavy = TraceModel(cfg).generate();
+  const auto sf = trace::summarize_per_second(flat.view()).packet_rate;
+  const auto sw = trace::summarize_per_second(wavy.view()).packet_rate;
+  EXPECT_LT(sf.stddev, sw.stddev);
+}
+
+TEST(FixWest, CalibrationIsPlausibleAndBusier) {
+  // The footnote-3 environment: same structural family, higher rate, more
+  // bulk traffic.
+  const auto sdsc = TraceModel(sdsc_minutes_config(3.0, 29)).generate();
+  const auto fixw = TraceModel(fixwest_minutes_config(3.0, 29)).generate();
+  EXPECT_GT(fixw.size(), sdsc.size());  // busier aggregate
+
+  const auto s_sdsc = trace::summarize_population(sdsc.view()).packet_size;
+  const auto s_fixw = trace::summarize_population(fixw.view()).packet_size;
+  // Transit profile carries more bulk -> larger mean packet.
+  EXPECT_GT(s_fixw.mean, s_sdsc.mean);
+  // Still the era's envelope.
+  EXPECT_GE(s_fixw.min, 28.0);
+  EXPECT_LE(s_fixw.max, 1500.0);
+}
+
+TEST(FixWest, MoreDistinctRemoteNetworks) {
+  const auto sdsc = TraceModel(sdsc_minutes_config(2.0, 31)).generate();
+  const auto fixw = TraceModel(fixwest_minutes_config(2.0, 31)).generate();
+  auto count_nets = [](const trace::Trace& t) {
+    std::set<std::uint32_t> nets;
+    for (const auto& p : t.packets()) {
+      nets.insert(net::NetworkNumber::of(p.dst).prefix());
+    }
+    return nets.size();
+  };
+  EXPECT_GT(count_nets(fixw), count_nets(sdsc));
+}
+
+TEST(ParetoTrains, DeterministicAndCalibrated) {
+  auto cfg = sdsc_minutes_config(2.0, 37);
+  cfg.train_length_model = TrainLengthModel::kPareto;
+  cfg.pareto_shape = 1.6;
+  const auto a = TraceModel(cfg).generate();
+  const auto b = TraceModel(cfg).generate();
+  ASSERT_EQ(a.size(), b.size());
+  // Mean rate stays near the target despite the heavy tail.
+  const auto s = trace::summarize_population(a.view()).interarrival;
+  EXPECT_NEAR(s.mean, 2358.0, 400.0);
+}
+
+TEST(ParetoTrains, InvalidShapeThrows) {
+  auto cfg = sdsc_minutes_config(1.0);
+  cfg.train_length_model = TrainLengthModel::kPareto;
+  cfg.pareto_shape = 1.0;
+  EXPECT_THROW(TraceModel{cfg}, std::invalid_argument);
+}
+
+TEST(TraceModel, TcpPacketsAreNeverSmallerThanHeaders) {
+  // IP(20) + TCP(20): a TCP packet below 40 bytes cannot exist on the wire,
+  // and the pcap encoder relies on this invariant to round-trip ports.
+  const auto t = TraceModel(sdsc_minutes_config(2.0, 41)).generate();
+  for (const auto& p : t.packets()) {
+    if (p.protocol == 6) {
+      ASSERT_GE(p.size, 40) << "TCP packet smaller than its headers";
+    }
+    ASSERT_GE(p.size, 28);
+  }
+}
+
+TEST(TraceModel, ZeroClockTickKeepsMicrosecondResolution) {
+  auto cfg = sdsc_minutes_config(0.5, 3);
+  cfg.clock_tick = MicroDuration{0};
+  const auto t = TraceModel(cfg).generate();
+  bool any_unaligned = false;
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    if (t[i].timestamp.usec % 400 != 0) {
+      any_unaligned = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_unaligned);
+}
+
+}  // namespace
+}  // namespace netsample::synth

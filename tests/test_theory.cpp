@@ -1,0 +1,115 @@
+#include "core/theory.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "stats/special.h"
+#include "util/rng.h"
+
+namespace netsample::core {
+namespace {
+
+TEST(ChiSquaredQuantile, InvertsCdf) {
+  for (double k : {1.0, 2.0, 4.0, 10.0, 50.0}) {
+    for (double p : {0.01, 0.1, 0.5, 0.9, 0.99}) {
+      const double x = stats::chi_squared_quantile(p, k);
+      EXPECT_NEAR(stats::chi_squared_cdf(x, k), p, 1e-9)
+          << "k=" << k << " p=" << p;
+    }
+  }
+}
+
+TEST(ChiSquaredQuantile, KnownCriticalValues) {
+  EXPECT_NEAR(stats::chi_squared_quantile(0.95, 1), 3.841, 0.001);
+  EXPECT_NEAR(stats::chi_squared_quantile(0.95, 2), 5.991, 0.001);
+  EXPECT_NEAR(stats::chi_squared_quantile(0.95, 4), 9.488, 0.001);
+  EXPECT_NEAR(stats::chi_squared_quantile(0.5, 2), 2.0 * std::log(2.0), 1e-6);
+}
+
+TEST(ChiSquaredQuantile, DomainErrors) {
+  EXPECT_THROW((void)stats::chi_squared_quantile(0.0, 2), std::domain_error);
+  EXPECT_THROW((void)stats::chi_squared_quantile(1.0, 2), std::domain_error);
+  EXPECT_THROW((void)stats::chi_squared_quantile(0.5, 0.0), std::domain_error);
+}
+
+TEST(PhiTheory, ExpectedChi2IsDofs) {
+  EXPECT_DOUBLE_EQ(expected_chi2(3), 2.0);
+  EXPECT_DOUBLE_EQ(expected_chi2(5), 4.0);
+  EXPECT_THROW((void)expected_chi2(1), std::invalid_argument);
+}
+
+TEST(PhiTheory, ExpectedPhiScalesAsRootN) {
+  const double phi_100 = expected_phi(3, 100);
+  const double phi_10000 = expected_phi(3, 10000);
+  EXPECT_NEAR(phi_100 / phi_10000, 10.0, 1e-9);
+}
+
+TEST(PhiTheory, ClosedFormForTwoBins) {
+  // nu = 1: E[sqrt(chi2_1)] = sqrt(2/pi) * ... specifically
+  // Gamma(1) / Gamma(1/2) = 1 / sqrt(pi); E[phi] = (1/sqrt(pi)) *
+  // sqrt(2)/sqrt(2n)... our formula gives Gamma(1)/Gamma(0.5)/sqrt(n).
+  const double expected = 1.0 / std::sqrt(M_PI) / std::sqrt(100.0);
+  EXPECT_NEAR(expected_phi(2, 100), expected, 1e-12);
+}
+
+TEST(PhiTheory, QuantilesBracketTheMean) {
+  const double lo = phi_quantile(3, 1000, 0.05);
+  const double mid = phi_quantile(3, 1000, 0.5);
+  const double hi = phi_quantile(3, 1000, 0.95);
+  const double mean = expected_phi(3, 1000);
+  EXPECT_LT(lo, mid);
+  EXPECT_LT(mid, hi);
+  EXPECT_GT(mean, lo);
+  EXPECT_LT(mean, hi);
+}
+
+TEST(PhiTheory, Validation) {
+  EXPECT_THROW((void)expected_phi(1, 100), std::invalid_argument);
+  EXPECT_THROW((void)expected_phi(3, 0), std::invalid_argument);
+  EXPECT_THROW((void)phi_quantile(3, 100, 0.0), std::domain_error);
+}
+
+TEST(PhiTheory, MatchesMultinomialSimulation) {
+  // Draw multinomial samples from fixed proportions, compute phi the way
+  // the library does, and compare the empirical mean and 95th percentile
+  // against the closed forms.
+  Rng rng(71);
+  const std::vector<double> probs = {0.31, 0.34, 0.35};
+  const std::uint64_t n = 2000;
+  const int reps = 600;
+  std::vector<double> phis;
+  for (int r = 0; r < reps; ++r) {
+    std::vector<double> obs(3, 0.0);
+    for (std::uint64_t i = 0; i < n; ++i) {
+      double u = rng.uniform01();
+      for (std::size_t b = 0; b < probs.size(); ++b) {
+        if (u < probs[b] || b + 1 == probs.size()) {
+          obs[b] += 1.0;
+          break;
+        }
+        u -= probs[b];
+      }
+    }
+    double chi2 = 0.0, nphi = 0.0;
+    for (std::size_t b = 0; b < probs.size(); ++b) {
+      const double e = probs[b] * static_cast<double>(n);
+      chi2 += (obs[b] - e) * (obs[b] - e) / e;
+      nphi += e + obs[b];
+    }
+    phis.push_back(std::sqrt(chi2 / nphi));
+  }
+  double mean = 0.0;
+  for (double p : phis) mean += p;
+  mean /= reps;
+  std::sort(phis.begin(), phis.end());
+  const double p95 = phis[static_cast<std::size_t>(0.95 * reps)];
+
+  EXPECT_NEAR(mean, expected_phi(3, n), 0.1 * expected_phi(3, n));
+  EXPECT_NEAR(p95, phi_quantile(3, n, 0.95), 0.1 * phi_quantile(3, n, 0.95));
+}
+
+}  // namespace
+}  // namespace netsample::core

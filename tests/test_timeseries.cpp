@@ -1,0 +1,136 @@
+#include "stats/timeseries.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace netsample::stats {
+namespace {
+
+TEST(Autocorrelation, WhiteNoiseIsNearZero) {
+  Rng rng(1);
+  std::vector<double> data;
+  for (int i = 0; i < 20000; ++i) data.push_back(rng.normal());
+  for (std::size_t lag : {1u, 2u, 5u, 10u}) {
+    EXPECT_NEAR(autocorrelation(data, lag), 0.0, 0.03) << "lag " << lag;
+  }
+}
+
+TEST(Autocorrelation, Ar1MatchesTheory) {
+  // AR(1) with coefficient a has ACF(k) = a^k.
+  Rng rng(2);
+  const double a = 0.8;
+  std::vector<double> data;
+  double x = 0.0;
+  for (int i = 0; i < 50000; ++i) {
+    x = a * x + rng.normal();
+    data.push_back(x);
+  }
+  EXPECT_NEAR(autocorrelation(data, 1), 0.8, 0.02);
+  EXPECT_NEAR(autocorrelation(data, 2), 0.64, 0.03);
+  EXPECT_NEAR(autocorrelation(data, 4), 0.41, 0.04);
+}
+
+TEST(Autocorrelation, AlternatingSeriesIsNegative) {
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(i % 2 == 0 ? 1.0 : -1.0);
+  EXPECT_NEAR(autocorrelation(data, 1), -1.0, 0.01);
+}
+
+TEST(Autocorrelation, Validation) {
+  const std::vector<double> tiny = {1.0};
+  EXPECT_THROW((void)autocorrelation(tiny, 1), std::invalid_argument);
+  const std::vector<double> constant(100, 5.0);
+  EXPECT_THROW((void)autocorrelation(constant, 1), std::invalid_argument);
+  const std::vector<double> data = {1, 2, 3};
+  EXPECT_THROW((void)autocorrelation(data, 3), std::invalid_argument);
+}
+
+TEST(Acf, ReturnsRequestedLags) {
+  Rng rng(3);
+  std::vector<double> data;
+  for (int i = 0; i < 1000; ++i) data.push_back(rng.uniform01());
+  EXPECT_EQ(acf(data, 10).size(), 10u);
+  EXPECT_EQ(acf(data, 2000).size(), 999u);  // clamped
+}
+
+TEST(IndexOfDispersion, PoissonIsNearOne) {
+  Rng rng(4);
+  // Per-slot Poisson(lambda=20) counts via exponential gaps.
+  std::vector<double> counts;
+  double t = 0.0;
+  int in_slot = 0;
+  int slot = 0;
+  while (slot < 4000) {
+    t += rng.exponential(1.0 / 20.0);
+    if (static_cast<int>(t) > slot) {
+      counts.push_back(in_slot);
+      in_slot = 0;
+      ++slot;
+      // Account for skipped empty slots.
+      while (static_cast<int>(t) > slot && slot < 4000) {
+        counts.push_back(0);
+        ++slot;
+      }
+    }
+    ++in_slot;
+  }
+  for (std::size_t w : {1u, 4u, 16u}) {
+    EXPECT_NEAR(index_of_dispersion(counts, w), 1.0, 0.25) << "window " << w;
+  }
+}
+
+TEST(IndexOfDispersion, BurstyCountsGrowWithWindow) {
+  // Correlated (AR-modulated) counts: IDC should grow with window size.
+  Rng rng(5);
+  std::vector<double> counts;
+  double m = 0.0;
+  for (int i = 0; i < 8000; ++i) {
+    m = 0.9 * m + rng.normal(0.0, 1.0);
+    counts.push_back(std::max(0.0, 50.0 + 10.0 * m + rng.normal(0.0, 3.0)));
+  }
+  const double idc1 = index_of_dispersion(counts, 1);
+  const double idc16 = index_of_dispersion(counts, 16);
+  EXPECT_GT(idc16, 2.0 * idc1);
+}
+
+TEST(IndexOfDispersion, Validation) {
+  const std::vector<double> data = {1, 2, 3, 4};
+  EXPECT_THROW((void)index_of_dispersion(data, 0), std::invalid_argument);
+  EXPECT_THROW((void)index_of_dispersion(data, 5), std::invalid_argument);
+  EXPECT_THROW((void)index_of_dispersion(data, 4), std::invalid_argument);
+  EXPECT_NO_THROW((void)index_of_dispersion(data, 2));
+}
+
+TEST(IndexOfDispersion, ZeroCountsGiveZero) {
+  const std::vector<double> zeros(100, 0.0);
+  EXPECT_DOUBLE_EQ(index_of_dispersion(zeros, 4), 0.0);
+}
+
+TEST(IdcCurve, WindowLadderIsPowersOfTwo) {
+  std::vector<double> counts(256, 1.0);
+  counts[0] = 2.0;  // avoid constant series edge (variance fine here)
+  const auto curve = idc_curve(counts, 64);
+  ASSERT_GE(curve.size(), 6u);
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].window, 1ull << i);
+  }
+}
+
+TEST(IdcCurve, DecreasingWindowsNeverAppear) {
+  Rng rng(6);
+  std::vector<double> counts;
+  for (int i = 0; i < 300; ++i) counts.push_back(rng.uniform(0.0, 10.0));
+  const auto curve = idc_curve(counts, 1024);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GT(curve[i].window, curve[i - 1].window);
+  }
+  // Windows stop while at least two aggregated windows remain.
+  EXPECT_LE(curve.back().window, counts.size() / 2);
+}
+
+}  // namespace
+}  // namespace netsample::stats

@@ -1,0 +1,44 @@
+#include "util/timeval.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample {
+namespace {
+
+TEST(MicroTime, FromSecUsec) {
+  const auto t = MicroTime::from_sec_usec(3, 250000);
+  EXPECT_EQ(t.usec, 3250000u);
+  EXPECT_EQ(t.seconds(), 3u);
+  EXPECT_EQ(t.subsec_usec(), 250000u);
+  EXPECT_DOUBLE_EQ(t.to_seconds(), 3.25);
+}
+
+TEST(MicroTime, Ordering) {
+  EXPECT_LT(MicroTime{1}, MicroTime{2});
+  EXPECT_EQ(MicroTime{5}, MicroTime{5});
+  EXPECT_GT(MicroTime{9}, MicroTime{2});
+}
+
+TEST(MicroDuration, FromSecondsAndMillis) {
+  EXPECT_EQ(MicroDuration::from_seconds(1.5).usec, 1500000);
+  EXPECT_EQ(MicroDuration::from_millis(20).usec, 20000);
+  EXPECT_DOUBLE_EQ(MicroDuration{2500000}.to_seconds(), 2.5);
+}
+
+TEST(MicroTime, Arithmetic) {
+  const MicroTime a{1000}, b{400};
+  EXPECT_EQ((a - b).usec, 600);
+  EXPECT_EQ((b - a).usec, -600);  // durations are signed
+  EXPECT_EQ((a + MicroDuration{500}).usec, 1500u);
+  EXPECT_EQ((a - MicroDuration{500}).usec, 500u);
+}
+
+TEST(MicroDuration, Arithmetic) {
+  const MicroDuration a{300}, b{200};
+  EXPECT_EQ((a + b).usec, 500);
+  EXPECT_EQ((a - b).usec, 100);
+  EXPECT_EQ((a * 4).usec, 1200);
+}
+
+}  // namespace
+}  // namespace netsample

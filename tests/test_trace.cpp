@@ -1,0 +1,144 @@
+#include "trace/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, std::uint16_t size = 100) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  return p;
+}
+
+std::vector<PacketRecord> ascending(std::size_t n, std::uint64_t step = 1000) {
+  std::vector<PacketRecord> v;
+  for (std::size_t i = 0; i < n; ++i) v.push_back(pkt(i * step));
+  return v;
+}
+
+TEST(Trace, ConstructsFromOrderedPackets) {
+  Trace t(ascending(10));
+  EXPECT_EQ(t.size(), 10u);
+  EXPECT_FALSE(t.empty());
+}
+
+TEST(Trace, RejectsOutOfOrderPackets) {
+  std::vector<PacketRecord> v = {pkt(100), pkt(50)};
+  EXPECT_THROW(Trace{v}, std::invalid_argument);
+}
+
+TEST(Trace, AppendMaintainsOrderInvariant) {
+  Trace t;
+  t.append(pkt(100));
+  t.append(pkt(100));  // equal timestamps are legal (400us clock collisions)
+  t.append(pkt(200));
+  EXPECT_THROW(t.append(pkt(150)), std::invalid_argument);
+  EXPECT_EQ(t.size(), 3u);
+}
+
+TEST(Trace, QuantizeClockFloorsTimestamps) {
+  Trace t({pkt(0), pkt(399), pkt(400), pkt(799), pkt(1201)});
+  const auto changed = t.quantize_clock(MicroDuration{400});
+  EXPECT_EQ(changed, 3u);  // 399->0, 799->400, 1201->1200
+  EXPECT_EQ(t[0].timestamp.usec, 0u);
+  EXPECT_EQ(t[1].timestamp.usec, 0u);
+  EXPECT_EQ(t[2].timestamp.usec, 400u);
+  EXPECT_EQ(t[3].timestamp.usec, 400u);
+  EXPECT_EQ(t[4].timestamp.usec, 1200u);
+}
+
+TEST(Trace, QuantizeRejectsNonPositiveTick) {
+  Trace t(ascending(3));
+  EXPECT_THROW(t.quantize_clock(MicroDuration{0}), std::invalid_argument);
+  EXPECT_THROW(t.quantize_clock(MicroDuration{-5}), std::invalid_argument);
+}
+
+TEST(Trace, RebaseToZero) {
+  Trace t({pkt(5000), pkt(6000), pkt(9000)});
+  t.rebase_to_zero();
+  EXPECT_EQ(t[0].timestamp.usec, 0u);
+  EXPECT_EQ(t[1].timestamp.usec, 1000u);
+  EXPECT_EQ(t[2].timestamp.usec, 4000u);
+}
+
+TEST(TraceView, StartEndDuration) {
+  Trace t(ascending(5, 1000));
+  const auto v = t.view();
+  EXPECT_EQ(v.start_time().usec, 0u);
+  EXPECT_EQ(v.end_time().usec, 4000u);
+  EXPECT_EQ(v.duration().usec, 4000);
+}
+
+TEST(TraceView, EmptyViewThrowsOnTimes) {
+  TraceView v;
+  EXPECT_TRUE(v.empty());
+  EXPECT_THROW((void)v.start_time(), std::out_of_range);
+  EXPECT_THROW((void)v.end_time(), std::out_of_range);
+}
+
+TEST(TraceView, WindowSelectsHalfOpenRange) {
+  Trace t(ascending(10, 1000));  // packets at 0,1000,...,9000
+  const auto w = t.view().window(MicroTime{2000}, MicroTime{5000});
+  ASSERT_EQ(w.size(), 3u);  // 2000, 3000, 4000
+  EXPECT_EQ(w[0].timestamp.usec, 2000u);
+  EXPECT_EQ(w[2].timestamp.usec, 4000u);
+}
+
+TEST(TraceView, WindowWithInvertedBoundsIsEmpty) {
+  Trace t(ascending(10));
+  EXPECT_TRUE(t.view().window(MicroTime{500}, MicroTime{100}).empty());
+}
+
+TEST(TraceView, WindowBeyondTraceIsEmpty) {
+  Trace t(ascending(5, 1000));
+  EXPECT_TRUE(t.view().window(MicroTime{100000}, MicroTime{200000}).empty());
+}
+
+TEST(TraceView, PrefixDuration) {
+  Trace t(ascending(10, 1000));
+  const auto p = t.view().prefix_duration(MicroDuration{3500});
+  ASSERT_EQ(p.size(), 4u);  // 0,1000,2000,3000
+  EXPECT_EQ(p[3].timestamp.usec, 3000u);
+}
+
+TEST(TraceView, PrefixDurationOfWindowIsRelative) {
+  Trace t(ascending(10, 1000));
+  const auto mid = t.view().window(MicroTime{4000}, MicroTime{10000});
+  const auto p = mid.prefix_duration(MicroDuration{2500});
+  ASSERT_EQ(p.size(), 3u);  // 4000,5000,6000
+  EXPECT_EQ(p[0].timestamp.usec, 4000u);
+}
+
+TEST(TraceView, TotalBytes) {
+  Trace t({pkt(0, 40), pkt(100, 552), pkt(200, 1500)});
+  EXPECT_EQ(t.view().total_bytes(), 2092u);
+}
+
+TEST(TraceView, SizesVector) {
+  Trace t({pkt(0, 40), pkt(100, 552)});
+  const auto s = t.view().sizes();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_DOUBLE_EQ(s[0], 40.0);
+  EXPECT_DOUBLE_EQ(s[1], 552.0);
+}
+
+TEST(TraceView, Interarrivals) {
+  Trace t({pkt(0), pkt(400), pkt(2000)});
+  const auto g = t.view().interarrivals();
+  ASSERT_EQ(g.size(), 2u);
+  EXPECT_DOUBLE_EQ(g[0], 400.0);
+  EXPECT_DOUBLE_EQ(g[1], 1600.0);
+}
+
+TEST(TraceView, InterarrivalsOfTinyViewsAreEmpty) {
+  Trace one({pkt(0)});
+  EXPECT_TRUE(one.view().interarrivals().empty());
+  EXPECT_TRUE(TraceView{}.interarrivals().empty());
+}
+
+}  // namespace
+}  // namespace netsample::trace

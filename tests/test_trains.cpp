@@ -1,0 +1,88 @@
+#include "trace/trains.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/presets.h"
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, std::uint16_t size = 100) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.size = size;
+  return p;
+}
+
+TEST(DetectTrains, SplitsOnLargeGaps) {
+  // Two trains: {0, 500, 1000} and {10000, 10500}, threshold 2000us.
+  Trace t({pkt(0), pkt(500), pkt(1000), pkt(10000), pkt(10500)});
+  const auto trains = detect_trains(t.view(), MicroDuration{2000});
+  ASSERT_EQ(trains.size(), 2u);
+  EXPECT_EQ(trains[0].packets, 3u);
+  EXPECT_EQ(trains[0].first_index, 0u);
+  EXPECT_EQ(trains[0].duration().usec, 1000);
+  EXPECT_EQ(trains[1].packets, 2u);
+  EXPECT_EQ(trains[1].first_index, 3u);
+}
+
+TEST(DetectTrains, BoundaryGapEqualToThresholdJoins) {
+  Trace t({pkt(0), pkt(2000)});
+  EXPECT_EQ(detect_trains(t.view(), MicroDuration{2000}).size(), 1u);
+  EXPECT_EQ(detect_trains(t.view(), MicroDuration{1999}).size(), 2u);
+}
+
+TEST(DetectTrains, SinglePacketIsOneTrain) {
+  Trace t({pkt(42)});
+  const auto trains = detect_trains(t.view(), MicroDuration{1000});
+  ASSERT_EQ(trains.size(), 1u);
+  EXPECT_EQ(trains[0].packets, 1u);
+  EXPECT_EQ(trains[0].duration().usec, 0);
+}
+
+TEST(DetectTrains, EmptyViewYieldsNoTrains) {
+  EXPECT_TRUE(detect_trains(TraceView{}, MicroDuration{1000}).empty());
+}
+
+TEST(DetectTrains, InvalidThresholdThrows) {
+  Trace t({pkt(0)});
+  EXPECT_THROW((void)detect_trains(t.view(), MicroDuration{0}),
+               std::invalid_argument);
+}
+
+TEST(DetectTrains, BytesAccumulate) {
+  Trace t({pkt(0, 40), pkt(100, 552), pkt(200, 40)});
+  const auto trains = detect_trains(t.view(), MicroDuration{1000});
+  ASSERT_EQ(trains.size(), 1u);
+  EXPECT_EQ(trains[0].bytes, 632u);
+}
+
+TEST(TrainStats, AggregatesCorrectly) {
+  Trace t({pkt(0), pkt(500), pkt(1000), pkt(10000), pkt(10500)});
+  const auto s = train_stats(t.view(), MicroDuration{2000});
+  EXPECT_EQ(s.trains, 2u);
+  EXPECT_DOUBLE_EQ(s.mean_length_packets, 2.5);
+  EXPECT_DOUBLE_EQ(s.mean_duration_usec, 750.0);  // (1000 + 500) / 2
+  EXPECT_DOUBLE_EQ(s.mean_intertrain_gap_usec, 9000.0);
+  EXPECT_DOUBLE_EQ(s.interior_fraction, 3.0 / 5.0);
+}
+
+TEST(TrainStats, SyntheticWorkloadHasTrains) {
+  // The calibrated workload must show genuine train structure; the
+  // poissonified ablation must show much less.
+  synth::TraceModel bursty_model(synth::sdsc_minutes_config(2.0, 51));
+  const auto bursty = bursty_model.generate();
+  synth::TraceModel poisson_model(
+      synth::poissonified(synth::sdsc_minutes_config(2.0, 51)));
+  const auto poisson = poisson_model.generate();
+
+  const auto threshold = MicroDuration{2400};  // ~ the within-train regime
+  const auto sb = train_stats(bursty.view(), threshold);
+  const auto sp = train_stats(poisson.view(), threshold);
+  EXPECT_GT(sb.mean_length_packets, sp.mean_length_packets);
+  EXPECT_GT(sb.interior_fraction, sp.interior_fraction);
+  EXPECT_GT(sb.mean_length_packets, 1.5);
+}
+
+}  // namespace
+}  // namespace netsample::trace

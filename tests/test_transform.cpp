@@ -1,0 +1,117 @@
+#include "trace/transform.h"
+
+#include <gtest/gtest.h>
+
+namespace netsample::trace {
+namespace {
+
+PacketRecord pkt(std::uint64_t usec, std::uint8_t proto = 6,
+                 std::uint16_t dport = 23, std::uint16_t size = 100) {
+  PacketRecord p;
+  p.timestamp = MicroTime{usec};
+  p.protocol = proto;
+  p.src = net::Ipv4Address(10, 0, 0, 1);
+  p.dst = net::Ipv4Address(192, 168, 1, 2);
+  p.src_port = 4000;
+  p.dst_port = dport;
+  p.size = size;
+  return p;
+}
+
+TEST(Merge, InterleavesByTimestamp) {
+  Trace a({pkt(0), pkt(200), pkt(400)});
+  Trace b({pkt(100), pkt(300)});
+  const auto merged = merge({a.view(), b.view()});
+  ASSERT_EQ(merged.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(merged[i].timestamp.usec, i * 100);
+  }
+}
+
+TEST(Merge, StableOnTies) {
+  Trace a({pkt(100, 6), pkt(200, 6)});
+  Trace b({pkt(100, 17), pkt(200, 17)});
+  const auto merged = merge({a.view(), b.view()});
+  ASSERT_EQ(merged.size(), 4u);
+  EXPECT_EQ(merged[0].protocol, 6);   // input 0 wins ties
+  EXPECT_EQ(merged[1].protocol, 17);
+  EXPECT_EQ(merged[2].protocol, 6);
+  EXPECT_EQ(merged[3].protocol, 17);
+}
+
+TEST(Merge, HandlesEmptyInputs) {
+  Trace a({pkt(0)});
+  EXPECT_EQ(merge({}).size(), 0u);
+  EXPECT_EQ(merge({TraceView{}, a.view(), TraceView{}}).size(), 1u);
+}
+
+TEST(Merge, ManyWay) {
+  std::vector<Trace> traces;
+  std::vector<TraceView> views;
+  for (int i = 0; i < 7; ++i) {
+    std::vector<PacketRecord> v;
+    for (int j = 0; j < 10; ++j) {
+      v.push_back(pkt(static_cast<std::uint64_t>(i + 7 * j) * 10));
+    }
+    traces.emplace_back(std::move(v));
+  }
+  for (const auto& t : traces) views.push_back(t.view());
+  const auto merged = merge(views);
+  ASSERT_EQ(merged.size(), 70u);
+  for (std::size_t i = 1; i < merged.size(); ++i) {
+    EXPECT_LE(merged[i - 1].timestamp.usec, merged[i].timestamp.usec);
+  }
+}
+
+TEST(Filter, KeepsMatchingPackets) {
+  Trace t({pkt(0, 6), pkt(100, 17), pkt(200, 6), pkt(300, 1)});
+  const auto tcp = filter(t.view(), by_protocol(6));
+  ASSERT_EQ(tcp.size(), 2u);
+  EXPECT_EQ(tcp[0].timestamp.usec, 0u);
+  EXPECT_EQ(tcp[1].timestamp.usec, 200u);
+}
+
+TEST(Filter, ByServicePort) {
+  Trace t({pkt(0, 6, 23), pkt(100, 6, 25), pkt(200, 17, 23), pkt(300, 1, 23)});
+  const auto telnet = filter(t.view(), by_service_port(23));
+  ASSERT_EQ(telnet.size(), 2u);  // TCP and UDP port 23; ICMP excluded
+}
+
+TEST(Filter, ByDestinationNetwork) {
+  Trace t({pkt(0), pkt(100)});
+  const auto net = net::NetworkNumber::of(net::Ipv4Address(192, 168, 1, 99));
+  EXPECT_EQ(filter(t.view(), by_destination_network(net)).size(), 2u);
+  const auto other = net::NetworkNumber::of(net::Ipv4Address(10, 0, 0, 1));
+  EXPECT_EQ(filter(t.view(), by_destination_network(other)).size(), 0u);
+}
+
+TEST(TimeShift, ShiftsForward) {
+  Trace t({pkt(0), pkt(100)});
+  const auto shifted = time_shift(t.view(), MicroDuration{5000});
+  EXPECT_EQ(shifted[0].timestamp.usec, 5000u);
+  EXPECT_EQ(shifted[1].timestamp.usec, 5100u);
+}
+
+TEST(TimeShift, ShiftsBackward) {
+  Trace t({pkt(1000), pkt(2000)});
+  const auto shifted = time_shift(t.view(), MicroDuration{-1000});
+  EXPECT_EQ(shifted[0].timestamp.usec, 0u);
+}
+
+TEST(TimeShift, UnderflowThrows) {
+  Trace t({pkt(100)});
+  EXPECT_THROW((void)time_shift(t.view(), MicroDuration{-200}),
+               std::invalid_argument);
+}
+
+TEST(Merge, DoublingLoadViaShiftedOverlay) {
+  // The documented recipe: overlay a trace with a shifted copy of itself.
+  Trace t({pkt(0), pkt(1000), pkt(2000)});
+  const auto copy = time_shift(t.view(), MicroDuration{500});
+  const auto doubled = merge({t.view(), copy.view()});
+  EXPECT_EQ(doubled.size(), 6u);
+  EXPECT_EQ(doubled[1].timestamp.usec, 500u);
+}
+
+}  // namespace
+}  // namespace netsample::trace

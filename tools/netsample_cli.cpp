@@ -1,0 +1,360 @@
+// netsample -- command-line front end to the whole library.
+//
+//   netsample generate --minutes 10 --seed 23 --out trace.pcap [--poisson]
+//   netsample inspect  trace.pcap
+//   netsample sample   trace.pcap --method systematic --k 50 --out out.pcap
+//   netsample score    trace.pcap --method systematic --k 50 [--reps 5]
+//   netsample flows    trace.pcap [--timeout 30] [--top 10]
+//   netsample design   --mu 232 --sigma 236 --accuracy 5 [--population N]
+//   netsample charact  trace.pcap [--node t1|t3] [--k 50]
+//
+// Every subcommand is a thin veneer over the public API; see examples/ for
+// annotated versions of the same flows.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "charact/agent.h"
+#include "core/categorical.h"
+#include "core/design.h"
+#include "core/metrics.h"
+#include "core/samplers.h"
+#include "core/targets.h"
+#include "exper/experiment.h"
+#include "exper/runner.h"
+#include "net/headers.h"
+#include "net/ports.h"
+#include "pcap/pcap.h"
+#include "synth/presets.h"
+#include "trace/flows.h"
+#include "trace/summary.h"
+#include "util/args.h"
+#include "util/format.h"
+
+using namespace netsample;
+
+namespace {
+
+int usage() {
+  std::cout <<
+      "netsample -- packet sampling methodology toolkit\n"
+      "usage: netsample <command> [args]\n\n"
+      "commands:\n"
+      "  generate   synthesize a calibrated SDSC-like trace to a pcap file\n"
+      "  inspect    summarize a pcap capture (Tables 2/3 style)\n"
+      "  sample     draw a sampled sub-trace and write it as pcap\n"
+      "  score      score a sampling discipline against the capture (phi)\n"
+      "  flows      assemble 5-tuple flows and print top talkers\n"
+      "  design     Cochran sample-size planning\n"
+      "  charact    run the NSFNET characterization objects\n"
+      "run 'netsample <command> --help' for flags.\n";
+  return 2;
+}
+
+StatusOr<trace::Trace> load(const std::string& path) {
+  pcap::DecodeStats stats;
+  auto t = pcap::read_trace(path, &stats);
+  if (t) {
+    std::cout << path << ": " << fmt_count(stats.decoded) << " IPv4 packets ("
+              << stats.non_ipv4 << " non-IPv4, " << stats.malformed
+              << " malformed skipped)\n";
+  }
+  return t;
+}
+
+core::Method parse_method(const std::string& name) {
+  if (name == "systematic") return core::Method::kSystematicCount;
+  if (name == "stratified") return core::Method::kStratifiedCount;
+  if (name == "random") return core::Method::kSimpleRandom;
+  if (name == "timer-systematic") return core::Method::kSystematicTimer;
+  if (name == "timer-stratified") return core::Method::kStratifiedTimer;
+  throw std::invalid_argument(
+      "unknown method '" + name +
+      "' (systematic|stratified|random|timer-systematic|timer-stratified)");
+}
+
+int cmd_generate(ArgParser& args) {
+  const double minutes = args.get_double("minutes");
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  const std::string out = args.get_string("out");
+
+  auto cfg = synth::sdsc_minutes_config(minutes, seed);
+  if (args.get_bool("poisson")) cfg = synth::poissonified(cfg);
+  synth::TraceModel model(cfg);
+  const auto t = model.generate();
+  const auto status = pcap::write_trace(out, t, 128);
+  if (!status.is_ok()) {
+    std::cerr << "error: " << status.to_string() << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << fmt_count(t.size()) << " packets ("
+            << fmt_double(t.view().duration().to_seconds(), 1) << " s) to "
+            << out << "\n";
+  return 0;
+}
+
+int cmd_inspect(ArgParser& args) {
+  auto t = load(args.positionals().at(0));
+  if (!t) {
+    std::cerr << "error: " << t.status().to_string() << "\n";
+    return 1;
+  }
+  const auto pop = trace::summarize_population(t->view());
+  const auto ps = trace::summarize_per_second(t->view());
+  TextTable table({"distribution", "min", "5%", "25%", "median", "75%", "95%",
+                   "max", "mean", "stddev"});
+  auto add = [&](const std::string& name, const stats::Summary& s, int prec) {
+    table.add_row({name, fmt_double(s.min, prec), fmt_double(s.p5, prec),
+                   fmt_double(s.q1, prec), fmt_double(s.median, prec),
+                   fmt_double(s.q3, prec), fmt_double(s.p95, prec),
+                   fmt_double(s.max, prec), fmt_double(s.mean, 1),
+                   fmt_double(s.stddev, 1)});
+  };
+  add("packet size (B)", pop.packet_size, 0);
+  add("interarrival (us)", pop.interarrival, 0);
+  add("packets/s", ps.packet_rate, 0);
+  add("kB/s", ps.kilobyte_rate, 1);
+  add("mean pkt size (B)", ps.mean_packet_size, 0);
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_sample(ArgParser& args) {
+  auto t = load(args.positionals().at(0));
+  if (!t) {
+    std::cerr << "error: " << t.status().to_string() << "\n";
+    return 1;
+  }
+  exper::Experiment ex(std::move(*t));
+
+  core::SamplerSpec spec;
+  spec.method = parse_method(args.get_string("method"));
+  spec.granularity = static_cast<std::uint64_t>(args.get_int("k"));
+  spec.population = ex.population_size();
+  spec.mean_interarrival_usec = ex.mean_interarrival_usec();
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  auto sampler = core::make_sampler(spec);
+
+  const auto sample = core::draw(ex.full(), *sampler);
+  trace::Trace sampled(sample.packets());
+  std::cout << sampler->name() << " selected " << fmt_count(sampled.size())
+            << " of " << fmt_count(ex.population_size()) << " packets ("
+            << fmt_double(100.0 * sample.fraction(), 3) << "%)\n";
+  if (args.has("out")) {
+    const std::string out = args.get_string("out");
+    const auto status = pcap::write_trace(out, sampled, 128);
+    if (!status.is_ok()) {
+      std::cerr << "error: " << status.to_string() << "\n";
+      return 1;
+    }
+    std::cout << "wrote sampled trace to " << out << "\n";
+  }
+  return 0;
+}
+
+int cmd_score(ArgParser& args) {
+  auto t = load(args.positionals().at(0));
+  if (!t) {
+    std::cerr << "error: " << t.status().to_string() << "\n";
+    return 1;
+  }
+  exper::Experiment ex(std::move(*t));
+
+  exper::CellConfig cfg;
+  cfg.method = parse_method(args.get_string("method"));
+  cfg.granularity = static_cast<std::uint64_t>(args.get_int("k"));
+  cfg.interval = ex.full();
+  cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+  cfg.replications = static_cast<int>(args.get_int("reps"));
+  cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  const std::string which = args.get_string("target");
+
+  // Proportion-based (Section 8) targets score through the categorical
+  // machinery; "both" / "size" / "iat" use the paper's histogram targets.
+  if (which == "ports" || which == "protocols" || which == "netmatrix") {
+    const auto key_fn = which == "ports"       ? core::service_port_key()
+                        : which == "protocols" ? core::protocol_key()
+                                               : core::network_pair_key();
+    const core::CategoricalTarget target(which, key_fn, cfg.interval);
+    TextTable table({"replication", "phi", "chi2 sig", "coverage %"});
+    for (int r = 0; r < cfg.replications; ++r) {
+      auto sampler = core::make_sampler(exper::replication_spec(cfg, r));
+      const auto sample = core::draw(cfg.interval, *sampler);
+      const auto counts = target.sample_counts(sample);
+      const auto m =
+          core::score_counts(counts, target.population_counts(),
+                             1.0 / static_cast<double>(cfg.granularity));
+      table.add_row({std::to_string(r), fmt_double(m.phi, 4),
+                     fmt_double(m.significance, 4),
+                     fmt_double(100.0 * target.coverage(counts), 1)});
+    }
+    std::cout << which << ": " << target.category_count()
+              << " categories in the population\n";
+    table.print(std::cout);
+    return 0;
+  }
+
+  TextTable table({"target", "mean phi", "min", "max", "mean n",
+                   "chi2 rejections @0.05"});
+  for (auto target :
+       {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+    if (which == "size" && target != core::Target::kPacketSize) continue;
+    if (which == "iat" && target != core::Target::kInterarrivalTime) continue;
+    cfg.target = target;
+    const auto r = exper::run_cell(cfg);
+    const auto b = r.phi_boxplot();
+    table.add_row({core::target_name(target), fmt_double(r.phi_mean(), 4),
+                   fmt_double(b.min, 4), fmt_double(b.max, 4),
+                   fmt_double(r.mean_sample_size(), 0),
+                   std::to_string(r.rejections_at(0.05)) + "/" +
+                       std::to_string(cfg.replications)});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_flows(ArgParser& args) {
+  auto t = load(args.positionals().at(0));
+  if (!t) {
+    std::cerr << "error: " << t.status().to_string() << "\n";
+    return 1;
+  }
+  trace::FlowTable table(MicroDuration::from_seconds(args.get_double("timeout")));
+  table.run(t->view());
+  const auto s = table.stats();
+  std::cout << fmt_count(s.flows) << " flows, " << fmt_count(s.packets)
+            << " packets, " << fmt_count(s.bytes) << " bytes; mean "
+            << fmt_double(s.mean_flow_packets, 2) << " pkts/flow\n\n";
+
+  TextTable top({"src", "dst", "proto", "dport", "packets", "bytes", "sec"});
+  for (const auto& f :
+       table.top_by_packets(static_cast<std::size_t>(args.get_int("top")))) {
+    top.add_row({f.key.src.to_string(), f.key.dst.to_string(),
+                 net::ip_proto_name(f.key.protocol),
+                 std::to_string(f.key.dst_port), fmt_count(f.packets),
+                 fmt_count(f.bytes), fmt_double(f.duration().to_seconds(), 2)});
+  }
+  top.print(std::cout);
+  return 0;
+}
+
+int cmd_design(ArgParser& args) {
+  const double mu = args.get_double("mu");
+  const double sigma = args.get_double("sigma");
+  const double acc = args.get_double("accuracy");
+  const double conf = args.get_double("confidence");
+  const auto pop = static_cast<std::uint64_t>(args.get_int("population"));
+  const auto p = core::plan_sample_size(mu, sigma, acc, conf, pop);
+  std::cout << "to estimate a mean of " << fmt_double(mu, 1) << " (sd "
+            << fmt_double(sigma, 1) << ") to +-" << fmt_double(acc, 1)
+            << "% at " << fmt_double(conf * 100, 0) << "% confidence:\n"
+            << "  n (infinite population) = " << fmt_count(p.n) << "\n";
+  if (pop > 0) {
+    std::cout << "  n (with FPC for N=" << fmt_count(pop)
+              << ") = " << fmt_count(p.n_fpc) << "\n"
+              << "  sampling fraction = "
+              << fmt_double(100.0 * p.sampling_fraction, 3) << "%\n";
+  }
+  return 0;
+}
+
+int cmd_charact(ArgParser& args) {
+  auto t = load(args.positionals().at(0));
+  if (!t) {
+    std::cerr << "error: " << t.status().to_string() << "\n";
+    return 1;
+  }
+  const auto node = args.get_string("node") == "t1" ? charact::NodeType::kT1
+                                                    : charact::NodeType::kT3;
+  const auto k = static_cast<std::uint64_t>(args.get_int("k"));
+  std::uint64_t counter = 0;
+  charact::Selector selector;
+  if (k > 1) {
+    selector = [&counter, k](const trace::PacketRecord&) {
+      return counter++ % k == 0;
+    };
+  }
+  charact::CollectionAgent agent(node, selector);
+  agent.run(t->view());
+  std::cout << agent.reports().size() << " collection cycles\n";
+  for (const auto& rep : agent.reports()) {
+    std::cout << "\ncycle " << rep.cycle << ": offered "
+              << fmt_count(rep.packets_offered) << ", examined "
+              << fmt_count(rep.packets_examined) << "\n";
+    TextTable protos({"protocol", "packets (est.)", "bytes (est.)"});
+    for (const auto& [proto, vol] : rep.protocols) {
+      protos.add_row({net::ip_proto_name(proto), fmt_count(vol.packets * k),
+                      fmt_count(vol.bytes * k)});
+    }
+    protos.print(std::cout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  std::vector<std::string> rest(argv + 2, argv + argc);
+
+  ArgParser args;
+  args.add_flag("help", "", "show this help");
+  // Declare the union of flags; each command reads what it needs.
+  args.add_flag("minutes", "N", "trace duration in minutes", "10");
+  args.add_flag("seed", "S", "RNG seed", "23");
+  args.add_flag("out", "FILE", "output pcap path");
+  args.add_flag("poisson", "", "disable burst structure (ablation workload)");
+  args.add_flag("method", "M", "sampling method", "systematic");
+  args.add_flag("k", "K", "sampling granularity (1-in-k)", "50");
+  args.add_flag("reps", "R", "replications", "5");
+  args.add_flag("target", "T",
+                "score target: both|size|iat|ports|protocols|netmatrix",
+                "both");
+  args.add_flag("timeout", "SEC", "flow idle timeout seconds", "30");
+  args.add_flag("top", "N", "top talkers to print", "10");
+  args.add_flag("mu", "M", "population mean (design)", "232");
+  args.add_flag("sigma", "S", "population stddev (design)", "236");
+  args.add_flag("accuracy", "R", "accuracy percent (design)", "5");
+  args.add_flag("confidence", "C", "confidence level (design)", "0.95");
+  args.add_flag("population", "N", "population size, 0=infinite", "0");
+  args.add_flag("node", "T", "node type: t1 or t3 (charact)", "t1");
+
+  const auto status = args.parse(rest);
+  if (!status.is_ok()) {
+    std::cerr << "error: " << status.message() << "\n";
+    return 2;
+  }
+  if (args.get_bool("help")) {
+    std::cout << "flags for '" << cmd << "':\n" << args.help();
+    return 0;
+  }
+
+  try {
+    if (cmd == "generate") {
+      if (!args.has("out")) {
+        std::cerr << "error: generate requires --out FILE\n";
+        return 2;
+      }
+      return cmd_generate(args);
+    }
+    if (cmd == "inspect" || cmd == "sample" || cmd == "score" ||
+        cmd == "flows" || cmd == "charact") {
+      if (args.positionals().empty()) {
+        std::cerr << "error: " << cmd << " requires a pcap file argument\n";
+        return 2;
+      }
+      if (cmd == "inspect") return cmd_inspect(args);
+      if (cmd == "sample") return cmd_sample(args);
+      if (cmd == "score") return cmd_score(args);
+      if (cmd == "flows") return cmd_flows(args);
+      return cmd_charact(args);
+    }
+    if (cmd == "design") return cmd_design(args);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  return usage();
+}
