@@ -7,11 +7,13 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "exper/experiment.h"
+#include "exper/parallel.h"
 #include "exper/runner.h"
 #include "util/format.h"
 
@@ -20,6 +22,18 @@ namespace netsample::bench {
 /// Default experiment context: the calibrated synthetic SDSC hour.
 /// Seed 23 everywhere makes every bench reproducible run-to-run.
 inline constexpr std::uint64_t kDefaultSeed = 23;
+
+/// Worker count for the figure sweeps: `--jobs N` beats the NETSAMPLE_JOBS
+/// environment variable beats 0 (= one worker per hardware thread). Any
+/// value produces bit-identical figures — seeds derive from grid
+/// coordinates, not from scheduling (see docs/PARALLELISM.md).
+inline int bench_jobs(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") return std::atoi(argv[i + 1]);
+  }
+  if (const char* env = std::getenv("NETSAMPLE_JOBS")) return std::atoi(env);
+  return 0;
+}
 
 inline void banner(const std::string& artifact, const std::string& what) {
   std::cout << "==============================================================\n"

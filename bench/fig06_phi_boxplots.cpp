@@ -9,7 +9,7 @@
 
 using namespace netsample;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 6 (paper: boxplots of systematic phi scores)",
                 "Packet size, 1024s interval, offset-replicated boxplots");
 
@@ -21,15 +21,25 @@ int main() {
   cfg.interval = ex.interval(1024.0);
   cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
 
+  const auto ladder = exper::granularity_ladder(4, 32768);
+  std::vector<exper::GridTask> tasks;
+  tasks.reserve(ladder.size());
+  for (std::uint64_t k : ladder) {
+    cfg.granularity = k;
+    cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
+    tasks.push_back({cfg, 0});
+  }
+  exper::ParallelRunner runner(bench::bench_jobs(argc, argv));
+  const auto cells = runner.run(tasks, cfg.base_seed);
+
   TextTable t({"1/x", "reps", "min", "q1", "median", "q3", "max",
                "boxplot [0, 0.45]"});
   const double axis_max = 0.45;
-  for (std::uint64_t k : exper::granularity_ladder(4, 32768)) {
-    cfg.granularity = k;
-    cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
-    const auto cell = exper::run_cell(cfg);
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const std::uint64_t k = ladder[i];
+    const auto& cell = cells[i];
     const auto b = cell.phi_boxplot();
-    t.add_row({fmt_fraction(k), std::to_string(cfg.replications),
+    t.add_row({fmt_fraction(k), std::to_string(cell.config.replications),
                fmt_double(b.min, 4), fmt_double(b.q1, 4),
                fmt_double(b.median, 4), fmt_double(b.q3, 4),
                fmt_double(b.max, 4),

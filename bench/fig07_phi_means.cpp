@@ -7,7 +7,7 @@
 
 using namespace netsample;
 
-int main() {
+int main(int argc, char** argv) {
   bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
                 "Mean systematic phi, packet size, 1024s interval");
 
@@ -25,11 +25,21 @@ int main() {
   const std::size_t bins =
       core::make_target_histogram(cfg.target).bin_count();
 
-  TextTable t({"1/x", "mean phi", "theory E[phi]", "mean n", "curve"});
-  for (std::uint64_t k : exper::granularity_ladder(4, 32768)) {
+  const auto ladder = exper::granularity_ladder(4, 32768);
+  std::vector<exper::GridTask> tasks;
+  tasks.reserve(ladder.size());
+  for (std::uint64_t k : ladder) {
     cfg.granularity = k;
     cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
-    const auto cell = exper::run_cell(cfg);
+    tasks.push_back({cfg, 0});
+  }
+  exper::ParallelRunner runner(bench::bench_jobs(argc, argv));
+  const auto cells = runner.run(tasks, cfg.base_seed);
+
+  TextTable t({"1/x", "mean phi", "theory E[phi]", "mean n", "curve"});
+  for (std::size_t i = 0; i < ladder.size(); ++i) {
+    const std::uint64_t k = ladder[i];
+    const auto& cell = cells[i];
     const double phi = cell.phi_mean();
     const double theory = core::expected_phi(
         bins, static_cast<std::uint64_t>(

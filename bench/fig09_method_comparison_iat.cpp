@@ -6,8 +6,9 @@
 // packets of relatively small interarrival times."
 #include "method_comparison.h"
 
-int main() {
+int main(int argc, char** argv) {
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kInterarrivalTime, "fig09",
-      "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)");
+      "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)",
+      netsample::bench::bench_jobs(argc, argv));
 }

@@ -2,8 +2,9 @@
 // a function of elapsed time (minutes), at several sampling fractions.
 #include "interval_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kPacketSize, "fig10",
-      "Figure 10 (paper: systematic phi vs elapsed time, packet size)");
+      "Figure 10 (paper: systematic phi vs elapsed time, packet size)",
+      netsample::bench::bench_jobs(argc, argv));
 }

@@ -2,8 +2,9 @@
 // distribution as a function of elapsed time (minutes).
 #include "interval_sweep.h"
 
-int main() {
+int main(int argc, char** argv) {
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kInterarrivalTime, "fig11",
-      "Figure 11 (paper: systematic phi vs elapsed time, interarrival)");
+      "Figure 11 (paper: systematic phi vs elapsed time, interarrival)",
+      netsample::bench::bench_jobs(argc, argv));
 }

@@ -1,5 +1,7 @@
 // Shared driver for Figures 10 and 11: mean systematic phi vs elapsed
-// measurement time for several sampling fractions.
+// measurement time for several sampling fractions. The minutes x fractions
+// grid runs on the parallel experiment engine; `jobs` only changes
+// wall-clock time, never the numbers.
 #pragma once
 
 #include "bench_common.h"
@@ -8,7 +10,7 @@
 namespace netsample::bench {
 
 inline int run_interval_sweep(core::Target target, const char* figure_id,
-                              const char* figure_title) {
+                              const char* figure_title, int jobs = 0) {
   banner(figure_title,
          "Systematic sampling; exponentially growing measurement intervals");
 
@@ -18,30 +20,42 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
   // as the paper's x axis), capped at the full hour.
   const std::vector<double> minutes = {0.5, 1, 2, 4, 8, 16, 32, 60};
   const std::vector<std::uint64_t> fractions = {16, 256, 4096};
+  const std::uint64_t base_seed = 211;
+
+  // One grid task per (interval, fraction); the interval index seeds the
+  // task so every window gets an independent, schedule-free RNG stream.
+  std::vector<exper::GridTask> tasks;
+  tasks.reserve(minutes.size() * fractions.size());
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    for (std::uint64_t k : fractions) {
+      exper::GridTask task;
+      task.config.method = core::Method::kSystematicCount;
+      task.config.target = target;
+      task.config.granularity = k;
+      task.config.interval = ex.interval(minutes[i] * 60.0);
+      task.config.mean_interarrival_usec = ex.mean_interarrival_usec();
+      task.config.replications = 5;
+      task.interval_index = i;
+      tasks.push_back(task);
+    }
+  }
+  exper::ParallelRunner runner(jobs);
+  const auto cells = runner.run(tasks, base_seed);
 
   std::vector<ChartSeries> chart = {
       {"1/16", '6', {}}, {"1/256", '2', {}}, {"1/4096", '4', {}}};
   std::vector<std::string> x_ticks;
 
   TextTable t({"minutes", "1/16", "1/256", "1/4096"});
-  for (double m : minutes) {
-    std::vector<std::string> row = {fmt_double(m, 1)};
-    std::vector<std::string> csv_row = {figure_id, fmt_double(m, 2)};
-    x_ticks.push_back(fmt_double(m, 1) + "min");
-    std::size_t series_index = 0;
-    for (std::uint64_t k : fractions) {
-      exper::CellConfig cfg;
-      cfg.method = core::Method::kSystematicCount;
-      cfg.target = target;
-      cfg.granularity = k;
-      cfg.interval = ex.interval(m * 60.0);
-      cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
-      cfg.replications = 5;
-      cfg.base_seed = 211;
-      const auto cell = exper::run_cell(cfg);
+  for (std::size_t i = 0; i < minutes.size(); ++i) {
+    std::vector<std::string> row = {fmt_double(minutes[i], 1)};
+    std::vector<std::string> csv_row = {figure_id, fmt_double(minutes[i], 2)};
+    x_ticks.push_back(fmt_double(minutes[i], 1) + "min");
+    for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
+      const auto& cell = cells[i * fractions.size() + fi];
       row.push_back(fmt_double(cell.phi_mean(), 4));
       csv_row.push_back(fmt_double(cell.phi_mean(), 5));
-      chart[series_index++].y.push_back(std::max(1e-5, cell.phi_mean()));
+      chart[fi].y.push_back(std::max(1e-5, cell.phi_mean()));
     }
     t.add_row(std::move(row));
     csv(csv_row);

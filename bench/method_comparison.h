@@ -1,5 +1,7 @@
 // Shared driver for Figures 8 and 9: mean phi vs sampling fraction for all
-// five sampling methods on one target.
+// five sampling methods on one target. The method x granularity grid runs
+// on the parallel experiment engine; `jobs` only changes wall-clock time,
+// never the numbers.
 #pragma once
 
 #include "bench_common.h"
@@ -8,7 +10,7 @@
 namespace netsample::bench {
 
 inline int run_method_comparison(core::Target target, const char* figure_id,
-                                 const char* figure_title) {
+                                 const char* figure_title, int jobs = 0) {
   banner(figure_title,
          "All five methods, 5 replications each, 1024s interval");
 
@@ -18,6 +20,26 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
       core::Method::kSystematicCount, core::Method::kStratifiedCount,
       core::Method::kSimpleRandom, core::Method::kSystematicTimer,
       core::Method::kStratifiedTimer};
+  constexpr std::size_t kMethods = 5;
+  const auto ladder = exper::granularity_ladder(4, 16384);
+  const std::uint64_t base_seed = 101;
+
+  std::vector<exper::GridTask> tasks;
+  tasks.reserve(ladder.size() * kMethods);
+  for (std::uint64_t k : ladder) {
+    for (std::size_t mi = 0; mi < kMethods; ++mi) {
+      exper::GridTask task;
+      task.config.method = methods[mi];
+      task.config.target = target;
+      task.config.granularity = k;
+      task.config.interval = ex.interval(1024.0);
+      task.config.mean_interarrival_usec = ex.mean_interarrival_usec();
+      task.config.replications = 5;
+      tasks.push_back(task);
+    }
+  }
+  exper::ParallelRunner runner(jobs);
+  const auto cells = runner.run(tasks, base_seed);
 
   std::vector<ChartSeries> chart = {
       {"systematic", 's', {}}, {"stratified", 't', {}},
@@ -27,20 +49,13 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
 
   TextTable t({"1/x", "systematic", "stratified", "simple-rand",
                "sys/timer", "strat/timer"});
-  for (std::uint64_t k : exper::granularity_ladder(4, 16384)) {
+  for (std::size_t ki = 0; ki < ladder.size(); ++ki) {
+    const std::uint64_t k = ladder[ki];
     std::vector<std::string> row = {fmt_fraction(k)};
     std::vector<std::string> csv_row = {figure_id, std::to_string(k)};
     x_ticks.push_back(fmt_fraction(k));
-    for (std::size_t mi = 0; mi < 5; ++mi) {
-      exper::CellConfig cfg;
-      cfg.method = methods[mi];
-      cfg.target = target;
-      cfg.granularity = k;
-      cfg.interval = ex.interval(1024.0);
-      cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
-      cfg.replications = 5;
-      cfg.base_seed = 101;
-      const auto cell = exper::run_cell(cfg);
+    for (std::size_t mi = 0; mi < kMethods; ++mi) {
+      const auto& cell = cells[ki * kMethods + mi];
       row.push_back(fmt_double(cell.phi_mean(), 4));
       csv_row.push_back(fmt_double(cell.phi_mean(), 5));
       chart[mi].y.push_back(std::max(1e-5, cell.phi_mean()));

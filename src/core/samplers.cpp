@@ -20,6 +20,17 @@ bool method_is_timer_driven(Method m) {
   return m == Method::kSystematicTimer || m == Method::kStratifiedTimer;
 }
 
+std::uint64_t method_seed_tag(Method m) {
+  switch (m) {
+    case Method::kSystematicCount: return 0x5359434eULL;   // "SYCN"
+    case Method::kStratifiedCount: return 0x5354434eULL;   // "STCN"
+    case Method::kSimpleRandom: return 0x53524e44ULL;      // "SRND"
+    case Method::kSystematicTimer: return 0x5359544dULL;   // "SYTM"
+    case Method::kStratifiedTimer: return 0x5354544dULL;   // "STTM"
+  }
+  return 0;
+}
+
 std::vector<trace::PacketRecord> draw_sample(trace::TraceView view,
                                              Sampler& sampler) {
   std::vector<trace::PacketRecord> out;

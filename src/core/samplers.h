@@ -27,6 +27,11 @@ enum class Method {
 [[nodiscard]] const char* method_name(Method m);
 [[nodiscard]] bool method_is_timer_driven(Method m);
 
+/// Stable 64-bit tag for seed derivation. Unlike the raw enum value it
+/// survives reorderings of Method, so per-task RNG streams (and therefore
+/// archived experiment outputs) stay reproducible across refactors.
+[[nodiscard]] std::uint64_t method_seed_tag(Method m);
+
 // ---------------------------------------------------------------------------
 // Packet-count triggered disciplines
 // ---------------------------------------------------------------------------

@@ -27,7 +27,7 @@ double expected_phi(std::size_t bins, std::uint64_t sample_size) {
   // E[sqrt(X)] for X ~ chi2(nu) is sqrt(2) Gamma((nu+1)/2) / Gamma(nu/2);
   // dividing by sqrt(n_phi) = sqrt(2n) cancels the sqrt(2).
   const double mean_root_chi2 =
-      std::exp(std::lgamma((nu + 1.0) / 2.0) - std::lgamma(nu / 2.0));
+      std::exp(stats::log_gamma((nu + 1.0) / 2.0) - stats::log_gamma(nu / 2.0));
   return mean_root_chi2 / std::sqrt(static_cast<double>(sample_size));
 }
 

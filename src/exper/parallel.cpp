@@ -1,0 +1,83 @@
+#include "exper/parallel.h"
+
+#include <future>
+#include <utility>
+
+#include "util/rng.h"
+
+namespace netsample::exper {
+
+std::uint64_t task_seed(std::uint64_t base_seed, core::Method method,
+                        std::uint64_t granularity,
+                        std::uint64_t interval_index) {
+  return derive_seed(
+      {base_seed, core::method_seed_tag(method), granularity, interval_index});
+}
+
+ParallelRunner::ParallelRunner(int jobs)
+    : jobs_(jobs <= 0 ? static_cast<int>(util::ThreadPool::default_thread_count())
+                      : jobs) {
+  if (jobs_ > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(static_cast<std::size_t>(jobs_));
+  }
+}
+
+ParallelRunner::~ParallelRunner() = default;
+
+std::vector<CellResult> ParallelRunner::run(const std::vector<GridTask>& tasks,
+                                            std::uint64_t base_seed) {
+  std::vector<CellConfig> configs;
+  configs.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    CellConfig cfg = t.config;
+    cfg.base_seed = task_seed(base_seed, cfg.method, cfg.granularity,
+                              t.interval_index);
+    configs.push_back(cfg);
+  }
+
+  std::vector<CellResult> results;
+  results.reserve(configs.size());
+  if (!pool_) {
+    for (const auto& cfg : configs) results.push_back(run_cell(cfg));
+    return results;
+  }
+
+  std::vector<std::future<CellResult>> futures;
+  futures.reserve(configs.size());
+  for (const auto& cfg : configs) {
+    futures.push_back(pool_->submit([cfg]() { return run_cell(cfg); }));
+  }
+  for (auto& f : futures) results.push_back(f.get());
+  return results;
+}
+
+std::vector<CellResult> ParallelRunner::sweep_granularity(
+    CellConfig base, const std::vector<std::uint64_t>& granularities) {
+  std::vector<GridTask> tasks;
+  tasks.reserve(granularities.size());
+  for (std::uint64_t k : granularities) {
+    GridTask t;
+    t.config = base;
+    t.config.granularity = k;
+    tasks.push_back(t);
+  }
+  return run(tasks, base.base_seed);
+}
+
+std::vector<CellResult> ParallelRunner::sweep_interval(
+    CellConfig base, trace::TraceView full,
+    const std::vector<double>& interval_seconds) {
+  std::vector<GridTask> tasks;
+  tasks.reserve(interval_seconds.size());
+  for (std::size_t i = 0; i < interval_seconds.size(); ++i) {
+    GridTask t;
+    t.config = base;
+    t.config.interval =
+        full.prefix_duration(MicroDuration::from_seconds(interval_seconds[i]));
+    t.interval_index = i;
+    tasks.push_back(t);
+  }
+  return run(tasks, base.base_seed);
+}
+
+}  // namespace netsample::exper

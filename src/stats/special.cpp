@@ -1,5 +1,7 @@
 #include "stats/special.h"
 
+#include <math.h>
+
 #include <cmath>
 #include <stdexcept>
 
@@ -22,7 +24,7 @@ double gamma_p_series(double a, double x) {
     sum += term;
     if (std::fabs(term) < std::fabs(sum) * kEpsilon) break;
   }
-  return sum * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return sum * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 /// Upper incomplete gamma by Lentz continued fraction: good for x >= a + 1.
@@ -43,10 +45,19 @@ double gamma_q_contfrac(double a, double x) {
     h *= delta;
     if (std::fabs(delta - 1.0) < kEpsilon) break;
   }
-  return h * std::exp(-x + a * std::log(x) - std::lgamma(a));
+  return h * std::exp(-x + a * std::log(x) - log_gamma(a));
 }
 
 }  // namespace
+
+double log_gamma(double x) {
+#if defined(__GLIBC__) || defined(__APPLE__) || defined(_POSIX_C_SOURCE)
+  int sign = 0;
+  return ::lgamma_r(x, &sign);
+#else
+  return std::lgamma(x);
+#endif
+}
 
 double regularized_gamma_p(double a, double x) {
   if (a <= 0.0 || x < 0.0) {

@@ -8,6 +8,12 @@
 
 namespace netsample::stats {
 
+/// ln |Gamma(x)|, safe to call concurrently. glibc's lgamma() writes the sign
+/// of Gamma(x) to the process-global `signgam`, a data race when experiment
+/// cells run in parallel; this wrapper uses the reentrant lgamma_r() where
+/// available. All callers in this library pass x > 0, where the sign is +1.
+[[nodiscard]] double log_gamma(double x);
+
 /// Regularized lower incomplete gamma P(a, x) = gamma(a,x) / Gamma(a).
 /// Domain: a > 0, x >= 0. Throws std::domain_error otherwise.
 [[nodiscard]] double regularized_gamma_p(double a, double x);

@@ -10,9 +10,37 @@
 
 #include <array>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 
 namespace netsample {
+
+/// SplitMix64's finalizer: a full-avalanche 64-bit mixer (every input bit
+/// affects every output bit). The building block of derive_seed().
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t z) {
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Hash an ordered tuple of 64-bit words into one well-mixed seed.
+///
+/// This is how every parallel component derives per-task RNG seeds: mix the
+/// experiment's base seed with the task's logical coordinates (method,
+/// granularity, interval index, ...) instead of drawing seeds from a shared
+/// sequential generator. Seeds then depend only on *what* the task is, never
+/// on which thread runs it or in what order, so results are bit-identical
+/// at any --jobs level. The chain absorbs each word with the golden-gamma
+/// increment before re-mixing (splitmix-style), so permuted or zero-valued
+/// coordinates still land on unrelated streams.
+[[nodiscard]] constexpr std::uint64_t derive_seed(
+    std::initializer_list<std::uint64_t> words) {
+  std::uint64_t h = 0x9E3779B97F4A7C15ULL;
+  for (const std::uint64_t w : words) {
+    h = mix64(h + 0x9E3779B97F4A7C15ULL + w);
+  }
+  return h;
+}
 
 /// SplitMix64: used to expand a single 64-bit seed into generator state and
 /// to derive independent child seeds (Vigna's recommended seeding scheme).

@@ -1,0 +1,67 @@
+// Fixed-size worker pool with a mutex+condvar task queue.
+//
+// The parallel experiment engine (exper::ParallelRunner) fans grid cells out
+// over this pool. Tasks are type-erased thunks; submit() wraps the callable
+// in a std::packaged_task so return values and exceptions both travel back
+// through the returned std::future. Destruction drains the queue: every task
+// submitted before the destructor runs is executed, then the workers join —
+// so a future obtained from submit() is always eventually satisfied.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace netsample::util {
+
+class ThreadPool {
+ public:
+  /// Spawn `threads` workers; 0 means default_thread_count().
+  explicit ThreadPool(std::size_t threads = 0);
+
+  /// Runs every queued task, then joins all workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Queue `fn` for execution on some worker. The future carries fn's return
+  /// value, or rethrows whatever fn threw, on get(). Throws
+  /// std::runtime_error if the pool is already shutting down.
+  template <typename F>
+  [[nodiscard]] auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> future = task->get_future();
+    enqueue([task]() { (*task)(); });
+    return future;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+
+  /// Tasks accepted but not yet started (snapshot; racy by nature).
+  [[nodiscard]] std::size_t queued() const;
+
+  /// std::thread::hardware_concurrency with a floor of 1 (the standard
+  /// allows it to report 0 on exotic platforms).
+  [[nodiscard]] static std::size_t default_thread_count();
+
+ private:
+  void enqueue(std::function<void()> task);
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_available_;
+  bool stopping_{false};
+};
+
+}  // namespace netsample::util

@@ -21,6 +21,7 @@
 #include "core/samplers.h"
 #include "core/targets.h"
 #include "exper/experiment.h"
+#include "exper/parallel.h"
 #include "exper/runner.h"
 #include "net/headers.h"
 #include "net/ports.h"
@@ -195,18 +196,27 @@ int cmd_score(ArgParser& args) {
     return 0;
   }
 
-  TextTable table({"target", "mean phi", "min", "max", "mean n",
-                   "chi2 rejections @0.05"});
+  // The histogram targets are independent grid cells; fan them out over the
+  // parallel runner. Seeds derive from cell coordinates, so the scores are
+  // identical at every --jobs level.
+  std::vector<exper::GridTask> tasks;
   for (auto target :
        {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
     if (which == "size" && target != core::Target::kPacketSize) continue;
     if (which == "iat" && target != core::Target::kInterarrivalTime) continue;
     cfg.target = target;
-    const auto r = exper::run_cell(cfg);
+    tasks.push_back({cfg, 0});
+  }
+  exper::ParallelRunner runner(static_cast<int>(args.get_int("jobs")));
+  const auto cells = runner.run(tasks, cfg.base_seed);
+
+  TextTable table({"target", "mean phi", "min", "max", "mean n",
+                   "chi2 rejections @0.05"});
+  for (const auto& r : cells) {
     const auto b = r.phi_boxplot();
-    table.add_row({core::target_name(target), fmt_double(r.phi_mean(), 4),
-                   fmt_double(b.min, 4), fmt_double(b.max, 4),
-                   fmt_double(r.mean_sample_size(), 0),
+    table.add_row({core::target_name(r.config.target),
+                   fmt_double(r.phi_mean(), 4), fmt_double(b.min, 4),
+                   fmt_double(b.max, 4), fmt_double(r.mean_sample_size(), 0),
                    std::to_string(r.rejections_at(0.05)) + "/" +
                        std::to_string(cfg.replications)});
   }
@@ -309,6 +319,10 @@ int main(int argc, char** argv) {
   args.add_flag("method", "M", "sampling method", "systematic");
   args.add_flag("k", "K", "sampling granularity (1-in-k)", "50");
   args.add_flag("reps", "R", "replications", "5");
+  args.add_flag("jobs", "N",
+                "worker threads for score sweeps (0 = all hardware threads, "
+                "1 = serial)",
+                "0");
   args.add_flag("target", "T",
                 "score target: both|size|iat|ports|protocols|netmatrix",
                 "both");
