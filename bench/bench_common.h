@@ -6,12 +6,14 @@
 // plotting script can grep out.
 #pragma once
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/trace_cache.h"
 #include "exper/experiment.h"
 #include "exper/parallel.h"
 #include "exper/runner.h"
@@ -23,16 +25,55 @@ namespace netsample::bench {
 /// Seed 23 everywhere makes every bench reproducible run-to-run.
 inline constexpr std::uint64_t kDefaultSeed = 23;
 
+/// Strictly parse a worker count. atoi-style silent coercion ("abc" -> 0,
+/// "4x" -> 4) would quietly turn a typo into "one worker per hardware
+/// thread"; a bad value aborts with a clear message instead.
+inline int parse_jobs(const char* source, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const long v = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE || v < 0 || v > 4096) {
+    std::fprintf(stderr,
+                 "error: %s: expected a worker count in [0, 4096] "
+                 "(0 = one per hardware thread), got \"%s\"\n",
+                 source, text);
+    std::exit(2);
+  }
+  return static_cast<int>(v);
+}
+
 /// Worker count for the figure sweeps: `--jobs N` beats the NETSAMPLE_JOBS
 /// environment variable beats 0 (= one worker per hardware thread). Any
 /// value produces bit-identical figures — seeds derive from grid
 /// coordinates, not from scheduling (see docs/PARALLELISM.md).
 inline int bench_jobs(int argc, char** argv) {
-  for (int i = 1; i + 1 < argc; ++i) {
-    if (std::string(argv[i]) == "--jobs") return std::atoi(argv[i + 1]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--jobs") {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "error: --jobs requires a value\n");
+        std::exit(2);
+      }
+      return parse_jobs("--jobs", argv[i + 1]);
+    }
   }
-  if (const char* env = std::getenv("NETSAMPLE_JOBS")) return std::atoi(env);
+  if (const char* env = std::getenv("NETSAMPLE_JOBS")) {
+    return parse_jobs("NETSAMPLE_JOBS", env);
+  }
   return 0;
+}
+
+/// Honor `--legacy-scan`: force the original streaming per-packet path
+/// instead of the fused cache fast path (see docs/PERFORMANCE.md). Returns
+/// whether the flag was present. NETSAMPLE_LEGACY_SCAN=1 in the environment
+/// has the same effect without the flag.
+inline bool bench_legacy_scan(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--legacy-scan") {
+      core::force_legacy_scan(true);
+      return true;
+    }
+  }
+  return false;
 }
 
 inline void banner(const std::string& artifact, const std::string& what) {

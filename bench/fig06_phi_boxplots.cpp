@@ -10,6 +10,7 @@
 using namespace netsample;
 
 int main(int argc, char** argv) {
+  bench::bench_legacy_scan(argc, argv);
   bench::banner("Figure 6 (paper: boxplots of systematic phi scores)",
                 "Packet size, 1024s interval, offset-replicated boxplots");
 
@@ -20,6 +21,7 @@ int main(int argc, char** argv) {
   cfg.target = core::Target::kPacketSize;
   cfg.interval = ex.interval(1024.0);
   cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+  cfg.cache = &ex.binned_cache();
 
   const auto ladder = exper::granularity_ladder(4, 32768);
   std::vector<exper::GridTask> tasks;

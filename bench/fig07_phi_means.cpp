@@ -8,6 +8,7 @@
 using namespace netsample;
 
 int main(int argc, char** argv) {
+  bench::bench_legacy_scan(argc, argv);
   bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
                 "Mean systematic phi, packet size, 1024s interval");
 
@@ -18,6 +19,7 @@ int main(int argc, char** argv) {
   cfg.target = core::Target::kPacketSize;
   cfg.interval = ex.interval(1024.0);
   cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+  cfg.cache = &ex.binned_cache();
 
   // Closed-form prediction for an unbiased sampler (core/theory.h): the
   // measured systematic curve should track it, since systematic/count is

@@ -3,6 +3,7 @@
 #include "method_comparison.h"
 
 int main(int argc, char** argv) {
+  netsample::bench::bench_legacy_scan(argc, argv);
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kPacketSize, "fig08",
       "Figure 8 (paper: mean phi vs fraction, packet size, 5 methods)",

@@ -7,6 +7,7 @@
 #include "method_comparison.h"
 
 int main(int argc, char** argv) {
+  netsample::bench::bench_legacy_scan(argc, argv);
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kInterarrivalTime, "fig09",
       "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)",

@@ -3,6 +3,7 @@
 #include "interval_sweep.h"
 
 int main(int argc, char** argv) {
+  netsample::bench::bench_legacy_scan(argc, argv);
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kInterarrivalTime, "fig11",
       "Figure 11 (paper: systematic phi vs elapsed time, interarrival)",

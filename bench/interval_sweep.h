@@ -35,6 +35,7 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
       task.config.interval = ex.interval(minutes[i] * 60.0);
       task.config.mean_interarrival_usec = ex.mean_interarrival_usec();
       task.config.replications = 5;
+      task.config.cache = &ex.binned_cache();
       task.interval_index = i;
       tasks.push_back(task);
     }

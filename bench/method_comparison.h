@@ -35,6 +35,7 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
       task.config.interval = ex.interval(1024.0);
       task.config.mean_interarrival_usec = ex.mean_interarrival_usec();
       task.config.replications = 5;
+      task.config.cache = &ex.binned_cache();
       tasks.push_back(task);
     }
   }

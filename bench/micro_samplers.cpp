@@ -3,9 +3,16 @@
 // The operational question behind the paper's Section 2: the selection code
 // runs in the forwarding path of the T3 subsystems, so its per-packet cost
 // is what bounds the switching capacity impact.
+//
+// The BM_Kernel* group benchmarks the index-emitting kernels
+// (core/select_indices.h) on the same trace and granularities as the
+// streaming BM_* group above them; items/sec is offered packets in both, so
+// the ratio of matching rows is the fast-path speedup per discipline.
 #include <benchmark/benchmark.h>
 
 #include "core/samplers.h"
+#include "core/select_indices.h"
+#include "core/trace_cache.h"
 #include "synth/presets.h"
 
 namespace {
@@ -64,6 +71,77 @@ void BM_StratifiedTimer(benchmark::State& state) {
   run_sampler(state, s);
 }
 BENCHMARK(BM_StratifiedTimer)->Arg(50)->Arg(1024);
+
+const core::BinnedTraceCache& bench_cache() {
+  static const core::BinnedTraceCache cache(bench_trace().view());
+  return cache;
+}
+
+core::SamplerSpec kernel_spec(core::Method m, std::uint64_t k) {
+  core::SamplerSpec spec;
+  spec.method = m;
+  spec.granularity = k;
+  spec.population = bench_trace().size();
+  spec.mean_interarrival_usec = 2358.0;  // matches the streaming timer args
+  spec.seed = 7;
+  return spec;
+}
+
+void run_kernel(benchmark::State& state, const core::SamplerSpec& spec) {
+  const auto& cache = bench_cache();
+  std::size_t selected = 0;
+  for (auto _ : state) {
+    auto indices = core::select_indices(spec, cache, 0, cache.size());
+    selected += indices.size();
+    benchmark::DoNotOptimize(indices);
+    benchmark::DoNotOptimize(selected);
+  }
+  // Offered (not selected) packets, so rows divide against the streaming
+  // group directly.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(cache.size()));
+}
+
+void BM_KernelSystematicCount(benchmark::State& state) {
+  run_kernel(state, kernel_spec(core::Method::kSystematicCount,
+                                static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_KernelSystematicCount)->Arg(50)->Arg(1024);
+
+void BM_KernelStratifiedCount(benchmark::State& state) {
+  run_kernel(state, kernel_spec(core::Method::kStratifiedCount,
+                                static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_KernelStratifiedCount)->Arg(50)->Arg(1024);
+
+void BM_KernelSimpleRandom(benchmark::State& state) {
+  run_kernel(state, kernel_spec(core::Method::kSimpleRandom,
+                                static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_KernelSimpleRandom)->Arg(50)->Arg(1024);
+
+void BM_KernelSystematicTimer(benchmark::State& state) {
+  run_kernel(state, kernel_spec(core::Method::kSystematicTimer,
+                                static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_KernelSystematicTimer)->Arg(50)->Arg(1024);
+
+void BM_KernelStratifiedTimer(benchmark::State& state) {
+  run_kernel(state, kernel_spec(core::Method::kStratifiedTimer,
+                                static_cast<std::uint64_t>(state.range(0))));
+}
+BENCHMARK(BM_KernelStratifiedTimer)->Arg(50)->Arg(1024);
+
+void BM_CacheConstruction(benchmark::State& state) {
+  const auto view = bench_trace().view();
+  for (auto _ : state) {
+    core::BinnedTraceCache cache(view);
+    benchmark::DoNotOptimize(cache.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(view.size()));
+}
+BENCHMARK(BM_CacheConstruction)->Unit(benchmark::kMillisecond);
 
 void BM_TraceGeneration(benchmark::State& state) {
   for (auto _ : state) {

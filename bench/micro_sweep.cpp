@@ -1,0 +1,177 @@
+// A/B wall-clock harness for the fused sweep engine: runs the full
+// method x granularity grid cell-by-cell on both the cache fast path and
+// the legacy streaming scan, checks that the phi values agree exactly, and
+// writes the per-cell timings plus a headline speedup to a JSON artifact
+// (BENCH_sweep.json in CI).
+//
+// Unlike the micro_* google-benchmark binaries this is a plain-chrono
+// driver, because each measurement must toggle the global legacy-scan
+// switch around an otherwise identical run_cell call.
+//
+//   --out FILE      where to write the JSON report (default BENCH_sweep.json)
+//   --minutes M     synthetic trace length (default 8)
+//   --reps R        replications per cell (default 5)
+//   --legacy-scan   time the legacy path only (no comparison, no speedup)
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <sstream>
+
+#include "bench_common.h"
+
+using namespace netsample;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double parse_positive_double(const char* flag, const char* text) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE || !(v > 0.0)) {
+    std::fprintf(stderr, "error: %s: expected a positive number, got \"%s\"\n",
+                 flag, text);
+    std::exit(2);
+  }
+  return v;
+}
+
+/// Mean wall-clock milliseconds for run_cell on one path, repeating the
+/// call until at least `min_elapsed_ms` has accumulated so that very fast
+/// cells (the whole point of the fast path) still get a stable reading.
+double time_cell(const exper::CellConfig& cfg, bool legacy,
+                 std::vector<double>* phis, double min_elapsed_ms = 10.0) {
+  core::force_legacy_scan(legacy);
+  double elapsed_ms = 0.0;
+  int runs = 0;
+  do {
+    const auto t0 = Clock::now();
+    const auto result = exper::run_cell(cfg);
+    const auto t1 = Clock::now();
+    elapsed_ms +=
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    ++runs;
+    if (runs == 1) *phis = result.phi_values();
+  } while (elapsed_ms < min_elapsed_ms && runs < 1000);
+  return elapsed_ms / runs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_sweep.json";
+  double minutes = 8.0;
+  int reps = 5;
+  const bool legacy_only = bench::bench_legacy_scan(argc, argv);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (arg == "--out" && has_value) {
+      out_path = argv[++i];
+    } else if (arg == "--minutes" && has_value) {
+      minutes = parse_positive_double("--minutes", argv[++i]);
+    } else if (arg == "--reps" && has_value) {
+      reps = static_cast<int>(
+          parse_positive_double("--reps", argv[++i]));
+    } else if (arg == "--out" || arg == "--minutes" || arg == "--reps") {
+      std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  bench::banner("micro_sweep (fused sweep engine A/B harness)",
+                legacy_only ? "Timing the legacy streaming scan only"
+                            : "Fast path vs legacy scan, per grid cell");
+
+  exper::Experiment ex(bench::kDefaultSeed, minutes);
+  const auto& cache = ex.binned_cache();
+
+  const core::Method methods[] = {
+      core::Method::kSystematicCount, core::Method::kStratifiedCount,
+      core::Method::kSimpleRandom, core::Method::kSystematicTimer,
+      core::Method::kStratifiedTimer};
+  const auto ladder = exper::granularity_ladder(2, 32768);
+
+  std::ostringstream cells_json;
+  TextTable t({"method", "1/x", "legacy ms", "fast ms", "speedup"});
+  double headline_legacy_ms = 0.0, headline_fast_ms = 0.0;
+  constexpr std::uint64_t kHeadlineMinK = 1024;
+  bool all_match = true;
+  bool first_cell = true;
+
+  for (const auto method : methods) {
+    for (const std::uint64_t k : ladder) {
+      exper::CellConfig cfg;
+      cfg.method = method;
+      cfg.target = core::Target::kPacketSize;
+      cfg.granularity = k;
+      cfg.interval = ex.full();
+      cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+      cfg.replications = reps;
+      cfg.base_seed = 1;
+      cfg.cache = &cache;
+
+      std::vector<double> phi_legacy, phi_fast;
+      const double legacy_ms = time_cell(cfg, /*legacy=*/true, &phi_legacy);
+      double fast_ms = 0.0;
+      bool match = true;
+      if (!legacy_only) {
+        fast_ms = time_cell(cfg, /*legacy=*/false, &phi_fast);
+        // Bit-identical, not approximately equal: the fast path feeds the
+        // same integer histogram counts into the same scoring code.
+        match = phi_fast == phi_legacy;
+        all_match = all_match && match;
+        if (k >= kHeadlineMinK) {
+          headline_legacy_ms += legacy_ms;
+          headline_fast_ms += fast_ms;
+        }
+      }
+
+      t.add_row({core::method_name(method), fmt_fraction(k),
+                 fmt_double(legacy_ms, 3),
+                 legacy_only ? "-" : fmt_double(fast_ms, 3),
+                 legacy_only ? "-" : fmt_double(legacy_ms / fast_ms, 1)});
+
+      if (!first_cell) cells_json << ",";
+      first_cell = false;
+      cells_json << "\n    {\"method\": \"" << core::method_name(method)
+                 << "\", \"granularity\": " << k
+                 << ", \"wall_ms_legacy\": " << legacy_ms;
+      if (!legacy_only) {
+        cells_json << ", \"wall_ms_fast\": " << fast_ms
+                   << ", \"speedup\": " << legacy_ms / fast_ms
+                   << ", \"phi_match\": " << (match ? "true" : "false");
+      }
+      cells_json << "}";
+    }
+  }
+  core::clear_legacy_scan_override();
+  t.print(std::cout);
+
+  std::ofstream out(out_path);
+  out << "{\n  \"trace_minutes\": " << minutes
+      << ",\n  \"packets\": " << ex.population_size()
+      << ",\n  \"replications\": " << reps
+      << ",\n  \"legacy_only\": " << (legacy_only ? "true" : "false")
+      << ",\n  \"cells\": [" << cells_json.str() << "\n  ]";
+  if (!legacy_only) {
+    out << ",\n  \"headline\": {\"min_granularity\": " << kHeadlineMinK
+        << ", \"legacy_ms\": " << headline_legacy_ms
+        << ", \"fast_ms\": " << headline_fast_ms
+        << ", \"speedup\": " << headline_legacy_ms / headline_fast_ms
+        << "},\n  \"phi_all_match\": " << (all_match ? "true" : "false");
+  }
+  out << "\n}\n";
+
+  if (!legacy_only) {
+    bench::note("headline (k >= " + std::to_string(kHeadlineMinK) +
+                "): " + fmt_double(headline_legacy_ms, 1) + " ms legacy vs " +
+                fmt_double(headline_fast_ms, 3) + " ms fast = " +
+                fmt_double(headline_legacy_ms / headline_fast_ms, 1) + "x");
+    bench::note(all_match ? "phi values bit-identical on every cell"
+                          : "PHI MISMATCH — fast path disagrees with legacy");
+  }
+  bench::note("wrote " + out_path);
+  return all_match ? 0 : 1;
+}

@@ -308,6 +308,33 @@ std::string StratifiedTimerSampler::name() const {
 // --------------------------------------------------------------------------
 // Factory
 
+MicroDuration spec_timer_period(const SamplerSpec& spec) {
+  if (spec.mean_interarrival_usec <= 0.0) {
+    throw std::invalid_argument(
+        "timer methods require the population mean interarrival time");
+  }
+  const auto period = MicroDuration{static_cast<std::int64_t>(
+      std::llround(spec.mean_interarrival_usec *
+                   static_cast<double>(spec.granularity)))};
+  if (period.usec <= 0) {
+    throw std::invalid_argument("timer: period must be positive");
+  }
+  return period;
+}
+
+std::uint64_t spec_timer_phase_usec(const SamplerSpec& spec) {
+  const auto period = spec_timer_period(spec);
+  return spec.timer_phase_usec % static_cast<std::uint64_t>(period.usec);
+}
+
+std::uint64_t spec_simple_random_n(const SamplerSpec& spec) {
+  if (spec.population == 0) {
+    throw std::invalid_argument("simple random requires a population size");
+  }
+  return std::max<std::uint64_t>(
+      1, (spec.population + spec.granularity / 2) / spec.granularity);
+}
+
 std::unique_ptr<Sampler> make_sampler(const SamplerSpec& spec) {
   if (spec.granularity == 0) {
     throw std::invalid_argument("sampler spec: granularity must be >= 1");
@@ -319,28 +346,15 @@ std::unique_ptr<Sampler> make_sampler(const SamplerSpec& spec) {
     case Method::kStratifiedCount:
       return std::make_unique<StratifiedCountSampler>(spec.granularity,
                                                       Rng(spec.seed));
-    case Method::kSimpleRandom: {
-      if (spec.population == 0) {
-        throw std::invalid_argument("simple random requires a population size");
-      }
-      const std::uint64_t n = std::max<std::uint64_t>(
-          1, (spec.population + spec.granularity / 2) / spec.granularity);
-      return std::make_unique<SimpleRandomSampler>(n, spec.population,
-                                                   Rng(spec.seed));
-    }
+    case Method::kSimpleRandom:
+      return std::make_unique<SimpleRandomSampler>(
+          spec_simple_random_n(spec), spec.population, Rng(spec.seed));
     case Method::kSystematicTimer:
     case Method::kStratifiedTimer: {
-      if (spec.mean_interarrival_usec <= 0.0) {
-        throw std::invalid_argument(
-            "timer methods require the population mean interarrival time");
-      }
-      const auto period = MicroDuration{static_cast<std::int64_t>(
-          std::llround(spec.mean_interarrival_usec *
-                       static_cast<double>(spec.granularity)))};
+      const auto period = spec_timer_period(spec);
       if (spec.method == Method::kSystematicTimer) {
-        const auto phase = MicroDuration{static_cast<std::int64_t>(
-            spec.timer_phase_usec %
-            static_cast<std::uint64_t>(std::max<std::int64_t>(1, period.usec)))};
+        const auto phase = MicroDuration{
+            static_cast<std::int64_t>(spec_timer_phase_usec(spec))};
         return std::make_unique<SystematicTimerSampler>(period,
                                                         spec.expiry_policy, phase);
       }

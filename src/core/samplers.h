@@ -240,4 +240,19 @@ struct SamplerSpec {
 /// (e.g. simple random without a population, timer without mean interarrival).
 [[nodiscard]] std::unique_ptr<Sampler> make_sampler(const SamplerSpec& spec);
 
+// Derived quantities of a spec, shared by make_sampler and the
+// index-emitting kernels (core/select_indices.h) so the two paths cannot
+// diverge in how they interpret a spec.
+
+/// Timer period T = round(mean_iat * k); throws std::invalid_argument when
+/// the spec lacks a positive mean interarrival or the period rounds to 0.
+[[nodiscard]] MicroDuration spec_timer_period(const SamplerSpec& spec);
+
+/// Systematic/timer deadline phase, reduced modulo the derived period.
+[[nodiscard]] std::uint64_t spec_timer_phase_usec(const SamplerSpec& spec);
+
+/// Simple-random sample size n = max(1, round(N/k)); throws
+/// std::invalid_argument when the spec lacks a population.
+[[nodiscard]] std::uint64_t spec_simple_random_n(const SamplerSpec& spec);
+
 }  // namespace netsample::core

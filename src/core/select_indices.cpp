@@ -1,0 +1,162 @@
+#include "core/select_indices.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace netsample::core {
+
+namespace {
+
+// Every kernel below replays the corresponding streaming sampler's sequence
+// of uniform_below() calls (same bounds, same order) over the range
+// [begin, end) of the cache, so the emitted index sets are bit-identical to
+// driving the Sampler with draw_sample_indices(). Divergences that cannot
+// affect the output — e.g. trailing RNG draws a streaming pass makes after
+// the last packet — are noted inline.
+
+std::vector<std::size_t> systematic_count(const SamplerSpec& spec,
+                                          std::size_t n) {
+  // Mirrors the SystematicCountSampler constructor checks.
+  if (spec.offset >= spec.granularity) {
+    throw std::invalid_argument("systematic: offset must be < k");
+  }
+  std::vector<std::size_t> out;
+  if (n > spec.offset) out.reserve((n - spec.offset - 1) / spec.granularity + 1);
+  for (std::size_t i = spec.offset; i < n; i += spec.granularity) {
+    out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<std::size_t> stratified_count(const SamplerSpec& spec,
+                                          std::size_t n) {
+  const std::uint64_t k = spec.granularity;
+  Rng rng(spec.seed);
+  std::vector<std::size_t> out;
+  out.reserve(n / k + 1);
+  // Bucket b's winner is the (b+1)-th uniform_below(k) draw, exactly as the
+  // streaming sampler draws one at begin() and one after each completed
+  // bucket. (When n is a multiple of k the streaming pass makes one extra
+  // trailing draw whose bucket never starts; it selects nothing.)
+  for (std::size_t start = 0; start < n; start += k) {
+    const std::uint64_t chosen = rng.uniform_below(k);
+    if (start + chosen < n) out.push_back(start + static_cast<std::size_t>(chosen));
+  }
+  return out;
+}
+
+std::vector<std::size_t> simple_random(const SamplerSpec& spec, std::size_t n) {
+  const std::uint64_t pick = spec_simple_random_n(spec);
+  if (pick > spec.population) {
+    throw std::invalid_argument("simple random: n exceeds population");
+  }
+  Rng rng(spec.seed);
+  std::vector<std::size_t> out;
+  out.reserve(static_cast<std::size_t>(pick));
+  // Algorithm S over the SoA range: packets past the declared population are
+  // never offered a draw, and once the sample is full the streaming sampler
+  // stops drawing — so we stop scanning.
+  const std::uint64_t limit =
+      std::min<std::uint64_t>(n, spec.population);
+  std::uint64_t selected = 0;
+  for (std::uint64_t i = 0; i < limit && selected < pick; ++i) {
+    if (rng.uniform_below(spec.population - i) < pick - selected) {
+      out.push_back(static_cast<std::size_t>(i));
+      ++selected;
+    }
+  }
+  return out;
+}
+
+std::vector<std::size_t> systematic_timer(const SamplerSpec& spec,
+                                          const BinnedTraceCache& cache,
+                                          std::size_t begin, std::size_t end) {
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(spec_timer_period(spec).usec);
+  const std::uint64_t t0 =
+      cache.timestamps()[begin] + spec_timer_phase_usec(spec);
+  std::vector<std::size_t> out;
+  // A packet at time ts is selected iff floor((ts - t0) / T) exceeds the
+  // expiries already consumed, i.e. iff ts >= t0 + (consumed+1)*T — so each
+  // selection is one binary search for that deadline. Under kCoalesce all
+  // deadlines that elapsed by the selected packet collapse; under kQueue
+  // exactly one is consumed per selection (and the search must resume past
+  // the selected packet, which a streaming pass cannot re-offer).
+  std::uint64_t consumed = 0;
+  std::size_t pos = begin;
+  for (;;) {
+    const std::uint64_t deadline = t0 + (consumed + 1) * period;
+    const std::size_t j = cache.lower_bound_time(deadline, pos, end);
+    if (j >= end) break;
+    out.push_back(j - begin);
+    consumed = spec.expiry_policy == ExpiryPolicy::kCoalesce
+                   ? (cache.timestamps()[j] - t0) / period
+                   : consumed + 1;
+    pos = j + 1;
+  }
+  return out;
+}
+
+std::vector<std::size_t> stratified_timer(const SamplerSpec& spec,
+                                          const BinnedTraceCache& cache,
+                                          std::size_t begin, std::size_t end) {
+  const std::uint64_t period =
+      static_cast<std::uint64_t>(spec_timer_period(spec).usec);
+  const std::uint64_t start = cache.timestamps()[begin];
+  Rng rng(spec.seed);
+  std::vector<std::size_t> out;
+  // Window w's trigger is start + w*T + uniform_below(T); the first packet
+  // at or after it is selected, then the next armed window is the first one
+  // beginning after the selected packet (elapsed windows coalesce). The
+  // new trigger always lies strictly beyond the selected packet's window,
+  // hence beyond the packet itself, so searches resume at j + 1.
+  std::uint64_t w = 0;
+  std::uint64_t trigger = start + rng.uniform_below(period);
+  std::size_t pos = begin;
+  for (;;) {
+    const std::size_t j = cache.lower_bound_time(trigger, pos, end);
+    if (j >= end) break;
+    out.push_back(j - begin);
+    const std::uint64_t current_window =
+        (cache.timestamps()[j] - start) / period;
+    w = std::max(w + 1, current_window + 1);
+    trigger = start + w * period + rng.uniform_below(period);
+    pos = j + 1;
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<std::size_t> select_indices(const SamplerSpec& spec,
+                                        const BinnedTraceCache& cache,
+                                        std::size_t begin, std::size_t end) {
+  if (begin > end || end > cache.size()) {
+    throw std::out_of_range("select_indices: bad range");
+  }
+  if (spec.granularity == 0) {
+    throw std::invalid_argument("sampler spec: granularity must be >= 1");
+  }
+  const std::size_t n = end - begin;
+  switch (spec.method) {
+    case Method::kSystematicCount:
+      return systematic_count(spec, n);
+    case Method::kStratifiedCount:
+      return stratified_count(spec, n);
+    case Method::kSimpleRandom:
+      return simple_random(spec, n);
+    case Method::kSystematicTimer:
+    case Method::kStratifiedTimer:
+      // Validate even when the range is empty, matching make_sampler.
+      (void)spec_timer_period(spec);
+      if (n == 0) return {};
+      return spec.method == Method::kSystematicTimer
+                 ? systematic_timer(spec, cache, begin, end)
+                 : stratified_timer(spec, cache, begin, end);
+  }
+  throw std::invalid_argument("sampler spec: unknown method");
+}
+
+}  // namespace netsample::core

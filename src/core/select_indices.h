@@ -1,0 +1,41 @@
+// Index-emitting sampler kernels — layer 2 of the fused sweep engine.
+//
+// select_indices() answers the same question as driving a streaming Sampler
+// over a view with draw_sample_indices() — "which packet positions does
+// this spec select?" — but with cost proportional to the *selected* packets
+// (the sFlow/RFC 3176 lesson), not the offered ones:
+//
+//   method             streaming offer() loop     index kernel
+//   systematic/count   O(n)                       O(n/k)   strided arithmetic
+//   stratified/count   O(n)                       O(n/k)   one RNG draw/bucket
+//   simple random      O(n)                       O(n)     Algorithm S, branch-
+//                                                          light, early exit
+//   systematic/timer   O(n)                       O(s log n)  binary search
+//   stratified/timer   O(n)                       O(s log n)  per deadline
+//
+// The kernels replay the streaming samplers' RNG call sequences exactly, so
+// for every valid SamplerSpec the returned (view-relative, ascending) index
+// set is BIT-IDENTICAL to the streaming one — asserted per-method by the
+// randomized equivalence suite in tests/test_select_indices.cpp and over
+// the full figure grid in tests/test_fastpath.cpp. The streaming hierarchy
+// stays as the operational/firmware model and the correctness oracle.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/samplers.h"
+#include "core/trace_cache.h"
+
+namespace netsample::core {
+
+/// Selected positions, relative to `begin`, for `spec` run over the range
+/// [begin, end) of the cache's base view — exactly the index set
+/// draw_sample_indices(view, *make_sampler(spec)) yields for that view.
+/// Throws std::invalid_argument on inconsistent specs (same contract as
+/// make_sampler) and std::out_of_range for a range outside the cache.
+[[nodiscard]] std::vector<std::size_t> select_indices(
+    const SamplerSpec& spec, const BinnedTraceCache& cache, std::size_t begin,
+    std::size_t end);
+
+}  // namespace netsample::core

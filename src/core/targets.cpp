@@ -1,5 +1,7 @@
 #include "core/targets.h"
 
+#include <atomic>
+
 namespace netsample::core {
 
 const char* target_name(Target t) {
@@ -42,7 +44,16 @@ stats::Histogram make_target_histogram(Target t) {
   return stats::Histogram(paper_bin_edges(t));
 }
 
+namespace {
+std::atomic<std::uint64_t> g_population_values_calls{0};
+}  // namespace
+
+std::uint64_t population_values_call_count() {
+  return g_population_values_calls.load(std::memory_order_relaxed);
+}
+
 std::vector<double> population_values(trace::TraceView view, Target t) {
+  g_population_values_calls.fetch_add(1, std::memory_order_relaxed);
   switch (t) {
     case Target::kPacketSize:
       return view.sizes();

@@ -21,6 +21,7 @@
 // method's values by ~k and make the comparison meaningless.
 #pragma once
 
+#include <cstdint>
 #include <span>
 #include <string>
 #include <vector>
@@ -67,6 +68,12 @@ struct Sample {
 /// the N-1 consecutive interarrival gaps.
 [[nodiscard]] std::vector<double> population_values(trace::TraceView view,
                                                     Target t);
+
+/// Process-wide count of population_values() calls. Instrumentation for the
+/// hoisting regression tests: sweeping a granularity ladder must materialize
+/// the population exactly once per (interval, target) on the legacy path and
+/// never on the cache fast path.
+[[nodiscard]] std::uint64_t population_values_call_count();
 
 /// Target observable for a sample: sizes of selected packets, or the
 /// predecessor gap of each selected packet (first-of-stream packets, which

@@ -1,0 +1,142 @@
+#include "core/trace_cache.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+
+namespace netsample::core {
+
+BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
+    : base_(base),
+      size_edges_(paper_bin_edges(Target::kPacketSize)),
+      gap_edges_(paper_bin_edges(Target::kInterarrivalTime)) {
+  const std::size_t n = base.size();
+  // Bin ids come from the same Histogram::bin_index the streaming path
+  // uses, so fast and legacy binning cannot drift apart.
+  const stats::Histogram size_layout{std::vector<double>(size_edges_)};
+  const stats::Histogram gap_layout{std::vector<double>(gap_edges_)};
+  const std::size_t size_bins = size_layout.bin_count();
+  const std::size_t gap_bins = gap_layout.bin_count();
+
+  ts_.resize(n);
+  size_bin_.resize(n);
+  gap_bin_.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ts_[i] = base[i].timestamp.usec;
+    size_bin_[i] = static_cast<std::uint8_t>(
+        size_layout.bin_index(static_cast<double>(base[i].size)));
+    gap_bin_[i] =
+        i == 0 ? 0
+               : static_cast<std::uint8_t>(gap_layout.bin_index(
+                     static_cast<double>(ts_[i] - ts_[i - 1])));
+  }
+
+  size_prefix_.assign(size_bins * (n + 1), 0);
+  for (std::size_t b = 0; b < size_bins; ++b) {
+    std::uint32_t* col = size_prefix_.data() + b * (n + 1);
+    std::uint32_t run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (size_bin_[i] == b) ++run;
+      col[i + 1] = run;
+    }
+  }
+  gap_prefix_.assign(gap_bins * (n + 1), 0);
+  for (std::size_t b = 0; b < gap_bins; ++b) {
+    std::uint32_t* col = gap_prefix_.data() + b * (n + 1);
+    std::uint32_t run = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i > 0 && gap_bin_[i] == b) ++run;
+      col[i + 1] = run;
+    }
+  }
+}
+
+std::size_t BinnedTraceCache::lower_bound_time(std::uint64_t t, std::size_t lo,
+                                               std::size_t hi) const {
+  const auto first = ts_.begin() + static_cast<std::ptrdiff_t>(lo);
+  const auto last = ts_.begin() + static_cast<std::ptrdiff_t>(hi);
+  return static_cast<std::size_t>(std::lower_bound(first, last, t) -
+                                  ts_.begin());
+}
+
+stats::Histogram BinnedTraceCache::population_histogram(Target t,
+                                                        std::size_t begin,
+                                                        std::size_t end) const {
+  if (begin > end || end > size()) {
+    throw std::out_of_range("population_histogram: bad range");
+  }
+  const std::size_t n1 = size() + 1;
+  if (t == Target::kPacketSize) {
+    const std::size_t bins = size_edges_.size() + 1;
+    std::vector<std::uint64_t> counts(bins, 0);
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::uint32_t* col = size_prefix_.data() + b * n1;
+      counts[b] = col[end] - col[begin];
+    }
+    return stats::Histogram::with_counts(size_edges_, std::move(counts));
+  }
+  const std::size_t bins = gap_edges_.size() + 1;
+  std::vector<std::uint64_t> counts(bins, 0);
+  // Gaps live at indices [begin+1, end): the range's first packet has no
+  // in-range predecessor.
+  if (end > begin + 1) {
+    for (std::size_t b = 0; b < bins; ++b) {
+      const std::uint32_t* col = gap_prefix_.data() + b * n1;
+      counts[b] = col[end] - col[begin + 1];
+    }
+  }
+  return stats::Histogram::with_counts(gap_edges_, std::move(counts));
+}
+
+stats::Histogram BinnedTraceCache::sample_histogram(
+    Target t, std::span<const std::size_t> view_indices,
+    std::size_t view_begin) const {
+  if (t == Target::kPacketSize) {
+    std::vector<std::uint64_t> counts(size_edges_.size() + 1, 0);
+    for (const std::size_t rel : view_indices) {
+      ++counts[size_bin_[view_begin + rel]];
+    }
+    return stats::Histogram::with_counts(size_edges_, std::move(counts));
+  }
+  std::vector<std::uint64_t> counts(gap_edges_.size() + 1, 0);
+  for (const std::size_t rel : view_indices) {
+    if (rel == 0) continue;  // first packet of the view: no predecessor
+    ++counts[gap_bin_[view_begin + rel]];
+  }
+  return stats::Histogram::with_counts(gap_edges_, std::move(counts));
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-scan switch
+
+namespace {
+
+bool legacy_env_default() {
+  static const bool value = [] {
+    const char* e = std::getenv("NETSAMPLE_LEGACY_SCAN");
+    return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+  }();
+  return value;
+}
+
+// -1 = no override (follow the environment), 0 = fast path, 1 = legacy.
+std::atomic<int> g_legacy_override{-1};
+
+}  // namespace
+
+bool legacy_scan_forced() {
+  const int o = g_legacy_override.load(std::memory_order_relaxed);
+  return o < 0 ? legacy_env_default() : o != 0;
+}
+
+void force_legacy_scan(bool on) {
+  g_legacy_override.store(on ? 1 : 0, std::memory_order_relaxed);
+}
+
+void clear_legacy_scan_override() {
+  g_legacy_override.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace netsample::core

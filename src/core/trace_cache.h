@@ -1,0 +1,110 @@
+// Shared, immutable per-trace bin cache — layer 1 of the fused sweep engine.
+//
+// The paper's experiment grid (5 methods x 2 targets x granularities
+// 2..32768 x growing intervals x R replications) re-reads the *same* parent
+// population in every cell. A BinnedTraceCache hoists everything that is
+// invariant across the grid into structure-of-arrays form, computed once:
+//
+//   timestamps[i]   arrival time of packet i (raw uint64 microseconds)
+//   size_bin[i]     paper packet-size bin id of packet i        (uint8)
+//   gap_bin[i]      paper interarrival bin id of the gap between
+//                   packet i and its predecessor i-1 (i >= 1)   (uint8)
+//
+// plus per-bin prefix-sum count tables over both id arrays. With those,
+//
+//   * the population histogram of ANY contiguous range [begin, end) of the
+//     base view costs O(bins) subtractions instead of an O(N) re-bin and a
+//     vector<double> materialization, and
+//   * a sampled histogram accumulates as counts[bin_id[i]]++ over the
+//     selected indices, with no per-value bin search.
+//
+// The cache is read-only after construction and is shared by all workers of
+// a parallel sweep (see docs/PARALLELISM.md). Layer 2, the index-emitting
+// sampler kernels that consume it, lives in core/select_indices.h. The
+// streaming Sampler hierarchy remains the operational model and the
+// correctness oracle; set NETSAMPLE_LEGACY_SCAN=1 (or --legacy-scan on the
+// bench binaries) to force the original per-packet path everywhere.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/targets.h"
+#include "stats/histogram.h"
+#include "trace/trace.h"
+
+namespace netsample::core {
+
+class BinnedTraceCache {
+ public:
+  /// Builds all arrays in one O(N) pass over `base` (typically a full
+  /// trace; every experiment interval is then a sub-range of it).
+  explicit BinnedTraceCache(trace::TraceView base);
+
+  [[nodiscard]] trace::TraceView base() const { return base_; }
+  [[nodiscard]] std::size_t size() const { return ts_.size(); }
+
+  /// SoA arrays, indexed by position within base().
+  [[nodiscard]] std::span<const std::uint64_t> timestamps() const { return ts_; }
+  [[nodiscard]] std::span<const std::uint8_t> size_bins() const { return size_bin_; }
+  /// gap_bins()[0] is a placeholder (the first packet has no predecessor).
+  [[nodiscard]] std::span<const std::uint8_t> gap_bins() const { return gap_bin_; }
+
+  /// Can `view` be served from this cache? (Same underlying storage.)
+  [[nodiscard]] bool contains(trace::TraceView view) const {
+    return base_.contains(view);
+  }
+  /// Offset of `view` within base(); throws std::out_of_range otherwise.
+  [[nodiscard]] std::size_t offset_of(trace::TraceView view) const {
+    return base_.offset_of(view);
+  }
+
+  /// First index in [lo, hi) whose timestamp is >= t, or hi if none — the
+  /// O(log n) primitive behind the timer kernels.
+  [[nodiscard]] std::size_t lower_bound_time(std::uint64_t t, std::size_t lo,
+                                             std::size_t hi) const;
+
+  /// Population histogram of the range [begin, end) for `t`, computed from
+  /// the prefix-sum tables in O(bins). Bit-identical counts to
+  /// bin_values(population_values(view, t), make_target_histogram(t)).
+  /// For the interarrival target the range's first packet contributes no
+  /// gap, exactly as TraceView::interarrivals() omits it.
+  [[nodiscard]] stats::Histogram population_histogram(Target t,
+                                                      std::size_t begin,
+                                                      std::size_t end) const;
+
+  /// Histogram of a drawn sample given its *view-relative* selected indices
+  /// (as returned by select_indices / draw_sample_indices) and the view's
+  /// offset within base(). O(sample). For the interarrival target the
+  /// view's first packet (relative index 0) contributes nothing, mirroring
+  /// sample_values().
+  [[nodiscard]] stats::Histogram sample_histogram(
+      Target t, std::span<const std::size_t> view_indices,
+      std::size_t view_begin) const;
+
+ private:
+  trace::TraceView base_;
+  std::vector<double> size_edges_, gap_edges_;
+  std::vector<std::uint64_t> ts_;
+  std::vector<std::uint8_t> size_bin_, gap_bin_;
+  // Bin-major cumulative tables of length bins*(N+1):
+  //   size_prefix_[b*(N+1) + i] = #{ j < i : size_bin_[j] == b }
+  //   gap_prefix_ [b*(N+1) + i] = #{ 1 <= j < i : gap_bin_[j] == b }
+  std::vector<std::uint32_t> size_prefix_, gap_prefix_;
+};
+
+/// True when the legacy streaming scan is forced — either programmatically
+/// via force_legacy_scan() or by the NETSAMPLE_LEGACY_SCAN environment
+/// variable (any value other than empty or "0"). The experiment runner
+/// consults this before taking the cache fast path.
+[[nodiscard]] bool legacy_scan_forced();
+
+/// Programmatic override (wins over the environment variable). The bench
+/// binaries' --legacy-scan flag and the A/B perf harness use this.
+void force_legacy_scan(bool on);
+
+/// Drop the programmatic override, restoring the environment default.
+void clear_legacy_scan_override();
+
+}  // namespace netsample::core

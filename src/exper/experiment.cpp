@@ -15,14 +15,29 @@ Experiment::Experiment(trace::Trace t) : trace_(std::move(t)) {
 }
 
 void Experiment::compute_population_stats() {
+  // One fused pass: both accumulators see their values in the same order as
+  // separate sizes/interarrivals() traversals would, without materializing
+  // the gap vector or reading the trace twice.
   stats::MomentAccumulator size_acc, iat_acc;
   const auto view = trace_.view();
-  for (const auto& p : view) size_acc.add(static_cast<double>(p.size));
-  for (double g : view.interarrivals()) iat_acc.add(g);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    size_acc.add(static_cast<double>(view[i].size));
+    if (i > 0) {
+      iat_acc.add(static_cast<double>(
+          (view[i].timestamp - view[i - 1].timestamp).usec));
+    }
+  }
   mean_size_ = size_acc.mean();
   sd_size_ = size_acc.population_stddev();
   mean_iat_ = iat_acc.mean();
   sd_iat_ = iat_acc.population_stddev();
+}
+
+const core::BinnedTraceCache& Experiment::binned_cache() const {
+  std::call_once(cache_once_, [this] {
+    cache_ = std::make_unique<core::BinnedTraceCache>(trace_.view());
+  });
+  return *cache_;
 }
 
 trace::TraceView Experiment::interval(double seconds) const {

@@ -6,9 +6,12 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 
 #include "core/targets.h"
+#include "core/trace_cache.h"
 #include "synth/presets.h"
 #include "trace/summary.h"
 #include "trace/trace.h"
@@ -41,12 +44,21 @@ class Experiment {
 
   [[nodiscard]] std::uint64_t population_size() const { return trace_.size(); }
 
+  /// Shared per-packet bin cache over the full trace, built lazily on first
+  /// use (one O(N) pass, ~42 bytes/packet) and thread-safe to request.
+  /// Attach it to CellConfig::cache to put sweeps on the fused fast path;
+  /// every experiment interval() is a prefix of it. Note the laziness makes
+  /// Experiment non-copyable, which nothing relied on.
+  [[nodiscard]] const core::BinnedTraceCache& binned_cache() const;
+
  private:
   void compute_population_stats();
 
   trace::Trace trace_;
   double mean_iat_{0}, sd_iat_{0};
   double mean_size_{0}, sd_size_{0};
+  mutable std::once_flag cache_once_;
+  mutable std::unique_ptr<core::BinnedTraceCache> cache_;
 };
 
 }  // namespace netsample::exper

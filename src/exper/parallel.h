@@ -4,6 +4,10 @@
 // The paper's evaluation is embarrassingly parallel — every cell scores an
 // independent sample against a shared read-only parent population — so each
 // cell becomes one pool task operating on a TraceView span (no copies).
+// When the tasks carry a CellConfig::cache, all workers additionally share
+// that one immutable core::BinnedTraceCache: it is built before the fan-out
+// (or behind Experiment::binned_cache()'s call_once) and only read inside
+// tasks, so the fast path adds no synchronization to the pool.
 //
 // Determinism is the design constraint: a cell's RNG seed is derived from
 // its logical coordinates via task_seed(), never from execution order, so an

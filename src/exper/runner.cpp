@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "core/select_indices.h"
+
 namespace netsample::exper {
 
 std::vector<double> CellResult::phi_values() const {
@@ -73,20 +75,23 @@ core::SamplerSpec replication_spec(const CellConfig& config, int r) {
   return spec;
 }
 
-CellResult run_cell(const CellConfig& config) {
+namespace {
+
+void validate_cell(const CellConfig& config) {
   if (config.interval.empty()) {
     throw std::invalid_argument("run_cell: empty interval");
   }
   if (config.replications <= 0) {
     throw std::invalid_argument("run_cell: replications must be positive");
   }
+}
 
-  const auto population_values =
-      core::population_values(config.interval, config.target);
-  const auto layout = core::make_target_histogram(config.target);
-  const auto population = core::bin_values(population_values, layout);
+// Legacy streaming path with the population histogram already binned (it
+// depends only on the interval and target, so granularity sweeps hoist it).
+CellResult run_cell_replications(const CellConfig& config,
+                                 const stats::Histogram& layout,
+                                 const stats::Histogram& population) {
   const double fraction = 1.0 / static_cast<double>(config.granularity);
-
   CellResult result;
   result.config = config;
   result.replications.reserve(static_cast<std::size_t>(config.replications));
@@ -101,13 +106,69 @@ CellResult run_cell(const CellConfig& config) {
   return result;
 }
 
+// Fused fast path: population from prefix-sum subtraction, replications via
+// index-emitting kernels + bin-id accumulation. No per-packet work outside
+// the kernels themselves.
+CellResult run_cell_fast(const CellConfig& config, std::size_t begin,
+                         std::size_t end) {
+  const core::BinnedTraceCache& cache = *config.cache;
+  const auto population =
+      cache.population_histogram(config.target, begin, end);
+  const double fraction = 1.0 / static_cast<double>(config.granularity);
+  CellResult result;
+  result.config = config;
+  result.replications.reserve(static_cast<std::size_t>(config.replications));
+  for (int r = 0; r < config.replications; ++r) {
+    const auto indices =
+        core::select_indices(replication_spec(config, r), cache, begin, end);
+    const auto observed =
+        cache.sample_histogram(config.target, indices, begin);
+    result.replications.push_back(
+        core::score_sample(observed, population, fraction));
+  }
+  return result;
+}
+
+}  // namespace
+
+bool cell_uses_fast_path(const CellConfig& config) {
+  return config.cache != nullptr && !core::legacy_scan_forced() &&
+         config.cache->contains(config.interval);
+}
+
+CellResult run_cell(const CellConfig& config) {
+  validate_cell(config);
+  if (cell_uses_fast_path(config)) {
+    const std::size_t begin = config.cache->offset_of(config.interval);
+    return run_cell_fast(config, begin, begin + config.interval.size());
+  }
+  const auto layout = core::make_target_histogram(config.target);
+  const auto population = core::bin_values(
+      core::population_values(config.interval, config.target), layout);
+  return run_cell_replications(config, layout, population);
+}
+
 std::vector<CellResult> sweep_granularity(
     CellConfig base, const std::vector<std::uint64_t>& granularities) {
   std::vector<CellResult> out;
   out.reserve(granularities.size());
+  if (granularities.empty()) return out;
+  validate_cell(base);
+  if (cell_uses_fast_path(base)) {
+    // population_histogram is O(bins) per rung — nothing worth hoisting.
+    for (std::uint64_t k : granularities) {
+      base.granularity = k;
+      out.push_back(run_cell(base));
+    }
+    return out;
+  }
+  // Legacy path: materialize and bin the population once for the ladder.
+  const auto layout = core::make_target_histogram(base.target);
+  const auto population = core::bin_values(
+      core::population_values(base.interval, base.target), layout);
   for (std::uint64_t k : granularities) {
     base.granularity = k;
-    out.push_back(run_cell(base));
+    out.push_back(run_cell_replications(base, layout, population));
   }
   return out;
 }

@@ -14,6 +14,7 @@
 #include "core/metrics.h"
 #include "core/samplers.h"
 #include "core/targets.h"
+#include "core/trace_cache.h"
 #include "stats/boxplot.h"
 #include "trace/trace.h"
 
@@ -28,6 +29,14 @@ struct CellConfig {
   double mean_interarrival_usec{0.0};
   int replications{5};
   std::uint64_t base_seed{1};
+  /// Optional shared bin cache covering `interval` (usually the full
+  /// trace's, from Experiment::binned_cache()). When set — and unless
+  /// core::legacy_scan_forced() — run_cell takes the fused fast path:
+  /// index-emitting kernels plus prefix-sum histograms instead of the
+  /// streaming per-packet scan. Results are bit-identical either way
+  /// (tests/test_fastpath.cpp pins this over the full figure grid). Not
+  /// owned; must outlive the run.
+  const core::BinnedTraceCache* cache{nullptr};
 };
 
 struct CellResult {
@@ -44,11 +53,20 @@ struct CellResult {
   [[nodiscard]] int rejections_at(double alpha) const;
 };
 
-/// Run one experiment cell. Population binning is computed once per call.
-/// Throws std::invalid_argument for an empty interval or bad config.
+/// Run one experiment cell. Population binning is computed once per call
+/// (O(bins) prefix-sum subtractions when config.cache applies, one O(n)
+/// scan otherwise). Throws std::invalid_argument for an empty interval or
+/// bad config.
 [[nodiscard]] CellResult run_cell(const CellConfig& config);
 
+/// Would run_cell take the cache fast path for this config? (It does when a
+/// cache is attached, covers the interval, and the legacy scan is not
+/// forced.) Exposed for tests and the A/B bench harness.
+[[nodiscard]] bool cell_uses_fast_path(const CellConfig& config);
+
 /// Sweep granularities for a fixed method/target/interval (Figures 6-9).
+/// The population histogram is computed once for the whole ladder, not once
+/// per rung — it depends only on (interval, target).
 [[nodiscard]] std::vector<CellResult> sweep_granularity(
     CellConfig base, const std::vector<std::uint64_t>& granularities);
 

@@ -31,6 +31,18 @@ Histogram Histogram::equal_width(double width, std::size_t bin_count) {
   return Histogram(std::move(edges));
 }
 
+Histogram Histogram::with_counts(std::vector<double> edges,
+                                 std::vector<std::uint64_t> counts) {
+  Histogram h(std::move(edges));
+  if (counts.size() != h.counts_.size()) {
+    throw std::invalid_argument("with_counts: counts/edges size mismatch");
+  }
+  h.counts_ = std::move(counts);
+  h.total_ = 0;
+  for (const auto c : h.counts_) h.total_ += c;
+  return h;
+}
+
 std::size_t Histogram::bin_index(double x) const {
   // upper_bound over edges: number of edges <= x gives the bin index.
   const auto it = std::upper_bound(edges_.begin(), edges_.end(), x);

@@ -29,6 +29,13 @@ class Histogram {
   /// Reproduces the NNStat "granularity" histograms (50-byte, 20-pps).
   static Histogram equal_width(double width, std::size_t bin_count);
 
+  /// Build a histogram directly from per-bin counts (counts.size() must be
+  /// edges.size() + 1; throws std::invalid_argument otherwise). This is how
+  /// the binned-trace fast path materializes histograms from prefix-sum
+  /// tables without replaying add() per observation.
+  static Histogram with_counts(std::vector<double> edges,
+                               std::vector<std::uint64_t> counts);
+
   void add(double x, std::uint64_t weight = 1);
 
   /// Index of the bin x falls into.

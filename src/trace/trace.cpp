@@ -1,6 +1,7 @@
 #include "trace/trace.h"
 
 #include <algorithm>
+#include <functional>
 #include <stdexcept>
 
 namespace netsample::trace {
@@ -33,6 +34,24 @@ TraceView TraceView::window(MicroTime t0, MicroTime t1) const {
 TraceView TraceView::prefix_duration(MicroDuration d) const {
   if (packets_.empty() || d.usec <= 0) return TraceView{};
   return window(start_time(), start_time() + d);
+}
+
+bool TraceView::contains(TraceView sub) const {
+  const PacketRecord* lo = packets_.data();
+  const PacketRecord* hi = lo + packets_.size();
+  const PacketRecord* sub_lo = sub.packets_.data();
+  const PacketRecord* sub_hi = sub_lo + sub.size();
+  if (sub_lo == nullptr || lo == nullptr) return false;
+  // std::less_equal gives a total pointer order even across allocations.
+  const std::less_equal<const PacketRecord*> le;
+  return le(lo, sub_lo) && le(sub_hi, hi);
+}
+
+std::size_t TraceView::offset_of(TraceView sub) const {
+  if (!contains(sub)) {
+    throw std::out_of_range("offset_of: view is not a sub-span");
+  }
+  return static_cast<std::size_t>(sub.packets_.data() - packets_.data());
 }
 
 std::uint64_t TraceView::total_bytes() const {

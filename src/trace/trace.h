@@ -42,6 +42,16 @@ class TraceView {
   /// interval experiment: window(start, start + d)).
   [[nodiscard]] TraceView prefix_duration(MicroDuration d) const;
 
+  /// True when `sub` is a sub-span of this view (same underlying packet
+  /// storage). A default-constructed (null) sub-view is contained nowhere.
+  /// This is how shared per-trace caches decide whether an interval can be
+  /// served from their precomputed tables.
+  [[nodiscard]] bool contains(TraceView sub) const;
+
+  /// Index of sub's first packet within this view; throws std::out_of_range
+  /// unless contains(sub).
+  [[nodiscard]] std::size_t offset_of(TraceView sub) const;
+
   /// Total IP bytes across the view.
   [[nodiscard]] std::uint64_t total_bytes() const;
 

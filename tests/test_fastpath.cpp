@@ -1,0 +1,242 @@
+// The fused sweep engine's headline guarantee: over the full fig06-fig11
+// grid, the cache fast path produces BIT-IDENTICAL CellResults to the
+// legacy streaming scan, at one thread and at N threads — plus the
+// per-replication index sets agree, the legacy-scan switch really routes,
+// and granularity sweeps bin the population exactly once (legacy) or never
+// (fast path).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/select_indices.h"
+#include "core/trace_cache.h"
+#include "exper/experiment.h"
+#include "exper/parallel.h"
+#include "exper/runner.h"
+
+namespace netsample {
+namespace {
+
+/// Scoped legacy/fast routing: restores the environment default on exit so
+/// test order can't leak a forced path into other tests.
+struct ScanGuard {
+  explicit ScanGuard(bool legacy) { core::force_legacy_scan(legacy); }
+  ~ScanGuard() { core::clear_legacy_scan_override(); }
+};
+
+class FastPathTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ex_ = new exper::Experiment(23, 3.0); }
+  static void TearDownTestSuite() {
+    delete ex_;
+    ex_ = nullptr;
+  }
+
+  /// The union of the paper-figure grids, scaled onto the 3-minute test
+  /// trace (same shape as test_parallel.cpp's figure_grid).
+  static std::vector<exper::GridTask> figure_grid() {
+    std::vector<exper::GridTask> tasks;
+    const auto& cache = ex_->binned_cache();
+
+    exper::CellConfig base;
+    base.interval = ex_->interval(120.0);
+    base.mean_interarrival_usec = ex_->mean_interarrival_usec();
+    base.cache = &cache;
+
+    // fig06/07: systematic ladder with offset replications.
+    for (std::uint64_t k : exper::granularity_ladder(4, 32768)) {
+      exper::CellConfig cfg = base;
+      cfg.method = core::Method::kSystematicCount;
+      cfg.target = core::Target::kPacketSize;
+      cfg.granularity = k;
+      cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
+      tasks.push_back({cfg, 0});
+    }
+
+    // fig08/09: five methods x ladder x both targets.
+    for (auto target :
+         {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+      for (std::uint64_t k : exper::granularity_ladder(4, 16384)) {
+        for (auto m :
+             {core::Method::kSystematicCount, core::Method::kStratifiedCount,
+              core::Method::kSimpleRandom, core::Method::kSystematicTimer,
+              core::Method::kStratifiedTimer}) {
+          exper::CellConfig cfg = base;
+          cfg.method = m;
+          cfg.target = target;
+          cfg.granularity = k;
+          cfg.replications = 5;
+          tasks.push_back({cfg, 0});
+        }
+      }
+    }
+
+    // fig10/11: growing windows x {16, 256, 4096} x both targets.
+    const std::vector<double> seconds = {12, 18, 27, 40, 60, 90, 140, 170};
+    for (auto target :
+         {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+      for (std::size_t i = 0; i < seconds.size(); ++i) {
+        for (std::uint64_t k : {16ULL, 256ULL, 4096ULL}) {
+          exper::CellConfig cfg = base;
+          cfg.method = core::Method::kSystematicCount;
+          cfg.target = target;
+          cfg.granularity = k;
+          cfg.interval = ex_->full().prefix_duration(
+              MicroDuration::from_seconds(seconds[i]));
+          cfg.replications = 5;
+          tasks.push_back({cfg, static_cast<std::uint64_t>(i)});
+        }
+      }
+    }
+    return tasks;
+  }
+
+  static void expect_bit_identical(const std::vector<exper::CellResult>& a,
+                                   const std::vector<exper::CellResult>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      ASSERT_EQ(a[i].replications.size(), b[i].replications.size())
+          << "cell " << i;
+      for (std::size_t r = 0; r < a[i].replications.size(); ++r) {
+        const auto& ma = a[i].replications[r];
+        const auto& mb = b[i].replications[r];
+        // Exact double equality: identical histogram counts must flow into
+        // identical metrics, bit for bit.
+        EXPECT_EQ(ma.chi2, mb.chi2) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.dof, mb.dof) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.significance, mb.significance) << "cell " << i;
+        EXPECT_EQ(ma.cost, mb.cost) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.rcost, mb.rcost) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.x2, mb.x2) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.avg_norm_dev, mb.avg_norm_dev) << "cell " << i;
+        EXPECT_EQ(ma.phi, mb.phi) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.sample_n, mb.sample_n) << "cell " << i << " rep " << r;
+        EXPECT_EQ(ma.population_n, mb.population_n) << "cell " << i;
+      }
+    }
+  }
+
+  static exper::Experiment* ex_;
+};
+
+exper::Experiment* FastPathTest::ex_ = nullptr;
+
+TEST_F(FastPathTest, RoutingFollowsCacheAndSwitch) {
+  exper::CellConfig cfg;
+  cfg.interval = ex_->interval(30.0);
+  EXPECT_FALSE(exper::cell_uses_fast_path(cfg));  // no cache attached
+  cfg.cache = &ex_->binned_cache();
+  EXPECT_TRUE(exper::cell_uses_fast_path(cfg));
+  {
+    ScanGuard legacy(true);
+    EXPECT_FALSE(exper::cell_uses_fast_path(cfg));
+  }
+  EXPECT_TRUE(exper::cell_uses_fast_path(cfg));
+  // A view over foreign storage cannot be served by this cache.
+  const exper::Experiment other(24, 0.5);
+  cfg.interval = other.full();
+  EXPECT_FALSE(exper::cell_uses_fast_path(cfg));
+}
+
+TEST_F(FastPathTest, FullFigureGridBitIdenticalLegacyVsFastVsThreaded) {
+  const auto tasks = figure_grid();
+  std::vector<exper::CellResult> legacy, fast1, fastN;
+  {
+    ScanGuard guard(true);
+    exper::ParallelRunner serial(1);
+    legacy = serial.run(tasks, 23);
+  }
+  {
+    ScanGuard guard(false);
+    exper::ParallelRunner serial(1);
+    exper::ParallelRunner threaded(4);
+    fast1 = serial.run(tasks, 23);
+    fastN = threaded.run(tasks, 23);
+  }
+  expect_bit_identical(legacy, fast1);
+  expect_bit_identical(fast1, fastN);
+}
+
+TEST_F(FastPathTest, ReplicationIndexSetsMatchStreamingPerMethod) {
+  const auto& cache = ex_->binned_cache();
+  const auto interval = ex_->interval(60.0);
+  const std::size_t begin = cache.offset_of(interval);
+  const std::size_t end = begin + interval.size();
+
+  for (auto m : {core::Method::kSystematicCount, core::Method::kStratifiedCount,
+                 core::Method::kSimpleRandom, core::Method::kSystematicTimer,
+                 core::Method::kStratifiedTimer}) {
+    exper::CellConfig cfg;
+    cfg.method = m;
+    cfg.granularity = 64;
+    cfg.interval = interval;
+    cfg.mean_interarrival_usec = ex_->mean_interarrival_usec();
+    cfg.replications = 7;
+    cfg.base_seed = 555;
+    for (int r = 0; r < cfg.replications; ++r) {
+      const auto spec = exper::replication_spec(cfg, r);
+      auto sampler = core::make_sampler(spec);
+      EXPECT_EQ(core::select_indices(spec, cache, begin, end),
+                core::draw_sample_indices(interval, *sampler))
+          << core::method_name(m) << " rep " << r;
+    }
+  }
+}
+
+TEST_F(FastPathTest, SweepBinsPopulationOnceLegacyNeverFast) {
+  exper::CellConfig base;
+  base.method = core::Method::kStratifiedCount;
+  base.target = core::Target::kInterarrivalTime;
+  base.interval = ex_->interval(60.0);
+  base.mean_interarrival_usec = ex_->mean_interarrival_usec();
+  base.replications = 3;
+  base.cache = &ex_->binned_cache();
+  const std::vector<std::uint64_t> ladder = {4, 16, 64, 256};
+
+  {
+    // Legacy: the whole ladder shares ONE population materialization.
+    ScanGuard guard(true);
+    const auto before = core::population_values_call_count();
+    const auto cells = exper::sweep_granularity(base, ladder);
+    ASSERT_EQ(cells.size(), ladder.size());
+    EXPECT_EQ(core::population_values_call_count() - before, 1u);
+  }
+  {
+    // Fast path: prefix-sum subtraction, never materialized.
+    ScanGuard guard(false);
+    const auto before = core::population_values_call_count();
+    const auto cells = exper::sweep_granularity(base, ladder);
+    ASSERT_EQ(cells.size(), ladder.size());
+    EXPECT_EQ(core::population_values_call_count() - before, 0u);
+  }
+}
+
+TEST_F(FastPathTest, SweepHelpersAgreeAcrossPathsAndThreadCounts) {
+  exper::CellConfig base;
+  base.method = core::Method::kSimpleRandom;
+  base.target = core::Target::kPacketSize;
+  base.interval = ex_->interval(45.0);
+  base.mean_interarrival_usec = ex_->mean_interarrival_usec();
+  base.replications = 5;
+  base.base_seed = 42;
+  base.cache = &ex_->binned_cache();
+
+  const std::vector<std::uint64_t> ks = {2, 8, 128, 2048};
+  const std::vector<double> secs = {15.0, 60.0, 150.0};
+  std::vector<exper::CellResult> g_legacy, i_legacy;
+  {
+    ScanGuard guard(true);
+    exper::ParallelRunner serial(1);
+    g_legacy = serial.sweep_granularity(base, ks);
+    i_legacy = serial.sweep_interval(base, ex_->full(), secs);
+  }
+  ScanGuard guard(false);
+  exper::ParallelRunner threaded(3);
+  expect_bit_identical(g_legacy, threaded.sweep_granularity(base, ks));
+  expect_bit_identical(i_legacy,
+                       threaded.sweep_interval(base, ex_->full(), secs));
+}
+
+}  // namespace
+}  // namespace netsample

@@ -1,0 +1,214 @@
+// Randomized equivalence suite for the index-emitting kernels: for fuzzed
+// SamplerSpecs — all five methods, random granularities (including k > N),
+// seeds, offsets, phases, both expiry policies — over ragged sub-views of
+// traces with bursts and long idle gaps, core::select_indices must return
+// EXACTLY the index set the streaming samplers produce. The streaming
+// hierarchy is the oracle; any divergence is a fast-path bug by definition.
+#include "core/select_indices.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "core/samplers.h"
+#include "core/trace_cache.h"
+#include "util/rng.h"
+
+namespace netsample::core {
+namespace {
+
+/// Bursty fuzz traffic: back-to-back packets (zero gaps), typical gaps, and
+/// occasional idle periods many timer periods long (the regime where the
+/// expiry policies and window coalescing actually differ).
+trace::Trace fuzz_trace(std::uint64_t seed, std::size_t n) {
+  Rng rng(seed);
+  std::vector<trace::PacketRecord> v;
+  v.reserve(n);
+  std::uint64_t t = rng.uniform_below(5000);
+  for (std::size_t i = 0; i < n; ++i) {
+    trace::PacketRecord p;
+    p.timestamp = MicroTime{t};
+    p.size = static_cast<std::uint16_t>(28 + rng.uniform_below(1473));
+    v.push_back(p);
+    const std::uint64_t roll = rng.uniform_below(100);
+    if (roll < 25) {
+      // burst: next packet at the same microsecond
+    } else if (roll < 85) {
+      t += rng.uniform_below(3000);
+    } else if (roll < 96) {
+      t += 3000 + rng.uniform_below(20000);
+    } else {
+      t += 50000 + rng.uniform_below(500000);  // idle gap
+    }
+  }
+  return trace::Trace(std::move(v));
+}
+
+trace::TraceView subview(trace::TraceView v, std::size_t b, std::size_t e) {
+  return trace::TraceView(v.packets().subspan(b, e - b));
+}
+
+SamplerSpec fuzz_spec(Rng& rng, std::size_t view_size) {
+  static const Method kMethods[] = {
+      Method::kSystematicCount, Method::kStratifiedCount, Method::kSimpleRandom,
+      Method::kSystematicTimer, Method::kStratifiedTimer};
+  SamplerSpec spec;
+  spec.method = kMethods[rng.uniform_below(5)];
+  // Granularities from 1 up to ~2N, so k > N (sample rounds to one packet)
+  // and k = 1 (select everything) both occur.
+  spec.granularity = 1 + rng.uniform_below(2 * static_cast<std::uint64_t>(
+                                                   view_size) + 4);
+  spec.offset = rng.uniform_below(spec.granularity);
+  spec.population = view_size;
+  spec.mean_interarrival_usec = 1.0 + 4000.0 * rng.uniform01();
+  spec.seed = rng();
+  spec.expiry_policy = rng.uniform_below(2) == 0 ? ExpiryPolicy::kCoalesce
+                                                 : ExpiryPolicy::kQueue;
+  spec.timer_phase_usec = rng();  // reduced modulo the period by both paths
+  return spec;
+}
+
+void expect_kernel_matches_streaming(const SamplerSpec& spec,
+                                     const BinnedTraceCache& cache,
+                                     std::size_t b, std::size_t e) {
+  const auto view = subview(cache.base(), b, e);
+  auto sampler = make_sampler(spec);
+  const auto expected = draw_sample_indices(view, *sampler);
+  const auto got = select_indices(spec, cache, b, e);
+  EXPECT_EQ(got, expected) << method_name(spec.method) << " k="
+                           << spec.granularity << " seed=" << spec.seed
+                           << " offset=" << spec.offset << " phase="
+                           << spec.timer_phase_usec << " policy="
+                           << (spec.expiry_policy == ExpiryPolicy::kCoalesce
+                                   ? "coalesce"
+                                   : "queue")
+                           << " range=[" << b << "," << e << ")";
+}
+
+TEST(SelectIndices, FuzzedSpecsMatchStreamingSamplersExactly) {
+  const auto t = fuzz_trace(2024, 4000);
+  const BinnedTraceCache cache(t.view());
+  Rng rng(7);
+  for (int trial = 0; trial < 400; ++trial) {
+    // Ragged interval edges, including prefixes, suffixes and tiny slices.
+    std::size_t b = rng.uniform_below(t.size());
+    std::size_t e = 1 + rng.uniform_below(t.size());
+    if (b >= e) std::swap(b, e);
+    if (b == e) e = b + 1;
+    const auto spec = fuzz_spec(rng, e - b);
+    expect_kernel_matches_streaming(spec, cache, b, e);
+  }
+}
+
+TEST(SelectIndices, IdleGapHeavyTraceExercisesBothExpiryPolicies) {
+  // Mostly idle trace: a few packets separated by many timer periods.
+  std::vector<trace::PacketRecord> v;
+  const std::uint64_t times[] = {0,      10,      20,      500000,
+                                 500001, 2000000, 2000002, 9000000};
+  for (auto ts : times) {
+    trace::PacketRecord p;
+    p.timestamp = MicroTime{ts};
+    p.size = 100;
+    v.push_back(p);
+  }
+  const trace::Trace t{std::move(v)};
+  const BinnedTraceCache cache(t.view());
+  for (auto policy : {ExpiryPolicy::kCoalesce, ExpiryPolicy::kQueue}) {
+    for (std::uint64_t k : {1ULL, 2ULL, 5ULL, 100ULL}) {
+      SamplerSpec spec;
+      spec.method = Method::kSystematicTimer;
+      spec.granularity = k;
+      spec.mean_interarrival_usec = 700.0;
+      spec.expiry_policy = policy;
+      expect_kernel_matches_streaming(spec, cache, 0, t.size());
+      expect_kernel_matches_streaming(spec, cache, 2, t.size() - 1);
+    }
+  }
+  // Stratified timer on the same idle-gap trace: window coalescing.
+  for (std::uint64_t seed : {1ULL, 2ULL, 3ULL, 99ULL}) {
+    SamplerSpec spec;
+    spec.method = Method::kStratifiedTimer;
+    spec.granularity = 3;
+    spec.mean_interarrival_usec = 700.0;
+    spec.seed = seed;
+    expect_kernel_matches_streaming(spec, cache, 0, t.size());
+  }
+}
+
+TEST(SelectIndices, EmptyIntervalSelectsNothing) {
+  const auto t = fuzz_trace(5, 100);
+  const BinnedTraceCache cache(t.view());
+  for (auto m : {Method::kSystematicCount, Method::kStratifiedCount,
+                 Method::kSystematicTimer, Method::kStratifiedTimer}) {
+    SamplerSpec spec;
+    spec.method = m;
+    spec.granularity = 8;
+    spec.mean_interarrival_usec = 1000.0;
+    EXPECT_TRUE(select_indices(spec, cache, 40, 40).empty()) << method_name(m);
+  }
+  // Simple random over an empty interval: population 0 is invalid on both
+  // paths (make_sampler throws the same way).
+  SamplerSpec sr;
+  sr.method = Method::kSimpleRandom;
+  sr.granularity = 8;
+  sr.population = 0;
+  EXPECT_THROW((void)select_indices(sr, cache, 40, 40), std::invalid_argument);
+  EXPECT_THROW((void)make_sampler(sr), std::invalid_argument);
+}
+
+TEST(SelectIndices, GranularityLargerThanPopulation) {
+  const auto t = fuzz_trace(11, 50);
+  const BinnedTraceCache cache(t.view());
+  for (auto m : {Method::kSystematicCount, Method::kStratifiedCount,
+                 Method::kSimpleRandom, Method::kSystematicTimer,
+                 Method::kStratifiedTimer}) {
+    SamplerSpec spec;
+    spec.method = m;
+    spec.granularity = 1000;  // k >> N
+    spec.population = t.size();
+    spec.mean_interarrival_usec = 500.0;
+    spec.seed = 77;
+    expect_kernel_matches_streaming(spec, cache, 0, t.size());
+  }
+}
+
+TEST(SelectIndices, InvalidSpecsThrowLikeMakeSampler) {
+  const auto t = fuzz_trace(3, 20);
+  const BinnedTraceCache cache(t.view());
+  SamplerSpec spec;
+
+  spec.granularity = 0;
+  EXPECT_THROW((void)select_indices(spec, cache, 0, 10), std::invalid_argument);
+
+  spec.granularity = 4;
+  spec.offset = 4;  // offset must be < k
+  EXPECT_THROW((void)select_indices(spec, cache, 0, 10), std::invalid_argument);
+
+  SamplerSpec timer;
+  timer.method = Method::kSystematicTimer;
+  timer.granularity = 4;
+  timer.mean_interarrival_usec = 0.0;  // no mean interarrival
+  EXPECT_THROW((void)select_indices(timer, cache, 0, 10),
+               std::invalid_argument);
+  // ... even over an empty range, exactly like make_sampler.
+  EXPECT_THROW((void)select_indices(timer, cache, 5, 5), std::invalid_argument);
+
+  EXPECT_THROW((void)select_indices(spec, cache, 15, 10), std::out_of_range);
+  EXPECT_THROW((void)select_indices(spec, cache, 0, t.size() + 1),
+               std::out_of_range);
+}
+
+TEST(SelectIndices, SystematicCountIsPureStride) {
+  const auto t = fuzz_trace(8, 103);
+  const BinnedTraceCache cache(t.view());
+  SamplerSpec spec;
+  spec.granularity = 10;
+  spec.offset = 3;
+  const auto idx = select_indices(spec, cache, 0, t.size());
+  ASSERT_EQ(idx.size(), 10u);
+  for (std::size_t i = 0; i < idx.size(); ++i) EXPECT_EQ(idx[i], 3 + 10 * i);
+}
+
+}  // namespace
+}  // namespace netsample::core

@@ -160,6 +160,7 @@ int cmd_score(ArgParser& args) {
     return 1;
   }
   exper::Experiment ex(std::move(*t));
+  if (args.get_bool("legacy-scan")) core::force_legacy_scan(true);
 
   exper::CellConfig cfg;
   cfg.method = parse_method(args.get_string("method"));
@@ -168,6 +169,7 @@ int cmd_score(ArgParser& args) {
   cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
   cfg.replications = static_cast<int>(args.get_int("reps"));
   cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  cfg.cache = &ex.binned_cache();
 
   const std::string which = args.get_string("target");
 
@@ -334,6 +336,9 @@ int main(int argc, char** argv) {
   args.add_flag("confidence", "C", "confidence level (design)", "0.95");
   args.add_flag("population", "N", "population size, 0=infinite", "0");
   args.add_flag("node", "T", "node type: t1 or t3 (charact)", "t1");
+  args.add_flag("legacy-scan", "",
+                "score: force the streaming per-packet path instead of the "
+                "fused bin-cache fast path (results are identical)");
 
   const auto status = args.parse(rest);
   if (!status.is_ok()) {
