@@ -17,6 +17,7 @@
 #include "exper/experiment.h"
 #include "exper/parallel.h"
 #include "exper/runner.h"
+#include "pcap/pcap.h"
 #include "util/format.h"
 
 namespace netsample::bench {
@@ -74,6 +75,46 @@ inline bool bench_legacy_scan(int argc, char** argv) {
     }
   }
   return false;
+}
+
+/// Experiment context for a figure binary: `--pcap FILE` (or NETSAMPLE_PCAP)
+/// regenerates the figure from a real capture instead of the synthetic hour.
+/// Real captures are read in salvage mode, and any data loss — corrupt
+/// records skipped, bytes discarded while resyncing, a torn trailing record
+/// — is printed with the figure so a damaged input is never silently folded
+/// into the numbers. Exits 65 (data loss under strict parsing is the only
+/// way this read fails beyond I/O) on an unreadable capture.
+inline exper::Experiment bench_experiment(int argc, char** argv,
+                                          std::uint64_t seed = kDefaultSeed,
+                                          double minutes = 60.0) {
+  std::string path;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--pcap") path = argv[i + 1];
+  }
+  if (path.empty()) {
+    if (const char* env = std::getenv("NETSAMPLE_PCAP")) path = env;
+  }
+  if (path.empty()) return exper::Experiment(seed, minutes);
+
+  pcap::ParseOptions options;
+  options.on_corrupt = pcap::OnCorrupt::kSalvage;
+  pcap::ParseStats parse_stats;
+  pcap::DecodeStats decode_stats;
+  auto t = pcap::read_trace(path, options, &parse_stats, &decode_stats);
+  if (!t) {
+    std::fprintf(stderr, "error: %s\n", t.status().to_string().c_str());
+    std::exit(65);
+  }
+  std::cout << "  parent population: " << path << " ("
+            << fmt_count(decode_stats.decoded) << " IPv4 packets)\n";
+  if (!parse_stats.clean() || decode_stats.malformed > 0) {
+    std::cout << "  data loss: " << parse_stats.corrupt_records
+              << " corrupt records, " << parse_stats.skipped_bytes
+              << " bytes skipped resyncing, " << parse_stats.torn_tail_bytes
+              << " torn tail bytes, " << decode_stats.malformed
+              << " malformed packets\n";
+  }
+  return exper::Experiment(std::move(*t));
 }
 
 inline void banner(const std::string& artifact, const std::string& what) {

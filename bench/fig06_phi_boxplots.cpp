@@ -14,7 +14,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 6 (paper: boxplots of systematic phi scores)",
                 "Packet size, 1024s interval, offset-replicated boxplots");
 
-  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+  exper::Experiment ex = bench::bench_experiment(argc, argv);
 
   exper::CellConfig cfg;
   cfg.method = core::Method::kSystematicCount;

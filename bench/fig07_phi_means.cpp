@@ -12,7 +12,7 @@ int main(int argc, char** argv) {
   bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
                 "Mean systematic phi, packet size, 1024s interval");
 
-  exper::Experiment ex(bench::kDefaultSeed, 60.0);
+  exper::Experiment ex = bench::bench_experiment(argc, argv);
 
   exper::CellConfig cfg;
   cfg.method = core::Method::kSystematicCount;

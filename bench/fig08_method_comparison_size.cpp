@@ -7,5 +7,5 @@ int main(int argc, char** argv) {
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kPacketSize, "fig08",
       "Figure 8 (paper: mean phi vs fraction, packet size, 5 methods)",
-      netsample::bench::bench_jobs(argc, argv));
+      argc, argv);
 }

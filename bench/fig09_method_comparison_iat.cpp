@@ -11,5 +11,5 @@ int main(int argc, char** argv) {
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kInterarrivalTime, "fig09",
       "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)",
-      netsample::bench::bench_jobs(argc, argv));
+      argc, argv);
 }

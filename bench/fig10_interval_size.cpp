@@ -7,5 +7,5 @@ int main(int argc, char** argv) {
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kPacketSize, "fig10",
       "Figure 10 (paper: systematic phi vs elapsed time, packet size)",
-      netsample::bench::bench_jobs(argc, argv));
+      argc, argv);
 }

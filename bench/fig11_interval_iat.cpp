@@ -7,5 +7,5 @@ int main(int argc, char** argv) {
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kInterarrivalTime, "fig11",
       "Figure 11 (paper: systematic phi vs elapsed time, interarrival)",
-      netsample::bench::bench_jobs(argc, argv));
+      argc, argv);
 }

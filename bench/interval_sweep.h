@@ -10,11 +10,13 @@
 namespace netsample::bench {
 
 inline int run_interval_sweep(core::Target target, const char* figure_id,
-                              const char* figure_title, int jobs = 0) {
+                              const char* figure_title, int argc = 0,
+                              char** argv = nullptr) {
+  const int jobs = bench_jobs(argc, argv);
   banner(figure_title,
          "Systematic sampling; exponentially growing measurement intervals");
 
-  exper::Experiment ex(kDefaultSeed, 60.0);
+  exper::Experiment ex = bench_experiment(argc, argv);
 
   // Exponentially growing windows relative to the trace start (in minutes,
   // as the paper's x axis), capped at the full hour.

@@ -10,11 +10,13 @@
 namespace netsample::bench {
 
 inline int run_method_comparison(core::Target target, const char* figure_id,
-                                 const char* figure_title, int jobs = 0) {
+                                 const char* figure_title, int argc = 0,
+                                 char** argv = nullptr) {
+  const int jobs = bench_jobs(argc, argv);
   banner(figure_title,
          "All five methods, 5 replications each, 1024s interval");
 
-  exper::Experiment ex(kDefaultSeed, 60.0);
+  exper::Experiment ex = bench_experiment(argc, argv);
 
   const core::Method methods[] = {
       core::Method::kSystematicCount, core::Method::kStratifiedCount,

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "util/cancel.h"
 #include "util/timeval.h"
 
 namespace netsample::core {
@@ -37,13 +38,18 @@ class Sampler {
 };
 
 /// Drive `sampler` over every packet of `view` (calling begin() with the
-/// view's start time) and collect the selected packets.
-[[nodiscard]] std::vector<trace::PacketRecord> draw_sample(trace::TraceView view,
-                                                           Sampler& sampler);
+/// view's start time) and collect the selected packets. When `cancel` is
+/// non-null the per-packet loop polls it every util::kCancelPollStride
+/// packets and unwinds with util::StatusError on cancellation or deadline
+/// expiry (the watchdog hook for wedged streaming passes).
+[[nodiscard]] std::vector<trace::PacketRecord> draw_sample(
+    trace::TraceView view, Sampler& sampler,
+    const util::CancelToken* cancel = nullptr);
 
 /// As draw_sample, but returns the *indices* of selected packets within the
 /// view — used by tests that check selection patterns.
-[[nodiscard]] std::vector<std::size_t> draw_sample_indices(trace::TraceView view,
-                                                           Sampler& sampler);
+[[nodiscard]] std::vector<std::size_t> draw_sample_indices(
+    trace::TraceView view, Sampler& sampler,
+    const util::CancelToken* cancel = nullptr);
 
 }  // namespace netsample::core

@@ -32,22 +32,30 @@ std::uint64_t method_seed_tag(Method m) {
 }
 
 std::vector<trace::PacketRecord> draw_sample(trace::TraceView view,
-                                             Sampler& sampler) {
+                                             Sampler& sampler,
+                                             const util::CancelToken* cancel) {
   std::vector<trace::PacketRecord> out;
   if (view.empty()) return out;
   sampler.begin(view.start_time());
-  for (const auto& p : view) {
-    if (sampler.offer(p)) out.push_back(p);
+  for (std::size_t i = 0; i < view.size(); ++i) {
+    if (cancel != nullptr && i % util::kCancelPollStride == 0) {
+      cancel->throw_if_stopped();
+    }
+    if (sampler.offer(view[i])) out.push_back(view[i]);
   }
   return out;
 }
 
 std::vector<std::size_t> draw_sample_indices(trace::TraceView view,
-                                             Sampler& sampler) {
+                                             Sampler& sampler,
+                                             const util::CancelToken* cancel) {
   std::vector<std::size_t> out;
   if (view.empty()) return out;
   sampler.begin(view.start_time());
   for (std::size_t i = 0; i < view.size(); ++i) {
+    if (cancel != nullptr && i % util::kCancelPollStride == 0) {
+      cancel->throw_if_stopped();
+    }
     if (sampler.offer(view[i])) out.push_back(i);
   }
   return out;

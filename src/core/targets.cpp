@@ -24,8 +24,9 @@ double Sample::fraction() const {
   return static_cast<double>(indices.size()) / static_cast<double>(parent.size());
 }
 
-Sample draw(trace::TraceView view, Sampler& sampler) {
-  return Sample{view, draw_sample_indices(view, sampler)};
+Sample draw(trace::TraceView view, Sampler& sampler,
+            const util::CancelToken* cancel) {
+  return Sample{view, draw_sample_indices(view, sampler, cancel)};
 }
 
 std::vector<double> paper_bin_edges(Target t) {

@@ -55,8 +55,10 @@ struct Sample {
   [[nodiscard]] double fraction() const;
 };
 
-/// Run `sampler` over `view` and collect the selected positions.
-[[nodiscard]] Sample draw(trace::TraceView view, Sampler& sampler);
+/// Run `sampler` over `view` and collect the selected positions. `cancel`
+/// is forwarded to the streaming loop (see draw_sample_indices).
+[[nodiscard]] Sample draw(trace::TraceView view, Sampler& sampler,
+                          const util::CancelToken* cancel = nullptr);
 
 /// The paper's bin edges for a target (see header comment).
 [[nodiscard]] std::vector<double> paper_bin_edges(Target t);

@@ -1,0 +1,257 @@
+#include "exper/journal.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#include "exper/runner.h"
+
+namespace netsample::exper {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Line encoding. One JSON object per line; doubles as hexfloat strings so
+// every bit of the metric round-trips (printf "%a" with no precision emits
+// an exact representation, and strtod parses it back bit-for-bit).
+// ---------------------------------------------------------------------------
+
+void append_double(std::string& out, const char* name, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":\"%a\"", name, v);
+  out += buf;
+}
+
+void append_u64(std::string& out, const char* name, std::uint64_t v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "\"%s\":%" PRIu64, name, v);
+  out += buf;
+}
+
+std::string encode_line(const std::string& key,
+                        const std::vector<core::DisparityMetrics>& reps) {
+  std::string line = "{\"key\":\"" + key + "\",\"reps\":[";
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto& m = reps[i];
+    if (i != 0) line += ',';
+    line += '{';
+    append_double(line, "chi2", m.chi2);
+    line += ',';
+    append_double(line, "dof", m.dof);
+    line += ',';
+    append_double(line, "sig", m.significance);
+    line += ',';
+    append_double(line, "cost", m.cost);
+    line += ',';
+    append_double(line, "rcost", m.rcost);
+    line += ',';
+    append_double(line, "x2", m.x2);
+    line += ',';
+    append_double(line, "and", m.avg_norm_dev);
+    line += ',';
+    append_double(line, "phi", m.phi);
+    line += ',';
+    append_u64(line, "sn", m.sample_n);
+    line += ',';
+    append_u64(line, "pn", m.population_n);
+    line += '}';
+  }
+  line += "]}";
+  return line;
+}
+
+// Strict sequential parser for the exact shape encode_line() emits. Any
+// mismatch fails the whole line, which open() then counts as dropped — a
+// journal line is either perfectly intact or ignored.
+
+bool take(const char*& p, const char* literal) {
+  const std::size_t n = std::strlen(literal);
+  if (std::strncmp(p, literal, n) != 0) return false;
+  p += n;
+  return true;
+}
+
+bool take_double(const char*& p, const char* name, double* out) {
+  if (!take(p, "\"")) return false;
+  if (!take(p, name)) return false;
+  if (!take(p, "\":\"")) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtod(p, &end);
+  if (end == p) return false;
+  p = end;
+  return take(p, "\"");
+}
+
+bool take_u64(const char*& p, const char* name, std::uint64_t* out) {
+  if (!take(p, "\"")) return false;
+  if (!take(p, name)) return false;
+  if (!take(p, "\":")) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(p, &end, 10);
+  if (end == p || errno == ERANGE) return false;
+  p = end;
+  return true;
+}
+
+bool decode_line(const std::string& line, std::string* key,
+                 std::vector<core::DisparityMetrics>* reps) {
+  const char* p = line.c_str();
+  if (!take(p, "{\"key\":\"")) return false;
+  const char* key_end = std::strchr(p, '"');
+  if (key_end == nullptr) return false;
+  key->assign(p, key_end);
+  p = key_end;
+  if (!take(p, "\",\"reps\":[")) return false;
+  reps->clear();
+  while (*p == '{') {
+    core::DisparityMetrics m;
+    ++p;
+    if (!take_double(p, "chi2", &m.chi2)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "dof", &m.dof)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "sig", &m.significance)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "cost", &m.cost)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "rcost", &m.rcost)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "x2", &m.x2)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "and", &m.avg_norm_dev)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_double(p, "phi", &m.phi)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_u64(p, "sn", &m.sample_n)) return false;
+    if (!take(p, ",")) return false;
+    if (!take_u64(p, "pn", &m.population_n)) return false;
+    if (!take(p, "}")) return false;
+    reps->push_back(m);
+    if (*p == ',') ++p;
+  }
+  return take(p, "]}") && *p == '\0';
+}
+
+Status write_and_sync(std::FILE* f, const std::string& data,
+                      const std::string& path) {
+  if (std::fwrite(data.data(), 1, data.size(), f) != data.size() ||
+      std::fflush(f) != 0 || ::fsync(fileno(f)) != 0) {
+    return Status(StatusCode::kDataLoss,
+                  "journal: short write to '" + path + "'");
+  }
+  return Status::ok();
+}
+
+}  // namespace
+
+std::string cell_journal_key(const CellConfig& config,
+                             std::uint64_t interval_index) {
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "m=%s;t=%s;k=%" PRIu64 ";i=%" PRIu64 ";n=%zu;r=%d;s=%016" PRIx64,
+                core::method_name(config.method),
+                core::target_name(config.target), config.granularity,
+                interval_index, config.interval.size(), config.replications,
+                config.base_seed);
+  return buf;
+}
+
+CheckpointJournal::~CheckpointJournal() {
+  if (out_ != nullptr) std::fclose(out_);
+}
+
+CheckpointJournal::CheckpointJournal(CheckpointJournal&& other) noexcept
+    : path_(std::move(other.path_)),
+      out_(std::exchange(other.out_, nullptr)),
+      dropped_lines_(other.dropped_lines_),
+      entries_(std::move(other.entries_)) {}
+
+CheckpointJournal& CheckpointJournal::operator=(
+    CheckpointJournal&& other) noexcept {
+  if (this != &other) {
+    if (out_ != nullptr) std::fclose(out_);
+    path_ = std::move(other.path_);
+    out_ = std::exchange(other.out_, nullptr);
+    dropped_lines_ = other.dropped_lines_;
+    entries_ = std::move(other.entries_);
+  }
+  return *this;
+}
+
+StatusOr<CheckpointJournal> CheckpointJournal::open(const std::string& path) {
+  CheckpointJournal j;
+  j.path_ = path;
+
+  // Load whatever valid prefix an earlier (possibly killed) run left behind.
+  std::vector<std::string> valid_lines;
+  {
+    std::ifstream in(path);
+    std::string line;
+    while (in && std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string key;
+      std::vector<core::DisparityMetrics> reps;
+      if (decode_line(line, &key, &reps)) {
+        // Later lines win, matching record()'s overwrite semantics.
+        j.entries_[key] = std::move(reps);
+        valid_lines.push_back(line);
+      } else {
+        ++j.dropped_lines_;
+      }
+    }
+  }
+
+  // Rewrite the cleaned journal via write-then-rename so the visible file
+  // never holds a torn line, then reopen it for appending.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "journal: cannot create '" + tmp + "'");
+  }
+  std::string blob;
+  for (const auto& line : valid_lines) {
+    blob += line;
+    blob += '\n';
+  }
+  const Status ws = write_and_sync(f, blob, tmp);
+  std::fclose(f);
+  if (!ws.is_ok()) return ws;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(StatusCode::kInternal,
+                  "journal: rename '" + tmp + "' -> '" + path + "' failed");
+  }
+
+  j.out_ = std::fopen(path.c_str(), "ab");
+  if (j.out_ == nullptr) {
+    return Status(StatusCode::kNotFound,
+                  "journal: cannot append to '" + path + "'");
+  }
+  return j;
+}
+
+Status CheckpointJournal::record(
+    const std::string& key, const std::vector<core::DisparityMetrics>& reps) {
+  if (out_ == nullptr) {
+    return Status(StatusCode::kInternal, "journal: not open");
+  }
+  const Status ws = write_and_sync(out_, encode_line(key, reps) + "\n", path_);
+  if (!ws.is_ok()) return ws;
+  entries_[key] = reps;
+  return Status::ok();
+}
+
+const std::vector<core::DisparityMetrics>* CheckpointJournal::find(
+    const std::string& key) const {
+  const auto it = entries_.find(key);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+}  // namespace netsample::exper

@@ -1,0 +1,78 @@
+// Checkpoint journal for interruptible sweeps (crash / kill recovery).
+//
+// An append-only JSONL file: one line per completed experiment cell, keyed
+// by the cell's *logical coordinates* (method, target, granularity, interval
+// index, interval size, replications, derived seed) and carrying the cell's
+// full metric vector. Because cell seeds derive from those coordinates and
+// never from scheduling, a sweep resumed from a journal reproduces the
+// uninterrupted run bit-for-bit: journaled cells are replayed from disk,
+// missing cells are recomputed, and both yield the same phi.
+//
+// Durability: every record() is flushed and fsync()'d, so at most the line
+// being written when the process dies is lost. A torn trailing line (or any
+// malformed line) is detected on open(), counted, and dropped; open() then
+// rewrites the clean prefix to a temporary file and atomically renames it
+// over the journal before appending, so the on-disk file is always a valid
+// JSONL prefix of the sweep.
+//
+// Doubles are serialized as C99 hexfloat strings ("0x1.91eb851eb851fp-3"),
+// which round-trip exactly — the bit-identical-resume guarantee would not
+// survive a lossy decimal encoding. See docs/ROBUSTNESS.md for the format.
+#pragma once
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "util/status.h"
+
+namespace netsample::exper {
+
+struct CellConfig;  // runner.h
+
+/// Canonical journal key for one grid cell. `interval_index` is the cell's
+/// position in an interval sweep (0 otherwise) — the same coordinate that
+/// feeds seed derivation. The derived seed is part of the key, so a journal
+/// written under a different base seed (or grid shape) simply never matches.
+[[nodiscard]] std::string cell_journal_key(const CellConfig& config,
+                                           std::uint64_t interval_index);
+
+class CheckpointJournal {
+ public:
+  CheckpointJournal() = default;
+  ~CheckpointJournal();
+
+  CheckpointJournal(CheckpointJournal&& other) noexcept;
+  CheckpointJournal& operator=(CheckpointJournal&& other) noexcept;
+  CheckpointJournal(const CheckpointJournal&) = delete;
+  CheckpointJournal& operator=(const CheckpointJournal&) = delete;
+
+  /// Open (creating if absent) a journal at `path`. Existing valid lines
+  /// become the completed-cell set; torn or malformed lines are counted and
+  /// dropped, and the cleaned file is atomically renamed into place.
+  [[nodiscard]] static StatusOr<CheckpointJournal> open(const std::string& path);
+
+  /// Append one completed cell (flushed + fsync'd before returning). A key
+  /// recorded twice keeps the latest metrics.
+  [[nodiscard]] Status record(const std::string& key,
+                              const std::vector<core::DisparityMetrics>& reps);
+
+  /// Metrics for a completed cell, or nullptr if the cell is not journaled.
+  [[nodiscard]] const std::vector<core::DisparityMetrics>* find(
+      const std::string& key) const;
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  /// Lines dropped during open() (torn tail from a kill, or corruption).
+  [[nodiscard]] std::size_t dropped_lines() const { return dropped_lines_; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+  std::FILE* out_{nullptr};
+  std::size_t dropped_lines_{0};
+  std::map<std::string, std::vector<core::DisparityMetrics>> entries_;
+};
+
+}  // namespace netsample::exper

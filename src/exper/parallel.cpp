@@ -1,5 +1,6 @@
 #include "exper/parallel.h"
 
+#include <algorithm>
 #include <future>
 #include <utility>
 
@@ -14,6 +15,29 @@ std::uint64_t task_seed(std::uint64_t base_seed, core::Method method,
       {base_seed, core::method_seed_tag(method), granularity, interval_index});
 }
 
+std::size_t RunReport::ok_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(cells.begin(), cells.end(),
+                    [](const CellOutcome& c) { return c.status.is_ok(); }));
+}
+
+std::size_t RunReport::failed_count() const { return cells.size() - ok_count(); }
+
+std::vector<std::size_t> RunReport::quarantined() const {
+  std::vector<std::size_t> out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (!cells[i].status.is_ok()) out.push_back(i);
+  }
+  return out;
+}
+
+Status RunReport::first_failure() const {
+  for (const auto& c : cells) {
+    if (!c.status.is_ok()) return c.status;
+  }
+  return Status::ok();
+}
+
 ParallelRunner::ParallelRunner(int jobs)
     : jobs_(jobs <= 0 ? static_cast<int>(util::ThreadPool::default_thread_count())
                       : jobs) {
@@ -24,30 +48,153 @@ ParallelRunner::ParallelRunner(int jobs)
 
 ParallelRunner::~ParallelRunner() = default;
 
-std::vector<CellResult> ParallelRunner::run(const std::vector<GridTask>& tasks,
-                                            std::uint64_t base_seed) {
+namespace {
+
+/// Run one cell in isolation under the sweep's fault policy: every failure
+/// mode (throw, injected fault, cancellation, deadline) becomes a Status on
+/// the outcome instead of escaping into the pool. Retries re-derive the
+/// cell seed per attempt so they are deterministic yet independent draws.
+CellOutcome execute_cell(CellConfig cfg, std::size_t index,
+                         const RunOptions& opts,
+                         const util::CancelToken* sweep_cancel) {
+  const std::uint64_t cell_seed = cfg.base_seed;
+  const int attempts_allowed = opts.on_error == FailPolicy::kRetry
+                                   ? std::max(1, opts.max_attempts)
+                                   : 1;
+  CellOutcome out;
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    // A sweep-wide cancel always wins: don't start (or retry) doomed work.
+    if (sweep_cancel != nullptr && sweep_cancel->cancel_requested()) {
+      out.status = Status(StatusCode::kCancelled, "sweep cancelled");
+      out.exception = nullptr;
+      return out;
+    }
+    ++out.attempts;
+    cfg.base_seed = attempt == 0
+                        ? cell_seed
+                        : derive_seed({cell_seed,
+                                       static_cast<std::uint64_t>(attempt)});
+    util::CancelToken token;  // per-cell watchdog, chained to the sweep token
+    token.link_parent(sweep_cancel);
+    token.set_deadline_after(opts.cell_timeout_seconds);
+    cfg.cancel = &token;
+    try {
+      if (opts.fault_injector) {
+        const Status injected = opts.fault_injector(index, attempt);
+        if (!injected.is_ok()) throw StatusError(injected);
+      }
+      out.result = run_cell(cfg);
+      out.result.config.cancel = nullptr;  // the token dies with this frame
+      out.status = Status::ok();
+      out.exception = nullptr;
+      return out;
+    } catch (const StatusError& e) {
+      out.status = e.status();
+      out.exception = std::current_exception();
+      // External cancellation is not the cell's fault; retrying would just
+      // observe it again.
+      if (e.status().code() == StatusCode::kCancelled) return out;
+    } catch (const std::exception& e) {
+      out.status =
+          Status(StatusCode::kInternal, std::string("run_cell: ") + e.what());
+      out.exception = std::current_exception();
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+RunReport ParallelRunner::run(const std::vector<GridTask>& tasks,
+                              std::uint64_t base_seed, const RunOptions& opts) {
   std::vector<CellConfig> configs;
+  std::vector<std::string> keys;
   configs.reserve(tasks.size());
+  keys.reserve(tasks.size());
   for (const auto& t : tasks) {
     CellConfig cfg = t.config;
-    cfg.base_seed = task_seed(base_seed, cfg.method, cfg.granularity,
-                              t.interval_index);
+    cfg.base_seed =
+        task_seed(base_seed, cfg.method, cfg.granularity, t.interval_index);
+    cfg.cancel = nullptr;
     configs.push_back(cfg);
+    keys.push_back(opts.journal != nullptr
+                       ? cell_journal_key(cfg, t.interval_index)
+                       : std::string());
   }
 
+  // Under kAbort the first genuine failure trips this token and the cells
+  // that have not started come back kCancelled; external cancellation
+  // (opts.cancel) propagates through the parent link under every policy.
+  util::CancelToken abort_token;
+  abort_token.link_parent(opts.cancel);
+
+  auto run_one = [&opts, &abort_token](const CellConfig& cfg,
+                                       std::size_t index) {
+    CellOutcome out = execute_cell(cfg, index, opts, &abort_token);
+    if (opts.on_error == FailPolicy::kAbort && !out.status.is_ok() &&
+        out.status.code() != StatusCode::kCancelled) {
+      abort_token.cancel();
+    }
+    return out;
+  };
+
+  auto replay_from_journal =
+      [&](std::size_t i) -> const std::vector<core::DisparityMetrics>* {
+    return opts.journal != nullptr ? opts.journal->find(keys[i]) : nullptr;
+  };
+
+  RunReport report;
+  report.cells.resize(tasks.size());
+
+  // Fan the non-journaled cells out (or run them inline at jobs == 1),
+  // then collect in task order: journaled cells replay from disk, computed
+  // OK cells are checkpointed, and the on_cell_done hook observes every
+  // outcome in a deterministic order on this thread.
+  std::vector<std::future<CellOutcome>> futures(tasks.size());
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    if (replay_from_journal(i) != nullptr) continue;
+    if (pool_) {
+      const CellConfig& cfg = configs[i];
+      futures[i] = pool_->submit([&run_one, cfg, i]() { return run_one(cfg, i); });
+    }
+  }
+
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    CellOutcome& out = report.cells[i];
+    if (const auto* reps = replay_from_journal(i)) {
+      out.status = Status::ok();
+      out.result.config = configs[i];
+      out.result.replications = *reps;
+      out.from_journal = true;
+    } else {
+      out = pool_ ? futures[i].get() : run_one(configs[i], i);
+      if (out.status.is_ok() && opts.journal != nullptr) {
+        // A checkpoint write failure does not invalidate the computed cell;
+        // it only costs re-execution on a future resume.
+        (void)opts.journal->record(keys[i], out.result.replications);
+      }
+    }
+    if (opts.on_cell_done) opts.on_cell_done(i, out.status);
+  }
+  return report;
+}
+
+std::vector<CellResult> ParallelRunner::run(const std::vector<GridTask>& tasks,
+                                            std::uint64_t base_seed) {
+  RunReport report = run(tasks, base_seed, RunOptions{});
+  // Legacy contract: the lowest-index *genuine* failure rethrows with its
+  // original type (cells cancelled by the abort are collateral, not causes).
+  for (const auto& c : report.cells) {
+    if (!c.status.is_ok() && c.exception != nullptr) {
+      std::rethrow_exception(c.exception);
+    }
+  }
+  for (const auto& c : report.cells) {
+    if (!c.status.is_ok()) throw StatusError(c.status);
+  }
   std::vector<CellResult> results;
-  results.reserve(configs.size());
-  if (!pool_) {
-    for (const auto& cfg : configs) results.push_back(run_cell(cfg));
-    return results;
-  }
-
-  std::vector<std::future<CellResult>> futures;
-  futures.reserve(configs.size());
-  for (const auto& cfg : configs) {
-    futures.push_back(pool_->submit([cfg]() { return run_cell(cfg); }));
-  }
-  for (auto& f : futures) results.push_back(f.get());
+  results.reserve(report.cells.size());
+  for (auto& c : report.cells) results.push_back(std::move(c.result));
   return results;
 }
 

@@ -13,13 +13,23 @@
 // its logical coordinates via task_seed(), never from execution order, so an
 // N-thread sweep is bit-identical to the 1-thread sweep. --jobs 1 *is* the
 // serial path (no pool is created), making the equivalence testable.
+//
+// Fault tolerance rides on the same property (see docs/ROBUSTNESS.md):
+// cells execute in isolation and report StatusOr-style CellOutcomes, a
+// FailPolicy decides whether one failure aborts, skips, or retries (with
+// per-attempt derived seeds), a per-cell watchdog deadline unwinds wedged
+// cells without stalling the pool, and a CheckpointJournal lets a killed
+// sweep resume bit-identically because cell identity is purely logical.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
+#include "exper/journal.h"
 #include "exper/runner.h"
+#include "util/cancel.h"
 #include "util/thread_pool.h"
 
 namespace netsample::exper {
@@ -41,6 +51,76 @@ struct GridTask {
   std::uint64_t interval_index{0};
 };
 
+/// What a sweep does when a cell fails (throws / times out).
+enum class FailPolicy {
+  kAbort,  // cancel the remaining cells; the sweep stops (default)
+  kSkip,   // quarantine the failed cell, run everything else
+  kRetry,  // re-run the cell up to max_attempts times, then quarantine
+};
+
+/// Sweep-level fault-tolerance options for ParallelRunner::run.
+struct RunOptions {
+  FailPolicy on_error{FailPolicy::kAbort};
+
+  /// Total attempts per cell under kRetry (first try included). Attempt 0
+  /// runs with the cell's coordinate-derived seed; attempt a > 0 runs with
+  /// derive_seed({cell_seed, a}), so retries are deterministic but draw
+  /// fresh randomness. Ignored by the other policies.
+  int max_attempts{3};
+
+  /// Per-cell watchdog: a cell that exceeds this wall-clock budget unwinds
+  /// with kDeadlineExceeded at its next cancellation poll instead of
+  /// stalling the pool. 0 disables the deadline.
+  double cell_timeout_seconds{0};
+
+  /// Optional sweep-wide cancellation (e.g. SIGINT handling): cells not yet
+  /// started return kCancelled, running cells unwind at their next poll.
+  util::CancelToken* cancel{nullptr};
+
+  /// Optional checkpoint journal. Cells whose key is already journaled are
+  /// served from it without executing; cells that complete OK are recorded.
+  /// Because seeds are schedule-independent, a resumed sweep is bit-identical
+  /// to an uninterrupted one.
+  CheckpointJournal* journal{nullptr};
+
+  /// Deterministic fault-injection hook (the faultsim seam): called before
+  /// each attempt with the cell's task index and the attempt number; a
+  /// non-OK return fails that attempt as if the cell had thrown. Tests use
+  /// it to script first-attempt failures and mid-sweep kills.
+  std::function<Status(std::size_t task_index, int attempt)> fault_injector{};
+
+  /// Called on the coordinating thread, in task order, as each cell's
+  /// outcome is collected (journal replays included). Tests use it to
+  /// cancel mid-sweep at a deterministic point.
+  std::function<void(std::size_t task_index, const Status&)> on_cell_done{};
+};
+
+/// Outcome of one cell under a fault-tolerance policy.
+struct CellOutcome {
+  Status status;       // OK iff `result` is valid
+  CellResult result;
+  int attempts{0};     // attempts actually executed (0 for journal replays
+                       // and cells cancelled before starting)
+  bool from_journal{false};
+  /// The original exception when the last attempt threw (kept so the legacy
+  /// abort path can rethrow the exact type).
+  std::exception_ptr exception{};
+};
+
+/// Everything a fault-tolerant sweep produced: per-cell outcomes in task
+/// order, with the failed ones quarantined rather than lost.
+struct RunReport {
+  std::vector<CellOutcome> cells;
+
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t failed_count() const;  // non-OK outcomes
+  /// Indices of quarantined (non-OK) cells, in task order.
+  [[nodiscard]] std::vector<std::size_t> quarantined() const;
+  [[nodiscard]] bool all_ok() const { return failed_count() == 0; }
+  /// Status of the lowest-index failed cell (OK when all cells succeeded).
+  [[nodiscard]] Status first_failure() const;
+};
+
 class ParallelRunner {
  public:
   /// `jobs` <= 0 selects hardware_concurrency(); 1 runs serially on the
@@ -57,9 +137,19 @@ class ParallelRunner {
   /// config.base_seed is replaced by task_seed(base_seed, ...) before
   /// execution, so identical grids yield identical results at any jobs
   /// level. The TraceViews inside the tasks must stay valid for the whole
-  /// call. run_cell exceptions propagate (lowest-index failure wins).
+  /// call. Convenience wrapper over the fault-tolerant overload with the
+  /// kAbort policy: on failure the lowest-index failed cell's original
+  /// exception is rethrown (cells already finished are discarded).
   [[nodiscard]] std::vector<CellResult> run(const std::vector<GridTask>& tasks,
                                             std::uint64_t base_seed);
+
+  /// Fault-tolerant run: every cell executes in isolation and comes back as
+  /// a CellOutcome instead of killing the sweep. Under kAbort the first
+  /// failure cancels the cells that have not started (they report
+  /// kCancelled); under kSkip/kRetry the sweep always completes and failed
+  /// cells are quarantined in the report. Never throws for cell failures.
+  [[nodiscard]] RunReport run(const std::vector<GridTask>& tasks,
+                              std::uint64_t base_seed, const RunOptions& opts);
 
   /// Parallel counterpart of exper::sweep_granularity (Figures 6-9); the
   /// base seed is taken from `base.base_seed`.

@@ -96,8 +96,9 @@ CellResult run_cell_replications(const CellConfig& config,
   result.config = config;
   result.replications.reserve(static_cast<std::size_t>(config.replications));
   for (int r = 0; r < config.replications; ++r) {
+    util::throw_if_stopped(config.cancel);
     auto sampler = core::make_sampler(replication_spec(config, r));
-    const auto sample = core::draw(config.interval, *sampler);
+    const auto sample = core::draw(config.interval, *sampler, config.cancel);
     const auto observed =
         core::bin_values(core::sample_values(sample, config.target), layout);
     result.replications.push_back(
@@ -119,6 +120,7 @@ CellResult run_cell_fast(const CellConfig& config, std::size_t begin,
   result.config = config;
   result.replications.reserve(static_cast<std::size_t>(config.replications));
   for (int r = 0; r < config.replications; ++r) {
+    util::throw_if_stopped(config.cancel);
     const auto indices =
         core::select_indices(replication_spec(config, r), cache, begin, end);
     const auto observed =
@@ -138,6 +140,7 @@ bool cell_uses_fast_path(const CellConfig& config) {
 
 CellResult run_cell(const CellConfig& config) {
   validate_cell(config);
+  util::throw_if_stopped(config.cancel);
   if (cell_uses_fast_path(config)) {
     const std::size_t begin = config.cache->offset_of(config.interval);
     return run_cell_fast(config, begin, begin + config.interval.size());

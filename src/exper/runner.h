@@ -17,6 +17,7 @@
 #include "core/trace_cache.h"
 #include "stats/boxplot.h"
 #include "trace/trace.h"
+#include "util/cancel.h"
 
 namespace netsample::exper {
 
@@ -37,6 +38,13 @@ struct CellConfig {
   /// (tests/test_fastpath.cpp pins this over the full figure grid). Not
   /// owned; must outlive the run.
   const core::BinnedTraceCache* cache{nullptr};
+  /// Optional cancellation token / watchdog deadline. run_cell polls it at
+  /// entry, between replications, and inside the streaming per-packet loop,
+  /// unwinding with util::StatusError (kCancelled / kDeadlineExceeded).
+  /// Not owned; the parallel runner attaches a per-cell token carrying the
+  /// cell's deadline. Does not affect results, so it is excluded from cell
+  /// identity (checkpoint keys, seed derivation).
+  const util::CancelToken* cancel{nullptr};
 };
 
 struct CellResult {

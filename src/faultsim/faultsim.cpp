@@ -1,0 +1,229 @@
+#include "faultsim/faultsim.h"
+
+#include <stdexcept>
+
+#include "util/byteorder.h"
+#include "util/rng.h"
+
+namespace netsample::faultsim {
+
+namespace {
+
+// Classic pcap framing (mirrors pcap.cpp; the format is frozen, so the
+// duplication is two integers).
+constexpr std::size_t kGlobalHeaderSize = 24;
+constexpr std::size_t kRecordHeaderSize = 16;
+constexpr std::uint32_t kMagicNative = 0xA1B2C3D4u;
+constexpr std::uint32_t kMagicSwapped = 0xD4C3B2A1u;
+
+// Clock glitches and jumps are drawn in (1 us, ~2 s] — large enough to
+// disturb interarrival statistics, small enough that salvage resync still
+// accepts the neighborhood.
+constexpr std::uint64_t kMaxJumpUsec = 2'000'000;
+
+// Mean drop-burst length: bursts model a monitor falling behind for a
+// stretch, not independent single-record losses.
+constexpr double kBurstContinueProb = 1.0 / 8.0;
+
+void validate(const ImpairmentSpec& spec) {
+  if (!(spec.intensity >= 0.0 && spec.intensity <= 1.0)) {
+    throw std::invalid_argument("faultsim: intensity must be in [0, 1]");
+  }
+}
+
+bool is_byte_level(Fault f) {
+  return f == Fault::kTruncateRecords || f == Fault::kBitFlips;
+}
+
+std::uint32_t read_u32(const std::uint8_t* p, bool swapped) {
+  return swapped ? load_be32(p) : load_le32(p);
+}
+
+}  // namespace
+
+const char* fault_name(Fault f) {
+  switch (f) {
+    case Fault::kTruncateRecords: return "truncate";
+    case Fault::kBitFlips: return "bitflip";
+    case Fault::kClockJumpBack: return "clock-back";
+    case Fault::kClockJumpForward: return "clock-forward";
+    case Fault::kDuplicateRecords: return "duplicate";
+    case Fault::kDropBursts: return "drop-burst";
+  }
+  return "unknown";
+}
+
+StatusOr<Fault> parse_fault(const std::string& name) {
+  for (Fault f : all_faults()) {
+    if (name == fault_name(f)) return f;
+  }
+  return Status(StatusCode::kInvalidArgument,
+                "unknown fault '" + name +
+                    "' (truncate|bitflip|clock-back|clock-forward|duplicate|"
+                    "drop-burst)");
+}
+
+const std::vector<Fault>& all_faults() {
+  static const std::vector<Fault> kAll = {
+      Fault::kTruncateRecords,  Fault::kBitFlips,
+      Fault::kClockJumpBack,    Fault::kClockJumpForward,
+      Fault::kDuplicateRecords, Fault::kDropBursts,
+  };
+  return kAll;
+}
+
+ImpairmentReport impair_pcap_bytes(std::vector<std::uint8_t>& bytes,
+                                   const ImpairmentSpec& spec) {
+  validate(spec);
+  if (!is_byte_level(spec.fault)) {
+    throw std::invalid_argument(
+        std::string("faultsim: ") + fault_name(spec.fault) +
+        " is a record-level fault; use impair_records");
+  }
+  ImpairmentReport report;
+  if (bytes.size() < kGlobalHeaderSize) return report;
+  const std::uint32_t magic_le = load_le32(bytes.data());
+  bool swapped;
+  if (magic_le == kMagicNative) {
+    swapped = false;
+  } else if (magic_le == kMagicSwapped) {
+    swapped = true;
+  } else {
+    return report;  // not a classic pcap image; leave untouched
+  }
+  const std::uint32_t snaplen = read_u32(bytes.data() + 16, swapped);
+
+  // Walk the intact framing first: mutations shift offsets, so decisions are
+  // made in record order (deterministic RNG sequence) and byte edits are
+  // applied back-to-front against the original offsets.
+  struct Edit {
+    std::size_t erase_begin{0};  // truncation: byte range to delete
+    std::size_t erase_len{0};
+    std::size_t flip_at{0};      // bit flip: byte position and mask
+    std::uint8_t flip_mask{0};
+  };
+  std::vector<Edit> edits;
+  Rng rng(spec.seed);
+  std::size_t off = kGlobalHeaderSize;
+  while (off + kRecordHeaderSize <= bytes.size()) {
+    const std::uint32_t incl_len = read_u32(bytes.data() + off + 8, swapped);
+    if (incl_len > snaplen + 4096 ||
+        off + kRecordHeaderSize + incl_len > bytes.size()) {
+      break;  // already-corrupt input: stop at the first bad frame
+    }
+    const std::size_t data_begin = off + kRecordHeaderSize;
+    if (incl_len > 0 && rng.bernoulli(spec.intensity)) {
+      ++report.affected;
+      Edit e;
+      if (spec.fault == Fault::kTruncateRecords) {
+        const std::uint64_t cut = 1 + rng.uniform_below(incl_len);
+        e.erase_begin = data_begin + incl_len - cut;
+        e.erase_len = static_cast<std::size_t>(cut);
+        report.bytes_touched += e.erase_len;
+      } else {  // kBitFlips
+        e.flip_at = data_begin + rng.uniform_below(incl_len);
+        e.flip_mask = static_cast<std::uint8_t>(1u << rng.uniform_below(8));
+        report.bytes_touched += 1;
+      }
+      edits.push_back(e);
+    }
+    off = data_begin + incl_len;
+  }
+
+  for (auto it = edits.rbegin(); it != edits.rend(); ++it) {
+    if (it->erase_len > 0) {
+      bytes.erase(bytes.begin() + static_cast<std::ptrdiff_t>(it->erase_begin),
+                  bytes.begin() + static_cast<std::ptrdiff_t>(it->erase_begin +
+                                                              it->erase_len));
+    } else {
+      bytes[it->flip_at] ^= it->flip_mask;
+    }
+  }
+  return report;
+}
+
+ImpairmentReport impair_records(std::vector<trace::PacketRecord>& records,
+                                const ImpairmentSpec& spec) {
+  validate(spec);
+  if (is_byte_level(spec.fault)) {
+    throw std::invalid_argument(
+        std::string("faultsim: ") + fault_name(spec.fault) +
+        " is a byte-level fault; use impair_pcap_bytes");
+  }
+  ImpairmentReport report;
+  Rng rng(spec.seed);
+  switch (spec.fault) {
+    case Fault::kClockJumpBack:
+      for (auto& rec : records) {
+        if (!rng.bernoulli(spec.intensity)) continue;
+        const std::uint64_t jump = 1 + rng.uniform_below(kMaxJumpUsec);
+        rec.timestamp =
+            MicroTime{rec.timestamp.usec > jump ? rec.timestamp.usec - jump : 0};
+        ++report.affected;
+      }
+      break;
+    case Fault::kClockJumpForward: {
+      std::uint64_t shift = 0;
+      for (auto& rec : records) {
+        if (rng.bernoulli(spec.intensity)) {
+          shift += 1 + rng.uniform_below(kMaxJumpUsec);
+          ++report.affected;
+        }
+        rec.timestamp = MicroTime{rec.timestamp.usec + shift};
+      }
+      break;
+    }
+    case Fault::kDuplicateRecords: {
+      std::vector<trace::PacketRecord> out;
+      out.reserve(records.size());
+      for (const auto& rec : records) {
+        out.push_back(rec);
+        if (rng.bernoulli(spec.intensity)) {
+          out.push_back(rec);
+          ++report.affected;
+        }
+      }
+      records = std::move(out);
+      break;
+    }
+    case Fault::kDropBursts: {
+      std::vector<trace::PacketRecord> out;
+      out.reserve(records.size());
+      std::size_t i = 0;
+      while (i < records.size()) {
+        if (rng.bernoulli(spec.intensity)) {
+          const std::uint64_t burst = 1 + rng.geometric(kBurstContinueProb);
+          const std::size_t dropped = static_cast<std::size_t>(
+              std::min<std::uint64_t>(burst, records.size() - i));
+          report.affected += dropped;
+          i += dropped;
+        } else {
+          out.push_back(records[i]);
+          ++i;
+        }
+      }
+      records = std::move(out);
+      break;
+    }
+    case Fault::kTruncateRecords:
+    case Fault::kBitFlips:
+      break;  // unreachable (validated above)
+  }
+  return report;
+}
+
+trace::Trace impair_trace(const trace::Trace& t, const ImpairmentSpec& spec,
+                          trace::TimePolicy policy, ImpairmentReport* report,
+                          trace::AppendStats* stats) {
+  std::vector<trace::PacketRecord> records(t.packets().begin(),
+                                           t.packets().end());
+  const ImpairmentReport rep = impair_records(records, spec);
+  if (report != nullptr) *report = rep;
+  trace::Trace out;
+  for (const auto& rec : records) {
+    (void)out.append(rec, policy, stats);
+  }
+  return out;
+}
+
+}  // namespace netsample::faultsim

@@ -1,0 +1,86 @@
+// Deterministic measurement-impairment injectors (faultsim).
+//
+// The paper's parent population came from operational NSFNET statistics
+// collection, where the measurement infrastructure itself misbehaves:
+// monitors truncate or drop records under load, capture clocks jump, DMA
+// engines duplicate. faultsim reproduces those impairments *deterministically*
+// — every injector is driven by a seeded Rng, so an impaired capture is as
+// reproducible as a clean one. Two layers:
+//
+//   byte level    operate on a serialized pcap image (framing corruption:
+//                 record truncation that desyncs framing, payload bit flips)
+//                 — these drive the ingestion salvage/resync machinery;
+//   record level  operate on decoded PacketRecords (clock jumps, duplicate
+//                 records, drop bursts) — these drive the time-order salvage
+//                 policies and the phi-degradation study (netsample impair).
+//
+// Intensity is a per-record probability in [0, 1]; intensity 0 is always a
+// byte-for-byte no-op.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "trace/packet_record.h"
+#include "trace/trace.h"
+#include "util/status.h"
+
+namespace netsample::faultsim {
+
+enum class Fault {
+  // Byte-level (pcap image) impairments.
+  kTruncateRecords,  // delete the tail of a record's data without fixing its
+                     // header — framing desyncs until the parser resyncs
+  kBitFlips,         // flip one random bit in a record's captured bytes
+  // Record-level impairments.
+  kClockJumpBack,     // a record's timestamp jumps backwards (glitch)
+  kClockJumpForward,  // the clock jumps forward and stays shifted
+  kDuplicateRecords,  // a record is delivered twice
+  kDropBursts,        // a contiguous burst of records is lost
+};
+
+[[nodiscard]] const char* fault_name(Fault f);
+/// Parse "truncate|bitflip|clock-back|clock-forward|duplicate|drop-burst".
+[[nodiscard]] StatusOr<Fault> parse_fault(const std::string& name);
+/// All injectable faults, in declaration order.
+[[nodiscard]] const std::vector<Fault>& all_faults();
+
+struct ImpairmentSpec {
+  Fault fault{Fault::kDropBursts};
+  double intensity{0.01};   // per-record probability of being impaired
+  std::uint64_t seed{1};    // drives every random choice the injector makes
+};
+
+/// What an injector actually did (all counters are exact, so tests can pin
+/// salvage counters against them).
+struct ImpairmentReport {
+  std::size_t affected{0};       // records impaired
+  std::size_t bytes_touched{0};  // bytes removed or flipped (byte level)
+};
+
+/// Apply a byte-level impairment in place to a serialized pcap image
+/// (classic format, as produced by pcap::serialize). Record framing is
+/// walked with the same rules as pcap::parse; an unparseable image is
+/// returned unchanged. Throws std::invalid_argument for a record-level
+/// fault or an intensity outside [0, 1].
+[[nodiscard]] ImpairmentReport impair_pcap_bytes(
+    std::vector<std::uint8_t>& bytes, const ImpairmentSpec& spec);
+
+/// Apply a record-level impairment to a packet sequence. The result may be
+/// non-monotonic in time (clock-back) — feed it through trace::Trace's
+/// salvage-policy append or a sort, exactly as a real ingest must. Throws
+/// std::invalid_argument for a byte-level fault or a bad intensity.
+[[nodiscard]] ImpairmentReport impair_records(
+    std::vector<trace::PacketRecord>& records, const ImpairmentSpec& spec);
+
+/// Convenience: impair a trace and rebuild it with the given time policy
+/// (clock-back glitches are clamped/quarantined per `policy`; stats count
+/// what the rebuild had to fix). The input trace is not modified.
+[[nodiscard]] trace::Trace impair_trace(const trace::Trace& t,
+                                        const ImpairmentSpec& spec,
+                                        trace::TimePolicy policy,
+                                        ImpairmentReport* report = nullptr,
+                                        trace::AppendStats* stats = nullptr);
+
+}  // namespace netsample::faultsim

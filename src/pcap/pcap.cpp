@@ -26,8 +26,43 @@ std::uint16_t read_u16(const std::uint8_t* p, bool swapped) {
 
 }  // namespace
 
-StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes) {
+namespace {
+
+// A record whose claimed capture length is this far past the snaplen is
+// framing garbage (bit flip or desync), not a generous writer.
+constexpr std::uint32_t kInclLenSlack = 4096;
+
+// Salvage resync: clock jumps this large between adjacent records mark a
+// candidate header as implausible. Generous on purpose — the goal is to
+// reject random garbage, not to police real monitor clocks (decode sorts
+// small reorderings anyway).
+constexpr std::uint32_t kMaxResyncClockJumpSec = 86400;
+
+// Does `off` look like the start of an intact record header? Used only while
+// resyncing after corruption, where a false positive costs one garbage
+// record and a false negative costs a little more skipped data.
+bool plausible_record_at(std::span<const std::uint8_t> bytes, std::size_t off,
+                         bool swapped, std::uint32_t snaplen,
+                         std::uint32_t prev_ts_sec) {
+  if (off + kRecordHeaderSize > bytes.size()) return false;
+  const std::uint32_t ts_sec = read_u32(bytes.data() + off, swapped);
+  const std::uint32_t ts_usec = read_u32(bytes.data() + off + 4, swapped);
+  const std::uint32_t incl_len = read_u32(bytes.data() + off + 8, swapped);
+  if (incl_len > snaplen + kInclLenSlack) return false;
+  if (off + kRecordHeaderSize + incl_len > bytes.size()) return false;
+  if (ts_usec >= 1000000) return false;
+  if (ts_sec < prev_ts_sec) return false;
+  if (ts_sec - prev_ts_sec > kMaxResyncClockJumpSec) return false;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes,
+                            const ParseOptions& options, ParseStats* stats) {
+  ParseStats local;
   if (bytes.size() < kGlobalHeaderSize) {
+    if (stats != nullptr) *stats = local;
     return Status(StatusCode::kDataLoss,
                   "pcap: file shorter than global header (" +
                       std::to_string(bytes.size()) + " bytes)");
@@ -41,6 +76,7 @@ StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes) {
   } else if (magic_le == kMagicSwapped) {
     swapped = true;
   } else {
+    if (stats != nullptr) *stats = local;
     return Status(StatusCode::kInvalidArgument,
                   "pcap: bad magic (not a classic pcap file)");
   }
@@ -49,42 +85,83 @@ StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes) {
   file.byte_swapped = swapped;
   const std::uint16_t major = read_u16(bytes.data() + 4, swapped);
   if (major != kVersionMajor) {
+    if (stats != nullptr) *stats = local;
     return Status(StatusCode::kUnimplemented,
                   "pcap: unsupported version " + std::to_string(major));
   }
   file.snaplen = read_u32(bytes.data() + 16, swapped);
   file.link_type = read_u32(bytes.data() + 20, swapped);
 
+  std::uint32_t prev_ts_sec = 0;
   std::size_t off = kGlobalHeaderSize;
   while (off + kRecordHeaderSize <= bytes.size()) {
     const std::uint32_t ts_sec = read_u32(bytes.data() + off, swapped);
     const std::uint32_t ts_usec = read_u32(bytes.data() + off + 4, swapped);
     const std::uint32_t incl_len = read_u32(bytes.data() + off + 8, swapped);
     const std::uint32_t orig_len = read_u32(bytes.data() + off + 12, swapped);
-    off += kRecordHeaderSize;
-    if (incl_len > file.snaplen + 4096 || off + incl_len > bytes.size()) {
+    if (incl_len > file.snaplen + kInclLenSlack) {
+      // Framing garbage: a record header no writer would produce.
+      ++local.corrupt_records;
+      if (options.on_corrupt == OnCorrupt::kFail) {
+        if (stats != nullptr) *stats = local;
+        return Status(StatusCode::kDataLoss,
+                      "pcap: corrupt record header at byte " +
+                          std::to_string(off) + " (incl_len " +
+                          std::to_string(incl_len) + " > snaplen " +
+                          std::to_string(file.snaplen) + ")");
+      }
+      if (options.on_corrupt == OnCorrupt::kTruncate) break;
+      // Salvage: slide forward one byte at a time until the stream looks
+      // like a record header again, then resume normal framing there.
+      std::size_t next = off + 1;
+      while (next + kRecordHeaderSize <= bytes.size() &&
+             !plausible_record_at(bytes, next, swapped, file.snaplen,
+                                  prev_ts_sec)) {
+        ++next;
+      }
+      local.skipped_bytes += next - off;
+      off = next;
+      if (off + kRecordHeaderSize > bytes.size()) break;
+      continue;
+    }
+    if (off + kRecordHeaderSize + incl_len > bytes.size()) {
       // Torn trailing record: keep the complete prefix.
+      local.torn_tail_bytes = bytes.size() - off;
       break;
     }
+    off += kRecordHeaderSize;
     RawPacket rec;
     rec.timestamp = MicroTime::from_sec_usec(ts_sec, ts_usec);
     rec.orig_len = orig_len;
     rec.data.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off),
                     bytes.begin() + static_cast<std::ptrdiff_t>(off + incl_len));
     file.records.push_back(std::move(rec));
+    ++local.records;
+    prev_ts_sec = ts_sec;
     off += incl_len;
   }
+  if (stats != nullptr) *stats = local;
   return file;
 }
 
-StatusOr<CaptureFile> read_file(const std::string& path) {
+StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes) {
+  return parse(bytes, ParseOptions{}, nullptr);
+}
+
+StatusOr<CaptureFile> read_file(const std::string& path,
+                                const ParseOptions& options,
+                                ParseStats* stats) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status(StatusCode::kNotFound, "pcap: cannot open '" + path + "'");
   }
   std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                   std::istreambuf_iterator<char>());
-  return parse(bytes);
+  return parse(bytes, options, stats);
+}
+
+StatusOr<CaptureFile> read_file(const std::string& path) {
+  return read_file(path, ParseOptions{}, nullptr);
 }
 
 std::vector<std::uint8_t> serialize(const CaptureFile& file) {
@@ -259,6 +336,15 @@ StatusOr<trace::Trace> read_trace(const std::string& path, DecodeStats* stats) {
   auto file = read_file(path);
   if (!file) return file.status();
   return decode(*file, stats);
+}
+
+StatusOr<trace::Trace> read_trace(const std::string& path,
+                                  const ParseOptions& options,
+                                  ParseStats* parse_stats,
+                                  DecodeStats* decode_stats) {
+  auto file = read_file(path, options, parse_stats);
+  if (!file) return file.status();
+  return decode(*file, decode_stats);
 }
 
 Status write_trace(const std::string& path, const trace::Trace& t,

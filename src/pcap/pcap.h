@@ -46,13 +46,47 @@ struct CaptureFile {
   std::vector<RawPacket> records;
 };
 
+/// What to do when a record header is implausible (incl_len far beyond the
+/// snaplen — bit flips, mid-file truncation that desynced the framing):
+enum class OnCorrupt {
+  kTruncate,  // keep the clean prefix, drop the rest (historical default)
+  kFail,      // strict: reject the whole capture with kDataLoss
+  kSalvage,   // skip the corrupt region, resync on the next plausible
+              // record header, and keep reading
+};
+
+struct ParseOptions {
+  OnCorrupt on_corrupt{OnCorrupt::kTruncate};
+};
+
+/// Counters from one parse. `corrupt_records` > 0 means the capture was
+/// impaired; in salvage mode `skipped_bytes` says how much of it was
+/// discarded while resyncing. A torn trailing record (clean header, data
+/// running past EOF) is counted separately — that is a short capture, not a
+/// corrupt one.
+struct ParseStats {
+  std::size_t records{0};
+  std::size_t corrupt_records{0};   // implausible headers encountered
+  std::size_t skipped_bytes{0};     // bytes discarded while resyncing
+  std::size_t torn_tail_bytes{0};   // incomplete trailing record dropped
+  [[nodiscard]] bool clean() const {
+    return corrupt_records == 0 && skipped_bytes == 0 && torn_tail_bytes == 0;
+  }
+};
+
 /// Read a capture file from disk. Truncated trailing records are dropped
 /// with a DataLoss status only if *no* records could be read; otherwise the
 /// complete prefix is returned (tools must survive torn captures).
 [[nodiscard]] StatusOr<CaptureFile> read_file(const std::string& path);
+[[nodiscard]] StatusOr<CaptureFile> read_file(const std::string& path,
+                                              const ParseOptions& options,
+                                              ParseStats* stats = nullptr);
 
 /// Parse a capture file from an in-memory buffer (same semantics).
 [[nodiscard]] StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes);
+[[nodiscard]] StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes,
+                                          const ParseOptions& options,
+                                          ParseStats* stats = nullptr);
 
 /// Serialize a capture to bytes / write it to disk (host byte order).
 [[nodiscard]] std::vector<std::uint8_t> serialize(const CaptureFile& file);
@@ -83,6 +117,10 @@ struct DecodeStats {
 /// Convenience wrappers.
 [[nodiscard]] StatusOr<trace::Trace> read_trace(const std::string& path,
                                                 DecodeStats* stats = nullptr);
+[[nodiscard]] StatusOr<trace::Trace> read_trace(const std::string& path,
+                                                const ParseOptions& options,
+                                                ParseStats* parse_stats = nullptr,
+                                                DecodeStats* decode_stats = nullptr);
 [[nodiscard]] Status write_trace(const std::string& path, const trace::Trace& t,
                                  std::uint32_t snaplen = 65535);
 

@@ -94,6 +94,29 @@ void Trace::append(const PacketRecord& p) {
   packets_.push_back(p);
 }
 
+bool Trace::append(const PacketRecord& p, TimePolicy policy,
+                   AppendStats* stats) {
+  if (packets_.empty() || !(p.timestamp < packets_.back().timestamp)) {
+    packets_.push_back(p);
+    return true;
+  }
+  switch (policy) {
+    case TimePolicy::kStrict:
+      throw std::invalid_argument("appending packet would break time order");
+    case TimePolicy::kClamp: {
+      PacketRecord fixed = p;
+      fixed.timestamp = packets_.back().timestamp;
+      packets_.push_back(fixed);
+      if (stats != nullptr) ++stats->clamped;
+      return true;
+    }
+    case TimePolicy::kQuarantine:
+      if (stats != nullptr) ++stats->quarantined;
+      return false;
+  }
+  return false;  // unreachable
+}
+
 std::size_t Trace::quantize_clock(MicroDuration tick) {
   if (tick.usec <= 0) {
     throw std::invalid_argument("clock tick must be positive");

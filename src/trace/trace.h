@@ -66,6 +66,23 @@ class TraceView {
   std::span<const PacketRecord> packets_;
 };
 
+/// What to do with a packet whose timestamp would break the trace's time
+/// order (monitor clock glitches, impaired captures). kStrict is the
+/// historical contract; the salvage policies keep ingestion alive and count
+/// what they touched.
+enum class TimePolicy {
+  kStrict,      // throw std::invalid_argument (default)
+  kClamp,       // pull the timestamp up to the previous packet's
+  kQuarantine,  // drop the packet
+};
+
+/// Counters for salvage-mode appends.
+struct AppendStats {
+  std::size_t clamped{0};      // timestamps rewritten by kClamp
+  std::size_t quarantined{0};  // packets dropped by kQuarantine
+  [[nodiscard]] bool clean() const { return clamped == 0 && quarantined == 0; }
+};
+
 /// Owning, time-ordered packet trace.
 class Trace {
  public:
@@ -75,6 +92,12 @@ class Trace {
 
   /// Append a packet; throws std::invalid_argument if it breaks time order.
   void append(const PacketRecord& p);
+
+  /// Append under a salvage policy: a time-order-breaking packet is clamped
+  /// or quarantined per `policy` (counted into `stats` when given) instead
+  /// of throwing. Returns true when the packet landed in the trace.
+  bool append(const PacketRecord& p, TimePolicy policy,
+              AppendStats* stats = nullptr);
 
   [[nodiscard]] std::size_t size() const { return packets_.size(); }
   [[nodiscard]] bool empty() const { return packets_.empty(); }

@@ -1,0 +1,102 @@
+// Cooperative cancellation and per-task deadlines.
+//
+// A CancelToken is a thread-safe flag plus an optional wall-clock deadline.
+// Long-running work (experiment cells, streaming sampler passes) polls it at
+// loop boundaries and unwinds with kCancelled / kDeadlineExceeded instead of
+// running to completion. Tokens can be chained: a per-cell token carries the
+// cell's watchdog deadline and links to the sweep-wide token, so cancelling
+// the sweep cancels every cell while each cell still times out on its own.
+//
+// Cancellation is *cooperative*: a token never interrupts a thread, it only
+// answers check(). That keeps the thread pool simple (no task killing) and
+// makes timeout behavior deterministic to test — an already-expired deadline
+// fails the very first check.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "util/status.h"
+
+namespace netsample::util {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  // The atomic flag makes tokens non-copyable; they are shared by pointer.
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Request cancellation. Thread-safe, idempotent.
+  void cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once cancel() was called here or on any linked parent.
+  [[nodiscard]] bool cancel_requested() const {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    return parent_ != nullptr && parent_->cancel_requested();
+  }
+
+  /// Arm the watchdog: work holding this token must finish within `seconds`
+  /// of the call. Non-positive values disarm the deadline.
+  void set_deadline_after(double seconds) {
+    if (seconds <= 0) {
+      has_deadline_ = false;
+      return;
+    }
+    deadline_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                   std::chrono::duration<double>(seconds));
+    has_deadline_ = true;
+  }
+
+  [[nodiscard]] bool has_deadline() const { return has_deadline_; }
+
+  /// True once the armed deadline has passed (parents are consulted too).
+  [[nodiscard]] bool deadline_exceeded() const {
+    if (has_deadline_ && Clock::now() >= deadline_) return true;
+    return parent_ != nullptr && parent_->deadline_exceeded();
+  }
+
+  /// Chain this token under `parent`: cancellation and deadlines of the
+  /// parent apply here as well. The parent must outlive this token.
+  void link_parent(const CancelToken* parent) { parent_ = parent; }
+
+  /// OK while work may continue; kCancelled / kDeadlineExceeded otherwise.
+  [[nodiscard]] Status check() const {
+    if (cancel_requested()) {
+      return Status(StatusCode::kCancelled, "cancellation requested");
+    }
+    if (deadline_exceeded()) {
+      return Status(StatusCode::kDeadlineExceeded, "deadline exceeded");
+    }
+    return Status::ok();
+  }
+
+  /// Throw StatusError if the token fired (the unwind path for interfaces
+  /// that report errors by exception, e.g. run_cell).
+  void throw_if_stopped() const {
+    const Status s = check();
+    if (!s.is_ok()) throw StatusError(s);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+  bool has_deadline_{false};
+  Clock::time_point deadline_{};
+  const CancelToken* parent_{nullptr};
+};
+
+/// Poll helper for optional tokens threaded through deep loops: no-op when
+/// `token` is null, otherwise throws StatusError on cancellation/expiry.
+inline void throw_if_stopped(const CancelToken* token) {
+  if (token != nullptr) token->throw_if_stopped();
+}
+
+/// How many loop iterations to run between throw_if_stopped() polls in
+/// per-packet streaming loops — frequent enough that a deadline fires within
+/// microseconds of real work, rare enough to cost nothing measurable.
+inline constexpr std::size_t kCancelPollStride = 65536;
+
+}  // namespace netsample::util

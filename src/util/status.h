@@ -18,9 +18,11 @@ enum class StatusCode {
   kInvalidArgument,
   kOutOfRange,
   kNotFound,
-  kDataLoss,        // truncated / corrupt input
+  kDataLoss,          // truncated / corrupt input
   kUnimplemented,
   kInternal,
+  kCancelled,         // cooperative cancellation observed
+  kDeadlineExceeded,  // a watchdog / per-cell deadline expired
 };
 
 [[nodiscard]] constexpr const char* status_code_name(StatusCode c) {
@@ -32,6 +34,8 @@ enum class StatusCode {
     case StatusCode::kDataLoss: return "DATA_LOSS";
     case StatusCode::kUnimplemented: return "UNIMPLEMENTED";
     case StatusCode::kInternal: return "INTERNAL";
+    case StatusCode::kCancelled: return "CANCELLED";
+    case StatusCode::kDeadlineExceeded: return "DEADLINE_EXCEEDED";
   }
   return "UNKNOWN";
 }
@@ -56,6 +60,21 @@ class Status {
  private:
   StatusCode code_{StatusCode::kOk};
   std::string message_;
+};
+
+/// Exception carrying a Status across layers whose interfaces throw (e.g.
+/// run_cell). The parallel runner unwraps it back into the cell's Status so
+/// cancellation and deadline failures keep their codes instead of collapsing
+/// into kInternal.
+class StatusError : public std::runtime_error {
+ public:
+  explicit StatusError(Status status)
+      : std::runtime_error(status.to_string()), status_(std::move(status)) {}
+
+  [[nodiscard]] const Status& status() const { return status_; }
+
+ private:
+  Status status_;
 };
 
 /// Either a value or an error Status. Minimal local stand-in for

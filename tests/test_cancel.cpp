@@ -1,0 +1,177 @@
+// util::CancelToken: cooperative cancellation and watchdog deadlines, plus
+// their end-to-end effect on run_cell. Timeout tests arm already-expired
+// deadlines, so nothing here sleeps or depends on scheduler timing.
+#include "util/cancel.h"
+
+#include <gtest/gtest.h>
+
+#include "exper/experiment.h"
+#include "exper/runner.h"
+#include "util/status.h"
+
+namespace netsample {
+namespace {
+
+TEST(CancelToken, FreshTokenIsClear) {
+  util::CancelToken token;
+  EXPECT_FALSE(token.cancel_requested());
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_TRUE(token.check().is_ok());
+  EXPECT_NO_THROW(token.throw_if_stopped());
+}
+
+TEST(CancelToken, CancelIsStickyAndIdempotent) {
+  util::CancelToken token;
+  token.cancel();
+  token.cancel();
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_EQ(token.check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ExpiredDeadlineFailsFirstCheck) {
+  util::CancelToken token;
+  token.set_deadline_after(1e-12);  // expires before the next clock read
+  EXPECT_TRUE(token.has_deadline());
+  EXPECT_TRUE(token.deadline_exceeded());
+  EXPECT_EQ(token.check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, NonPositiveDeadlineDisarms) {
+  util::CancelToken token;
+  token.set_deadline_after(1e-12);
+  token.set_deadline_after(0);
+  EXPECT_FALSE(token.has_deadline());
+  EXPECT_TRUE(token.check().is_ok());
+  token.set_deadline_after(-5);
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelToken, FarDeadlineIsNotExceeded) {
+  util::CancelToken token;
+  token.set_deadline_after(3600.0);
+  EXPECT_FALSE(token.deadline_exceeded());
+  EXPECT_TRUE(token.check().is_ok());
+}
+
+TEST(CancelToken, CancellationWinsOverDeadlineInCheck) {
+  util::CancelToken token;
+  token.set_deadline_after(1e-12);
+  token.cancel();
+  EXPECT_EQ(token.check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ParentCancellationPropagates) {
+  util::CancelToken sweep;
+  util::CancelToken cell;
+  cell.link_parent(&sweep);
+  EXPECT_TRUE(cell.check().is_ok());
+  sweep.cancel();
+  EXPECT_TRUE(cell.cancel_requested());
+  EXPECT_EQ(cell.check().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelToken, ParentDeadlinePropagates) {
+  util::CancelToken sweep;
+  util::CancelToken cell;
+  cell.link_parent(&sweep);
+  sweep.set_deadline_after(1e-12);
+  EXPECT_TRUE(cell.deadline_exceeded());
+  EXPECT_EQ(cell.check().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelToken, ChildCancellationDoesNotReachParent) {
+  util::CancelToken sweep;
+  util::CancelToken cell;
+  cell.link_parent(&sweep);
+  cell.cancel();
+  EXPECT_FALSE(sweep.cancel_requested());
+}
+
+TEST(CancelToken, ThrowIfStoppedCarriesTheStatus) {
+  util::CancelToken token;
+  token.cancel();
+  try {
+    token.throw_if_stopped();
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(CancelToken, FreeHelperIgnoresNull) {
+  EXPECT_NO_THROW(util::throw_if_stopped(nullptr));
+  util::CancelToken token;
+  token.cancel();
+  EXPECT_THROW(util::throw_if_stopped(&token), StatusError);
+}
+
+// ---------------------------------------------------------------------------
+// End to end: a cancelled / expired token unwinds run_cell.
+// ---------------------------------------------------------------------------
+
+class CancelRunCellTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() { ex_ = new exper::Experiment(23, 2.0); }
+  static void TearDownTestSuite() {
+    delete ex_;
+    ex_ = nullptr;
+  }
+
+  static exper::CellConfig cell() {
+    exper::CellConfig cfg;
+    cfg.method = core::Method::kSystematicCount;
+    cfg.target = core::Target::kPacketSize;
+    cfg.granularity = 16;
+    cfg.interval = ex_->full();
+    cfg.mean_interarrival_usec = ex_->mean_interarrival_usec();
+    cfg.replications = 3;
+    cfg.base_seed = 7;
+    return cfg;
+  }
+
+  static exper::Experiment* ex_;
+};
+
+exper::Experiment* CancelRunCellTest::ex_ = nullptr;
+
+TEST_F(CancelRunCellTest, CancelledTokenUnwindsRunCell) {
+  exper::CellConfig cfg = cell();
+  util::CancelToken token;
+  token.cancel();
+  cfg.cancel = &token;
+  try {
+    (void)exper::run_cell(cfg);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST_F(CancelRunCellTest, ExpiredDeadlineUnwindsRunCell) {
+  exper::CellConfig cfg = cell();
+  util::CancelToken token;
+  token.set_deadline_after(1e-12);
+  cfg.cancel = &token;
+  try {
+    (void)exper::run_cell(cfg);
+    FAIL() << "expected StatusError";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(CancelRunCellTest, NullTokenChangesNothing) {
+  exper::CellConfig with_null = cell();
+  with_null.cancel = nullptr;
+  exper::CellConfig plain = cell();
+  const auto a = exper::run_cell(with_null);
+  const auto b = exper::run_cell(plain);
+  ASSERT_EQ(a.replications.size(), b.replications.size());
+  for (std::size_t r = 0; r < a.replications.size(); ++r) {
+    EXPECT_EQ(a.replications[r].phi, b.replications[r].phi);
+  }
+}
+
+}  // namespace
+}  // namespace netsample

@@ -1,0 +1,249 @@
+// faultsim: deterministic measurement-impairment injectors, and the contract
+// they share with ingestion salvage — every impaired capture must load
+// through OnCorrupt::kSalvage / TimePolicy repair without throwing, with
+// counters that account for exactly what the injector did.
+#include "faultsim/faultsim.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "pcap/pcap.h"
+#include "synth/presets.h"
+
+namespace netsample::faultsim {
+namespace {
+
+trace::Trace sample_trace() {
+  synth::TraceModel model(synth::sdsc_minutes_config(0.05, 3));
+  return model.generate();
+}
+
+std::vector<std::uint8_t> sample_capture_bytes() {
+  return pcap::serialize(pcap::encode(sample_trace(), 96));
+}
+
+std::vector<trace::PacketRecord> sample_records() {
+  const auto t = sample_trace();
+  return {t.packets().begin(), t.packets().end()};
+}
+
+TEST(FaultSim, NamesRoundTrip) {
+  for (const Fault f : all_faults()) {
+    const auto parsed = parse_fault(fault_name(f));
+    ASSERT_TRUE(parsed.has_value()) << fault_name(f);
+    EXPECT_EQ(*parsed, f);
+  }
+  EXPECT_FALSE(parse_fault("gamma-rays").has_value());
+  EXPECT_EQ(parse_fault("gamma-rays").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(FaultSim, IntensityZeroIsExactNoOp) {
+  const auto original_bytes = sample_capture_bytes();
+  const auto original_records = sample_records();
+  for (const Fault f : all_faults()) {
+    ImpairmentSpec spec;
+    spec.fault = f;
+    spec.intensity = 0.0;
+    spec.seed = 5;
+    if (f == Fault::kTruncateRecords || f == Fault::kBitFlips) {
+      auto bytes = original_bytes;
+      const auto rep = impair_pcap_bytes(bytes, spec);
+      EXPECT_EQ(rep.affected, 0u);
+      EXPECT_EQ(bytes, original_bytes) << fault_name(f);
+    } else {
+      auto records = original_records;
+      const auto rep = impair_records(records, spec);
+      EXPECT_EQ(rep.affected, 0u);
+      EXPECT_EQ(records, original_records) << fault_name(f);
+    }
+  }
+}
+
+TEST(FaultSim, SameSeedSameDamageDifferentSeedDifferentDamage) {
+  for (const Fault f : all_faults()) {
+    ImpairmentSpec spec;
+    spec.fault = f;
+    spec.intensity = 0.2;
+    spec.seed = 11;
+    if (f == Fault::kTruncateRecords || f == Fault::kBitFlips) {
+      auto a = sample_capture_bytes();
+      auto b = sample_capture_bytes();
+      auto c = sample_capture_bytes();
+      (void)impair_pcap_bytes(a, spec);
+      (void)impair_pcap_bytes(b, spec);
+      spec.seed = 12;
+      (void)impair_pcap_bytes(c, spec);
+      EXPECT_EQ(a, b) << fault_name(f);
+      EXPECT_NE(a, c) << fault_name(f);
+    } else {
+      auto a = sample_records();
+      auto b = sample_records();
+      auto c = sample_records();
+      (void)impair_records(a, spec);
+      (void)impair_records(b, spec);
+      spec.seed = 12;
+      (void)impair_records(c, spec);
+      EXPECT_EQ(a, b) << fault_name(f);
+      EXPECT_NE(a, c) << fault_name(f);
+    }
+  }
+}
+
+TEST(FaultSim, WrongLayerAndBadIntensityThrow) {
+  auto bytes = sample_capture_bytes();
+  auto records = sample_records();
+  ImpairmentSpec spec;
+  spec.fault = Fault::kDropBursts;  // record-level
+  EXPECT_THROW((void)impair_pcap_bytes(bytes, spec), std::invalid_argument);
+  spec.fault = Fault::kBitFlips;  // byte-level
+  EXPECT_THROW((void)impair_records(records, spec), std::invalid_argument);
+  spec.intensity = 1.5;
+  EXPECT_THROW((void)impair_pcap_bytes(bytes, spec), std::invalid_argument);
+  spec.intensity = -0.1;
+  EXPECT_THROW((void)impair_pcap_bytes(bytes, spec), std::invalid_argument);
+}
+
+TEST(FaultSim, BitFlipsTouchDataNotFraming) {
+  auto bytes = sample_capture_bytes();
+  const auto original = bytes;
+  ImpairmentSpec spec;
+  spec.fault = Fault::kBitFlips;
+  spec.intensity = 0.3;
+  spec.seed = 17;
+  const auto rep = impair_pcap_bytes(bytes, spec);
+  ASSERT_GT(rep.affected, 0u);
+  EXPECT_EQ(rep.bytes_touched, rep.affected);  // one bit per affected record
+  EXPECT_EQ(bytes.size(), original.size());
+  // Framing intact: a default (strict-prefix) parse still sees every record.
+  pcap::ParseStats stats;
+  const auto parsed = pcap::parse(bytes, pcap::ParseOptions{}, &stats);
+  ASSERT_TRUE(parsed.has_value());
+  const auto full = pcap::parse(original);
+  ASSERT_TRUE(full.has_value());
+  EXPECT_EQ(parsed->records.size(), full->records.size());
+  EXPECT_TRUE(stats.clean());
+}
+
+TEST(FaultSim, TruncationDesyncsFramingAndSalvageRecovers) {
+  auto bytes = sample_capture_bytes();
+  const auto full = pcap::parse(bytes);
+  ASSERT_TRUE(full.has_value());
+  ImpairmentSpec spec;
+  spec.fault = Fault::kTruncateRecords;
+  spec.intensity = 0.05;
+  spec.seed = 29;
+  const auto rep = impair_pcap_bytes(bytes, spec);
+  ASSERT_GT(rep.affected, 0u);
+  ASSERT_GT(rep.bytes_touched, 0u);
+
+  // Strict mode rejects the damaged capture outright.
+  pcap::ParseOptions strict;
+  strict.on_corrupt = pcap::OnCorrupt::kFail;
+  const auto rejected = pcap::parse(bytes, strict);
+  EXPECT_FALSE(rejected.has_value());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kDataLoss);
+
+  // Salvage never throws, recovers more than the clean prefix, and reports
+  // the damage it skipped.
+  pcap::ParseOptions salvage;
+  salvage.on_corrupt = pcap::OnCorrupt::kSalvage;
+  pcap::ParseStats sstats;
+  const auto salvaged = pcap::parse(bytes, salvage, &sstats);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_GT(sstats.corrupt_records, 0u);
+  EXPECT_FALSE(sstats.clean());
+
+  pcap::ParseStats tstats;
+  const auto prefix = pcap::parse(bytes, pcap::ParseOptions{}, &tstats);
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_GE(salvaged->records.size(), prefix->records.size());
+  EXPECT_LE(salvaged->records.size(), full->records.size());
+  // Decoding the salvaged capture must uphold the trace invariant.
+  EXPECT_NO_THROW((void)pcap::decode(*salvaged));
+}
+
+TEST(FaultSim, ClockJumpBackBreaksOrderAndPoliciesRepairIt) {
+  auto records = sample_records();
+  ImpairmentSpec spec;
+  spec.fault = Fault::kClockJumpBack;
+  spec.intensity = 0.1;
+  spec.seed = 31;
+  const auto rep = impair_records(records, spec);
+  ASSERT_GT(rep.affected, 0u);
+  bool out_of_order = false;
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    if (records[i].timestamp < records[i - 1].timestamp) out_of_order = true;
+  }
+  ASSERT_TRUE(out_of_order);
+
+  const trace::Trace original = sample_trace();
+  trace::AppendStats clamp_stats;
+  const auto clamped = impair_trace(original, spec, trace::TimePolicy::kClamp,
+                                    nullptr, &clamp_stats);
+  EXPECT_EQ(clamped.size(), original.size());  // clamp keeps every packet
+  EXPECT_GT(clamp_stats.clamped, 0u);
+  EXPECT_EQ(clamp_stats.quarantined, 0u);
+
+  trace::AppendStats quarantine_stats;
+  const auto quarantined = impair_trace(
+      original, spec, trace::TimePolicy::kQuarantine, nullptr,
+      &quarantine_stats);
+  EXPECT_EQ(quarantined.size() + quarantine_stats.quarantined,
+            original.size());
+  EXPECT_GT(quarantine_stats.quarantined, 0u);
+}
+
+TEST(FaultSim, ClockJumpForwardShiftsButPreservesOrder) {
+  auto records = sample_records();
+  const auto original = records;
+  ImpairmentSpec spec;
+  spec.fault = Fault::kClockJumpForward;
+  spec.intensity = 0.05;
+  spec.seed = 37;
+  const auto rep = impair_records(records, spec);
+  ASSERT_GT(rep.affected, 0u);
+  ASSERT_EQ(records.size(), original.size());
+  // Forward jumps accumulate: timestamps only move later, order holds.
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    EXPECT_GE(records[i].timestamp.usec, original[i].timestamp.usec);
+  }
+  for (std::size_t i = 1; i < records.size(); ++i) {
+    EXPECT_LE(records[i - 1].timestamp.usec, records[i].timestamp.usec);
+  }
+}
+
+TEST(FaultSim, DuplicatesGrowAndDropsShrinkByAffected) {
+  auto dup = sample_records();
+  const std::size_t n = dup.size();
+  ImpairmentSpec spec;
+  spec.fault = Fault::kDuplicateRecords;
+  spec.intensity = 0.2;
+  spec.seed = 41;
+  const auto dup_rep = impair_records(dup, spec);
+  EXPECT_EQ(dup.size(), n + dup_rep.affected);
+
+  auto dropped = sample_records();
+  spec.fault = Fault::kDropBursts;
+  const auto drop_rep = impair_records(dropped, spec);
+  EXPECT_EQ(dropped.size(), n - drop_rep.affected);
+  EXPECT_GT(drop_rep.affected, 0u);
+}
+
+TEST(FaultSim, ImpairTraceLeavesInputUntouched) {
+  const trace::Trace original = sample_trace();
+  const std::size_t n = original.size();
+  ImpairmentSpec spec;
+  spec.fault = Fault::kDropBursts;
+  spec.intensity = 0.3;
+  spec.seed = 43;
+  ImpairmentReport rep;
+  const auto impaired =
+      impair_trace(original, spec, trace::TimePolicy::kClamp, &rep);
+  EXPECT_EQ(original.size(), n);
+  EXPECT_EQ(impaired.size(), n - rep.affected);
+}
+
+}  // namespace
+}  // namespace netsample::faultsim

@@ -1,0 +1,217 @@
+// exper::CheckpointJournal: append-only JSONL checkpointing with exact
+// (hexfloat) metric round-trip, torn-line recovery on open, and latest-wins
+// duplicate keys — the durability half of kill-and-resume (test_resume.cpp
+// covers the sweep half).
+#include "exper/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "exper/runner.h"
+
+namespace netsample::exper {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+core::DisparityMetrics metrics(double phi) {
+  core::DisparityMetrics m;
+  m.chi2 = phi * 3.0;
+  m.dof = 4.0;
+  m.significance = 0.123456789123456789;  // not representable in short decimal
+  m.cost = 1000.0;
+  m.rcost = 31.25;
+  m.x2 = phi / 7.0;
+  m.avg_norm_dev = phi * 1.5;
+  m.phi = phi;
+  m.sample_n = 314;
+  m.population_n = 6288;
+  return m;
+}
+
+void expect_exact(const core::DisparityMetrics& a,
+                  const core::DisparityMetrics& b) {
+  EXPECT_EQ(a.chi2, b.chi2);
+  EXPECT_EQ(a.dof, b.dof);
+  EXPECT_EQ(a.significance, b.significance);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.rcost, b.rcost);
+  EXPECT_EQ(a.x2, b.x2);
+  EXPECT_EQ(a.avg_norm_dev, b.avg_norm_dev);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.sample_n, b.sample_n);
+  EXPECT_EQ(a.population_n, b.population_n);
+}
+
+TEST(CheckpointJournal, RecordThenFindAcrossReopen) {
+  const std::string path = temp_path("netsample_journal_roundtrip.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    EXPECT_EQ(j->size(), 0u);
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.25), metrics(0.5)}).is_ok());
+    ASSERT_TRUE(j->record("cell-b", {metrics(1.0 / 3.0)}).is_ok());
+    EXPECT_EQ(j->size(), 2u);
+    const auto* found = j->find("cell-a");
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(found->size(), 2u);
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->dropped_lines(), 0u);
+  const auto* a = j->find("cell-a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->size(), 2u);
+  expect_exact((*a)[0], metrics(0.25));
+  expect_exact((*a)[1], metrics(0.5));
+  const auto* b = j->find("cell-b");
+  ASSERT_NE(b, nullptr);
+  expect_exact((*b)[0], metrics(1.0 / 3.0));
+  EXPECT_EQ(j->find("cell-c"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, HexfloatSurvivesAwkwardDoubles) {
+  const std::string path = temp_path("netsample_journal_doubles.jsonl");
+  std::filesystem::remove(path);
+  core::DisparityMetrics m = metrics(0.1);  // 0.1 is not exact in binary
+  m.chi2 = std::numeric_limits<double>::denorm_min();
+  m.dof = -0.0;
+  m.significance = std::numeric_limits<double>::infinity();
+  m.x2 = std::nextafter(1.0, 2.0);  // 1 + one ulp
+  m.avg_norm_dev = std::numeric_limits<double>::quiet_NaN();
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell", {m}).is_ok());
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  const auto* found = j->find("cell");
+  ASSERT_NE(found, nullptr);
+  const auto& r = (*found)[0];
+  EXPECT_EQ(r.chi2, std::numeric_limits<double>::denorm_min());
+  EXPECT_EQ(r.dof, 0.0);
+  EXPECT_TRUE(std::signbit(r.dof));
+  EXPECT_EQ(r.significance, std::numeric_limits<double>::infinity());
+  EXPECT_EQ(r.x2, std::nextafter(1.0, 2.0));
+  EXPECT_TRUE(std::isnan(r.avg_norm_dev));
+  EXPECT_EQ(r.phi, m.phi);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, DuplicateKeyKeepsLatest) {
+  const std::string path = temp_path("netsample_journal_dup.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell", {metrics(0.25)}).is_ok());
+    ASSERT_TRUE(j->record("cell", {metrics(0.75)}).is_ok());
+    EXPECT_EQ(j->size(), 1u);
+    expect_exact((*j->find("cell"))[0], metrics(0.75));
+  }
+  // Same winner after replaying the file.
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 1u);
+  expect_exact((*j->find("cell"))[0], metrics(0.75));
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, TornTailLineIsDroppedAndCleaned) {
+  const std::string path = temp_path("netsample_journal_torn.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.25)}).is_ok());
+    ASSERT_TRUE(j->record("cell-b", {metrics(0.5)}).is_ok());
+  }
+  // Simulate a kill mid-write: chop the file mid-way through the last line.
+  const auto size = std::filesystem::file_size(path);
+  std::filesystem::resize_file(path, size - 20);
+
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 1u);
+  EXPECT_EQ(j->dropped_lines(), 1u);
+  ASSERT_NE(j->find("cell-a"), nullptr);
+  EXPECT_EQ(j->find("cell-b"), nullptr);
+
+  // open() rewrote the clean prefix: a third open sees no damage.
+  auto again = CheckpointJournal::open(path);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->size(), 1u);
+  EXPECT_EQ(again->dropped_lines(), 0u);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, GarbageLinesAreCountedNotFatal) {
+  const std::string path = temp_path("netsample_journal_garbage.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.25)}).is_ok());
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "not json at all\n"
+        << "{\"key\":\"half\",\"reps\":[{\"chi2\":\"0x1p+0\"\n";
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 1u);
+  EXPECT_EQ(j->dropped_lines(), 2u);
+  ASSERT_NE(j->find("cell-a"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(CheckpointJournal, OpenOnUnwritableDirectoryFails) {
+  const auto j = CheckpointJournal::open("/nonexistent-dir/journal.jsonl");
+  EXPECT_FALSE(j.has_value());
+}
+
+TEST(CellJournalKey, EncodesEveryLogicalCoordinate) {
+  exper::CellConfig cfg;
+  cfg.method = core::Method::kSystematicCount;
+  cfg.target = core::Target::kPacketSize;
+  cfg.granularity = 64;
+  cfg.replications = 5;
+  cfg.base_seed = 42;
+
+  const std::string base = cell_journal_key(cfg, 0);
+  EXPECT_EQ(base, cell_journal_key(cfg, 0));  // stable
+
+  EXPECT_NE(base, cell_journal_key(cfg, 1));  // interval index
+  exper::CellConfig other = cfg;
+  other.granularity = 128;
+  EXPECT_NE(base, cell_journal_key(other, 0));
+  other = cfg;
+  other.method = core::Method::kSimpleRandom;
+  EXPECT_NE(base, cell_journal_key(other, 0));
+  other = cfg;
+  other.target = core::Target::kInterarrivalTime;
+  EXPECT_NE(base, cell_journal_key(other, 0));
+  other = cfg;
+  other.replications = 6;
+  EXPECT_NE(base, cell_journal_key(other, 0));
+  other = cfg;
+  other.base_seed = 43;
+  EXPECT_NE(base, cell_journal_key(other, 0));
+}
+
+}  // namespace
+}  // namespace netsample::exper

@@ -341,5 +341,186 @@ TEST(ParallelRunner, ZeroJobsSelectsHardwareConcurrency) {
             static_cast<int>(util::ThreadPool::default_thread_count()));
 }
 
+// ---------------------------------------------------------------------------
+// Fault-tolerance policies (abort / skip / retry)
+// ---------------------------------------------------------------------------
+
+class ParallelPolicyTest : public ParallelRunnerTest {
+ protected:
+  /// A small healthy grid; cell index 2 is the one the fault injector
+  /// targets in the policy tests.
+  static std::vector<exper::GridTask> small_grid() {
+    std::vector<exper::GridTask> tasks;
+    for (std::uint64_t k : {8ULL, 16ULL, 32ULL, 64ULL, 128ULL}) {
+      exper::GridTask t;
+      t.config.method = core::Method::kSystematicCount;
+      t.config.target = core::Target::kPacketSize;
+      t.config.granularity = k;
+      t.config.interval = ex_->interval(60.0);
+      t.config.mean_interarrival_usec = ex_->mean_interarrival_usec();
+      t.config.replications = 3;
+      tasks.push_back(t);
+    }
+    return tasks;
+  }
+};
+
+TEST_F(ParallelPolicyTest, SkipQuarantinesFailedCellOthersUnchanged) {
+  const auto tasks = small_grid();
+  exper::ParallelRunner serial(1);
+  const auto reference = serial.run(tasks, 23);
+
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kSkip;
+  opts.fault_injector = [](std::size_t index, int) {
+    return index == 2 ? Status(StatusCode::kInternal, "injected")
+                      : Status::ok();
+  };
+  const auto report = serial.run(tasks, 23, opts);
+  ASSERT_EQ(report.cells.size(), tasks.size());
+  EXPECT_EQ(report.ok_count(), tasks.size() - 1);
+  EXPECT_EQ(report.quarantined(), std::vector<std::size_t>{2});
+  EXPECT_EQ(report.cells[2].status.code(), StatusCode::kInternal);
+  EXPECT_EQ(report.first_failure().code(), StatusCode::kInternal);
+  // The healthy cells' numbers are untouched by their neighbor's failure.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_EQ(report.cells[i].result.replications.size(),
+              reference[i].replications.size());
+    for (std::size_t r = 0; r < reference[i].replications.size(); ++r) {
+      EXPECT_EQ(report.cells[i].result.replications[r].phi,
+                reference[i].replications[r].phi)
+          << "cell " << i << " rep " << r;
+    }
+  }
+}
+
+TEST_F(ParallelPolicyTest, RetryCompletesAllCellsAfterTransientFailure) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kRetry;
+  opts.max_attempts = 3;
+  // Cell 2 fails its first attempt only — a transient fault.
+  opts.fault_injector = [](std::size_t index, int attempt) {
+    return index == 2 && attempt == 0
+               ? Status(StatusCode::kInternal, "transient")
+               : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  ASSERT_TRUE(report.all_ok());
+  EXPECT_EQ(report.cells[2].attempts, 2);
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i != 2) EXPECT_EQ(report.cells[i].attempts, 1) << "cell " << i;
+  }
+  // The retry ran under a different derived seed than attempt 0 would have.
+  const auto reference = serial.run(tasks, 23);
+  EXPECT_NE(report.cells[2].result.config.base_seed,
+            reference[2].config.base_seed);
+}
+
+TEST_F(ParallelPolicyTest, RetryExhaustionQuarantinesWithAttemptCount) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kRetry;
+  opts.max_attempts = 3;
+  opts.fault_injector = [](std::size_t index, int) {
+    return index == 2 ? Status(StatusCode::kInternal, "permanent")
+                      : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  EXPECT_EQ(report.ok_count(), tasks.size() - 1);
+  EXPECT_EQ(report.cells[2].attempts, 3);
+  EXPECT_EQ(report.cells[2].status.code(), StatusCode::kInternal);
+}
+
+TEST_F(ParallelPolicyTest, RetryAttemptsAreDeterministic) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kRetry;
+  opts.fault_injector = [](std::size_t index, int attempt) {
+    return index == 2 && attempt == 0
+               ? Status(StatusCode::kInternal, "transient")
+               : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  exper::ParallelRunner threaded(4);
+  const auto a = serial.run(tasks, 23, opts);
+  const auto b = threaded.run(tasks, 23, opts);
+  ASSERT_TRUE(a.all_ok());
+  ASSERT_TRUE(b.all_ok());
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    const auto& ra = a.cells[i].result.replications;
+    const auto& rb = b.cells[i].result.replications;
+    ASSERT_EQ(ra.size(), rb.size());
+    for (std::size_t r = 0; r < ra.size(); ++r) {
+      EXPECT_EQ(ra[r].phi, rb[r].phi) << "cell " << i << " rep " << r;
+    }
+  }
+}
+
+TEST_F(ParallelPolicyTest, AbortCancelsCellsAfterFirstFailureSerially) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;  // kAbort default
+  opts.fault_injector = [](std::size_t index, int) {
+    return index == 2 ? Status(StatusCode::kInternal, "fatal")
+                      : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  EXPECT_TRUE(report.cells[0].status.is_ok());
+  EXPECT_TRUE(report.cells[1].status.is_ok());
+  EXPECT_EQ(report.cells[2].status.code(), StatusCode::kInternal);
+  // Serial execution is ordered, so everything after the failure was
+  // cancelled before starting.
+  EXPECT_EQ(report.cells[3].status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(report.cells[4].status.code(), StatusCode::kCancelled);
+  EXPECT_EQ(report.cells[3].attempts, 0);
+}
+
+TEST_F(ParallelPolicyTest, ExpiredCellTimeoutReportsDeadlineExceeded) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kSkip;
+  opts.cell_timeout_seconds = 1e-12;  // expired before the first poll
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  EXPECT_EQ(report.ok_count(), 0u);
+  for (const auto& c : report.cells) {
+    EXPECT_EQ(c.status.code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST_F(ParallelPolicyTest, SweepCancellationShortCircuitsRemainingCells) {
+  const auto tasks = small_grid();
+  util::CancelToken sweep;
+  sweep.cancel();  // cancelled before the sweep even starts
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kSkip;
+  opts.cancel = &sweep;
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  EXPECT_EQ(report.ok_count(), 0u);
+  for (const auto& c : report.cells) {
+    EXPECT_EQ(c.status.code(), StatusCode::kCancelled);
+    EXPECT_EQ(c.attempts, 0);
+  }
+}
+
+TEST_F(ParallelPolicyTest, OnCellDoneFiresInTaskOrder) {
+  const auto tasks = small_grid();
+  std::vector<std::size_t> order;
+  exper::RunOptions opts;
+  opts.on_cell_done = [&order](std::size_t index, const Status& s) {
+    EXPECT_TRUE(s.is_ok());
+    order.push_back(index);
+  };
+  exper::ParallelRunner threaded(4);
+  ASSERT_TRUE(threaded.run(tasks, 23, opts).all_ok());
+  ASSERT_EQ(order.size(), tasks.size());
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
 }  // namespace
 }  // namespace netsample

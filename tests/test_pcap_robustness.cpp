@@ -97,5 +97,132 @@ TEST(PcapRobustness, RecordClaimingHugeLengthStopsCleanly) {
   EXPECT_TRUE(parsed->records.empty());  // torn at record 0, prefix is empty
 }
 
+// ---------------------------------------------------------------------------
+// OnCorrupt policies: strict rejection vs salvage resync
+// ---------------------------------------------------------------------------
+
+/// Stomp record `n`'s incl_len with garbage (framing stays aligned because
+/// the original length is remembered by the caller walking the clean file).
+std::vector<std::uint8_t> with_stomped_record(std::size_t n) {
+  auto bytes = sample_capture_bytes();
+  std::size_t off = 24;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint32_t incl = static_cast<std::uint32_t>(bytes[off + 8]) |
+                               (static_cast<std::uint32_t>(bytes[off + 9]) << 8) |
+                               (static_cast<std::uint32_t>(bytes[off + 10]) << 16) |
+                               (static_cast<std::uint32_t>(bytes[off + 11]) << 24);
+    off += 16 + incl;
+  }
+  bytes[off + 8] = 0xEF;
+  bytes[off + 9] = 0xBE;
+  bytes[off + 10] = 0xAD;
+  bytes[off + 11] = 0xDE;
+  return bytes;
+}
+
+TEST(PcapSalvage, StrictModeRejectsWithDataLoss) {
+  const auto corrupted = with_stomped_record(5);
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kFail;
+  const auto parsed = parse(corrupted, options);
+  ASSERT_FALSE(parsed.has_value());
+  EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss);
+}
+
+TEST(PcapSalvage, StrictModeAcceptsCleanCapture) {
+  const auto whole = sample_capture_bytes();
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kFail;
+  ParseStats stats;
+  const auto parsed = parse(whole, options, &stats);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(stats.records, parsed->records.size());
+}
+
+TEST(PcapSalvage, SalvageResyncsPastCorruptHeader) {
+  const auto full = parse(sample_capture_bytes());
+  ASSERT_TRUE(full.has_value());
+  const auto corrupted = with_stomped_record(5);
+
+  // Default (truncate) keeps only the 5-record clean prefix...
+  ParseStats tstats;
+  const auto prefix = parse(corrupted, ParseOptions{}, &tstats);
+  ASSERT_TRUE(prefix.has_value());
+  EXPECT_EQ(prefix->records.size(), 5u);
+  EXPECT_EQ(tstats.corrupt_records, 1u);
+
+  // ...while salvage skips the damage and keeps reading. Resync may false-
+  // sync inside the orphaned record's payload (packet bytes can look like a
+  // plausible header), so the guarantee is recovery well beyond the prefix
+  // with the damage accounted, not byte-exact record identity.
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kSalvage;
+  ParseStats sstats;
+  const auto salvaged = parse(corrupted, options, &sstats);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_GE(sstats.corrupt_records, 1u);
+  EXPECT_GT(sstats.skipped_bytes, 0u);
+  EXPECT_GT(salvaged->records.size(), prefix->records.size());
+  // False syncs can also split the orphaned payload into a few bogus
+  // records, so the count may slightly exceed the clean total.
+  EXPECT_LT(salvaged->records.size(), full->records.size() + 16);
+  // The clean prefix is still read exactly.
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_EQ(salvaged->records[i].data, full->records[i].data);
+  }
+  EXPECT_NO_THROW((void)decode(*salvaged));
+}
+
+TEST(PcapSalvage, SalvageNeverThrowsOnArbitraryCorruption) {
+  const auto whole = sample_capture_bytes();
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kSalvage;
+  for (int seed = 0; seed < 16; ++seed) {
+    Rng rng(static_cast<std::uint64_t>(seed) * 104729 + 13);
+    auto corrupted = whole;
+    const int flips = 1 + static_cast<int>(rng.uniform_below(64));
+    for (int i = 0; i < flips; ++i) {
+      const std::size_t pos = rng.uniform_below(corrupted.size());
+      corrupted[pos] ^= static_cast<std::uint8_t>(1 + rng.uniform_below(255));
+    }
+    EXPECT_NO_THROW({
+      ParseStats stats;
+      const auto parsed = parse(corrupted, options, &stats);
+      if (parsed.has_value()) (void)decode(*parsed);
+    });
+  }
+}
+
+TEST(PcapSalvage, SalvageOnCleanCaptureIsExact) {
+  const auto whole = sample_capture_bytes();
+  const auto full = parse(whole);
+  ASSERT_TRUE(full.has_value());
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kSalvage;
+  ParseStats stats;
+  const auto salvaged = parse(whole, options, &stats);
+  ASSERT_TRUE(salvaged.has_value());
+  EXPECT_TRUE(stats.clean());
+  ASSERT_EQ(salvaged->records.size(), full->records.size());
+  for (std::size_t i = 0; i < full->records.size(); ++i) {
+    EXPECT_EQ(salvaged->records[i].data, full->records[i].data);
+  }
+}
+
+TEST(PcapSalvage, TornTailIsCountedSeparatelyFromCorruption) {
+  const auto whole = sample_capture_bytes();
+  // Chop mid-way through the last record's data.
+  std::vector<std::uint8_t> torn(whole.begin(), whole.end() - 7);
+  ParseOptions options;
+  options.on_corrupt = OnCorrupt::kSalvage;
+  ParseStats stats;
+  const auto parsed = parse(torn, options, &stats);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(stats.corrupt_records, 0u);
+  EXPECT_GT(stats.torn_tail_bytes, 0u);
+  EXPECT_FALSE(stats.clean());
+}
+
 }  // namespace
 }  // namespace netsample::pcap

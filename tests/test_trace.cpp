@@ -140,5 +140,72 @@ TEST(TraceView, InterarrivalsOfTinyViewsAreEmpty) {
   EXPECT_TRUE(TraceView{}.interarrivals().empty());
 }
 
+// ---------------------------------------------------------------------------
+// TimePolicy salvage appends (clock glitches from impaired captures)
+// ---------------------------------------------------------------------------
+
+TEST(TimePolicy, StrictThrowsLikeLegacyAppend) {
+  Trace t({pkt(1000)});
+  AppendStats stats;
+  EXPECT_THROW((void)t.append(pkt(500), TimePolicy::kStrict, &stats),
+               std::invalid_argument);
+  EXPECT_TRUE(stats.clean());
+  EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(TimePolicy, ClampRewritesTimestampAndKeepsThePacket) {
+  Trace t({pkt(1000)});
+  AppendStats stats;
+  EXPECT_TRUE(t.append(pkt(500, 77), TimePolicy::kClamp, &stats));
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t[1].timestamp.usec, 1000u);  // pulled up to the tail
+  EXPECT_EQ(t[1].size, 77u);              // payload untouched
+  EXPECT_EQ(stats.clamped, 1u);
+  EXPECT_EQ(stats.quarantined, 0u);
+  EXPECT_FALSE(stats.clean());
+}
+
+TEST(TimePolicy, QuarantineDropsThePacketAndCounts) {
+  Trace t({pkt(1000)});
+  AppendStats stats;
+  EXPECT_FALSE(t.append(pkt(500), TimePolicy::kQuarantine, &stats));
+  EXPECT_EQ(t.size(), 1u);
+  EXPECT_EQ(stats.quarantined, 1u);
+  EXPECT_EQ(stats.clamped, 0u);
+}
+
+TEST(TimePolicy, InOrderAppendsCostNothingUnderEveryPolicy) {
+  for (const auto policy :
+       {TimePolicy::kStrict, TimePolicy::kClamp, TimePolicy::kQuarantine}) {
+    Trace t;
+    AppendStats stats;
+    EXPECT_TRUE(t.append(pkt(100), policy, &stats));
+    EXPECT_TRUE(t.append(pkt(100), policy, &stats));  // ties are in order
+    EXPECT_TRUE(t.append(pkt(200), policy, &stats));
+    EXPECT_EQ(t.size(), 3u);
+    EXPECT_TRUE(stats.clean());
+  }
+}
+
+TEST(TimePolicy, StatsAccumulateAcrossAppends) {
+  Trace t({pkt(1000)});
+  AppendStats stats;
+  (void)t.append(pkt(900), TimePolicy::kClamp, &stats);
+  (void)t.append(pkt(800), TimePolicy::kClamp, &stats);
+  (void)t.append(pkt(2000), TimePolicy::kClamp, &stats);
+  EXPECT_EQ(stats.clamped, 2u);
+  EXPECT_EQ(t.size(), 4u);
+  // The clamp preserved the trace invariant end to end.
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    EXPECT_LE(t[i - 1].timestamp.usec, t[i].timestamp.usec);
+  }
+}
+
+TEST(TimePolicy, NullStatsPointerIsAccepted) {
+  Trace t({pkt(1000)});
+  EXPECT_TRUE(t.append(pkt(500), TimePolicy::kClamp, nullptr));
+  EXPECT_FALSE(t.append(pkt(400), TimePolicy::kQuarantine, nullptr));
+}
+
 }  // namespace
 }  // namespace netsample::trace

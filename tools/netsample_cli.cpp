@@ -7,10 +7,18 @@
 //   netsample flows    trace.pcap [--timeout 30] [--top 10]
 //   netsample design   --mu 232 --sigma 236 --accuracy 5 [--population N]
 //   netsample charact  trace.pcap [--node t1|t3] [--k 50]
+//   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
 //
 // Every subcommand is a thin veneer over the public API; see examples/ for
 // annotated versions of the same flows.
+//
+// Exit codes follow the sysexits convention (see docs/ROBUSTNESS.md):
+//   0 success, 64 usage / bad input, 65 data loss (corrupt capture),
+//   70 internal failure, 75 deadline exceeded or cancelled.
+#include <algorithm>
+#include <fstream>
 #include <iostream>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -21,8 +29,10 @@
 #include "core/samplers.h"
 #include "core/targets.h"
 #include "exper/experiment.h"
+#include "exper/journal.h"
 #include "exper/parallel.h"
 #include "exper/runner.h"
+#include "faultsim/faultsim.h"
 #include "net/headers.h"
 #include "net/ports.h"
 #include "pcap/pcap.h"
@@ -36,6 +46,33 @@ using namespace netsample;
 
 namespace {
 
+// sysexits-style mapping so scripts can distinguish "your fault" (64),
+// "your data's fault" (65), "our fault" (70), and "ran out of time" (75).
+constexpr int kExitUsage = 64;
+constexpr int kExitDataLoss = 65;
+constexpr int kExitInternal = 70;
+constexpr int kExitDeadline = 75;
+
+int exit_code_for(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk: return 0;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kOutOfRange:
+    case StatusCode::kNotFound: return kExitUsage;
+    case StatusCode::kDataLoss: return kExitDataLoss;
+    case StatusCode::kUnimplemented:
+    case StatusCode::kInternal: return kExitInternal;
+    case StatusCode::kCancelled:
+    case StatusCode::kDeadlineExceeded: return kExitDeadline;
+  }
+  return kExitInternal;
+}
+
+int fail(const Status& status) {
+  std::cerr << "error: " << status.to_string() << "\n";
+  return exit_code_for(status);
+}
+
 int usage() {
   std::cout <<
       "netsample -- packet sampling methodology toolkit\n"
@@ -48,19 +85,58 @@ int usage() {
       "  flows      assemble 5-tuple flows and print top talkers\n"
       "  design     Cochran sample-size planning\n"
       "  charact    run the NSFNET characterization objects\n"
+      "  impair     sweep measurement impairments and report phi degradation\n"
       "run 'netsample <command> --help' for flags.\n";
-  return 2;
+  return kExitUsage;
 }
 
-StatusOr<trace::Trace> load(const std::string& path) {
+/// Load a capture honoring --strict / --salvage, surfacing every counter the
+/// parse and decode produced so a dirty capture is never silently "fine".
+/// `out` lets machine-readable commands (impair --csv) divert the human
+/// summary to stderr and keep stdout pure.
+StatusOr<trace::Trace> load(const std::string& path, const ArgParser& args,
+                            std::ostream& out = std::cout) {
+  pcap::ParseOptions options;
+  if (args.get_bool("strict")) options.on_corrupt = pcap::OnCorrupt::kFail;
+  if (args.get_bool("salvage")) options.on_corrupt = pcap::OnCorrupt::kSalvage;
+  pcap::ParseStats parse_stats;
   pcap::DecodeStats stats;
-  auto t = pcap::read_trace(path, &stats);
+  auto t = pcap::read_trace(path, options, &parse_stats, &stats);
   if (t) {
-    std::cout << path << ": " << fmt_count(stats.decoded) << " IPv4 packets ("
-              << stats.non_ipv4 << " non-IPv4, " << stats.malformed
-              << " malformed skipped)\n";
+    out << path << ": " << fmt_count(stats.decoded) << " IPv4 packets ("
+        << stats.non_ipv4 << " non-IPv4, " << stats.malformed
+        << " malformed skipped)\n";
+    if (!parse_stats.clean()) {
+      out << "  data loss: " << parse_stats.corrupt_records
+          << " corrupt records, " << parse_stats.skipped_bytes
+          << " bytes skipped resyncing, " << parse_stats.torn_tail_bytes
+          << " torn tail bytes\n";
+    }
   }
   return t;
+}
+
+/// Translate --on-error / --retries / --cell-timeout / --resume into sweep
+/// RunOptions. The journal (when --resume is given) is owned by the caller
+/// so it outlives the run.
+exper::RunOptions sweep_options(const ArgParser& args,
+                                exper::CheckpointJournal* journal) {
+  exper::RunOptions opts;
+  const std::string policy = args.get_string("on-error");
+  if (policy == "abort") {
+    opts.on_error = exper::FailPolicy::kAbort;
+  } else if (policy == "skip") {
+    opts.on_error = exper::FailPolicy::kSkip;
+  } else if (policy == "retry") {
+    opts.on_error = exper::FailPolicy::kRetry;
+  } else {
+    throw std::invalid_argument("unknown --on-error '" + policy +
+                                "' (abort|skip|retry)");
+  }
+  opts.max_attempts = 1 + static_cast<int>(args.get_int("retries"));
+  opts.cell_timeout_seconds = args.get_double("cell-timeout");
+  opts.journal = journal;
+  return opts;
 }
 
 core::Method parse_method(const std::string& name) {
@@ -84,10 +160,7 @@ int cmd_generate(ArgParser& args) {
   synth::TraceModel model(cfg);
   const auto t = model.generate();
   const auto status = pcap::write_trace(out, t, 128);
-  if (!status.is_ok()) {
-    std::cerr << "error: " << status.to_string() << "\n";
-    return 1;
-  }
+  if (!status.is_ok()) return fail(status);
   std::cout << "wrote " << fmt_count(t.size()) << " packets ("
             << fmt_double(t.view().duration().to_seconds(), 1) << " s) to "
             << out << "\n";
@@ -95,11 +168,8 @@ int cmd_generate(ArgParser& args) {
 }
 
 int cmd_inspect(ArgParser& args) {
-  auto t = load(args.positionals().at(0));
-  if (!t) {
-    std::cerr << "error: " << t.status().to_string() << "\n";
-    return 1;
-  }
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
   const auto pop = trace::summarize_population(t->view());
   const auto ps = trace::summarize_per_second(t->view());
   TextTable table({"distribution", "min", "5%", "25%", "median", "75%", "95%",
@@ -121,11 +191,8 @@ int cmd_inspect(ArgParser& args) {
 }
 
 int cmd_sample(ArgParser& args) {
-  auto t = load(args.positionals().at(0));
-  if (!t) {
-    std::cerr << "error: " << t.status().to_string() << "\n";
-    return 1;
-  }
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
   exper::Experiment ex(std::move(*t));
 
   core::SamplerSpec spec;
@@ -144,21 +211,15 @@ int cmd_sample(ArgParser& args) {
   if (args.has("out")) {
     const std::string out = args.get_string("out");
     const auto status = pcap::write_trace(out, sampled, 128);
-    if (!status.is_ok()) {
-      std::cerr << "error: " << status.to_string() << "\n";
-      return 1;
-    }
+    if (!status.is_ok()) return fail(status);
     std::cout << "wrote sampled trace to " << out << "\n";
   }
   return 0;
 }
 
 int cmd_score(ArgParser& args) {
-  auto t = load(args.positionals().at(0));
-  if (!t) {
-    std::cerr << "error: " << t.status().to_string() << "\n";
-    return 1;
-  }
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
   exper::Experiment ex(std::move(*t));
   if (args.get_bool("legacy-scan")) core::force_legacy_scan(true);
 
@@ -209,12 +270,29 @@ int cmd_score(ArgParser& args) {
     cfg.target = target;
     tasks.push_back({cfg, 0});
   }
+  exper::CheckpointJournal journal;
+  exper::RunOptions ropts = sweep_options(args, nullptr);
+  if (args.has("resume")) {
+    auto opened = exper::CheckpointJournal::open(args.get_string("resume"));
+    if (!opened) return fail(opened.status());
+    journal = std::move(*opened);
+    std::cout << "journal " << journal.path() << ": " << journal.size()
+              << " cells already complete";
+    if (journal.dropped_lines() > 0) {
+      std::cout << " (" << journal.dropped_lines() << " torn lines dropped)";
+    }
+    std::cout << "\n";
+    ropts.journal = &journal;
+  }
+
   exper::ParallelRunner runner(static_cast<int>(args.get_int("jobs")));
-  const auto cells = runner.run(tasks, cfg.base_seed);
+  const auto report = runner.run(tasks, cfg.base_seed, ropts);
 
   TextTable table({"target", "mean phi", "min", "max", "mean n",
                    "chi2 rejections @0.05"});
-  for (const auto& r : cells) {
+  for (const auto& cell : report.cells) {
+    if (!cell.status.is_ok()) continue;
+    const auto& r = cell.result;
     const auto b = r.phi_boxplot();
     table.add_row({core::target_name(r.config.target),
                    fmt_double(r.phi_mean(), 4), fmt_double(b.min, 4),
@@ -223,15 +301,133 @@ int cmd_score(ArgParser& args) {
                        std::to_string(cfg.replications)});
   }
   table.print(std::cout);
+  for (const std::size_t i : report.quarantined()) {
+    std::cerr << "quarantined: cell " << i << " ("
+              << core::target_name(tasks[i].config.target) << ") after "
+              << report.cells[i].attempts << " attempt(s): "
+              << report.cells[i].status.to_string() << "\n";
+  }
+  if (!report.all_ok()) return fail(report.first_failure());
+  return 0;
+}
+
+int cmd_impair(ArgParser& args) {
+  const bool csv = args.get_bool("csv");
+  // In CSV mode stdout carries nothing but the header and data rows; the
+  // human-facing summary moves to stderr.
+  std::ostream& info = csv ? std::cerr : std::cout;
+  auto loaded = load(args.positionals().at(0), args, info);
+  if (!loaded) return fail(loaded.status());
+  const trace::Trace clean = std::move(*loaded);
+  const auto method = parse_method(args.get_string("method"));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // Which faults to sweep.
+  std::vector<faultsim::Fault> faults;
+  const std::string fault_arg = args.get_string("fault");
+  if (fault_arg == "all") {
+    faults = faultsim::all_faults();
+  } else {
+    auto parsed = faultsim::parse_fault(fault_arg);
+    if (!parsed) return fail(parsed.status());
+    faults.push_back(*parsed);
+  }
+
+  // Intensity ladder: comma-separated per-record probabilities.
+  std::vector<double> intensities;
+  {
+    std::string list = args.get_string("intensity");
+    std::size_t pos = 0;
+    while (pos <= list.size()) {
+      const std::size_t comma = std::min(list.find(',', pos), list.size());
+      const std::string item = list.substr(pos, comma - pos);
+      if (!item.empty()) intensities.push_back(std::stod(item));
+      pos = comma + 1;
+    }
+    if (intensities.empty()) {
+      throw std::invalid_argument("--intensity needs at least one value");
+    }
+  }
+
+  // Scoring harness: mean phi of `reps` replications against the packet-size
+  // target. Impaired traces differ per (fault, intensity), so each gets its
+  // own streaming-path cell (no shared bin cache to build and discard).
+  const auto score_phi = [&](const trace::Trace& t) {
+    exper::CellConfig cfg;
+    cfg.method = method;
+    cfg.target = core::Target::kPacketSize;
+    cfg.granularity = static_cast<std::uint64_t>(args.get_int("k"));
+    cfg.interval = t.view();
+    cfg.mean_interarrival_usec =
+        trace::summarize_population(t.view()).interarrival.mean;
+    cfg.replications = static_cast<int>(args.get_int("reps"));
+    cfg.base_seed = seed;
+    return exper::run_cell(cfg).phi_mean();
+  };
+  const double baseline = score_phi(clean);
+  info << "clean capture: " << fmt_count(clean.size())
+       << " packets, baseline mean phi " << fmt_double(baseline, 4) << " ("
+       << args.get_string("method") << ", k=" << args.get_int("k") << ")\n";
+  if (csv) {
+    std::cout << "fault,intensity,affected,packets,clamped,quarantined,"
+                 "corrupt_records,skipped_bytes,phi,delta_phi\n";
+  }
+
+  TextTable table({"fault", "intensity", "affected", "packets", "repaired",
+                   "phi", "delta phi"});
+  for (const faultsim::Fault fault : faults) {
+    for (const double intensity : intensities) {
+      faultsim::ImpairmentSpec spec;
+      spec.fault = fault;
+      spec.intensity = intensity;
+      spec.seed = derive_seed({seed, static_cast<std::uint64_t>(fault)});
+
+      trace::Trace impaired;
+      faultsim::ImpairmentReport rep;
+      trace::AppendStats astats;
+      pcap::ParseStats pstats;
+      if (fault == faultsim::Fault::kTruncateRecords ||
+          fault == faultsim::Fault::kBitFlips) {
+        // Byte-level: corrupt the serialized capture, then ingest it back
+        // through the salvage path exactly as a tool reading a damaged file
+        // would.
+        auto bytes = pcap::serialize(pcap::encode(clean, 128));
+        rep = faultsim::impair_pcap_bytes(bytes, spec);
+        pcap::ParseOptions popts;
+        popts.on_corrupt = pcap::OnCorrupt::kSalvage;
+        auto parsed = pcap::parse(bytes, popts, &pstats);
+        if (!parsed) return fail(parsed.status());
+        impaired = pcap::decode(*parsed);
+      } else {
+        impaired =
+            faultsim::impair_trace(clean, spec, trace::TimePolicy::kClamp,
+                                   &rep, &astats);
+      }
+      const double phi = impaired.size() > 1
+                             ? score_phi(impaired)
+                             : std::numeric_limits<double>::quiet_NaN();
+      const std::size_t repaired = astats.clamped + astats.quarantined +
+                                   pstats.corrupt_records;
+      table.add_row({faultsim::fault_name(fault), fmt_double(intensity, 3),
+                     fmt_count(rep.affected), fmt_count(impaired.size()),
+                     fmt_count(repaired), fmt_double(phi, 4),
+                     fmt_double(phi - baseline, 4)});
+      if (csv) {
+        std::cout << faultsim::fault_name(fault) << ',' << intensity << ','
+                  << rep.affected << ',' << impaired.size() << ','
+                  << astats.clamped << ',' << astats.quarantined << ','
+                  << pstats.corrupt_records << ',' << pstats.skipped_bytes
+                  << ',' << phi << ',' << phi - baseline << '\n';
+      }
+    }
+  }
+  if (!csv) table.print(std::cout);
   return 0;
 }
 
 int cmd_flows(ArgParser& args) {
-  auto t = load(args.positionals().at(0));
-  if (!t) {
-    std::cerr << "error: " << t.status().to_string() << "\n";
-    return 1;
-  }
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
   trace::FlowTable table(MicroDuration::from_seconds(args.get_double("timeout")));
   table.run(t->view());
   const auto s = table.stats();
@@ -272,11 +468,8 @@ int cmd_design(ArgParser& args) {
 }
 
 int cmd_charact(ArgParser& args) {
-  auto t = load(args.positionals().at(0));
-  if (!t) {
-    std::cerr << "error: " << t.status().to_string() << "\n";
-    return 1;
-  }
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
   const auto node = args.get_string("node") == "t1" ? charact::NodeType::kT1
                                                     : charact::NodeType::kT3;
   const auto k = static_cast<std::uint64_t>(args.get_int("k"));
@@ -339,11 +532,34 @@ int main(int argc, char** argv) {
   args.add_flag("legacy-scan", "",
                 "score: force the streaming per-packet path instead of the "
                 "fused bin-cache fast path (results are identical)");
+  args.add_flag("strict", "",
+                "reject corrupt captures outright (exit 65) instead of "
+                "keeping the clean prefix");
+  args.add_flag("salvage", "",
+                "skip corrupt records and resync instead of stopping at the "
+                "first bad header");
+  args.add_flag("on-error", "P",
+                "score: cell failure policy abort|skip|retry", "abort");
+  args.add_flag("retries", "N",
+                "score: extra attempts per failed cell under --on-error retry",
+                "2");
+  args.add_flag("cell-timeout", "SEC",
+                "score: per-cell watchdog deadline, 0 = none", "0");
+  args.add_flag("resume", "FILE",
+                "score: checkpoint journal; completed cells are replayed "
+                "from it and new ones appended");
+  args.add_flag("fault", "F",
+                "impair: truncate|bitflip|clock-back|clock-forward|duplicate|"
+                "drop-burst, or 'all'", "all");
+  args.add_flag("intensity", "LIST",
+                "impair: comma-separated per-record probabilities",
+                "0.001,0.01,0.05,0.1");
+  args.add_flag("csv", "", "impair: machine-readable CSV output");
 
   const auto status = args.parse(rest);
   if (!status.is_ok()) {
     std::cerr << "error: " << status.message() << "\n";
-    return 2;
+    return kExitUsage;
   }
   if (args.get_bool("help")) {
     std::cout << "flags for '" << cmd << "':\n" << args.help();
@@ -354,26 +570,32 @@ int main(int argc, char** argv) {
     if (cmd == "generate") {
       if (!args.has("out")) {
         std::cerr << "error: generate requires --out FILE\n";
-        return 2;
+        return kExitUsage;
       }
       return cmd_generate(args);
     }
     if (cmd == "inspect" || cmd == "sample" || cmd == "score" ||
-        cmd == "flows" || cmd == "charact") {
+        cmd == "flows" || cmd == "charact" || cmd == "impair") {
       if (args.positionals().empty()) {
         std::cerr << "error: " << cmd << " requires a pcap file argument\n";
-        return 2;
+        return kExitUsage;
       }
       if (cmd == "inspect") return cmd_inspect(args);
       if (cmd == "sample") return cmd_sample(args);
       if (cmd == "score") return cmd_score(args);
       if (cmd == "flows") return cmd_flows(args);
+      if (cmd == "impair") return cmd_impair(args);
       return cmd_charact(args);
     }
     if (cmd == "design") return cmd_design(args);
+  } catch (const StatusError& e) {
+    return fail(e.status());
+  } catch (const std::invalid_argument& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return kExitUsage;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
-    return 1;
+    return kExitInternal;
   }
   return usage();
 }
