@@ -17,6 +17,7 @@
 #include "exper/experiment.h"
 #include "exper/parallel.h"
 #include "exper/runner.h"
+#include "obs/export.h"
 #include "pcap/pcap.h"
 #include "util/format.h"
 
@@ -115,6 +116,39 @@ inline exper::Experiment bench_experiment(int argc, char** argv,
               << " malformed packets\n";
   }
   return exper::Experiment(std::move(*t));
+}
+
+/// Observability outputs requested on the command line. bench_obs() parses
+/// `--metrics-out FILE` / `--trace-out FILE` and flips the matching obs
+/// enable flags immediately, so everything the figure run does afterwards
+/// is counted; bench_obs_write() exports the files once the figure is done.
+/// The masked metrics JSON is part of the figures' determinism contract:
+/// bit-identical across --jobs levels for a fixed seed (docs/OBSERVABILITY.md).
+struct ObsArgs {
+  std::string metrics_path;
+  std::string trace_path;
+};
+
+inline ObsArgs bench_obs(int argc, char** argv) {
+  ObsArgs out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--metrics-out") out.metrics_path = argv[i + 1];
+    if (std::string(argv[i]) == "--trace-out") out.trace_path = argv[i + 1];
+  }
+  if (!out.metrics_path.empty() || !out.trace_path.empty()) {
+    obs::set_enabled(true);
+  }
+  if (!out.trace_path.empty()) obs::Tracer::global().set_enabled(true);
+  return out;
+}
+
+/// Write the requested snapshots; exits 2 on IO failure so a figure run in
+/// CI cannot silently lose its metrics.
+inline void bench_obs_write(const ObsArgs& args) {
+  if (!obs::write_metrics_file(args.metrics_path) ||
+      !obs::write_trace_file(args.trace_path)) {
+    std::exit(2);
+  }
 }
 
 inline void banner(const std::string& artifact, const std::string& what) {

@@ -11,6 +11,7 @@ using namespace netsample;
 
 int main(int argc, char** argv) {
   bench::bench_legacy_scan(argc, argv);
+  const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
   bench::banner("Figure 6 (paper: boxplots of systematic phi scores)",
                 "Packet size, 1024s interval, offset-replicated boxplots");
 
@@ -56,5 +57,6 @@ int main(int argc, char** argv) {
   bench::note("paper: 'two clear effects of decreasing the sampling fraction:");
   bench::note("increasing values ... and increasing variance within the set");
   bench::note("of samples for each method.'");
+  bench::bench_obs_write(obs_args);
   return 0;
 }

@@ -9,6 +9,7 @@ using namespace netsample;
 
 int main(int argc, char** argv) {
   bench::bench_legacy_scan(argc, argv);
+  const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
   bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
                 "Mean systematic phi, packet size, 1024s interval");
 
@@ -58,5 +59,6 @@ int main(int argc, char** argv) {
   bench::note("expected shape: monotone growth, near zero at 1/4; the");
   bench::note("measured curve tracks the closed-form multinomial prediction");
   bench::note("(unbiasedness of packet-count sampling, quantified).");
+  bench::bench_obs_write(obs_args);
   return 0;
 }

@@ -13,6 +13,7 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
                               const char* figure_title, int argc = 0,
                               char** argv = nullptr) {
   const int jobs = bench_jobs(argc, argv);
+  const ObsArgs obs_args = bench_obs(argc, argv);
   banner(figure_title,
          "Systematic sampling; exponentially growing measurement intervals");
 
@@ -74,6 +75,7 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
   note("paper shape: noisy at short intervals; for all sampling fractions");
   note("the scores improve (phi falls) as elapsed time grows; coarser");
   note("fractions sit uniformly higher.");
+  bench_obs_write(obs_args);
   return 0;
 }
 

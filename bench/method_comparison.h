@@ -13,6 +13,7 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
                                  const char* figure_title, int argc = 0,
                                  char** argv = nullptr) {
   const int jobs = bench_jobs(argc, argv);
+  const ObsArgs obs_args = bench_obs(argc, argv);
   banner(figure_title,
          "All five methods, 5 replications each, 1024s interval");
 
@@ -76,6 +77,7 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
             << render_chart(chart, x_ticks, opts) << "\n";
   note("paper shape: the two timer curves sit above the three packet");
   note("curves at every fraction; the three packet curves nearly coincide.");
+  bench_obs_write(obs_args);
   return 0;
 }
 

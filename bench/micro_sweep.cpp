@@ -64,6 +64,9 @@ int main(int argc, char** argv) {
   double minutes = 8.0;
   int reps = 5;
   const bool legacy_only = bench::bench_legacy_scan(argc, argv);
+  // --metrics-out/--trace-out also serve as the obs-overhead A/B switch:
+  // the acceptance bar is <3% on the fast path with metrics enabled.
+  const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const bool has_value = i + 1 < argc;
@@ -173,5 +176,6 @@ int main(int argc, char** argv) {
                           : "PHI MISMATCH — fast path disagrees with legacy");
   }
   bench::note("wrote " + out_path);
+  bench::bench_obs_write(obs_args);
   return all_match ? 0 : 1;
 }

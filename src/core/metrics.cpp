@@ -29,11 +29,17 @@ DisparityMetrics score_counts(std::span<const double> observed,
   if (f <= 0.0) f = obs_total / pop_total;
   if (f <= 0.0) f = 1.0;  // degenerate empty sample; cost = population mass
 
+  // Scale population counts to the sample size through one shared ratio:
+  // expected_i = population_i * (obs_total / pop_total). Under null sampling
+  // (sample == parent) the ratio is exactly 1.0, so expected_i == O_i in
+  // floating point and χ²/φ are *exactly* zero — the per-bin formulation
+  // (population_i / pop_total) * obs_total loses that identity to rounding.
+  // tests/test_statistical_conformance.cpp pins the exact zero.
+  const double scale = obs_total / pop_total;
   double phi_n = 0.0;
   std::size_t bins_used = 0;
   for (std::size_t i = 0; i < observed.size(); ++i) {
-    const double pi = population[i] / pop_total;
-    const double expected = pi * obs_total;
+    const double expected = population[i] * scale;
     const double oi = observed[i];
 
     // Population-scale l1: the sample's estimate of this bin's population

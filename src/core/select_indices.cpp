@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace netsample::core {
@@ -140,23 +142,74 @@ std::vector<std::size_t> select_indices(const SamplerSpec& spec,
     throw std::invalid_argument("sampler spec: granularity must be >= 1");
   }
   const std::size_t n = end - begin;
+  obs::Span kernel_span("kernel");
+  std::vector<std::size_t> out;
   switch (spec.method) {
     case Method::kSystematicCount:
-      return systematic_count(spec, n);
+      out = systematic_count(spec, n);
+      break;
     case Method::kStratifiedCount:
-      return stratified_count(spec, n);
+      out = stratified_count(spec, n);
+      break;
     case Method::kSimpleRandom:
-      return simple_random(spec, n);
+      out = simple_random(spec, n);
+      break;
     case Method::kSystematicTimer:
     case Method::kStratifiedTimer:
       // Validate even when the range is empty, matching make_sampler.
       (void)spec_timer_period(spec);
-      if (n == 0) return {};
-      return spec.method == Method::kSystematicTimer
-                 ? systematic_timer(spec, cache, begin, end)
-                 : stratified_timer(spec, cache, begin, end);
+      if (n == 0) break;
+      out = spec.method == Method::kSystematicTimer
+                ? systematic_timer(spec, cache, begin, end)
+                : stratified_timer(spec, cache, begin, end);
+      break;
+    default:
+      throw std::invalid_argument("sampler spec: unknown method");
   }
-  throw std::invalid_argument("sampler spec: unknown method");
+  if (obs::enabled()) {
+    // Every kernel's RNG consumption is a closed-form function of its
+    // output (that's what makes the streaming replay auditable), so the
+    // draw count is computed here instead of threading a counter through
+    // the kernels:
+    //   systematic count/timer  — deterministic, 0 draws
+    //   stratified count        — one uniform per bucket, ceil(n/k)
+    //   simple random (Alg. S)  — one uniform per scanned packet; the scan
+    //                             stops at the packet completing the sample
+    //   stratified timer        — initial trigger + one re-arm per selection
+    std::uint64_t draws = 0;
+    switch (spec.method) {
+      case Method::kStratifiedCount:
+        draws = (static_cast<std::uint64_t>(n) + spec.granularity - 1) /
+                spec.granularity;
+        break;
+      case Method::kSimpleRandom: {
+        const std::uint64_t limit =
+            std::min<std::uint64_t>(n, spec.population);
+        draws = (!out.empty() && out.size() == spec_simple_random_n(spec))
+                    ? static_cast<std::uint64_t>(out.back()) + 1
+                    : limit;
+        break;
+      }
+      case Method::kStratifiedTimer:
+        draws = static_cast<std::uint64_t>(out.size()) + (n != 0 ? 1 : 0);
+        break;
+      default:
+        break;
+    }
+    auto& reg = obs::registry();
+    static obs::Counter& calls = reg.counter("netsample_select_calls_total");
+    static obs::Counter& offered =
+        reg.counter("netsample_select_offered_total");
+    static obs::Counter& emitted =
+        reg.counter("netsample_select_indices_total");
+    static obs::Counter& rng_draws =
+        reg.counter("netsample_select_rng_draws_total");
+    calls.increment();
+    offered.add(n);
+    emitted.add(out.size());
+    rng_draws.add(draws);
+  }
+  return out;
 }
 
 }  // namespace netsample::core

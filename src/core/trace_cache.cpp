@@ -6,6 +6,8 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "obs/metrics.h"
+
 namespace netsample::core {
 
 BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
@@ -51,6 +53,16 @@ BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
       col[i + 1] = run;
     }
   }
+
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    static obs::Counter& builds =
+        reg.counter("netsample_trace_cache_builds_total");
+    static obs::Counter& packets =
+        reg.counter("netsample_trace_cache_packets_binned_total");
+    builds.increment();
+    packets.add(n);
+  }
 }
 
 std::size_t BinnedTraceCache::lower_bound_time(std::uint64_t t, std::size_t lo,
@@ -66,6 +78,11 @@ stats::Histogram BinnedTraceCache::population_histogram(Target t,
                                                         std::size_t end) const {
   if (begin > end || end > size()) {
     throw std::out_of_range("population_histogram: bad range");
+  }
+  {
+    static obs::Counter& calls = obs::registry().counter(
+        "netsample_trace_cache_population_histograms_total");
+    calls.increment();
   }
   const std::size_t n1 = size() + 1;
   if (t == Target::kPacketSize) {
@@ -93,6 +110,11 @@ stats::Histogram BinnedTraceCache::population_histogram(Target t,
 stats::Histogram BinnedTraceCache::sample_histogram(
     Target t, std::span<const std::size_t> view_indices,
     std::size_t view_begin) const {
+  {
+    static obs::Counter& calls = obs::registry().counter(
+        "netsample_trace_cache_sample_histograms_total");
+    calls.increment();
+  }
   if (t == Target::kPacketSize) {
     std::vector<std::uint64_t> counts(size_edges_.size() + 1, 0);
     for (const std::size_t rel : view_indices) {

@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cinttypes>
 #include <cstdlib>
 #include <cstring>
@@ -10,6 +11,7 @@
 #include <utility>
 
 #include "exper/runner.h"
+#include "obs/metrics.h"
 
 namespace netsample::exper {
 
@@ -242,7 +244,29 @@ Status CheckpointJournal::record(
   if (out_ == nullptr) {
     return Status(StatusCode::kInternal, "journal: not open");
   }
-  const Status ws = write_and_sync(out_, encode_line(key, reps) + "\n", path_);
+  Status ws = Status::ok();
+  if (obs::enabled()) {
+    // Each record is an fflush+fsync, so flush latency is the journal's
+    // whole cost story; wall time → nondeterministic section.
+    const auto t0 = std::chrono::steady_clock::now();
+    ws = write_and_sync(out_, encode_line(key, reps) + "\n", path_);
+    const auto dt = std::chrono::steady_clock::now() - t0;
+    auto& reg = obs::registry();
+    static obs::Counter& records =
+        reg.counter("netsample_journal_records_total");
+    static obs::Counter& flush_ns =
+        reg.counter("netsample_journal_flush_ns_total",
+                    obs::Determinism::kNondeterministic);
+    static obs::HistogramMetric& flush_hist = reg.histogram(
+        "netsample_journal_flush_seconds", obs::duration_bin_edges(),
+        obs::Determinism::kNondeterministic);
+    records.increment();
+    flush_ns.add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(dt).count()));
+    flush_hist.observe(std::chrono::duration<double>(dt).count());
+  } else {
+    ws = write_and_sync(out_, encode_line(key, reps) + "\n", path_);
+  }
   if (!ws.is_ok()) return ws;
   entries_[key] = reps;
   return Status::ok();

@@ -1,12 +1,33 @@
 #include "exper/parallel.h"
 
+#include <time.h>
+
 #include <algorithm>
+#include <chrono>
 #include <future>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "util/rng.h"
 
 namespace netsample::exper {
+
+namespace {
+
+/// Thread CPU time in seconds; 0.0 on platforms without the POSIX clock.
+double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return 0.0;
+}
+
+}  // namespace
 
 std::uint64_t task_seed(std::uint64_t base_seed, core::Method method,
                         std::uint64_t granularity,
@@ -46,7 +67,33 @@ ParallelRunner::ParallelRunner(int jobs)
   }
 }
 
-ParallelRunner::~ParallelRunner() = default;
+ParallelRunner::~ParallelRunner() { publish_pool_stats(); }
+
+void ParallelRunner::publish_pool_stats() {
+  if (!pool_ || !obs::enabled()) return;
+  using obs::Determinism;
+  const util::ThreadPool::Stats now = pool_->stats();
+  auto& reg = obs::registry();
+  // All of these depend on thread timing, so they live in the
+  // nondeterministic export section.
+  reg.gauge("netsample_pool_threads", Determinism::kNondeterministic)
+      .set(static_cast<double>(pool_->thread_count()));
+  reg.gauge("netsample_pool_queue_depth_max", Determinism::kNondeterministic)
+      .max(static_cast<double>(now.max_queue_depth));
+  reg.counter("netsample_pool_tasks_submitted_total",
+              Determinism::kNondeterministic)
+      .add(now.submitted - pool_published_.submitted);
+  reg.counter("netsample_pool_tasks_executed_total",
+              Determinism::kNondeterministic)
+      .add(now.executed - pool_published_.executed);
+  reg.counter("netsample_pool_queue_wait_ns_total",
+              Determinism::kNondeterministic)
+      .add(now.queue_wait_ns - pool_published_.queue_wait_ns);
+  reg.counter("netsample_pool_task_exec_ns_total",
+              Determinism::kNondeterministic)
+      .add(now.exec_ns - pool_published_.exec_ns);
+  pool_published_ = now;
+}
 
 namespace {
 
@@ -62,6 +109,18 @@ CellOutcome execute_cell(CellConfig cfg, std::size_t index,
                                    ? std::max(1, opts.max_attempts)
                                    : 1;
   CellOutcome out;
+  // Every executed attempt gets a timing record, finishing it inside the
+  // catch handlers too — a retried cell's wall-clock history must show all
+  // attempts, not just the one that finally succeeded.
+  auto finish_attempt = [&out](const std::chrono::steady_clock::time_point& w0,
+                               double c0) {
+    AttemptRecord& rec = out.attempt_log.back();
+    rec.status = out.status;
+    rec.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - w0)
+            .count();
+    rec.cpu_seconds = thread_cpu_seconds() - c0;
+  };
   for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
     // A sweep-wide cancel always wins: don't start (or retry) doomed work.
     if (sweep_cancel != nullptr && sweep_cancel->cancel_requested()) {
@@ -74,11 +133,15 @@ CellOutcome execute_cell(CellConfig cfg, std::size_t index,
                         ? cell_seed
                         : derive_seed({cell_seed,
                                        static_cast<std::uint64_t>(attempt)});
+    out.attempt_log.push_back(AttemptRecord{Status::ok(), cfg.base_seed, 0, 0});
+    const auto wall_start = std::chrono::steady_clock::now();
+    const double cpu_start = thread_cpu_seconds();
     util::CancelToken token;  // per-cell watchdog, chained to the sweep token
     token.link_parent(sweep_cancel);
     token.set_deadline_after(opts.cell_timeout_seconds);
     cfg.cancel = &token;
     try {
+      obs::Span attempt_span("attempt");
       if (opts.fault_injector) {
         const Status injected = opts.fault_injector(index, attempt);
         if (!injected.is_ok()) throw StatusError(injected);
@@ -87,10 +150,12 @@ CellOutcome execute_cell(CellConfig cfg, std::size_t index,
       out.result.config.cancel = nullptr;  // the token dies with this frame
       out.status = Status::ok();
       out.exception = nullptr;
+      finish_attempt(wall_start, cpu_start);
       return out;
     } catch (const StatusError& e) {
       out.status = e.status();
       out.exception = std::current_exception();
+      finish_attempt(wall_start, cpu_start);
       // External cancellation is not the cell's fault; retrying would just
       // observe it again.
       if (e.status().code() == StatusCode::kCancelled) return out;
@@ -98,9 +163,62 @@ CellOutcome execute_cell(CellConfig cfg, std::size_t index,
       out.status =
           Status(StatusCode::kInternal, std::string("run_cell: ") + e.what());
       out.exception = std::current_exception();
+      finish_attempt(wall_start, cpu_start);
     }
   }
   return out;
+}
+
+/// Fold one collected outcome into the obs registry. Runs on the
+/// coordinating thread, in task order, so deterministic counters cannot be
+/// perturbed by scheduling. Cancellation counts ARE scheduling-dependent
+/// (how many cells the abort token reached first), so they live in the
+/// nondeterministic section along with every duration.
+void record_cell_metrics(const CellOutcome& out) {
+  if (!obs::enabled()) return;
+  using obs::Determinism;
+  auto& reg = obs::registry();
+  static obs::Counter& cells = reg.counter("netsample_sweep_cells_total");
+  static obs::Counter& ok = reg.counter("netsample_sweep_cells_ok_total");
+  static obs::Counter& journal =
+      reg.counter("netsample_sweep_cells_from_journal_total");
+  static obs::Counter& quarantined =
+      reg.counter("netsample_sweep_cells_quarantined_total");
+  static obs::Counter& attempts = reg.counter("netsample_sweep_attempts_total");
+  static obs::Counter& retries = reg.counter("netsample_sweep_retries_total");
+  static obs::Counter& cancelled = reg.counter(
+      "netsample_sweep_cells_cancelled_total", Determinism::kNondeterministic);
+  static obs::Counter& wall_ns = reg.counter(
+      "netsample_cell_wall_ns_total", Determinism::kNondeterministic);
+  static obs::Counter& cpu_ns = reg.counter("netsample_cell_cpu_ns_total",
+                                            Determinism::kNondeterministic);
+  static obs::Counter& retry_wall_ns = reg.counter(
+      "netsample_retry_wall_ns_total", Determinism::kNondeterministic);
+  static obs::HistogramMetric& wall_hist =
+      reg.histogram("netsample_cell_wall_seconds", obs::duration_bin_edges(),
+                    Determinism::kNondeterministic);
+
+  cells.increment();
+  if (out.from_journal) journal.increment();
+  if (out.status.is_ok()) {
+    ok.increment();
+  } else if (out.status.code() == StatusCode::kCancelled) {
+    cancelled.increment();
+  } else {
+    quarantined.increment();
+  }
+  attempts.add(static_cast<std::uint64_t>(out.attempts));
+  if (out.attempts > 1) {
+    retries.add(static_cast<std::uint64_t>(out.attempts - 1));
+  }
+  for (const AttemptRecord& rec : out.attempt_log) {
+    wall_ns.add(static_cast<std::uint64_t>(rec.wall_seconds * 1e9));
+    cpu_ns.add(static_cast<std::uint64_t>(rec.cpu_seconds * 1e9));
+    wall_hist.observe(rec.wall_seconds);
+    if (!rec.status.is_ok()) {
+      retry_wall_ns.add(static_cast<std::uint64_t>(rec.wall_seconds * 1e9));
+    }
+  }
 }
 
 }  // namespace
@@ -128,8 +246,15 @@ RunReport ParallelRunner::run(const std::vector<GridTask>& tasks,
   util::CancelToken abort_token;
   abort_token.link_parent(opts.cancel);
 
-  auto run_one = [&opts, &abort_token](const CellConfig& cfg,
-                                       std::size_t index) {
+  // Trace chain: sweep (this thread) → cell (worker thread, explicit parent
+  // because thread-locals do not follow tasks through the pool) → attempt /
+  // kernel spans (implicit, same-thread).
+  obs::Span sweep_span("sweep");
+  const std::uint64_t sweep_span_id = sweep_span.id();
+
+  auto run_one = [&opts, &abort_token, sweep_span_id](const CellConfig& cfg,
+                                                      std::size_t index) {
+    obs::Span cell_span("cell", sweep_span_id);
     CellOutcome out = execute_cell(cfg, index, opts, &abort_token);
     if (opts.on_error == FailPolicy::kAbort && !out.status.is_ok() &&
         out.status.code() != StatusCode::kCancelled) {
@@ -174,8 +299,10 @@ RunReport ParallelRunner::run(const std::vector<GridTask>& tasks,
         (void)opts.journal->record(keys[i], out.result.replications);
       }
     }
+    record_cell_metrics(out);
     if (opts.on_cell_done) opts.on_cell_done(i, out.status);
   }
+  publish_pool_stats();
   return report;
 }
 
@@ -208,6 +335,7 @@ std::vector<CellResult> ParallelRunner::sweep_granularity(
     t.config.granularity = k;
     tasks.push_back(t);
   }
+  obs::Span ladder_span("ladder");  // run()'s sweep span chains under this
   return run(tasks, base.base_seed);
 }
 
@@ -224,6 +352,7 @@ std::vector<CellResult> ParallelRunner::sweep_interval(
     t.interval_index = i;
     tasks.push_back(t);
   }
+  obs::Span ladder_span("ladder");  // run()'s sweep span chains under this
   return run(tasks, base.base_seed);
 }
 

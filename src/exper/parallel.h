@@ -95,12 +95,26 @@ struct RunOptions {
   std::function<void(std::size_t task_index, const Status&)> on_cell_done{};
 };
 
+/// Timing record of one executed attempt of one cell. Every attempt is
+/// kept — a retried cell used to surface only its last attempt, which made
+/// retry-latency metrics lie about where the wall-clock went.
+struct AttemptRecord {
+  Status status;            // outcome of this attempt
+  std::uint64_t seed{0};    // the seed this attempt actually ran with
+  double wall_seconds{0};   // steady-clock duration of the attempt
+  double cpu_seconds{0};    // thread CPU time (0 where unsupported)
+};
+
 /// Outcome of one cell under a fault-tolerance policy.
 struct CellOutcome {
   Status status;       // OK iff `result` is valid
   CellResult result;
   int attempts{0};     // attempts actually executed (0 for journal replays
                        // and cells cancelled before starting)
+  /// One record per executed attempt, in attempt order; size() == attempts.
+  /// The last record's status equals `status` unless the cell was cancelled
+  /// before its first attempt.
+  std::vector<AttemptRecord> attempt_log;
   bool from_journal{false};
   /// The original exception when the last attempt threw (kept so the legacy
   /// abort path can rethrow the exact type).
@@ -163,8 +177,14 @@ class ParallelRunner {
       const std::vector<double>& interval_seconds);
 
  private:
+  /// Add the pool's scheduling counters accumulated since the last call to
+  /// the obs registry (nondeterministic section). No-op when metrics are
+  /// disabled or the runner is serial.
+  void publish_pool_stats();
+
   int jobs_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when jobs_ == 1
+  util::ThreadPool::Stats pool_published_{};  // high-water of published stats
 };
 
 }  // namespace netsample::exper

@@ -4,6 +4,8 @@
 #include <stdexcept>
 
 #include "core/select_indices.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 
 namespace netsample::exper {
 
@@ -86,6 +88,34 @@ void validate_cell(const CellConfig& config) {
   }
 }
 
+/// One bulk registry update per completed cell (never per packet): which
+/// engine ran, how many replications, the φ values produced, and — on the
+/// legacy path — how many packets the streaming scan walked. Fast-path
+/// packet accounting happens inside core::select_indices, which knows the
+/// per-kernel scan shape. Everything here derives from seeds and packet
+/// counts, so it all belongs to the deterministic export section.
+void record_cell_run(const CellResult& result, bool fast_path,
+                     std::size_t legacy_scanned) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  static obs::Counter& fast = reg.counter("netsample_cell_fastpath_total");
+  static obs::Counter& legacy = reg.counter("netsample_cell_legacy_total");
+  static obs::Counter& reps = reg.counter("netsample_cell_replications_total");
+  static obs::Counter& scanned =
+      reg.counter("netsample_scan_packets_total");
+  static obs::Counter& samples =
+      reg.counter("netsample_sample_packets_total");
+  static obs::HistogramMetric& phi =
+      reg.histogram("netsample_phi", obs::phi_bin_edges());
+  (fast_path ? fast : legacy).increment();
+  reps.add(result.replications.size());
+  scanned.add(legacy_scanned);
+  for (const auto& m : result.replications) {
+    phi.observe(m.phi);
+    samples.add(m.sample_n);
+  }
+}
+
 // Legacy streaming path with the population histogram already binned (it
 // depends only on the interval and target, so granularity sweeps hoist it).
 CellResult run_cell_replications(const CellConfig& config,
@@ -97,6 +127,7 @@ CellResult run_cell_replications(const CellConfig& config,
   result.replications.reserve(static_cast<std::size_t>(config.replications));
   for (int r = 0; r < config.replications; ++r) {
     util::throw_if_stopped(config.cancel);
+    obs::Span scan_span("scan");
     auto sampler = core::make_sampler(replication_spec(config, r));
     const auto sample = core::draw(config.interval, *sampler, config.cancel);
     const auto observed =
@@ -104,6 +135,9 @@ CellResult run_cell_replications(const CellConfig& config,
     result.replications.push_back(
         core::score_sample(observed, population, fraction));
   }
+  record_cell_run(result, /*fast_path=*/false,
+                  config.interval.size() *
+                      static_cast<std::size_t>(config.replications));
   return result;
 }
 
@@ -128,6 +162,7 @@ CellResult run_cell_fast(const CellConfig& config, std::size_t begin,
     result.replications.push_back(
         core::score_sample(observed, population, fraction));
   }
+  record_cell_run(result, /*fast_path=*/true, /*legacy_scanned=*/0);
   return result;
 }
 

@@ -1,0 +1,294 @@
+#include "obs/export.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string_view>
+
+namespace netsample::obs {
+
+namespace {
+
+/// Round-trip-exact double formatting; non-finite values become null so
+/// the document stays valid JSON.
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string fmt_double_list(const std::vector<double>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += fmt_double(vs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+std::string fmt_u64_list(const std::vector<std::uint64_t>& vs) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < vs.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += std::to_string(vs[i]);
+  }
+  out += "]";
+  return out;
+}
+
+/// One line per histogram so masking and `netsample stats` can stay
+/// line-oriented.
+std::string histogram_value(const HistogramSnapshot& h) {
+  std::string out = "{\"edges\": ";
+  out += fmt_double_list(h.edges);
+  out += ", \"counts\": ";
+  out += fmt_u64_list(h.counts);
+  out += ", \"total\": ";
+  out += std::to_string(h.total);
+  out += "}";
+  return out;
+}
+
+/// Emit `"kind": { entries }` with 6-space entry indentation.
+void emit_group(std::ostringstream& os, const char* kind,
+                const std::vector<std::string>& entries, bool trailing_comma) {
+  os << "    \"" << kind << "\": {";
+  if (entries.empty()) {
+    os << "}";
+  } else {
+    os << "\n";
+    for (std::size_t i = 0; i < entries.size(); ++i) {
+      os << "      " << entries[i];
+      if (i + 1 != entries.size()) os << ",";
+      os << "\n";
+    }
+    os << "    }";
+  }
+  if (trailing_comma) os << ",";
+  os << "\n";
+}
+
+void emit_section(std::ostringstream& os, const MetricsSnapshot& snap,
+                  Determinism det, const char* title, bool trailing_comma) {
+  std::vector<std::string> counters, gauges, histograms;
+  for (const auto& c : snap.counters) {
+    if (c.det != det) continue;
+    counters.push_back("\"" + c.name + "\": " + std::to_string(c.value));
+  }
+  for (const auto& g : snap.gauges) {
+    if (g.det != det) continue;
+    gauges.push_back("\"" + g.name + "\": " + fmt_double(g.value));
+  }
+  for (const auto& h : snap.histograms) {
+    if (h.det != det) continue;
+    histograms.push_back("\"" + h.name + "\": " + histogram_value(h));
+  }
+  os << "  \"" << title << "\": {\n";
+  emit_group(os, "counters", counters, /*trailing_comma=*/true);
+  emit_group(os, "gauges", gauges, /*trailing_comma=*/true);
+  emit_group(os, "histograms", histograms, /*trailing_comma=*/false);
+  os << "  }";
+  if (trailing_comma) os << ",";
+  os << "\n";
+}
+
+}  // namespace
+
+std::string to_json(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"netsample_metrics_version\": 1,\n";
+  emit_section(os, snap, Determinism::kDeterministic, "deterministic",
+               /*trailing_comma=*/true);
+  emit_section(os, snap, Determinism::kNondeterministic, "nondeterministic",
+               /*trailing_comma=*/false);
+  os << "}\n";
+  return os.str();
+}
+
+std::string spans_to_json(const std::vector<SpanRecord>& spans) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"netsample_trace_version\": 1,\n";
+  os << "  \"spans\": [";
+  if (spans.empty()) {
+    os << "]\n";
+  } else {
+    os << "\n";
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const SpanRecord& s = spans[i];
+      os << "    {\"id\": " << s.id << ", \"parent\": " << s.parent_id
+         << ", \"name\": \"" << s.name << "\", \"start_ns\": " << s.start_ns
+         << ", \"duration_ns\": " << s.duration_ns << "}";
+      if (i + 1 != spans.size()) os << ",";
+      os << "\n";
+    }
+    os << "  ]\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_prometheus(const MetricsSnapshot& snap) {
+  std::ostringstream os;
+  auto det_note = [&](Determinism det) {
+    if (det == Determinism::kNondeterministic) {
+      os << "# netsample_determinism nondeterministic\n";
+    }
+  };
+  for (const auto& c : snap.counters) {
+    det_note(c.det);
+    os << "# TYPE " << c.name << " counter\n";
+    os << c.name << " " << c.value << "\n";
+  }
+  for (const auto& g : snap.gauges) {
+    det_note(g.det);
+    os << "# TYPE " << g.name << " gauge\n";
+    os << g.name << " " << fmt_double(g.value) << "\n";
+  }
+  for (const auto& h : snap.histograms) {
+    det_note(h.det);
+    os << "# TYPE " << h.name << " histogram\n";
+    std::uint64_t cumulative = 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      os << h.name << "_bucket{le=\"";
+      if (b < h.edges.size()) {
+        os << fmt_double(h.edges[b]);
+      } else {
+        os << "+Inf";
+      }
+      os << "\"} " << cumulative << "\n";
+    }
+    os << h.name << "_count " << h.total << "\n";
+  }
+  return os.str();
+}
+
+std::string masked_json(const std::string& json) {
+  const std::string marker = "\"nondeterministic\"";
+  const std::size_t pos = json.find(marker);
+  if (pos == std::string::npos) return json;
+  std::string out = json.substr(0, pos);
+  // Drop the indentation of the marker line, trailing whitespace and the
+  // comma that separated the sections, then close the object.
+  while (!out.empty() &&
+         (out.back() == ' ' || out.back() == '\n' || out.back() == '\t')) {
+    out.pop_back();
+  }
+  if (!out.empty() && out.back() == ',') out.pop_back();
+  out += "\n}\n";
+  return out;
+}
+
+std::string pretty_metrics(const std::string& json) {
+  std::istringstream in(json);
+  std::ostringstream os;
+  std::string line;
+  std::string section;
+  std::string kind;
+  auto extract_name = [](const std::string& l) -> std::string {
+    const std::size_t q0 = l.find('"');
+    if (q0 == std::string::npos) return {};
+    const std::size_t q1 = l.find('"', q0 + 1);
+    if (q1 == std::string::npos) return {};
+    return l.substr(q0 + 1, q1 - q0 - 1);
+  };
+  while (std::getline(in, line)) {
+    if (line.find("\"deterministic\": {") != std::string::npos) {
+      section = "deterministic";
+      os << "== deterministic (bit-identical across --jobs for a fixed seed) ==\n";
+      continue;
+    }
+    if (line.find("\"nondeterministic\": {") != std::string::npos) {
+      section = "nondeterministic";
+      os << "== nondeterministic (wall/CPU time, scheduler state) ==\n";
+      continue;
+    }
+    if (section.empty()) continue;
+    if (line.find("\"counters\": {") != std::string::npos) {
+      kind = "counter";
+      continue;
+    }
+    if (line.find("\"gauges\": {") != std::string::npos) {
+      kind = "gauge";
+      continue;
+    }
+    if (line.find("\"histograms\": {") != std::string::npos) {
+      kind = "histogram";
+      continue;
+    }
+    const std::string name = extract_name(line);
+    if (name.empty() || kind.empty()) continue;
+    const std::size_t colon = line.find(':');
+    if (colon == std::string::npos) continue;
+    std::string value = line.substr(colon + 1);
+    while (!value.empty() && (value.front() == ' ')) value.erase(0, 1);
+    while (!value.empty() && (value.back() == ',' || value.back() == ' ')) {
+      value.pop_back();
+    }
+    if (kind == "histogram") {
+      // Reduce {"edges": [...], "counts": [...], "total": N} to the parts
+      // a human scans for.
+      const std::size_t cpos = value.find("\"counts\": ");
+      const std::size_t tpos = value.find("\"total\": ");
+      std::string counts, total;
+      if (cpos != std::string::npos) {
+        const std::size_t open = value.find('[', cpos);
+        const std::size_t close = value.find(']', cpos);
+        if (open != std::string::npos && close != std::string::npos) {
+          counts = value.substr(open, close - open + 1);
+        }
+      }
+      if (tpos != std::string::npos) {
+        std::size_t end = tpos + 9;
+        while (end < value.size() && value[end] != '}' && value[end] != ',') {
+          ++end;
+        }
+        total = value.substr(tpos + 9, end - tpos - 9);
+      }
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  %-48s %-10s total=%s", name.c_str(),
+                    "histogram", total.c_str());
+      os << buf << " counts=" << counts << "\n";
+    } else {
+      char buf[256];
+      std::snprintf(buf, sizeof(buf), "  %-48s %-10s %s", name.c_str(),
+                    kind.c_str(), value.c_str());
+      os << buf << "\n";
+    }
+  }
+  if (section.empty()) {
+    os << "(no exporter sections found; is this a netsample metrics JSON?)\n";
+  }
+  return os.str();
+}
+
+bool write_metrics_file(const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << to_json(registry().snapshot());
+  if (!out) {
+    std::cerr << "obs: failed to write metrics to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool write_trace_file(const std::string& path) {
+  if (path.empty()) return true;
+  std::ofstream out(path, std::ios::trunc);
+  if (out) out << spans_to_json(Tracer::global().snapshot());
+  if (!out) {
+    std::cerr << "obs: failed to write trace to " << path << "\n";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace netsample::obs

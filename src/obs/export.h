@@ -1,0 +1,61 @@
+// Deterministic JSON / Prometheus-text exports of a metrics snapshot.
+//
+// The JSON layout is the determinism contract made concrete:
+//
+//   {
+//     "netsample_metrics_version": 1,
+//     "deterministic":    { "counters": {...}, "gauges": {...},
+//                           "histograms": {...} },
+//     "nondeterministic": { "counters": {...}, "gauges": {...},
+//                           "histograms": {...} }
+//   }
+//
+// Keys are sorted, doubles are printed with %.17g (round-trip exact), and
+// the nondeterministic section is always LAST, so masking a snapshot for a
+// golden comparison is a pure truncation: drop everything from the
+// `"nondeterministic"` line on and close the object (masked_json()). With a
+// fixed seed the masked form is bit-identical across --jobs levels; ctest
+// and CI diff it directly (see docs/OBSERVABILITY.md).
+//
+// Span traces are wall-clock by nature, so they are exported as a separate
+// document (spans_to_json → --trace-out), never mixed into the metrics
+// snapshot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace netsample::obs {
+
+/// Snapshot → deterministic JSON (layout documented above).
+[[nodiscard]] std::string to_json(const MetricsSnapshot& snap);
+
+/// Finished spans → JSON {"netsample_trace_version": 1, "spans": [...]}.
+[[nodiscard]] std::string spans_to_json(const std::vector<SpanRecord>& spans);
+
+/// Snapshot → Prometheus text exposition. Nondeterministic metrics carry a
+/// `# netsample_determinism nondeterministic` comment line.
+[[nodiscard]] std::string to_prometheus(const MetricsSnapshot& snap);
+
+/// Strip the nondeterministic section from exporter JSON (pure truncation
+/// at the `"nondeterministic"` marker; returns the input unchanged when no
+/// marker is present). The result is still valid JSON.
+[[nodiscard]] std::string masked_json(const std::string& json);
+
+/// Human-readable table of a metrics JSON document (as written by
+/// to_json); used by `netsample stats`. Only understands the exporter's
+/// own line-oriented layout.
+[[nodiscard]] std::string pretty_metrics(const std::string& json);
+
+/// Snapshot the global registry and write to_json() to `path`.
+/// Returns false and reports to stderr on IO failure. No-op (true) when
+/// path is empty.
+bool write_metrics_file(const std::string& path);
+
+/// Snapshot the global tracer and write spans_to_json() to `path`.
+bool write_trace_file(const std::string& path);
+
+}  // namespace netsample::obs

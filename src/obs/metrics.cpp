@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace netsample::obs {
+
+namespace detail {
+std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+void set_enabled(bool on) {
+  if constexpr (detail::kCompiledIn) {
+    detail::g_enabled.store(on, std::memory_order_relaxed);
+  } else {
+    (void)on;
+  }
+}
+
+HistogramMetric::HistogramMetric(std::string name, Determinism det,
+                                 std::vector<double> edges)
+    : name_(std::move(name)),
+      det_(det),
+      layout_(std::move(edges)),
+      counts_(layout_.bin_count()) {}
+
+std::vector<std::uint64_t> HistogramMetric::counts() const {
+  std::vector<std::uint64_t> out(counts_.size());
+  for (std::size_t i = 0; i < counts_.size(); ++i) {
+    out[i] = counts_[i].load(std::memory_order_relaxed);
+  }
+  return out;
+}
+
+std::uint64_t HistogramMetric::total() const {
+  std::uint64_t t = 0;
+  for (const auto& c : counts_) t += c.load(std::memory_order_relaxed);
+  return t;
+}
+
+void HistogramMetric::reset() {
+  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  static MetricsRegistry* instance = new MetricsRegistry();  // never freed
+  return *instance;
+}
+
+MetricsRegistry& registry() { return MetricsRegistry::global(); }
+
+MetricsRegistry::Shard& MetricsRegistry::shard_for(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter& MetricsRegistry::counter(std::string_view name, Determinism det) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.counters.find(name);
+  if (it == s.counters.end()) {
+    it = s.counters
+             .emplace(std::string(name),
+                      std::make_unique<Counter>(std::string(name), det))
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, Determinism det) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.gauges.find(name);
+  if (it == s.gauges.end()) {
+    it = s.gauges
+             .emplace(std::string(name),
+                      std::make_unique<Gauge>(std::string(name), det))
+             .first;
+  }
+  return *it->second;
+}
+
+HistogramMetric& MetricsRegistry::histogram(std::string_view name,
+                                            std::vector<double> edges,
+                                            Determinism det) {
+  Shard& s = shard_for(name);
+  std::lock_guard<std::mutex> lock(s.mu);
+  auto it = s.histograms.find(name);
+  if (it == s.histograms.end()) {
+    it = s.histograms
+             .emplace(std::string(name),
+                      std::make_unique<HistogramMetric>(std::string(name), det,
+                                                        std::move(edges)))
+             .first;
+  } else {
+    const auto& have = it->second->edges();
+    if (!std::equal(have.begin(), have.end(), edges.begin(), edges.end())) {
+      throw std::invalid_argument("obs histogram '" + std::string(name) +
+                                  "' re-registered with different edges");
+    }
+  }
+  return *it->second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  MetricsSnapshot snap;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (const auto& [name, c] : s.counters) {
+      snap.counters.push_back({name, c->determinism(), c->value()});
+    }
+    for (const auto& [name, g] : s.gauges) {
+      snap.gauges.push_back({name, g->determinism(), g->value()});
+    }
+    for (const auto& [name, h] : s.histograms) {
+      HistogramSnapshot hs;
+      hs.name = name;
+      hs.det = h->determinism();
+      hs.edges.assign(h->edges().begin(), h->edges().end());
+      hs.counts = h->counts();
+      hs.total = 0;
+      for (std::uint64_t c : hs.counts) hs.total += c;
+      snap.histograms.push_back(std::move(hs));
+    }
+  }
+  auto by_name = [](const auto& a, const auto& b) { return a.name < b.name; };
+  std::sort(snap.counters.begin(), snap.counters.end(), by_name);
+  std::sort(snap.gauges.begin(), snap.gauges.end(), by_name);
+  std::sort(snap.histograms.begin(), snap.histograms.end(), by_name);
+  return snap;
+}
+
+void MetricsRegistry::reset() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    for (auto& [name, c] : s.counters) c->reset();
+    for (auto& [name, g] : s.gauges) g->reset();
+    for (auto& [name, h] : s.histograms) h->reset();
+  }
+}
+
+std::vector<double> phi_bin_edges() {
+  return {0.0005, 0.001, 0.0025, 0.005, 0.01,
+          0.025,  0.05,  0.1,    0.25,  0.5};
+}
+
+std::vector<double> duration_bin_edges() {
+  return {1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1.0, 10.0};
+}
+
+}  // namespace netsample::obs

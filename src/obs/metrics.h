@@ -1,0 +1,260 @@
+// Lock-sharded metrics registry: counters, gauges, fixed-bin histograms.
+//
+// The sweep engine is instrumented with named metrics so that a figure run
+// can export *what it actually did* — cells executed, packets scanned,
+// RNG draws consumed, φ values observed — alongside the results. Design
+// constraints, in order:
+//
+//   1. Zero overhead when disabled. Every mutator first checks the global
+//      `enabled()` flag (one relaxed atomic load, branch-predicted false).
+//      Configuring with -DNETSAMPLE_OBS=OFF compiles the flag to a
+//      constant `false`, so the optimizer deletes the instrumentation
+//      entirely.
+//   2. Deterministic exports. Metrics are tagged kDeterministic or
+//      kNondeterministic at registration. Deterministic metrics derive
+//      only from logical work (seeds, packet counts) and are bit-identical
+//      across --jobs levels; wall/CPU durations and scheduler counters are
+//      nondeterministic and exported in a separate, maskable section (see
+//      docs/OBSERVABILITY.md).
+//   3. Cheap concurrent updates. Values are relaxed atomics; the registry
+//      map is sharded by name hash so handle lookup never funnels through
+//      one mutex. Instrument sites cache the handle in a function-local
+//      static, so steady-state cost is a single atomic RMW.
+//
+// Handles returned by counter()/gauge()/histogram() stay valid for the
+// registry's lifetime: entries are never erased (reset() zeroes values but
+// keeps the objects).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "stats/histogram.h"
+
+namespace netsample::obs {
+
+/// Export-section tag. Deterministic metrics must be bit-identical across
+/// --jobs levels for a fixed seed; nondeterministic ones (durations, pool
+/// scheduling counters) are exported in a maskable section.
+enum class Determinism : std::uint8_t {
+  kDeterministic,
+  kNondeterministic,
+};
+
+namespace detail {
+#if defined(NETSAMPLE_OBS_DISABLED)
+inline constexpr bool kCompiledIn = false;
+#else
+inline constexpr bool kCompiledIn = true;
+#endif
+extern std::atomic<bool> g_enabled;
+}  // namespace detail
+
+/// Global metrics gate. Off by default; CLI/bench entry points flip it on
+/// when --metrics-out / --trace-out is given. With NETSAMPLE_OBS=OFF this
+/// folds to `false` and instrumentation compiles away.
+[[nodiscard]] inline bool enabled() {
+  if constexpr (!detail::kCompiledIn) {
+    return false;
+  } else {
+    return detail::g_enabled.load(std::memory_order_relaxed);
+  }
+}
+
+/// Enable/disable metric accumulation. No-op when compiled out.
+void set_enabled(bool on);
+
+/// Monotonic counter. Mutators are no-ops while obs is disabled.
+class Counter {
+ public:
+  Counter(std::string name, Determinism det)
+      : name_(std::move(name)), det_(det) {}
+
+  void add(std::uint64_t delta) {
+    if (!enabled()) return;
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Determinism determinism() const { return det_; }
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  Determinism det_;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-writer-wins double gauge. set()/add() are no-ops while disabled;
+/// max() keeps the running maximum (used for queue-depth high-water marks).
+class Gauge {
+ public:
+  Gauge(std::string name, Determinism det)
+      : name_(std::move(name)), det_(det) {}
+
+  void set(double v) {
+    if (!enabled()) return;
+    value_.store(v, std::memory_order_relaxed);
+  }
+  void add(double delta) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  void max(double v) {
+    if (!enabled()) return;
+    double cur = value_.load(std::memory_order_relaxed);
+    while (cur < v && !value_.compare_exchange_weak(
+                          cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Determinism determinism() const { return det_; }
+
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  Determinism det_;
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bin histogram with atomic per-bin accumulation. Binning delegates
+/// to stats::Histogram::bin_index — the same edge semantics as the paper
+/// bins and BinnedTraceCache, so there is a single binning truth
+/// (tests/test_obs_binning.cpp pins the two implementations together).
+class HistogramMetric {
+ public:
+  HistogramMetric(std::string name, Determinism det,
+                  std::vector<double> edges);
+
+  void observe(double x, std::uint64_t weight = 1) {
+    if (!enabled()) return;
+    counts_[layout_.bin_index(x)].fetch_add(weight,
+                                            std::memory_order_relaxed);
+  }
+  /// Bulk add into a bin by index (used when counts are already binned,
+  /// e.g. replayed from BinnedTraceCache prefix tables).
+  void add_to_bin(std::size_t bin, std::uint64_t weight) {
+    if (!enabled()) return;
+    counts_.at(bin).fetch_add(weight, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t bin_count() const { return layout_.bin_count(); }
+  [[nodiscard]] std::span<const double> edges() const {
+    return layout_.edges();
+  }
+  [[nodiscard]] std::uint64_t count(std::size_t bin) const {
+    return counts_.at(bin).load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::vector<std::uint64_t> counts() const;
+  [[nodiscard]] std::uint64_t total() const;
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Determinism determinism() const { return det_; }
+
+  void reset();
+
+ private:
+  std::string name_;
+  Determinism det_;
+  stats::Histogram layout_;  // counts unused; provides edges + bin_index
+  std::vector<std::atomic<std::uint64_t>> counts_;
+};
+
+/// Point-in-time copy of one metric, used by the exporter.
+struct CounterSnapshot {
+  std::string name;
+  Determinism det{Determinism::kDeterministic};
+  std::uint64_t value{0};
+};
+struct GaugeSnapshot {
+  std::string name;
+  Determinism det{Determinism::kDeterministic};
+  double value{0.0};
+};
+struct HistogramSnapshot {
+  std::string name;
+  Determinism det{Determinism::kDeterministic};
+  std::vector<double> edges;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t total{0};
+};
+
+/// Full registry snapshot; names are sorted so exports are reproducible.
+struct MetricsSnapshot {
+  std::vector<CounterSnapshot> counters;
+  std::vector<GaugeSnapshot> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
+/// Process-wide metric registry, sharded by name hash. Registration takes
+/// one shard mutex; returned references are stable forever.
+class MetricsRegistry {
+ public:
+  static MetricsRegistry& global();
+
+  /// Find-or-create. The Determinism/edges arguments only matter on first
+  /// registration; later calls with the same name return the original
+  /// object (mismatched edges throw std::invalid_argument).
+  Counter& counter(std::string_view name,
+                   Determinism det = Determinism::kDeterministic);
+  Gauge& gauge(std::string_view name,
+               Determinism det = Determinism::kDeterministic);
+  HistogramMetric& histogram(std::string_view name, std::vector<double> edges,
+                             Determinism det = Determinism::kDeterministic);
+
+  /// Sorted point-in-time copy of every registered metric.
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zero every value (objects and handles survive). Test isolation only.
+  void reset();
+
+ private:
+  MetricsRegistry() = default;
+
+  static constexpr std::size_t kShards = 16;
+  struct Shard {
+    mutable std::mutex mu;
+    // std::map keeps pointers stable and iteration ordered; registration
+    // is rare (one lookup per instrument site per process), so the
+    // log-time insert is irrelevant.
+    std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+    std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+    std::map<std::string, std::unique_ptr<HistogramMetric>, std::less<>>
+        histograms;
+  };
+  [[nodiscard]] Shard& shard_for(std::string_view name);
+
+  Shard shards_[kShards];
+};
+
+/// Shorthand for MetricsRegistry::global().
+MetricsRegistry& registry();
+
+/// φ-distribution bin edges used by the netsample_phi histogram metric:
+/// the paper's disparity values live on [0, ~1], log-ish spaced.
+std::vector<double> phi_bin_edges();
+
+/// Duration bin edges (seconds) for latency histograms, log spaced
+/// 10 µs … 10 s.
+std::vector<double> duration_bin_edges();
+
+}  // namespace netsample::obs

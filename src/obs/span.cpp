@@ -1,0 +1,82 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace netsample::obs {
+
+namespace {
+thread_local std::uint64_t t_current_span = 0;
+}  // namespace
+
+Tracer::Tracer() : epoch_(std::chrono::steady_clock::now()) {}
+
+Tracer& Tracer::global() {
+  static Tracer* instance = new Tracer();  // never freed
+  return *instance;
+}
+
+void Tracer::set_enabled(bool on) {
+  enabled_.store(on, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out = spans_;
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) { return a.id < b.id; });
+  return out;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.clear();
+  next_id_.store(0, std::memory_order_relaxed);
+}
+
+void Tracer::record(SpanRecord rec) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(rec));
+}
+
+Span::Span(std::string_view name) { open(name, t_current_span); }
+
+Span::Span(std::string_view name, std::uint64_t parent_id) {
+  open(name, parent_id);
+}
+
+void Span::open(std::string_view name, std::uint64_t parent_id) {
+  Tracer& tracer = Tracer::global();
+  if (!tracer.enabled()) return;  // id_ stays 0: inert span
+  id_ = tracer.next_id();
+  parent_id_ = parent_id;
+  name_ = name;
+  saved_current_ = t_current_span;
+  t_current_span = id_;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (id_ == 0) return;
+  const auto end = std::chrono::steady_clock::now();
+  t_current_span = saved_current_;
+  Tracer& tracer = Tracer::global();
+  SpanRecord rec;
+  rec.id = id_;
+  rec.parent_id = parent_id_;
+  rec.name = std::move(name_);
+  rec.start_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(start_ -
+                                                           tracer.epoch())
+          .count());
+  rec.duration_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  tracer.record(std::move(rec));
+}
+
+std::uint64_t Span::current_id() { return t_current_span; }
+
+}  // namespace netsample::obs

@@ -1,0 +1,109 @@
+// Scoped timing spans with parent chaining (sweep → ladder → cell → kernel).
+//
+// A Span is an RAII timer: construction stamps a start time, destruction
+// records a SpanRecord into the global Tracer. Parenting works two ways:
+//
+//   - Same thread: a thread-local "current span" stack chains nested spans
+//     automatically (ladder → cell → kernel on the serial path).
+//   - Across threads: the sweep span's id is passed explicitly to the cell
+//     span constructed on a worker thread, because thread-locals do not
+//     follow work through the pool.
+//
+// Spans measure wall time, so every SpanRecord is nondeterministic by
+// definition and the exporter keeps traces out of the maskable-deterministic
+// metrics section entirely (spans go to --trace-out, not --metrics-out).
+//
+// Tracing has its own enable flag, separate from metrics: a --metrics-out
+// run should not pay for span bookkeeping it will never export. Disabled
+// spans are inert (id 0, no clock reads, no allocation).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace netsample::obs {
+
+/// One finished span. start_ns is relative to the Tracer epoch (the first
+/// enable), so values are small and self-consistent within a process.
+struct SpanRecord {
+  std::uint64_t id{0};
+  std::uint64_t parent_id{0};  // 0 = root
+  std::string name;
+  std::uint64_t start_ns{0};
+  std::uint64_t duration_ns{0};
+};
+
+/// Process-wide collector of finished spans. Record order is completion
+/// order (mutex-serialized); the exporter sorts by id for stable output.
+class Tracer {
+ public:
+  static Tracer& global();
+
+  void set_enabled(bool on);
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Copy of all finished spans, sorted by id.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Drop all records and restart ids (test isolation).
+  void clear();
+
+  // -- used by Span; not part of the instrumented-code API --
+  [[nodiscard]] std::uint64_t next_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  void record(SpanRecord rec);
+  [[nodiscard]] std::chrono::steady_clock::time_point epoch() const {
+    return epoch_;
+  }
+
+ private:
+  Tracer();
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<std::uint64_t> next_id_{0};
+  std::chrono::steady_clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanRecord> spans_;
+};
+
+/// RAII scoped span. Inert (zero work beyond one relaxed load) when the
+/// tracer is disabled at construction time.
+class Span {
+ public:
+  /// Parent = the calling thread's innermost live span (0 if none).
+  explicit Span(std::string_view name);
+  /// Explicit parent id, for chaining across pool threads.
+  Span(std::string_view name, std::uint64_t parent_id);
+  ~Span();
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&&) = delete;
+  Span& operator=(Span&&) = delete;
+
+  /// This span's id (0 when tracing was disabled at construction).
+  [[nodiscard]] std::uint64_t id() const { return id_; }
+
+  /// The calling thread's innermost live span id (0 if none). Pass this
+  /// into a task so the worker can parent its spans under the caller's.
+  [[nodiscard]] static std::uint64_t current_id();
+
+ private:
+  void open(std::string_view name, std::uint64_t parent_id);
+
+  std::uint64_t id_{0};
+  std::uint64_t parent_id_{0};
+  std::uint64_t saved_current_{0};
+  std::string name_;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace netsample::obs

@@ -5,6 +5,7 @@
 #include <fstream>
 
 #include "net/headers.h"
+#include "obs/metrics.h"
 #include "util/byteorder.h"
 
 namespace netsample::pcap {
@@ -56,11 +57,56 @@ bool plausible_record_at(std::span<const std::uint8_t> bytes, std::size_t off,
   return true;
 }
 
+// Ingest counters are pure functions of the capture bytes, so they belong
+// to the deterministic metrics section. Published once per parse()/decode()
+// via scope guards (both functions have several exit paths).
+void publish_parse_stats(const ParseStats& s) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  static obs::Counter& records = reg.counter("netsample_pcap_records_total");
+  static obs::Counter& corrupt =
+      reg.counter("netsample_pcap_corrupt_records_total");
+  static obs::Counter& skipped =
+      reg.counter("netsample_pcap_skipped_bytes_total");
+  static obs::Counter& torn =
+      reg.counter("netsample_pcap_torn_tail_bytes_total");
+  records.add(s.records);
+  corrupt.add(s.corrupt_records);
+  skipped.add(s.skipped_bytes);
+  torn.add(s.torn_tail_bytes);
+}
+
+void publish_decode_stats(const DecodeStats& s) {
+  if (!obs::enabled()) return;
+  auto& reg = obs::registry();
+  static obs::Counter& decoded =
+      reg.counter("netsample_pcap_packets_decoded_total");
+  static obs::Counter& non_ipv4 = reg.counter("netsample_pcap_non_ipv4_total");
+  static obs::Counter& malformed =
+      reg.counter("netsample_pcap_malformed_total");
+  static obs::Counter& out_of_order =
+      reg.counter("netsample_pcap_out_of_order_total");
+  decoded.add(s.decoded);
+  non_ipv4.add(s.non_ipv4);
+  malformed.add(s.malformed);
+  out_of_order.add(s.out_of_order);
+}
+
+struct ParseStatsPublisher {
+  const ParseStats& s;
+  ~ParseStatsPublisher() { publish_parse_stats(s); }
+};
+struct DecodeStatsPublisher {
+  const DecodeStats& s;
+  ~DecodeStatsPublisher() { publish_decode_stats(s); }
+};
+
 }  // namespace
 
 StatusOr<CaptureFile> parse(std::span<const std::uint8_t> bytes,
                             const ParseOptions& options, ParseStats* stats) {
   ParseStats local;
+  ParseStatsPublisher publisher{local};
   if (bytes.size() < kGlobalHeaderSize) {
     if (stats != nullptr) *stats = local;
     return Status(StatusCode::kDataLoss,
@@ -215,6 +261,7 @@ Status write_file(const std::string& path, const CaptureFile& file) {
 
 trace::Trace decode(const CaptureFile& file, DecodeStats* stats) {
   DecodeStats local;
+  DecodeStatsPublisher publisher{local};
   std::vector<trace::PacketRecord> records;
   records.reserve(file.records.size());
 

@@ -31,20 +31,35 @@ std::size_t ThreadPool::queued() const {
   return queue_.size();
 }
 
+ThreadPool::Stats ThreadPool::stats() const {
+  Stats s;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    s.submitted = submitted_;
+    s.max_queue_depth = max_queue_depth_;
+    s.queue_wait_ns = queue_wait_ns_;
+  }
+  s.executed = executed_.load(std::memory_order_relaxed);
+  s.exec_ns = exec_ns_.load(std::memory_order_relaxed);
+  return s;
+}
+
 void ThreadPool::enqueue(std::function<void()> task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) {
       throw std::runtime_error("ThreadPool::submit after shutdown");
     }
-    queue_.push(std::move(task));
+    queue_.push(QueuedTask{std::move(task), std::chrono::steady_clock::now()});
+    ++submitted_;
+    max_queue_depth_ = std::max<std::uint64_t>(max_queue_depth_, queue_.size());
   }
   work_available_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    QueuedTask task;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_available_.wait(lock,
@@ -54,8 +69,20 @@ void ThreadPool::worker_loop() {
       if (queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop();
+      queue_wait_ns_ += static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued_at)
+              .count());
     }
-    task();  // packaged_task captures any exception into its future
+    const auto exec_start = std::chrono::steady_clock::now();
+    task.fn();  // packaged_task captures any exception into its future
+    exec_ns_.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - exec_start)
+                .count()),
+        std::memory_order_relaxed);
+    executed_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 

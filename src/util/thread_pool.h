@@ -8,8 +8,11 @@
 // so a future obtained from submit() is always eventually satisfied.
 #pragma once
 
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -49,6 +52,19 @@ class ThreadPool {
   /// Tasks accepted but not yet started (snapshot; racy by nature).
   [[nodiscard]] std::size_t queued() const;
 
+  /// Scheduling counters, all inherently nondeterministic (they depend on
+  /// thread timing). util cannot depend on src/obs (obs sits above util in
+  /// the layering), so the pool only exposes this plain snapshot;
+  /// exper::ParallelRunner publishes it into the obs registry.
+  struct Stats {
+    std::uint64_t submitted{0};        // tasks accepted by submit()
+    std::uint64_t executed{0};         // tasks that finished running
+    std::uint64_t max_queue_depth{0};  // high-water mark of queued()
+    std::uint64_t queue_wait_ns{0};    // total enqueue→dequeue latency
+    std::uint64_t exec_ns{0};          // total time spent inside tasks
+  };
+  [[nodiscard]] Stats stats() const;
+
   /// std::thread::hardware_concurrency with a floor of 1 (the standard
   /// allows it to report 0 on exotic platforms).
   [[nodiscard]] static std::size_t default_thread_count();
@@ -57,11 +73,24 @@ class ThreadPool {
   void enqueue(std::function<void()> task);
   void worker_loop();
 
+  struct QueuedTask {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued_at;
+  };
+
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   mutable std::mutex mutex_;
   std::condition_variable work_available_;
   bool stopping_{false};
+
+  // Guarded by mutex_ (updated where the lock is already held)...
+  std::uint64_t submitted_{0};
+  std::uint64_t max_queue_depth_{0};
+  std::uint64_t queue_wait_ns_{0};
+  // ...except the post-execution counters, which workers bump lock-free.
+  std::atomic<std::uint64_t> executed_{0};
+  std::atomic<std::uint64_t> exec_ns_{0};
 };
 
 }  // namespace netsample::util

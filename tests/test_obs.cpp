@@ -1,0 +1,285 @@
+// Tests for the observability layer (src/obs/): the enable gate actually
+// gates, the registry hands out stable find-or-create handles, snapshots
+// are sorted, the JSON exporter keeps the nondeterministic section last so
+// masking is a pure truncation, the Prometheus export carries cumulative
+// buckets, and spans chain parents within and across threads.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+
+namespace netsample::obs {
+namespace {
+
+/// Every test runs against the process-global registry, so: skip when the
+/// layer is compiled out (-DNETSAMPLE_OBS=OFF folds every mutator to a
+/// no-op), start from zeroed values, and leave obs disabled afterwards so
+/// unrelated tests never accumulate metrics by accident.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    if (!detail::kCompiledIn) {
+      GTEST_SKIP() << "observability compiled out (NETSAMPLE_OBS=OFF)";
+    }
+    registry().reset();
+    Tracer::global().clear();
+    set_enabled(true);
+  }
+  void TearDown() override {
+    set_enabled(false);
+    Tracer::global().set_enabled(false);
+    registry().reset();
+    Tracer::global().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterMutatorsAreGatedByEnable) {
+  Counter& c = registry().counter("test_gate_counter");
+  c.add(3);
+  c.increment();
+  EXPECT_EQ(c.value(), 4u);
+
+  set_enabled(false);
+  c.add(100);
+  c.increment();
+  EXPECT_EQ(c.value(), 4u) << "mutations while disabled must be no-ops";
+
+  set_enabled(true);
+  c.increment();
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST_F(ObsTest, GaugeSetAddMax) {
+  Gauge& g = registry().gauge("test_gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.max(3.0);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0) << "max() must not lower the value";
+  g.max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+
+  set_enabled(false);
+  g.set(0.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST_F(ObsTest, HistogramObserveMatchesStatsHistogramBinning) {
+  const std::vector<double> edges = {10.0, 100.0};
+  HistogramMetric& h = registry().histogram("test_hist", edges);
+  ASSERT_EQ(h.bin_count(), 3u);  // (-inf,10) [10,100) [100,inf)
+  h.observe(5.0);
+  h.observe(10.0);  // lower-bound edge lands in the second bin
+  h.observe(99.9);
+  h.observe(100.0);
+  h.observe(1e9, 2);
+  EXPECT_EQ(h.count(0), 1u);
+  EXPECT_EQ(h.count(1), 2u);
+  EXPECT_EQ(h.count(2), 3u);
+  EXPECT_EQ(h.total(), 6u);
+
+  h.add_to_bin(0, 4);
+  EXPECT_EQ(h.count(0), 5u);
+  EXPECT_EQ(h.total(), 10u);
+
+  h.reset();
+  EXPECT_EQ(h.total(), 0u);
+}
+
+TEST_F(ObsTest, RegistryFindOrCreateReturnsTheSameObject) {
+  Counter& a = registry().counter("test_same", Determinism::kDeterministic);
+  // A later registration with a different tag still returns the original.
+  Counter& b = registry().counter("test_same", Determinism::kNondeterministic);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.determinism(), Determinism::kDeterministic);
+
+  HistogramMetric& h1 = registry().histogram("test_same_hist", {1.0, 2.0});
+  HistogramMetric& h2 = registry().histogram("test_same_hist", {1.0, 2.0});
+  EXPECT_EQ(&h1, &h2);
+  EXPECT_THROW(registry().histogram("test_same_hist", {5.0}),
+               std::invalid_argument)
+      << "re-registering with different edges must be rejected";
+}
+
+TEST_F(ObsTest, HandlesSurviveResetAndKeepCounting) {
+  Counter& c = registry().counter("test_survives_reset");
+  c.add(9);
+  registry().reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(c.value(), 2u);
+}
+
+TEST_F(ObsTest, SnapshotIsSortedByName) {
+  // Names chosen to land in different shards and out of insertion order.
+  registry().counter("test_zzz");
+  registry().counter("test_aaa");
+  registry().counter("test_mmm");
+  const MetricsSnapshot snap = registry().snapshot();
+  for (std::size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+}
+
+TEST_F(ObsTest, ConcurrentAddsFromManyThreadsLoseNothing) {
+  Counter& c = registry().counter("test_concurrent");
+  HistogramMetric& h = registry().histogram("test_concurrent_hist", {50.0});
+  constexpr int kThreads = 8, kPerThread = 10000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.increment();
+        h.observe(static_cast<double>(i % 100));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.count(0), h.count(1));
+}
+
+TEST_F(ObsTest, JsonPutsNondeterministicSectionLast) {
+  registry().counter("test_det_counter").add(7);
+  registry().counter("test_nondet_counter", Determinism::kNondeterministic)
+      .add(9);
+  registry().histogram("test_det_hist", {1.0}).observe(0.5);
+  const std::string json = to_json(registry().snapshot());
+
+  const auto det = json.find("\"deterministic\"");
+  const auto nondet = json.find("\"nondeterministic\"");
+  ASSERT_NE(det, std::string::npos);
+  ASSERT_NE(nondet, std::string::npos);
+  EXPECT_LT(det, nondet) << "masking relies on nondeterministic being last";
+  EXPECT_NE(json.find("\"netsample_metrics_version\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"test_det_counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"test_nondet_counter\": 9"), std::string::npos);
+  EXPECT_LT(json.find("\"test_det_counter\""), nondet);
+  EXPECT_GT(json.find("\"test_nondet_counter\""), nondet);
+}
+
+TEST_F(ObsTest, MaskedJsonDropsExactlyTheNondeterministicSection) {
+  registry().counter("test_det_counter").add(1);
+  registry().counter("test_nondet_counter", Determinism::kNondeterministic)
+      .add(2);
+  const std::string json = to_json(registry().snapshot());
+  const std::string masked = masked_json(json);
+
+  EXPECT_NE(masked.find("\"test_det_counter\""), std::string::npos);
+  EXPECT_EQ(masked.find("\"test_nondet_counter\""), std::string::npos);
+  EXPECT_EQ(masked.find("\"nondeterministic\""), std::string::npos);
+  // Still a closed object, and masking is idempotent.
+  EXPECT_EQ(masked.substr(masked.size() - 2), "}\n");
+  EXPECT_EQ(masked_json(masked), masked);
+  // Input without the marker passes through untouched.
+  EXPECT_EQ(masked_json("{\"x\": 1}\n"), "{\"x\": 1}\n");
+}
+
+TEST_F(ObsTest, MaskedJsonIdenticalWhenOnlyNondeterministicValuesDiffer) {
+  registry().counter("test_det_counter").add(5);
+  Counter& nd =
+      registry().counter("test_nondet_counter", Determinism::kNondeterministic);
+  nd.add(100);
+  const std::string a = masked_json(to_json(registry().snapshot()));
+  nd.add(12345);  // "a different schedule"
+  const std::string b = masked_json(to_json(registry().snapshot()));
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(ObsTest, PrometheusExportHasCumulativeBuckets) {
+  HistogramMetric& h = registry().histogram("test_prom_hist", {1.0, 2.0});
+  h.observe(0.5);
+  h.observe(1.5);
+  h.observe(1.7);
+  h.observe(9.0);
+  registry().counter("test_prom_nd", Determinism::kNondeterministic).add(1);
+  const std::string text = to_prometheus(registry().snapshot());
+
+  EXPECT_NE(text.find("# TYPE test_prom_hist histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"1\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"2\"} 3"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_bucket{le=\"+Inf\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_hist_count 4"), std::string::npos);
+  EXPECT_NE(text.find("# netsample_determinism nondeterministic"),
+            std::string::npos);
+}
+
+TEST_F(ObsTest, PrettyMetricsRendersBothSections) {
+  registry().counter("test_pretty_counter").add(3);
+  registry().gauge("test_pretty_gauge", Determinism::kNondeterministic)
+      .set(1.5);
+  const std::string json = to_json(registry().snapshot());
+  const std::string pretty = pretty_metrics(json);
+  EXPECT_NE(pretty.find("== deterministic"), std::string::npos);
+  EXPECT_NE(pretty.find("== nondeterministic"), std::string::npos);
+  EXPECT_NE(pretty.find("test_pretty_counter"), std::string::npos);
+  EXPECT_NE(pretty.find("test_pretty_gauge"), std::string::npos);
+}
+
+TEST_F(ObsTest, WriteMetricsFileEmptyPathIsANoOp) {
+  EXPECT_TRUE(write_metrics_file(""));
+  EXPECT_TRUE(write_trace_file(""));
+  EXPECT_FALSE(write_metrics_file("/nonexistent-dir-netsample/x.json"));
+}
+
+TEST_F(ObsTest, SpansChainParentsOnOneThread) {
+  Tracer::global().set_enabled(true);
+  {
+    Span outer("outer");
+    ASSERT_NE(outer.id(), 0u);
+    EXPECT_EQ(Span::current_id(), outer.id());
+    {
+      Span inner("inner");
+      EXPECT_EQ(Span::current_id(), inner.id());
+    }
+    EXPECT_EQ(Span::current_id(), outer.id());
+  }
+  EXPECT_EQ(Span::current_id(), 0u);
+
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // Sorted by id: outer opened first.
+  EXPECT_EQ(spans[0].name, "outer");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].parent_id, spans[0].id);
+}
+
+TEST_F(ObsTest, SpansChainExplicitParentAcrossThreads) {
+  Tracer::global().set_enabled(true);
+  std::uint64_t parent = 0;
+  {
+    Span root("root");
+    parent = root.id();
+    std::thread worker([parent] { Span child("child", parent); });
+    worker.join();
+  }
+  const auto spans = Tracer::global().snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[1].name, "child");
+  EXPECT_EQ(spans[1].parent_id, parent);
+}
+
+TEST_F(ObsTest, DisabledTracerMakesSpansInert) {
+  ASSERT_FALSE(Tracer::global().enabled());
+  {
+    Span s("never-recorded");
+    EXPECT_EQ(s.id(), 0u);
+    EXPECT_EQ(Span::current_id(), 0u);
+  }
+  EXPECT_TRUE(Tracer::global().snapshot().empty());
+
+  const std::string json = spans_to_json({});
+  EXPECT_NE(json.find("\"netsample_trace_version\": 1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace netsample::obs

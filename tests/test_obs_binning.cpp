@@ -1,0 +1,92 @@
+// Property test pinning the two binning implementations together: for 10^6
+// seeded random (size, interarrival) pairs, an obs::HistogramMetric laid
+// out with the paper's bin edges must report exactly the same per-bin
+// counts as the BinnedTraceCache prefix tables over the same packets.
+// Both delegate to stats::Histogram::bin_index, so a drift in either layer
+// (edge semantics, off-by-one in the prefix sums, a lost atomic update)
+// shows up as a count mismatch here.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "core/targets.h"
+#include "core/trace_cache.h"
+#include "obs/metrics.h"
+#include "trace/trace.h"
+#include "util/rng.h"
+
+namespace netsample {
+namespace {
+
+constexpr std::size_t kPairs = 1'000'000;
+
+/// 10^6 packets with uniformly random sizes straddling the paper's size
+/// edges {41, 181} and gaps straddling the interarrival edges
+/// {800, 1200, 2400, 3600} usec.
+trace::Trace random_trace(std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<trace::PacketRecord> packets;
+  packets.reserve(kPairs);
+  std::uint64_t now = 0;
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    trace::PacketRecord p;
+    p.timestamp = MicroTime(now);
+    p.size = static_cast<std::uint16_t>(rng.uniform_in(1, 1500));
+    packets.push_back(p);
+    now += rng.uniform_below(8000);  // gaps 0..7999 usec, next packet's iat
+  }
+  return trace::Trace(std::move(packets));
+}
+
+TEST(ObsBinning, HistogramMetricAgreesWithBinnedTraceCacheOnAMillionPairs) {
+  if (!obs::detail::kCompiledIn) {
+    GTEST_SKIP() << "observability compiled out (NETSAMPLE_OBS=OFF)";
+  }
+  const trace::Trace t = random_trace(20260807);
+  const core::BinnedTraceCache cache(t.view());
+  ASSERT_EQ(cache.size(), kPairs);
+
+  obs::registry().reset();
+  obs::set_enabled(true);
+  obs::HistogramMetric& size_hist = obs::registry().histogram(
+      "test_binning_size", core::paper_bin_edges(core::Target::kPacketSize));
+  obs::HistogramMetric& gap_hist = obs::registry().histogram(
+      "test_binning_gap",
+      core::paper_bin_edges(core::Target::kInterarrivalTime));
+  size_hist.reset();
+  gap_hist.reset();
+
+  const auto view = t.view();
+  for (std::size_t i = 0; i < kPairs; ++i) {
+    size_hist.observe(static_cast<double>(view[i].size));
+    if (i > 0) {
+      gap_hist.observe(static_cast<double>(view[i].timestamp.usec -
+                                           view[i - 1].timestamp.usec));
+    }
+  }
+  obs::set_enabled(false);
+
+  const stats::Histogram size_pop =
+      cache.population_histogram(core::Target::kPacketSize, 0, kPairs);
+  const stats::Histogram gap_pop =
+      cache.population_histogram(core::Target::kInterarrivalTime, 0, kPairs);
+
+  ASSERT_EQ(size_hist.bin_count(), size_pop.bin_count());
+  for (std::size_t b = 0; b < size_pop.bin_count(); ++b) {
+    EXPECT_EQ(size_hist.count(b),
+              static_cast<std::uint64_t>(size_pop.count(b)))
+        << "size bin " << b;
+  }
+  EXPECT_EQ(size_hist.total(), kPairs);
+
+  ASSERT_EQ(gap_hist.bin_count(), gap_pop.bin_count());
+  for (std::size_t b = 0; b < gap_pop.bin_count(); ++b) {
+    EXPECT_EQ(gap_hist.count(b), static_cast<std::uint64_t>(gap_pop.count(b)))
+        << "gap bin " << b;
+  }
+  EXPECT_EQ(gap_hist.total(), kPairs - 1) << "first packet has no gap";
+}
+
+}  // namespace
+}  // namespace netsample

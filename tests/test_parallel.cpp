@@ -435,6 +435,72 @@ TEST_F(ParallelPolicyTest, RetryExhaustionQuarantinesWithAttemptCount) {
   EXPECT_EQ(report.cells[2].status.code(), StatusCode::kInternal);
 }
 
+TEST_F(ParallelPolicyTest, AttemptLogRecordsEveryAttemptWithSeedAndTiming) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kRetry;
+  opts.max_attempts = 3;
+  // Cell 2 fails twice, then succeeds on its third attempt.
+  opts.fault_injector = [](std::size_t index, int attempt) {
+    return index == 2 && attempt < 2
+               ? Status(StatusCode::kInternal, "transient")
+               : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  ASSERT_TRUE(report.all_ok());
+
+  const auto& cell = report.cells[2];
+  ASSERT_EQ(cell.attempts, 3);
+  ASSERT_EQ(cell.attempt_log.size(), 3u)
+      << "every executed attempt must be logged, not just the last";
+  // Attempt 0 ran with the cell's coordinate seed; retries with per-attempt
+  // derived seeds — the log records what each attempt actually used.
+  const std::uint64_t cell_seed = exper::task_seed(
+      23, tasks[2].config.method, tasks[2].config.granularity, 0);
+  EXPECT_EQ(cell.attempt_log[0].seed, cell_seed);
+  EXPECT_EQ(cell.attempt_log[1].seed, derive_seed({cell_seed, 1}));
+  EXPECT_EQ(cell.attempt_log[2].seed, derive_seed({cell_seed, 2}));
+  EXPECT_EQ(cell.attempt_log[0].status.code(), StatusCode::kInternal);
+  EXPECT_EQ(cell.attempt_log[1].status.code(), StatusCode::kInternal);
+  EXPECT_TRUE(cell.attempt_log[2].status.is_ok());
+  for (const auto& rec : cell.attempt_log) {
+    EXPECT_GE(rec.wall_seconds, 0.0);
+    EXPECT_GE(rec.cpu_seconds, 0.0);
+  }
+  EXPECT_GT(cell.attempt_log[2].wall_seconds, 0.0)
+      << "the successful attempt ran a real cell";
+
+  // Healthy cells log exactly their one successful attempt.
+  for (std::size_t i = 0; i < tasks.size(); ++i) {
+    if (i == 2) continue;
+    ASSERT_EQ(report.cells[i].attempt_log.size(), 1u) << "cell " << i;
+    EXPECT_TRUE(report.cells[i].attempt_log[0].status.is_ok());
+    EXPECT_EQ(report.cells[i].attempt_log[0].status.code(),
+              report.cells[i].status.code());
+  }
+}
+
+TEST_F(ParallelPolicyTest, AttemptLogKeepsFailuresOnExhaustion) {
+  const auto tasks = small_grid();
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kRetry;
+  opts.max_attempts = 3;
+  opts.fault_injector = [](std::size_t index, int) {
+    return index == 2 ? Status(StatusCode::kInternal, "permanent")
+                      : Status::ok();
+  };
+  exper::ParallelRunner serial(1);
+  const auto report = serial.run(tasks, 23, opts);
+  const auto& cell = report.cells[2];
+  ASSERT_EQ(cell.attempt_log.size(), 3u);
+  for (const auto& rec : cell.attempt_log) {
+    EXPECT_EQ(rec.status.code(), StatusCode::kInternal);
+  }
+  // The last logged attempt is the quarantined status.
+  EXPECT_EQ(cell.attempt_log.back().status.code(), cell.status.code());
+}
+
 TEST_F(ParallelPolicyTest, RetryAttemptsAreDeterministic) {
   const auto tasks = small_grid();
   exper::RunOptions opts;

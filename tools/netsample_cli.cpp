@@ -8,6 +8,12 @@
 //   netsample design   --mu 232 --sigma 236 --accuracy 5 [--population N]
 //   netsample charact  trace.pcap [--node t1|t3] [--k 50]
 //   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
+//   netsample stats    metrics.json [--masked]
+//
+// score/impair (and the figure binaries) accept --metrics-out FILE /
+// --trace-out FILE to export an observability snapshot of the run;
+// `netsample stats` pretty-prints one, and with --masked emits the
+// deterministic-only JSON that golden tests diff (docs/OBSERVABILITY.md).
 //
 // Every subcommand is a thin veneer over the public API; see examples/ for
 // annotated versions of the same flows.
@@ -19,6 +25,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,7 @@
 #include "faultsim/faultsim.h"
 #include "net/headers.h"
 #include "net/ports.h"
+#include "obs/export.h"
 #include "pcap/pcap.h"
 #include "synth/presets.h"
 #include "trace/flows.h"
@@ -86,6 +94,7 @@ int usage() {
       "  design     Cochran sample-size planning\n"
       "  charact    run the NSFNET characterization objects\n"
       "  impair     sweep measurement impairments and report phi degradation\n"
+      "  stats      pretty-print a --metrics-out JSON snapshot\n"
       "run 'netsample <command> --help' for flags.\n";
   return kExitUsage;
 }
@@ -497,6 +506,25 @@ int cmd_charact(ArgParser& args) {
   return 0;
 }
 
+int cmd_stats(ArgParser& args) {
+  const std::string path = args.positionals().at(0);
+  std::ifstream in(path);
+  if (!in) {
+    return fail(Status(StatusCode::kNotFound,
+                       "stats: cannot open '" + path + "'"));
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string json = buf.str();
+  if (args.get_bool("masked")) {
+    // Deterministic-only JSON: what golden/cross-jobs diffs compare.
+    std::cout << obs::masked_json(json);
+  } else {
+    std::cout << obs::pretty_metrics(json);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -555,6 +583,14 @@ int main(int argc, char** argv) {
                 "impair: comma-separated per-record probabilities",
                 "0.001,0.01,0.05,0.1");
   args.add_flag("csv", "", "impair: machine-readable CSV output");
+  args.add_flag("metrics-out", "FILE",
+                "write an observability metrics snapshot (JSON) after the "
+                "command runs");
+  args.add_flag("trace-out", "FILE",
+                "write the timing-span trace (JSON) after the command runs");
+  args.add_flag("masked", "",
+                "stats: print the deterministic-only JSON instead of the "
+                "human table");
 
   const auto status = args.parse(rest);
   if (!status.is_ok()) {
@@ -564,6 +600,28 @@ int main(int argc, char** argv) {
   if (args.get_bool("help")) {
     std::cout << "flags for '" << cmd << "':\n" << args.help();
     return 0;
+  }
+
+  // Observability plumbing: enabling is per-flag (metrics and traces have
+  // independent costs), and the snapshot is written on every exit path out
+  // of the command — a quarantined sweep's metrics are exactly the
+  // interesting ones.
+  struct ObsOutputs {
+    std::string metrics_path;
+    std::string trace_path;
+    ~ObsOutputs() {
+      (void)obs::write_metrics_file(metrics_path);
+      (void)obs::write_trace_file(trace_path);
+    }
+  } obs_outputs;
+  if (args.has("metrics-out")) {
+    obs::set_enabled(true);
+    obs_outputs.metrics_path = args.get_string("metrics-out");
+  }
+  if (args.has("trace-out")) {
+    obs::set_enabled(true);
+    obs::Tracer::global().set_enabled(true);
+    obs_outputs.trace_path = args.get_string("trace-out");
   }
 
   try {
@@ -588,6 +646,13 @@ int main(int argc, char** argv) {
       return cmd_charact(args);
     }
     if (cmd == "design") return cmd_design(args);
+    if (cmd == "stats") {
+      if (args.positionals().empty()) {
+        std::cerr << "error: stats requires a metrics JSON file argument\n";
+        return kExitUsage;
+      }
+      return cmd_stats(args);
+    }
   } catch (const StatusError& e) {
     return fail(e.status());
   } catch (const std::invalid_argument& e) {
