@@ -58,7 +58,7 @@ int main() {
     coarse_series.push_back(c);
     t.add_row({fmt_fraction(k), fmt_double(p, 4), fmt_double(f, 4),
                fmt_double(c, 4)});
-    netsample::bench::csv({"ablA1", std::to_string(k), fmt_double(p, 5),
+    netsample::bench::csv_row({"ablA1", std::to_string(k), fmt_double(p, 5),
                            fmt_double(f, 5), fmt_double(c, 5)});
   }
   t.print(std::cout);

@@ -61,7 +61,7 @@ int main() {
       const double ratio = r.timer_phi / std::max(1e-9, r.packet_phi);
       t.add_row({which, core::target_name(target), fmt_double(r.packet_phi, 4),
                  fmt_double(r.timer_phi, 4), fmt_double(ratio, 1)});
-      netsample::bench::csv({"ablA2", which, core::target_name(target),
+      netsample::bench::csv_row({"ablA2", which, core::target_name(target),
                              fmt_double(r.packet_phi, 5),
                              fmt_double(r.timer_phi, 5), fmt_double(ratio, 2)});
     }

@@ -44,7 +44,7 @@ int main() {
       t.add_row({core::target_name(target), fmt_fraction(k),
                  fmt_double(phi[0], 4), fmt_double(phi[1], 4),
                  std::to_string(n[0]), std::to_string(n[1])});
-      netsample::bench::csv({"ablA3", core::target_name(target),
+      netsample::bench::csv_row({"ablA3", core::target_name(target),
                              std::to_string(k), fmt_double(phi[0], 5),
                              fmt_double(phi[1], 5)});
     }

@@ -51,7 +51,7 @@ void measure_env(const char* label, const exper::Experiment& ex,
                fmt_double(idc16, 1), fmt_double(packet_phi, 4),
                fmt_double(timer_phi, 4),
                fmt_double(timer_phi / std::max(1e-9, packet_phi), 1)});
-    netsample::bench::csv({"ablA4", label, core::target_name(target),
+    netsample::bench::csv_row({"ablA4", label, core::target_name(target),
                            fmt_double(trains.mean_length_packets, 3),
                            fmt_double(idc16, 2), fmt_double(packet_phi, 5),
                            fmt_double(timer_phi, 5)});

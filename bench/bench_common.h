@@ -4,6 +4,11 @@
 // (b) the paper's reported values where the paper gives them, and (c) our
 // measured values, as an aligned table plus `CSV,`-prefixed lines that a
 // plotting script can grep out.
+//
+// The six headline figure binaries (fig06–fig11) parse their flags through
+// tools/cli_args.h — strict vocabulary, unknown flags exit 64. The helpers
+// below stay for the table/ablation binaries and the google-benchmark
+// micro benches, which must pass --benchmark_* flags through untouched.
 #pragma once
 
 #include <cerrno>
@@ -13,13 +18,7 @@
 #include <string>
 #include <vector>
 
-#include "core/trace_cache.h"
-#include "exper/experiment.h"
-#include "exper/parallel.h"
-#include "exper/runner.h"
-#include "obs/export.h"
-#include "pcap/pcap.h"
-#include "util/format.h"
+#include "netsample/netsample.h"
 
 namespace netsample::bench {
 
@@ -160,11 +159,19 @@ inline void banner(const std::string& artifact, const std::string& what) {
 
 inline void note(const std::string& text) { std::cout << "  " << text << "\n"; }
 
-/// Emit one machine-readable CSV line (greppable with '^CSV,').
+/// Emit one machine-readable CSV line (greppable with '^CSV,') through the
+/// facade's row emitter, which also supplies RFC-4180-ish quoting the old
+/// hand-rolled join never had.
+inline void csv_row(const std::vector<std::string>& fields) {
+  std::cout << netsample::csv_line(fields, "CSV") << "\n";
+}
+
+/// Old name for csv_row(); gone after the next release (docs/API.md,
+/// "Deprecation policy").
+[[deprecated("use bench::csv_row(); bench::csv() is removed in the next "
+             "release")]]
 inline void csv(const std::vector<std::string>& fields) {
-  std::cout << "CSV";
-  for (const auto& f : fields) std::cout << "," << f;
-  std::cout << "\n";
+  csv_row(fields);
 }
 
 }  // namespace netsample::bench

@@ -63,7 +63,7 @@ int main() {
     t.add_row({fmt_fraction(k), fmt_double(est.value / 1e6, 2),
                fmt_double(true_bytes / 1e6, 2), fmt_double(err, 2),
                covered ? "yes" : "NO", fmt_double(m.phi, 4)});
-    bench::csv({"extE3", std::to_string(k), fmt_double(err, 3),
+    bench::csv_row({"extE3", std::to_string(k), fmt_double(err, 3),
                 covered ? "1" : "0", fmt_double(m.phi, 5)});
   }
   t.print(std::cout);

@@ -74,7 +74,7 @@ int main() {
         t.add_row({which, core::target_name(target), fmt_fraction(k),
                    fmt_double(r.packet_worst, 4), fmt_double(r.timer_best, 4),
                    fmt_double(ratio, 1)});
-        bench::csv({"extE5", which, core::target_name(target),
+        bench::csv_row({"extE5", which, core::target_name(target),
                     std::to_string(k), fmt_double(r.packet_worst, 5),
                     fmt_double(r.timer_best, 5)});
       }

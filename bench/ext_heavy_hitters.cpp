@@ -71,7 +71,7 @@ int main() {
     t.add_row({std::to_string(r + 1), fmt_count(true_count), fmt_count(est),
                fmt_count(est + bracket), holds ? "yes" : "NO",
                tracked ? "yes" : "NO"});
-    bench::csv({"extE7", std::to_string(r + 1), std::to_string(true_count),
+    bench::csv_row({"extE7", std::to_string(r + 1), std::to_string(true_count),
                 std::to_string(est), std::to_string(est + bracket)});
   }
   t.print(std::cout);

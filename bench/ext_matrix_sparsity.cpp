@@ -55,7 +55,7 @@ int main() {
     t.add_row({fmt_fraction(k), fmt_count(sample.size()),
                std::to_string(covered), fmt_double(100.0 * coverage, 1),
                fmt_double(m_full.phi, 4), fmt_double(m_top.phi, 4)});
-    bench::csv({"extE2", std::to_string(k), fmt_double(coverage, 4),
+    bench::csv_row({"extE2", std::to_string(k), fmt_double(coverage, 4),
                 fmt_double(m_full.phi, 5), fmt_double(m_top.phi, 5)});
   }
   t.print(std::cout);

@@ -53,7 +53,7 @@ int main() {
         t.add_row({std::string(short_names[i]) + " vs " + short_names[j],
                    fmt_double(r.prob_a_greater, 3),
                    fmt_double(r.significance, 4), verdict});
-        bench::csv({"extE6", core::target_name(target), short_names[i],
+        bench::csv_row({"extE6", core::target_name(target), short_names[i],
                     short_names[j], fmt_double(r.prob_a_greater, 4),
                     fmt_double(r.significance, 5)});
       }

@@ -31,7 +31,7 @@ int main() {
                fmt_double(100.0 * month.discrepancy_fraction, 1),
                std::to_string(losing) + "/" +
                    std::to_string(month.per_node.size())});
-    bench::csv({"extE4", month.label, fmt_double(month.snmp_total / 1e9, 3),
+    bench::csv_row({"extE4", month.label, fmt_double(month.snmp_total / 1e9, 3),
                 fmt_double(month.categorized_total / 1e9, 3),
                 fmt_double(100.0 * month.discrepancy_fraction, 2),
                 std::to_string(losing)});

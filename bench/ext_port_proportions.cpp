@@ -53,7 +53,7 @@ int main() {
       csv_row.push_back(fmt_double(phi_sum / reps, 5));
     }
     t.add_row(std::move(row));
-    bench::csv(csv_row);
+    bench::csv_row(csv_row);
   }
   t.print(std::cout);
   std::cout << "\n";

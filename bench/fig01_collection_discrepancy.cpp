@@ -32,7 +32,7 @@ int main() {
     t.add_row({m.label, fmt_double(snmp_g, 2), fmt_double(cat_g, 2),
                fmt_double(gap_pct, 1), m.sampling_active ? "1/50" : "-",
                bar});
-    bench::csv({"fig01", m.label, fmt_double(snmp_g, 4), fmt_double(cat_g, 4),
+    bench::csv_row({"fig01", m.label, fmt_double(snmp_g, 4), fmt_double(cat_g, 4),
                 fmt_double(gap_pct, 2), m.sampling_active ? "1" : "0"});
   }
   t.print(std::cout);

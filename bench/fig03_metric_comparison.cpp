@@ -51,7 +51,7 @@ int main() {
                fmt_double(1.0 - avg.significance, 3), fmt_double(avg.cost, 0),
                fmt_double(avg.rcost, 1), fmt_double(avg.x2, 4),
                fmt_double(avg.avg_norm_dev, 4), fmt_double(avg.phi, 4)});
-    netsample::bench::csv({"fig03", std::to_string(k), fmt_double(avg.chi2, 4),
+    netsample::bench::csv_row({"fig03", std::to_string(k), fmt_double(avg.chi2, 4),
                            fmt_double(1.0 - avg.significance, 4),
                            fmt_double(avg.cost, 2), fmt_double(avg.rcost, 3),
                            fmt_double(avg.x2, 5), fmt_double(avg.avg_norm_dev, 5),

@@ -22,7 +22,7 @@ int main() {
   t.add_row({"population", fmt_count(population.total()),
              fmt_double(pop_props[0], 3), fmt_double(pop_props[1], 3),
              fmt_double(pop_props[2], 3), "0"});
-  netsample::bench::csv({"fig04", "population", fmt_double(pop_props[0], 4),
+  netsample::bench::csv_row({"fig04", "population", fmt_double(pop_props[0], 4),
                          fmt_double(pop_props[1], 4), fmt_double(pop_props[2], 4),
                          "0"});
 
@@ -36,7 +36,7 @@ int main() {
     t.add_row({fmt_fraction(k), fmt_count(observed.total()),
                fmt_double(props[0], 3), fmt_double(props[1], 3),
                fmt_double(props[2], 3), fmt_double(m.phi, 4)});
-    netsample::bench::csv({"fig04", std::to_string(k), fmt_double(props[0], 4),
+    netsample::bench::csv_row({"fig04", std::to_string(k), fmt_double(props[0], 4),
                            fmt_double(props[1], 4), fmt_double(props[2], 4),
                            fmt_double(m.phi, 5)});
   }

@@ -27,7 +27,7 @@ int main() {
     t.add_row({name, fmt_count(h.total()), fmt_double(p[0], 3),
                fmt_double(p[1], 3), fmt_double(p[2], 3), fmt_double(p[3], 3),
                fmt_double(p[4], 3), fmt_double(phi, 4)});
-    netsample::bench::csv({"fig05", name, fmt_double(p[0], 4), fmt_double(p[1], 4),
+    netsample::bench::csv_row({"fig05", name, fmt_double(p[0], 4), fmt_double(p[1], 4),
                            fmt_double(p[2], 4), fmt_double(p[3], 4),
                            fmt_double(p[4], 4), fmt_double(phi, 5)});
   };

@@ -5,17 +5,19 @@
 #include <algorithm>
 
 #include "bench_common.h"
-#include "stats/boxplot.h"
+#include "tools/cli_args.h"
 
 using namespace netsample;
 
 int main(int argc, char** argv) {
-  bench::bench_legacy_scan(argc, argv);
-  const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
+  const auto options = tools::parse_figure_args(
+      argc, argv,
+      "fig06_phi_boxplots [--jobs N] [--pcap FILE] [--legacy-scan] "
+      "[--metrics-out FILE] [--trace-out FILE]");
   bench::banner("Figure 6 (paper: boxplots of systematic phi scores)",
                 "Packet size, 1024s interval, offset-replicated boxplots");
 
-  exper::Experiment ex = bench::bench_experiment(argc, argv);
+  exper::Experiment ex = tools::figure_experiment(options, bench::kDefaultSeed);
 
   exper::CellConfig cfg;
   cfg.method = core::Method::kSystematicCount;
@@ -32,7 +34,7 @@ int main(int argc, char** argv) {
     cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
     tasks.push_back({cfg, 0});
   }
-  exper::ParallelRunner runner(bench::bench_jobs(argc, argv));
+  exper::ParallelRunner runner(options.jobs);
   const auto cells = runner.run(tasks, cfg.base_seed);
 
   TextTable t({"1/x", "reps", "min", "q1", "median", "q3", "max",
@@ -47,7 +49,7 @@ int main(int argc, char** argv) {
                fmt_double(b.median, 4), fmt_double(b.q3, 4),
                fmt_double(b.max, 4),
                stats::boxplot_ascii(b, 0.0, axis_max, 44)});
-    netsample::bench::csv({"fig06", std::to_string(k), fmt_double(b.min, 5),
+    netsample::bench::csv_row({"fig06", std::to_string(k), fmt_double(b.min, 5),
                            fmt_double(b.q1, 5), fmt_double(b.median, 5),
                            fmt_double(b.q3, 5), fmt_double(b.max, 5),
                            fmt_double(b.mean, 5)});
@@ -57,6 +59,6 @@ int main(int argc, char** argv) {
   bench::note("paper: 'two clear effects of decreasing the sampling fraction:");
   bench::note("increasing values ... and increasing variance within the set");
   bench::note("of samples for each method.'");
-  bench::bench_obs_write(obs_args);
+  tools::write_obs_outputs(options);
   return 0;
 }

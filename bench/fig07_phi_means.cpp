@@ -3,17 +3,19 @@
 #include <algorithm>
 
 #include "bench_common.h"
-#include "core/theory.h"
+#include "tools/cli_args.h"
 
 using namespace netsample;
 
 int main(int argc, char** argv) {
-  bench::bench_legacy_scan(argc, argv);
-  const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
+  const auto options = tools::parse_figure_args(
+      argc, argv,
+      "fig07_phi_means [--jobs N] [--pcap FILE] [--legacy-scan] "
+      "[--metrics-out FILE] [--trace-out FILE]");
   bench::banner("Figure 7 (paper: means of the Figure 6 boxplots)",
                 "Mean systematic phi, packet size, 1024s interval");
 
-  exper::Experiment ex = bench::bench_experiment(argc, argv);
+  exper::Experiment ex = tools::figure_experiment(options, bench::kDefaultSeed);
 
   exper::CellConfig cfg;
   cfg.method = core::Method::kSystematicCount;
@@ -36,7 +38,7 @@ int main(int argc, char** argv) {
     cfg.replications = static_cast<int>(std::min<std::uint64_t>(k, 50));
     tasks.push_back({cfg, 0});
   }
-  exper::ParallelRunner runner(bench::bench_jobs(argc, argv));
+  exper::ParallelRunner runner(options.jobs);
   const auto cells = runner.run(tasks, cfg.base_seed);
 
   TextTable t({"1/x", "mean phi", "theory E[phi]", "mean n", "curve"});
@@ -50,7 +52,7 @@ int main(int argc, char** argv) {
     std::string bar(static_cast<std::size_t>(phi * 150.0), '*');
     t.add_row({fmt_fraction(k), fmt_double(phi, 4), fmt_double(theory, 4),
                fmt_double(cell.mean_sample_size(), 0), bar});
-    netsample::bench::csv({"fig07", std::to_string(k), fmt_double(phi, 5),
+    netsample::bench::csv_row({"fig07", std::to_string(k), fmt_double(phi, 5),
                            fmt_double(theory, 5),
                            fmt_double(cell.mean_sample_size(), 1)});
   }
@@ -59,6 +61,6 @@ int main(int argc, char** argv) {
   bench::note("expected shape: monotone growth, near zero at 1/4; the");
   bench::note("measured curve tracks the closed-form multinomial prediction");
   bench::note("(unbiasedness of packet-count sampling, quantified).");
-  bench::bench_obs_write(obs_args);
+  tools::write_obs_outputs(options);
   return 0;
 }

@@ -3,9 +3,9 @@
 #include "method_comparison.h"
 
 int main(int argc, char** argv) {
-  netsample::bench::bench_legacy_scan(argc, argv);
+  const auto options = netsample::tools::parse_figure_args(
+      argc, argv, "fig08_method_comparison_size [--jobs N] [--pcap FILE] [--legacy-scan] [--metrics-out FILE] [--trace-out FILE]");
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kPacketSize, "fig08",
-      "Figure 8 (paper: mean phi vs fraction, packet size, 5 methods)",
-      argc, argv);
+      "Figure 8 (paper: mean phi vs fraction, packet size, 5 methods)", options);
 }

@@ -7,9 +7,9 @@
 #include "method_comparison.h"
 
 int main(int argc, char** argv) {
-  netsample::bench::bench_legacy_scan(argc, argv);
+  const auto options = netsample::tools::parse_figure_args(
+      argc, argv, "fig09_method_comparison_iat [--jobs N] [--pcap FILE] [--legacy-scan] [--metrics-out FILE] [--trace-out FILE]");
   return netsample::bench::run_method_comparison(
       netsample::core::Target::kInterarrivalTime, "fig09",
-      "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)",
-      argc, argv);
+      "Figure 9 (paper: mean phi vs fraction, interarrival time, 5 methods)", options);
 }

@@ -3,9 +3,9 @@
 #include "interval_sweep.h"
 
 int main(int argc, char** argv) {
-  netsample::bench::bench_legacy_scan(argc, argv);
+  const auto options = netsample::tools::parse_figure_args(
+      argc, argv, "fig11_interval_iat [--jobs N] [--pcap FILE] [--legacy-scan] [--metrics-out FILE] [--trace-out FILE]");
   return netsample::bench::run_interval_sweep(
       netsample::core::Target::kInterarrivalTime, "fig11",
-      "Figure 11 (paper: systematic phi vs elapsed time, interarrival)",
-      argc, argv);
+      "Figure 11 (paper: systematic phi vs elapsed time, interarrival)", options);
 }

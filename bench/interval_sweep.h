@@ -1,23 +1,22 @@
 // Shared driver for Figures 10 and 11: mean systematic phi vs elapsed
 // measurement time for several sampling fractions. The minutes x fractions
 // grid runs on the parallel experiment engine; `jobs` only changes
-// wall-clock time, never the numbers.
+// wall-clock time, never the numbers. Flags come pre-parsed through
+// tools::parse_figure_args (strict vocabulary, unknown flags exit 64).
 #pragma once
 
 #include "bench_common.h"
-#include "util/asciichart.h"
+#include "tools/cli_args.h"
 
 namespace netsample::bench {
 
 inline int run_interval_sweep(core::Target target, const char* figure_id,
-                              const char* figure_title, int argc = 0,
-                              char** argv = nullptr) {
-  const int jobs = bench_jobs(argc, argv);
-  const ObsArgs obs_args = bench_obs(argc, argv);
+                              const char* figure_title,
+                              const tools::CommonOptions& options) {
   banner(figure_title,
          "Systematic sampling; exponentially growing measurement intervals");
 
-  exper::Experiment ex = bench_experiment(argc, argv);
+  exper::Experiment ex = tools::figure_experiment(options, kDefaultSeed);
 
   // Exponentially growing windows relative to the trace start (in minutes,
   // as the paper's x axis), capped at the full hour.
@@ -43,7 +42,7 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
       tasks.push_back(task);
     }
   }
-  exper::ParallelRunner runner(jobs);
+  exper::ParallelRunner runner(options.jobs);
   const auto cells = runner.run(tasks, base_seed);
 
   std::vector<ChartSeries> chart = {
@@ -53,16 +52,16 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
   TextTable t({"minutes", "1/16", "1/256", "1/4096"});
   for (std::size_t i = 0; i < minutes.size(); ++i) {
     std::vector<std::string> row = {fmt_double(minutes[i], 1)};
-    std::vector<std::string> csv_row = {figure_id, fmt_double(minutes[i], 2)};
+    std::vector<std::string> csv_cells = {figure_id, fmt_double(minutes[i], 2)};
     x_ticks.push_back(fmt_double(minutes[i], 1) + "min");
     for (std::size_t fi = 0; fi < fractions.size(); ++fi) {
       const auto& cell = cells[i * fractions.size() + fi];
       row.push_back(fmt_double(cell.phi_mean(), 4));
-      csv_row.push_back(fmt_double(cell.phi_mean(), 5));
+      csv_cells.push_back(fmt_double(cell.phi_mean(), 5));
       chart[fi].y.push_back(std::max(1e-5, cell.phi_mean()));
     }
     t.add_row(std::move(row));
-    csv(csv_row);
+    csv_row(csv_cells);
   }
   t.print(std::cout);
 
@@ -75,7 +74,7 @@ inline int run_interval_sweep(core::Target target, const char* figure_id,
   note("paper shape: noisy at short intervals; for all sampling fractions");
   note("the scores improve (phi falls) as elapsed time grows; coarser");
   note("fractions sit uniformly higher.");
-  bench_obs_write(obs_args);
+  tools::write_obs_outputs(options);
   return 0;
 }
 

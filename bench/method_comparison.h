@@ -1,23 +1,22 @@
 // Shared driver for Figures 8 and 9: mean phi vs sampling fraction for all
 // five sampling methods on one target. The method x granularity grid runs
 // on the parallel experiment engine; `jobs` only changes wall-clock time,
-// never the numbers.
+// never the numbers. Flags come pre-parsed through tools::parse_figure_args
+// (strict vocabulary, unknown flags exit 64).
 #pragma once
 
 #include "bench_common.h"
-#include "util/asciichart.h"
+#include "tools/cli_args.h"
 
 namespace netsample::bench {
 
 inline int run_method_comparison(core::Target target, const char* figure_id,
-                                 const char* figure_title, int argc = 0,
-                                 char** argv = nullptr) {
-  const int jobs = bench_jobs(argc, argv);
-  const ObsArgs obs_args = bench_obs(argc, argv);
+                                 const char* figure_title,
+                                 const tools::CommonOptions& options) {
   banner(figure_title,
          "All five methods, 5 replications each, 1024s interval");
 
-  exper::Experiment ex = bench_experiment(argc, argv);
+  exper::Experiment ex = tools::figure_experiment(options, kDefaultSeed);
 
   const core::Method methods[] = {
       core::Method::kSystematicCount, core::Method::kStratifiedCount,
@@ -42,7 +41,7 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
       tasks.push_back(task);
     }
   }
-  exper::ParallelRunner runner(jobs);
+  exper::ParallelRunner runner(options.jobs);
   const auto cells = runner.run(tasks, base_seed);
 
   std::vector<ChartSeries> chart = {
@@ -56,16 +55,16 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
   for (std::size_t ki = 0; ki < ladder.size(); ++ki) {
     const std::uint64_t k = ladder[ki];
     std::vector<std::string> row = {fmt_fraction(k)};
-    std::vector<std::string> csv_row = {figure_id, std::to_string(k)};
+    std::vector<std::string> csv_cells = {figure_id, std::to_string(k)};
     x_ticks.push_back(fmt_fraction(k));
     for (std::size_t mi = 0; mi < kMethods; ++mi) {
       const auto& cell = cells[ki * kMethods + mi];
       row.push_back(fmt_double(cell.phi_mean(), 4));
-      csv_row.push_back(fmt_double(cell.phi_mean(), 5));
+      csv_cells.push_back(fmt_double(cell.phi_mean(), 5));
       chart[mi].y.push_back(std::max(1e-5, cell.phi_mean()));
     }
     t.add_row(std::move(row));
-    csv(csv_row);
+    csv_row(csv_cells);
   }
   t.print(std::cout);
 
@@ -77,7 +76,7 @@ inline int run_method_comparison(core::Target target, const char* figure_id,
             << render_chart(chart, x_ticks, opts) << "\n";
   note("paper shape: the two timer curves sit above the three packet");
   note("curves at every fraction; the three packet curves nearly coincide.");
-  bench_obs_write(obs_args);
+  tools::write_obs_outputs(options);
   return 0;
 }
 

@@ -21,7 +21,7 @@ void plan_rows(TextTable& t, const std::string& target, double mu, double sigma,
                std::to_string(p.n),
                population ? fmt_double(100.0 * p.sampling_fraction, 3) + "%"
                           : "-"});
-    netsample::bench::csv({"sec51", target, fmt_double(r, 0), std::to_string(p.n),
+    netsample::bench::csv_row({"sec51", target, fmt_double(r, 0), std::to_string(p.n),
                            fmt_double(p.n_infinite, 1)});
   }
 }

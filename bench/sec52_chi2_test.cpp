@@ -39,7 +39,7 @@ int main() {
       const auto m = core::score_sample(observed, population, 1.0 / 50.0);
       sigs.push_back(m.significance);
       if (m.significance < 0.05) ++rejected;
-      netsample::bench::csv({"sec52", core::target_name(target),
+      netsample::bench::csv_row({"sec52", core::target_name(target),
                              std::to_string(offset),
                              fmt_double(m.significance, 4),
                              fmt_double(m.chi2, 3)});

@@ -96,7 +96,7 @@ int main() {
         variance_of_mean(tr, core::Method::kSimpleRandom, k, reps);
     t.add_row({which, fmt_double(v_sys, 3), fmt_double(v_str, 3),
                fmt_double(v_ran, 3)});
-    bench::csv({"sec5", which, fmt_double(v_sys, 4), fmt_double(v_str, 4),
+    bench::csv_row({"sec5", which, fmt_double(v_sys, 4), fmt_double(v_str, 4),
                 fmt_double(v_ran, 4)});
   }
   t.print(std::cout);

@@ -47,7 +47,7 @@ int main() {
   for (const auto& [proto, vol] : rep.protocols) {
     protos.add_row({net::ip_proto_name(proto), fmt_count(vol.packets),
                     fmt_count(vol.bytes)});
-    bench::csv({"table01", "proto", net::ip_proto_name(proto),
+    bench::csv_row({"table01", "proto", net::ip_proto_name(proto),
                 std::to_string(vol.packets), std::to_string(vol.bytes)});
   }
   protos.print(std::cout);
@@ -63,7 +63,7 @@ int main() {
                                             .value_or("?"));
     ports.add_row({net::ip_proto_name(key.protocol), std::to_string(key.port),
                    name, fmt_count(vol.packets), fmt_count(vol.bytes)});
-    bench::csv({"table01", "port", std::to_string(key.port), name,
+    bench::csv_row({"table01", "port", std::to_string(key.port), name,
                 std::to_string(vol.packets)});
   }
   ports.print(std::cout);

@@ -15,7 +15,7 @@ void row(TextTable& t, const std::string& name, const stats::Summary& s,
              fmt_double(s.median, 1), fmt_double(s.q3, 1), fmt_double(s.max, 1),
              fmt_double(s.mean, 1), fmt_double(s.stddev, 1),
              fmt_double(s.skewness, 2), fmt_double(s.kurtosis, 2)});
-  netsample::bench::csv({"table02", name, fmt_double(s.min, 2), fmt_double(s.q1, 2),
+  netsample::bench::csv_row({"table02", name, fmt_double(s.min, 2), fmt_double(s.q1, 2),
                          fmt_double(s.median, 2), fmt_double(s.q3, 2),
                          fmt_double(s.max, 2), fmt_double(s.mean, 2),
                          fmt_double(s.stddev, 2), fmt_double(s.skewness, 3),

@@ -15,7 +15,7 @@ void row(TextTable& t, const std::string& name, const stats::Summary& s,
              fmt_double(s.q1, 0), fmt_double(s.median, 0), fmt_double(s.q3, 0),
              fmt_double(s.p95, 0), fmt_double(s.max, 0), fmt_double(s.mean, 0),
              fmt_double(s.stddev, 0)});
-  netsample::bench::csv({"table03", name, fmt_double(s.min, 1), fmt_double(s.p5, 1),
+  netsample::bench::csv_row({"table03", name, fmt_double(s.min, 1), fmt_double(s.p5, 1),
                          fmt_double(s.q1, 1), fmt_double(s.median, 1),
                          fmt_double(s.q3, 1), fmt_double(s.p95, 1),
                          fmt_double(s.max, 1), fmt_double(s.mean, 1),

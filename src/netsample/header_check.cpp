@@ -1,0 +1,9 @@
+// Header-hygiene check: the public facade must compile standalone, warning
+// free, in an otherwise empty translation unit. The CI header-hygiene leg
+// builds this file with -Wall -Wextra -Werror.
+#include "netsample/netsample.h"
+
+// Anchor so the object file is non-empty on every toolchain.
+namespace netsample {
+const char* api_version_self_check() { return kApiVersionString; }
+}  // namespace netsample

@@ -1,0 +1,97 @@
+// The facade's unified result envelope and row emitter.
+//
+// Before PR 5 the repo grew three ad-hoc result shapes: exper::RunReport
+// (typed outcomes), the figure binaries' "CSV,..." stdout rows, and the
+// `netsample impair` hand-rolled table/CSV duo. This header folds their
+// *presentation* into one interface:
+//
+//   Table          — column names + string cells, the lingua franca
+//   emit()         — render a Table as an aligned text table, CSV, or
+//                    JSON lines
+//   csv_line() /   — single-row helpers for streaming emitters that cannot
+//   json_line()      buffer a whole Table (e.g. `netsample watch`)
+//   Result<T>      — Status + typed value + presentation-ready Table
+//   as_result()    — adapters from the typed shapes (RunReport today)
+//
+// Old entry points (bench::csv) survive one release as [[deprecated]]
+// wrappers over csv_line — see docs/API.md, "Deprecation policy".
+#pragma once
+
+#include <optional>
+#include <ostream>
+#include <span>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "exper/parallel.h"
+#include "util/status.h"
+
+namespace netsample {
+
+/// Presentation-ready tabular data: column names plus rows of string cells.
+struct Table {
+  std::vector<std::string> columns;
+  std::vector<std::vector<std::string>> rows;
+
+  /// Throws std::invalid_argument unless cells.size() == columns.size().
+  void add_row(std::vector<std::string> cells);
+};
+
+enum class RowFormat {
+  kAligned,    // human-readable aligned columns (util::TextTable)
+  kCsv,        // header line + comma-separated rows, RFC-4180-ish quoting
+  kJsonLines,  // one JSON object per row, keys = column names
+};
+
+struct EmitOptions {
+  /// Emit the column-name header line in kCsv mode.
+  bool csv_header{true};
+  /// Optional leading tag field for greppable mixed-output streams (the
+  /// figure binaries' historical "CSV,..." convention).
+  std::string csv_prefix{};
+};
+
+/// Render `table` to `os` in the requested format.
+void emit(const Table& table, RowFormat format, std::ostream& os,
+          const EmitOptions& options = {});
+
+/// One CSV line. Fields containing commas, quotes, or newlines are quoted;
+/// a non-empty `prefix` becomes the first field.
+[[nodiscard]] std::string csv_line(std::span<const std::string> fields,
+                                   std::string_view prefix = {});
+
+/// One JSON-lines object from parallel column/cell lists. Cells that parse
+/// as plain JSON numbers are emitted unquoted; everything else is escaped
+/// as a JSON string.
+[[nodiscard]] std::string json_line(std::span<const std::string> columns,
+                                    std::span<const std::string> cells);
+
+/// The unified result envelope: how the operation ended, the typed value
+/// for programmatic callers, and a Table for presentation. `value` is
+/// populated even for partially-failed operations when the producer has
+/// partial results worth reporting (e.g. a sweep with quarantined cells).
+template <typename T>
+struct Result {
+  Status status{};
+  std::optional<T> value{};
+  Table rows{};
+
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+  explicit operator bool() const { return ok(); }
+
+  /// The value; throws util::StatusError when the operation failed with no
+  /// partial value.
+  [[nodiscard]] const T& operator*() const {
+    if (!value.has_value()) throw StatusError(status);
+    return *value;
+  }
+  [[nodiscard]] const T* operator->() const { return &**this; }
+};
+
+/// Adapt a fault-tolerant sweep report: status = first_failure(), rows =
+/// one line per cell (method, target, k, attempts, φ summary).
+[[nodiscard]] Result<exper::RunReport> as_result(exper::RunReport report);
+
+}  // namespace netsample

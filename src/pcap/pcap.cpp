@@ -259,6 +259,64 @@ Status write_file(const std::string& path, const CaptureFile& file) {
   return Status::ok();
 }
 
+std::optional<trace::PacketRecord> decode_record(const RawPacket& raw,
+                                                 std::uint32_t link_type,
+                                                 DecodeStats* stats) {
+  DecodeStats scratch;
+  DecodeStats& s = stats != nullptr ? *stats : scratch;
+
+  std::span<const std::uint8_t> ip_bytes(raw.data);
+  if (link_type == kLinkTypeEthernet) {
+    if (ip_bytes.size() < kEthernetHeaderSize) {
+      ++s.malformed;
+      return std::nullopt;
+    }
+    const std::uint16_t ether_type = load_be16(ip_bytes.data() + 12);
+    if (ether_type != kEtherTypeIpv4) {
+      ++s.non_ipv4;
+      return std::nullopt;
+    }
+    ip_bytes = ip_bytes.subspan(kEthernetHeaderSize);
+  }
+
+  auto ip = net::parse_ipv4(ip_bytes);
+  if (!ip) {
+    if (ip.status().code() == StatusCode::kInvalidArgument) {
+      ++s.non_ipv4;
+    } else {
+      ++s.malformed;
+    }
+    return std::nullopt;
+  }
+
+  trace::PacketRecord rec;
+  rec.timestamp = raw.timestamp;
+  rec.size = ip->total_length;
+  rec.protocol = ip->protocol;
+  rec.src = ip->src;
+  rec.dst = ip->dst;
+
+  const auto payload = ip_bytes.subspan(
+      std::min(ip->header_bytes(), ip_bytes.size()));
+  // Only unfragmented first fragments carry a transport header.
+  if (ip->fragment_offset == 0) {
+    if (ip->protocol == 6) {
+      if (auto tcp = net::parse_tcp(payload)) {
+        rec.src_port = tcp->src_port;
+        rec.dst_port = tcp->dst_port;
+        rec.tcp_flags = tcp->flags;
+      }
+    } else if (ip->protocol == 17) {
+      if (auto udp = net::parse_udp(payload)) {
+        rec.src_port = udp->src_port;
+        rec.dst_port = udp->dst_port;
+      }
+    }
+  }
+  ++s.decoded;
+  return rec;
+}
+
 trace::Trace decode(const CaptureFile& file, DecodeStats* stats) {
   DecodeStats local;
   DecodeStatsPublisher publisher{local};
@@ -266,56 +324,9 @@ trace::Trace decode(const CaptureFile& file, DecodeStats* stats) {
   records.reserve(file.records.size());
 
   for (const auto& raw : file.records) {
-    std::span<const std::uint8_t> ip_bytes(raw.data);
-    if (file.link_type == kLinkTypeEthernet) {
-      if (ip_bytes.size() < kEthernetHeaderSize) {
-        ++local.malformed;
-        continue;
-      }
-      const std::uint16_t ether_type = load_be16(ip_bytes.data() + 12);
-      if (ether_type != kEtherTypeIpv4) {
-        ++local.non_ipv4;
-        continue;
-      }
-      ip_bytes = ip_bytes.subspan(kEthernetHeaderSize);
+    if (auto rec = decode_record(raw, file.link_type, &local)) {
+      records.push_back(*rec);
     }
-
-    auto ip = net::parse_ipv4(ip_bytes);
-    if (!ip) {
-      if (ip.status().code() == StatusCode::kInvalidArgument) {
-        ++local.non_ipv4;
-      } else {
-        ++local.malformed;
-      }
-      continue;
-    }
-
-    trace::PacketRecord rec;
-    rec.timestamp = raw.timestamp;
-    rec.size = ip->total_length;
-    rec.protocol = ip->protocol;
-    rec.src = ip->src;
-    rec.dst = ip->dst;
-
-    const auto payload = ip_bytes.subspan(
-        std::min(ip->header_bytes(), ip_bytes.size()));
-    // Only unfragmented first fragments carry a transport header.
-    if (ip->fragment_offset == 0) {
-      if (ip->protocol == 6) {
-        if (auto tcp = net::parse_tcp(payload)) {
-          rec.src_port = tcp->src_port;
-          rec.dst_port = tcp->dst_port;
-          rec.tcp_flags = tcp->flags;
-        }
-      } else if (ip->protocol == 17) {
-        if (auto udp = net::parse_udp(payload)) {
-          rec.src_port = udp->src_port;
-          rec.dst_port = udp->dst_port;
-        }
-      }
-    }
-    records.push_back(rec);
-    ++local.decoded;
   }
 
   if (!std::is_sorted(records.begin(), records.end(),

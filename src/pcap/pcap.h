@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -99,6 +100,16 @@ struct DecodeStats {
   std::size_t malformed{0};
   std::size_t out_of_order{0};  // records re-sorted into time order
 };
+
+/// Decode one captured record into an IPv4 PacketRecord, applying the same
+/// link-type framing rules as decode(): Ethernet headers are stripped (and
+/// non-IPv4 ether types rejected) when `link_type` is kLinkTypeEthernet.
+/// Returns std::nullopt for non-IPv4 or malformed records, bumping the
+/// matching DecodeStats counter when `stats` is given. This is the single
+/// decode truth shared by the whole-file path and the streaming sources
+/// (stream::PcapSource), so the two cannot diverge.
+[[nodiscard]] std::optional<trace::PacketRecord> decode_record(
+    const RawPacket& raw, std::uint32_t link_type, DecodeStats* stats = nullptr);
 
 /// Decode a capture into a Trace of IPv4 PacketRecords. Ethernet framing is
 /// stripped when the link type requires it. Records are sorted into

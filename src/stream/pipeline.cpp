@@ -1,0 +1,103 @@
+#include "stream/pipeline.h"
+
+#include <exception>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace netsample::stream {
+
+namespace {
+
+struct RingMetrics {
+  obs::Gauge& occupancy_peak;
+  obs::Counter& blocked_pushes;
+  obs::Counter& blocked_pops;
+  obs::Counter& dropped;
+};
+
+RingMetrics& ring_metrics() {
+  auto& reg = obs::registry();
+  static RingMetrics m{
+      reg.gauge("netsample_stream_ring_occupancy_peak",
+                obs::Determinism::kNondeterministic),
+      reg.counter("netsample_stream_ring_blocked_push_total",
+                  obs::Determinism::kNondeterministic),
+      reg.counter("netsample_stream_ring_blocked_pop_total",
+                  obs::Determinism::kNondeterministic),
+      reg.counter("netsample_stream_ring_dropped_total",
+                  obs::Determinism::kNondeterministic),
+  };
+  return m;
+}
+
+}  // namespace
+
+PipelineReport run_pipeline(PacketSource& source, Engine& engine,
+                            const PipelineOptions& options) {
+  PipelineReport report;
+  if (options.chunk_packets == 0) {
+    report.status = Status(StatusCode::kInvalidArgument,
+                           "stream: chunk_packets must be >= 1");
+    return report;
+  }
+
+  SpscRing<std::vector<trace::PacketRecord>> ring(options.ring_capacity);
+  Status producer_status = Status::ok();
+
+  std::thread producer([&] {
+    try {
+      std::vector<trace::PacketRecord> chunk;
+      for (;;) {
+        util::throw_if_stopped(options.cancel);
+        chunk.clear();
+        chunk.reserve(options.chunk_packets);
+        if (!source.next_chunk(options.chunk_packets, chunk)) break;
+        ring.push(std::move(chunk), options.cancel);
+        chunk = {};
+      }
+      producer_status = source.status();
+    } catch (const StatusError& e) {
+      producer_status = e.status();
+    } catch (const std::exception& e) {
+      producer_status = Status(StatusCode::kInternal,
+                               std::string("stream producer: ") + e.what());
+    }
+    ring.close();
+  });
+
+  Status consumer_status = Status::ok();
+  try {
+    while (auto chunk = ring.pop(options.cancel)) {
+      engine.feed(*chunk);
+      report.packets += chunk->size();
+      ++report.chunks;
+    }
+  } catch (const StatusError& e) {
+    consumer_status = e.status();
+    // Unblock a producer waiting on a full ring; push-after-close surfaces
+    // as a logic_error there and is folded into producer_status.
+    ring.close();
+  }
+  producer.join();
+
+  report.ring = ring.stats();
+  if (obs::enabled()) {
+    auto& m = ring_metrics();
+    m.occupancy_peak.max(static_cast<double>(report.ring.occupancy_peak));
+    m.blocked_pushes.add(report.ring.blocked_pushes);
+    m.blocked_pops.add(report.ring.blocked_pops);
+    m.dropped.add(report.ring.rejected_pushes);
+  }
+
+  if (!consumer_status.is_ok()) {
+    report.status = consumer_status;
+  } else {
+    report.status = producer_status;
+  }
+  return report;
+}
+
+}  // namespace netsample::stream

@@ -1,0 +1,47 @@
+// One-pass scoring pipeline: PacketSource → SpscRing → Engine.
+//
+// run_pipeline spawns a producer thread that reads fixed-size chunks from
+// the source into a bounded ring and drains the ring into the engine on
+// the calling thread. The ring is lossless (push blocks when full), so the
+// packet sequence the engine sees — and therefore every score — is
+// independent of scheduling; backpressure shows up in the obs counters,
+// never in the results. Cancellation unwinds both threads cooperatively.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "stream/engine.h"
+#include "stream/ring.h"
+#include "stream/source.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace netsample::stream {
+
+struct PipelineOptions {
+  /// Packets per ring item. Determinism does not depend on this; memory
+  /// (chunk_packets * ring_capacity records) and sync overhead do.
+  std::size_t chunk_packets{4096};
+  std::size_t ring_capacity{16};
+  /// Honored by both sides: the producer stops reading, the consumer stops
+  /// feeding, and the pipeline returns kCancelled / kDeadlineExceeded.
+  const util::CancelToken* cancel{nullptr};
+};
+
+struct PipelineReport {
+  Status status{};            // first failure: cancellation or source error
+  std::uint64_t packets{0};   // records the engine ingested
+  std::uint64_t chunks{0};
+  RingStats ring;
+  [[nodiscard]] bool ok() const { return status.is_ok(); }
+};
+
+/// Drain `source` into `engine` (which is left un-finished so the caller
+/// can score or keep feeding). Never throws for cancellation or source
+/// errors — they come back in the report — but engine configuration errors
+/// (std::logic_error and friends) propagate.
+[[nodiscard]] PipelineReport run_pipeline(PacketSource& source, Engine& engine,
+                                          const PipelineOptions& options = {});
+
+}  // namespace netsample::stream

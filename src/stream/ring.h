@@ -1,0 +1,158 @@
+// Bounded single-producer/single-consumer ring buffer with backpressure.
+//
+// The streaming scorer decouples capture I/O from scoring with one of
+// these: a reader thread pushes packet chunks, the engine thread pops them.
+// The ring is *lossless by default* — when full, push() blocks until the
+// consumer catches up — because dropping chunks under backpressure would
+// make results depend on scheduling and break the determinism contract
+// (docs/STREAMING.md). Callers that prefer load-shedding over blocking can
+// use try_push() and count the drops themselves.
+//
+// Both blocking calls poll an optional util::CancelToken while waiting and
+// unwind with util::StatusError (kCancelled / kDeadlineExceeded), so a
+// watchdog can always unwedge a stalled pipeline.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace netsample::stream {
+
+/// Point-in-time counters of one ring's life, for obs export.
+struct RingStats {
+  std::uint64_t pushes{0};
+  std::uint64_t pops{0};
+  std::uint64_t blocked_pushes{0};  // push() calls that had to wait
+  std::uint64_t blocked_pops{0};    // pop() calls that had to wait
+  std::uint64_t rejected_pushes{0};  // try_push() calls refused (ring full)
+  std::size_t occupancy_peak{0};     // high-water item count
+};
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Throws std::invalid_argument on zero capacity.
+  explicit SpscRing(std::size_t capacity) : capacity_(capacity) {
+    if (capacity == 0) {
+      throw std::invalid_argument("SpscRing: capacity must be >= 1");
+    }
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Blocking push. Waits while the ring is full; throws util::StatusError
+  /// when `cancel` fires mid-wait and std::logic_error if the ring was
+  /// already closed (the producer owns close()).
+  void push(T item, const util::CancelToken* cancel = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (closed_) throw std::logic_error("SpscRing: push after close");
+    if (items_.size() >= capacity_) {
+      ++stats_.blocked_pushes;
+      while (items_.size() >= capacity_ && !closed_) {
+        util::throw_if_stopped(cancel);
+        producer_cv_.wait_for(lock, kWaitSlice);
+      }
+      if (closed_) throw std::logic_error("SpscRing: push after close");
+    }
+    items_.push_back(std::move(item));
+    ++stats_.pushes;
+    if (items_.size() > stats_.occupancy_peak) {
+      stats_.occupancy_peak = items_.size();
+    }
+    lock.unlock();
+    consumer_cv_.notify_one();
+  }
+
+  /// Non-blocking push; returns false (counting a rejection) when full.
+  [[nodiscard]] bool try_push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_) throw std::logic_error("SpscRing: push after close");
+      if (items_.size() >= capacity_) {
+        ++stats_.rejected_pushes;
+        return false;
+      }
+      items_.push_back(std::move(item));
+      ++stats_.pushes;
+      if (items_.size() > stats_.occupancy_peak) {
+        stats_.occupancy_peak = items_.size();
+      }
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocking pop. Waits for an item; returns std::nullopt once the ring is
+  /// closed *and* drained. Throws util::StatusError when `cancel` fires.
+  [[nodiscard]] std::optional<T> pop(const util::CancelToken* cancel = nullptr) {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (items_.empty() && !closed_) {
+      ++stats_.blocked_pops;
+      while (items_.empty() && !closed_) {
+        util::throw_if_stopped(cancel);
+        consumer_cv_.wait_for(lock, kWaitSlice);
+      }
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    T item = std::move(items_.front());
+    items_.pop_front();
+    ++stats_.pops;
+    lock.unlock();
+    producer_cv_.notify_one();
+    return item;
+  }
+
+  /// Producer is done; pending items stay poppable, further pushes throw.
+  /// Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+    producer_cv_.notify_all();
+  }
+
+  [[nodiscard]] bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  [[nodiscard]] std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  [[nodiscard]] RingStats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+
+ private:
+  // Condvar waits are sliced so an external cancel()/deadline is noticed
+  // within one slice even though nobody notifies these condvars for it.
+  static constexpr std::chrono::milliseconds kWaitSlice{10};
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;  // signalled on push/close
+  std::condition_variable producer_cv_;  // signalled on pop/close
+  std::deque<T> items_;
+  bool closed_{false};
+  RingStats stats_;
+};
+
+}  // namespace netsample::stream

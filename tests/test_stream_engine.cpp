@@ -1,0 +1,353 @@
+// The streaming scorer's determinism contract, pinned:
+//
+//  * bit-identity — a drain-mode Engine fed the batch runner's interval at
+//    chunk sizes 1 / 64 / 4096 produces byte-identical phi (and identical
+//    selected indices) to exper::run_cell on the BinnedTraceCache fast
+//    path, for all five methods and both histogram targets;
+//  * chunking independence — any two chunkings agree, including through
+//    the SPSC pipeline;
+//  * rolling windows — k=1 lanes score phi == 0 in every window (sample
+//    equals population by construction), a window that covers the whole
+//    stream reproduces drain mode, and windowed memory stays O(window);
+//  * cancellation and argument validation unwind as specified.
+#include "stream/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <stdexcept>
+#include <vector>
+
+#include "core/sampler.h"
+#include "core/samplers.h"
+#include "exper/experiment.h"
+#include "exper/runner.h"
+#include "stream/pipeline.h"
+#include "stream/source.h"
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace netsample::stream {
+namespace {
+
+// One shared 2-minute synthetic trace: big enough that every method's
+// sample has structure, small enough for chunk-size-1 sweeps.
+exper::Experiment& experiment() {
+  static exper::Experiment ex(23, 2.0);
+  return ex;
+}
+
+exper::CellConfig cell_config(core::Method method, core::Target target) {
+  auto& ex = experiment();
+  exper::CellConfig cfg;
+  cfg.method = method;
+  cfg.target = target;
+  cfg.granularity = 10;
+  cfg.interval = ex.full();
+  cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+  cfg.replications = 3;
+  cfg.base_seed = 77;
+  cfg.cache = &ex.binned_cache();
+  return cfg;
+}
+
+void feed_in_chunks(Engine& engine, trace::TraceView view, std::size_t chunk) {
+  const auto packets = view.packets();
+  for (std::size_t i = 0; i < packets.size(); i += chunk) {
+    engine.feed(packets.subspan(i, std::min(chunk, packets.size() - i)));
+  }
+}
+
+constexpr core::Method kAllMethods[] = {
+    core::Method::kSystematicCount, core::Method::kStratifiedCount,
+    core::Method::kSimpleRandom, core::Method::kSystematicTimer,
+    core::Method::kStratifiedTimer};
+constexpr core::Target kBothTargets[] = {core::Target::kPacketSize,
+                                         core::Target::kInterarrivalTime};
+
+// ---------------------------------------------------------------------------
+// Bit-identity against the batch fast path, at chunk sizes 1 / 64 / 4096.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngine, BitIdenticalToBatchCellAtAnyChunkSize) {
+  for (const auto method : kAllMethods) {
+    for (const auto target : kBothTargets) {
+      const auto cfg = cell_config(method, target);
+      const auto batch = exper::run_cell(cfg);
+      ASSERT_EQ(batch.replications.size(), 3u);
+
+      for (const std::size_t chunk : {std::size_t{1}, std::size_t{64},
+                                      std::size_t{4096}}) {
+        Engine engine(lanes_for_cell(cfg));
+        feed_in_chunks(engine, cfg.interval, chunk);
+        const auto final_score = engine.finish();
+        ASSERT_EQ(final_score.lanes.size(), batch.replications.size())
+            << core::method_name(method) << " chunk " << chunk;
+        EXPECT_EQ(final_score.packets_seen, cfg.interval.size());
+        for (std::size_t r = 0; r < batch.replications.size(); ++r) {
+          const auto& stream_m = final_score.lanes[r].metrics;
+          const auto& batch_m = batch.replications[r];
+          // Exact double equality: the streaming path must reproduce the
+          // batch scores bit-for-bit, not approximately.
+          EXPECT_EQ(stream_m.phi, batch_m.phi)
+              << core::method_name(method) << "/"
+              << core::target_name(target) << " r" << r << " chunk " << chunk;
+          EXPECT_EQ(stream_m.chi2, batch_m.chi2);
+          EXPECT_EQ(stream_m.significance, batch_m.significance);
+          EXPECT_EQ(stream_m.sample_n, batch_m.sample_n);
+          EXPECT_EQ(stream_m.population_n, batch_m.population_n);
+        }
+      }
+    }
+  }
+}
+
+TEST(StreamEngine, SelectedIndicesMatchBatchSamplers) {
+  for (const auto method : kAllMethods) {
+    const auto cfg = cell_config(method, core::Target::kPacketSize);
+    EngineOptions options;
+    options.collect_indices = true;
+    Engine engine(lanes_for_cell(cfg), options);
+    feed_in_chunks(engine, cfg.interval, 64);
+    (void)engine.finish();
+
+    ASSERT_EQ(engine.lane_indices().size(), 3u);
+    for (int r = 0; r < cfg.replications; ++r) {
+      auto sampler = core::make_sampler(exper::replication_spec(cfg, r));
+      const auto want = core::draw_sample_indices(cfg.interval, *sampler);
+      EXPECT_EQ(engine.lane_indices()[static_cast<std::size_t>(r)], want)
+          << core::method_name(method) << " r" << r;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pipeline: ring + producer thread change nothing.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngine, PipelineMatchesDirectFeed) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+
+  Engine direct(lanes_for_cell(cfg));
+  feed_in_chunks(direct, cfg.interval, 97);
+  const auto direct_score = direct.finish();
+
+  Engine piped(lanes_for_cell(cfg));
+  TraceSource source(cfg.interval);
+  PipelineOptions options;
+  options.chunk_packets = 97;
+  options.ring_capacity = 4;
+  const auto report = run_pipeline(source, piped, options);
+  ASSERT_TRUE(report.ok()) << report.status.to_string();
+  EXPECT_EQ(report.packets, cfg.interval.size());
+  const auto piped_score = piped.finish();
+
+  ASSERT_EQ(piped_score.lanes.size(), direct_score.lanes.size());
+  for (std::size_t i = 0; i < direct_score.lanes.size(); ++i) {
+    EXPECT_EQ(piped_score.lanes[i].metrics.phi,
+              direct_score.lanes[i].metrics.phi);
+    EXPECT_EQ(piped_score.lanes[i].metrics.sample_n,
+              direct_score.lanes[i].metrics.sample_n);
+  }
+}
+
+TEST(StreamEngine, PipelineSurfacesCancellation) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  Engine engine(lanes_for_cell(cfg));
+  TraceSource source(cfg.interval);
+  util::CancelToken cancel;
+  cancel.cancel();
+  PipelineOptions options;
+  options.cancel = &cancel;
+  const auto report = run_pipeline(source, engine, options);
+  EXPECT_FALSE(report.ok());
+  EXPECT_EQ(report.status.code(), StatusCode::kCancelled);
+}
+
+TEST(StreamEngine, FeedPollsCancelToken) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  util::CancelToken cancel;
+  cancel.cancel();
+  EngineOptions options;
+  options.cancel = &cancel;
+  Engine engine(lanes_for_cell(cfg), options);
+  EXPECT_THROW(feed_in_chunks(engine, cfg.interval, 4096), StatusError);
+}
+
+// ---------------------------------------------------------------------------
+// Rolling windows.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngine, AllSelectingLaneScoresZeroPhiInEveryWindow) {
+  // k=1 systematic selects every packet, so each window's sample histogram
+  // equals its population histogram and phi is exactly 0 — an oracle that
+  // needs no independent reimplementation of the window arithmetic.
+  auto& ex = experiment();
+  exper::CellConfig cfg;
+  cfg.method = core::Method::kSystematicCount;
+  cfg.granularity = 1;
+  cfg.interval = ex.full();
+  cfg.mean_interarrival_usec = ex.mean_interarrival_usec();
+  cfg.replications = 1;
+  cfg.base_seed = 5;
+
+  for (const auto target : kBothTargets) {
+    cfg.target = target;
+    EngineOptions options;
+    options.window = MicroDuration::from_seconds(10.0);
+    options.stride = MicroDuration::from_seconds(10.0);
+    Engine engine(lanes_for_cell(cfg), options);
+    std::uint64_t snapshots = 0;
+    std::uint64_t last_tick = 0;
+    engine.on_snapshot([&](const WindowScore& w) {
+      ++snapshots;
+      EXPECT_EQ(w.tick, last_tick + 1);  // in order, none skipped
+      last_tick = w.tick;
+      EXPECT_FALSE(w.is_final);
+      ASSERT_EQ(w.lanes.size(), 1u);
+      EXPECT_EQ(w.lanes[0].metrics.phi, 0.0) << "tick " << w.tick;
+      EXPECT_EQ(w.lanes[0].metrics.chi2, 0.0);
+    });
+    feed_in_chunks(engine, cfg.interval, 256);
+    const auto final_score = engine.finish();
+    EXPECT_TRUE(final_score.is_final);
+    EXPECT_EQ(final_score.lanes[0].metrics.phi, 0.0);
+    // A ~2-minute trace with a 10s stride must produce ~11 interior ticks.
+    EXPECT_GE(snapshots, 9u);
+    EXPECT_LE(snapshots, 13u);
+  }
+}
+
+TEST(StreamEngine, WholeStreamWindowReproducesDrainMode) {
+  const auto cfg =
+      cell_config(core::Method::kStratifiedCount, core::Target::kPacketSize);
+
+  Engine drain(lanes_for_cell(cfg));
+  feed_in_chunks(drain, cfg.interval, 512);
+  const auto drain_score = drain.finish();
+
+  EngineOptions windowed_options;
+  windowed_options.window = MicroDuration::from_seconds(3600.0);
+  Engine windowed(lanes_for_cell(cfg), windowed_options);
+  feed_in_chunks(windowed, cfg.interval, 512);
+  const auto windowed_score = windowed.finish();
+
+  ASSERT_EQ(windowed_score.lanes.size(), drain_score.lanes.size());
+  for (std::size_t i = 0; i < drain_score.lanes.size(); ++i) {
+    EXPECT_EQ(windowed_score.lanes[i].metrics.phi,
+              drain_score.lanes[i].metrics.phi);
+    EXPECT_EQ(windowed_score.lanes[i].metrics.sample_n,
+              drain_score.lanes[i].metrics.sample_n);
+  }
+}
+
+TEST(StreamEngine, WindowedMemoryIsBoundedDrainHoldsNothing) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+
+  Engine drain(lanes_for_cell(cfg));
+  feed_in_chunks(drain, cfg.interval, 1024);
+  (void)drain.finish();
+  EXPECT_EQ(drain.window_packets_peak(), 0u);  // drain mode holds no packets
+
+  EngineOptions options;
+  options.window = MicroDuration::from_seconds(5.0);
+  options.stride = MicroDuration::from_seconds(5.0);
+  Engine windowed(lanes_for_cell(cfg), options);
+  feed_in_chunks(windowed, cfg.interval, 1024);
+  (void)windowed.finish();
+  EXPECT_GT(windowed.window_packets_peak(), 0u);
+  // 2 minutes of packets, 5+5 second window+stride scope: the peak must be
+  // a small fraction of the stream.
+  EXPECT_LT(windowed.window_packets_peak(), cfg.interval.size() / 4);
+}
+
+TEST(StreamEngine, CurrentScoresWithoutConsuming) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  Engine engine(lanes_for_cell(cfg));
+  const auto packets = cfg.interval.packets();
+  engine.feed(packets.subspan(0, packets.size() / 2));
+  const auto mid = engine.current();
+  EXPECT_EQ(mid.packets_seen, packets.size() / 2);
+  engine.feed(packets.subspan(packets.size() / 2));
+  const auto final_score = engine.finish();
+  EXPECT_EQ(final_score.packets_seen, packets.size());
+  // current() at the midpoint scored a strict prefix: a different (smaller)
+  // population than the final score.
+  EXPECT_LT(mid.lanes[0].metrics.population_n,
+            final_score.lanes[0].metrics.population_n);
+}
+
+// ---------------------------------------------------------------------------
+// Validation and edge cases.
+// ---------------------------------------------------------------------------
+
+TEST(StreamEngine, EmptyStreamFinishesWithZeroedScore) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  Engine engine(lanes_for_cell(cfg));
+  const auto final_score = engine.finish();
+  // Nothing ever arrived: a zeroed final score with no lane rows (there is
+  // no population to score against), not a crash or a fabricated result.
+  EXPECT_TRUE(final_score.is_final);
+  EXPECT_EQ(final_score.packets_seen, 0u);
+  EXPECT_TRUE(final_score.lanes.empty());
+  EXPECT_THROW((void)engine.finish(), std::logic_error);
+}
+
+TEST(StreamEngine, MoreThanMaxLanesThrows) {
+  auto cfg = cell_config(core::Method::kSystematicCount,
+                         core::Target::kPacketSize);
+  cfg.granularity = 128;
+  cfg.replications = static_cast<int>(Engine::kMaxLanes) + 1;
+  EXPECT_THROW(Engine(lanes_for_cell(cfg)), std::invalid_argument);
+}
+
+TEST(StreamEngine, NegativeWindowThrows) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  EngineOptions options;
+  options.window = MicroDuration{-1};
+  EXPECT_THROW(Engine(lanes_for_cell(cfg), options), std::invalid_argument);
+}
+
+TEST(StreamEngine, TimeOrderViolationThrows) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  Engine engine(lanes_for_cell(cfg));
+  std::vector<trace::PacketRecord> packets(2);
+  packets[0].timestamp = MicroTime{2000};
+  packets[0].size = 100;
+  packets[1].timestamp = MicroTime{1000};  // runs backwards
+  packets[1].size = 100;
+  EXPECT_THROW(engine.feed(packets), std::invalid_argument);
+}
+
+TEST(StreamEngine, FeedAfterFinishThrows) {
+  const auto cfg =
+      cell_config(core::Method::kSystematicCount, core::Target::kPacketSize);
+  Engine engine(lanes_for_cell(cfg));
+  (void)engine.finish();
+  std::vector<trace::PacketRecord> packets(1);
+  packets[0].timestamp = MicroTime{1};
+  EXPECT_THROW(engine.feed(packets), std::logic_error);
+}
+
+TEST(StreamEngine, PopulationOverrideReplacesIntervalSize) {
+  auto cfg = cell_config(core::Method::kSimpleRandom,
+                         core::Target::kPacketSize);
+  const auto lanes = lanes_for_cell(cfg, 12345);
+  for (const auto& lane : lanes) EXPECT_EQ(lane.spec.population, 12345u);
+  const auto defaults = lanes_for_cell(cfg);
+  for (const auto& lane : defaults) {
+    EXPECT_EQ(lane.spec.population, cfg.interval.size());
+  }
+}
+
+}  // namespace
+}  // namespace netsample::stream

@@ -1,0 +1,156 @@
+// Tests for the streaming scorer's SPSC ring: FIFO order, the bounded
+// capacity + backpressure contract (lossless blocking push, counted
+// try_push rejections), cancellation unwinding, close/drain semantics, and
+// a two-thread stress run.
+#include "stream/ring.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "util/cancel.h"
+#include "util/status.h"
+
+namespace netsample::stream {
+namespace {
+
+TEST(SpscRing, ZeroCapacityThrows) {
+  EXPECT_THROW(SpscRing<int>(0), std::invalid_argument);
+}
+
+TEST(SpscRing, FifoOrderSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) ring.push(i);
+  ring.close();
+  for (int i = 0; i < 5; ++i) {
+    auto v = ring.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_FALSE(ring.pop().has_value());  // closed and drained
+}
+
+TEST(SpscRing, TryPushRefusesWhenFullAndCountsRejections) {
+  SpscRing<int> ring(2);
+  EXPECT_TRUE(ring.try_push(1));
+  EXPECT_TRUE(ring.try_push(2));
+  EXPECT_FALSE(ring.try_push(3));
+  EXPECT_FALSE(ring.try_push(4));
+  EXPECT_EQ(ring.size(), 2u);
+  EXPECT_EQ(ring.stats().rejected_pushes, 2u);
+  EXPECT_EQ(ring.stats().pushes, 2u);
+}
+
+TEST(SpscRing, OccupancyNeverExceedsCapacity) {
+  SpscRing<int> ring(3);
+  std::thread producer([&] {
+    for (int i = 0; i < 100; ++i) ring.push(i);
+    ring.close();
+  });
+  int expected = 0;
+  while (auto v = ring.pop()) {
+    EXPECT_EQ(*v, expected++);
+    EXPECT_LE(ring.size(), 3u);
+  }
+  producer.join();
+  EXPECT_EQ(expected, 100);
+  EXPECT_LE(ring.stats().occupancy_peak, 3u);
+  EXPECT_EQ(ring.stats().pushes, 100u);
+  EXPECT_EQ(ring.stats().pops, 100u);
+}
+
+TEST(SpscRing, PushBlocksUntilPopMakesRoom) {
+  SpscRing<int> ring(1);
+  ring.push(1);
+  std::thread producer([&] { ring.push(2); });  // blocks: ring is full
+  // Give the producer a moment to actually block, then drain.
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  EXPECT_EQ(ring.size(), 1u);
+  auto first = ring.pop();
+  producer.join();
+  auto second = ring.pop();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(*first, 1);
+  EXPECT_EQ(*second, 2);
+  EXPECT_GE(ring.stats().blocked_pushes, 1u);
+}
+
+TEST(SpscRing, CancelledTokenUnblocksPush) {
+  SpscRing<int> ring(1);
+  ring.push(1);
+  util::CancelToken cancel;
+  std::thread canceller([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    cancel.cancel();
+  });
+  try {
+    ring.push(2, &cancel);
+    canceller.join();
+    FAIL() << "push into a full ring with a cancelled token must throw";
+  } catch (const StatusError& e) {
+    canceller.join();
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+}
+
+TEST(SpscRing, DeadlineUnblocksPop) {
+  SpscRing<int> ring(1);
+  util::CancelToken cancel;
+  cancel.set_deadline_after(0.05);
+  try {
+    (void)ring.pop(&cancel);  // empty, never closed: waits until deadline
+    FAIL() << "pop from an empty ring must throw once the deadline passes";
+  } catch (const StatusError& e) {
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+}
+
+TEST(SpscRing, PushAfterCloseIsALogicError) {
+  SpscRing<int> ring(4);
+  ring.close();
+  ring.close();  // idempotent
+  EXPECT_TRUE(ring.closed());
+  EXPECT_THROW(ring.push(1), std::logic_error);
+  EXPECT_THROW((void)ring.try_push(1), std::logic_error);
+}
+
+TEST(SpscRing, CloseUnblocksAWaitingConsumer) {
+  SpscRing<int> ring(4);
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    ring.close();
+  });
+  EXPECT_FALSE(ring.pop().has_value());
+  closer.join();
+}
+
+TEST(SpscRing, TwoThreadStressPreservesOrderAndCounts) {
+  constexpr int kItems = 20000;
+  SpscRing<int> ring(16);
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) ring.push(i);
+    ring.close();
+  });
+  long long sum = 0;
+  int expected = 0;
+  while (auto v = ring.pop()) {
+    ASSERT_EQ(*v, expected++);
+    sum += *v;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(sum, static_cast<long long>(kItems) * (kItems - 1) / 2);
+  const RingStats s = ring.stats();
+  EXPECT_EQ(s.pushes, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(s.pops, static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(s.rejected_pushes, 0u);
+  EXPECT_LE(s.occupancy_peak, 16u);
+}
+
+}  // namespace
+}  // namespace netsample::stream

@@ -1,0 +1,60 @@
+// Shared command-line flag handling for the netsample CLI and the six
+// figure binaries (fig06–fig11).
+//
+// Before PR 5, --jobs/--pcap/--metrics-out parsing was duplicated between
+// util::ArgParser declarations in netsample_cli.cpp and the argv-scanning
+// helpers in bench/bench_common.h — with different validation and different
+// unknown-flag behavior (the CLI rejected, the figures ignored). This
+// helper is the single truth: one flag vocabulary, one validator, and one
+// contract — *unknown flags exit with sysexits EX_USAGE (64) everywhere*,
+// asserted by the cli_unknown_flag ctest entries.
+//
+// The microbenchmarks keep bench_common.h's permissive scanners on purpose:
+// they must pass --benchmark_* flags through to google-benchmark.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "netsample/netsample.h"
+
+namespace netsample::tools {
+
+/// The flag set shared by the CLI and the figure binaries.
+struct CommonOptions {
+  int jobs{0};                // 0 = one worker per hardware thread
+  std::string pcap;           // parent capture ("" = synthetic hour)
+  std::string metrics_out;    // obs metrics JSON path ("" = off)
+  std::string trace_out;      // obs trace JSON path ("" = off)
+  bool legacy_scan{false};    // force the streaming oracle path
+};
+
+/// Declare the shared flags on an ArgParser (the CLI merges these into each
+/// subcommand's vocabulary). `with_pcap` is off for subcommands that take
+/// the capture as a positional instead.
+void add_common_flags(ArgParser& args, bool with_pcap = true);
+
+/// Read the shared flags back after a successful parse(), validating ranges
+/// (--jobs in [0, 4096]) and applying side effects: --legacy-scan forces
+/// the legacy path, --metrics-out/--trace-out enable obs collection.
+/// Throws std::invalid_argument with a user-facing message on bad values.
+[[nodiscard]] CommonOptions read_common_options(const ArgParser& args);
+
+/// One-call front end for the figure binaries: parse argv strictly (any
+/// unknown flag prints the vocabulary and exits 64), honor NETSAMPLE_JOBS /
+/// NETSAMPLE_PCAP / NETSAMPLE_LEGACY_SCAN as fallbacks, apply side effects,
+/// and hand back the options. `extra_help` names the binary in --help.
+[[nodiscard]] CommonOptions parse_figure_args(int argc, char** argv,
+                                              const std::string& extra_help);
+
+/// Parent population for a figure run: the --pcap capture (salvage mode,
+/// loss counters printed, exit 65 when unreadable) or the calibrated
+/// synthetic hour.
+[[nodiscard]] exper::Experiment figure_experiment(
+    const CommonOptions& options, std::uint64_t seed, double minutes = 60.0);
+
+/// Export the requested obs snapshots; exits 70 (EX_SOFTWARE) on a write
+/// failure so CI cannot silently lose metrics.
+void write_obs_outputs(const CommonOptions& options);
+
+}  // namespace netsample::tools

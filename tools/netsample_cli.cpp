@@ -8,6 +8,7 @@
 //   netsample design   --mu 232 --sigma 236 --accuracy 5 [--population N]
 //   netsample charact  trace.pcap [--node t1|t3] [--k 50]
 //   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
+//   netsample watch    trace.pcap --method systematic --k 50 --window 5
 //   netsample stats    metrics.json [--masked]
 //
 // score/impair (and the figure binaries) accept --metrics-out FILE /
@@ -29,26 +30,8 @@
 #include <string>
 #include <vector>
 
-#include "charact/agent.h"
-#include "core/categorical.h"
-#include "core/design.h"
-#include "core/metrics.h"
-#include "core/samplers.h"
-#include "core/targets.h"
-#include "exper/experiment.h"
-#include "exper/journal.h"
-#include "exper/parallel.h"
-#include "exper/runner.h"
-#include "faultsim/faultsim.h"
-#include "net/headers.h"
-#include "net/ports.h"
-#include "obs/export.h"
-#include "pcap/pcap.h"
-#include "synth/presets.h"
-#include "trace/flows.h"
-#include "trace/summary.h"
-#include "util/args.h"
-#include "util/format.h"
+#include "netsample/netsample.h"
+#include "tools/cli_args.h"
 
 using namespace netsample;
 
@@ -94,6 +77,7 @@ int usage() {
       "  design     Cochran sample-size planning\n"
       "  charact    run the NSFNET characterization objects\n"
       "  impair     sweep measurement impairments and report phi degradation\n"
+      "  watch      stream a capture and emit windowed phi snapshots\n"
       "  stats      pretty-print a --metrics-out JSON snapshot\n"
       "run 'netsample <command> --help' for flags.\n";
   return kExitUsage;
@@ -226,11 +210,10 @@ int cmd_sample(ArgParser& args) {
   return 0;
 }
 
-int cmd_score(ArgParser& args) {
+int cmd_score(ArgParser& args, const tools::CommonOptions& common) {
   auto t = load(args.positionals().at(0), args);
   if (!t) return fail(t.status());
   exper::Experiment ex(std::move(*t));
-  if (args.get_bool("legacy-scan")) core::force_legacy_scan(true);
 
   exper::CellConfig cfg;
   cfg.method = parse_method(args.get_string("method"));
@@ -294,29 +277,18 @@ int cmd_score(ArgParser& args) {
     ropts.journal = &journal;
   }
 
-  exper::ParallelRunner runner(static_cast<int>(args.get_int("jobs")));
-  const auto report = runner.run(tasks, cfg.base_seed, ropts);
-
-  TextTable table({"target", "mean phi", "min", "max", "mean n",
-                   "chi2 rejections @0.05"});
-  for (const auto& cell : report.cells) {
-    if (!cell.status.is_ok()) continue;
-    const auto& r = cell.result;
-    const auto b = r.phi_boxplot();
-    table.add_row({core::target_name(r.config.target),
-                   fmt_double(r.phi_mean(), 4), fmt_double(b.min, 4),
-                   fmt_double(b.max, 4), fmt_double(r.mean_sample_size(), 0),
-                   std::to_string(r.rejections_at(0.05)) + "/" +
-                       std::to_string(cfg.replications)});
-  }
-  table.print(std::cout);
-  for (const std::size_t i : report.quarantined()) {
+  exper::ParallelRunner runner(common.jobs);
+  // The unified presentation path: RunReport -> Result<T> -> emit. The same
+  // rows render as CSV/JSON lines for any machine consumer of the facade.
+  const auto result = as_result(runner.run(tasks, cfg.base_seed, ropts));
+  emit(result.rows, RowFormat::kAligned, std::cout);
+  for (const std::size_t i : result->quarantined()) {
     std::cerr << "quarantined: cell " << i << " ("
               << core::target_name(tasks[i].config.target) << ") after "
-              << report.cells[i].attempts << " attempt(s): "
-              << report.cells[i].status.to_string() << "\n";
+              << result->cells[i].attempts << " attempt(s): "
+              << result->cells[i].status.to_string() << "\n";
   }
-  if (!report.all_ok()) return fail(report.first_failure());
+  if (!result.ok()) return fail(result.status);
   return 0;
 }
 
@@ -377,13 +349,13 @@ int cmd_impair(ArgParser& args) {
   info << "clean capture: " << fmt_count(clean.size())
        << " packets, baseline mean phi " << fmt_double(baseline, 4) << " ("
        << args.get_string("method") << ", k=" << args.get_int("k") << ")\n";
-  if (csv) {
-    std::cout << "fault,intensity,affected,packets,clamped,quarantined,"
-                 "corrupt_records,skipped_bytes,phi,delta_phi\n";
-  }
-
-  TextTable table({"fault", "intensity", "affected", "packets", "repaired",
-                   "phi", "delta phi"});
+  // One Table for both presentations: aligned text for humans, CSV (same
+  // columns, same cells) for machines. The loss counters that used to be
+  // CSV-only are worth seeing in the human table too.
+  Table table;
+  table.columns = {"fault",      "intensity",       "affected",
+                   "packets",    "clamped",         "quarantined",
+                   "corrupt_records", "skipped_bytes", "phi", "delta_phi"};
   for (const faultsim::Fault fault : faults) {
     for (const double intensity : intensities) {
       faultsim::ImpairmentSpec spec;
@@ -415,22 +387,130 @@ int cmd_impair(ArgParser& args) {
       const double phi = impaired.size() > 1
                              ? score_phi(impaired)
                              : std::numeric_limits<double>::quiet_NaN();
-      const std::size_t repaired = astats.clamped + astats.quarantined +
-                                   pstats.corrupt_records;
       table.add_row({faultsim::fault_name(fault), fmt_double(intensity, 3),
-                     fmt_count(rep.affected), fmt_count(impaired.size()),
-                     fmt_count(repaired), fmt_double(phi, 4),
-                     fmt_double(phi - baseline, 4)});
-      if (csv) {
-        std::cout << faultsim::fault_name(fault) << ',' << intensity << ','
-                  << rep.affected << ',' << impaired.size() << ','
-                  << astats.clamped << ',' << astats.quarantined << ','
-                  << pstats.corrupt_records << ',' << pstats.skipped_bytes
-                  << ',' << phi << ',' << phi - baseline << '\n';
-      }
+                     std::to_string(rep.affected),
+                     std::to_string(impaired.size()),
+                     std::to_string(astats.clamped),
+                     std::to_string(astats.quarantined),
+                     std::to_string(pstats.corrupt_records),
+                     std::to_string(pstats.skipped_bytes),
+                     fmt_double(phi, 4), fmt_double(phi - baseline, 4)});
     }
   }
-  if (!csv) table.print(std::cout);
+  emit(table, csv ? RowFormat::kCsv : RowFormat::kAligned, std::cout);
+  return 0;
+}
+
+/// `netsample watch` — the streaming scorer on a capture: the pcap is
+/// decoded record-at-a-time through the SPSC pipeline into a stream::Engine,
+/// which emits one row per (window, lane) as snapshots tick by. Memory is
+/// O(window), never O(trace); stdout carries nothing but the rows.
+int cmd_watch(ArgParser& args) {
+  const std::string format = args.get_string("format");
+  if (format != "jsonl" && format != "csv") {
+    throw std::invalid_argument("unknown --format '" + format +
+                                "' (jsonl|csv)");
+  }
+  const std::string which = args.get_string("target");
+  if (which != "both" && which != "size" && which != "iat") {
+    throw std::invalid_argument("watch --target must be both|size|iat");
+  }
+
+  exper::CellConfig cfg;
+  cfg.method = parse_method(args.get_string("method"));
+  cfg.granularity = static_cast<std::uint64_t>(args.get_int("k"));
+  cfg.mean_interarrival_usec = args.get_double("mean-iat");
+  cfg.replications = static_cast<int>(args.get_int("reps"));
+  cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+
+  // A live stream has no materialized trace, so the knobs batch scoring
+  // derives from the capture must come from the operator (the paper's
+  // operational setting: N and the mean gap come from the previous
+  // collection cycle).
+  const auto population =
+      static_cast<std::uint64_t>(args.get_int("population"));
+  if (cfg.method == core::Method::kSimpleRandom && population == 0) {
+    throw std::invalid_argument(
+        "watch --method random draws Algorithm S over a known population; "
+        "pass --population N (e.g. from the previous collection cycle)");
+  }
+  if ((cfg.method == core::Method::kSystematicTimer ||
+       cfg.method == core::Method::kStratifiedTimer) &&
+      cfg.mean_interarrival_usec <= 0) {
+    throw std::invalid_argument(
+        "watch --method timer-* needs --mean-iat USEC to size the timer "
+        "period");
+  }
+
+  std::vector<stream::LaneSpec> lanes;
+  for (const auto target :
+       {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+    if (which == "size" && target != core::Target::kPacketSize) continue;
+    if (which == "iat" && target != core::Target::kInterarrivalTime) continue;
+    const char* prefix =
+        target == core::Target::kPacketSize ? "size" : "iat";
+    cfg.target = target;
+    for (auto& lane : stream::lanes_for_cell(cfg, population)) {
+      lane.label = std::string(prefix) + "/" + lane.label;
+      lanes.push_back(std::move(lane));
+    }
+  }
+
+  util::CancelToken cancel;
+  cancel.set_deadline_after(args.get_double("deadline"));
+
+  stream::EngineOptions eopts;
+  eopts.window = MicroDuration::from_seconds(args.get_double("window"));
+  eopts.stride = MicroDuration::from_seconds(args.get_double("stride"));
+  if (eopts.stride.usec == 0) eopts.stride = eopts.window;  // tumbling
+  eopts.cancel = &cancel;
+  stream::Engine engine(std::move(lanes), eopts);
+
+  const std::vector<std::string> columns = {
+      "tick", "final",  "start_usec", "end_usec",     "packets", "lane",
+      "target", "k",    "n",          "phi",          "significance"};
+  if (format == "csv") std::cout << csv_line(columns) << "\n";
+  const auto emit_score = [&](const stream::WindowScore& w) {
+    for (const auto& lane : w.lanes) {
+      const std::vector<std::string> cells = {
+          std::to_string(w.tick),
+          w.is_final ? "1" : "0",
+          std::to_string(w.window_start.usec),
+          std::to_string(w.window_end.usec),
+          std::to_string(w.packets_seen),
+          lane.label,
+          core::target_name(lane.target),
+          std::to_string(lane.granularity),
+          std::to_string(lane.metrics.sample_n),
+          fmt_double(lane.metrics.phi, 6),
+          fmt_double(lane.metrics.significance, 6),
+      };
+      std::cout << (format == "csv" ? csv_line(cells)
+                                    : json_line(columns, cells))
+                << "\n";
+    }
+  };
+  engine.on_snapshot(emit_score);
+
+  stream::PcapSource source(args.positionals().at(0));
+  if (!source.ok()) return fail(source.status());
+
+  stream::PipelineOptions popts;
+  popts.chunk_packets = static_cast<std::size_t>(args.get_int("chunk"));
+  popts.ring_capacity = static_cast<std::size_t>(args.get_int("ring"));
+  popts.cancel = &cancel;
+  const auto report = stream::run_pipeline(source, engine, popts);
+  if (!report.status.is_ok()) return fail(report.status);
+  emit_score(engine.finish());
+
+  // Stream health goes to stderr so the machine rows on stdout stay pure.
+  const auto& ds = source.decode_stats();
+  std::cerr << args.positionals().at(0) << ": " << fmt_count(report.packets)
+            << " packets in " << fmt_count(report.chunks) << " chunks ("
+            << ds.non_ipv4 << " non-IPv4, " << ds.malformed << " malformed, "
+            << source.clamped() << " clamped timestamps); ring peak "
+            << report.ring.occupancy_peak << "/" << popts.ring_capacity
+            << ", blocked pushes " << report.ring.blocked_pushes << "\n";
   return 0;
 }
 
@@ -542,10 +622,6 @@ int main(int argc, char** argv) {
   args.add_flag("method", "M", "sampling method", "systematic");
   args.add_flag("k", "K", "sampling granularity (1-in-k)", "50");
   args.add_flag("reps", "R", "replications", "5");
-  args.add_flag("jobs", "N",
-                "worker threads for score sweeps (0 = all hardware threads, "
-                "1 = serial)",
-                "0");
   args.add_flag("target", "T",
                 "score target: both|size|iat|ports|protocols|netmatrix",
                 "both");
@@ -557,9 +633,6 @@ int main(int argc, char** argv) {
   args.add_flag("confidence", "C", "confidence level (design)", "0.95");
   args.add_flag("population", "N", "population size, 0=infinite", "0");
   args.add_flag("node", "T", "node type: t1 or t3 (charact)", "t1");
-  args.add_flag("legacy-scan", "",
-                "score: force the streaming per-packet path instead of the "
-                "fused bin-cache fast path (results are identical)");
   args.add_flag("strict", "",
                 "reject corrupt captures outright (exit 65) instead of "
                 "keeping the clean prefix");
@@ -583,14 +656,26 @@ int main(int argc, char** argv) {
                 "impair: comma-separated per-record probabilities",
                 "0.001,0.01,0.05,0.1");
   args.add_flag("csv", "", "impair: machine-readable CSV output");
-  args.add_flag("metrics-out", "FILE",
-                "write an observability metrics snapshot (JSON) after the "
-                "command runs");
-  args.add_flag("trace-out", "FILE",
-                "write the timing-span trace (JSON) after the command runs");
+  args.add_flag("window", "SEC",
+                "watch: rolling window length in seconds, 0 = whole stream",
+                "0");
+  args.add_flag("stride", "SEC",
+                "watch: snapshot period in seconds, 0 = one per window", "0");
+  args.add_flag("format", "F", "watch: output rows as jsonl or csv", "jsonl");
+  args.add_flag("chunk", "N", "watch: packets per pipeline chunk", "4096");
+  args.add_flag("ring", "N", "watch: pipeline ring capacity in chunks", "16");
+  args.add_flag("deadline", "SEC",
+                "watch: wall-clock budget, 0 = none (exit 75 when exceeded)",
+                "0");
+  args.add_flag("mean-iat", "USEC",
+                "watch: population mean interarrival for timer methods", "0");
   args.add_flag("masked", "",
                 "stats: print the deterministic-only JSON instead of the "
                 "human table");
+  // --jobs / --metrics-out / --trace-out / --legacy-scan come from the
+  // shared vocabulary (tools/cli_args.h) so the CLI and the figure binaries
+  // cannot drift; the capture stays positional here, hence no --pcap.
+  tools::add_common_flags(args, /*with_pcap=*/false);
 
   const auto status = args.parse(rest);
   if (!status.is_ok()) {
@@ -602,9 +687,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  // Observability plumbing: enabling is per-flag (metrics and traces have
-  // independent costs), and the snapshot is written on every exit path out
-  // of the command — a quarantined sweep's metrics are exactly the
+  // Observability plumbing: read_common_options() validates the shared
+  // flags and flips the obs switches; the snapshot is written on every exit
+  // path out of the command — a quarantined sweep's metrics are exactly the
   // interesting ones.
   struct ObsOutputs {
     std::string metrics_path;
@@ -614,17 +699,11 @@ int main(int argc, char** argv) {
       (void)obs::write_trace_file(trace_path);
     }
   } obs_outputs;
-  if (args.has("metrics-out")) {
-    obs::set_enabled(true);
-    obs_outputs.metrics_path = args.get_string("metrics-out");
-  }
-  if (args.has("trace-out")) {
-    obs::set_enabled(true);
-    obs::Tracer::global().set_enabled(true);
-    obs_outputs.trace_path = args.get_string("trace-out");
-  }
 
   try {
+    const tools::CommonOptions common = tools::read_common_options(args);
+    obs_outputs.metrics_path = common.metrics_out;
+    obs_outputs.trace_path = common.trace_out;
     if (cmd == "generate") {
       if (!args.has("out")) {
         std::cerr << "error: generate requires --out FILE\n";
@@ -633,16 +712,18 @@ int main(int argc, char** argv) {
       return cmd_generate(args);
     }
     if (cmd == "inspect" || cmd == "sample" || cmd == "score" ||
-        cmd == "flows" || cmd == "charact" || cmd == "impair") {
+        cmd == "flows" || cmd == "charact" || cmd == "impair" ||
+        cmd == "watch") {
       if (args.positionals().empty()) {
         std::cerr << "error: " << cmd << " requires a pcap file argument\n";
         return kExitUsage;
       }
       if (cmd == "inspect") return cmd_inspect(args);
       if (cmd == "sample") return cmd_sample(args);
-      if (cmd == "score") return cmd_score(args);
+      if (cmd == "score") return cmd_score(args, common);
       if (cmd == "flows") return cmd_flows(args);
       if (cmd == "impair") return cmd_impair(args);
+      if (cmd == "watch") return cmd_watch(args);
       return cmd_charact(args);
     }
     if (cmd == "design") return cmd_design(args);
