@@ -15,6 +15,8 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <optional>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -115,6 +117,77 @@ inline exper::Experiment bench_experiment(int argc, char** argv,
               << " malformed packets\n";
   }
   return exper::Experiment(std::move(*t));
+}
+
+/// Honor `--simd VARIANT`: force a SIMD kernel variant (scalar/avx2/neon)
+/// for everything the bench does. Results are bit-identical across
+/// variants; only wall clock changes. Returns the forced variant, or
+/// nullopt when the flag is absent (NETSAMPLE_SIMD / autodetect applies).
+inline std::optional<core::simd::Variant> bench_simd(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) != "--simd") continue;
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "error: --simd requires a value\n");
+      std::exit(2);
+    }
+    const auto variant = core::simd::parse_variant(argv[i + 1]);
+    if (!variant.has_value()) {
+      std::fprintf(stderr,
+                   "error: --simd: expected scalar, avx2, or neon, got "
+                   "\"%s\"\n",
+                   argv[i + 1]);
+      std::exit(2);
+    }
+    core::simd::force_variant(*variant);
+    return variant;
+  }
+  return std::nullopt;
+}
+
+/// The machine-class tag for benchmark artifacts: architecture plus the
+/// SIMD variant the numbers were produced with (the best available one
+/// unless --simd forced another). Baselines under bench/baselines/ are
+/// committed per machine class, and tools/bench_diff.py refuses to compare
+/// reports whose classes differ.
+inline std::string machine_arch() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return "x86_64";
+#elif defined(__aarch64__)
+  return "aarch64";
+#else
+  return "unknown";
+#endif
+}
+
+inline std::string machine_class(core::simd::Variant measured) {
+  return machine_arch() + "-" + core::simd::variant_name(measured);
+}
+
+/// JSON "machine" block: everything needed to decide whether two BENCH
+/// artifacts are comparable — arch, detected CPU features, the variant the
+/// report measured, compiler, and build type.
+inline std::string machine_json(core::simd::Variant measured) {
+  std::ostringstream os;
+  os << "{\"arch\": \"" << machine_arch() << "\", \"cpu_features\": \""
+     << core::simd::cpu_feature_string() << "\", \"simd_variant\": \""
+     << core::simd::variant_name(measured) << "\", \"compiler\": \""
+#if defined(__clang__)
+     << "clang " << __clang_major__ << "." << __clang_minor__
+#elif defined(__GNUC__)
+     << "gcc " << __GNUC__ << "." << __GNUC_MINOR__
+#else
+     << "unknown"
+#endif
+     << "\", \"build_type\": \""
+#if defined(NETSAMPLE_BUILD_TYPE)
+     << NETSAMPLE_BUILD_TYPE
+#elif defined(NDEBUG)
+     << "optimized"
+#else
+     << "debug"
+#endif
+     << "\", \"machine_class\": \"" << machine_class(measured) << "\"}";
+  return os.str();
 }
 
 /// Observability outputs requested on the command line. bench_obs() parses

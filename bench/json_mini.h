@@ -1,0 +1,191 @@
+// Minimal JSON reader for the benchmark harnesses.
+//
+// Just enough of RFC 8259 to load the BENCH_sweep.json artifacts this tree
+// writes (objects, arrays, strings without exotic escapes, doubles, bools,
+// null) so micro_sweep --baseline can gate against a committed baseline
+// without a JSON dependency. tools/bench_diff.py is the full-featured
+// comparator; this reader only serves the in-binary gate.
+#pragma once
+
+#include <cctype>
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace netsample::bench {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind{Kind::kNull};
+  bool boolean{false};
+  double number{0.0};
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool has(const std::string& key) const {
+    return kind == Kind::kObject && object.count(key) > 0;
+  }
+  /// object[key], or a shared null value when absent — lets callers chain
+  /// lookups without checking every level.
+  [[nodiscard]] const JsonValue& at(const std::string& key) const {
+    static const JsonValue kNullValue;
+    if (kind != Kind::kObject) return kNullValue;
+    const auto it = object.find(key);
+    return it == object.end() ? kNullValue : it->second;
+  }
+  [[nodiscard]] double num_or(double fallback) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] std::string str_or(const std::string& fallback) const {
+    return kind == Kind::kString ? string : fallback;
+  }
+};
+
+/// Parse `text`; returns nullptr on malformed input (no exceptions — a
+/// corrupt baseline is an operator error reported by the caller).
+inline std::unique_ptr<JsonValue> json_parse(const std::string& text) {
+  struct Parser {
+    const char* p;
+    const char* end;
+    bool ok{true};
+
+    void skip_ws() {
+      while (p < end && std::isspace(static_cast<unsigned char>(*p))) ++p;
+    }
+    bool consume(char c) {
+      skip_ws();
+      if (p < end && *p == c) {
+        ++p;
+        return true;
+      }
+      return false;
+    }
+    bool literal(const char* lit) {
+      const char* q = lit;
+      const char* save = p;
+      while (*q != '\0' && p < end && *p == *q) ++p, ++q;
+      if (*q == '\0') return true;
+      p = save;
+      return false;
+    }
+
+    JsonValue parse_value() {
+      skip_ws();
+      JsonValue v;
+      if (p >= end) {
+        ok = false;
+        return v;
+      }
+      if (*p == '{') return parse_object();
+      if (*p == '[') return parse_array();
+      if (*p == '"') {
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      if (literal("true")) {
+        v.kind = JsonValue::Kind::kBool;
+        v.boolean = true;
+        return v;
+      }
+      if (literal("false")) {
+        v.kind = JsonValue::Kind::kBool;
+        return v;
+      }
+      if (literal("null")) return v;
+      // Number.
+      char* num_end = nullptr;
+      const double d = std::strtod(p, &num_end);
+      if (num_end == p || num_end > end) {
+        ok = false;
+        return v;
+      }
+      p = num_end;
+      v.kind = JsonValue::Kind::kNumber;
+      v.number = d;
+      return v;
+    }
+
+    std::string parse_string() {
+      std::string out;
+      ++p;  // opening quote
+      while (p < end && *p != '"') {
+        if (*p == '\\' && p + 1 < end) {
+          ++p;
+          switch (*p) {
+            case 'n': out.push_back('\n'); break;
+            case 't': out.push_back('\t'); break;
+            case 'r': out.push_back('\r'); break;
+            case '"': out.push_back('"'); break;
+            case '\\': out.push_back('\\'); break;
+            case '/': out.push_back('/'); break;
+            default: ok = false; return out;  // \uXXXX etc.: unsupported
+          }
+          ++p;
+        } else {
+          out.push_back(*p++);
+        }
+      }
+      if (p >= end) {
+        ok = false;
+        return out;
+      }
+      ++p;  // closing quote
+      return out;
+    }
+
+    JsonValue parse_object() {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kObject;
+      ++p;  // '{'
+      skip_ws();
+      if (consume('}')) return v;
+      while (ok) {
+        skip_ws();
+        if (p >= end || *p != '"') {
+          ok = false;
+          break;
+        }
+        const std::string key = parse_string();
+        if (!ok || !consume(':')) {
+          ok = false;
+          break;
+        }
+        v.object.emplace(key, parse_value());
+        if (consume(',')) continue;
+        if (consume('}')) break;
+        ok = false;
+      }
+      return v;
+    }
+
+    JsonValue parse_array() {
+      JsonValue v;
+      v.kind = JsonValue::Kind::kArray;
+      ++p;  // '['
+      skip_ws();
+      if (consume(']')) return v;
+      while (ok) {
+        v.array.push_back(parse_value());
+        if (consume(',')) continue;
+        if (consume(']')) break;
+        ok = false;
+      }
+      return v;
+    }
+  };
+
+  Parser parser{text.data(), text.data() + text.size()};
+  auto root = std::make_unique<JsonValue>(parser.parse_value());
+  parser.skip_ws();
+  if (!parser.ok || parser.p != parser.end) return nullptr;
+  return root;
+}
+
+}  // namespace netsample::bench

@@ -1,29 +1,38 @@
-// A/B wall-clock harness for the fused sweep engine: runs the full
-// method x granularity grid cell-by-cell on both the cache fast path and
-// the legacy streaming scan, checks that the phi values agree exactly, and
-// writes the per-cell timings plus a headline speedup to a JSON artifact
-// (BENCH_sweep.json in CI).
+// A/B/C wall-clock harness for the fused sweep engine: runs the full
+// method x granularity grid cell-by-cell on the legacy streaming scan, the
+// fast path with scalar kernels, and the fast path with the best SIMD
+// variant, checks that the phi values agree exactly across all three, and
+// writes per-cell timings plus headline speedups and a `machine` block to a
+// JSON artifact (BENCH_sweep.json in CI).
 //
 // Unlike the micro_* google-benchmark binaries this is a plain-chrono
-// driver, because each measurement must toggle the global legacy-scan
-// switch around an otherwise identical run_cell call.
+// driver, because each measurement must toggle the global legacy-scan and
+// SIMD-variant switches around an otherwise identical run_cell call.
 //
-//   --out FILE      where to write the JSON report (default BENCH_sweep.json)
-//   --minutes M     synthetic trace length (default 8)
-//   --reps R        replications per cell (default 5)
-//   --legacy-scan   time the legacy path only (no comparison, no speedup)
+//   --out FILE       where to write the JSON report (default BENCH_sweep.json)
+//   --minutes M      synthetic trace length (default 8)
+//   --reps R         replications per cell (default 5)
+//   --legacy-scan    time the legacy path only (no comparison, no speedup)
+//   --simd VARIANT   measure VARIANT instead of the best available one
+//   --baseline FILE  compare the headline against a committed baseline
+//   --tolerance PCT  allowed headline regression vs baseline (default 25)
+//
+// Exit codes: 0 ok, 1 phi mismatch, 2 usage/IO, 3 baseline machine-class
+// mismatch, 4 headline regression beyond tolerance.
 #include <chrono>
 #include <cmath>
 #include <fstream>
 #include <sstream>
 
 #include "bench_common.h"
+#include "json_mini.h"
 
 using namespace netsample;
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+namespace simd = core::simd;
 
 double parse_positive_double(const char* flag, const char* text) {
   errno = 0;
@@ -41,8 +50,10 @@ double parse_positive_double(const char* flag, const char* text) {
 /// call until at least `min_elapsed_ms` has accumulated so that very fast
 /// cells (the whole point of the fast path) still get a stable reading.
 double time_cell(const exper::CellConfig& cfg, bool legacy,
-                 std::vector<double>* phis, double min_elapsed_ms = 10.0) {
+                 simd::Variant variant, std::vector<double>* phis,
+                 double min_elapsed_ms = 10.0) {
   core::force_legacy_scan(legacy);
+  simd::force_variant(variant);
   double elapsed_ms = 0.0;
   int runs = 0;
   do {
@@ -57,13 +68,95 @@ double time_cell(const exper::CellConfig& cfg, bool legacy,
   return elapsed_ms / runs;
 }
 
+/// Wall-clock milliseconds to build the shared BinnedTraceCache under a
+/// forced variant — the classify kernels' own benchmark.
+double time_cache_build(const trace::Trace& t, simd::Variant variant) {
+  simd::force_variant(variant);
+  double best_ms = 1e300;
+  for (int i = 0; i < 3; ++i) {
+    const auto t0 = Clock::now();
+    const core::BinnedTraceCache cache(t.view());
+    const auto t1 = Clock::now();
+    best_ms = std::min(
+        best_ms, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best_ms;
+}
+
+/// Gate the fresh headline against a committed baseline artifact. Refuses
+/// to compare across machine classes or sweep configs (exit 3): a scalar
+/// container comparing itself against an AVX2 baseline would "regress" by
+/// the whole SIMD speedup. Regression beyond tolerance exits 4.
+int check_baseline(const std::string& path, const std::string& machine_class,
+                   double minutes, int reps, double pkts_per_sec,
+                   double tolerance_pct) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "error: --baseline: cannot read %s\n", path.c_str());
+    return 2;
+  }
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const auto root = bench::json_parse(buf.str());
+  if (!root || !root->is_object()) {
+    std::fprintf(stderr, "error: --baseline: %s is not a JSON object\n",
+                 path.c_str());
+    return 2;
+  }
+  const std::string base_class =
+      root->at("machine").at("machine_class").str_or("");
+  if (base_class != machine_class) {
+    std::fprintf(stderr,
+                 "error: baseline machine class \"%s\" does not match this "
+                 "run (\"%s\") — regenerate the baseline on this machine "
+                 "class or pass the matching file\n",
+                 base_class.c_str(), machine_class.c_str());
+    return 3;
+  }
+  const double base_minutes = root->at("trace_minutes").num_or(-1.0);
+  const double base_reps = root->at("replications").num_or(-1.0);
+  if (base_minutes != minutes || base_reps != reps) {
+    std::fprintf(stderr,
+                 "error: baseline config (minutes=%g, reps=%g) does not "
+                 "match this run (minutes=%g, reps=%d)\n",
+                 base_minutes, base_reps, minutes, reps);
+    return 3;
+  }
+  const double base_pps = root->at("headline").at("pkts_per_sec_best")
+                              .num_or(0.0);
+  if (!(base_pps > 0.0)) {
+    std::fprintf(stderr,
+                 "error: baseline %s has no headline.pkts_per_sec_best\n",
+                 path.c_str());
+    return 2;
+  }
+  const double floor = base_pps * (1.0 - tolerance_pct / 100.0);
+  const double delta_pct = 100.0 * (pkts_per_sec - base_pps) / base_pps;
+  bench::note("baseline " + path + ": " + fmt_double(base_pps / 1e6, 2) +
+              " Mpkt/s, this run " + fmt_double(pkts_per_sec / 1e6, 2) +
+              " Mpkt/s (" + (delta_pct >= 0 ? "+" : "") +
+              fmt_double(delta_pct, 1) + "%, tolerance -" +
+              fmt_double(tolerance_pct, 0) + "%)");
+  if (pkts_per_sec < floor) {
+    std::fprintf(stderr,
+                 "error: headline regression: %.3g pkt/s is below the "
+                 "baseline floor %.3g pkt/s (%.3g - %g%%)\n",
+                 pkts_per_sec, floor, base_pps, tolerance_pct);
+    return 4;
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string out_path = "BENCH_sweep.json";
+  std::string baseline_path;
   double minutes = 8.0;
+  double tolerance_pct = 25.0;
   int reps = 5;
   const bool legacy_only = bench::bench_legacy_scan(argc, argv);
+  const auto forced = bench::bench_simd(argc, argv);
   // --metrics-out/--trace-out also serve as the obs-overhead A/B switch:
   // the acceptance bar is <3% on the fast path with metrics enabled.
   const bench::ObsArgs obs_args = bench::bench_obs(argc, argv);
@@ -72,22 +165,44 @@ int main(int argc, char** argv) {
     const bool has_value = i + 1 < argc;
     if (arg == "--out" && has_value) {
       out_path = argv[++i];
+    } else if (arg == "--baseline" && has_value) {
+      baseline_path = argv[++i];
     } else if (arg == "--minutes" && has_value) {
       minutes = parse_positive_double("--minutes", argv[++i]);
     } else if (arg == "--reps" && has_value) {
       reps = static_cast<int>(
           parse_positive_double("--reps", argv[++i]));
-    } else if (arg == "--out" || arg == "--minutes" || arg == "--reps") {
+    } else if (arg == "--tolerance" && has_value) {
+      tolerance_pct = parse_positive_double("--tolerance", argv[++i]);
+    } else if (arg == "--out" || arg == "--baseline" || arg == "--minutes" ||
+               arg == "--reps" || arg == "--tolerance") {
       std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
       return 2;
     }
   }
 
-  bench::banner("micro_sweep (fused sweep engine A/B harness)",
-                legacy_only ? "Timing the legacy streaming scan only"
-                            : "Fast path vs legacy scan, per grid cell");
+  // The variant this report measures: --simd (resolved through
+  // availability, so forcing neon on x86 measures scalar) or the best one.
+  const simd::Variant measured =
+      forced.has_value() ? simd::active_variant() : simd::best_variant();
+  const bool with_simd = !legacy_only && measured != simd::Variant::kScalar;
+
+  bench::banner("micro_sweep (fused sweep engine A/B/C harness)",
+                legacy_only
+                    ? "Timing the legacy streaming scan only"
+                    : std::string("Legacy scan vs fast path (scalar) vs "
+                                  "fast path (") +
+                          simd::variant_name(measured) + "), per grid cell");
+  bench::note("machine class: " + bench::machine_class(measured));
 
   exper::Experiment ex(bench::kDefaultSeed, minutes);
+
+  // Classify-kernel benchmark: the one-off O(N) cache build, scalar vs
+  // measured variant (identical bins, asserted by the differential suite).
+  const double cache_scalar_ms =
+      time_cache_build(ex.trace(), simd::Variant::kScalar);
+  const double cache_simd_ms =
+      with_simd ? time_cache_build(ex.trace(), measured) : cache_scalar_ms;
   const auto& cache = ex.binned_cache();
 
   const core::Method methods[] = {
@@ -97,8 +212,13 @@ int main(int argc, char** argv) {
   const auto ladder = exper::granularity_ladder(2, 32768);
 
   std::ostringstream cells_json;
-  TextTable t({"method", "1/x", "legacy ms", "fast ms", "speedup"});
-  double headline_legacy_ms = 0.0, headline_fast_ms = 0.0;
+  TextTable t({"method", "1/x", "legacy ms", "scalar ms",
+               with_simd ? std::string(simd::variant_name(measured)) + " ms"
+                         : "fast ms",
+               "speedup", "simd x"});
+  double headline_legacy_ms = 0.0, headline_scalar_ms = 0.0,
+         headline_best_ms = 0.0;
+  std::size_t headline_cells = 0;
   constexpr std::uint64_t kHeadlineMinK = 1024;
   bool all_match = true;
   bool first_cell = true;
@@ -115,26 +235,40 @@ int main(int argc, char** argv) {
       cfg.base_seed = 1;
       cfg.cache = &cache;
 
-      std::vector<double> phi_legacy, phi_fast;
-      const double legacy_ms = time_cell(cfg, /*legacy=*/true, &phi_legacy);
-      double fast_ms = 0.0;
+      std::vector<double> phi_legacy, phi_scalar, phi_simd;
+      const double legacy_ms = time_cell(cfg, /*legacy=*/true,
+                                         simd::Variant::kScalar, &phi_legacy);
+      double scalar_ms = 0.0, simd_ms = 0.0;
       bool match = true;
       if (!legacy_only) {
-        fast_ms = time_cell(cfg, /*legacy=*/false, &phi_fast);
-        // Bit-identical, not approximately equal: the fast path feeds the
-        // same integer histogram counts into the same scoring code.
-        match = phi_fast == phi_legacy;
+        scalar_ms = time_cell(cfg, /*legacy=*/false, simd::Variant::kScalar,
+                              &phi_scalar);
+        // Bit-identical, not approximately equal: every path feeds the same
+        // integer histogram counts into the same scoring code.
+        match = phi_scalar == phi_legacy;
+        if (with_simd) {
+          simd_ms = time_cell(cfg, /*legacy=*/false, measured, &phi_simd);
+          match = match && phi_simd == phi_legacy;
+        } else {
+          simd_ms = scalar_ms;
+        }
         all_match = all_match && match;
         if (k >= kHeadlineMinK) {
           headline_legacy_ms += legacy_ms;
-          headline_fast_ms += fast_ms;
+          headline_scalar_ms += scalar_ms;
+          headline_best_ms += simd_ms;
+          ++headline_cells;
         }
       }
 
       t.add_row({core::method_name(method), fmt_fraction(k),
                  fmt_double(legacy_ms, 3),
-                 legacy_only ? "-" : fmt_double(fast_ms, 3),
-                 legacy_only ? "-" : fmt_double(legacy_ms / fast_ms, 1)});
+                 legacy_only ? "-" : fmt_double(scalar_ms, 3),
+                 legacy_only || !with_simd ? "-" : fmt_double(simd_ms, 3),
+                 legacy_only ? "-" : fmt_double(legacy_ms / simd_ms, 1),
+                 legacy_only || !with_simd
+                     ? "-"
+                     : fmt_double(scalar_ms / simd_ms, 2)});
 
       if (!first_cell) cells_json << ",";
       first_cell = false;
@@ -142,27 +276,47 @@ int main(int argc, char** argv) {
                  << "\", \"granularity\": " << k
                  << ", \"wall_ms_legacy\": " << legacy_ms;
       if (!legacy_only) {
-        cells_json << ", \"wall_ms_fast\": " << fast_ms
-                   << ", \"speedup\": " << legacy_ms / fast_ms
+        cells_json << ", \"wall_ms_scalar\": " << scalar_ms
+                   << ", \"wall_ms_simd\": " << simd_ms
+                   << ", \"speedup\": " << legacy_ms / simd_ms
+                   << ", \"simd_speedup\": " << scalar_ms / simd_ms
                    << ", \"phi_match\": " << (match ? "true" : "false");
       }
       cells_json << "}";
     }
   }
   core::clear_legacy_scan_override();
+  simd::clear_variant_override();
   t.print(std::cout);
+
+  // Throughput-style headline for the committed trajectory: offered packets
+  // scanned per wall-clock second on the best path over the headline cells
+  // (k >= 1024, where per-cell fixed costs are amortized away).
+  const double headline_pkts =
+      static_cast<double>(ex.population_size()) *
+      static_cast<double>(reps) * static_cast<double>(headline_cells);
+  const double pkts_per_sec_best =
+      headline_best_ms > 0.0 ? headline_pkts / (headline_best_ms / 1e3) : 0.0;
 
   std::ofstream out(out_path);
   out << "{\n  \"trace_minutes\": " << minutes
       << ",\n  \"packets\": " << ex.population_size()
       << ",\n  \"replications\": " << reps
       << ",\n  \"legacy_only\": " << (legacy_only ? "true" : "false")
+      << ",\n  \"machine\": " << bench::machine_json(measured)
+      << ",\n  \"cache_build\": {\"scalar_ms\": " << cache_scalar_ms
+      << ", \"simd_ms\": " << cache_simd_ms
+      << ", \"simd_speedup\": " << cache_scalar_ms / cache_simd_ms << "}"
       << ",\n  \"cells\": [" << cells_json.str() << "\n  ]";
   if (!legacy_only) {
     out << ",\n  \"headline\": {\"min_granularity\": " << kHeadlineMinK
+        << ", \"cells\": " << headline_cells
         << ", \"legacy_ms\": " << headline_legacy_ms
-        << ", \"fast_ms\": " << headline_fast_ms
-        << ", \"speedup\": " << headline_legacy_ms / headline_fast_ms
+        << ", \"scalar_ms\": " << headline_scalar_ms
+        << ", \"best_ms\": " << headline_best_ms
+        << ", \"speedup\": " << headline_legacy_ms / headline_best_ms
+        << ", \"simd_speedup\": " << headline_scalar_ms / headline_best_ms
+        << ", \"pkts_per_sec_best\": " << pkts_per_sec_best
         << "},\n  \"phi_all_match\": " << (all_match ? "true" : "false");
   }
   out << "\n}\n";
@@ -170,12 +324,31 @@ int main(int argc, char** argv) {
   if (!legacy_only) {
     bench::note("headline (k >= " + std::to_string(kHeadlineMinK) +
                 "): " + fmt_double(headline_legacy_ms, 1) + " ms legacy vs " +
-                fmt_double(headline_fast_ms, 3) + " ms fast = " +
-                fmt_double(headline_legacy_ms / headline_fast_ms, 1) + "x");
-    bench::note(all_match ? "phi values bit-identical on every cell"
-                          : "PHI MISMATCH — fast path disagrees with legacy");
+                fmt_double(headline_scalar_ms, 3) + " ms scalar vs " +
+                fmt_double(headline_best_ms, 3) + " ms " +
+                simd::variant_name(measured) + " = " +
+                fmt_double(headline_legacy_ms / headline_best_ms, 1) +
+                "x total, " +
+                fmt_double(headline_scalar_ms / headline_best_ms, 2) +
+                "x from simd");
+    bench::note("best-path throughput: " +
+                fmt_double(pkts_per_sec_best / 1e6, 2) + " Mpkt/s");
+    bench::note("cache build: " + fmt_double(cache_scalar_ms, 2) +
+                " ms scalar vs " + fmt_double(cache_simd_ms, 2) + " ms " +
+                simd::variant_name(measured) + " = " +
+                fmt_double(cache_scalar_ms / cache_simd_ms, 2) + "x");
+    bench::note(all_match ? "phi values bit-identical on every cell and path"
+                          : "PHI MISMATCH — paths disagree");
   }
   bench::note("wrote " + out_path);
   bench::bench_obs_write(obs_args);
-  return all_match ? 0 : 1;
+  if (!all_match) return 1;
+
+  if (!legacy_only && !baseline_path.empty()) {
+    const int rc =
+        check_baseline(baseline_path, bench::machine_class(measured), minutes,
+                       reps, pkts_per_sec_best, tolerance_pct);
+    if (rc != 0) return rc;
+  }
+  return 0;
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "core/simd/simd.h"
 #include "obs/metrics.h"
 #include "obs/span.h"
 #include "util/rng.h"
@@ -144,16 +145,35 @@ std::vector<std::size_t> select_indices(const SamplerSpec& spec,
   const std::size_t n = end - begin;
   obs::Span kernel_span("kernel");
   std::vector<std::size_t> out;
+  // Batched SIMD kernels replay the same raw RNG word sequence as the
+  // scalar kernels (which in turn replay the streaming samplers), so any
+  // variant yields the identical index set; a kernel may also decline
+  // (return false) and drop to the scalar reference.
+  const simd::KernelTable& simd_kernels = simd::kernels();
   switch (spec.method) {
     case Method::kSystematicCount:
       out = systematic_count(spec, n);
       break;
     case Method::kStratifiedCount:
-      out = stratified_count(spec, n);
+      if (simd_kernels.stratified_count == nullptr ||
+          !simd_kernels.stratified_count(spec.granularity, spec.seed, n,
+                                         &out)) {
+        out = stratified_count(spec, n);
+      }
       break;
-    case Method::kSimpleRandom:
-      out = simple_random(spec, n);
+    case Method::kSimpleRandom: {
+      const std::uint64_t pick = spec_simple_random_n(spec);
+      if (pick > spec.population) {
+        throw std::invalid_argument("simple random: n exceeds population");
+      }
+      const std::uint64_t limit = std::min<std::uint64_t>(n, spec.population);
+      if (simd_kernels.simple_random == nullptr ||
+          !simd_kernels.simple_random(pick, spec.population, limit, spec.seed,
+                                      &out)) {
+        out = simple_random(spec, n);
+      }
       break;
+    }
     case Method::kSystematicTimer:
     case Method::kStratifiedTimer:
       // Validate even when the range is empty, matching make_sampler.

@@ -1,0 +1,319 @@
+// AVX2 kernels for the fused sweep hot path. Compiled on x86-64 only; the
+// functions carry target("avx2") attributes so the TU itself needs no
+// -mavx2 flag, and the dispatch layer never calls them unless cpuid says
+// the CPU supports AVX2.
+//
+// Bit-exactness notes, per kernel:
+//
+//   classify ladders   integer compare against integer_thresholds(), which
+//                      is provably equivalent to Histogram::bin_index on
+//                      integer inputs (see simd.h). Unsigned compares are
+//                      done as signed compares after biasing both sides by
+//                      the sign bit.
+//   accumulate         per-bin cmpeq + popcount over 32-byte chunks; pure
+//                      integer counting, order-independent.
+//   batched samplers   vectorize Lemire's multiply (bounds < 2^32, so the
+//                      128-bit product decomposes into two 32x32 halves)
+//                      and fall back to a scalar replay of the *buffered*
+//                      raw words whenever a chunk contains a possible
+//                      rejection (low64 < bound) or an acceptance that
+//                      changes later lanes' accept bound. The common chunk
+//                      — no rejection, no acceptance — is fully branchless.
+#include "core/simd/simd.h"
+
+#if defined(__x86_64__) || defined(_M_X64)
+
+#include <immintrin.h>
+
+#include <cassert>
+
+#include "core/simd/raw_stream.h"
+
+#define NETSAMPLE_TARGET_AVX2 __attribute__((target("avx2")))
+
+namespace netsample::core::simd {
+
+namespace {
+
+NETSAMPLE_TARGET_AVX2
+void classify_u32_avx2(const std::uint32_t* values, std::size_t n,
+                       const std::uint32_t* thresholds,
+                       std::size_t n_thresholds, std::uint8_t* out) {
+  assert(n_thresholds <= kMaxThresholds);
+  // v >= t  <=>  v > t - 1 (strict cmpgt is all AVX2 has); t == 0 passes
+  // every value, folded into a constant.
+  const __m256i bias = _mm256_set1_epi32(static_cast<int>(0x80000000u));
+  __m256i ladder[kMaxThresholds];
+  int always = 0;
+  std::size_t lanes = 0;
+  for (std::size_t t = 0; t < n_thresholds; ++t) {
+    if (thresholds[t] == 0) {
+      ++always;
+    } else {
+      ladder[lanes++] = _mm256_xor_si256(
+          _mm256_set1_epi32(static_cast<int>(thresholds[t] - 1)), bias);
+    }
+  }
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256i x = _mm256_xor_si256(
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(values + i)),
+        bias);
+    __m256i acc = _mm256_set1_epi32(always);
+    for (std::size_t t = 0; t < lanes; ++t) {
+      acc = _mm256_sub_epi32(acc, _mm256_cmpgt_epi32(x, ladder[t]));
+    }
+    alignas(32) std::uint32_t tmp[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc);
+    for (int j = 0; j < 8; ++j) {
+      out[i + static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(tmp[j]);
+    }
+  }
+  for (; i < n; ++i) {
+    unsigned b = 0;
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      b += values[i] >= thresholds[t] ? 1u : 0u;
+    }
+    out[i] = static_cast<std::uint8_t>(b);
+  }
+}
+
+NETSAMPLE_TARGET_AVX2
+void classify_gaps_u64_avx2(const std::uint64_t* ts, std::size_t n,
+                            const std::uint64_t* thresholds,
+                            std::size_t n_thresholds, std::uint8_t* out) {
+  assert(n_thresholds <= kMaxThresholds);
+  if (n == 0) return;
+  out[0] = 0;  // the first packet has no predecessor gap
+  const __m256i bias = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  __m256i ladder[kMaxThresholds];
+  long long always = 0;
+  std::size_t lanes = 0;
+  for (std::size_t t = 0; t < n_thresholds; ++t) {
+    if (thresholds[t] == 0) {
+      ++always;
+    } else {
+      ladder[lanes++] = _mm256_xor_si256(
+          _mm256_set1_epi64x(static_cast<long long>(thresholds[t] - 1)), bias);
+    }
+  }
+  std::size_t i = 1;
+  for (; i + 4 <= n; i += 4) {
+    const __m256i cur =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + i));
+    const __m256i prev =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ts + i - 1));
+    const __m256i x =
+        _mm256_xor_si256(_mm256_sub_epi64(cur, prev), bias);
+    __m256i acc = _mm256_set1_epi64x(always);
+    for (std::size_t t = 0; t < lanes; ++t) {
+      acc = _mm256_sub_epi64(acc, _mm256_cmpgt_epi64(x, ladder[t]));
+    }
+    alignas(32) std::uint64_t tmp[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(tmp), acc);
+    for (int j = 0; j < 4; ++j) {
+      out[i + static_cast<std::size_t>(j)] = static_cast<std::uint8_t>(tmp[j]);
+    }
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t gap = ts[i] - ts[i - 1];
+    unsigned b = 0;
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      b += gap >= thresholds[t] ? 1u : 0u;
+    }
+    out[i] = static_cast<std::uint8_t>(b);
+  }
+}
+
+NETSAMPLE_TARGET_AVX2
+void accumulate_u8_avx2(const std::uint8_t* bins, const std::size_t* indices,
+                        std::size_t n_indices, bool skip_rel0,
+                        std::uint64_t* counts, std::size_t n_bins) {
+  assert(n_bins < 255);
+  std::size_t i = 0;
+  alignas(32) std::uint8_t gathered[32];
+  for (; i + 32 <= n_indices; i += 32) {
+    // Byte gather (scalar loads — AVX2 has no byte gather, and a 32-bit
+    // gather would read past the end of the bin array at the last indices),
+    // then branch-free per-bin population counts. 0xFF is the "contributes
+    // nothing" sentinel; it can never equal a bin id since n_bins < 255.
+    for (int j = 0; j < 32; ++j) {
+      const std::size_t rel = indices[i + static_cast<std::size_t>(j)];
+      gathered[j] =
+          (skip_rel0 && rel == 0) ? std::uint8_t{0xFF} : bins[rel];
+    }
+    const __m256i g =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(gathered));
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      const __m256i eq =
+          _mm256_cmpeq_epi8(g, _mm256_set1_epi8(static_cast<char>(b)));
+      counts[b] += static_cast<unsigned>(__builtin_popcount(
+          static_cast<unsigned>(_mm256_movemask_epi8(eq))));
+    }
+  }
+  for (; i < n_indices; ++i) {
+    const std::size_t rel = indices[i];
+    if (skip_rel0 && rel == 0) continue;
+    ++counts[bins[rel]];
+  }
+}
+
+/// 64x64 multiply with a bound < 2^32, decomposed into 32x32 halves:
+/// full = (r_hi*b + ((r_lo*b) >> 32)) * 2^32 + low32(r_lo*b).
+/// Emits the high 64 bits (Lemire's sample) and the low 64 bits (the
+/// rejection check word) of r * b per lane.
+NETSAMPLE_TARGET_AVX2
+inline void mul64_by_u32(__m256i r, __m256i b, __m256i* hi, __m256i* lo) {
+  const __m256i mask32 = _mm256_set1_epi64x(0xFFFFFFFFll);
+  const __m256i p1 = _mm256_mul_epu32(r, b);  // low32(r) * b
+  const __m256i p2 =
+      _mm256_mul_epu32(_mm256_srli_epi64(r, 32), b);  // high32(r) * b
+  const __m256i sum = _mm256_add_epi64(p2, _mm256_srli_epi64(p1, 32));
+  *hi = _mm256_srli_epi64(sum, 32);
+  *lo = _mm256_or_si256(_mm256_slli_epi64(sum, 32),
+                        _mm256_and_si256(p1, mask32));
+}
+
+NETSAMPLE_TARGET_AVX2
+bool stratified_count_avx2(std::uint64_t k, std::uint64_t seed,
+                           std::uint64_t n, std::vector<std::size_t>* out) {
+  if (k == 0 || k > 0xFFFFFFFFull) return false;
+  out->clear();
+  out->reserve(static_cast<std::size_t>(n / k + 1));
+  RawStream raw(seed);
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  const __m256i vk = _mm256_set1_epi64x(static_cast<long long>(k));
+  // threshold = 2^64 mod k < k, so "low64 < k" is a conservative, cheap
+  // rejection pre-check; the exact test runs only in the scalar replay.
+  const __m256i vkb = _mm256_xor_si256(vk, sign);
+  const std::uint64_t buckets = (n + k - 1) / k;  // == scalar draw count
+  const std::uint64_t full = n / k;  // full buckets always emit their winner
+  std::uint64_t b = 0;
+  while (b + 4 <= full) {
+    const std::uint64_t* words = raw.peek(4);
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+    __m256i hi, lo;
+    mul64_by_u32(r, vk, &hi, &lo);
+    const __m256i reject_possible =
+        _mm256_cmpgt_epi64(vkb, _mm256_xor_si256(lo, sign));
+    if (_mm256_movemask_epi8(reject_possible) != 0) {
+      // A lane might reject and consume an extra word, shifting every
+      // later lane — replay these buckets through the buffered sequence.
+      for (int j = 0; j < 4; ++j, ++b) {
+        out->push_back(static_cast<std::size_t>(b * k + raw.uniform_below(k)));
+      }
+      continue;
+    }
+    raw.consume(4);
+    alignas(32) std::uint64_t chosen[4];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(chosen), hi);
+    for (int j = 0; j < 4; ++j, ++b) {
+      out->push_back(static_cast<std::size_t>(b * k + chosen[j]));
+    }
+  }
+  for (; b < buckets; ++b) {
+    const std::uint64_t chosen = raw.uniform_below(k);
+    if (b * k + chosen < n) {
+      out->push_back(static_cast<std::size_t>(b * k + chosen));
+    }
+  }
+  return true;
+}
+
+NETSAMPLE_TARGET_AVX2
+bool simple_random_avx2(std::uint64_t pick, std::uint64_t population,
+                        std::uint64_t limit, std::uint64_t seed,
+                        std::vector<std::size_t>* out) {
+  if (population == 0 || population > 0xFFFFFFFFull) return false;
+  out->clear();
+  out->reserve(static_cast<std::size_t>(pick));
+  RawStream raw(seed);
+  const __m256i sign = _mm256_set1_epi64x(
+      static_cast<long long>(0x8000000000000000ull));
+  std::uint64_t selected = 0;
+  std::uint64_t i = 0;
+  while (i < limit && selected < pick) {
+    if (i + 4 > limit) {
+      const std::uint64_t bound = population - i;
+      if (raw.uniform_below(bound) < pick - selected) {
+        out->push_back(static_cast<std::size_t>(i));
+        ++selected;
+      }
+      ++i;
+      continue;
+    }
+    const std::uint64_t* words = raw.peek(4);
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(words));
+    // Lane j's bound is population - (i + j); set_epi64x takes lanes
+    // high-to-low, so lane 0 gets the last argument.
+    const std::uint64_t b0 = population - i;
+    const __m256i vb = _mm256_set_epi64x(
+        static_cast<long long>(b0 - 3), static_cast<long long>(b0 - 2),
+        static_cast<long long>(b0 - 1), static_cast<long long>(b0));
+    __m256i hi, lo;
+    mul64_by_u32(r, vb, &hi, &lo);
+    const __m256i reject_possible = _mm256_cmpgt_epi64(
+        _mm256_xor_si256(vb, sign), _mm256_xor_si256(lo, sign));
+    // Accept test against the loosest bound in the chunk (t only shrinks on
+    // acceptance): if nothing accepts at t, nothing would accept mid-chunk
+    // either. hi < b0 < 2^32 and t <= pick < 2^32, so plain signed compares.
+    const __m256i vt =
+        _mm256_set1_epi64x(static_cast<long long>(pick - selected));
+    const __m256i accept = _mm256_cmpgt_epi64(vt, hi);
+    if ((_mm256_movemask_epi8(reject_possible) |
+         _mm256_movemask_epi8(accept)) == 0) {
+      raw.consume(4);
+      i += 4;
+      continue;
+    }
+    // Rare: an acceptance (changes t for later lanes) or a possible
+    // rejection (consumes an extra word). Replay the chunk scalar from the
+    // buffered sequence — bit-for-bit the streaming sampler's walk.
+    for (int j = 0; j < 4 && selected < pick; ++j, ++i) {
+      const std::uint64_t bound = population - i;
+      if (raw.uniform_below(bound) < pick - selected) {
+        out->push_back(static_cast<std::size_t>(i));
+        ++selected;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+bool avx2_compiled() { return true; }
+
+const KernelTable& avx2_kernel_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.classify_u32 = &classify_u32_avx2;
+    t.classify_gaps_u64 = &classify_gaps_u64_avx2;
+    t.accumulate_u8 = &accumulate_u8_avx2;
+    t.stratified_count = &stratified_count_avx2;
+    t.simple_random = &simple_random_avx2;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace netsample::core::simd
+
+#else  // !x86-64
+
+namespace netsample::core::simd {
+
+bool avx2_compiled() { return false; }
+
+const KernelTable& avx2_kernel_table() {
+  static const KernelTable table{};
+  return table;
+}
+
+}  // namespace netsample::core::simd
+
+#endif

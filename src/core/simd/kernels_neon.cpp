@@ -1,0 +1,141 @@
+// NEON (AArch64 Advanced SIMD) kernels for the fused sweep hot path.
+// Compiled on aarch64 only; elsewhere this TU provides the empty table.
+// The CI simd leg cross-compiles this file with -march=armv8-a so the NEON
+// body cannot silently rot on x86-only development machines.
+//
+// NEON covers the compare-ladder classify kernels and the histogram
+// accumulate kernel. The batched sampler kernels are left null for now —
+// select_indices falls back to the scalar reference, which is always
+// bit-identical; they can be ported once aarch64 hardware is in the bench
+// fleet and a neon baseline is committed.
+#include "core/simd/simd.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#include <cassert>
+
+namespace netsample::core::simd {
+
+namespace {
+
+void classify_u32_neon(const std::uint32_t* values, std::size_t n,
+                       const std::uint32_t* thresholds,
+                       std::size_t n_thresholds, std::uint8_t* out) {
+  assert(n_thresholds <= kMaxThresholds);
+  uint32x4_t ladder[kMaxThresholds];
+  for (std::size_t t = 0; t < n_thresholds; ++t) {
+    ladder[t] = vdupq_n_u32(thresholds[t]);
+  }
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const uint32x4_t x = vld1q_u32(values + i);
+    uint32x4_t acc = vdupq_n_u32(0);
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      // vcgeq yields all-ones lanes; subtracting adds 1 per passed rung.
+      acc = vsubq_u32(acc, vcgeq_u32(x, ladder[t]));
+    }
+    out[i + 0] = static_cast<std::uint8_t>(vgetq_lane_u32(acc, 0));
+    out[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u32(acc, 1));
+    out[i + 2] = static_cast<std::uint8_t>(vgetq_lane_u32(acc, 2));
+    out[i + 3] = static_cast<std::uint8_t>(vgetq_lane_u32(acc, 3));
+  }
+  for (; i < n; ++i) {
+    unsigned b = 0;
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      b += values[i] >= thresholds[t] ? 1u : 0u;
+    }
+    out[i] = static_cast<std::uint8_t>(b);
+  }
+}
+
+void classify_gaps_u64_neon(const std::uint64_t* ts, std::size_t n,
+                            const std::uint64_t* thresholds,
+                            std::size_t n_thresholds, std::uint8_t* out) {
+  assert(n_thresholds <= kMaxThresholds);
+  if (n == 0) return;
+  out[0] = 0;  // the first packet has no predecessor gap
+  uint64x2_t ladder[kMaxThresholds];
+  for (std::size_t t = 0; t < n_thresholds; ++t) {
+    ladder[t] = vdupq_n_u64(thresholds[t]);
+  }
+  std::size_t i = 1;
+  for (; i + 2 <= n; i += 2) {
+    const uint64x2_t cur = vld1q_u64(ts + i);
+    const uint64x2_t prev = vld1q_u64(ts + i - 1);
+    const uint64x2_t gap = vsubq_u64(cur, prev);
+    uint64x2_t acc = vdupq_n_u64(0);
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      acc = vsubq_u64(acc, vcgeq_u64(gap, ladder[t]));
+    }
+    out[i + 0] = static_cast<std::uint8_t>(vgetq_lane_u64(acc, 0));
+    out[i + 1] = static_cast<std::uint8_t>(vgetq_lane_u64(acc, 1));
+  }
+  for (; i < n; ++i) {
+    const std::uint64_t gap = ts[i] - ts[i - 1];
+    unsigned b = 0;
+    for (std::size_t t = 0; t < n_thresholds; ++t) {
+      b += gap >= thresholds[t] ? 1u : 0u;
+    }
+    out[i] = static_cast<std::uint8_t>(b);
+  }
+}
+
+void accumulate_u8_neon(const std::uint8_t* bins, const std::size_t* indices,
+                        std::size_t n_indices, bool skip_rel0,
+                        std::uint64_t* counts, std::size_t n_bins) {
+  assert(n_bins < 255);
+  std::size_t i = 0;
+  alignas(16) std::uint8_t gathered[16];
+  for (; i + 16 <= n_indices; i += 16) {
+    for (int j = 0; j < 16; ++j) {
+      const std::size_t rel = indices[i + static_cast<std::size_t>(j)];
+      gathered[j] =
+          (skip_rel0 && rel == 0) ? std::uint8_t{0xFF} : bins[rel];
+    }
+    const uint8x16_t g = vld1q_u8(gathered);
+    for (std::size_t b = 0; b < n_bins; ++b) {
+      const uint8x16_t eq = vceqq_u8(g, vdupq_n_u8(static_cast<std::uint8_t>(b)));
+      // All-ones lanes sum to 255 each; shift the horizontal add down.
+      counts[b] += vaddvq_u8(vshrq_n_u8(eq, 7));
+    }
+  }
+  for (; i < n_indices; ++i) {
+    const std::size_t rel = indices[i];
+    if (skip_rel0 && rel == 0) continue;
+    ++counts[bins[rel]];
+  }
+}
+
+}  // namespace
+
+bool neon_compiled() { return true; }
+
+const KernelTable& neon_kernel_table() {
+  static const KernelTable table = [] {
+    KernelTable t;
+    t.classify_u32 = &classify_u32_neon;
+    t.classify_gaps_u64 = &classify_gaps_u64_neon;
+    t.accumulate_u8 = &accumulate_u8_neon;
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace netsample::core::simd
+
+#else  // !aarch64
+
+namespace netsample::core::simd {
+
+bool neon_compiled() { return false; }
+
+const KernelTable& neon_kernel_table() {
+  static const KernelTable table{};
+  return table;
+}
+
+}  // namespace netsample::core::simd
+
+#endif

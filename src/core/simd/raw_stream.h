@@ -1,0 +1,71 @@
+// Buffered raw xoshiro256** output words for the batched sampler kernels.
+//
+// The streaming samplers consume RNG *raw words* in a strict sequence: one
+// per uniform_below() call, plus extras on (astronomically rare) Lemire
+// rejections. The SIMD kernels vectorize the post-draw arithmetic, so they
+// need the raw words in bulk while preserving exactly that consumption
+// order. RawStream prefetches words from a private Rng into a small
+// buffer; peek() exposes the next few without consuming them, so a chunk
+// that turns out to need scalar handling (a rejection, an acceptance that
+// changes later lanes' bounds) can be replayed word-for-word through
+// uniform_below() below — which is a line-for-line copy of
+// Rng::uniform_below() reading from the same buffered sequence.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+
+#include "util/rng.h"
+
+namespace netsample::core::simd {
+
+class RawStream {
+ public:
+  explicit RawStream(std::uint64_t seed) : rng_(seed) {}
+
+  /// Pointer to the next `n` unconsumed raw words (n <= kCapacity).
+  const std::uint64_t* peek(std::size_t n) {
+    if (pos_ + n > len_) refill();
+    return buf_ + pos_;
+  }
+
+  void consume(std::size_t n) { pos_ += n; }
+
+  std::uint64_t next() {
+    if (pos_ >= len_) refill();
+    return buf_[pos_++];
+  }
+
+  /// Bit-exact replay of Rng::uniform_below() over the buffered sequence.
+  std::uint64_t uniform_below(std::uint64_t bound) {
+    if (bound == 0) return 0;
+    const std::uint64_t threshold = (-bound) % bound;
+    for (;;) {
+      const std::uint64_t r = next();
+      const auto m = static_cast<unsigned __int128>(r) *
+                     static_cast<unsigned __int128>(bound);
+      if (static_cast<std::uint64_t>(m) >= threshold) {
+        return static_cast<std::uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  static constexpr std::size_t kCapacity = 64;
+
+ private:
+  void refill() {
+    const std::size_t keep = len_ - pos_;
+    std::memmove(buf_, buf_ + pos_, keep * sizeof(std::uint64_t));
+    pos_ = 0;
+    len_ = keep;
+    while (len_ < kCapacity) buf_[len_++] = rng_();
+  }
+
+  netsample::Rng rng_;
+  std::uint64_t buf_[kCapacity];
+  std::size_t pos_{0};
+  std::size_t len_{0};
+};
+
+}  // namespace netsample::core::simd

@@ -6,6 +6,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "core/simd/simd.h"
 #include "obs/metrics.h"
 
 namespace netsample::core {
@@ -25,14 +26,39 @@ BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
   ts_.resize(n);
   size_bin_.resize(n);
   gap_bin_.resize(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    ts_[i] = base[i].timestamp.usec;
-    size_bin_[i] = static_cast<std::uint8_t>(
-        size_layout.bin_index(static_cast<double>(base[i].size)));
-    gap_bin_[i] =
-        i == 0 ? 0
-               : static_cast<std::uint8_t>(gap_layout.bin_index(
-                     static_cast<double>(ts_[i] - ts_[i - 1])));
+  bool vectorized = false;
+  if (const auto& kt = simd::kernels();
+      n > 0 && kt.classify_u32 != nullptr && kt.classify_gaps_u64 != nullptr) {
+    // The SIMD compare ladders work on integer thresholds equivalent to
+    // bin_index on integer inputs (see simd.h); paper edges always qualify,
+    // exotic custom edges fall back to the scalar reference below.
+    const auto size_thr = simd::integer_thresholds_u32(size_edges_);
+    const auto gap_thr = simd::integer_thresholds(gap_edges_);
+    if (size_thr.has_value() && gap_thr.has_value() &&
+        size_thr->size() <= simd::kMaxThresholds &&
+        gap_thr->size() <= simd::kMaxThresholds) {
+      std::vector<std::uint32_t> sizes(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ts_[i] = base[i].timestamp.usec;
+        sizes[i] = base[i].size;
+      }
+      kt.classify_u32(sizes.data(), n, size_thr->data(), size_thr->size(),
+                      size_bin_.data());
+      kt.classify_gaps_u64(ts_.data(), n, gap_thr->data(), gap_thr->size(),
+                           gap_bin_.data());
+      vectorized = true;
+    }
+  }
+  if (!vectorized) {
+    for (std::size_t i = 0; i < n; ++i) {
+      ts_[i] = base[i].timestamp.usec;
+      size_bin_[i] = static_cast<std::uint8_t>(
+          size_layout.bin_index(static_cast<double>(base[i].size)));
+      gap_bin_[i] =
+          i == 0 ? 0
+                 : static_cast<std::uint8_t>(gap_layout.bin_index(
+                       static_cast<double>(ts_[i] - ts_[i - 1])));
+    }
   }
 
   size_prefix_.assign(size_bins * (n + 1), 0);
@@ -115,17 +141,30 @@ stats::Histogram BinnedTraceCache::sample_histogram(
         "netsample_trace_cache_sample_histograms_total");
     calls.increment();
   }
+  const auto& kt = simd::kernels();
   if (t == Target::kPacketSize) {
     std::vector<std::uint64_t> counts(size_edges_.size() + 1, 0);
-    for (const std::size_t rel : view_indices) {
-      ++counts[size_bin_[view_begin + rel]];
+    if (kt.accumulate_u8 != nullptr) {
+      kt.accumulate_u8(size_bin_.data() + view_begin, view_indices.data(),
+                       view_indices.size(), /*skip_rel0=*/false, counts.data(),
+                       counts.size());
+    } else {
+      for (const std::size_t rel : view_indices) {
+        ++counts[size_bin_[view_begin + rel]];
+      }
     }
     return stats::Histogram::with_counts(size_edges_, std::move(counts));
   }
   std::vector<std::uint64_t> counts(gap_edges_.size() + 1, 0);
-  for (const std::size_t rel : view_indices) {
-    if (rel == 0) continue;  // first packet of the view: no predecessor
-    ++counts[gap_bin_[view_begin + rel]];
+  if (kt.accumulate_u8 != nullptr) {
+    kt.accumulate_u8(gap_bin_.data() + view_begin, view_indices.data(),
+                     view_indices.size(), /*skip_rel0=*/true, counts.data(),
+                     counts.size());
+  } else {
+    for (const std::size_t rel : view_indices) {
+      if (rel == 0) continue;  // first packet of the view: no predecessor
+      ++counts[gap_bin_[view_begin + rel]];
+    }
   }
   return stats::Histogram::with_counts(gap_edges_, std::move(counts));
 }

@@ -65,6 +65,7 @@
 #include "core/metrics.h"      // IWYU pragma: export
 #include "core/sampler.h"      // IWYU pragma: export
 #include "core/samplers.h"     // IWYU pragma: export
+#include "core/simd/simd.h"    // IWYU pragma: export
 #include "core/targets.h"      // IWYU pragma: export
 #include "core/theory.h"       // IWYU pragma: export
 #include "core/trace_cache.h"  // IWYU pragma: export

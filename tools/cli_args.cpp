@@ -38,6 +38,9 @@ void add_common_flags(ArgParser& args, bool with_pcap) {
   args.add_flag("trace-out", "FILE", "write obs span trace JSON here");
   args.add_flag("legacy-scan", "",
                 "force the streaming per-packet path (no cache fast path)");
+  args.add_flag("simd", "VARIANT",
+                "force the SIMD kernel variant: scalar, avx2, or neon "
+                "(results are bit-identical; default autodetects)");
 }
 
 CommonOptions read_common_options(const ArgParser& args) {
@@ -47,7 +50,17 @@ CommonOptions read_common_options(const ArgParser& args) {
   if (args.has("metrics-out")) out.metrics_out = args.get_string("metrics-out");
   if (args.has("trace-out")) out.trace_out = args.get_string("trace-out");
   out.legacy_scan = args.get_bool("legacy-scan");
+  if (args.has("simd")) out.simd = args.get_string("simd");
 
+  if (!out.simd.empty()) {
+    const auto variant = core::simd::parse_variant(out.simd);
+    if (!variant.has_value()) {
+      throw std::invalid_argument("--simd: expected scalar, avx2, or neon, "
+                                  "got \"" +
+                                  out.simd + "\"");
+    }
+    core::simd::force_variant(*variant);
+  }
   if (out.legacy_scan) core::force_legacy_scan(true);
   if (!out.metrics_out.empty() || !out.trace_out.empty()) {
     obs::set_enabled(true);

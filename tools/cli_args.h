@@ -27,6 +27,7 @@ struct CommonOptions {
   std::string metrics_out;    // obs metrics JSON path ("" = off)
   std::string trace_out;      // obs trace JSON path ("" = off)
   bool legacy_scan{false};    // force the streaming oracle path
+  std::string simd;           // forced SIMD variant ("" = autodetect)
 };
 
 /// Declare the shared flags on an ArgParser (the CLI merges these into each
