@@ -12,15 +12,22 @@
 //   --out FILE       where to write the JSON report (default BENCH_sweep.json)
 //   --minutes M      synthetic trace length (default 8)
 //   --reps R         replications per cell (default 5)
+//   --workers N      also time the headline cells through the sharded
+//                    multi-process runtime (N forked workers over one
+//                    memory-mapped TraceStore) and report
+//                    pkts_per_sec_multiproc plus the store map-vs-rebuild
+//                    amortization (docs/SHARDING.md)
 //   --legacy-scan    time the legacy path only (no comparison, no speedup)
 //   --simd VARIANT   measure VARIANT instead of the best available one
 //   --baseline FILE  compare the headline against a committed baseline
 //   --tolerance PCT  allowed headline regression vs baseline (default 25)
 //
-// Exit codes: 0 ok, 1 phi mismatch, 2 usage/IO, 3 baseline machine-class
-// mismatch, 4 headline regression beyond tolerance.
+// Exit codes: 0 ok, 1 phi mismatch / multiproc failure, 2 usage/IO,
+// 3 baseline machine-class mismatch, 4 headline regression beyond
+// tolerance.
 #include <chrono>
 #include <cmath>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -155,6 +162,7 @@ int main(int argc, char** argv) {
   double minutes = 8.0;
   double tolerance_pct = 25.0;
   int reps = 5;
+  int workers = 0;  // 0 = skip the multi-process leg
   const bool legacy_only = bench::bench_legacy_scan(argc, argv);
   const auto forced = bench::bench_simd(argc, argv);
   // --metrics-out/--trace-out also serve as the obs-overhead A/B switch:
@@ -172,10 +180,13 @@ int main(int argc, char** argv) {
     } else if (arg == "--reps" && has_value) {
       reps = static_cast<int>(
           parse_positive_double("--reps", argv[++i]));
+    } else if (arg == "--workers" && has_value) {
+      workers = static_cast<int>(
+          parse_positive_double("--workers", argv[++i]));
     } else if (arg == "--tolerance" && has_value) {
       tolerance_pct = parse_positive_double("--tolerance", argv[++i]);
     } else if (arg == "--out" || arg == "--baseline" || arg == "--minutes" ||
-               arg == "--reps" || arg == "--tolerance") {
+               arg == "--reps" || arg == "--workers" || arg == "--tolerance") {
       std::fprintf(stderr, "error: %s requires a value\n", arg.c_str());
       return 2;
     }
@@ -289,6 +300,83 @@ int main(int argc, char** argv) {
   simd::clear_variant_override();
   t.print(std::cout);
 
+  // Multi-process leg: the same headline cells (k >= 1024, packet size, all
+  // methods) through the sharded coordinator — N forked workers scoring
+  // over ONE memory-mapped TraceStore instead of N private cache rebuilds.
+  // The amortization story is store-map vs cache-rebuild: each extra
+  // process costs a map, not an O(N) re-bin.
+  double store_write_ms = 0.0, store_map_ms = 0.0, multiproc_wall_ms = 0.0;
+  double pkts_per_sec_multiproc = 0.0;
+  std::uint64_t multiproc_worker_builds = 0;
+  std::size_t multiproc_cells = 0;
+  bool multiproc_ok = true;
+  const bool run_multiproc = workers > 0 && !legacy_only;
+  if (run_multiproc) {
+    const std::string store_path = out_path + ".nstore";
+    std::filesystem::remove(store_path);
+    const double mean_size =
+        trace::summarize_population(ex.full()).packet_size.mean;
+    {
+      const auto t0 = Clock::now();
+      const Status st = shard::write_trace_store(
+          store_path, cache, ex.mean_interarrival_usec(), mean_size);
+      const auto t1 = Clock::now();
+      if (!st.is_ok()) {
+        std::fprintf(stderr, "error: --workers: %s\n", st.to_string().c_str());
+        return 2;
+      }
+      store_write_ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+    }
+    for (int i = 0; i < 3; ++i) {
+      const auto t0 = Clock::now();
+      const auto opened =
+          shard::TraceStore::open(store_path, shard::store_backend("mmap"));
+      const auto t1 = Clock::now();
+      if (!opened.has_value()) {
+        std::fprintf(stderr, "error: --workers: %s\n",
+                     opened.status().to_string().c_str());
+        return 2;
+      }
+      const double ms =
+          std::chrono::duration<double, std::milli>(t1 - t0).count();
+      store_map_ms = i == 0 ? ms : std::min(store_map_ms, ms);
+    }
+
+    shard::SweepSpec spec;
+    spec.targets = {core::Target::kPacketSize};
+    spec.methods.assign(methods, methods + sizeof methods / sizeof methods[0]);
+    for (const std::uint64_t k : ladder) {
+      if (k >= kHeadlineMinK) spec.granularities.push_back(k);
+    }
+    spec.replications = reps;
+    spec.base_seed = 1;
+    multiproc_cells = spec.cell_count();
+
+    shard::CoordinatorOptions copts;
+    copts.workers = workers;
+    copts.store_path = store_path;  // fork-only workers: no exec, same binary
+    const auto t0 = Clock::now();
+    const auto report = shard::run_sharded_sweep(spec, copts);
+    const auto t1 = Clock::now();
+    multiproc_wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (!report.has_value()) {
+      std::fprintf(stderr, "error: --workers: %s\n",
+                   report.status().to_string().c_str());
+      return 2;
+    }
+    multiproc_worker_builds = report->worker_cache_builds;
+    multiproc_ok = report->all_ok() && multiproc_worker_builds == 0;
+    const double multiproc_pkts = static_cast<double>(ex.population_size()) *
+                                  static_cast<double>(reps) *
+                                  static_cast<double>(multiproc_cells);
+    pkts_per_sec_multiproc = multiproc_wall_ms > 0.0
+                                 ? multiproc_pkts / (multiproc_wall_ms / 1e3)
+                                 : 0.0;
+    std::filesystem::remove(store_path);
+  }
+
   // Throughput-style headline for the committed trajectory: offered packets
   // scanned per wall-clock second on the best path over the headline cells
   // (k >= 1024, where per-cell fixed costs are amortized away).
@@ -316,8 +404,23 @@ int main(int argc, char** argv) {
         << ", \"best_ms\": " << headline_best_ms
         << ", \"speedup\": " << headline_legacy_ms / headline_best_ms
         << ", \"simd_speedup\": " << headline_scalar_ms / headline_best_ms
-        << ", \"pkts_per_sec_best\": " << pkts_per_sec_best
-        << "},\n  \"phi_all_match\": " << (all_match ? "true" : "false");
+        << ", \"pkts_per_sec_best\": " << pkts_per_sec_best;
+    if (run_multiproc) {
+      out << ", \"pkts_per_sec_multiproc\": " << pkts_per_sec_multiproc;
+    }
+    out << "}";
+    if (run_multiproc) {
+      out << ",\n  \"multiproc\": {\"workers\": " << workers
+          << ", \"cells\": " << multiproc_cells
+          << ", \"wall_ms\": " << multiproc_wall_ms
+          << ", \"store_write_ms\": " << store_write_ms
+          << ", \"store_map_ms\": " << store_map_ms
+          << ", \"cache_rebuild_ms\": " << cache_scalar_ms
+          << ", \"map_vs_rebuild\": " << cache_scalar_ms / store_map_ms
+          << ", \"worker_cache_builds\": " << multiproc_worker_builds
+          << ", \"all_ok\": " << (multiproc_ok ? "true" : "false") << "}";
+    }
+    out << ",\n  \"phi_all_match\": " << (all_match ? "true" : "false");
   }
   out << "\n}\n";
 
@@ -339,10 +442,28 @@ int main(int argc, char** argv) {
                 fmt_double(cache_scalar_ms / cache_simd_ms, 2) + "x");
     bench::note(all_match ? "phi values bit-identical on every cell and path"
                           : "PHI MISMATCH — paths disagree");
+    if (run_multiproc) {
+      bench::note("multiproc (" + std::to_string(workers) + " workers, " +
+                  std::to_string(multiproc_cells) + " headline cells): " +
+                  fmt_double(multiproc_wall_ms, 1) + " ms wall = " +
+                  fmt_double(pkts_per_sec_multiproc / 1e6, 2) + " Mpkt/s");
+      bench::note("store amortization: write once " +
+                  fmt_double(store_write_ms, 2) + " ms, then " +
+                  fmt_double(store_map_ms, 3) + " ms map per process vs " +
+                  fmt_double(cache_scalar_ms, 2) + " ms rebuild = " +
+                  fmt_double(cache_scalar_ms / store_map_ms, 1) +
+                  "x per extra process (worker cache builds: " +
+                  std::to_string(multiproc_worker_builds) + ")");
+      if (!multiproc_ok) {
+        bench::note("MULTIPROC FAILURE — sharded sweep failed a cell or a "
+                    "worker re-binned");
+      }
+    }
   }
   bench::note("wrote " + out_path);
   bench::bench_obs_write(obs_args);
   if (!all_match) return 1;
+  if (run_multiproc && !multiproc_ok) return 1;
 
   if (!legacy_only && !baseline_path.empty()) {
     const int rc =

@@ -13,72 +13,80 @@ namespace netsample::core {
 
 BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
     : base_(base),
-      size_edges_(paper_bin_edges(Target::kPacketSize)),
-      gap_edges_(paper_bin_edges(Target::kInterarrivalTime)) {
+      size_edges_own_(paper_bin_edges(Target::kPacketSize)),
+      gap_edges_own_(paper_bin_edges(Target::kInterarrivalTime)) {
   const std::size_t n = base.size();
   // Bin ids come from the same Histogram::bin_index the streaming path
   // uses, so fast and legacy binning cannot drift apart.
-  const stats::Histogram size_layout{std::vector<double>(size_edges_)};
-  const stats::Histogram gap_layout{std::vector<double>(gap_edges_)};
+  const stats::Histogram size_layout{std::vector<double>(size_edges_own_)};
+  const stats::Histogram gap_layout{std::vector<double>(gap_edges_own_)};
   const std::size_t size_bins = size_layout.bin_count();
   const std::size_t gap_bins = gap_layout.bin_count();
 
-  ts_.resize(n);
-  size_bin_.resize(n);
-  gap_bin_.resize(n);
+  ts_own_.resize(n);
+  size_bin_own_.resize(n);
+  gap_bin_own_.resize(n);
   bool vectorized = false;
   if (const auto& kt = simd::kernels();
       n > 0 && kt.classify_u32 != nullptr && kt.classify_gaps_u64 != nullptr) {
     // The SIMD compare ladders work on integer thresholds equivalent to
     // bin_index on integer inputs (see simd.h); paper edges always qualify,
     // exotic custom edges fall back to the scalar reference below.
-    const auto size_thr = simd::integer_thresholds_u32(size_edges_);
-    const auto gap_thr = simd::integer_thresholds(gap_edges_);
+    const auto size_thr = simd::integer_thresholds_u32(size_edges_own_);
+    const auto gap_thr = simd::integer_thresholds(gap_edges_own_);
     if (size_thr.has_value() && gap_thr.has_value() &&
         size_thr->size() <= simd::kMaxThresholds &&
         gap_thr->size() <= simd::kMaxThresholds) {
       std::vector<std::uint32_t> sizes(n);
       for (std::size_t i = 0; i < n; ++i) {
-        ts_[i] = base[i].timestamp.usec;
+        ts_own_[i] = base[i].timestamp.usec;
         sizes[i] = base[i].size;
       }
       kt.classify_u32(sizes.data(), n, size_thr->data(), size_thr->size(),
-                      size_bin_.data());
-      kt.classify_gaps_u64(ts_.data(), n, gap_thr->data(), gap_thr->size(),
-                           gap_bin_.data());
+                      size_bin_own_.data());
+      kt.classify_gaps_u64(ts_own_.data(), n, gap_thr->data(), gap_thr->size(),
+                           gap_bin_own_.data());
       vectorized = true;
     }
   }
   if (!vectorized) {
     for (std::size_t i = 0; i < n; ++i) {
-      ts_[i] = base[i].timestamp.usec;
-      size_bin_[i] = static_cast<std::uint8_t>(
+      ts_own_[i] = base[i].timestamp.usec;
+      size_bin_own_[i] = static_cast<std::uint8_t>(
           size_layout.bin_index(static_cast<double>(base[i].size)));
-      gap_bin_[i] =
+      gap_bin_own_[i] =
           i == 0 ? 0
                  : static_cast<std::uint8_t>(gap_layout.bin_index(
-                       static_cast<double>(ts_[i] - ts_[i - 1])));
+                       static_cast<double>(ts_own_[i] - ts_own_[i - 1])));
     }
   }
 
-  size_prefix_.assign(size_bins * (n + 1), 0);
+  size_prefix_own_.assign(size_bins * (n + 1), 0);
   for (std::size_t b = 0; b < size_bins; ++b) {
-    std::uint32_t* col = size_prefix_.data() + b * (n + 1);
+    std::uint32_t* col = size_prefix_own_.data() + b * (n + 1);
     std::uint32_t run = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (size_bin_[i] == b) ++run;
+      if (size_bin_own_[i] == b) ++run;
       col[i + 1] = run;
     }
   }
-  gap_prefix_.assign(gap_bins * (n + 1), 0);
+  gap_prefix_own_.assign(gap_bins * (n + 1), 0);
   for (std::size_t b = 0; b < gap_bins; ++b) {
-    std::uint32_t* col = gap_prefix_.data() + b * (n + 1);
+    std::uint32_t* col = gap_prefix_own_.data() + b * (n + 1);
     std::uint32_t run = 0;
     for (std::size_t i = 0; i < n; ++i) {
-      if (i > 0 && gap_bin_[i] == b) ++run;
+      if (i > 0 && gap_bin_own_[i] == b) ++run;
       col[i + 1] = run;
     }
   }
+
+  size_edges_ = size_edges_own_;
+  gap_edges_ = gap_edges_own_;
+  ts_ = ts_own_;
+  size_bin_ = size_bin_own_;
+  gap_bin_ = gap_bin_own_;
+  size_prefix_ = size_prefix_own_;
+  gap_prefix_ = gap_prefix_own_;
 
   if (obs::enabled()) {
     auto& reg = obs::registry();
@@ -87,6 +95,37 @@ BinnedTraceCache::BinnedTraceCache(trace::TraceView base)
     static obs::Counter& packets =
         reg.counter("netsample_trace_cache_packets_binned_total");
     builds.increment();
+    packets.add(n);
+  }
+}
+
+BinnedTraceCache::BinnedTraceCache(trace::TraceView base,
+                                   const BinnedTables& tables)
+    : base_(base),
+      mapped_(true),
+      size_edges_(tables.size_edges),
+      gap_edges_(tables.gap_edges),
+      ts_(tables.timestamps),
+      size_bin_(tables.size_bins),
+      gap_bin_(tables.gap_bins),
+      size_prefix_(tables.size_prefix),
+      gap_prefix_(tables.gap_prefix) {
+  const std::size_t n = base.size();
+  const std::size_t size_bins = size_edges_.size() + 1;
+  const std::size_t gap_bins = gap_edges_.size() + 1;
+  if (ts_.size() != n || size_bin_.size() != n || gap_bin_.size() != n ||
+      size_prefix_.size() != size_bins * (n + 1) ||
+      gap_prefix_.size() != gap_bins * (n + 1)) {
+    throw std::invalid_argument(
+        "BinnedTraceCache: external table lengths inconsistent with base");
+  }
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    static obs::Counter& maps =
+        reg.counter("netsample_trace_cache_maps_total");
+    static obs::Counter& packets =
+        reg.counter("netsample_trace_cache_packets_mapped_total");
+    maps.increment();
     packets.add(n);
   }
 }
@@ -118,7 +157,9 @@ stats::Histogram BinnedTraceCache::population_histogram(Target t,
       const std::uint32_t* col = size_prefix_.data() + b * n1;
       counts[b] = col[end] - col[begin];
     }
-    return stats::Histogram::with_counts(size_edges_, std::move(counts));
+    return stats::Histogram::with_counts(
+        std::vector<double>(size_edges_.begin(), size_edges_.end()),
+        std::move(counts));
   }
   const std::size_t bins = gap_edges_.size() + 1;
   std::vector<std::uint64_t> counts(bins, 0);
@@ -130,7 +171,9 @@ stats::Histogram BinnedTraceCache::population_histogram(Target t,
       counts[b] = col[end] - col[begin + 1];
     }
   }
-  return stats::Histogram::with_counts(gap_edges_, std::move(counts));
+  return stats::Histogram::with_counts(
+      std::vector<double>(gap_edges_.begin(), gap_edges_.end()),
+      std::move(counts));
 }
 
 stats::Histogram BinnedTraceCache::sample_histogram(
@@ -153,7 +196,9 @@ stats::Histogram BinnedTraceCache::sample_histogram(
         ++counts[size_bin_[view_begin + rel]];
       }
     }
-    return stats::Histogram::with_counts(size_edges_, std::move(counts));
+    return stats::Histogram::with_counts(
+        std::vector<double>(size_edges_.begin(), size_edges_.end()),
+        std::move(counts));
   }
   std::vector<std::uint64_t> counts(gap_edges_.size() + 1, 0);
   if (kt.accumulate_u8 != nullptr) {
@@ -166,7 +211,9 @@ stats::Histogram BinnedTraceCache::sample_histogram(
       ++counts[gap_bin_[view_begin + rel]];
     }
   }
-  return stats::Histogram::with_counts(gap_edges_, std::move(counts));
+  return stats::Histogram::with_counts(
+      std::vector<double>(gap_edges_.begin(), gap_edges_.end()),
+      std::move(counts));
 }
 
 // ---------------------------------------------------------------------------

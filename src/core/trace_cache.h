@@ -36,14 +36,53 @@
 
 namespace netsample::core {
 
+/// Borrowed views over a cache's internal tables, in the exact layout the
+/// build constructor produces. Two uses: serializing a built cache into a
+/// shard::TraceStore, and adopting tables that already live in read-only
+/// shared memory (an mmap'd store) without copying or re-binning.
+struct BinnedTables {
+  std::span<const double> size_edges, gap_edges;
+  std::span<const std::uint64_t> timestamps;
+  std::span<const std::uint8_t> size_bins, gap_bins;
+  // Bin-major cumulative tables of length bins*(N+1); see the private
+  // members below for the exact semantics.
+  std::span<const std::uint32_t> size_prefix, gap_prefix;
+};
+
 class BinnedTraceCache {
  public:
   /// Builds all arrays in one O(N) pass over `base` (typically a full
   /// trace; every experiment interval is then a sub-range of it).
   explicit BinnedTraceCache(trace::TraceView base);
 
+  /// Adopts prebuilt tables (typically mmap'd from a shard::TraceStore)
+  /// without copying or re-binning: the cache only keeps the spans, so
+  /// `tables` memory must outlive it. Throws std::invalid_argument when the
+  /// table lengths are inconsistent with base.size(). Increments
+  /// netsample_trace_cache_maps_total instead of ..._builds_total — worker
+  /// processes assert builds == 0 through exactly this distinction.
+  BinnedTraceCache(trace::TraceView base, const BinnedTables& tables);
+
+  // The span members may reference the owned vectors, which copying would
+  // silently invalidate; moving preserves heap buffers and stays valid.
+  BinnedTraceCache(const BinnedTraceCache&) = delete;
+  BinnedTraceCache& operator=(const BinnedTraceCache&) = delete;
+  BinnedTraceCache(BinnedTraceCache&&) = default;
+  BinnedTraceCache& operator=(BinnedTraceCache&&) = default;
+
   [[nodiscard]] trace::TraceView base() const { return base_; }
   [[nodiscard]] std::size_t size() const { return ts_.size(); }
+
+  /// True when this cache adopted external tables instead of building them.
+  [[nodiscard]] bool mapped() const { return mapped_; }
+
+  /// Borrowed views over every internal table — the serialization surface
+  /// consumed by shard::write_trace_store. Valid while the cache lives.
+  [[nodiscard]] BinnedTables tables() const {
+    return BinnedTables{size_edges_, gap_edges_,   ts_,
+                        size_bin_,   gap_bin_,     size_prefix_,
+                        gap_prefix_};
+  }
 
   /// SoA arrays, indexed by position within base().
   [[nodiscard]] std::span<const std::uint64_t> timestamps() const { return ts_; }
@@ -85,13 +124,21 @@ class BinnedTraceCache {
 
  private:
   trace::TraceView base_;
-  std::vector<double> size_edges_, gap_edges_;
-  std::vector<std::uint64_t> ts_;
-  std::vector<std::uint8_t> size_bin_, gap_bin_;
+  bool mapped_{false};
+  // Owned storage, populated only by the building constructor; the mapped
+  // constructor leaves these empty and points the spans below at caller
+  // memory instead. All method bodies go through the spans.
+  std::vector<double> size_edges_own_, gap_edges_own_;
+  std::vector<std::uint64_t> ts_own_;
+  std::vector<std::uint8_t> size_bin_own_, gap_bin_own_;
+  std::vector<std::uint32_t> size_prefix_own_, gap_prefix_own_;
+  std::span<const double> size_edges_, gap_edges_;
+  std::span<const std::uint64_t> ts_;
+  std::span<const std::uint8_t> size_bin_, gap_bin_;
   // Bin-major cumulative tables of length bins*(N+1):
   //   size_prefix_[b*(N+1) + i] = #{ j < i : size_bin_[j] == b }
   //   gap_prefix_ [b*(N+1) + i] = #{ 1 <= j < i : gap_bin_[j] == b }
-  std::vector<std::uint32_t> size_prefix_, gap_prefix_;
+  std::span<const std::uint32_t> size_prefix_, gap_prefix_;
 };
 
 /// True when the legacy streaming scan is forced — either programmatically

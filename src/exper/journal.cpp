@@ -37,34 +37,7 @@ void append_u64(std::string& out, const char* name, std::uint64_t v) {
 
 std::string encode_line(const std::string& key,
                         const std::vector<core::DisparityMetrics>& reps) {
-  std::string line = "{\"key\":\"" + key + "\",\"reps\":[";
-  for (std::size_t i = 0; i < reps.size(); ++i) {
-    const auto& m = reps[i];
-    if (i != 0) line += ',';
-    line += '{';
-    append_double(line, "chi2", m.chi2);
-    line += ',';
-    append_double(line, "dof", m.dof);
-    line += ',';
-    append_double(line, "sig", m.significance);
-    line += ',';
-    append_double(line, "cost", m.cost);
-    line += ',';
-    append_double(line, "rcost", m.rcost);
-    line += ',';
-    append_double(line, "x2", m.x2);
-    line += ',';
-    append_double(line, "and", m.avg_norm_dev);
-    line += ',';
-    append_double(line, "phi", m.phi);
-    line += ',';
-    append_u64(line, "sn", m.sample_n);
-    line += ',';
-    append_u64(line, "pn", m.population_n);
-    line += '}';
-  }
-  line += "]}";
-  return line;
+  return "{\"key\":\"" + key + "\",\"reps\":" + encode_replications(reps) + "}";
 }
 
 // Strict sequential parser for the exact shape encode_line() emits. Any
@@ -102,15 +75,8 @@ bool take_u64(const char*& p, const char* name, std::uint64_t* out) {
   return true;
 }
 
-bool decode_line(const std::string& line, std::string* key,
-                 std::vector<core::DisparityMetrics>* reps) {
-  const char* p = line.c_str();
-  if (!take(p, "{\"key\":\"")) return false;
-  const char* key_end = std::strchr(p, '"');
-  if (key_end == nullptr) return false;
-  key->assign(p, key_end);
-  p = key_end;
-  if (!take(p, "\",\"reps\":[")) return false;
+bool take_reps(const char*& p, std::vector<core::DisparityMetrics>* reps) {
+  if (!take(p, "[")) return false;
   reps->clear();
   while (*p == '{') {
     core::DisparityMetrics m;
@@ -138,7 +104,20 @@ bool decode_line(const std::string& line, std::string* key,
     reps->push_back(m);
     if (*p == ',') ++p;
   }
-  return take(p, "]}") && *p == '\0';
+  return take(p, "]");
+}
+
+bool decode_line(const std::string& line, std::string* key,
+                 std::vector<core::DisparityMetrics>* reps) {
+  const char* p = line.c_str();
+  if (!take(p, "{\"key\":\"")) return false;
+  const char* key_end = std::strchr(p, '"');
+  if (key_end == nullptr) return false;
+  key->assign(p, key_end);
+  p = key_end;
+  if (!take(p, "\",\"reps\":")) return false;
+  if (!take_reps(p, reps)) return false;
+  return take(p, "}") && *p == '\0';
 }
 
 Status write_and_sync(std::FILE* f, const std::string& data,
@@ -152,6 +131,44 @@ Status write_and_sync(std::FILE* f, const std::string& data,
 }
 
 }  // namespace
+
+std::string encode_replications(
+    const std::vector<core::DisparityMetrics>& reps) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    const auto& m = reps[i];
+    if (i != 0) out += ',';
+    out += '{';
+    append_double(out, "chi2", m.chi2);
+    out += ',';
+    append_double(out, "dof", m.dof);
+    out += ',';
+    append_double(out, "sig", m.significance);
+    out += ',';
+    append_double(out, "cost", m.cost);
+    out += ',';
+    append_double(out, "rcost", m.rcost);
+    out += ',';
+    append_double(out, "x2", m.x2);
+    out += ',';
+    append_double(out, "and", m.avg_norm_dev);
+    out += ',';
+    append_double(out, "phi", m.phi);
+    out += ',';
+    append_u64(out, "sn", m.sample_n);
+    out += ',';
+    append_u64(out, "pn", m.population_n);
+    out += '}';
+  }
+  out += ']';
+  return out;
+}
+
+bool decode_replications(const std::string& text,
+                         std::vector<core::DisparityMetrics>* reps) {
+  const char* p = text.c_str();
+  return take_reps(p, reps) && *p == '\0';
+}
 
 std::string cell_journal_key(const CellConfig& config,
                              std::uint64_t interval_index) {
@@ -276,6 +293,67 @@ const std::vector<core::DisparityMetrics>* CheckpointJournal::find(
     const std::string& key) const {
   const auto it = entries_.find(key);
   return it == entries_.end() ? nullptr : &it->second;
+}
+
+StatusOr<JournalCompactionStats> CheckpointJournal::compact_file(
+    const std::string& path) {
+  JournalCompactionStats stats;
+  std::vector<std::string> key_order;         // first appearance
+  std::map<std::string, std::string> latest;  // key -> newest full line
+  {
+    std::ifstream in(path);
+    if (!in.is_open()) {
+      return Status(StatusCode::kNotFound,
+                    "journal: cannot open '" + path + "'");
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+      if (line.empty()) continue;
+      std::string key;
+      std::vector<core::DisparityMetrics> reps;
+      if (!decode_line(line, &key, &reps)) {
+        ++stats.dropped_lines;
+        continue;
+      }
+      ++stats.lines_before;
+      if (latest.find(key) == latest.end()) {
+        key_order.push_back(key);
+      } else {
+        ++stats.duplicate_keys;
+      }
+      latest[key] = std::move(line);
+    }
+  }
+  stats.lines_after = key_order.size();
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status(StatusCode::kInternal, "journal: cannot create '" + tmp + "'");
+  }
+  std::string blob;
+  for (const auto& key : key_order) {
+    blob += latest[key];
+    blob += '\n';
+  }
+  const Status ws = write_and_sync(f, blob, tmp);
+  std::fclose(f);
+  if (!ws.is_ok()) return ws;
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status(StatusCode::kInternal,
+                  "journal: rename '" + tmp + "' -> '" + path + "' failed");
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    static obs::Counter& compactions =
+        reg.counter("netsample_journal_compactions_total");
+    static obs::Counter& removed =
+        reg.counter("netsample_journal_compaction_removed_total");
+    compactions.increment();
+    removed.add(stats.duplicate_keys + stats.dropped_lines);
+  }
+  return stats;
 }
 
 }  // namespace netsample::exper

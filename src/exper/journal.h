@@ -39,6 +39,25 @@ struct CellConfig;  // runner.h
 [[nodiscard]] std::string cell_journal_key(const CellConfig& config,
                                            std::uint64_t interval_index);
 
+/// Bit-exact codec for a replication-metrics vector — exactly the "reps"
+/// array of a journal line (hexfloat doubles; round-trips every bit). The
+/// shard worker protocol ships cell results over the wire in this encoding,
+/// so a coordinator-journaled cell is byte-identical to one the journal
+/// recorded from a local run. decode returns false on any mismatch and
+/// leaves *reps unspecified.
+[[nodiscard]] std::string encode_replications(
+    const std::vector<core::DisparityMetrics>& reps);
+[[nodiscard]] bool decode_replications(const std::string& text,
+                                       std::vector<core::DisparityMetrics>* reps);
+
+/// What CheckpointJournal::compact_file did.
+struct JournalCompactionStats {
+  std::size_t lines_before{0};    // valid lines in the input
+  std::size_t dropped_lines{0};   // torn / malformed lines removed
+  std::size_t duplicate_keys{0};  // superseded re-records removed
+  std::size_t lines_after{0};     // unique keys written back
+};
+
 class CheckpointJournal {
  public:
   CheckpointJournal() = default;
@@ -62,6 +81,17 @@ class CheckpointJournal {
   /// Metrics for a completed cell, or nullptr if the cell is not journaled.
   [[nodiscard]] const std::vector<core::DisparityMetrics>* find(
       const std::string& key) const;
+
+  /// Rewrite the journal at `path` down to one line per key (the latest
+  /// record wins, preserving record()'s overwrite semantics), dropping torn
+  /// or malformed lines — this bounds resume replay cost for long-lived
+  /// million-cell journals that re-recorded cells many times. Keys keep
+  /// their first-appearance order. The rewrite goes through the same
+  /// write-to-temporary + fsync + atomic-rename discipline as open(), so a
+  /// kill mid-compaction leaves either the old file or the new one, never a
+  /// torn hybrid. Must not race an open appender on the same file.
+  [[nodiscard]] static StatusOr<JournalCompactionStats> compact_file(
+      const std::string& path);
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   /// Lines dropped during open() (torn tail from a kill, or corruption).

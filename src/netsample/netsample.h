@@ -81,6 +81,13 @@
 #include "exper/parallel.h"    // IWYU pragma: export
 #include "exper/runner.h"      // IWYU pragma: export
 
+// Sharded multi-process sweeps over a memory-mapped trace store.
+#include "shard/coordinator.h"  // IWYU pragma: export
+#include "shard/grid.h"         // IWYU pragma: export
+#include "shard/protocol.h"     // IWYU pragma: export
+#include "shard/store.h"        // IWYU pragma: export
+#include "shard/worker.h"       // IWYU pragma: export
+
 // Streaming scorer.
 #include "stream/engine.h"    // IWYU pragma: export
 #include "stream/pipeline.h"  // IWYU pragma: export

@@ -1,0 +1,514 @@
+#include "shard/coordinator.h"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <deque>
+#include <map>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "shard/protocol.h"
+#include "shard/store.h"
+#include "shard/worker.h"
+
+namespace netsample::shard {
+
+std::size_t ShardReport::ok_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cells) {
+    if (c.status.is_ok()) ++n;
+  }
+  return n;
+}
+
+std::size_t ShardReport::from_journal_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cells) {
+    if (c.from_journal) ++n;
+  }
+  return n;
+}
+
+bool ShardReport::all_ok() const { return ok_count() == cells.size(); }
+
+Status ShardReport::first_failure() const {
+  for (const auto& c : cells) {
+    if (!c.status.is_ok()) return c.status;
+  }
+  return Status::ok();
+}
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// How many leases a worker holds at once. Depth 2 hides the lease round
+// trip: the next cell is already queued on the pipe while the current one
+// computes. Results stay deterministic at any depth (seeds are positional).
+constexpr std::size_t kLeaseDepth = 2;
+
+enum CellState : unsigned char { kPending = 0, kLeased, kDone };
+
+struct WorkerProc {
+  pid_t pid{-1};
+  int to{-1};    // coordinator -> worker (their stdin in exec mode)
+  int from{-1};  // worker -> coordinator
+  bool alive{false};
+  std::string buf;  // partial-line accumulation
+  std::vector<std::uint64_t> outstanding;
+  std::map<std::uint64_t, Clock::time_point> lease_sent;
+  std::uint64_t results{0};
+};
+
+bool write_all_fd(int fd, const std::string& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t w = ::write(fd, data.data() + off, data.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+void close_fd(int& fd) {
+  if (fd >= 0) {
+    ::close(fd);
+    fd = -1;
+  }
+}
+
+/// Owns the worker processes; whatever is still alive at destruction gets
+/// SIGKILL'd and reaped, so no abort path leaks children.
+struct WorkerSet {
+  std::vector<WorkerProc> procs;
+
+  ~WorkerSet() {
+    for (auto& w : procs) {
+      if (!w.alive) continue;
+      close_fd(w.to);
+      close_fd(w.from);
+      ::kill(w.pid, SIGKILL);
+      int st = 0;
+      ::waitpid(w.pid, &st, 0);
+      w.alive = false;
+    }
+  }
+};
+
+}  // namespace
+
+StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
+                                        const CoordinatorOptions& opts) {
+  if (opts.workers < 1) {
+    return Status(StatusCode::kInvalidArgument,
+                  "coordinator: --workers must be >= 1");
+  }
+  // A worker death between our poll() and our write() must surface as
+  // EPIPE, not kill the coordinator.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  // Opening the store here both validates it before any process is spawned
+  // and provides the grid geometry (keys embed the interval length).
+  StoreBackend& backend = store_backend(opts.backend);
+  auto opened = TraceStore::open(opts.store_path, backend);
+  if (!opened.has_value()) return opened.status();
+  const TraceStore store = std::move(*opened);
+
+  const std::vector<exper::GridTask> grid = build_grid(
+      spec, store.view(), store.mean_interarrival_usec(), &store.cache());
+  const std::size_t n = grid.size();
+  std::vector<std::string> keys(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys[i] = grid_journal_key(grid[i], spec.base_seed);
+  }
+
+  ShardReport report;
+  report.cells.resize(n);
+  std::vector<CellState> state(n, kPending);
+  std::deque<std::uint64_t> pending;
+  std::size_t done_count = 0;
+
+  // Journal replay, exactly as ParallelRunner::run: already-committed cells
+  // never reach a worker.
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::vector<core::DisparityMetrics>* reps =
+        opts.journal != nullptr ? opts.journal->find(keys[i]) : nullptr;
+    if (reps != nullptr) {
+      report.cells[i].status = Status::ok();
+      report.cells[i].replications = *reps;
+      report.cells[i].from_journal = true;
+      state[i] = kDone;
+      ++done_count;
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    static obs::Counter& cells_total =
+        reg.counter("netsample_shard_cells_total");
+    static obs::Counter& replayed =
+        reg.counter("netsample_shard_cells_from_journal_total");
+    cells_total.add(n);
+    replayed.add(done_count);
+  }
+
+  // Task-order journal commit cursor (the exactly-once point). Cells are
+  // recorded strictly in task order no matter what order RESULTs arrive,
+  // so the journal file is byte-identical to the threaded single-process
+  // run's. Replayed cells are skipped (they are already on disk).
+  std::size_t next_journal = 0;
+  const auto advance_journal = [&] {
+    while (next_journal < n && state[next_journal] == kDone) {
+      const ShardCellOutcome& out = report.cells[next_journal];
+      if (!out.from_journal && out.status.is_ok() && opts.journal != nullptr) {
+        // A checkpoint write failure does not invalidate the computed cell;
+        // it only costs re-execution on a future resume.
+        (void)opts.journal->record(keys[next_journal], out.replications);
+      }
+      ++next_journal;
+    }
+  };
+  advance_journal();
+  if (done_count == n) return report;  // fully served from the journal
+
+  Message spec_msg;
+  spec_msg.type = MessageType::kSpec;
+  spec_msg.text = encode_sweep_spec(spec);
+  const std::string spec_wire = format_message(spec_msg) + "\n";
+
+  WorkerSet set;
+  set.procs.resize(static_cast<std::size_t>(opts.workers));
+  int respawns_left = opts.max_respawns;
+  bool first_spawn_done = false;
+
+  // Spawn (or respawn) one worker into `slot` and send it the SPEC.
+  const auto spawn = [&](std::size_t slot) -> bool {
+    int c2w[2] = {-1, -1};
+    int w2c[2] = {-1, -1};
+    if (::pipe(c2w) != 0) return false;
+    if (::pipe(w2c) != 0) {
+      ::close(c2w[0]);
+      ::close(c2w[1]);
+      return false;
+    }
+    const bool give_die_after =
+        !first_spawn_done && opts.first_worker_die_after >= 0;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(c2w[0]);
+      ::close(c2w[1]);
+      ::close(w2c[0]);
+      ::close(w2c[1]);
+      return false;
+    }
+    if (pid == 0) {
+      // Child. Drop every parent-side descriptor we inherited — our own
+      // pipe's far ends (so EOF propagates) and every sibling's (so a
+      // sibling's death is visible to the coordinator as EOF).
+      ::close(c2w[1]);
+      ::close(w2c[0]);
+      for (const auto& other : set.procs) {
+        if (other.to >= 0) ::close(other.to);
+        if (other.from >= 0) ::close(other.from);
+      }
+      if (!opts.worker_command.empty()) {
+        ::dup2(c2w[0], STDIN_FILENO);
+        ::dup2(w2c[1], STDOUT_FILENO);
+        ::close(c2w[0]);
+        ::close(w2c[1]);
+        std::vector<std::string> argv_s = opts.worker_command;
+        argv_s.push_back("--store");
+        argv_s.push_back(opts.store_path);
+        argv_s.push_back("--store-backend");
+        argv_s.push_back(opts.backend);
+        std::vector<char*> argv;
+        argv.reserve(argv_s.size() + 1);
+        for (auto& a : argv_s) argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+      }
+      WorkerOptions wopts;
+      wopts.store_path = opts.store_path;
+      wopts.backend = opts.backend;
+      if (give_die_after) wopts.die_after_cells = opts.first_worker_die_after;
+      std::FILE* fin = ::fdopen(c2w[0], "r");
+      std::FILE* fout = ::fdopen(w2c[1], "w");
+      if (fin == nullptr || fout == nullptr) ::_exit(127);
+      const Status st = run_worker(wopts, fin, fout);
+      ::_exit(st.is_ok() ? 0 : 70);
+    }
+    // Parent.
+    ::close(c2w[0]);
+    ::close(w2c[1]);
+    WorkerProc& w = set.procs[slot];
+    w = WorkerProc{};
+    w.pid = pid;
+    w.to = c2w[1];
+    w.from = w2c[0];
+    w.alive = true;
+    ++report.workers_spawned;
+    first_spawn_done = true;
+    (void)write_all_fd(w.to, spec_wire);
+    return true;
+  };
+
+  const auto live_count = [&] {
+    std::size_t c = 0;
+    for (const auto& w : set.procs) {
+      if (w.alive) ++c;
+    }
+    return c;
+  };
+
+  // Top a worker up to kLeaseDepth outstanding leases.
+  const auto grant = [&](WorkerProc& w) {
+    while (w.alive && !pending.empty() && w.outstanding.size() < kLeaseDepth) {
+      const std::uint64_t idx = pending.front();
+      pending.pop_front();
+      state[idx] = kLeased;
+      w.outstanding.push_back(idx);
+      w.lease_sent[idx] = Clock::now();
+      ++report.leases_granted;
+      Message lease;
+      lease.type = MessageType::kLease;
+      lease.index = idx;
+      (void)write_all_fd(w.to, format_message(lease) + "\n");
+    }
+  };
+  const auto refill_all = [&] {
+    for (auto& w : set.procs) {
+      if (w.alive) grant(w);
+    }
+  };
+
+  // A worker is gone (EOF / kill observed). Reap it and put its leases back
+  // at the FRONT of the queue in ascending order, so recovery recomputes
+  // the earliest missing cells first and the journal cursor unblocks soonest.
+  const auto handle_death = [&](WorkerProc& w, bool expected) {
+    close_fd(w.to);
+    close_fd(w.from);
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    w.alive = false;
+    if (!expected) ++report.workers_died;
+    std::sort(w.outstanding.begin(), w.outstanding.end());
+    for (auto it = w.outstanding.rbegin(); it != w.outstanding.rend(); ++it) {
+      state[*it] = kPending;
+      pending.push_front(*it);
+      ++report.reassignments;
+    }
+    w.outstanding.clear();
+    w.lease_sent.clear();
+  };
+
+  // Chaos: SIGKILL a worker that is mid-lease. Death is then observed via
+  // the normal EOF path — the coordinator takes no shortcut, which is the
+  // point of the test.
+  const auto maybe_chaos_kill = [&](std::uint64_t results_received) {
+    if (opts.chaos_kill_after < 0 || report.workers_killed > 0) return;
+    if (results_received <
+        static_cast<std::uint64_t>(opts.chaos_kill_after)) {
+      return;
+    }
+    for (auto& w : set.procs) {
+      if (w.alive && !w.outstanding.empty()) {
+        ::kill(w.pid, SIGKILL);
+        ++report.workers_killed;
+        return;
+      }
+    }
+  };
+
+  for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
+    if (!spawn(slot)) {
+      return Status(StatusCode::kInternal,
+                    std::string("coordinator: cannot spawn worker: ") +
+                        std::strerror(errno));
+    }
+  }
+  refill_all();
+
+  std::uint64_t results_received = 0;
+
+  // Event loop: results, failures, deaths.
+  while (done_count < n) {
+    if (pending.size() + /*leased*/ 0 > 0 || true) {
+      // If everything still pending has nowhere to run, respawn or give up.
+      while (!pending.empty() && live_count() < set.procs.size() &&
+             respawns_left > 0) {
+        --respawns_left;
+        for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
+          if (!set.procs[slot].alive) {
+            (void)spawn(slot);
+            break;
+          }
+        }
+        refill_all();
+      }
+      if (live_count() == 0) {
+        // No workers and no way to make more: quarantine what's left.
+        for (std::size_t i = 0; i < n; ++i) {
+          if (state[i] != kDone) {
+            report.cells[i].status =
+                Status(StatusCode::kInternal,
+                       "coordinator: no live workers (respawn budget spent)");
+            state[i] = kDone;
+            ++done_count;
+          }
+        }
+        break;
+      }
+    }
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> fd_slot;
+    for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
+      if (set.procs[slot].alive) {
+        fds.push_back(pollfd{set.procs[slot].from, POLLIN, 0});
+        fd_slot.push_back(slot);
+      }
+    }
+    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (rc < 0) {
+      if (errno == EINTR) continue;
+      return Status(StatusCode::kInternal,
+                    std::string("coordinator: poll: ") + std::strerror(errno));
+    }
+
+    for (std::size_t f = 0; f < fds.size(); ++f) {
+      if (fds[f].revents == 0) continue;
+      WorkerProc& w = set.procs[fd_slot[f]];
+      if (!w.alive) continue;
+      char chunk[65536];
+      const ssize_t got = ::read(w.from, chunk, sizeof chunk);
+      if (got < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        handle_death(w, /*expected=*/false);
+        continue;
+      }
+      if (got == 0) {
+        handle_death(w, /*expected=*/false);
+        continue;
+      }
+      w.buf.append(chunk, static_cast<std::size_t>(got));
+
+      std::size_t nl = 0;
+      while ((nl = w.buf.find('\n')) != std::string::npos) {
+        const std::string line = w.buf.substr(0, nl);
+        w.buf.erase(0, nl + 1);
+        Message msg;
+        if (!parse_message(line, &msg)) {
+          // A worker emitting garbage is as dead to us as a killed one.
+          ::kill(w.pid, SIGKILL);
+          handle_death(w, /*expected=*/false);
+          break;
+        }
+        if (msg.type == MessageType::kHello) {
+          report.worker_cache_builds += msg.cache_builds;
+          report.worker_cache_maps += msg.cache_maps;
+          continue;
+        }
+        if (msg.type != MessageType::kResult &&
+            msg.type != MessageType::kFail) {
+          continue;  // BYE outside shutdown: ignore
+        }
+        const std::uint64_t idx = msg.index;
+        if (idx >= n || state[idx] == kDone) continue;  // stale/duplicate
+        const auto sent = w.lease_sent.find(idx);
+        if (obs::enabled() && sent != w.lease_sent.end()) {
+          static obs::HistogramMetric& lease_hist = obs::registry().histogram(
+              "netsample_shard_lease_seconds", obs::duration_bin_edges(),
+              obs::Determinism::kNondeterministic);
+          lease_hist.observe(
+              std::chrono::duration<double>(Clock::now() - sent->second)
+                  .count());
+        }
+        if (sent != w.lease_sent.end()) w.lease_sent.erase(sent);
+        w.outstanding.erase(
+            std::remove(w.outstanding.begin(), w.outstanding.end(), idx),
+            w.outstanding.end());
+
+        ShardCellOutcome& out = report.cells[idx];
+        if (msg.type == MessageType::kResult) {
+          std::vector<core::DisparityMetrics> reps;
+          if (exper::decode_replications(msg.text, &reps)) {
+            out.status = Status::ok();
+            out.replications = std::move(reps);
+          } else {
+            out.status = Status(StatusCode::kInternal,
+                                "coordinator: undecodable result payload");
+          }
+          ++w.results;
+        } else {
+          out.status = Status(msg.code, msg.text);
+        }
+        state[idx] = kDone;
+        ++done_count;
+        ++results_received;
+        advance_journal();
+        maybe_chaos_kill(results_received);
+        grant(w);
+      }
+    }
+  }
+
+  // Orderly shutdown: STOP everyone, drain BYEs, reap.
+  for (auto& w : set.procs) {
+    if (!w.alive) continue;
+    Message stop;
+    stop.type = MessageType::kStop;
+    (void)write_all_fd(w.to, format_message(stop) + "\n");
+    close_fd(w.to);  // EOF backs the STOP up
+  }
+  for (auto& w : set.procs) {
+    if (!w.alive) continue;
+    char chunk[4096];
+    while (true) {
+      const ssize_t got = ::read(w.from, chunk, sizeof chunk);
+      if (got > 0) continue;  // BYE and stragglers; content irrelevant now
+      if (got < 0 && errno == EINTR) continue;
+      break;
+    }
+    close_fd(w.from);
+    int st = 0;
+    ::waitpid(w.pid, &st, 0);
+    w.alive = false;
+  }
+
+  if (obs::enabled()) {
+    auto& reg = obs::registry();
+    using obs::Determinism;
+    static obs::Counter& leases = reg.counter(
+        "netsample_shard_leases_total", Determinism::kNondeterministic);
+    static obs::Counter& reassigned = reg.counter(
+        "netsample_shard_reassignments_total", Determinism::kNondeterministic);
+    static obs::Counter& spawned = reg.counter(
+        "netsample_shard_workers_spawned_total",
+        Determinism::kNondeterministic);
+    static obs::Counter& died = reg.counter(
+        "netsample_shard_workers_died_total", Determinism::kNondeterministic);
+    static obs::Gauge& builds = reg.gauge(
+        "netsample_shard_worker_cache_builds", Determinism::kNondeterministic);
+    leases.add(report.leases_granted);
+    reassigned.add(report.reassignments);
+    spawned.add(report.workers_spawned);
+    died.add(report.workers_died);
+    builds.set(static_cast<double>(report.worker_cache_builds));
+  }
+  return report;
+}
+
+}  // namespace netsample::shard

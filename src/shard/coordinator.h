@@ -1,0 +1,96 @@
+// The coordinator half of a sharded sweep.
+//
+// One coordinator process owns the grid, the checkpoint journal, and N
+// worker processes. Work is handed out as LEASEs (grid indices) over pipes;
+// results stream back and are committed to the journal BY THE COORDINATOR
+// ONLY, in task order — workers are stateless, so the exactly-once contract
+// reduces to "a cell is journaled exactly when its RESULT was accepted",
+// and a worker SIGKILL'd mid-cell just gets its outstanding leases handed
+// to someone else (reassigned, counted, never double-committed).
+//
+// Determinism: a cell's seed derives from its grid coordinates
+// (derived_cell_config), never from which worker ran it or in what order
+// results arrived, so a W-worker sweep is bit-identical to the --jobs J
+// threaded sweep for any W and J — tables, journal contents, and
+// selected-index sets. docs/SHARDING.md spells out the protocol and the
+// failure matrix.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "exper/journal.h"
+#include "shard/grid.h"
+#include "util/status.h"
+
+namespace netsample::shard {
+
+struct CoordinatorOptions {
+  /// Worker processes to spawn (>= 1).
+  int workers{2};
+  /// Prebuilt TraceStore every worker opens (see write_trace_store).
+  std::string store_path;
+  /// StoreBackend name the workers (and the coordinator itself) use.
+  std::string backend{"mmap"};
+  /// Optional commit log. Journaled cells are served without leasing;
+  /// completed cells are recorded in task order, matching what
+  /// ParallelRunner::run would have written for the same grid.
+  exper::CheckpointJournal* journal{nullptr};
+  /// argv for exec'd workers (argv[0] is the binary; "--store"/"--store-
+  /// backend" are appended). Empty selects fork-only mode: the child calls
+  /// run_worker directly with no exec — what the bench harness uses.
+  std::vector<std::string> worker_command;
+  /// Deterministic chaos: after accepting this many RESULTs, SIGKILL one
+  /// worker that still has outstanding leases (< 0 disables). The kill is
+  /// a real SIGKILL; the victim's leases are reassigned and the sweep must
+  /// still finish bit-identically — CI's multiproc ASan leg runs this.
+  int chaos_kill_after{-1};
+  /// Replacement spawns allowed after unexpected worker deaths before the
+  /// remaining cells are failed with kInternal.
+  int max_respawns{8};
+  /// Per-worker die-after-N-cells chaos forwarded to fork-only workers
+  /// (WorkerOptions::die_after_cells) — applied to the FIRST spawned worker
+  /// only, initial spawn only, so tests can script exactly one mid-sweep
+  /// death without signals. < 0 disables.
+  int first_worker_die_after{-1};
+};
+
+/// Outcome of one grid cell, in task order.
+struct ShardCellOutcome {
+  Status status;
+  std::vector<core::DisparityMetrics> replications;
+  bool from_journal{false};
+};
+
+struct ShardReport {
+  std::vector<ShardCellOutcome> cells;
+
+  // Scheduling facts (nondeterministic under failures; reported for
+  // observability, never for results).
+  std::uint64_t leases_granted{0};
+  std::uint64_t reassignments{0};
+  std::uint64_t workers_spawned{0};
+  std::uint64_t workers_killed{0};  // chaos kills we initiated
+  std::uint64_t workers_died{0};    // unexpected deaths observed
+  /// Summed from worker HELLOs: re-bins performed by workers (the
+  /// zero-re-binning acceptance: stays 0) and store mappings.
+  std::uint64_t worker_cache_builds{0};
+  std::uint64_t worker_cache_maps{0};
+
+  [[nodiscard]] std::size_t ok_count() const;
+  [[nodiscard]] std::size_t from_journal_count() const;
+  [[nodiscard]] bool all_ok() const;
+  /// Status of the lowest-index failed cell (OK when none failed).
+  [[nodiscard]] Status first_failure() const;
+};
+
+/// Run `spec` over the store with `opts.workers` processes. Returns a
+/// non-OK status only for coordinator-level failures (store invalid, spawn
+/// impossible); per-cell failures and worker deaths are quarantined inside
+/// the report instead.
+[[nodiscard]] StatusOr<ShardReport> run_sharded_sweep(
+    const SweepSpec& spec, const CoordinatorOptions& opts);
+
+}  // namespace netsample::shard

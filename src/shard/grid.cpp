@@ -1,0 +1,207 @@
+#include "shard/grid.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#include "exper/journal.h"
+#include "exper/runner.h"
+
+namespace netsample::shard {
+
+SweepSpec default_sweep_spec() {
+  SweepSpec spec;
+  spec.targets = {core::Target::kPacketSize, core::Target::kInterarrivalTime};
+  spec.methods = {core::Method::kSystematicCount, core::Method::kStratifiedCount,
+                  core::Method::kSimpleRandom, core::Method::kSystematicTimer,
+                  core::Method::kStratifiedTimer};
+  spec.granularities = exper::granularity_ladder();
+  return spec;
+}
+
+const char* method_token(core::Method m) {
+  switch (m) {
+    case core::Method::kSystematicCount: return "systematic";
+    case core::Method::kStratifiedCount: return "stratified";
+    case core::Method::kSimpleRandom: return "random";
+    case core::Method::kSystematicTimer: return "timer-systematic";
+    case core::Method::kStratifiedTimer: return "timer-stratified";
+  }
+  throw std::invalid_argument("unknown method");
+}
+
+core::Method parse_method_token(const std::string& token) {
+  if (token == "systematic") return core::Method::kSystematicCount;
+  if (token == "stratified") return core::Method::kStratifiedCount;
+  if (token == "random") return core::Method::kSimpleRandom;
+  if (token == "timer-systematic") return core::Method::kSystematicTimer;
+  if (token == "timer-stratified") return core::Method::kStratifiedTimer;
+  throw std::invalid_argument(
+      "unknown method '" + token +
+      "' (expected systematic|stratified|random|timer-systematic|"
+      "timer-stratified)");
+}
+
+const char* target_token(core::Target t) {
+  return t == core::Target::kPacketSize ? "size" : "iat";
+}
+
+core::Target parse_target_token(const std::string& token) {
+  if (token == "size") return core::Target::kPacketSize;
+  if (token == "iat") return core::Target::kInterarrivalTime;
+  throw std::invalid_argument("unknown target '" + token +
+                              "' (expected size|iat)");
+}
+
+namespace {
+
+std::vector<std::string> split(const std::string& text, char sep) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find(sep, start);
+    if (end == std::string::npos) {
+      out.push_back(text.substr(start));
+      break;
+    }
+    out.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return out;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+std::string encode_sweep_spec(const SweepSpec& spec) {
+  std::string out = "v=1;seed=";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, spec.base_seed);
+  out += buf;
+  std::snprintf(buf, sizeof buf, ";reps=%d;targets=", spec.replications);
+  out += buf;
+  for (std::size_t i = 0; i < spec.targets.size(); ++i) {
+    if (i != 0) out += ',';
+    out += target_token(spec.targets[i]);
+  }
+  out += ";methods=";
+  for (std::size_t i = 0; i < spec.methods.size(); ++i) {
+    if (i != 0) out += ',';
+    out += method_token(spec.methods[i]);
+  }
+  out += ";k=";
+  for (std::size_t i = 0; i < spec.granularities.size(); ++i) {
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof buf, "%" PRIu64, spec.granularities[i]);
+    out += buf;
+  }
+  return out;
+}
+
+bool decode_sweep_spec(const std::string& text, SweepSpec* spec) {
+  SweepSpec parsed;
+  bool saw_v = false, saw_seed = false, saw_reps = false;
+  bool saw_targets = false, saw_methods = false, saw_k = false;
+  try {
+    for (const std::string& field : split(text, ';')) {
+      const std::size_t eq = field.find('=');
+      if (eq == std::string::npos) return false;
+      const std::string name = field.substr(0, eq);
+      const std::string value = field.substr(eq + 1);
+      std::uint64_t u = 0;
+      if (name == "v") {
+        if (value != "1") return false;
+        saw_v = true;
+      } else if (name == "seed") {
+        if (!parse_u64(value, &u)) return false;
+        parsed.base_seed = u;
+        saw_seed = true;
+      } else if (name == "reps") {
+        if (!parse_u64(value, &u) || u == 0 || u > 1000000) return false;
+        parsed.replications = static_cast<int>(u);
+        saw_reps = true;
+      } else if (name == "targets") {
+        for (const std::string& t : split(value, ',')) {
+          parsed.targets.push_back(parse_target_token(t));
+        }
+        saw_targets = true;
+      } else if (name == "methods") {
+        for (const std::string& m : split(value, ',')) {
+          parsed.methods.push_back(parse_method_token(m));
+        }
+        saw_methods = true;
+      } else if (name == "k") {
+        for (const std::string& g : split(value, ',')) {
+          if (!parse_u64(g, &u) || u == 0) return false;
+          parsed.granularities.push_back(u);
+        }
+        saw_k = true;
+      } else {
+        return false;
+      }
+    }
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  if (!(saw_v && saw_seed && saw_reps && saw_targets && saw_methods && saw_k)) {
+    return false;
+  }
+  if (parsed.cell_count() == 0) return false;
+  *spec = std::move(parsed);
+  return true;
+}
+
+std::vector<exper::GridTask> build_grid(const SweepSpec& spec,
+                                        trace::TraceView interval,
+                                        double mean_interarrival_usec,
+                                        const core::BinnedTraceCache* cache) {
+  std::vector<exper::GridTask> tasks;
+  tasks.reserve(spec.cell_count());
+  for (const core::Target target : spec.targets) {
+    for (const core::Method method : spec.methods) {
+      for (const std::uint64_t k : spec.granularities) {
+        exper::CellConfig cfg;
+        cfg.method = method;
+        cfg.target = target;
+        cfg.granularity = k;
+        cfg.interval = interval;
+        cfg.mean_interarrival_usec = mean_interarrival_usec;
+        cfg.replications = spec.replications;
+        cfg.base_seed = spec.base_seed;
+        cfg.cache = cache;
+        tasks.push_back(exper::GridTask{cfg, /*interval_index=*/0});
+      }
+    }
+  }
+  return tasks;
+}
+
+exper::CellConfig derived_cell_config(const exper::GridTask& task,
+                                      std::uint64_t base_seed) {
+  exper::CellConfig cfg = task.config;
+  cfg.base_seed = exper::task_seed(base_seed, cfg.method, cfg.granularity,
+                                   task.interval_index);
+  cfg.cancel = nullptr;
+  return cfg;
+}
+
+std::string grid_journal_key(const exper::GridTask& task,
+                             std::uint64_t base_seed) {
+  return exper::cell_journal_key(derived_cell_config(task, base_seed),
+                                 task.interval_index);
+}
+
+}  // namespace netsample::shard

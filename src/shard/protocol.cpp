@@ -1,0 +1,125 @@
+#include "shard/protocol.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+namespace netsample::shard {
+
+namespace {
+
+std::string u64_str(std::uint64_t v) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "%" PRIu64, v);
+  return buf;
+}
+
+/// Consume "<u64>" at p (advancing past it); false unless at least one
+/// digit was parsed.
+bool eat_u64(const char*& p, std::uint64_t* out) {
+  if (*p < '0' || *p > '9') return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(p, &end, 10);
+  if (errno != 0) return false;
+  p = end;
+  *out = v;
+  return true;
+}
+
+bool eat(const char*& p, const char* literal) {
+  const char* q = literal;
+  while (*q != '\0') {
+    if (*p != *q) return false;
+    ++p;
+    ++q;
+  }
+  return true;
+}
+
+bool eat_field(const char*& p, const char* name, std::uint64_t* out) {
+  return eat(p, name) && eat(p, "=") && eat_u64(p, out);
+}
+
+}  // namespace
+
+std::string format_message(const Message& m) {
+  switch (m.type) {
+    case MessageType::kSpec:
+      return "SPEC " + m.text;
+    case MessageType::kLease:
+      return "LEASE " + u64_str(m.index);
+    case MessageType::kStop:
+      return "STOP";
+    case MessageType::kHello:
+      return "HELLO pid=" + u64_str(m.pid) + " packets=" + u64_str(m.packets) +
+             " builds=" + u64_str(m.cache_builds) +
+             " maps=" + u64_str(m.cache_maps);
+    case MessageType::kResult:
+      return "RESULT " + u64_str(m.index) + " " + m.text;
+    case MessageType::kFail:
+      return "FAIL " + u64_str(m.index) + " " +
+             u64_str(static_cast<std::uint64_t>(m.code)) + " " + m.text;
+    case MessageType::kBye:
+      return "BYE cells=" + u64_str(m.cells);
+  }
+  return "";
+}
+
+bool parse_message(const std::string& line, Message* m) {
+  const char* p = line.c_str();
+  *m = Message{};
+  if (eat(p, "SPEC ")) {
+    m->type = MessageType::kSpec;
+    m->text = p;
+    return !m->text.empty();
+  }
+  p = line.c_str();
+  if (eat(p, "LEASE ")) {
+    m->type = MessageType::kLease;
+    return eat_u64(p, &m->index) && *p == '\0';
+  }
+  p = line.c_str();
+  if (line == "STOP") {
+    m->type = MessageType::kStop;
+    return true;
+  }
+  if (eat(p, "HELLO ")) {
+    m->type = MessageType::kHello;
+    return eat_field(p, "pid", &m->pid) && eat(p, " ") &&
+           eat_field(p, "packets", &m->packets) && eat(p, " ") &&
+           eat_field(p, "builds", &m->cache_builds) && eat(p, " ") &&
+           eat_field(p, "maps", &m->cache_maps) && *p == '\0';
+  }
+  p = line.c_str();
+  if (eat(p, "RESULT ")) {
+    m->type = MessageType::kResult;
+    if (!eat_u64(p, &m->index) || !eat(p, " ")) return false;
+    m->text = p;
+    return !m->text.empty();
+  }
+  p = line.c_str();
+  if (eat(p, "FAIL ")) {
+    m->type = MessageType::kFail;
+    std::uint64_t code = 0;
+    if (!eat_u64(p, &m->index) || !eat(p, " ") || !eat_u64(p, &code) ||
+        !eat(p, " ")) {
+      return false;
+    }
+    if (code > static_cast<std::uint64_t>(StatusCode::kDeadlineExceeded)) {
+      return false;
+    }
+    m->code = static_cast<StatusCode>(code);
+    m->text = p;  // may legitimately be empty
+    return true;
+  }
+  p = line.c_str();
+  if (eat(p, "BYE ")) {
+    m->type = MessageType::kBye;
+    return eat_field(p, "cells", &m->cells) && *p == '\0';
+  }
+  return false;
+}
+
+}  // namespace netsample::shard

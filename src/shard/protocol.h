@@ -1,0 +1,67 @@
+// Coordinator <-> worker line protocol.
+//
+// One newline-terminated ASCII message per line over a pair of pipes (or
+// any byte stream — the transport is whatever spawned the worker). The
+// coordinator is the only journal writer; workers are stateless lease
+// executors, so the exactly-once story lives entirely on the coordinator
+// side (docs/SHARDING.md).
+//
+//   coordinator -> worker
+//     SPEC <encoded-sweep-spec>     the grid to rebuild (grid.h codec)
+//     LEASE <task-index>            run grid cell <task-index>
+//     STOP                          finish up; worker answers BYE and exits
+//
+//   worker -> coordinator
+//     HELLO pid=<pid> packets=<n> builds=<b> maps=<m>
+//                                   store opened; b/m are the worker's
+//                                   trace-cache build/map counters (the
+//                                   zero-re-binning assertion: b == 0)
+//     RESULT <task-index> <reps>    cell done; <reps> is the journal's
+//                                   hexfloat replication codec, bit-exact
+//     FAIL <task-index> <code> <message...>
+//                                   cell failed with StatusCode <code>
+//     BYE cells=<count>             response to STOP
+//
+// parse_message is strict: any malformed line fails the parse, and the
+// coordinator treats a worker that emits one as dead (its leases are
+// reassigned) — a half-written line from a killed worker can never corrupt
+// a result.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/status.h"
+
+namespace netsample::shard {
+
+enum class MessageType {
+  kSpec,
+  kLease,
+  kStop,
+  kHello,
+  kResult,
+  kFail,
+  kBye,
+};
+
+struct Message {
+  MessageType type{MessageType::kStop};
+  std::uint64_t index{0};         // LEASE / RESULT / FAIL
+  StatusCode code{StatusCode::kOk};  // FAIL
+  std::uint64_t pid{0};           // HELLO
+  std::uint64_t packets{0};       // HELLO
+  std::uint64_t cache_builds{0};  // HELLO
+  std::uint64_t cache_maps{0};    // HELLO
+  std::uint64_t cells{0};         // BYE
+  std::string text;               // SPEC payload / RESULT reps / FAIL message
+};
+
+/// The wire line for a message, WITHOUT the trailing newline.
+[[nodiscard]] std::string format_message(const Message& m);
+
+/// Strict parse of one line (no trailing newline). Returns false on any
+/// mismatch; *m is unspecified then.
+[[nodiscard]] bool parse_message(const std::string& line, Message* m);
+
+}  // namespace netsample::shard

@@ -1,0 +1,151 @@
+#include "shard/worker.h"
+
+#include <unistd.h>
+
+#include <csignal>
+#include <cstdlib>
+#include <exception>
+#include <vector>
+
+#include "exper/journal.h"
+#include "exper/runner.h"
+#include "obs/metrics.h"
+#include "shard/grid.h"
+#include "shard/protocol.h"
+#include "shard/store.h"
+
+namespace netsample::shard {
+
+namespace {
+
+bool send_line(std::FILE* out, const Message& m) {
+  const std::string line = format_message(m) + "\n";
+  return std::fwrite(line.data(), 1, line.size(), out) == line.size() &&
+         std::fflush(out) == 0;
+}
+
+/// Next newline-terminated line from `in`; false on EOF/error. Uses POSIX
+/// getline so RESULT-sized payloads never truncate.
+bool read_line(std::FILE* in, std::string* line) {
+  char* buf = nullptr;
+  std::size_t cap = 0;
+  const ssize_t n = ::getline(&buf, &cap, in);
+  if (n < 0) {
+    std::free(buf);
+    return false;
+  }
+  line->assign(buf, static_cast<std::size_t>(n));
+  std::free(buf);
+  while (!line->empty() && (line->back() == '\n' || line->back() == '\r')) {
+    line->pop_back();
+  }
+  return true;
+}
+
+std::uint64_t counter_value(const char* name) {
+  if (!obs::enabled()) return 0;
+  return obs::registry().counter(name).value();
+}
+
+}  // namespace
+
+Status run_worker(const WorkerOptions& opts, std::FILE* in, std::FILE* out) {
+  // A coordinator that died mid-read must surface as a write error, not a
+  // process-killing SIGPIPE.
+  std::signal(SIGPIPE, SIG_IGN);
+
+  StoreBackend& backend = store_backend(opts.backend);
+  auto opened = TraceStore::open(opts.store_path, backend);
+  if (!opened.has_value()) return opened.status();
+  const TraceStore store = std::move(*opened);
+
+  Message hello;
+  hello.type = MessageType::kHello;
+  hello.pid = static_cast<std::uint64_t>(::getpid());
+  hello.packets = store.packet_count();
+  if (obs::enabled()) {
+    hello.cache_builds = counter_value("netsample_trace_cache_builds_total");
+    hello.cache_maps = counter_value("netsample_trace_cache_maps_total");
+  } else {
+    hello.cache_builds = 0;
+    hello.cache_maps = store.cache().mapped() ? 1 : 0;
+  }
+  if (!send_line(out, hello)) {
+    return Status(StatusCode::kInternal, "worker: coordinator pipe closed");
+  }
+
+  SweepSpec spec;
+  std::vector<exper::GridTask> grid;
+  std::uint64_t cells_done = 0;
+  std::string line;
+  while (read_line(in, &line)) {
+    if (line.empty()) continue;
+    Message msg;
+    if (!parse_message(line, &msg)) {
+      return Status(StatusCode::kInvalidArgument,
+                    "worker: malformed coordinator message");
+    }
+    switch (msg.type) {
+      case MessageType::kSpec: {
+        if (!decode_sweep_spec(msg.text, &spec)) {
+          return Status(StatusCode::kInvalidArgument,
+                        "worker: malformed sweep spec");
+        }
+        grid = build_grid(spec, store.view(), store.mean_interarrival_usec(),
+                          &store.cache());
+        break;
+      }
+      case MessageType::kLease: {
+        Message reply;
+        reply.index = msg.index;
+        if (msg.index >= grid.size()) {
+          reply.type = MessageType::kFail;
+          reply.code = StatusCode::kInvalidArgument;
+          reply.text = grid.empty() ? "lease before SPEC"
+                                    : "lease index out of range";
+        } else {
+          const exper::CellConfig cfg =
+              derived_cell_config(grid[msg.index], spec.base_seed);
+          try {
+            const exper::CellResult result = exper::run_cell(cfg);
+            reply.type = MessageType::kResult;
+            reply.text = exper::encode_replications(result.replications);
+          } catch (const StatusError& e) {
+            reply.type = MessageType::kFail;
+            reply.code = e.status().code();
+            reply.text = e.status().message();
+          } catch (const std::exception& e) {
+            reply.type = MessageType::kFail;
+            reply.code = StatusCode::kInternal;
+            reply.text = e.what();
+          }
+        }
+        if (!send_line(out, reply)) {
+          return Status(StatusCode::kInternal, "worker: coordinator pipe closed");
+        }
+        if (reply.type == MessageType::kResult) {
+          ++cells_done;
+          if (opts.die_after_cells >= 0 &&
+              cells_done >= static_cast<std::uint64_t>(opts.die_after_cells)) {
+            // Simulated SIGKILL: no flush, no unwind, no BYE.
+            ::_exit(137);
+          }
+        }
+        break;
+      }
+      case MessageType::kStop: {
+        Message bye;
+        bye.type = MessageType::kBye;
+        bye.cells = cells_done;
+        (void)send_line(out, bye);
+        return Status::ok();
+      }
+      default:
+        return Status(StatusCode::kInvalidArgument,
+                      "worker: unexpected message type");
+    }
+  }
+  return Status::ok();  // coordinator closed the pipe: orderly shutdown
+}
+
+}  // namespace netsample::shard

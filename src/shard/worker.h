@@ -1,0 +1,43 @@
+// The worker half of a sharded sweep: a stateless lease executor.
+//
+// A worker opens the shared TraceStore read-only through a StoreBackend
+// (mmap by default — zero re-binning, zero private copies of the
+// population), rebuilds the deterministic cell grid from the SPEC message,
+// and then runs whatever grid indices the coordinator leases to it,
+// answering each with the cell's replication metrics in the journal's
+// bit-exact hexfloat codec. It keeps NO durable state: the coordinator owns
+// the journal, so a worker can be SIGKILL'd at any instant and the sweep
+// still completes exactly-once.
+//
+// run_worker is both the body of `netsample worker` (exec'd workers, pipes
+// on stdin/stdout) and directly callable after a bare fork() — the bench
+// harness uses the latter to measure multi-process throughput without
+// paying exec + dynamic-loader cost per worker.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace netsample::shard {
+
+struct WorkerOptions {
+  std::string store_path;
+  std::string backend{"mmap"};
+  /// Deterministic chaos hook: after sending this many RESULTs, die with
+  /// _exit(137) — no flush, no unwind, indistinguishable from SIGKILL to
+  /// the coordinator. < 0 disables. Resume/reassignment tests script kills
+  /// at exact points with this.
+  int die_after_cells{-1};
+};
+
+/// Speak the worker protocol over `in`/`out` until STOP or EOF. Returns OK
+/// on a clean shutdown; a store that fails validation returns its open()
+/// status (kDataLoss for corrupt/truncated/mismatched stores, kNotFound for
+/// a missing file) before any message is exchanged. Throws
+/// std::invalid_argument for an unknown backend name.
+[[nodiscard]] Status run_worker(const WorkerOptions& opts, std::FILE* in,
+                                std::FILE* out);
+
+}  // namespace netsample::shard

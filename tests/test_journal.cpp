@@ -11,6 +11,7 @@
 #include <filesystem>
 #include <fstream>
 #include <limits>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -182,6 +183,89 @@ TEST(CheckpointJournal, GarbageLinesAreCountedNotFatal) {
 TEST(CheckpointJournal, OpenOnUnwritableDirectoryFails) {
   const auto j = CheckpointJournal::open("/nonexistent-dir/journal.jsonl");
   EXPECT_FALSE(j.has_value());
+}
+
+TEST(JournalCompaction, LatestWinsAndKeysKeepFirstAppearanceOrder) {
+  const std::string path = temp_path("netsample_journal_compact.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.25)}).is_ok());
+    ASSERT_TRUE(j->record("cell-b", {metrics(0.5)}).is_ok());
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.75)}).is_ok());  // supersedes
+  }
+  auto stats = CheckpointJournal::compact_file(path);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+  EXPECT_EQ(stats->lines_before, 3u);
+  EXPECT_EQ(stats->duplicate_keys, 1u);
+  EXPECT_EQ(stats->dropped_lines, 0u);
+  EXPECT_EQ(stats->lines_after, 2u);
+
+  // One line per key, cell-a first (first appearance), latest metrics win.
+  {
+    std::ifstream in(path);
+    std::string first, second, extra;
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, first)));
+    ASSERT_TRUE(static_cast<bool>(std::getline(in, second)));
+    EXPECT_FALSE(static_cast<bool>(std::getline(in, extra)));
+    EXPECT_NE(first.find("cell-a"), std::string::npos);
+    EXPECT_NE(second.find("cell-b"), std::string::npos);
+  }
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->dropped_lines(), 0u);
+  expect_exact((*j->find("cell-a"))[0], metrics(0.75));
+  expect_exact((*j->find("cell-b"))[0], metrics(0.5));
+
+  // Idempotent: a second pass finds nothing to remove and the bytes stand
+  // still (the hexfloat re-encode is exact, not merely value-preserving).
+  std::ifstream before(path, std::ios::binary);
+  std::stringstream want;
+  want << before.rdbuf();
+  auto again = CheckpointJournal::compact_file(path);
+  ASSERT_TRUE(again.has_value());
+  EXPECT_EQ(again->duplicate_keys, 0u);
+  EXPECT_EQ(again->lines_after, 2u);
+  std::ifstream after(path, std::ios::binary);
+  std::stringstream got;
+  got << after.rdbuf();
+  EXPECT_EQ(got.str(), want.str());
+  std::filesystem::remove(path);
+}
+
+TEST(JournalCompaction, DropsTornTailAndGarbage) {
+  const std::string path = temp_path("netsample_journal_compact_torn.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    ASSERT_TRUE(j->record("cell-a", {metrics(0.25)}).is_ok());
+    ASSERT_TRUE(j->record("cell-b", {metrics(0.5)}).is_ok());
+  }
+  {
+    std::ofstream out(path, std::ios::app);
+    out << "{\"key\":\"torn\",\"reps\":[{\"chi2\":\"0x1p+0\"";  // no newline
+  }
+  auto stats = CheckpointJournal::compact_file(path);
+  ASSERT_TRUE(stats.has_value()) << stats.status().to_string();
+  EXPECT_EQ(stats->lines_before, 2u);
+  EXPECT_EQ(stats->dropped_lines, 1u);
+  EXPECT_EQ(stats->lines_after, 2u);
+  auto j = CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  EXPECT_EQ(j->size(), 2u);
+  EXPECT_EQ(j->dropped_lines(), 0u);
+  ASSERT_NE(j->find("cell-a"), nullptr);
+  ASSERT_NE(j->find("cell-b"), nullptr);
+  std::filesystem::remove(path);
+}
+
+TEST(JournalCompaction, MissingFileFails) {
+  const auto stats = CheckpointJournal::compact_file(
+      temp_path("netsample_journal_compact_nope.jsonl"));
+  EXPECT_FALSE(stats.has_value());
 }
 
 TEST(CellJournalKey, EncodesEveryLogicalCoordinate) {

@@ -1,0 +1,515 @@
+// The sharded-sweep runtime (shard::): line-protocol round-trips, the
+// SweepSpec wire codec, journal-key parity between the grid helpers and the
+// threaded ParallelRunner, and the coordinator/worker determinism contract —
+// a W-worker multi-process sweep (fork-only workers over a shared mmap'd
+// TraceStore) is bit-identical to the threaded --jobs sweep at any W,
+// including when a worker dies mid-sweep and its leases are reassigned.
+#include "shard/coordinator.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "exper/journal.h"
+#include "exper/parallel.h"
+#include "shard/grid.h"
+#include "shard/protocol.h"
+#include "shard/store.h"
+#include "shard/worker.h"
+#include "synth/presets.h"
+#include "trace/summary.h"
+
+namespace netsample::shard {
+namespace {
+
+// PID-suffixed so parallel ctest processes (one per discovered test) never
+// race on the same file — the store writer stages through "<path>.tmp".
+std::string temp_path(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          (name + "." + std::to_string(::getpid())))
+      .string();
+}
+
+const trace::Trace& shared_trace() {
+  static const trace::Trace t =
+      synth::TraceModel(synth::sdsc_minutes_config(0.5, 23)).generate();
+  return t;
+}
+
+struct Fixture {
+  core::BinnedTraceCache cache;
+  double mean_iat;
+  std::string store_path;
+
+  Fixture()
+      : cache(shared_trace().view()),
+        mean_iat(trace::summarize_population(shared_trace().view())
+                     .interarrival.mean),
+        store_path(temp_path("netsample_shard_fixture.nstore")) {
+    std::filesystem::remove(store_path);
+    const double mean_size =
+        trace::summarize_population(shared_trace().view()).packet_size.mean;
+    const Status st =
+        write_trace_store(store_path, cache, mean_iat, mean_size);
+    EXPECT_TRUE(st.is_ok()) << st.to_string();
+  }
+};
+
+const Fixture& fixture() {
+  static const Fixture f;
+  return f;
+}
+
+/// A small 4-cell spec the coordinator tests share.
+SweepSpec small_spec() {
+  SweepSpec spec;
+  spec.targets = {core::Target::kPacketSize};
+  spec.methods = {core::Method::kSystematicCount, core::Method::kSimpleRandom};
+  spec.granularities = {8, 64};
+  spec.replications = 2;
+  spec.base_seed = 7;
+  return spec;
+}
+
+void expect_metrics_exact(const core::DisparityMetrics& a,
+                          const core::DisparityMetrics& b) {
+  EXPECT_EQ(a.chi2, b.chi2);
+  EXPECT_EQ(a.dof, b.dof);
+  EXPECT_EQ(a.significance, b.significance);
+  EXPECT_EQ(a.cost, b.cost);
+  EXPECT_EQ(a.rcost, b.rcost);
+  EXPECT_EQ(a.x2, b.x2);
+  EXPECT_EQ(a.avg_norm_dev, b.avg_norm_dev);
+  EXPECT_EQ(a.phi, b.phi);
+  EXPECT_EQ(a.sample_n, b.sample_n);
+  EXPECT_EQ(a.population_n, b.population_n);
+}
+
+/// The threaded reference: the exact replications ParallelRunner computes
+/// for `spec` over the in-memory (non-mapped) population.
+exper::RunReport threaded_reference(const SweepSpec& spec, int jobs) {
+  const auto& f = fixture();
+  const auto grid =
+      build_grid(spec, shared_trace().view(), f.mean_iat, &f.cache);
+  exper::ParallelRunner runner(jobs);
+  exper::RunOptions opts;
+  opts.on_error = exper::FailPolicy::kSkip;
+  return runner.run(grid, spec.base_seed, opts);
+}
+
+void expect_matches_reference(const ShardReport& got,
+                              const exper::RunReport& want) {
+  ASSERT_EQ(got.cells.size(), want.cells.size());
+  for (std::size_t i = 0; i < want.cells.size(); ++i) {
+    ASSERT_TRUE(got.cells[i].status.is_ok())
+        << "cell " << i << ": " << got.cells[i].status.to_string();
+    const auto& reps = want.cells[i].result.replications;
+    ASSERT_EQ(got.cells[i].replications.size(), reps.size()) << "cell " << i;
+    for (std::size_t r = 0; r < reps.size(); ++r) {
+      expect_metrics_exact(got.cells[i].replications[r], reps[r]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Protocol.
+
+TEST(ShardProtocol, RoundTripsEveryMessageType) {
+  std::vector<Message> cases;
+  Message m;
+  m.type = MessageType::kSpec;
+  m.text = encode_sweep_spec(small_spec());
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kLease;
+  m.index = 42;
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kStop;
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kHello;
+  m.pid = 1234;
+  m.packets = 99;
+  m.cache_builds = 0;
+  m.cache_maps = 1;
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kResult;
+  m.index = 3;
+  m.text = "[{0x1p+0,...}]";
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kFail;
+  m.index = 5;
+  m.code = StatusCode::kDeadlineExceeded;
+  m.text = "watchdog";
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kBye;
+  m.cells = 17;
+  cases.push_back(m);
+
+  for (const auto& original : cases) {
+    Message parsed;
+    ASSERT_TRUE(parse_message(format_message(original), &parsed))
+        << format_message(original);
+    EXPECT_EQ(parsed.type, original.type);
+    EXPECT_EQ(parsed.index, original.index);
+    EXPECT_EQ(parsed.code, original.code);
+    EXPECT_EQ(parsed.pid, original.pid);
+    EXPECT_EQ(parsed.packets, original.packets);
+    EXPECT_EQ(parsed.cache_builds, original.cache_builds);
+    EXPECT_EQ(parsed.cache_maps, original.cache_maps);
+    EXPECT_EQ(parsed.cells, original.cells);
+    EXPECT_EQ(parsed.text, original.text);
+  }
+}
+
+TEST(ShardProtocol, RejectsMalformedLines) {
+  Message m;
+  EXPECT_FALSE(parse_message("", &m));
+  EXPECT_FALSE(parse_message("LEASE ", &m));
+  EXPECT_FALSE(parse_message("LEASE 5x", &m));
+  EXPECT_FALSE(parse_message("LEASE 5 6", &m));
+  EXPECT_FALSE(parse_message("RESULT 3", &m));
+  EXPECT_FALSE(parse_message("RESULT 3 ", &m));
+  EXPECT_FALSE(parse_message("FAIL 1 99 too big a code", &m));
+  EXPECT_FALSE(parse_message("HELLO pid=1", &m));
+  EXPECT_FALSE(parse_message("SPEC ", &m));
+  EXPECT_FALSE(parse_message("NONSENSE 1", &m));
+  // FAIL with an empty message is legal (some exceptions carry none).
+  EXPECT_TRUE(parse_message("FAIL 1 4 ", &m));
+  EXPECT_EQ(m.type, MessageType::kFail);
+  EXPECT_TRUE(m.text.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Spec codec.
+
+TEST(ShardGrid, SweepSpecCodecRoundTrips) {
+  const SweepSpec original = default_sweep_spec();
+  SweepSpec decoded;
+  ASSERT_TRUE(decode_sweep_spec(encode_sweep_spec(original), &decoded));
+  EXPECT_EQ(decoded.targets, original.targets);
+  EXPECT_EQ(decoded.methods, original.methods);
+  EXPECT_EQ(decoded.granularities, original.granularities);
+  EXPECT_EQ(decoded.replications, original.replications);
+  EXPECT_EQ(decoded.base_seed, original.base_seed);
+  EXPECT_EQ(encode_sweep_spec(decoded), encode_sweep_spec(original));
+}
+
+TEST(ShardGrid, SweepSpecDecoderIsStrict) {
+  SweepSpec spec;
+  const std::string good = encode_sweep_spec(small_spec());
+  ASSERT_TRUE(decode_sweep_spec(good, &spec));
+  EXPECT_FALSE(decode_sweep_spec("", &spec));
+  EXPECT_FALSE(decode_sweep_spec("v=2;" + good.substr(4), &spec));
+  EXPECT_FALSE(decode_sweep_spec(good + ";bogus=1", &spec));
+  EXPECT_FALSE(decode_sweep_spec(
+      "v=1;seed=7;reps=0;targets=size;methods=random;k=8", &spec));
+  EXPECT_FALSE(decode_sweep_spec(
+      "v=1;seed=7;reps=2;targets=size;methods=random;k=", &spec));
+  EXPECT_FALSE(decode_sweep_spec(
+      "v=1;seed=7;reps=2;targets=size;methods=pigeon;k=8", &spec));
+  EXPECT_FALSE(
+      decode_sweep_spec("v=1;seed=7;reps=2;targets=size;k=8", &spec));
+}
+
+TEST(ShardGrid, JournalKeysMatchWhatParallelRunnerWrites) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto grid =
+      build_grid(spec, shared_trace().view(), f.mean_iat, &f.cache);
+
+  const std::string path = temp_path("netsample_shard_keys.jsonl");
+  std::filesystem::remove(path);
+  auto journal = exper::CheckpointJournal::open(path);
+  ASSERT_TRUE(journal.has_value());
+  exper::ParallelRunner runner(1);
+  exper::RunOptions opts;
+  opts.journal = &*journal;
+  const auto report = runner.run(grid, spec.base_seed, opts);
+  ASSERT_TRUE(report.all_ok());
+
+  // Every grid key resolves in the journal the runner just wrote, and the
+  // journaled replications are the cell's replications — key parity is what
+  // lets the coordinator and the threaded path share one commit log.
+  ASSERT_EQ(journal->size(), grid.size());
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const auto* reps = journal->find(grid_journal_key(grid[i], spec.base_seed));
+    ASSERT_NE(reps, nullptr) << "cell " << i;
+    ASSERT_EQ(reps->size(), report.cells[i].result.replications.size());
+    for (std::size_t r = 0; r < reps->size(); ++r) {
+      expect_metrics_exact((*reps)[r], report.cells[i].result.replications[r]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Worker over in-memory FILE*s (no fork): handshake, lease, stop.
+
+TEST(ShardWorker, SpeaksTheProtocolOverPipes) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  Message spec_msg;
+  spec_msg.type = MessageType::kSpec;
+  spec_msg.text = encode_sweep_spec(spec);
+  const std::string script = format_message(spec_msg) + "\nLEASE 0\nSTOP\n";
+  std::fwrite(script.data(), 1, script.size(), in);
+  std::rewind(in);
+
+  WorkerOptions wopts;
+  wopts.store_path = f.store_path;
+  const Status st = run_worker(wopts, in, out);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+
+  std::rewind(out);
+  std::vector<std::string> lines;
+  char buf[1 << 16];
+  while (std::fgets(buf, sizeof buf, out) != nullptr) {
+    std::string line(buf);
+    while (!line.empty() && line.back() == '\n') line.pop_back();
+    lines.push_back(line);
+  }
+  std::fclose(in);
+  std::fclose(out);
+
+  ASSERT_EQ(lines.size(), 3u);
+  Message hello, result, bye;
+  ASSERT_TRUE(parse_message(lines[0], &hello));
+  EXPECT_EQ(hello.type, MessageType::kHello);
+  EXPECT_EQ(hello.packets, shared_trace().size());
+  EXPECT_EQ(hello.cache_builds, 0u);  // mapped, never rebuilt
+  ASSERT_TRUE(parse_message(lines[1], &result));
+  ASSERT_EQ(result.type, MessageType::kResult) << lines[1];
+  EXPECT_EQ(result.index, 0u);
+  ASSERT_TRUE(parse_message(lines[2], &bye));
+  EXPECT_EQ(bye.type, MessageType::kBye);
+  EXPECT_EQ(bye.cells, 1u);
+
+  // The RESULT payload decodes to exactly what the threaded path computes
+  // for the same cell.
+  std::vector<core::DisparityMetrics> reps;
+  ASSERT_TRUE(exper::decode_replications(result.text, &reps));
+  const auto want = threaded_reference(spec, 1);
+  ASSERT_EQ(reps.size(), want.cells[0].result.replications.size());
+  for (std::size_t r = 0; r < reps.size(); ++r) {
+    expect_metrics_exact(reps[r], want.cells[0].result.replications[r]);
+  }
+}
+
+TEST(ShardWorker, LeaseOutOfRangeFailsTheCellNotTheWorker) {
+  const auto& f = fixture();
+  std::FILE* in = std::tmpfile();
+  std::FILE* out = std::tmpfile();
+  ASSERT_NE(in, nullptr);
+  ASSERT_NE(out, nullptr);
+  const std::string script = "LEASE 999\nSTOP\n";  // before any SPEC
+  std::fwrite(script.data(), 1, script.size(), in);
+  std::rewind(in);
+  WorkerOptions wopts;
+  wopts.store_path = f.store_path;
+  ASSERT_TRUE(run_worker(wopts, in, out).is_ok());
+  std::rewind(out);
+  char buf[4096];
+  ASSERT_NE(std::fgets(buf, sizeof buf, out), nullptr);  // HELLO
+  ASSERT_NE(std::fgets(buf, sizeof buf, out), nullptr);  // FAIL
+  Message fail;
+  std::string line(buf);
+  while (!line.empty() && line.back() == '\n') line.pop_back();
+  ASSERT_TRUE(parse_message(line, &fail)) << line;
+  EXPECT_EQ(fail.type, MessageType::kFail);
+  EXPECT_EQ(fail.code, StatusCode::kInvalidArgument);
+  std::fclose(in);
+  std::fclose(out);
+}
+
+// ---------------------------------------------------------------------------
+// Coordinator: multi-process bit-identity and failure drills.
+
+TEST(ShardCoordinator, BitIdenticalToThreadedRunAtEveryWorkerCount) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto want = threaded_reference(spec, 2);
+  ASSERT_TRUE(want.all_ok());
+  for (const int workers : {1, 2, 4}) {
+    CoordinatorOptions opts;
+    opts.workers = workers;
+    opts.store_path = f.store_path;
+    auto got = run_sharded_sweep(spec, opts);
+    ASSERT_TRUE(got.has_value()) << got.status().to_string();
+    expect_matches_reference(*got, want);
+    EXPECT_EQ(got->worker_cache_builds, 0u) << "W=" << workers;
+    EXPECT_EQ(got->workers_spawned, static_cast<std::uint64_t>(workers));
+    EXPECT_EQ(got->workers_died, 0u);
+  }
+}
+
+TEST(ShardCoordinator, WorkerDeathMidSweepReassignsAndStaysBitIdentical) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto want = threaded_reference(spec, 1);
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = f.store_path;
+  opts.first_worker_die_after = 1;  // dies after its first RESULT
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, want);
+  EXPECT_EQ(got->workers_died, 1u);
+  EXPECT_GE(got->workers_spawned, 3u);  // 2 initial + >= 1 respawn
+  EXPECT_GE(got->reassignments, 1u);
+}
+
+TEST(ShardCoordinator, ChaosSigkillReassignsAndStaysBitIdentical) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto want = threaded_reference(spec, 1);
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = f.store_path;
+  opts.chaos_kill_after = 1;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, want);
+  EXPECT_EQ(got->workers_killed, 1u);
+  // Whether the kill registers as an unexpected death is racy on a grid
+  // this small: the victim's RESULT lines may already sit in the pipe, in
+  // which case its leases drain normally and the EOF is reaped during
+  // orderly shutdown. Deterministic death accounting is pinned by the
+  // first_worker_die_after tests; here the invariant is convergence.
+  EXPECT_LE(got->workers_died, 1u);
+}
+
+TEST(ShardCoordinator, SingleWorkerDeathRespawnsAndFinishes) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto want = threaded_reference(spec, 1);
+  CoordinatorOptions opts;
+  opts.workers = 1;
+  opts.store_path = f.store_path;
+  opts.first_worker_die_after = 1;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, want);
+  EXPECT_EQ(got->workers_died, 1u);
+}
+
+TEST(ShardCoordinator, RespawnBudgetExhaustionQuarantinesRemainingCells) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts;
+  opts.workers = 1;
+  opts.store_path = f.store_path;
+  opts.first_worker_die_after = 1;
+  opts.max_respawns = 0;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  EXPECT_EQ(got->ok_count(), 1u);  // the one cell completed before the death
+  EXPECT_FALSE(got->all_ok());
+  EXPECT_EQ(got->first_failure().code(), StatusCode::kInternal);
+}
+
+TEST(ShardCoordinator, JournalMatchesThreadedJournalByteForByte) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto grid =
+      build_grid(spec, shared_trace().view(), f.mean_iat, &f.cache);
+
+  const std::string threaded_path = temp_path("netsample_shard_jt.jsonl");
+  const std::string sharded_path = temp_path("netsample_shard_js.jsonl");
+  std::filesystem::remove(threaded_path);
+  std::filesystem::remove(sharded_path);
+  {
+    auto j = exper::CheckpointJournal::open(threaded_path);
+    ASSERT_TRUE(j.has_value());
+    exper::ParallelRunner runner(2);
+    exper::RunOptions ropts;
+    ropts.journal = &*j;
+    ASSERT_TRUE(runner.run(grid, spec.base_seed, ropts).all_ok());
+  }
+  {
+    auto j = exper::CheckpointJournal::open(sharded_path);
+    ASSERT_TRUE(j.has_value());
+    CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.store_path = f.store_path;
+    opts.journal = &*j;
+    auto got = run_sharded_sweep(spec, opts);
+    ASSERT_TRUE(got.has_value());
+    ASSERT_TRUE(got->all_ok());
+  }
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string a = slurp(threaded_path);
+  ASSERT_FALSE(a.empty());
+  EXPECT_EQ(a, slurp(sharded_path));
+}
+
+TEST(ShardCoordinator, FullyJournaledSweepSpawnsNoWorkers) {
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const std::string path = temp_path("netsample_shard_replay.jsonl");
+  std::filesystem::remove(path);
+  {
+    auto j = exper::CheckpointJournal::open(path);
+    ASSERT_TRUE(j.has_value());
+    CoordinatorOptions opts;
+    opts.workers = 2;
+    opts.store_path = f.store_path;
+    opts.journal = &*j;
+    ASSERT_TRUE(run_sharded_sweep(spec, opts).has_value());
+  }
+  auto j = exper::CheckpointJournal::open(path);
+  ASSERT_TRUE(j.has_value());
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = f.store_path;
+  opts.journal = &*j;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value());
+  EXPECT_TRUE(got->all_ok());
+  EXPECT_EQ(got->from_journal_count(), got->cells.size());
+  EXPECT_EQ(got->workers_spawned, 0u);
+  EXPECT_EQ(got->leases_granted, 0u);
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+}
+
+TEST(ShardCoordinator, RejectsZeroWorkers) {
+  CoordinatorOptions opts;
+  opts.workers = 0;
+  opts.store_path = fixture().store_path;
+  auto got = run_sharded_sweep(small_spec(), opts);
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ShardCoordinator, InvalidStoreSurfacesDataLossBeforeSpawning) {
+  const std::string path = temp_path("netsample_shard_badstore.nstore");
+  std::ofstream(path, std::ios::binary) << "not a store at all";
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = path;
+  auto got = run_sharded_sweep(small_spec(), opts);
+  ASSERT_FALSE(got.has_value());
+  EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+}  // namespace
+}  // namespace netsample::shard

@@ -105,7 +105,10 @@ def main():
           f"({current['machine'].get('compiler', '?')}, "
           f"{current['machine'].get('build_type', '?')})")
     print(f"{'metric':<22}{'baseline':>14}{'current':>14}{'delta':>9}")
+    # pkts_per_sec_multiproc (the sharded --workers leg) is gated only when
+    # both reports carry it, so pre-sharding baselines stay comparable.
     for key, higher_is_better in (("pkts_per_sec_best", True),
+                                  ("pkts_per_sec_multiproc", True),
                                   ("speedup", True),
                                   ("simd_speedup", True)):
         old, new = bh.get(key), ch.get(key)

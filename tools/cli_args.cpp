@@ -11,20 +11,25 @@ namespace netsample::tools {
 namespace {
 
 int checked_jobs(const std::string& source, const std::string& text) {
+  return checked_count(source, text, 4096);
+}
+
+}  // namespace
+
+int checked_count(const std::string& source, const std::string& text,
+                  int max_value) {
   errno = 0;
   char* end = nullptr;
   const long v = std::strtol(text.c_str(), &end, 10);
   if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < 0 ||
-      v > 4096) {
-    throw std::invalid_argument(source +
-                                ": expected a worker count in [0, 4096] "
-                                "(0 = one per hardware thread), got \"" +
+      v > max_value) {
+    throw std::invalid_argument(source + ": expected a worker count in [0, " +
+                                std::to_string(max_value) +
+                                "] (0 = one per hardware thread), got \"" +
                                 text + "\"");
   }
   return static_cast<int>(v);
 }
-
-}  // namespace
 
 void add_common_flags(ArgParser& args, bool with_pcap) {
   args.add_flag("jobs", "N",
@@ -41,6 +46,32 @@ void add_common_flags(ArgParser& args, bool with_pcap) {
   args.add_flag("simd", "VARIANT",
                 "force the SIMD kernel variant: scalar, avx2, or neon "
                 "(results are bit-identical; default autodetects)");
+}
+
+void add_sweep_flags(ArgParser& args) {
+  args.add_flag("workers", "N",
+                "sweep: worker processes (0 = in-process threads via --jobs)",
+                "0");
+  args.add_flag("store", "FILE",
+                "sweep/worker: trace store path (sweep default: <pcap>.nstore)");
+  args.add_flag("store-backend", "B",
+                "trace store byte source: mmap (zero-copy) or read", "mmap");
+  args.add_flag("keep-store", "",
+                "sweep: keep an auto-written store file after the run");
+  args.add_flag("methods", "LIST",
+                "sweep: comma-separated sampling methods, or 'all'", "all");
+  args.add_flag("grid-k", "LIST",
+                "sweep: comma-separated granularities, or 'ladder' "
+                "(2,4,...,32768)", "ladder");
+  args.add_flag("chaos-kill-after", "N",
+                "sweep: SIGKILL one busy worker after N accepted results "
+                "(fault drill; 0 = off)", "0");
+  args.add_flag("max-respawns", "N",
+                "sweep: replacement workers allowed after unexpected deaths",
+                "8");
+  args.add_flag("die-after", "N",
+                "worker: _exit(137) after N completed cells (fault drill; "
+                "0 = off)", "0");
 }
 
 CommonOptions read_common_options(const ArgParser& args) {

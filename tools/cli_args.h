@@ -35,6 +35,19 @@ struct CommonOptions {
 /// the capture as a positional instead.
 void add_common_flags(ArgParser& args, bool with_pcap = true);
 
+/// The sharded-sweep flag vocabulary (netsample sweep / netsample worker):
+/// --workers, --store, --store-backend, --keep-store, --methods, --grid-k,
+/// --chaos-kill-after, --max-respawns, --die-after. One declaration site so
+/// the coordinator and worker subcommands cannot drift.
+void add_sweep_flags(ArgParser& args);
+
+/// The single parser behind every process/thread count flag (--jobs,
+/// --workers, NETSAMPLE_JOBS): accepts a base-10 integer in [0, max_value],
+/// rejects non-numeric text, trailing garbage, negatives, and overflow with
+/// one uniform message. Throws std::invalid_argument (exit 64 at the CLI).
+[[nodiscard]] int checked_count(const std::string& source,
+                                const std::string& text, int max_value);
+
 /// Read the shared flags back after a successful parse(), validating ranges
 /// (--jobs in [0, 4096]) and applying side effects: --legacy-scan forces
 /// the legacy path, --metrics-out/--trace-out enable obs collection.

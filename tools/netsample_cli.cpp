@@ -10,6 +10,9 @@
 //   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
 //   netsample watch    trace.pcap --method systematic --k 50 --window 5
 //   netsample stats    metrics.json [--masked]
+//   netsample sweep    trace.pcap [--workers N] [--resume journal.ckpt]
+//   netsample worker   --store trace.nstore   (spawned by sweep, not users)
+//   netsample journal  compact journal.ckpt
 //
 // score/impair (and the figure binaries) accept --metrics-out FILE /
 // --trace-out FILE to export an observability snapshot of the run;
@@ -22,7 +25,10 @@
 // Exit codes follow the sysexits convention (see docs/ROBUSTNESS.md):
 //   0 success, 64 usage / bad input, 65 data loss (corrupt capture),
 //   70 internal failure, 75 deadline exceeded or cancelled.
+#include <unistd.h>
+
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -79,6 +85,11 @@ int usage() {
       "  impair     sweep measurement impairments and report phi degradation\n"
       "  watch      stream a capture and emit windowed phi snapshots\n"
       "  stats      pretty-print a --metrics-out JSON snapshot\n"
+      "  sweep      score the whole method x k grid, optionally sharded\n"
+      "             over --workers N processes on a memory-mapped store\n"
+      "  worker     sharded-sweep worker (spawned by sweep; speaks the\n"
+      "             lease protocol on stdin/stdout)\n"
+      "  journal    maintain checkpoint journals (journal compact FILE)\n"
       "run 'netsample <command> --help' for flags.\n";
   return kExitUsage;
 }
@@ -605,6 +616,221 @@ int cmd_stats(ArgParser& args) {
   return 0;
 }
 
+/// Comma-separated u64 list ("2,4,8"); throws on empties and zeros.
+std::vector<std::uint64_t> parse_k_list(const std::string& list) {
+  std::vector<std::uint64_t> out;
+  std::size_t pos = 0;
+  while (pos <= list.size()) {
+    const std::size_t comma = std::min(list.find(',', pos), list.size());
+    const std::string item = list.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) continue;
+    const auto v = std::stoull(item);
+    if (v == 0) throw std::invalid_argument("--grid-k: k must be >= 1");
+    out.push_back(v);
+  }
+  if (out.empty()) {
+    throw std::invalid_argument("--grid-k needs at least one granularity");
+  }
+  return out;
+}
+
+/// The sweep grid requested on the command line: the full paper grid pruned
+/// by --target / --methods / --grid-k.
+shard::SweepSpec sweep_spec_from_args(const ArgParser& args) {
+  shard::SweepSpec spec = shard::default_sweep_spec();
+  spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.replications = static_cast<int>(args.get_int("reps"));
+  const std::string which = args.get_string("target");
+  if (which == "size") {
+    spec.targets = {core::Target::kPacketSize};
+  } else if (which == "iat") {
+    spec.targets = {core::Target::kInterarrivalTime};
+  } else if (which != "both") {
+    throw std::invalid_argument("sweep --target must be both|size|iat");
+  }
+  const std::string methods = args.get_string("methods");
+  if (methods != "all") {
+    spec.methods.clear();
+    std::size_t pos = 0;
+    while (pos <= methods.size()) {
+      const std::size_t comma = std::min(methods.find(',', pos), methods.size());
+      const std::string item = methods.substr(pos, comma - pos);
+      pos = comma + 1;
+      if (!item.empty()) spec.methods.push_back(shard::parse_method_token(item));
+    }
+    if (spec.methods.empty()) {
+      throw std::invalid_argument("--methods needs at least one method");
+    }
+  }
+  const std::string ks = args.get_string("grid-k");
+  if (ks != "ladder") spec.granularities = parse_k_list(ks);
+  return spec;
+}
+
+/// Path of the running binary, for respawning ourselves as `netsample
+/// worker` (argv[0] may be bare and $PATH-relative; the exec must not be).
+std::string self_exe(const char* argv0) {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof buf - 1);
+  if (n > 0) {
+    buf[n] = '\0';
+    return buf;
+  }
+  return argv0;
+}
+
+/// `netsample sweep` — the whole method x granularity grid over one capture.
+/// --workers 0 (default) runs in-process on ParallelRunner threads (--jobs);
+/// --workers N shards the grid over N processes that mmap a shared
+/// TraceStore. Both paths print bit-identical tables and write bit-identical
+/// journals: seeds derive from grid coordinates, never from scheduling.
+/// Scheduling facts (store reuse, leases, respawns) go to stderr so stdout
+/// stays byte-diffable across worker counts.
+int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
+              const char* argv0) {
+  auto t = load(args.positionals().at(0), args);
+  if (!t) return fail(t.status());
+  exper::Experiment ex(std::move(*t));
+
+  const shard::SweepSpec spec = sweep_spec_from_args(args);
+  const int workers =
+      tools::checked_count("--workers", args.get_string("workers"), 4096);
+
+  exper::CheckpointJournal journal;
+  bool have_journal = false;
+  if (args.has("resume")) {
+    auto opened = exper::CheckpointJournal::open(args.get_string("resume"));
+    if (!opened) return fail(opened.status());
+    journal = std::move(*opened);
+    std::cout << "journal " << journal.path() << ": " << journal.size()
+              << " cells already complete";
+    if (journal.dropped_lines() > 0) {
+      std::cout << " (" << journal.dropped_lines() << " torn lines dropped)";
+    }
+    std::cout << "\n";
+    have_journal = true;
+  }
+
+  const auto grid = shard::build_grid(spec, ex.full(),
+                                      ex.mean_interarrival_usec(),
+                                      &ex.binned_cache());
+
+  exper::RunReport rr;
+  if (workers == 0) {
+    // In-process path: ParallelRunner with kSkip matches the coordinator's
+    // quarantine-and-continue semantics.
+    exper::RunOptions ropts;
+    ropts.on_error = exper::FailPolicy::kSkip;
+    if (have_journal) ropts.journal = &journal;
+    exper::ParallelRunner runner(common.jobs);
+    rr = runner.run(grid, spec.base_seed, ropts);
+  } else {
+    const std::string store_path = args.has("store")
+                                       ? args.get_string("store")
+                                       : args.positionals().at(0) + ".nstore";
+    shard::StoreBackend& backend =
+        shard::store_backend(args.get_string("store-backend"));
+    // Amortization: a valid store for this population is reused as-is; the
+    // trace is re-binned and re-serialized only when none exists yet.
+    bool wrote_store = false;
+    {
+      auto existing = shard::TraceStore::open(store_path, backend);
+      if (!existing.has_value() ||
+          existing->packet_count() != ex.population_size()) {
+        const double mean_size =
+            trace::summarize_population(ex.full()).packet_size.mean;
+        const Status st = shard::write_trace_store(
+            store_path, ex.binned_cache(), ex.mean_interarrival_usec(),
+            mean_size);
+        if (!st.is_ok()) return fail(st);
+        wrote_store = true;
+      }
+    }
+    std::cerr << "store: " << (wrote_store ? "wrote " : "reusing ")
+              << store_path << "\n";
+
+    shard::CoordinatorOptions copts;
+    copts.workers = workers;
+    copts.store_path = store_path;
+    copts.backend = args.get_string("store-backend");
+    copts.journal = have_journal ? &journal : nullptr;
+    copts.worker_command = {self_exe(argv0), "worker"};
+    const int chaos = static_cast<int>(args.get_int("chaos-kill-after"));
+    copts.chaos_kill_after = chaos > 0 ? chaos : -1;
+    copts.max_respawns = static_cast<int>(args.get_int("max-respawns"));
+
+    auto sharded = shard::run_sharded_sweep(spec, copts);
+    if (wrote_store && !args.get_bool("keep-store")) {
+      (void)std::remove(store_path.c_str());
+    }
+    if (!sharded.has_value()) return fail(sharded.status());
+
+    std::cerr << "workers: " << sharded->workers_spawned << " spawned, "
+              << sharded->leases_granted << " leases, "
+              << sharded->reassignments << " reassigned, "
+              << sharded->workers_died << " died; worker cache builds "
+              << sharded->worker_cache_builds << ", maps "
+              << sharded->worker_cache_maps << "\n";
+
+    // Re-dress the shard outcomes as a RunReport so the table renders
+    // through the exact same code path (byte-identical output).
+    rr.cells.resize(sharded->cells.size());
+    for (std::size_t i = 0; i < sharded->cells.size(); ++i) {
+      auto& cell = rr.cells[i];
+      auto& from = sharded->cells[i];
+      cell.status = from.status;
+      cell.from_journal = from.from_journal;
+      cell.attempts = from.from_journal ? 0 : 1;
+      cell.result.config = shard::derived_cell_config(grid[i], spec.base_seed);
+      cell.result.replications = std::move(from.replications);
+    }
+  }
+
+  const auto result = as_result(std::move(rr));
+  emit(result.rows, RowFormat::kAligned, std::cout);
+  for (const std::size_t i : result->quarantined()) {
+    std::cerr << "quarantined: cell " << i << " ("
+              << core::target_name(grid[i].config.target) << ") after "
+              << result->cells[i].attempts << " attempt(s): "
+              << result->cells[i].status.to_string() << "\n";
+  }
+  if (!result.ok()) return fail(result.status);
+  return 0;
+}
+
+/// `netsample worker` — one sharded-sweep worker on stdin/stdout. Not meant
+/// for interactive use; `sweep --workers N` execs these.
+int cmd_worker(ArgParser& args) {
+  if (!args.has("store")) {
+    std::cerr << "error: worker requires --store FILE\n";
+    return kExitUsage;
+  }
+  shard::WorkerOptions wopts;
+  wopts.store_path = args.get_string("store");
+  wopts.backend = args.get_string("store-backend");
+  const int die = static_cast<int>(args.get_int("die-after"));
+  wopts.die_after_cells = die > 0 ? die : -1;
+  const Status status = shard::run_worker(wopts, stdin, stdout);
+  if (!status.is_ok()) return fail(status);
+  return 0;
+}
+
+int cmd_journal(ArgParser& args) {
+  const auto& pos = args.positionals();
+  if (pos.size() != 2 || pos[0] != "compact") {
+    std::cerr << "error: usage: netsample journal compact FILE\n";
+    return kExitUsage;
+  }
+  auto stats = exper::CheckpointJournal::compact_file(pos[1]);
+  if (!stats) return fail(stats.status());
+  std::cout << "journal " << pos[1] << ": " << stats->lines_before
+            << " lines -> " << stats->lines_after << " ("
+            << stats->duplicate_keys << " superseded, " << stats->dropped_lines
+            << " torn/malformed dropped)\n";
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -676,6 +902,8 @@ int main(int argc, char** argv) {
   // shared vocabulary (tools/cli_args.h) so the CLI and the figure binaries
   // cannot drift; the capture stays positional here, hence no --pcap.
   tools::add_common_flags(args, /*with_pcap=*/false);
+  // --workers / --store / --store-backend / ... likewise (sweep + worker).
+  tools::add_sweep_flags(args);
 
   const auto status = args.parse(rest);
   if (!status.is_ok()) {
@@ -713,7 +941,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inspect" || cmd == "sample" || cmd == "score" ||
         cmd == "flows" || cmd == "charact" || cmd == "impair" ||
-        cmd == "watch") {
+        cmd == "watch" || cmd == "sweep") {
       if (args.positionals().empty()) {
         std::cerr << "error: " << cmd << " requires a pcap file argument\n";
         return kExitUsage;
@@ -724,8 +952,11 @@ int main(int argc, char** argv) {
       if (cmd == "flows") return cmd_flows(args);
       if (cmd == "impair") return cmd_impair(args);
       if (cmd == "watch") return cmd_watch(args);
+      if (cmd == "sweep") return cmd_sweep(args, common, argv[0]);
       return cmd_charact(args);
     }
+    if (cmd == "worker") return cmd_worker(args);
+    if (cmd == "journal") return cmd_journal(args);
     if (cmd == "design") return cmd_design(args);
     if (cmd == "stats") {
       if (args.positionals().empty()) {
