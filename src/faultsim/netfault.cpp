@@ -1,0 +1,346 @@
+#include "faultsim/netfault.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <deque>
+#include <thread>
+
+#include "util/rng.h"
+
+namespace netsample::faultsim {
+
+namespace {
+
+/// Handshake/shutdown verbs ride a clean wire (see header).
+bool exempt_line(const std::string& line) {
+  return line == "STOP" || line.rfind("SPEC ", 0) == 0 ||
+         line.rfind("HELLO ", 0) == 0 || line.rfind("BYE ", 0) == 0;
+}
+
+enum class LineFault { kNone, kDrop, kDup, kTrunc, kDelay };
+
+std::string fmt_prob(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parse_prob(const std::string& text, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE || v < 0.0 ||
+      v > 1.0) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text[0] < '0' || text[0] > '9') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) return false;
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+StatusOr<NetFaultSpec> parse_netfault_spec(const std::string& text) {
+  NetFaultSpec spec;
+  const auto bad = [&](const std::string& why) {
+    return Status(StatusCode::kInvalidArgument,
+                  "netfault: " + why + " in \"" + text + "\"");
+  };
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', pos), text.size());
+    const std::string item = text.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (item.empty()) {
+      if (text.empty()) break;
+      return bad("empty item");
+    }
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 == item.size()) {
+      return bad("expected key=value, got \"" + item + "\"");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    std::uint64_t u = 0;
+    if (key == "seed") {
+      if (!parse_u64(value, &spec.seed)) return bad("bad seed");
+    } else if (key == "drop") {
+      if (!parse_prob(value, &spec.drop)) return bad("bad drop probability");
+    } else if (key == "dup") {
+      if (!parse_prob(value, &spec.dup)) return bad("bad dup probability");
+    } else if (key == "trunc") {
+      if (!parse_prob(value, &spec.trunc)) return bad("bad trunc probability");
+    } else if (key == "delay") {
+      if (!parse_prob(value, &spec.delay)) return bad("bad delay probability");
+    } else if (key == "delay-ms") {
+      if (!parse_u64(value, &u) || u > 60000) return bad("bad delay-ms");
+      spec.delay_ms = static_cast<int>(u);
+    } else if (key == "disconnect-every") {
+      if (!parse_u64(value, &spec.disconnect_every)) {
+        return bad("bad disconnect-every");
+      }
+    } else if (key == "max-faults") {
+      if (!parse_u64(value, &spec.max_faults)) return bad("bad max-faults");
+    } else {
+      return bad("unknown key \"" + key + "\"");
+    }
+    if (comma == text.size()) break;
+  }
+  if (spec.drop + spec.dup + spec.trunc + spec.delay > 1.0) {
+    return bad("probabilities sum above 1");
+  }
+  return spec;
+}
+
+std::string encode_netfault_spec(const NetFaultSpec& spec) {
+  std::string out = "seed=" + std::to_string(spec.seed);
+  if (spec.drop > 0) out += ",drop=" + fmt_prob(spec.drop);
+  if (spec.dup > 0) out += ",dup=" + fmt_prob(spec.dup);
+  if (spec.trunc > 0) out += ",trunc=" + fmt_prob(spec.trunc);
+  if (spec.delay > 0) {
+    out += ",delay=" + fmt_prob(spec.delay);
+    out += ",delay-ms=" + std::to_string(spec.delay_ms);
+  }
+  if (spec.disconnect_every > 0) {
+    out += ",disconnect-every=" + std::to_string(spec.disconnect_every);
+  }
+  if (spec.max_faults > 0) {
+    out += ",max-faults=" + std::to_string(spec.max_faults);
+  }
+  return out;
+}
+
+struct NetFaultTransport::Impl {
+  NetFaultSpec spec;
+  std::unique_ptr<shard::Transport> inner;
+  Rng rng;
+  std::uint64_t prob_faults{0};
+  std::deque<std::string> pending;  // duplicate deliveries awaiting read
+
+  explicit Impl(const NetFaultSpec& s, std::unique_ptr<shard::Transport> t)
+      : spec(s), inner(std::move(t)), rng(s.seed) {}
+
+  /// One decision per impairable line, in wire order. `*disconnect` is the
+  /// deterministic every-Nth-line close, applied after delivery.
+  LineFault decide(const std::string& line, NetFaultReport* report,
+                   bool* disconnect) {
+    *disconnect = false;
+    if (exempt_line(line)) return LineFault::kNone;
+    ++report->lines_seen;
+    if (spec.disconnect_every > 0 &&
+        report->lines_seen % spec.disconnect_every == 0) {
+      *disconnect = true;
+    }
+    if (spec.max_faults > 0 && prob_faults >= spec.max_faults) {
+      return LineFault::kNone;
+    }
+    const double u = rng.uniform01();
+    double edge = spec.drop;
+    if (u < edge) {
+      ++prob_faults;
+      ++report->dropped;
+      return LineFault::kDrop;
+    }
+    edge += spec.dup;
+    if (u < edge) {
+      ++prob_faults;
+      ++report->duplicated;
+      return LineFault::kDup;
+    }
+    edge += spec.trunc;
+    if (u < edge) {
+      ++prob_faults;
+      ++report->truncated;
+      return LineFault::kTrunc;
+    }
+    edge += spec.delay;
+    if (u < edge) {
+      ++prob_faults;
+      ++report->delayed;
+      return LineFault::kDelay;
+    }
+    return LineFault::kNone;
+  }
+
+  void sleep_delay() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(spec.delay_ms));
+  }
+};
+
+NetFaultTransport::NetFaultTransport(const NetFaultSpec& spec,
+                                     std::unique_ptr<shard::Transport> inner)
+    : impl_(std::make_unique<Impl>(spec, std::move(inner))) {}
+
+NetFaultTransport::~NetFaultTransport() = default;
+
+void NetFaultTransport::rebind(std::unique_ptr<shard::Transport> inner) {
+  impl_->inner = std::move(inner);
+  impl_->pending.clear();
+}
+
+int NetFaultTransport::poll_fd() const {
+  return impl_->inner ? impl_->inner->poll_fd() : -1;
+}
+
+bool NetFaultTransport::write_line(const std::string& line) {
+  auto& inner = impl_->inner;
+  if (!inner || inner->is_closed()) return false;
+  bool disconnect = false;
+  const LineFault f = impl_->decide(line, &report_, &disconnect);
+  bool ok = true;
+  switch (f) {
+    case LineFault::kNone:
+      ok = inner->write_line(line);
+      break;
+    case LineFault::kDrop:
+      ok = true;  // swallowed: the sender believes it went out
+      break;
+    case LineFault::kDup:
+      ok = inner->write_line(line) && inner->write_line(line);
+      break;
+    case LineFault::kTrunc: {
+      // Cut inside the payload (two thirds in lands mid-hexfloat for a
+      // RESULT line) and kill the wire — a faithful torn write.
+      const std::size_t keep = std::max<std::size_t>(1, line.size() * 2 / 3);
+      (void)inner->write_bytes(line.substr(0, keep));
+      inner->close();
+      return false;
+    }
+    case LineFault::kDelay:
+      impl_->sleep_delay();
+      ok = inner->write_line(line);
+      break;
+  }
+  if (disconnect) {
+    ++report_.disconnects;
+    inner->close();
+  }
+  return ok;
+}
+
+bool NetFaultTransport::write_bytes(const std::string& bytes) {
+  // Raw bytes are below the line-fault model: pass through.
+  return impl_->inner != nullptr && impl_->inner->write_bytes(bytes);
+}
+
+shard::ReadResult NetFaultTransport::read_line(std::string* line) {
+  if (!impl_->pending.empty()) {
+    *line = std::move(impl_->pending.front());
+    impl_->pending.pop_front();
+    return shard::ReadResult::kLine;
+  }
+  auto& inner = impl_->inner;
+  while (true) {
+    if (!inner) return shard::ReadResult::kClosed;
+    const shard::ReadResult r = inner->read_line(line);
+    if (r != shard::ReadResult::kLine) return r;
+    bool disconnect = false;
+    const LineFault f = impl_->decide(*line, &report_, &disconnect);
+    const auto finish = [&](shard::ReadResult result) {
+      if (disconnect) {
+        ++report_.disconnects;
+        inner->close();
+      }
+      return result;
+    };
+    switch (f) {
+      case LineFault::kNone:
+        return finish(shard::ReadResult::kLine);
+      case LineFault::kDrop:
+        if (disconnect) {
+          ++report_.disconnects;
+          inner->close();
+          return shard::ReadResult::kClosed;
+        }
+        continue;  // the line never arrived
+      case LineFault::kDup:
+        impl_->pending.push_back(*line);
+        return finish(shard::ReadResult::kLine);
+      case LineFault::kTrunc:
+        // Inbound truncation: the tail never arrived and the wire died;
+        // strict framing discards the partial line wholesale.
+        inner->close();
+        return shard::ReadResult::kClosed;
+      case LineFault::kDelay:
+        impl_->sleep_delay();
+        return finish(shard::ReadResult::kLine);
+    }
+  }
+}
+
+shard::ReadResult NetFaultTransport::drain(std::vector<std::string>* lines) {
+  auto& inner = impl_->inner;
+  bool any = false;
+  while (!impl_->pending.empty()) {
+    lines->push_back(std::move(impl_->pending.front()));
+    impl_->pending.pop_front();
+    any = true;
+  }
+  if (!inner) return any ? shard::ReadResult::kLine : shard::ReadResult::kClosed;
+  std::vector<std::string> raw;
+  const shard::ReadResult r = inner->drain(&raw);
+  for (auto& line : raw) {
+    bool disconnect = false;
+    const LineFault f = impl_->decide(line, &report_, &disconnect);
+    switch (f) {
+      case LineFault::kNone:
+        lines->push_back(std::move(line));
+        any = true;
+        break;
+      case LineFault::kDrop:
+        break;
+      case LineFault::kDup:
+        lines->push_back(line);
+        lines->push_back(std::move(line));
+        any = true;
+        break;
+      case LineFault::kTrunc:
+        inner->close();
+        return any ? shard::ReadResult::kLine : shard::ReadResult::kClosed;
+      case LineFault::kDelay:
+        impl_->sleep_delay();
+        lines->push_back(std::move(line));
+        any = true;
+        break;
+    }
+    if (disconnect) {
+      ++report_.disconnects;
+      inner->close();
+      return any ? shard::ReadResult::kLine : shard::ReadResult::kClosed;
+    }
+  }
+  if (any) return shard::ReadResult::kLine;
+  return r;
+}
+
+void NetFaultTransport::shutdown_write() {
+  if (impl_->inner) impl_->inner->shutdown_write();
+}
+
+void NetFaultTransport::close() {
+  if (impl_->inner) impl_->inner->close();
+  impl_->pending.clear();
+}
+
+bool NetFaultTransport::is_closed() const {
+  return impl_->inner == nullptr ||
+         (impl_->inner->is_closed() && impl_->pending.empty());
+}
+
+void NetFaultTransport::append_fds(std::vector<int>* out) const {
+  if (impl_->inner) impl_->inner->append_fds(out);
+}
+
+}  // namespace netsample::faultsim

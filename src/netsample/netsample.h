@@ -74,6 +74,7 @@
 #include "charact/agent.h"       // IWYU pragma: export
 #include "collector/backbone.h"  // IWYU pragma: export
 #include "faultsim/faultsim.h"   // IWYU pragma: export
+#include "faultsim/netfault.h"   // IWYU pragma: export
 
 // Experiments.
 #include "exper/experiment.h"  // IWYU pragma: export
@@ -86,6 +87,7 @@
 #include "shard/grid.h"         // IWYU pragma: export
 #include "shard/protocol.h"     // IWYU pragma: export
 #include "shard/store.h"        // IWYU pragma: export
+#include "shard/transport.h"    // IWYU pragma: export
 #include "shard/worker.h"       // IWYU pragma: export
 
 // Streaming scorer.

@@ -7,15 +7,19 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
 #include <csignal>
 #include <cstring>
 #include <deque>
 #include <map>
+#include <memory>
+#include <optional>
 #include <utility>
 
 #include "obs/metrics.h"
 #include "shard/protocol.h"
 #include "shard/store.h"
+#include "shard/transport.h"
 #include "shard/worker.h"
 
 namespace netsample::shard {
@@ -49,67 +53,761 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
+/// Floating seconds -> the steady clock's native duration, so time_point
+/// arithmetic stays in one representation.
+Clock::duration secs(double s) {
+  return std::chrono::duration_cast<Clock::duration>(
+      std::chrono::duration<double>(s));
+}
+
 // How many leases a worker holds at once. Depth 2 hides the lease round
-// trip: the next cell is already queued on the pipe while the current one
+// trip: the next cell is already queued on the wire while the current one
 // computes. Results stay deterministic at any depth (seeds are positional).
 constexpr std::size_t kLeaseDepth = 2;
 
 enum CellState : unsigned char { kPending = 0, kLeased, kDone };
 
-struct WorkerProc {
+enum class Departure { kUnexpected, kClean };
+
+/// One worker identity. The connection (chan) and the process (pid) have
+/// independent lifetimes in socket mode: a wire can die and come back
+/// (awaiting + re-HELLO) while the process lives, and a process can be
+/// reaped while its last bytes still sit in the socket. `dead` is final.
+struct Slot {
   pid_t pid{-1};
-  int to{-1};    // coordinator -> worker (their stdin in exec mode)
-  int from{-1};  // worker -> coordinator
-  bool alive{false};
-  std::string buf;  // partial-line accumulation
+  bool proc_alive{false};  // we spawned it and have not reaped it
+  bool external{false};    // connected on its own; not our child
+  bool dead{false};
+  std::unique_ptr<Transport> chan;
+  bool awaiting{false};  // expecting a (re)connection before the deadline
+  Clock::time_point awaiting_deadline{};
+  bool ever_connected{false};
+  bool hello_counted{false};
+  bool suspended{false};  // a lease expired; no new grants until it speaks
+  Clock::time_point probation_deadline{};
   std::vector<std::uint64_t> outstanding;
   std::map<std::uint64_t, Clock::time_point> lease_sent;
-  std::uint64_t results{0};
+  Clock::time_point last_heard_{};
+  Clock::time_point last_ping_{};
 };
 
-bool write_all_fd(int fd, const std::string& data) {
-  std::size_t off = 0;
-  while (off < data.size()) {
-    const ssize_t w = ::write(fd, data.data() + off, data.size() - off);
-    if (w < 0) {
-      if (errno == EINTR) continue;
+/// An accepted socket that has not said HELLO yet — not a worker until it
+/// identifies itself (or a stale duplicate; either way it gets a deadline).
+struct PendingConn {
+  std::unique_ptr<Transport> chan;
+  Clock::time_point deadline;
+};
+
+class Coordinator {
+ public:
+  Coordinator(const SweepSpec& spec, const CoordinatorOptions& opts)
+      : spec_(spec),
+        opts_(opts),
+        socket_mode_(opts.transport == TransportKind::kSocket),
+        hb_(opts.heartbeat_interval_s),
+        lt_(opts.lease_timeout_s),
+        window_(opts.reconnect_window_s) {}
+
+  /// Abort-path safety net: whatever is still alive gets SIGKILL'd and
+  /// reaped, so no error return leaks children.
+  ~Coordinator() {
+    for (auto& s : slots_) {
+      if (s.proc_alive) {
+        ::kill(s.pid, SIGKILL);
+        int st = 0;
+        ::waitpid(s.pid, &st, 0);
+        s.proc_alive = false;
+      }
+    }
+  }
+
+  StatusOr<ShardReport> run();
+
+ private:
+  // ---- wiring ----------------------------------------------------------
+
+  static bool connected(const Slot& s) {
+    return s.chan != nullptr && !s.chan->is_closed();
+  }
+
+  std::size_t capacity() const {
+    std::size_t c = 0;
+    for (const auto& s : slots_) {
+      if (!s.dead && (connected(s) || s.awaiting)) ++c;
+    }
+    return c;
+  }
+
+  /// Spawn (or respawn) one worker process into slots_[si]. In pipe mode
+  /// the wire exists immediately; in socket mode the slot waits for the
+  /// worker to dial back (awaiting, bounded by the reconnect window).
+  bool spawn_into(std::size_t si) {
+    Slot& s = slots_[si];
+    s = Slot{};
+    const bool give_die =
+        !first_spawn_done_ && opts_.first_worker_die_after >= 0;
+    const bool give_depart =
+        !first_spawn_done_ && opts_.first_worker_depart_after >= 0;
+
+    int c2w[2] = {-1, -1};
+    int w2c[2] = {-1, -1};
+    if (!socket_mode_) {
+      if (::pipe(c2w) != 0) return false;
+      if (::pipe(w2c) != 0) {
+        ::close(c2w[0]);
+        ::close(c2w[1]);
+        return false;
+      }
+    }
+
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      if (!socket_mode_) {
+        ::close(c2w[0]);
+        ::close(c2w[1]);
+        ::close(w2c[0]);
+        ::close(w2c[1]);
+      }
       return false;
     }
-    off += static_cast<std::size_t>(w);
+    if (pid == 0) {
+      // Child. Drop every parent-side descriptor we inherited — our own
+      // pipe's far ends (so EOF propagates), every sibling wire, and the
+      // listener — so a sibling's death is visible to the coordinator as
+      // EOF and nobody but the coordinator can accept().
+      std::vector<int> parent_fds;
+      if (listener_.fd() >= 0) parent_fds.push_back(listener_.fd());
+      for (const auto& other : slots_) {
+        if (other.chan) other.chan->append_fds(&parent_fds);
+      }
+      for (const auto& pc : pending_conns_) {
+        pc.chan->append_fds(&parent_fds);
+      }
+      if (!socket_mode_) {
+        parent_fds.push_back(c2w[1]);
+        parent_fds.push_back(w2c[0]);
+      }
+      for (const int fd : parent_fds) ::close(fd);
+
+      if (!opts_.worker_command.empty()) {
+        std::vector<std::string> argv_s = opts_.worker_command;
+        argv_s.push_back("--store");
+        argv_s.push_back(opts_.store_path);
+        argv_s.push_back("--store-backend");
+        argv_s.push_back(opts_.backend);
+        if (socket_mode_) {
+          argv_s.push_back("--connect");
+          argv_s.push_back(listen_addr_);
+          argv_s.push_back("--connect-retries");
+          argv_s.push_back(std::to_string(opts_.connect_retries));
+        }
+        if (!opts_.netfault.empty()) {
+          argv_s.push_back("--netfault");
+          argv_s.push_back(opts_.netfault);
+        }
+        if (give_die) {
+          argv_s.push_back("--die-after");
+          argv_s.push_back(std::to_string(opts_.first_worker_die_after));
+        }
+        if (give_depart) {
+          argv_s.push_back("--depart-after");
+          argv_s.push_back(std::to_string(opts_.first_worker_depart_after));
+        }
+        if (!socket_mode_) {
+          ::dup2(c2w[0], STDIN_FILENO);
+          ::dup2(w2c[1], STDOUT_FILENO);
+          ::close(c2w[0]);
+          ::close(w2c[1]);
+        }
+        std::vector<char*> argv;
+        argv.reserve(argv_s.size() + 1);
+        for (auto& a : argv_s) argv.push_back(a.data());
+        argv.push_back(nullptr);
+        ::execv(argv[0], argv.data());
+        ::_exit(127);
+      }
+
+      WorkerOptions wopts;
+      wopts.store_path = opts_.store_path;
+      wopts.backend = opts_.backend;
+      wopts.netfault = opts_.netfault;
+      if (give_die) wopts.die_after_cells = opts_.first_worker_die_after;
+      if (give_depart) {
+        wopts.depart_after_cells = opts_.first_worker_depart_after;
+      }
+      Status st;
+      if (socket_mode_) {
+        wopts.connect = listen_addr_;
+        wopts.connect_retries = opts_.connect_retries;
+        st = run_socket_worker(wopts);
+      } else {
+        std::FILE* fin = ::fdopen(c2w[0], "r");
+        std::FILE* fout = ::fdopen(w2c[1], "w");
+        if (fin == nullptr || fout == nullptr) ::_exit(127);
+        st = run_worker(wopts, fin, fout);
+      }
+      ::_exit(st.is_ok() ? 0 : 70);
+    }
+
+    // Parent.
+    s.pid = pid;
+    s.proc_alive = true;
+    ++report_.workers_spawned;
+    first_spawn_done_ = true;
+    if (socket_mode_) {
+      s.awaiting = true;
+      s.awaiting_deadline = Clock::now() + window_dur();
+    } else {
+      ::close(c2w[0]);
+      ::close(w2c[1]);
+      attach(s, make_fd_transport(w2c[0], c2w[1]));
+    }
+    return true;
   }
-  return true;
-}
 
-void close_fd(int& fd) {
-  if (fd >= 0) {
-    ::close(fd);
-    fd = -1;
+  /// Bind a live wire to a slot: (re)send the SPEC — rebuilding the grid
+  /// is idempotent — and top the worker up with leases. A reconnect to a
+  /// slot that somehow still holds a wire drops the old one first.
+  void attach(Slot& s, std::unique_ptr<Transport> chan) {
+    if (s.chan) {
+      s.chan->close();
+      s.chan.reset();
+      reclaim_leases(s);
+    }
+    s.chan = std::move(chan);
+    s.awaiting = false;
+    s.suspended = false;
+    const auto t = Clock::now();
+    s.last_heard_ = t;
+    s.last_ping_ = t;
+    if (s.ever_connected) ++report_.reconnects;
+    s.ever_connected = true;
+    if (!s.chan->write_line(spec_line_)) return;  // EOF will surface it
+    grant(s);
   }
-}
 
-/// Owns the worker processes; whatever is still alive at destruction gets
-/// SIGKILL'd and reaped, so no abort path leaks children.
-struct WorkerSet {
-  std::vector<WorkerProc> procs;
-
-  ~WorkerSet() {
-    for (auto& w : procs) {
-      if (!w.alive) continue;
-      close_fd(w.to);
-      close_fd(w.from);
-      ::kill(w.pid, SIGKILL);
-      int st = 0;
-      ::waitpid(w.pid, &st, 0);
-      w.alive = false;
+  /// Top a worker up to kLeaseDepth outstanding leases.
+  void grant(Slot& s) {
+    while (connected(s) && !s.suspended &&
+           s.outstanding.size() < kLeaseDepth) {
+      // Skip queue entries a late duplicate already completed.
+      while (!pending_.empty() && state_[pending_.front()] != kPending) {
+        pending_.pop_front();
+      }
+      if (pending_.empty()) break;
+      const std::uint64_t idx = pending_.front();
+      pending_.pop_front();
+      state_[idx] = kLeased;
+      s.outstanding.push_back(idx);
+      s.lease_sent[idx] = Clock::now();
+      ++report_.leases_granted;
+      Message lease;
+      lease.type = MessageType::kLease;
+      lease.index = idx;
+      if (!s.chan->write_line(format_message(lease))) break;
     }
   }
+
+  void refill_all() {
+    for (auto& s : slots_) {
+      if (connected(s)) grant(s);
+    }
+  }
+
+  /// Put a slot's leases back at the FRONT of the queue in ascending
+  /// order, so recovery recomputes the earliest missing cells first and
+  /// the journal cursor unblocks soonest.
+  void reclaim_leases(Slot& s) {
+    std::sort(s.outstanding.begin(), s.outstanding.end());
+    for (auto it = s.outstanding.rbegin(); it != s.outstanding.rend(); ++it) {
+      if (state_[*it] == kLeased) {
+        state_[*it] = kPending;
+        pending_.push_front(*it);
+        ++report_.reassignments;
+      }
+    }
+    s.outstanding.clear();
+    s.lease_sent.clear();
+  }
+
+  /// The wire died. Pipes cannot come back — that is a death. A socket
+  /// worker whose process (or remote peer) may still be alive gets a
+  /// reconnect window; its leases are reassigned NOW (someone else can
+  /// run them; a duplicate result is discarded by cell state).
+  void on_disconnect(Slot& s) {
+    if (s.chan) {
+      s.chan->close();
+      s.chan.reset();
+    }
+    reclaim_leases(s);
+    if (socket_mode_ && !s.dead && (s.proc_alive || s.external)) {
+      s.awaiting = true;
+      s.awaiting_deadline = Clock::now() + window_dur();
+      s.suspended = false;
+      return;
+    }
+    finalize_death(s, Departure::kUnexpected);
+  }
+
+  void finalize_death(Slot& s, Departure kind) {
+    if (s.dead) return;
+    if (s.chan) {
+      s.chan->close();
+      s.chan.reset();
+    }
+    reclaim_leases(s);
+    if (s.proc_alive) {
+      if (kind == Departure::kUnexpected) ::kill(s.pid, SIGKILL);
+      int st = 0;
+      ::waitpid(s.pid, &st, 0);
+      s.proc_alive = false;
+    }
+    s.awaiting = false;
+    s.suspended = false;
+    s.dead = true;
+    if (kind == Departure::kUnexpected) {
+      ++report_.workers_died;
+    } else {
+      ++report_.workers_departed;
+    }
+  }
+
+  /// Nonblocking reap. A reaped process that was awaiting a reconnect is
+  /// done for good; one with a live wire drains to EOF first (its last
+  /// bytes may still sit in the socket).
+  void reap_children() {
+    for (auto& s : slots_) {
+      if (!s.proc_alive) continue;
+      int st = 0;
+      if (::waitpid(s.pid, &st, WNOHANG) != s.pid) continue;
+      s.proc_alive = false;
+      if (!connected(s) && !s.dead) finalize_death(s, Departure::kUnexpected);
+    }
+  }
+
+  // ---- protocol --------------------------------------------------------
+
+  void advance_journal() {
+    while (next_journal_ < n_ && state_[next_journal_] == kDone) {
+      const ShardCellOutcome& out = report_.cells[next_journal_];
+      if (!out.from_journal && out.status.is_ok() &&
+          opts_.journal != nullptr) {
+        // A checkpoint write failure does not invalidate the computed
+        // cell; it only costs re-execution on a future resume.
+        (void)opts_.journal->record(keys_[next_journal_], out.replications);
+      }
+      ++next_journal_;
+    }
+  }
+
+  /// Chaos: SIGKILL a worker that is mid-lease. Death is then observed via
+  /// the normal EOF/reap path — the coordinator takes no shortcut, which
+  /// is the point of the drill.
+  void maybe_chaos_kill() {
+    if (opts_.chaos_kill_after < 0 || report_.workers_killed > 0) return;
+    if (results_received_ <
+        static_cast<std::uint64_t>(opts_.chaos_kill_after)) {
+      return;
+    }
+    for (auto& s : slots_) {
+      if (connected(s) && s.proc_alive && !s.outstanding.empty()) {
+        ::kill(s.pid, SIGKILL);
+        ++report_.workers_killed;
+        return;
+      }
+    }
+  }
+
+  /// One message from a bound worker. Returns false when the slot was
+  /// finalized (departed or killed) — the caller must drop its remaining
+  /// drained lines.
+  bool handle_message(Slot& s, const Message& msg) {
+    s.last_heard_ = Clock::now();
+    s.suspended = false;  // it speaks; grants may resume
+
+    switch (msg.type) {
+      case MessageType::kHello:
+        if (!s.hello_counted) {
+          report_.worker_cache_builds += msg.cache_builds;
+          report_.worker_cache_maps += msg.cache_maps;
+          s.hello_counted = true;
+        }
+        grant(s);
+        return true;
+      case MessageType::kPong:
+        // The PONG may be what lifts a post-expiry suspension: top the
+        // worker back up or it idles forever with work still pending.
+        grant(s);
+        return true;
+      case MessageType::kBye:
+        // A clean departure (SIGTERM, depart-after drill): not a death.
+        finalize_death(s, Departure::kClean);
+        return false;
+      case MessageType::kResult:
+      case MessageType::kFail:
+        break;
+      default:
+        return true;  // coordinator verbs echoed back: ignore
+    }
+
+    const std::uint64_t idx = msg.index;
+    if (idx >= n_) {
+      finalize_death(s, Departure::kUnexpected);  // garbage index: killed
+      return false;
+    }
+    // Clear the sender's bookkeeping BEFORE the duplicate check, so a
+    // duplicate (reconnect replay, reclaimed lease finishing twice) can
+    // never pin a stale entry in `outstanding` and starve the worker.
+    const auto sent = s.lease_sent.find(idx);
+    if (obs::enabled() && sent != s.lease_sent.end()) {
+      static obs::HistogramMetric& lease_hist = obs::registry().histogram(
+          "netsample_shard_lease_seconds", obs::duration_bin_edges(),
+          obs::Determinism::kNondeterministic);
+      lease_hist.observe(
+          std::chrono::duration<double>(Clock::now() - sent->second).count());
+    }
+    if (sent != s.lease_sent.end()) s.lease_sent.erase(sent);
+    s.outstanding.erase(
+        std::remove(s.outstanding.begin(), s.outstanding.end(), idx),
+        s.outstanding.end());
+    if (state_[idx] == kDone) {
+      grant(s);
+      return true;  // duplicate: discarded, never re-committed
+    }
+
+    ShardCellOutcome& out = report_.cells[idx];
+    if (msg.type == MessageType::kResult) {
+      std::vector<core::DisparityMetrics> reps;
+      if (!exper::decode_replications(msg.text, &reps)) {
+        // Torn or corrupt payload: the worker is dead to us and the cell
+        // is recomputed elsewhere — a partial row must never be accepted,
+        // let alone journaled.
+        state_[idx] = kPending;
+        pending_.push_front(idx);
+        ++report_.reassignments;
+        finalize_death(s, Departure::kUnexpected);
+        return false;
+      }
+      out.status = Status::ok();
+      out.replications = std::move(reps);
+    } else {
+      out.status = Status(msg.code, msg.text);
+    }
+    state_[idx] = kDone;
+    ++done_count_;
+    ++results_received_;
+    // Another slot may hold a lease on this cell (it was reassigned and
+    // the original still delivered). Drop those now; their late RESULT
+    // will be discarded as a duplicate.
+    for (auto& other : slots_) {
+      if (&other == &s) continue;
+      other.lease_sent.erase(idx);
+      other.outstanding.erase(
+          std::remove(other.outstanding.begin(), other.outstanding.end(),
+                      idx),
+          other.outstanding.end());
+    }
+    advance_journal();
+    maybe_chaos_kill();
+    grant(s);
+    return true;
+  }
+
+  /// Drained lines from a bound slot: strict-parse each; garbage means the
+  /// worker is treated as dead, exactly as a kill.
+  void handle_slot_lines(Slot& s, const std::vector<std::string>& lines) {
+    for (const auto& line : lines) {
+      if (s.dead) return;
+      if (line.empty()) continue;
+      Message msg;
+      if (!parse_message(line, &msg)) {
+        finalize_death(s, Departure::kUnexpected);
+        return;
+      }
+      if (!handle_message(s, msg)) return;
+    }
+  }
+
+  /// First line on an accepted socket must be HELLO; the pid is the
+  /// worker's identity and binds the wire to its slot (reconnect) or to a
+  /// fresh external slot. Remaining drained lines (a replay burst rides
+  /// the same packet) are fed to the bound slot.
+  void bind_pending(std::unique_ptr<Transport> chan,
+                    std::vector<std::string> lines) {
+    if (lines.empty()) return;  // nothing to bind with; conn stays pending
+    Message hello;
+    if (!parse_message(lines.front(), &hello) ||
+        hello.type != MessageType::kHello) {
+      chan->close();
+      return;  // not a worker; drop the connection
+    }
+    Slot* target = nullptr;
+    for (auto& s : slots_) {
+      if (!s.dead && s.pid == static_cast<pid_t>(hello.pid)) {
+        target = &s;
+        break;
+      }
+    }
+    if (target == nullptr) {
+      slots_.push_back(Slot{});
+      target = &slots_.back();
+      target->pid = static_cast<pid_t>(hello.pid);
+      target->external = true;
+    }
+    attach(*target, std::move(chan));
+    handle_message(*target, hello);
+    lines.erase(lines.begin());
+    handle_slot_lines(*target, lines);
+  }
+
+  // ---- timers ----------------------------------------------------------
+
+  Clock::duration window_dur() const { return secs(window_); }
+
+  /// Fire every due timer (heartbeats, liveness, lease expiry, probation,
+  /// reconnect windows, handshake deadlines) and return the poll timeout
+  /// in ms until the next one (-1 = none pending).
+  int fire_timers() {
+    const auto t = Clock::now();
+    std::optional<Clock::time_point> next;
+    const auto consider = [&](Clock::time_point d) {
+      if (!next.has_value() || d < *next) next = d;
+    };
+    bool refill = false;
+
+    for (auto& s : slots_) {
+      if (s.dead) continue;
+      if (s.awaiting) {
+        if (t >= s.awaiting_deadline) {
+          finalize_death(s, Departure::kUnexpected);
+        } else {
+          consider(s.awaiting_deadline);
+        }
+        continue;
+      }
+      if (!connected(s)) continue;
+
+      if (hb_ > 0) {
+        auto next_ping = s.last_ping_ + secs(hb_);
+        if (t >= next_ping) {
+          Message ping;
+          ping.type = MessageType::kPing;
+          ping.index = ping_seq_++;
+          s.last_ping_ = t;
+          ++report_.pings_sent;
+          if (!s.chan->write_line(format_message(ping))) {
+            on_disconnect(s);
+            continue;
+          }
+          next_ping = t + secs(hb_);
+        }
+        consider(next_ping);
+        if (s.outstanding.empty()) {
+          // Idle liveness: a worker with nothing to compute answers PINGs
+          // from its blocking read; 4 periods of silence is a half-open
+          // wire. Busy workers are governed by the lease timeout instead.
+          const auto deadline = s.last_heard_ + secs(4.0 * hb_);
+          if (t >= deadline) {
+            on_disconnect(s);
+            continue;
+          }
+          consider(deadline);
+        }
+      }
+
+      if (lt_ > 0) {
+        std::vector<std::uint64_t> expired;
+        for (const auto& [idx, sent] : s.lease_sent) {
+          if (state_[idx] == kLeased && t >= sent + secs(lt_)) {
+            expired.push_back(idx);
+          }
+        }
+        if (!expired.empty()) {
+          std::sort(expired.begin(), expired.end());
+          for (auto it = expired.rbegin(); it != expired.rend(); ++it) {
+            state_[*it] = kPending;
+            pending_.push_front(*it);
+            ++report_.reassignments;
+            ++report_.leases_expired;
+            s.lease_sent.erase(*it);
+            s.outstanding.erase(std::remove(s.outstanding.begin(),
+                                            s.outstanding.end(), *it),
+                                s.outstanding.end());
+          }
+          // Stalled-but-connected: reclaimed, suspended from new grants,
+          // and on a probation clock — still silent one timeout later
+          // means the worker is hopeless, not slow.
+          s.suspended = true;
+          s.probation_deadline = t + secs(lt_);
+          refill = true;
+        }
+        for (const auto& [idx, sent] : s.lease_sent) {
+          (void)idx;
+          consider(sent + secs(lt_));
+        }
+        if (s.suspended) {
+          if (t >= s.probation_deadline) {
+            finalize_death(s, Departure::kUnexpected);
+            continue;
+          }
+          consider(s.probation_deadline);
+        }
+      }
+    }
+
+    for (auto it = pending_conns_.begin(); it != pending_conns_.end();) {
+      if (t >= it->deadline) {
+        it->chan->close();
+        it = pending_conns_.erase(it);
+      } else {
+        consider(it->deadline);
+        ++it;
+      }
+    }
+
+    if (refill) refill_all();
+    if (!next.has_value()) return -1;
+    const double ms =
+        std::chrono::duration<double, std::milli>(*next - t).count();
+    if (ms <= 0) return 0;
+    return static_cast<int>(std::min(ms + 1.0, 60000.0));
+  }
+
+  // ---- shutdown --------------------------------------------------------
+
+  /// Orderly shutdown: STOP every connected worker, keep accepting and
+  /// STOPping redialing stragglers, drain BYEs to EOF, reap everything —
+  /// with a hard deadline after which survivors are SIGKILL'd.
+  void shutdown_workers() {
+    Message stop;
+    stop.type = MessageType::kStop;
+    const std::string stop_line = format_message(stop);
+
+    for (auto& s : slots_) {
+      s.awaiting = false;
+      if (connected(s)) {
+        (void)s.chan->write_line(stop_line);
+        s.chan->shutdown_write();
+      }
+    }
+    for (auto& pc : pending_conns_) {
+      (void)pc.chan->write_line(stop_line);
+      pc.chan->shutdown_write();
+    }
+
+    const auto deadline = Clock::now() + std::chrono::seconds(10);
+    while (Clock::now() < deadline) {
+      for (auto& s : slots_) {
+        if (!s.proc_alive) continue;
+        int st = 0;
+        if (::waitpid(s.pid, &st, WNOHANG) == s.pid) s.proc_alive = false;
+      }
+      bool any_proc = false;
+      for (const auto& s : slots_) any_proc = any_proc || s.proc_alive;
+      if (!any_proc) break;
+
+      std::vector<pollfd> fds;
+      std::vector<int> kinds;  // 0 = listener, 1 = pending, 2 = slot
+      std::vector<std::size_t> refs;
+      if (socket_mode_ && listener_.fd() >= 0) {
+        fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+        kinds.push_back(0);
+        refs.push_back(0);
+      }
+      for (std::size_t i = 0; i < pending_conns_.size(); ++i) {
+        fds.push_back(pollfd{pending_conns_[i].chan->poll_fd(), POLLIN, 0});
+        kinds.push_back(1);
+        refs.push_back(i);
+      }
+      for (std::size_t i = 0; i < slots_.size(); ++i) {
+        if (connected(slots_[i])) {
+          fds.push_back(pollfd{slots_[i].chan->poll_fd(), POLLIN, 0});
+          kinds.push_back(2);
+          refs.push_back(i);
+        }
+      }
+      const int rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 50);
+      if (rc < 0 && errno != EINTR) break;
+
+      std::vector<std::size_t> dead_pending;
+      for (std::size_t f = 0; f < fds.size(); ++f) {
+        if (fds[f].revents == 0) continue;
+        if (kinds[f] == 0) {
+          // A straggler mid-redial: greet it with STOP so it exits.
+          while (auto conn = listener_.accept_connection()) {
+            (void)conn->write_line(stop_line);
+            conn->shutdown_write();
+            pending_conns_.push_back(PendingConn{
+                std::move(conn), Clock::now() + std::chrono::seconds(2)});
+          }
+        } else if (kinds[f] == 1) {
+          std::vector<std::string> lines;
+          if (pending_conns_[refs[f]].chan->drain(&lines) ==
+              ReadResult::kClosed) {
+            dead_pending.push_back(refs[f]);
+          }
+        } else {
+          Slot& s = slots_[refs[f]];
+          std::vector<std::string> lines;
+          if (s.chan->drain(&lines) == ReadResult::kClosed) {
+            s.chan->close();
+            s.chan.reset();
+          }
+        }
+      }
+      std::sort(dead_pending.rbegin(), dead_pending.rend());
+      for (const std::size_t i : dead_pending) {
+        pending_conns_.erase(pending_conns_.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      }
+    }
+
+    for (auto& s : slots_) {
+      if (s.proc_alive) {
+        ::kill(s.pid, SIGKILL);
+        int st = 0;
+        ::waitpid(s.pid, &st, 0);
+        s.proc_alive = false;
+      }
+      if (s.chan) {
+        s.chan->close();
+        s.chan.reset();
+      }
+    }
+    for (auto& pc : pending_conns_) pc.chan->close();
+    pending_conns_.clear();
+    listener_.close();
+  }
+
+  // ---- members ---------------------------------------------------------
+
+  const SweepSpec& spec_;
+  const CoordinatorOptions& opts_;
+  const bool socket_mode_;
+  const double hb_;
+  const double lt_;
+  const double window_;
+
+  std::size_t n_{0};
+  std::vector<std::string> keys_;
+  std::vector<CellState> state_;
+  std::deque<std::uint64_t> pending_;
+  std::size_t done_count_{0};
+  std::size_t next_journal_{0};
+  ShardReport report_;
+  std::string spec_line_;
+  std::string listen_addr_;
+  Listener listener_;
+  std::vector<Slot> slots_;
+  std::vector<PendingConn> pending_conns_;
+  int respawns_left_{0};
+  bool first_spawn_done_{false};
+  std::uint64_t results_received_{0};
+  std::uint64_t ping_seq_{0};
 };
 
-}  // namespace
-
-StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
-                                        const CoordinatorOptions& opts) {
-  if (opts.workers < 1) {
+StatusOr<ShardReport> Coordinator::run() {
+  if (opts_.workers < 1) {
     return Status(StatusCode::kInvalidArgument,
                   "coordinator: --workers must be >= 1");
   }
@@ -119,38 +817,35 @@ StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
 
   // Opening the store here both validates it before any process is spawned
   // and provides the grid geometry (keys embed the interval length).
-  StoreBackend& backend = store_backend(opts.backend);
-  auto opened = TraceStore::open(opts.store_path, backend);
+  StoreBackend& backend = store_backend(opts_.backend);
+  auto opened = TraceStore::open(opts_.store_path, backend);
   if (!opened.has_value()) return opened.status();
   const TraceStore store = std::move(*opened);
 
   const std::vector<exper::GridTask> grid = build_grid(
-      spec, store.view(), store.mean_interarrival_usec(), &store.cache());
-  const std::size_t n = grid.size();
-  std::vector<std::string> keys(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    keys[i] = grid_journal_key(grid[i], spec.base_seed);
+      spec_, store.view(), store.mean_interarrival_usec(), &store.cache());
+  n_ = grid.size();
+  keys_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    keys_[i] = grid_journal_key(grid[i], spec_.base_seed);
   }
 
-  ShardReport report;
-  report.cells.resize(n);
-  std::vector<CellState> state(n, kPending);
-  std::deque<std::uint64_t> pending;
-  std::size_t done_count = 0;
+  report_.cells.resize(n_);
+  state_.assign(n_, kPending);
 
   // Journal replay, exactly as ParallelRunner::run: already-committed cells
   // never reach a worker.
-  for (std::size_t i = 0; i < n; ++i) {
+  for (std::size_t i = 0; i < n_; ++i) {
     const std::vector<core::DisparityMetrics>* reps =
-        opts.journal != nullptr ? opts.journal->find(keys[i]) : nullptr;
+        opts_.journal != nullptr ? opts_.journal->find(keys_[i]) : nullptr;
     if (reps != nullptr) {
-      report.cells[i].status = Status::ok();
-      report.cells[i].replications = *reps;
-      report.cells[i].from_journal = true;
-      state[i] = kDone;
-      ++done_count;
+      report_.cells[i].status = Status::ok();
+      report_.cells[i].replications = *reps;
+      report_.cells[i].from_journal = true;
+      state_[i] = kDone;
+      ++done_count_;
     } else {
-      pending.push_back(i);
+      pending_.push_back(i);
     }
   }
 
@@ -160,180 +855,29 @@ StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
         reg.counter("netsample_shard_cells_total");
     static obs::Counter& replayed =
         reg.counter("netsample_shard_cells_from_journal_total");
-    cells_total.add(n);
-    replayed.add(done_count);
+    cells_total.add(n_);
+    replayed.add(done_count_);
   }
 
-  // Task-order journal commit cursor (the exactly-once point). Cells are
-  // recorded strictly in task order no matter what order RESULTs arrive,
-  // so the journal file is byte-identical to the threaded single-process
-  // run's. Replayed cells are skipped (they are already on disk).
-  std::size_t next_journal = 0;
-  const auto advance_journal = [&] {
-    while (next_journal < n && state[next_journal] == kDone) {
-      const ShardCellOutcome& out = report.cells[next_journal];
-      if (!out.from_journal && out.status.is_ok() && opts.journal != nullptr) {
-        // A checkpoint write failure does not invalidate the computed cell;
-        // it only costs re-execution on a future resume.
-        (void)opts.journal->record(keys[next_journal], out.replications);
-      }
-      ++next_journal;
-    }
-  };
   advance_journal();
-  if (done_count == n) return report;  // fully served from the journal
+  if (done_count_ == n_) return std::move(report_);  // served from journal
 
   Message spec_msg;
   spec_msg.type = MessageType::kSpec;
-  spec_msg.text = encode_sweep_spec(spec);
-  const std::string spec_wire = format_message(spec_msg) + "\n";
+  spec_msg.text = encode_sweep_spec(spec_);
+  spec_line_ = format_message(spec_msg);
 
-  WorkerSet set;
-  set.procs.resize(static_cast<std::size_t>(opts.workers));
-  int respawns_left = opts.max_respawns;
-  bool first_spawn_done = false;
+  if (socket_mode_) {
+    auto listener = Listener::open(opts_.listen);
+    if (!listener.has_value()) return listener.status();
+    listener_ = std::move(*listener);
+    listen_addr_ = listener_.address();
+  }
 
-  // Spawn (or respawn) one worker into `slot` and send it the SPEC.
-  const auto spawn = [&](std::size_t slot) -> bool {
-    int c2w[2] = {-1, -1};
-    int w2c[2] = {-1, -1};
-    if (::pipe(c2w) != 0) return false;
-    if (::pipe(w2c) != 0) {
-      ::close(c2w[0]);
-      ::close(c2w[1]);
-      return false;
-    }
-    const bool give_die_after =
-        !first_spawn_done && opts.first_worker_die_after >= 0;
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(c2w[0]);
-      ::close(c2w[1]);
-      ::close(w2c[0]);
-      ::close(w2c[1]);
-      return false;
-    }
-    if (pid == 0) {
-      // Child. Drop every parent-side descriptor we inherited — our own
-      // pipe's far ends (so EOF propagates) and every sibling's (so a
-      // sibling's death is visible to the coordinator as EOF).
-      ::close(c2w[1]);
-      ::close(w2c[0]);
-      for (const auto& other : set.procs) {
-        if (other.to >= 0) ::close(other.to);
-        if (other.from >= 0) ::close(other.from);
-      }
-      if (!opts.worker_command.empty()) {
-        ::dup2(c2w[0], STDIN_FILENO);
-        ::dup2(w2c[1], STDOUT_FILENO);
-        ::close(c2w[0]);
-        ::close(w2c[1]);
-        std::vector<std::string> argv_s = opts.worker_command;
-        argv_s.push_back("--store");
-        argv_s.push_back(opts.store_path);
-        argv_s.push_back("--store-backend");
-        argv_s.push_back(opts.backend);
-        std::vector<char*> argv;
-        argv.reserve(argv_s.size() + 1);
-        for (auto& a : argv_s) argv.push_back(a.data());
-        argv.push_back(nullptr);
-        ::execv(argv[0], argv.data());
-        ::_exit(127);
-      }
-      WorkerOptions wopts;
-      wopts.store_path = opts.store_path;
-      wopts.backend = opts.backend;
-      if (give_die_after) wopts.die_after_cells = opts.first_worker_die_after;
-      std::FILE* fin = ::fdopen(c2w[0], "r");
-      std::FILE* fout = ::fdopen(w2c[1], "w");
-      if (fin == nullptr || fout == nullptr) ::_exit(127);
-      const Status st = run_worker(wopts, fin, fout);
-      ::_exit(st.is_ok() ? 0 : 70);
-    }
-    // Parent.
-    ::close(c2w[0]);
-    ::close(w2c[1]);
-    WorkerProc& w = set.procs[slot];
-    w = WorkerProc{};
-    w.pid = pid;
-    w.to = c2w[1];
-    w.from = w2c[0];
-    w.alive = true;
-    ++report.workers_spawned;
-    first_spawn_done = true;
-    (void)write_all_fd(w.to, spec_wire);
-    return true;
-  };
-
-  const auto live_count = [&] {
-    std::size_t c = 0;
-    for (const auto& w : set.procs) {
-      if (w.alive) ++c;
-    }
-    return c;
-  };
-
-  // Top a worker up to kLeaseDepth outstanding leases.
-  const auto grant = [&](WorkerProc& w) {
-    while (w.alive && !pending.empty() && w.outstanding.size() < kLeaseDepth) {
-      const std::uint64_t idx = pending.front();
-      pending.pop_front();
-      state[idx] = kLeased;
-      w.outstanding.push_back(idx);
-      w.lease_sent[idx] = Clock::now();
-      ++report.leases_granted;
-      Message lease;
-      lease.type = MessageType::kLease;
-      lease.index = idx;
-      (void)write_all_fd(w.to, format_message(lease) + "\n");
-    }
-  };
-  const auto refill_all = [&] {
-    for (auto& w : set.procs) {
-      if (w.alive) grant(w);
-    }
-  };
-
-  // A worker is gone (EOF / kill observed). Reap it and put its leases back
-  // at the FRONT of the queue in ascending order, so recovery recomputes
-  // the earliest missing cells first and the journal cursor unblocks soonest.
-  const auto handle_death = [&](WorkerProc& w, bool expected) {
-    close_fd(w.to);
-    close_fd(w.from);
-    int st = 0;
-    ::waitpid(w.pid, &st, 0);
-    w.alive = false;
-    if (!expected) ++report.workers_died;
-    std::sort(w.outstanding.begin(), w.outstanding.end());
-    for (auto it = w.outstanding.rbegin(); it != w.outstanding.rend(); ++it) {
-      state[*it] = kPending;
-      pending.push_front(*it);
-      ++report.reassignments;
-    }
-    w.outstanding.clear();
-    w.lease_sent.clear();
-  };
-
-  // Chaos: SIGKILL a worker that is mid-lease. Death is then observed via
-  // the normal EOF path — the coordinator takes no shortcut, which is the
-  // point of the test.
-  const auto maybe_chaos_kill = [&](std::uint64_t results_received) {
-    if (opts.chaos_kill_after < 0 || report.workers_killed > 0) return;
-    if (results_received <
-        static_cast<std::uint64_t>(opts.chaos_kill_after)) {
-      return;
-    }
-    for (auto& w : set.procs) {
-      if (w.alive && !w.outstanding.empty()) {
-        ::kill(w.pid, SIGKILL);
-        ++report.workers_killed;
-        return;
-      }
-    }
-  };
-
-  for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
-    if (!spawn(slot)) {
+  slots_.resize(static_cast<std::size_t>(opts_.workers));
+  respawns_left_ = opts_.max_respawns;
+  for (std::size_t si = 0; si < slots_.size(); ++si) {
+    if (!spawn_into(si)) {
       return Status(StatusCode::kInternal,
                     std::string("coordinator: cannot spawn worker: ") +
                         std::strerror(errno));
@@ -341,152 +885,112 @@ StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
   }
   refill_all();
 
-  std::uint64_t results_received = 0;
+  // Event loop: results, failures, deaths, reconnects, timers.
+  while (done_count_ < n_) {
+    reap_children();
+    const int timeout_ms = fire_timers();
 
-  // Event loop: results, failures, deaths.
-  while (done_count < n) {
-    if (pending.size() + /*leased*/ 0 > 0 || true) {
-      // If everything still pending has nowhere to run, respawn or give up.
-      while (!pending.empty() && live_count() < set.procs.size() &&
-             respawns_left > 0) {
-        --respawns_left;
-        for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
-          if (!set.procs[slot].alive) {
-            (void)spawn(slot);
-            break;
-          }
+    // If pending work has nowhere to run, respawn or give up.
+    while (!pending_.empty() &&
+           capacity() < static_cast<std::size_t>(opts_.workers) &&
+           respawns_left_ > 0) {
+      --respawns_left_;
+      bool spawned = false;
+      for (std::size_t si = 0;
+           si < std::min(slots_.size(),
+                         static_cast<std::size_t>(opts_.workers));
+           ++si) {
+        if (slots_[si].dead) {
+          spawned = spawn_into(si);
+          break;
         }
-        refill_all();
       }
-      if (live_count() == 0) {
-        // No workers and no way to make more: quarantine what's left.
-        for (std::size_t i = 0; i < n; ++i) {
-          if (state[i] != kDone) {
-            report.cells[i].status =
-                Status(StatusCode::kInternal,
-                       "coordinator: no live workers (respawn budget spent)");
-            state[i] = kDone;
-            ++done_count;
-          }
-        }
-        break;
-      }
+      if (!spawned) break;
+      refill_all();
     }
+    if (capacity() == 0 && pending_conns_.empty() && done_count_ < n_) {
+      // No workers and no way to make more: quarantine what's left.
+      for (std::size_t i = 0; i < n_; ++i) {
+        if (state_[i] != kDone) {
+          report_.cells[i].status =
+              Status(StatusCode::kInternal,
+                     "coordinator: no live workers (respawn budget spent)");
+          state_[i] = kDone;
+          ++done_count_;
+        }
+      }
+      break;
+    }
+    if (done_count_ == n_) break;
 
     std::vector<pollfd> fds;
-    std::vector<std::size_t> fd_slot;
-    for (std::size_t slot = 0; slot < set.procs.size(); ++slot) {
-      if (set.procs[slot].alive) {
-        fds.push_back(pollfd{set.procs[slot].from, POLLIN, 0});
-        fd_slot.push_back(slot);
+    std::vector<int> kinds;  // 0 = listener, 1 = pending conn, 2 = slot
+    std::vector<std::size_t> refs;
+    if (socket_mode_ && listener_.fd() >= 0) {
+      fds.push_back(pollfd{listener_.fd(), POLLIN, 0});
+      kinds.push_back(0);
+      refs.push_back(0);
+    }
+    for (std::size_t i = 0; i < pending_conns_.size(); ++i) {
+      fds.push_back(pollfd{pending_conns_[i].chan->poll_fd(), POLLIN, 0});
+      kinds.push_back(1);
+      refs.push_back(i);
+    }
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (connected(slots_[i])) {
+        fds.push_back(pollfd{slots_[i].chan->poll_fd(), POLLIN, 0});
+        kinds.push_back(2);
+        refs.push_back(i);
       }
     }
-    const int rc = ::poll(fds.data(), fds.size(), -1);
+    if (fds.empty() && timeout_ms < 0) continue;  // state changed above
+
+    const int rc =
+        ::poll(fds.data(), static_cast<nfds_t>(fds.size()), timeout_ms);
     if (rc < 0) {
       if (errno == EINTR) continue;
       return Status(StatusCode::kInternal,
                     std::string("coordinator: poll: ") + std::strerror(errno));
     }
 
+    std::vector<std::size_t> closed_pending;
     for (std::size_t f = 0; f < fds.size(); ++f) {
       if (fds[f].revents == 0) continue;
-      WorkerProc& w = set.procs[fd_slot[f]];
-      if (!w.alive) continue;
-      char chunk[65536];
-      const ssize_t got = ::read(w.from, chunk, sizeof chunk);
-      if (got < 0) {
-        if (errno == EINTR || errno == EAGAIN) continue;
-        handle_death(w, /*expected=*/false);
+      if (kinds[f] == 0) {
+        while (auto conn = listener_.accept_connection()) {
+          pending_conns_.push_back(
+              PendingConn{std::move(conn), Clock::now() + window_dur()});
+        }
         continue;
       }
-      if (got == 0) {
-        handle_death(w, /*expected=*/false);
+      if (kinds[f] == 1) {
+        PendingConn& pc = pending_conns_[refs[f]];
+        std::vector<std::string> lines;
+        const ReadResult r = pc.chan->drain(&lines);
+        if (!lines.empty()) {
+          bind_pending(std::move(pc.chan), std::move(lines));
+          closed_pending.push_back(refs[f]);
+        } else if (r == ReadResult::kClosed) {
+          pc.chan->close();
+          closed_pending.push_back(refs[f]);
+        }
         continue;
       }
-      w.buf.append(chunk, static_cast<std::size_t>(got));
-
-      std::size_t nl = 0;
-      while ((nl = w.buf.find('\n')) != std::string::npos) {
-        const std::string line = w.buf.substr(0, nl);
-        w.buf.erase(0, nl + 1);
-        Message msg;
-        if (!parse_message(line, &msg)) {
-          // A worker emitting garbage is as dead to us as a killed one.
-          ::kill(w.pid, SIGKILL);
-          handle_death(w, /*expected=*/false);
-          break;
-        }
-        if (msg.type == MessageType::kHello) {
-          report.worker_cache_builds += msg.cache_builds;
-          report.worker_cache_maps += msg.cache_maps;
-          continue;
-        }
-        if (msg.type != MessageType::kResult &&
-            msg.type != MessageType::kFail) {
-          continue;  // BYE outside shutdown: ignore
-        }
-        const std::uint64_t idx = msg.index;
-        if (idx >= n || state[idx] == kDone) continue;  // stale/duplicate
-        const auto sent = w.lease_sent.find(idx);
-        if (obs::enabled() && sent != w.lease_sent.end()) {
-          static obs::HistogramMetric& lease_hist = obs::registry().histogram(
-              "netsample_shard_lease_seconds", obs::duration_bin_edges(),
-              obs::Determinism::kNondeterministic);
-          lease_hist.observe(
-              std::chrono::duration<double>(Clock::now() - sent->second)
-                  .count());
-        }
-        if (sent != w.lease_sent.end()) w.lease_sent.erase(sent);
-        w.outstanding.erase(
-            std::remove(w.outstanding.begin(), w.outstanding.end(), idx),
-            w.outstanding.end());
-
-        ShardCellOutcome& out = report.cells[idx];
-        if (msg.type == MessageType::kResult) {
-          std::vector<core::DisparityMetrics> reps;
-          if (exper::decode_replications(msg.text, &reps)) {
-            out.status = Status::ok();
-            out.replications = std::move(reps);
-          } else {
-            out.status = Status(StatusCode::kInternal,
-                                "coordinator: undecodable result payload");
-          }
-          ++w.results;
-        } else {
-          out.status = Status(msg.code, msg.text);
-        }
-        state[idx] = kDone;
-        ++done_count;
-        ++results_received;
-        advance_journal();
-        maybe_chaos_kill(results_received);
-        grant(w);
-      }
+      Slot& s = slots_[refs[f]];
+      if (!connected(s)) continue;
+      std::vector<std::string> lines;
+      const ReadResult r = s.chan->drain(&lines);
+      handle_slot_lines(s, lines);
+      if (r == ReadResult::kClosed && !s.dead) on_disconnect(s);
+    }
+    std::sort(closed_pending.rbegin(), closed_pending.rend());
+    for (const std::size_t i : closed_pending) {
+      pending_conns_.erase(pending_conns_.begin() +
+                           static_cast<std::ptrdiff_t>(i));
     }
   }
 
-  // Orderly shutdown: STOP everyone, drain BYEs, reap.
-  for (auto& w : set.procs) {
-    if (!w.alive) continue;
-    Message stop;
-    stop.type = MessageType::kStop;
-    (void)write_all_fd(w.to, format_message(stop) + "\n");
-    close_fd(w.to);  // EOF backs the STOP up
-  }
-  for (auto& w : set.procs) {
-    if (!w.alive) continue;
-    char chunk[4096];
-    while (true) {
-      const ssize_t got = ::read(w.from, chunk, sizeof chunk);
-      if (got > 0) continue;  // BYE and stragglers; content irrelevant now
-      if (got < 0 && errno == EINTR) continue;
-      break;
-    }
-    close_fd(w.from);
-    int st = 0;
-    ::waitpid(w.pid, &st, 0);
-    w.alive = false;
-  }
+  shutdown_workers();
 
   if (obs::enabled()) {
     auto& reg = obs::registry();
@@ -500,15 +1004,37 @@ StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
         Determinism::kNondeterministic);
     static obs::Counter& died = reg.counter(
         "netsample_shard_workers_died_total", Determinism::kNondeterministic);
+    static obs::Counter& departed = reg.counter(
+        "netsample_shard_workers_departed_total",
+        Determinism::kNondeterministic);
+    static obs::Counter& expired = reg.counter(
+        "netsample_shard_leases_expired_total",
+        Determinism::kNondeterministic);
+    static obs::Counter& reconnects = reg.counter(
+        "netsample_shard_reconnects_total", Determinism::kNondeterministic);
+    static obs::Counter& pings = reg.counter(
+        "netsample_shard_pings_total", Determinism::kNondeterministic);
     static obs::Gauge& builds = reg.gauge(
         "netsample_shard_worker_cache_builds", Determinism::kNondeterministic);
-    leases.add(report.leases_granted);
-    reassigned.add(report.reassignments);
-    spawned.add(report.workers_spawned);
-    died.add(report.workers_died);
-    builds.set(static_cast<double>(report.worker_cache_builds));
+    leases.add(report_.leases_granted);
+    reassigned.add(report_.reassignments);
+    spawned.add(report_.workers_spawned);
+    died.add(report_.workers_died);
+    departed.add(report_.workers_departed);
+    expired.add(report_.leases_expired);
+    reconnects.add(report_.reconnects);
+    pings.add(report_.pings_sent);
+    builds.set(static_cast<double>(report_.worker_cache_builds));
   }
-  return report;
+  return std::move(report_);
+}
+
+}  // namespace
+
+StatusOr<ShardReport> run_sharded_sweep(const SweepSpec& spec,
+                                        const CoordinatorOptions& opts) {
+  Coordinator coordinator(spec, opts);
+  return coordinator.run();
 }
 
 }  // namespace netsample::shard

@@ -1,19 +1,37 @@
 // The coordinator half of a sharded sweep.
 //
 // One coordinator process owns the grid, the checkpoint journal, and N
-// worker processes. Work is handed out as LEASEs (grid indices) over pipes;
-// results stream back and are committed to the journal BY THE COORDINATOR
-// ONLY, in task order — workers are stateless, so the exactly-once contract
-// reduces to "a cell is journaled exactly when its RESULT was accepted",
-// and a worker SIGKILL'd mid-cell just gets its outstanding leases handed
-// to someone else (reassigned, counted, never double-committed).
+// worker processes. Work is handed out as LEASEs (grid indices) over a
+// Transport — the PR 7 pipe pair, or a TCP socket so workers can live on
+// other machines — and results stream back and are committed to the
+// journal BY THE COORDINATOR ONLY, in task order. Workers are stateless,
+// so the exactly-once contract reduces to "a cell is journaled exactly
+// when its RESULT was first accepted", and every failure mode collapses
+// into reassignment:
+//
+//   worker killed            EOF / reaped        leases requeued at front
+//   wire lost (socket)       EOF                 leases requeued; worker may
+//                                                redial within the reconnect
+//                                                window and re-HELLO
+//   worker stalls, wire up   lease timeout       leases reclaimed; worker is
+//                                                suspended, then treated
+//                                                dead if still silent
+//   half-open connection     heartbeat deadline  connection closed; socket
+//                            (idle workers only) workers redial
+//   worker departs (SIGTERM) BYE                 logged as departure, not
+//                                                death; leases requeued
+//
+// Duplicate RESULTs (a reconnect replay, a reclaimed lease completing
+// twice) are discarded by cell state — recomputed cells are bit-identical
+// by construction, so acceptance order cannot change any byte of output.
 //
 // Determinism: a cell's seed derives from its grid coordinates
 // (derived_cell_config), never from which worker ran it or in what order
 // results arrived, so a W-worker sweep is bit-identical to the --jobs J
 // threaded sweep for any W and J — tables, journal contents, and
-// selected-index sets. docs/SHARDING.md spells out the protocol and the
-// failure matrix.
+// selected-index sets — on either transport, under any injected fault
+// schedule. docs/SHARDING.md spells out the protocol and the failure
+// matrix.
 #pragma once
 
 #include <cstdint>
@@ -27,6 +45,11 @@
 
 namespace netsample::shard {
 
+enum class TransportKind {
+  kPipe,    // fork/exec children over pipe pairs (PR 7 semantics)
+  kSocket,  // TCP: coordinator listens, workers dial (and redial)
+};
+
 struct CoordinatorOptions {
   /// Worker processes to spawn (>= 1).
   int workers{2};
@@ -39,8 +62,9 @@ struct CoordinatorOptions {
   /// ParallelRunner::run would have written for the same grid.
   exper::CheckpointJournal* journal{nullptr};
   /// argv for exec'd workers (argv[0] is the binary; "--store"/"--store-
-  /// backend" are appended). Empty selects fork-only mode: the child calls
-  /// run_worker directly with no exec — what the bench harness uses.
+  /// backend" — plus "--connect"/"--connect-retries"/"--netfault" in socket
+  /// mode — are appended). Empty selects fork-only mode: the child calls
+  /// run_worker / run_socket_worker directly with no exec.
   std::vector<std::string> worker_command;
   /// Deterministic chaos: after accepting this many RESULTs, SIGKILL one
   /// worker that still has outstanding leases (< 0 disables). The kill is
@@ -50,11 +74,41 @@ struct CoordinatorOptions {
   /// Replacement spawns allowed after unexpected worker deaths before the
   /// remaining cells are failed with kInternal.
   int max_respawns{8};
-  /// Per-worker die-after-N-cells chaos forwarded to fork-only workers
-  /// (WorkerOptions::die_after_cells) — applied to the FIRST spawned worker
-  /// only, initial spawn only, so tests can script exactly one mid-sweep
-  /// death without signals. < 0 disables.
+  /// Per-worker die-after-N-cells chaos (WorkerOptions::die_after_cells,
+  /// or "--die-after" appended in exec mode) — applied to the FIRST spawned
+  /// worker only, initial spawn only, so tests can script exactly one
+  /// mid-sweep death without signals. < 0 disables.
   int first_worker_die_after{-1};
+  /// Like first_worker_die_after but a clean departure: the worker sends
+  /// BYE and exits 0 after N cells (WorkerOptions::depart_after_cells).
+  int first_worker_depart_after{-1};
+
+  /// How lease-protocol lines travel (see TransportKind).
+  TransportKind transport{TransportKind::kPipe};
+  /// Socket transport bind address; port 0 picks an ephemeral port that
+  /// spawned workers are pointed at automatically.
+  std::string listen{"127.0.0.1:0"};
+  /// Heartbeat period in seconds (0 = off). The coordinator PINGs every
+  /// connected worker on this cadence; a worker with NO outstanding leases
+  /// that stays silent for 4 heartbeat periods is treated as a half-open
+  /// connection and disconnected. Busy workers are exempt — a
+  /// single-threaded worker cannot PONG mid-cell; the lease timeout
+  /// governs those.
+  double heartbeat_interval_s{0.0};
+  /// Lease expiry in seconds (0 = off): a lease older than this is
+  /// reclaimed and reassigned even though the worker's wire is up
+  /// (stalled-but-connected). The worker is suspended from new grants
+  /// until it speaks again; silent through one more timeout, it is
+  /// disconnected. A late duplicate RESULT is discarded harmlessly.
+  double lease_timeout_s{0.0};
+  /// Socket only: how long a vanished worker may redial (and a spawned
+  /// worker may take to first connect) before it is declared dead.
+  double reconnect_window_s{10.0};
+  /// Worker-side redial budget per lost connection, forwarded to workers.
+  int connect_retries{5};
+  /// Worker-side wire-impairment schedule (faultsim netfault codec),
+  /// forwarded to workers; empty = clean wire.
+  std::string netfault;
 };
 
 /// Outcome of one grid cell, in task order.
@@ -72,8 +126,12 @@ struct ShardReport {
   std::uint64_t leases_granted{0};
   std::uint64_t reassignments{0};
   std::uint64_t workers_spawned{0};
-  std::uint64_t workers_killed{0};  // chaos kills we initiated
-  std::uint64_t workers_died{0};    // unexpected deaths observed
+  std::uint64_t workers_killed{0};    // chaos kills we initiated
+  std::uint64_t workers_died{0};      // unexpected deaths observed
+  std::uint64_t workers_departed{0};  // clean BYE departures (not deaths)
+  std::uint64_t leases_expired{0};    // reclaimed from stalled workers
+  std::uint64_t reconnects{0};        // re-HELLOs bound to a known worker
+  std::uint64_t pings_sent{0};
   /// Summed from worker HELLOs: re-bins performed by workers (the
   /// zero-re-binning acceptance: stays 0) and store mappings.
   std::uint64_t worker_cache_builds{0};
@@ -88,8 +146,8 @@ struct ShardReport {
 
 /// Run `spec` over the store with `opts.workers` processes. Returns a
 /// non-OK status only for coordinator-level failures (store invalid, spawn
-/// impossible); per-cell failures and worker deaths are quarantined inside
-/// the report instead.
+/// impossible, listen address unusable); per-cell failures and worker
+/// deaths are quarantined inside the report instead.
 [[nodiscard]] StatusOr<ShardReport> run_sharded_sweep(
     const SweepSpec& spec, const CoordinatorOptions& opts);
 

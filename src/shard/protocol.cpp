@@ -63,6 +63,10 @@ std::string format_message(const Message& m) {
              u64_str(static_cast<std::uint64_t>(m.code)) + " " + m.text;
     case MessageType::kBye:
       return "BYE cells=" + u64_str(m.cells);
+    case MessageType::kPing:
+      return "PING " + u64_str(m.index);
+    case MessageType::kPong:
+      return "PONG " + u64_str(m.index);
   }
   return "";
 }
@@ -118,6 +122,16 @@ bool parse_message(const std::string& line, Message* m) {
   if (eat(p, "BYE ")) {
     m->type = MessageType::kBye;
     return eat_field(p, "cells", &m->cells) && *p == '\0';
+  }
+  p = line.c_str();
+  if (eat(p, "PING ")) {
+    m->type = MessageType::kPing;
+    return eat_u64(p, &m->index) && *p == '\0';
+  }
+  p = line.c_str();
+  if (eat(p, "PONG ")) {
+    m->type = MessageType::kPong;
+    return eat_u64(p, &m->index) && *p == '\0';
   }
   return false;
 }

@@ -9,18 +9,25 @@
 //   coordinator -> worker
 //     SPEC <encoded-sweep-spec>     the grid to rebuild (grid.h codec)
 //     LEASE <task-index>            run grid cell <task-index>
+//     PING <seq>                    liveness probe (socket transport)
 //     STOP                          finish up; worker answers BYE and exits
 //
 //   worker -> coordinator
 //     HELLO pid=<pid> packets=<n> builds=<b> maps=<m>
 //                                   store opened; b/m are the worker's
 //                                   trace-cache build/map counters (the
-//                                   zero-re-binning assertion: b == 0)
+//                                   zero-re-binning assertion: b == 0).
+//                                   Re-sent after a reconnect — the pid is
+//                                   the worker's stable identity, so the
+//                                   coordinator rebinds the new connection
+//                                   to the same lease bookkeeping.
 //     RESULT <task-index> <reps>    cell done; <reps> is the journal's
 //                                   hexfloat replication codec, bit-exact
 //     FAIL <task-index> <code> <message...>
 //                                   cell failed with StatusCode <code>
-//     BYE cells=<count>             response to STOP
+//     PONG <seq>                    answer to PING <seq>
+//     BYE cells=<count>             response to STOP, or an unsolicited
+//                                   clean departure (SIGTERM)
 //
 // parse_message is strict: any malformed line fails the parse, and the
 // coordinator treats a worker that emits one as dead (its leases are
@@ -43,11 +50,13 @@ enum class MessageType {
   kResult,
   kFail,
   kBye,
+  kPing,
+  kPong,
 };
 
 struct Message {
   MessageType type{MessageType::kStop};
-  std::uint64_t index{0};         // LEASE / RESULT / FAIL
+  std::uint64_t index{0};         // LEASE / RESULT / FAIL / PING / PONG seq
   StatusCode code{StatusCode::kOk};  // FAIL
   std::uint64_t pid{0};           // HELLO
   std::uint64_t packets{0};       // HELLO

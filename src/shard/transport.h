@@ -1,0 +1,151 @@
+// Byte transports for the coordinator <-> worker line protocol.
+//
+// PR 7 spoke the lease protocol over a pipe pair; this header makes "how
+// lines travel" a seam. A Transport is one bidirectional, ordered,
+// newline-framed byte channel. Two real implementations exist:
+//
+//   pipe    the PR 7 pair of pipe fds (or a connected socketpair) — what
+//           fork-only and exec'd stdin/stdout workers use;
+//   socket  one TCP connection, so workers can live on other machines
+//           (`netsample sweep --transport socket --listen HOST:PORT`,
+//           `netsample worker --connect HOST:PORT`).
+//
+// plus the deterministic wire-impairment wrapper in faultsim/netfault.h,
+// which is why the interface lives header-visible: faultsim wraps a
+// Transport without linking against shard internals.
+//
+// The interface is deliberately tiny and line-oriented:
+//   - write_line()  appends '\n' and writes the whole line or reports the
+//                   channel dead — there are no partial writes at this
+//                   layer (a torn write is modeled as write-then-close,
+//                   which is what a crashed peer actually produces);
+//   - read_line()   blocks for the next complete line (worker side);
+//   - drain()       nonblocking: one read() worth of bytes split into the
+//                   complete lines it finished (coordinator side, after
+//                   poll() said the fd is readable);
+//   - poll_fd()     the fd a coordinator poll loop watches.
+//
+// A partial line buffered when the peer closes is DISCARDED, never
+// delivered: strict framing is what keeps a half-written RESULT from a
+// dying worker unparseable by construction (docs/SHARDING.md).
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace netsample::shard {
+
+enum class ReadResult {
+  kLine,         // *line holds one complete line (newline stripped)
+  kNoData,       // nonblocking drain: nothing complete yet, channel fine
+  kClosed,       // peer closed (or channel previously errored)
+  kInterrupted,  // blocking read hit EINTR — caller decides (SIGTERM check)
+};
+
+class Transport {
+ public:
+  virtual ~Transport() = default;
+
+  /// Fd a poll() loop can watch for readability (coordinator side).
+  [[nodiscard]] virtual int poll_fd() const = 0;
+
+  /// Write `line` + '\n' fully. False marks the channel closed (EPIPE,
+  /// reset); a false return is sticky — the channel never half-works.
+  [[nodiscard]] virtual bool write_line(const std::string& line) = 0;
+
+  /// Raw bytes, NO framing added. Exists so a fault injector can produce a
+  /// genuinely torn line — a prefix with no newline, then a close — which
+  /// is what a crashed peer's last write looks like on a real wire.
+  [[nodiscard]] virtual bool write_bytes(const std::string& bytes) = 0;
+
+  /// Block until one complete line, EOF, or a signal (worker side).
+  [[nodiscard]] virtual ReadResult read_line(std::string* line) = 0;
+
+  /// Nonblocking: consume at most one read() of bytes, append every line
+  /// it completed to `lines`. kLine when >= 1 line landed, kNoData when
+  /// the read would block or was short of a newline, kClosed on EOF
+  /// (any buffered partial line is discarded).
+  [[nodiscard]] virtual ReadResult drain(std::vector<std::string>* lines) = 0;
+
+  /// Half-close the write side so the peer sees EOF after our last line
+  /// (STOP backpressure), while reads keep working.
+  virtual void shutdown_write() = 0;
+
+  virtual void close() = 0;
+  [[nodiscard]] virtual bool is_closed() const = 0;
+
+  /// Append every raw fd this transport owns (fork hygiene: children close
+  /// the coordinator's descriptors so sibling EOFs propagate).
+  virtual void append_fds(std::vector<int>* out) const = 0;
+};
+
+/// A transport over a read fd + write fd pair (rfd == wfd for sockets;
+/// distinct fds for a pipe pair). Takes ownership of both.
+[[nodiscard]] std::unique_ptr<Transport> make_fd_transport(int read_fd,
+                                                           int write_fd);
+
+/// A transport over stdio streams (worker exec mode: stdin/stdout). Does
+/// NOT own the FILEs; drain() is unsupported (workers only block-read).
+[[nodiscard]] std::unique_ptr<Transport> make_stdio_transport(std::FILE* in,
+                                                              std::FILE* out);
+
+/// Split "host:port" (last ':' wins, so a future v6 literal can carry
+/// colons). Port must be numeric in [0, 65535]; 0 is only meaningful for
+/// listening (ephemeral).
+[[nodiscard]] StatusOr<std::pair<std::string, int>> parse_host_port(
+    const std::string& text);
+
+/// A listening TCP socket the coordinator accepts worker connections on.
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener();
+
+  /// Bind + listen on "host:port" (port 0 picks an ephemeral port).
+  [[nodiscard]] static StatusOr<Listener> open(const std::string& host_port);
+
+  [[nodiscard]] int fd() const { return fd_; }
+  [[nodiscard]] int port() const { return port_; }
+  /// "host:actual-port" — what workers dial (resolves port 0).
+  [[nodiscard]] std::string address() const;
+
+  /// Accept one pending connection (TCP_NODELAY set); null when none is
+  /// waiting (the listener fd is nonblocking).
+  [[nodiscard]] std::unique_ptr<Transport> accept_connection();
+
+  void close();
+
+ private:
+  int fd_{-1};
+  int port_{0};
+  std::string host_;
+};
+
+struct DialOptions {
+  /// Redial attempts after the first (capped exponential backoff between
+  /// attempts: initial_backoff_s doubling up to max_backoff_s, each delay
+  /// jittered uniformly in [0.5x, 1.5x] so a respawned fleet does not
+  /// reconnect in lockstep).
+  int retries{5};
+  double initial_backoff_s{0.05};
+  double max_backoff_s{2.0};
+  /// Seed for the jitter stream (0 derives one from the pid).
+  std::uint64_t jitter_seed{0};
+};
+
+/// Connect to "host:port", retrying per `opts`. kInternal when every
+/// attempt failed, kInvalidArgument for an unparseable address.
+[[nodiscard]] StatusOr<std::unique_ptr<Transport>> dial(
+    const std::string& host_port, const DialOptions& opts = {});
+
+}  // namespace netsample::shard

@@ -4,148 +4,364 @@
 
 #include <csignal>
 #include <cstdlib>
+#include <deque>
 #include <exception>
+#include <memory>
+#include <utility>
 #include <vector>
 
 #include "exper/journal.h"
 #include "exper/runner.h"
+#include "faultsim/netfault.h"
 #include "obs/metrics.h"
 #include "shard/grid.h"
 #include "shard/protocol.h"
 #include "shard/store.h"
+#include "shard/transport.h"
 
 namespace netsample::shard {
 
 namespace {
 
-bool send_line(std::FILE* out, const Message& m) {
-  const std::string line = format_message(m) + "\n";
-  return std::fwrite(line.data(), 1, line.size(), out) == line.size() &&
-         std::fflush(out) == 0;
-}
+// SIGTERM means "leave cleanly": the handler only raises a flag; the loop
+// notices it between messages (the handler is installed without SA_RESTART
+// so a blocking read returns EINTR) and answers with BYE + exit 0.
+volatile std::sig_atomic_t g_sigterm = 0;
+void sigterm_handler(int) { g_sigterm = 1; }
 
-/// Next newline-terminated line from `in`; false on EOF/error. Uses POSIX
-/// getline so RESULT-sized payloads never truncate.
-bool read_line(std::FILE* in, std::string* line) {
-  char* buf = nullptr;
-  std::size_t cap = 0;
-  const ssize_t n = ::getline(&buf, &cap, in);
-  if (n < 0) {
-    std::free(buf);
-    return false;
+/// Installs the clean-departure SIGTERM handler for the duration of a
+/// worker run and restores the previous disposition after (the in-process
+/// test harness calls run_worker directly).
+class SigtermGuard {
+ public:
+  SigtermGuard() {
+    g_sigterm = 0;
+    struct sigaction sa{};
+    sa.sa_handler = sigterm_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;  // no SA_RESTART: blocking reads must wake up
+    ::sigaction(SIGTERM, &sa, &old_);
   }
-  line->assign(buf, static_cast<std::size_t>(n));
-  std::free(buf);
-  while (!line->empty() && (line->back() == '\n' || line->back() == '\r')) {
-    line->pop_back();
+  ~SigtermGuard() { ::sigaction(SIGTERM, &old_, nullptr); }
+
+ private:
+  struct sigaction old_{};
+};
+
+/// Forwards to a Transport the caller owns (pipe/stdio mode), so the
+/// netfault wrapper — which owns its inner transport — can wrap it.
+class BorrowedTransport final : public Transport {
+ public:
+  explicit BorrowedTransport(Transport& inner) : inner_(inner) {}
+  [[nodiscard]] int poll_fd() const override { return inner_.poll_fd(); }
+  [[nodiscard]] bool write_line(const std::string& line) override {
+    return inner_.write_line(line);
   }
-  return true;
-}
+  [[nodiscard]] bool write_bytes(const std::string& bytes) override {
+    return inner_.write_bytes(bytes);
+  }
+  [[nodiscard]] ReadResult read_line(std::string* line) override {
+    return inner_.read_line(line);
+  }
+  [[nodiscard]] ReadResult drain(std::vector<std::string>* lines) override {
+    return inner_.drain(lines);
+  }
+  void shutdown_write() override { inner_.shutdown_write(); }
+  void close() override { inner_.close(); }
+  [[nodiscard]] bool is_closed() const override { return inner_.is_closed(); }
+  void append_fds(std::vector<int>* out) const override {
+    inner_.append_fds(out);
+  }
+
+ private:
+  Transport& inner_;
+};
 
 std::uint64_t counter_value(const char* name) {
   if (!obs::enabled()) return 0;
   return obs::registry().counter(name).value();
 }
 
-}  // namespace
+/// One worker run: the protocol loop plus (in socket mode) the
+/// reconnect machinery. The TraceStore is opened exactly once per process
+/// no matter how often the wire flaps — zero re-binning holds through
+/// every reconnect, and the HELLO counters are reported once.
+class WorkerSession {
+ public:
+  WorkerSession(const WorkerOptions& opts, const TraceStore& store)
+      : opts_(opts), store_(store) {}
 
-Status run_worker(const WorkerOptions& opts, std::FILE* in, std::FILE* out) {
+  Status run_fixed(Transport& transport) {
+    fixed_ = &transport;
+    if (!opts_.netfault.empty()) {
+      auto spec = faultsim::parse_netfault_spec(opts_.netfault);
+      if (!spec.has_value()) return spec.status();
+      fault_ = std::make_unique<faultsim::NetFaultTransport>(
+          *spec, std::make_unique<BorrowedTransport>(transport));
+    }
+    if (!hello_and_flush()) {
+      return Status(StatusCode::kInternal, "worker: coordinator pipe closed");
+    }
+    return loop();
+  }
+
+  Status run_dialing() {
+    socket_mode_ = true;
+    if (!opts_.netfault.empty()) {
+      auto spec = faultsim::parse_netfault_spec(opts_.netfault);
+      if (!spec.has_value()) return spec.status();
+      fault_ = std::make_unique<faultsim::NetFaultTransport>(*spec, nullptr);
+    }
+    if (!reconnect()) {
+      return Status(StatusCode::kInternal,
+                    "worker: cannot reach coordinator at " + opts_.connect);
+    }
+    return loop();
+  }
+
+ private:
+  Transport* wire() {
+    if (fault_) return fault_.get();
+    return socket_mode_ ? owned_.get() : fixed_;
+  }
+
+  Message hello_message() const {
+    Message hello;
+    hello.type = MessageType::kHello;
+    hello.pid = static_cast<std::uint64_t>(::getpid());
+    hello.packets = store_.packet_count();
+    if (obs::enabled()) {
+      hello.cache_builds =
+          counter_value("netsample_trace_cache_builds_total");
+      hello.cache_maps = counter_value("netsample_trace_cache_maps_total");
+    } else {
+      hello.cache_builds = 0;
+      hello.cache_maps = store_.cache().mapped() ? 1 : 0;
+    }
+    return hello;
+  }
+
+  /// HELLO, then whatever replies a dead wire left queued. Replayed
+  /// RESULTs for cells the coordinator already committed are discarded
+  /// there (dedupe), never double-committed.
+  bool hello_and_flush() {
+    Transport* w = wire();
+    if (w == nullptr) return false;
+    if (!w->write_line(format_message(hello_message()))) return false;
+    return flush_queued();
+  }
+
+  bool flush_queued() {
+    Transport* w = wire();
+    while (!queued_.empty()) {
+      if (w == nullptr || !w->write_line(queued_.front())) return false;
+      queued_.pop_front();
+    }
+    return true;
+  }
+
+  /// (Re)dial in socket mode. dial() already applies the capped
+  /// exponential backoff + jitter across its attempts; the outer loop
+  /// bounds how many times a handshake may die mid-replay before we give
+  /// up on this wire for good.
+  bool reconnect() {
+    if (!socket_mode_) return false;
+    for (int attempt = 0; attempt < 4; ++attempt) {
+      DialOptions dopts;
+      dopts.retries = opts_.connect_retries;
+      auto conn = dial(opts_.connect, dopts);
+      if (!conn.has_value()) return false;
+      if (fault_) {
+        fault_->rebind(std::move(*conn));
+      } else {
+        owned_ = std::move(*conn);
+      }
+      if (attempt > 0 || hello_sent_) ++reconnects_;
+      if (hello_and_flush()) {
+        hello_sent_ = true;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Wire died mid-loop: pipes shut down in order, sockets redial.
+  enum class LostWire { kOrderly, kRecovered, kFatal };
+  LostWire lost_wire() {
+    if (!socket_mode_) return LostWire::kOrderly;  // pipe EOF = shutdown
+    return reconnect() ? LostWire::kRecovered : LostWire::kFatal;
+  }
+
+  Status depart() {
+    Message bye;
+    bye.type = MessageType::kBye;
+    bye.cells = cells_done_;
+    Transport* w = wire();
+    if (w != nullptr) (void)w->write_line(format_message(bye));
+    return Status::ok();
+  }
+
+  /// Queue a reply line, then push the queue. A write failure keeps the
+  /// line queued for replay after the next reconnect.
+  void deliver(const Message& reply) {
+    queued_.push_back(format_message(reply));
+    (void)flush_queued();
+  }
+
+  Message lease_reply(std::uint64_t index) {
+    Message reply;
+    reply.index = index;
+    if (index >= grid_.size()) {
+      reply.type = MessageType::kFail;
+      reply.code = StatusCode::kInvalidArgument;
+      reply.text =
+          grid_.empty() ? "lease before SPEC" : "lease index out of range";
+      return reply;
+    }
+    const exper::CellConfig cfg =
+        derived_cell_config(grid_[index], spec_.base_seed);
+    try {
+      const exper::CellResult result = exper::run_cell(cfg);
+      reply.type = MessageType::kResult;
+      reply.text = exper::encode_replications(result.replications);
+    } catch (const StatusError& e) {
+      reply.type = MessageType::kFail;
+      reply.code = e.status().code();
+      reply.text = e.status().message();
+    } catch (const std::exception& e) {
+      reply.type = MessageType::kFail;
+      reply.code = StatusCode::kInternal;
+      reply.text = e.what();
+    }
+    return reply;
+  }
+
+  Status loop() {
+    std::string line;
+    while (true) {
+      if (g_sigterm != 0) return depart();
+      Transport* w = wire();
+      if (w == nullptr || w->is_closed()) {
+        switch (lost_wire()) {
+          case LostWire::kOrderly: return Status::ok();
+          case LostWire::kRecovered: continue;
+          case LostWire::kFatal:
+            return Status(StatusCode::kInternal,
+                          "worker: lost coordinator (redial budget spent)");
+        }
+      }
+      const ReadResult r = w->read_line(&line);
+      if (r == ReadResult::kInterrupted) continue;  // SIGTERM checked on top
+      if (r != ReadResult::kLine) {
+        switch (lost_wire()) {
+          case LostWire::kOrderly: return Status::ok();
+          case LostWire::kRecovered: continue;
+          case LostWire::kFatal:
+            return Status(StatusCode::kInternal,
+                          "worker: lost coordinator (redial budget spent)");
+        }
+      }
+      if (line.empty()) continue;
+      Message msg;
+      if (!parse_message(line, &msg)) {
+        return Status(StatusCode::kInvalidArgument,
+                      "worker: malformed coordinator message");
+      }
+      switch (msg.type) {
+        case MessageType::kSpec: {
+          if (!decode_sweep_spec(msg.text, &spec_)) {
+            return Status(StatusCode::kInvalidArgument,
+                          "worker: malformed sweep spec");
+          }
+          grid_ = build_grid(spec_, store_.view(),
+                             store_.mean_interarrival_usec(), &store_.cache());
+          break;
+        }
+        case MessageType::kPing: {
+          // A lost PONG is harmless: the wire loss surfaces on the next
+          // read, and the coordinator's liveness deadline covers silence.
+          Message pong;
+          pong.type = MessageType::kPong;
+          pong.index = msg.index;
+          Transport* pw = wire();
+          if (pw != nullptr) (void)pw->write_line(format_message(pong));
+          break;
+        }
+        case MessageType::kLease: {
+          const Message reply = lease_reply(msg.index);
+          deliver(reply);
+          if (reply.type == MessageType::kResult) {
+            ++cells_done_;
+            if (opts_.die_after_cells >= 0 &&
+                cells_done_ >=
+                    static_cast<std::uint64_t>(opts_.die_after_cells)) {
+              // Simulated SIGKILL: no flush, no unwind, no BYE.
+              ::_exit(137);
+            }
+            if (opts_.depart_after_cells >= 0 &&
+                cells_done_ >=
+                    static_cast<std::uint64_t>(opts_.depart_after_cells)) {
+              return depart();  // scripted SIGTERM stand-in
+            }
+          }
+          break;
+        }
+        case MessageType::kStop:
+          return depart();
+        default:
+          return Status(StatusCode::kInvalidArgument,
+                        "worker: unexpected message type");
+      }
+    }
+  }
+
+  const WorkerOptions& opts_;
+  const TraceStore& store_;
+  Transport* fixed_{nullptr};                            // pipe/stdio mode
+  std::unique_ptr<Transport> owned_;                     // socket mode
+  std::unique_ptr<faultsim::NetFaultTransport> fault_;   // optional wrapper
+  bool socket_mode_{false};
+  bool hello_sent_{false};
+  std::uint64_t reconnects_{0};
+  std::deque<std::string> queued_;  // replies not yet written to a live wire
+  SweepSpec spec_;
+  std::vector<exper::GridTask> grid_;
+  std::uint64_t cells_done_{0};
+};
+
+Status run_worker_common(const WorkerOptions& opts, Transport* fixed) {
   // A coordinator that died mid-read must surface as a write error, not a
   // process-killing SIGPIPE.
   std::signal(SIGPIPE, SIG_IGN);
+  SigtermGuard sigterm;
 
   StoreBackend& backend = store_backend(opts.backend);
   auto opened = TraceStore::open(opts.store_path, backend);
   if (!opened.has_value()) return opened.status();
   const TraceStore store = std::move(*opened);
 
-  Message hello;
-  hello.type = MessageType::kHello;
-  hello.pid = static_cast<std::uint64_t>(::getpid());
-  hello.packets = store.packet_count();
-  if (obs::enabled()) {
-    hello.cache_builds = counter_value("netsample_trace_cache_builds_total");
-    hello.cache_maps = counter_value("netsample_trace_cache_maps_total");
-  } else {
-    hello.cache_builds = 0;
-    hello.cache_maps = store.cache().mapped() ? 1 : 0;
-  }
-  if (!send_line(out, hello)) {
-    return Status(StatusCode::kInternal, "worker: coordinator pipe closed");
-  }
+  WorkerSession session(opts, store);
+  if (fixed != nullptr) return session.run_fixed(*fixed);
+  return session.run_dialing();
+}
 
-  SweepSpec spec;
-  std::vector<exper::GridTask> grid;
-  std::uint64_t cells_done = 0;
-  std::string line;
-  while (read_line(in, &line)) {
-    if (line.empty()) continue;
-    Message msg;
-    if (!parse_message(line, &msg)) {
-      return Status(StatusCode::kInvalidArgument,
-                    "worker: malformed coordinator message");
-    }
-    switch (msg.type) {
-      case MessageType::kSpec: {
-        if (!decode_sweep_spec(msg.text, &spec)) {
-          return Status(StatusCode::kInvalidArgument,
-                        "worker: malformed sweep spec");
-        }
-        grid = build_grid(spec, store.view(), store.mean_interarrival_usec(),
-                          &store.cache());
-        break;
-      }
-      case MessageType::kLease: {
-        Message reply;
-        reply.index = msg.index;
-        if (msg.index >= grid.size()) {
-          reply.type = MessageType::kFail;
-          reply.code = StatusCode::kInvalidArgument;
-          reply.text = grid.empty() ? "lease before SPEC"
-                                    : "lease index out of range";
-        } else {
-          const exper::CellConfig cfg =
-              derived_cell_config(grid[msg.index], spec.base_seed);
-          try {
-            const exper::CellResult result = exper::run_cell(cfg);
-            reply.type = MessageType::kResult;
-            reply.text = exper::encode_replications(result.replications);
-          } catch (const StatusError& e) {
-            reply.type = MessageType::kFail;
-            reply.code = e.status().code();
-            reply.text = e.status().message();
-          } catch (const std::exception& e) {
-            reply.type = MessageType::kFail;
-            reply.code = StatusCode::kInternal;
-            reply.text = e.what();
-          }
-        }
-        if (!send_line(out, reply)) {
-          return Status(StatusCode::kInternal, "worker: coordinator pipe closed");
-        }
-        if (reply.type == MessageType::kResult) {
-          ++cells_done;
-          if (opts.die_after_cells >= 0 &&
-              cells_done >= static_cast<std::uint64_t>(opts.die_after_cells)) {
-            // Simulated SIGKILL: no flush, no unwind, no BYE.
-            ::_exit(137);
-          }
-        }
-        break;
-      }
-      case MessageType::kStop: {
-        Message bye;
-        bye.type = MessageType::kBye;
-        bye.cells = cells_done;
-        (void)send_line(out, bye);
-        return Status::ok();
-      }
-      default:
-        return Status(StatusCode::kInvalidArgument,
-                      "worker: unexpected message type");
-    }
+}  // namespace
+
+Status run_worker(const WorkerOptions& opts, std::FILE* in, std::FILE* out) {
+  auto transport = make_stdio_transport(in, out);
+  return run_worker_common(opts, transport.get());
+}
+
+Status run_worker(const WorkerOptions& opts, Transport& transport) {
+  return run_worker_common(opts, &transport);
+}
+
+Status run_socket_worker(const WorkerOptions& opts) {
+  if (opts.connect.empty()) {
+    return Status(StatusCode::kInvalidArgument,
+                  "worker: socket mode needs --connect HOST:PORT");
   }
-  return Status::ok();  // coordinator closed the pipe: orderly shutdown
+  return run_worker_common(opts, nullptr);
 }
 
 }  // namespace netsample::shard

@@ -9,10 +9,24 @@
 // the journal, so a worker can be SIGKILL'd at any instant and the sweep
 // still completes exactly-once.
 //
-// run_worker is both the body of `netsample worker` (exec'd workers, pipes
-// on stdin/stdout) and directly callable after a bare fork() — the bench
-// harness uses the latter to measure multi-process throughput without
-// paying exec + dynamic-loader cost per worker.
+// Three entry points share one loop:
+//   - run_worker(opts, in, out): pipes/stdio — the body of a fork-only
+//     child and of `netsample worker` without --connect;
+//   - run_worker(opts, transport): any Transport (tests, custom wires);
+//   - run_socket_worker(opts): dial --connect HOST:PORT, with automatic
+//     reconnection — capped exponential backoff + jitter, an idempotent
+//     re-HELLO, and a bounded replay of the most recent RESULT lines so a
+//     reply that died with the connection still reaches the coordinator
+//     (which dedupes; a replayed cell is never committed twice).
+//
+// Failure behavior on the worker side of the model:
+//   - SIGTERM: finish or abandon the in-flight read, send BYE, exit clean
+//     (the coordinator logs a departure, not a death);
+//   - wire lost in socket mode: redial within the retry budget, re-HELLO,
+//     replay unacknowledged results, continue; budget exhausted is
+//     kInternal (exit 70);
+//   - wire lost in pipe mode: there is nothing to redial — orderly EOF
+//     shutdown exactly as before.
 #pragma once
 
 #include <cstdio>
@@ -22,6 +36,8 @@
 
 namespace netsample::shard {
 
+class Transport;
+
 struct WorkerOptions {
   std::string store_path;
   std::string backend{"mmap"};
@@ -30,6 +46,17 @@ struct WorkerOptions {
   /// the coordinator. < 0 disables. Resume/reassignment tests script kills
   /// at exact points with this.
   int die_after_cells{-1};
+  /// Clean-departure chaos hook: after this many RESULTs, behave exactly
+  /// like a SIGTERM — send BYE and return OK. < 0 disables.
+  int depart_after_cells{-1};
+  /// Socket mode (run_socket_worker): coordinator address to dial.
+  std::string connect;
+  /// Redial attempts after a lost connection (socket mode).
+  int connect_retries{5};
+  /// Optional wire-impairment schedule (faultsim netfault codec, e.g.
+  /// "seed=7,drop=0.1"); empty = clean wire. Applied on the worker side of
+  /// every connection, including redials (the schedule persists).
+  std::string netfault;
 };
 
 /// Speak the worker protocol over `in`/`out` until STOP or EOF. Returns OK
@@ -39,5 +66,12 @@ struct WorkerOptions {
 /// std::invalid_argument for an unknown backend name.
 [[nodiscard]] Status run_worker(const WorkerOptions& opts, std::FILE* in,
                                 std::FILE* out);
+
+/// Same loop over an arbitrary transport (no reconnection).
+[[nodiscard]] Status run_worker(const WorkerOptions& opts,
+                                Transport& transport);
+
+/// Dial opts.connect and run the loop with reconnection (see above).
+[[nodiscard]] Status run_socket_worker(const WorkerOptions& opts);
 
 }  // namespace netsample::shard

@@ -155,6 +155,14 @@ TEST(ShardProtocol, RoundTripsEveryMessageType) {
   m.type = MessageType::kBye;
   m.cells = 17;
   cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kPing;
+  m.index = 8;  // heartbeat sequence number rides the index field
+  cases.push_back(m);
+  m = Message{};
+  m.type = MessageType::kPong;
+  m.index = 8;
+  cases.push_back(m);
 
   for (const auto& original : cases) {
     Message parsed;
@@ -184,6 +192,11 @@ TEST(ShardProtocol, RejectsMalformedLines) {
   EXPECT_FALSE(parse_message("HELLO pid=1", &m));
   EXPECT_FALSE(parse_message("SPEC ", &m));
   EXPECT_FALSE(parse_message("NONSENSE 1", &m));
+  EXPECT_FALSE(parse_message("PING", &m));
+  EXPECT_FALSE(parse_message("PING ", &m));
+  EXPECT_FALSE(parse_message("PING x", &m));
+  EXPECT_FALSE(parse_message("PING 1 2", &m));
+  EXPECT_FALSE(parse_message("PONG 1 2", &m));
   // FAIL with an empty message is legal (some exceptions carry none).
   EXPECT_TRUE(parse_message("FAIL 1 4 ", &m));
   EXPECT_EQ(m.type, MessageType::kFail);
@@ -509,6 +522,177 @@ TEST(ShardCoordinator, InvalidStoreSurfacesDataLossBeforeSpawning) {
   auto got = run_sharded_sweep(small_spec(), opts);
   ASSERT_FALSE(got.has_value());
   EXPECT_EQ(got.status().code(), StatusCode::kDataLoss);
+}
+
+// ---------------------------------------------------------------------------
+// Socket transport + the network-failure model. Every drill below must end
+// in the same bits as the threaded reference: the failure model recovers
+// work, it never re-derives it.
+
+CoordinatorOptions socket_opts() {
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = fixture().store_path;
+  opts.transport = TransportKind::kSocket;
+  return opts;
+}
+
+TEST(ShardCoordinator, SocketBitIdenticalToThreadedRunAtEveryWorkerCount) {
+  const SweepSpec spec = small_spec();
+  const auto want = threaded_reference(spec, 2);
+  ASSERT_TRUE(want.all_ok());
+  for (const int workers : {1, 2, 4}) {
+    CoordinatorOptions opts = socket_opts();
+    opts.workers = workers;
+    auto got = run_sharded_sweep(spec, opts);
+    ASSERT_TRUE(got.has_value()) << got.status().to_string();
+    expect_matches_reference(*got, want);
+    EXPECT_EQ(got->worker_cache_builds, 0u) << "W=" << workers;
+    EXPECT_EQ(got->workers_died, 0u);
+  }
+}
+
+TEST(ShardCoordinator, SocketWorkerDeathReassignsAndStaysBitIdentical) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts = socket_opts();
+  opts.first_worker_die_after = 1;
+  opts.reconnect_window_s = 2.0;  // the dead pid is reaped, not waited for
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+  EXPECT_EQ(got->workers_died, 1u);
+  EXPECT_GE(got->reassignments, 1u);
+}
+
+TEST(ShardCoordinator, CleanDepartureIsLoggedAsDepartureNotDeath) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = fixture().store_path;
+  opts.first_worker_depart_after = 1;  // BYE after its first cell
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+  EXPECT_EQ(got->workers_departed, 1u);
+  EXPECT_EQ(got->workers_died, 0u);
+}
+
+TEST(ShardCoordinator, TornResultKillsTheWorkerAndNeverCommitsPartialBytes) {
+  // One truncated RESULT: the worker's wire tears mid-line. The strict
+  // framing discards the torn prefix, the sender is treated as lost, the
+  // cell is recomputed — and the journal must be byte-for-byte what a
+  // clean threaded run writes.
+  const auto& f = fixture();
+  const SweepSpec spec = small_spec();
+  const auto grid =
+      build_grid(spec, shared_trace().view(), f.mean_iat, &f.cache);
+
+  const std::string clean_path = temp_path("netsample_shard_torn_ref.jsonl");
+  const std::string torn_path = temp_path("netsample_shard_torn.jsonl");
+  std::filesystem::remove(clean_path);
+  std::filesystem::remove(torn_path);
+  {
+    auto j = exper::CheckpointJournal::open(clean_path);
+    ASSERT_TRUE(j.has_value());
+    exper::ParallelRunner runner(2);
+    exper::RunOptions ropts;
+    ropts.journal = &*j;
+    ASSERT_TRUE(runner.run(grid, spec.base_seed, ropts).all_ok());
+  }
+  {
+    auto j = exper::CheckpointJournal::open(torn_path);
+    ASSERT_TRUE(j.has_value());
+    CoordinatorOptions opts = socket_opts();
+    opts.journal = &*j;
+    opts.reconnect_window_s = 2.0;
+    opts.netfault = "seed=11,trunc=1,max-faults=1";  // exactly one torn line
+    auto got = run_sharded_sweep(spec, opts);
+    ASSERT_TRUE(got.has_value()) << got.status().to_string();
+    ASSERT_TRUE(got->all_ok()) << got->first_failure().to_string();
+    expect_matches_reference(*got, threaded_reference(spec, 1));
+    EXPECT_GE(got->reassignments + got->reconnects, 1u);
+  }
+  const auto slurp = [](const std::string& p) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+  };
+  const std::string clean = slurp(clean_path);
+  ASSERT_FALSE(clean.empty());
+  EXPECT_EQ(clean, slurp(torn_path));
+}
+
+TEST(ShardCoordinator, DroppedLeaseConvergesViaLeaseExpiry) {
+  // The first impairable line the (single) worker sees is its first LEASE,
+  // and it vanishes. Only the lease-expiry timer can recover the cell —
+  // the wire is healthy, the worker simply never heard the grant.
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts;
+  opts.workers = 1;
+  opts.store_path = fixture().store_path;
+  opts.netfault = "seed=2,drop=1,max-faults=1";
+  opts.lease_timeout_s = 0.3;
+  opts.heartbeat_interval_s = 0.05;  // PONGs lift the post-expiry suspension
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  ASSERT_TRUE(got->all_ok()) << got->first_failure().to_string();
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+  EXPECT_GE(got->leases_expired, 1u);
+  EXPECT_GE(got->pings_sent, 1u);
+}
+
+TEST(ShardCoordinator, DuplicatedResultsAreCommittedExactlyOnce) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts;
+  opts.workers = 2;
+  opts.store_path = fixture().store_path;
+  opts.netfault = "seed=4,dup=1";  // every RESULT arrives twice
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  ASSERT_TRUE(got->all_ok()) << got->first_failure().to_string();
+  // Byte-equality with the reference is the single-commit proof: a second
+  // acceptance would have overwritten or doubled a cell's replications.
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+}
+
+TEST(ShardCoordinator, FlappingWireReconnectsAndConverges) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts = socket_opts();
+  opts.reconnect_window_s = 5.0;
+  opts.netfault = "seed=6,disconnect-every=3";  // the wire flaps constantly
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  ASSERT_TRUE(got->all_ok()) << got->first_failure().to_string();
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+  EXPECT_GE(got->reconnects, 1u);
+  EXPECT_EQ(got->workers_died, 0u);  // flapping is not dying
+}
+
+TEST(ShardCoordinator, SocketChaosSigkillReassignsAndStaysBitIdentical) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts = socket_opts();
+  opts.chaos_kill_after = 1;
+  opts.reconnect_window_s = 2.0;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  expect_matches_reference(*got, threaded_reference(spec, 1));
+  EXPECT_EQ(got->workers_killed, 1u);
+  EXPECT_LE(got->workers_died, 1u);  // see ChaosSigkill above for the race
+}
+
+TEST(ShardCoordinator, SocketRespawnBudgetExhaustionFailsClosed) {
+  const SweepSpec spec = small_spec();
+  CoordinatorOptions opts = socket_opts();
+  opts.workers = 1;
+  opts.first_worker_die_after = 1;
+  opts.max_respawns = 0;
+  opts.reconnect_window_s = 1.0;
+  auto got = run_sharded_sweep(spec, opts);
+  ASSERT_TRUE(got.has_value()) << got.status().to_string();
+  EXPECT_EQ(got->ok_count(), 1u);
+  EXPECT_FALSE(got->all_ok());
+  EXPECT_EQ(got->first_failure().code(), StatusCode::kInternal);
 }
 
 }  // namespace

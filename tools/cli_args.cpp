@@ -1,5 +1,6 @@
 #include "tools/cli_args.h"
 
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <stdexcept>
@@ -29,6 +30,20 @@ int checked_count(const std::string& source, const std::string& text,
                                 text + "\"");
   }
   return static_cast<int>(v);
+}
+
+double checked_seconds(const std::string& source, const std::string& text,
+                       double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE ||
+      !std::isfinite(v) || v < 0.0 || v > max_value) {
+    throw std::invalid_argument(source + ": expected seconds in [0, " +
+                                std::to_string(max_value) +
+                                "] (0 = disabled), got \"" + text + "\"");
+  }
+  return v;
 }
 
 void add_common_flags(ArgParser& args, bool with_pcap) {
@@ -72,6 +87,28 @@ void add_sweep_flags(ArgParser& args) {
   args.add_flag("die-after", "N",
                 "worker: _exit(137) after N completed cells (fault drill; "
                 "0 = off)", "0");
+  args.add_flag("depart-after", "N",
+                "sweep: first worker sends BYE and exits cleanly after N "
+                "cells (fault drill; 0 = off)", "0");
+  args.add_flag("transport", "KIND",
+                "sweep: how lease lines travel to workers: pipe or socket",
+                "pipe");
+  args.add_flag("listen", "HOST:PORT",
+                "sweep --transport socket: bind address (port 0 = ephemeral)",
+                "127.0.0.1:0");
+  args.add_flag("connect", "HOST:PORT",
+                "worker: dial a socket coordinator instead of stdin/stdout");
+  args.add_flag("connect-retries", "N",
+                "socket: worker redial attempts per lost connection", "5");
+  args.add_flag("heartbeat-interval", "SECONDS",
+                "sweep --transport socket: PING cadence; idle workers silent "
+                "for 4 periods are disconnected (0 = off)", "0");
+  args.add_flag("lease-timeout", "SECONDS",
+                "sweep: reclaim leases older than this from stalled-but-"
+                "connected workers (0 = off)", "0");
+  args.add_flag("netfault", "SPEC",
+                "fault drill: worker-side wire impairment schedule, e.g. "
+                "\"seed=7,drop=0.1,delay=0.2,delay-ms=2\"");
 }
 
 CommonOptions read_common_options(const ArgParser& args) {

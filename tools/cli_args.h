@@ -37,8 +37,10 @@ void add_common_flags(ArgParser& args, bool with_pcap = true);
 
 /// The sharded-sweep flag vocabulary (netsample sweep / netsample worker):
 /// --workers, --store, --store-backend, --keep-store, --methods, --grid-k,
-/// --chaos-kill-after, --max-respawns, --die-after. One declaration site so
-/// the coordinator and worker subcommands cannot drift.
+/// --transport, --listen, --connect, --connect-retries,
+/// --heartbeat-interval, --lease-timeout, --netfault, --chaos-kill-after,
+/// --max-respawns, --die-after, --depart-after. One declaration site so the
+/// coordinator and worker subcommands cannot drift.
 void add_sweep_flags(ArgParser& args);
 
 /// The single parser behind every process/thread count flag (--jobs,
@@ -47,6 +49,14 @@ void add_sweep_flags(ArgParser& args);
 /// one uniform message. Throws std::invalid_argument (exit 64 at the CLI).
 [[nodiscard]] int checked_count(const std::string& source,
                                 const std::string& text, int max_value);
+
+/// Parser behind the duration flags (--heartbeat-interval,
+/// --lease-timeout): a finite base-10 seconds value in [0, max_value]
+/// (0 = disabled), rejecting non-numeric text, trailing garbage, negatives,
+/// NaN/inf, and overflow. Throws std::invalid_argument (exit 64 at the CLI).
+[[nodiscard]] double checked_seconds(const std::string& source,
+                                     const std::string& text,
+                                     double max_value);
 
 /// Read the shared flags back after a successful parse(), validating ranges
 /// (--jobs in [0, 4096]) and applying side effects: --legacy-scan forces

@@ -689,13 +689,46 @@ std::string self_exe(const char* argv0) {
 /// stays byte-diffable across worker counts.
 int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
               const char* argv0) {
+  // Validate the whole sharding vocabulary up front: a malformed flag is a
+  // usage error (64) before any capture is parsed or store written.
+  const int workers =
+      tools::checked_count("--workers", args.get_string("workers"), 4096);
+  const int chaos = tools::checked_count(
+      "--chaos-kill-after", args.get_string("chaos-kill-after"), 1000000000);
+  const int max_respawns = tools::checked_count(
+      "--max-respawns", args.get_string("max-respawns"), 1000000000);
+  const int depart = tools::checked_count(
+      "--depart-after", args.get_string("depart-after"), 1000000000);
+  const double heartbeat = tools::checked_seconds(
+      "--heartbeat-interval", args.get_string("heartbeat-interval"), 3600.0);
+  const double lease_timeout = tools::checked_seconds(
+      "--lease-timeout", args.get_string("lease-timeout"), 3600.0);
+  const int connect_retries = tools::checked_count(
+      "--connect-retries", args.get_string("connect-retries"), 1000);
+  const std::string transport = args.get_string("transport");
+  if (transport != "pipe" && transport != "socket") {
+    throw std::invalid_argument("--transport must be pipe or socket, got \"" +
+                                transport + "\"");
+  }
+  const std::string listen = args.get_string("listen");
+  if (transport == "socket") {
+    auto hp = shard::parse_host_port(listen);
+    if (!hp.has_value()) return fail(hp.status());
+  }
+  std::string netfault;
+  if (args.has("netfault")) {
+    netfault = args.get_string("netfault");
+    // Validate the schedule coordinator-side so a typo is a usage error
+    // here, not a kInternal after W workers die trying to parse it.
+    auto nf = faultsim::parse_netfault_spec(netfault);
+    if (!nf.has_value()) return fail(nf.status());
+  }
+
   auto t = load(args.positionals().at(0), args);
   if (!t) return fail(t.status());
   exper::Experiment ex(std::move(*t));
 
   const shard::SweepSpec spec = sweep_spec_from_args(args);
-  const int workers =
-      tools::checked_count("--workers", args.get_string("workers"), 4096);
 
   exper::CheckpointJournal journal;
   bool have_journal = false;
@@ -756,9 +789,17 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
     copts.backend = args.get_string("store-backend");
     copts.journal = have_journal ? &journal : nullptr;
     copts.worker_command = {self_exe(argv0), "worker"};
-    const int chaos = static_cast<int>(args.get_int("chaos-kill-after"));
     copts.chaos_kill_after = chaos > 0 ? chaos : -1;
-    copts.max_respawns = static_cast<int>(args.get_int("max-respawns"));
+    copts.max_respawns = max_respawns;
+    copts.first_worker_depart_after = depart > 0 ? depart : -1;
+    if (transport == "socket") {
+      copts.transport = shard::TransportKind::kSocket;
+    }
+    copts.listen = listen;
+    copts.heartbeat_interval_s = heartbeat;
+    copts.lease_timeout_s = lease_timeout;
+    copts.connect_retries = connect_retries;
+    copts.netfault = netfault;
 
     auto sharded = shard::run_sharded_sweep(spec, copts);
     if (wrote_store && !args.get_bool("keep-store")) {
@@ -769,6 +810,9 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
     std::cerr << "workers: " << sharded->workers_spawned << " spawned, "
               << sharded->leases_granted << " leases, "
               << sharded->reassignments << " reassigned, "
+              << sharded->workers_departed << " departed, "
+              << sharded->leases_expired << " expired, "
+              << sharded->reconnects << " reconnects, "
               << sharded->workers_died << " died; worker cache builds "
               << sharded->worker_cache_builds << ", maps "
               << sharded->worker_cache_maps << "\n";
@@ -799,8 +843,9 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
   return 0;
 }
 
-/// `netsample worker` — one sharded-sweep worker on stdin/stdout. Not meant
-/// for interactive use; `sweep --workers N` execs these.
+/// `netsample worker` — one sharded-sweep worker, speaking the lease
+/// protocol on stdin/stdout, or dialing a socket coordinator when --connect
+/// is given. Not meant for interactive use; `sweep --workers N` execs these.
 int cmd_worker(ArgParser& args) {
   if (!args.has("store")) {
     std::cerr << "error: worker requires --store FILE\n";
@@ -809,8 +854,27 @@ int cmd_worker(ArgParser& args) {
   shard::WorkerOptions wopts;
   wopts.store_path = args.get_string("store");
   wopts.backend = args.get_string("store-backend");
-  const int die = static_cast<int>(args.get_int("die-after"));
+  const int die = tools::checked_count("--die-after",
+                                       args.get_string("die-after"), 1000000000);
   wopts.die_after_cells = die > 0 ? die : -1;
+  const int depart = tools::checked_count(
+      "--depart-after", args.get_string("depart-after"), 1000000000);
+  wopts.depart_after_cells = depart > 0 ? depart : -1;
+  wopts.connect_retries = tools::checked_count(
+      "--connect-retries", args.get_string("connect-retries"), 1000);
+  if (args.has("netfault")) {
+    wopts.netfault = args.get_string("netfault");
+    auto nf = faultsim::parse_netfault_spec(wopts.netfault);
+    if (!nf.has_value()) return fail(nf.status());
+  }
+  if (args.has("connect")) {
+    wopts.connect = args.get_string("connect");
+    auto hp = shard::parse_host_port(wopts.connect);
+    if (!hp.has_value()) return fail(hp.status());
+    const Status status = shard::run_socket_worker(wopts);
+    if (!status.is_ok()) return fail(status);
+    return 0;
+  }
   const Status status = shard::run_worker(wopts, stdin, stdout);
   if (!status.is_ok()) return fail(status);
   return 0;
