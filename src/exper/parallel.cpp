@@ -146,7 +146,8 @@ CellOutcome execute_cell(CellConfig cfg, std::size_t index,
         const Status injected = opts.fault_injector(index, attempt);
         if (!injected.is_ok()) throw StatusError(injected);
       }
-      out.result = run_cell(cfg);
+      out.result = opts.cell_runner ? opts.cell_runner(cfg, index)
+                                    : run_cell(cfg);
       out.result.config.cancel = nullptr;  // the token dies with this frame
       out.status = Status::ok();
       out.exception = nullptr;

@@ -93,6 +93,15 @@ struct RunOptions {
   /// outcome is collected (journal replays included). Tests use it to
   /// cancel mid-sweep at a deterministic point.
   std::function<void(std::size_t task_index, const Status&)> on_cell_done{};
+
+  /// Workload hook: when set, replaces run_cell as the per-cell payload
+  /// (all fault-tolerance machinery — retries, deadlines, journal replay,
+  /// fault injection — wraps it unchanged). The flow workload plugs
+  /// flow::run_flow_cell in here; the default packet workload leaves it
+  /// empty. Must be deterministic in (config, task_index) for the
+  /// jobs-equivalence guarantee to hold.
+  std::function<CellResult(const CellConfig& config, std::size_t task_index)>
+      cell_runner{};
 };
 
 /// Timing record of one executed attempt of one cell. Every attempt is

@@ -1,0 +1,205 @@
+#include "flow/inversion.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "stats/special.h"
+
+namespace netsample::flow {
+
+const char* estimator_token(Estimator e) {
+  switch (e) {
+    case Estimator::kTailRescale: return "rescale";
+    case Estimator::kEm: return "em";
+  }
+  throw std::invalid_argument("unknown estimator");
+}
+
+Estimator parse_estimator_token(const std::string& token) {
+  if (token == "rescale") return Estimator::kTailRescale;
+  if (token == "em") return Estimator::kEm;
+  throw std::invalid_argument("unknown estimator '" + token +
+                              "' (expected rescale|em)");
+}
+
+const char* estimator_name(Estimator e) {
+  switch (e) {
+    case Estimator::kTailRescale: return "tail-rescale";
+    case Estimator::kEm: return "em";
+  }
+  throw std::invalid_argument("unknown estimator");
+}
+
+SizeDist invert_tail_rescale(const SizeDist& sampled, std::uint64_t k) {
+  if (k == 0) {
+    throw std::invalid_argument("tail rescale: k must be >= 1");
+  }
+  SizeDist out;
+  for (std::uint64_t j = 1; j <= sampled.max_size(); ++j) {
+    const double c = sampled.count(j);
+    if (c != 0.0) out.add(j * k, c);
+  }
+  return out;
+}
+
+namespace {
+
+/// Geometric ladder of integer original-size support points covering
+/// [1, smax]: exact through 16, then ~1.3x steps. Keeps the E-step
+/// O(observed sizes x ~50-150 points) at any sampling fraction.
+std::vector<std::uint64_t> support_grid(std::uint64_t smax) {
+  std::vector<std::uint64_t> grid;
+  std::uint64_t s = 1;
+  while (s <= smax) {
+    grid.push_back(s);
+    s = s < 16 ? s + 1 : std::max<std::uint64_t>(s + 1, (s * 13) / 10);
+  }
+  return grid;
+}
+
+/// log Binomial(j | s, p); -inf when j > s.
+double log_binom(std::uint64_t j, std::uint64_t s, double log_p,
+                 double log_q) {
+  if (j > s) return -std::numeric_limits<double>::infinity();
+  const auto sd = static_cast<double>(s);
+  const auto jd = static_cast<double>(j);
+  return stats::log_gamma(sd + 1.0) - stats::log_gamma(jd + 1.0) -
+         stats::log_gamma(sd - jd + 1.0) + jd * log_p + (sd - jd) * log_q;
+}
+
+}  // namespace
+
+EmResult invert_em(const SizeDist& sampled, double p,
+                   const EmOptions& options) {
+  if (!(p > 0.0) || p > 1.0) {
+    throw std::invalid_argument("em inversion: p must be in (0, 1]");
+  }
+  EmResult result;
+  const std::uint64_t max_j = sampled.max_size();
+  if (max_j == 0) return result;
+
+  // Observed sizes and counts, densely packed.
+  std::vector<std::uint64_t> obs_size;
+  std::vector<double> obs_count;
+  double observed_flows = 0.0;
+  for (std::uint64_t j = 1; j <= max_j; ++j) {
+    const double c = sampled.count(j);
+    if (c > 0.0) {
+      obs_size.push_back(j);
+      obs_count.push_back(c);
+      observed_flows += c;
+    }
+  }
+
+  if (p == 1.0) {
+    // Degenerate: nothing was thinned, the sample IS the original.
+    for (std::size_t i = 0; i < obs_size.size(); ++i) {
+      result.estimated.add(obs_size[i], obs_count[i]);
+    }
+    result.total_flows = observed_flows;
+    result.support = support_grid(max_j);
+    return result;
+  }
+
+  const auto smax = static_cast<std::uint64_t>(
+      std::ceil(static_cast<double>(max_j) / p * options.support_slack));
+  const std::vector<std::uint64_t> grid =
+      support_grid(std::max(smax, max_j));
+  const std::size_t G = grid.size();
+  const std::size_t J = obs_size.size();
+
+  // Precompute the thinning kernel B(j | s, p) for every observed j and
+  // support s, and the never-seen probability B(0 | s, p) = (1-p)^s.
+  const double log_p = std::log(p);
+  const double log_q = std::log1p(-p);
+  std::vector<double> kernel(J * G);  // row j-index, col g
+  for (std::size_t i = 0; i < J; ++i) {
+    for (std::size_t g = 0; g < G; ++g) {
+      const double lb = log_binom(obs_size[i], grid[g], log_p, log_q);
+      kernel[i * G + g] = std::isfinite(lb) ? std::exp(lb) : 0.0;
+    }
+  }
+  std::vector<double> b0(G);
+  for (std::size_t g = 0; g < G; ++g) {
+    b0[g] = std::exp(static_cast<double>(grid[g]) * log_q);
+  }
+
+  // Initialize theta from the rescaled observations: an observed j most
+  // plausibly came from an original size near j/p, so seed the mixture
+  // there. A uniform init is badly conditioned at small p — most mass
+  // starts on tiny sizes whose B(0|s,p) is near 1 and whose likelihood
+  // gradient is nearly flat, so EM needs thousands of iterations to drain
+  // it and N-hat stays inflated meanwhile. The 1% uniform floor keeps
+  // every support point reachable (exact zeros are absorbing in EM).
+  std::vector<double> theta(G, 0.0);
+  for (std::size_t i = 0; i < J; ++i) {
+    const double target = static_cast<double>(obs_size[i]) / p;
+    std::size_t g = static_cast<std::size_t>(
+        std::lower_bound(grid.begin(), grid.end(),
+                         static_cast<std::uint64_t>(target)) -
+        grid.begin());
+    if (g == G) g = G - 1;
+    if (g > 0 && target - static_cast<double>(grid[g - 1]) <
+                     static_cast<double>(grid[g]) - target) {
+      --g;
+    }
+    theta[g] += obs_count[i];
+  }
+  for (double& t : theta) {
+    t = 0.99 * (t / observed_flows) + 0.01 / static_cast<double>(G);
+  }
+  std::vector<double> mix(J);  // m_j = sum_g theta_g B(j|s_g,p)
+  double b0bar = 0.0;
+
+  // Zero-truncated observed-data log-likelihood of the current theta:
+  //   l = sum_j c_j [ log m_j - log(1 - b0bar) ]
+  const auto compute_mixture = [&]() -> double {
+    b0bar = 0.0;
+    for (std::size_t g = 0; g < G; ++g) b0bar += theta[g] * b0[g];
+    b0bar = std::min(b0bar, 1.0 - 1e-12);
+    double loglik = 0.0;
+    const double log_seen = std::log1p(-b0bar);
+    for (std::size_t i = 0; i < J; ++i) {
+      double m = 0.0;
+      for (std::size_t g = 0; g < G; ++g) m += theta[g] * kernel[i * G + g];
+      mix[i] = std::max(m, 1e-300);
+      loglik += obs_count[i] * (std::log(mix[i]) - log_seen);
+    }
+    return loglik;
+  };
+
+  double prev = compute_mixture();
+  std::vector<double> weight(G);
+  for (int iter = 0; iter < std::max(1, options.max_iters); ++iter) {
+    // E-step responsibilities folded into the M-step weights: observed
+    // flows split across support sizes, plus the expected unseen flows
+    // C * theta_g b0_g / (1 - b0bar) attributed entirely to their size.
+    const double unseen_scale = observed_flows / (1.0 - b0bar);
+    double wsum = 0.0;
+    for (std::size_t g = 0; g < G; ++g) {
+      double w = unseen_scale * theta[g] * b0[g];
+      for (std::size_t i = 0; i < J; ++i) {
+        w += obs_count[i] * theta[g] * kernel[i * G + g] / mix[i];
+      }
+      weight[g] = w;
+      wsum += w;
+    }
+    for (std::size_t g = 0; g < G; ++g) theta[g] = weight[g] / wsum;
+
+    const double cur = compute_mixture();
+    result.log_likelihood.push_back(cur);
+    if (cur - prev < options.rel_tol * (std::fabs(cur) + 1.0)) break;
+    prev = cur;
+  }
+
+  result.total_flows = observed_flows / (1.0 - b0bar);
+  for (std::size_t g = 0; g < G; ++g) {
+    const double c = result.total_flows * theta[g];
+    if (c > 0.0) result.estimated.add(grid[g], c);
+  }
+  result.support = grid;
+  return result;
+}
+
+}  // namespace netsample::flow

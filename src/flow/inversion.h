@@ -1,0 +1,84 @@
+// Inverting a sampled flow-size distribution back to the original.
+//
+// Packet sampling at fraction p thins every flow: a flow of s packets is
+// seen with j ~ Binomial(s, p) of them, and is invisible when j = 0. Two
+// estimators from the follow-on literature recover the original
+// distribution from the observed one:
+//
+//   kTailRescale (Chabchoub et al.) — deterministic 1-in-k rescaling: a
+//   flow observed with j sampled packets is estimated to have had j*k
+//   originals. Exact in expectation for the tail (s >> k, where every flow
+//   is seen and j concentrates at s/k); blind below s ~ k, so its output is
+//   scored on the comparable support s >= k only.
+//
+//   kEm (Clegg et al.) — expectation-maximization over a zero-truncated
+//   binomial-thinning mixture: original sizes live on a geometric grid of
+//   support points, the E-step attributes each observed size j to support
+//   sizes by Binomial(j | s, p) responsibility plus the expected
+//   never-seen mass B(0|s,p), and the M-step re-weights. The unseen-flow
+//   mass makes the estimated *total* flow count N-hat = C / (1 - P(unseen))
+//   an output, not an input. Standard EM theory guarantees the observed-
+//   data (zero-truncated) log-likelihood is non-decreasing per iteration —
+//   asserted exactly by the conformance suite.
+//
+// Both estimators are pure sequential double arithmetic over the sampled
+// distribution: bit-identical across threads, worker processes, and SIMD
+// variants by construction. docs/FLOWS.md derives the math.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "flow/size_dist.h"
+
+namespace netsample::flow {
+
+enum class Estimator {
+  kTailRescale,  // deterministic 1-in-k tail rescaling
+  kEm,           // zero-truncated binomial-thinning EM
+};
+
+/// Stable wire/CLI tokens: "rescale", "em". parse throws
+/// std::invalid_argument on unknown tokens.
+[[nodiscard]] const char* estimator_token(Estimator e);
+[[nodiscard]] Estimator parse_estimator_token(const std::string& token);
+/// Human name for tables ("tail-rescale", "em").
+[[nodiscard]] const char* estimator_name(Estimator e);
+
+/// Tail rescaling at granularity k: observed size j becomes estimated
+/// original size j*k with the same flow count. Defined on sizes >= k only;
+/// score it against a truth truncated_below(k). Throws
+/// std::invalid_argument for k == 0.
+[[nodiscard]] SizeDist invert_tail_rescale(const SizeDist& sampled,
+                                           std::uint64_t k);
+
+struct EmOptions {
+  /// EM iterations (upper bound; iteration stops early once the
+  /// log-likelihood gain falls below rel_tol * |loglik|).
+  int max_iters{60};
+  double rel_tol{1e-10};
+  /// Original-size support extends to max_observed / p times this slack.
+  double support_slack{2.0};
+};
+
+struct EmResult {
+  /// Estimated original distribution: fractional flow counts at the
+  /// support grid sizes (includes the estimated unseen flows).
+  SizeDist estimated;
+  /// Estimated total original flows N-hat = C / (1 - P(unseen)).
+  double total_flows{0.0};
+  /// Zero-truncated observed-data log-likelihood after each iteration;
+  /// EM guarantees this sequence is non-decreasing.
+  std::vector<double> log_likelihood;
+  /// Support grid actually used (geometric ladder of integer sizes).
+  std::vector<std::uint64_t> support;
+};
+
+/// EM inversion of `sampled` under independent-thinning probability p in
+/// (0, 1]. Throws std::invalid_argument for p outside (0, 1]; an empty
+/// sampled distribution returns an empty estimate.
+[[nodiscard]] EmResult invert_em(const SizeDist& sampled, double p,
+                                 const EmOptions& options = {});
+
+}  // namespace netsample::flow

@@ -1,0 +1,86 @@
+// Bounded, memory-pressured sampled-flow aggregator.
+//
+// The operational problem behind sampled NetFlow: a router's flow cache is
+// a fixed-size table fed by *sampled* packets, so under pressure it evicts
+// live flows early, splitting them into multiple records. This table
+// models exactly that — a capacity cap with LRU eviction plus the usual
+// idle-timeout expiry — while staying fully deterministic:
+//
+//   * eviction picks the least-recently-seen flow (ties cannot occur: the
+//     recency list is ordered by packet arrival, a logical order);
+//   * expiry and flush emit records sorted by (first_seen, 5-tuple), never
+//     in hash-map iteration order.
+//
+// So the finished-record list is a pure function of the offered packet
+// sequence — the property the flow sweep's bit-identical-across
+// --jobs/--workers/SIMD contract rests on (docs/FLOWS.md). Eviction
+// pressure is observable through obs:: counters
+// (netsample_flow_evictions_total etc., deterministic section).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "trace/flows.h"
+
+namespace netsample::flow {
+
+class SampledFlowTable {
+ public:
+  /// `capacity` caps concurrently-tracked flows (0 = unbounded). Throws
+  /// std::invalid_argument unless idle_timeout > 0.
+  SampledFlowTable(MicroDuration idle_timeout, std::size_t capacity);
+
+  /// Offer one (sampled) packet; must be in non-decreasing time order
+  /// (throws std::invalid_argument otherwise). May evict the LRU flow when
+  /// the table is full and the packet opens a new flow.
+  void offer(const trace::PacketRecord& p);
+
+  /// Force-finish all active flows and publish eviction counters. The
+  /// record list is complete only after flush().
+  void flush();
+
+  /// Finished flow records. Deterministic: expiry/flush batches are sorted
+  /// by (first_seen, 5-tuple); evictions append at their logical time.
+  [[nodiscard]] const std::vector<trace::FlowRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t active_flows() const { return active_.size(); }
+
+  struct Stats {
+    std::uint64_t packets_offered{0};
+    std::uint64_t flows_finished{0};
+    std::uint64_t evictions{0};       // flows closed early by the cap
+    std::uint64_t idle_expiries{0};   // flows closed by the idle timeout
+    std::size_t capacity{0};          // 0 = unbounded
+  };
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct Entry {
+    trace::FlowRecord record;
+    std::list<trace::FlowKey>::iterator lru;  // position in recency list
+  };
+
+  void expire_idle(MicroTime now);
+  void evict_lru();
+  void finish_sorted(std::vector<trace::FlowRecord> batch);
+
+  MicroDuration idle_timeout_;
+  std::size_t capacity_;
+  MicroTime last_time_;
+  MicroTime last_expiry_check_;
+  bool saw_packet_{false};
+  bool checked_expiry_{false};
+  std::uint64_t offered_{0};
+  std::uint64_t evictions_{0};
+  std::uint64_t idle_expiries_{0};
+  std::list<trace::FlowKey> recency_;  // front = most recently seen
+  std::unordered_map<trace::FlowKey, Entry, trace::FlowKeyHash> active_;
+  std::vector<trace::FlowRecord> records_;
+};
+
+}  // namespace netsample::flow

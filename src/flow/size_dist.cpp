@@ -1,0 +1,89 @@
+#include "flow/size_dist.h"
+
+#include <algorithm>
+
+namespace netsample::flow {
+
+void SizeDist::add(std::uint64_t size, double weight) {
+  if (size == 0) return;
+  if (size >= counts_.size()) counts_.resize(size + 1, 0.0);
+  counts_[size] += weight;
+}
+
+std::uint64_t SizeDist::max_size() const {
+  for (std::size_t s = counts_.size(); s-- > 1;) {
+    if (counts_[s] != 0.0) return s;
+  }
+  return 0;
+}
+
+double SizeDist::total_flows() const {
+  double sum = 0.0;
+  for (std::size_t s = 1; s < counts_.size(); ++s) sum += counts_[s];
+  return sum;
+}
+
+double SizeDist::total_packets() const {
+  double sum = 0.0;
+  for (std::size_t s = 1; s < counts_.size(); ++s) {
+    sum += static_cast<double>(s) * counts_[s];
+  }
+  return sum;
+}
+
+double SizeDist::mean_size() const {
+  const double flows = total_flows();
+  return flows == 0.0 ? 0.0 : total_packets() / flows;
+}
+
+double SizeDist::tail_flows(std::uint64_t threshold) const {
+  double sum = 0.0;
+  for (std::size_t s = std::max<std::uint64_t>(threshold, 1);
+       s < counts_.size(); ++s) {
+    sum += counts_[s];
+  }
+  return sum;
+}
+
+SizeDist SizeDist::truncated_below(std::uint64_t threshold) const {
+  SizeDist out;
+  for (std::size_t s = std::max<std::uint64_t>(threshold, 1);
+       s < counts_.size(); ++s) {
+    if (counts_[s] != 0.0) out.add(s, counts_[s]);
+  }
+  return out;
+}
+
+SizeDist size_dist_of(const std::vector<trace::FlowRecord>& records) {
+  SizeDist dist;
+  for (const auto& r : records) dist.add(r.packets);
+  return dist;
+}
+
+std::vector<std::uint64_t> flow_size_bins(std::uint64_t max_size) {
+  std::vector<std::uint64_t> bins;
+  std::uint64_t b = 1;
+  while (b <= std::max<std::uint64_t>(max_size, 1)) {
+    bins.push_back(b);
+    // Exact bins through 8, then geometric ~1.45x so tail bins keep enough
+    // expected mass for the chi-squared family to be meaningful.
+    const std::uint64_t next =
+        b < 8 ? b + 1 : std::max<std::uint64_t>(b + 1, (b * 29) / 20);
+    b = next;
+  }
+  return bins;
+}
+
+std::vector<double> bin_counts(const SizeDist& dist,
+                               const std::vector<std::uint64_t>& bins) {
+  std::vector<double> out(bins.size(), 0.0);
+  if (bins.empty()) return out;
+  std::size_t bin = 0;
+  for (std::uint64_t s = 1; s <= dist.max_size(); ++s) {
+    while (bin + 1 < bins.size() && s >= bins[bin + 1]) ++bin;
+    out[bin] += dist.count(s);
+  }
+  return out;
+}
+
+}  // namespace netsample::flow

@@ -1,0 +1,66 @@
+// Flow-size distributions: the quantity the inversion literature estimates.
+//
+// A SizeDist is the number of flows of each packet-count size s >= 1 —
+// fractional, because inversion estimators produce expected counts, not
+// integers. Scoring an estimate against ground truth reuses the paper's
+// φ/χ² machinery (core::score_counts) over a geometric size binning: flow
+// sizes are heavy-tailed, so linear bins would put almost all mass in bin
+// one and the tail — where the estimators earn their keep — in empty bins.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/flows.h"
+
+namespace netsample::flow {
+
+/// Fractional count of flows per flow size (packets per flow). Index s
+/// holds the count of flows with exactly s packets; index 0 is unused and
+/// always zero.
+class SizeDist {
+ public:
+  SizeDist() = default;
+
+  /// Add `weight` flows of `size` packets (size >= 1; size 0 is ignored —
+  /// a flow with no packets does not exist).
+  void add(std::uint64_t size, double weight = 1.0);
+
+  [[nodiscard]] double count(std::uint64_t size) const {
+    return size < counts_.size() ? counts_[size] : 0.0;
+  }
+  /// Largest size with nonzero count (0 for an empty distribution).
+  [[nodiscard]] std::uint64_t max_size() const;
+  /// Total flows (sum of counts).
+  [[nodiscard]] double total_flows() const;
+  /// Total packets (sum of size * count).
+  [[nodiscard]] double total_packets() const;
+  /// Mean flow size in packets (0 for an empty distribution).
+  [[nodiscard]] double mean_size() const;
+  /// Flows with size >= threshold.
+  [[nodiscard]] double tail_flows(std::uint64_t threshold) const;
+  [[nodiscard]] bool empty() const { return total_flows() == 0.0; }
+
+  /// Copy with every size < threshold zeroed (the comparable-support
+  /// truncation for tail estimators).
+  [[nodiscard]] SizeDist truncated_below(std::uint64_t threshold) const;
+
+ private:
+  std::vector<double> counts_;  // counts_[s] = flows of size s
+};
+
+/// Aggregate finished flow records into a size distribution.
+[[nodiscard]] SizeDist size_dist_of(const std::vector<trace::FlowRecord>& records);
+
+/// Geometric size-bin lower bounds covering [1, max_size]: exact bins for
+/// the small sizes, then ~1.45x-spaced bins. Always starts at 1 and is
+/// strictly increasing, so two distributions binned with the same call are
+/// directly comparable by score_counts.
+[[nodiscard]] std::vector<std::uint64_t> flow_size_bins(std::uint64_t max_size);
+
+/// Per-bin totals of `dist` under `bins` (lower bounds from
+/// flow_size_bins); sizes below bins.front() land in bin 0.
+[[nodiscard]] std::vector<double> bin_counts(
+    const SizeDist& dist, const std::vector<std::uint64_t>& bins);
+
+}  // namespace netsample::flow

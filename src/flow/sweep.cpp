@@ -1,0 +1,127 @@
+#include "flow/sweep.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/select_indices.h"
+#include "flow/sampled_table.h"
+#include "util/cancel.h"
+
+namespace netsample::flow {
+
+namespace {
+
+core::DisparityMetrics score_estimate(const SizeDist& sampled,
+                                      const SizeDist& truth, std::uint64_t k,
+                                      Estimator est, const FlowParams& params) {
+  SizeDist estimate;
+  SizeDist population;
+  switch (est) {
+    case Estimator::kTailRescale:
+      estimate = invert_tail_rescale(sampled, k);
+      population = truth.truncated_below(k);
+      break;
+    case Estimator::kEm: {
+      EmOptions opt;
+      opt.max_iters = params.em_iters;
+      estimate = invert_em(sampled, 1.0 / static_cast<double>(k), opt).estimated;
+      population = truth;
+      break;
+    }
+  }
+  if (population.total_flows() == 0.0) {
+    // No comparable support (nothing in the truth reaches this estimator's
+    // domain). Score as zero disparity with an empty population instead of
+    // letting score_counts throw; aggressive-k sweep cells stay kOk.
+    core::DisparityMetrics m;
+    m.dof = 1.0;
+    m.sample_n =
+        static_cast<std::uint64_t>(std::llround(estimate.total_flows()));
+    return m;
+  }
+  // Bin by the POPULATION's support: estimate mass beyond the truth's
+  // largest size (binomial overshoot in the rescaler, grid slack in EM)
+  // folds into the top bin instead of landing in zero-population bins,
+  // where score_counts' impossible-bin penalty would swamp phi.
+  const std::vector<std::uint64_t> bins = flow_size_bins(population.max_size());
+  std::vector<double> pop_binned = bin_counts(population, bins);
+  std::vector<double> est_binned = bin_counts(estimate, bins);
+
+  // Cochran's rule: merge sparse bins left-to-right until each merged
+  // population bin holds >= 5 expected flows, so the chi-squared family is
+  // meaningful on the heavy tail. Pure sequential arithmetic — the merge is
+  // a function of the population alone, identical across jobs/workers.
+  std::vector<double> pop_m, est_m;
+  double ps = 0.0, es = 0.0;
+  for (std::size_t i = 0; i < pop_binned.size(); ++i) {
+    ps += pop_binned[i];
+    es += est_binned[i];
+    if (ps >= 5.0) {
+      pop_m.push_back(ps);
+      est_m.push_back(es);
+      ps = es = 0.0;
+    }
+  }
+  if (ps > 0.0 || es > 0.0) {
+    if (pop_m.empty()) {
+      pop_m.push_back(ps);
+      est_m.push_back(es);
+    } else {
+      pop_m.back() += ps;
+      est_m.back() += es;
+    }
+  }
+  return core::score_counts(est_m, pop_m, /*sampling_fraction=*/1.0);
+}
+
+}  // namespace
+
+exper::CellResult run_flow_cell(const exper::CellConfig& cfg,
+                                const FlowParams& params, Estimator est) {
+  if (cfg.cache == nullptr) {
+    throw std::invalid_argument("flow cell: a binned trace cache is required");
+  }
+  if (cfg.interval.size() == 0) {
+    throw std::invalid_argument("flow cell: empty interval");
+  }
+  if (cfg.granularity == 0) {
+    throw std::invalid_argument("flow cell: granularity must be >= 1");
+  }
+  util::throw_if_stopped(cfg.cancel);
+
+  const core::BinnedTraceCache& cache = *cfg.cache;
+  const std::size_t begin = cache.offset_of(cfg.interval);
+  const std::size_t end = begin + cfg.interval.size();
+  const MicroDuration timeout{
+      static_cast<std::int64_t>(params.idle_timeout_usec)};
+
+  // Ground truth: every packet of the interval through an uncapped table.
+  SampledFlowTable truth_table(timeout, /*capacity=*/0);
+  for (std::size_t i = 0; i < cfg.interval.size(); ++i) {
+    truth_table.offer(cfg.interval[i]);
+  }
+  truth_table.flush();
+  const SizeDist truth = size_dist_of(truth_table.records());
+
+  exper::CellResult out;
+  out.config = cfg;
+  out.replications.reserve(static_cast<std::size_t>(cfg.replications));
+  for (int r = 0; r < cfg.replications; ++r) {
+    util::throw_if_stopped(cfg.cancel);
+    const core::SamplerSpec spec = exper::replication_spec(cfg, r);
+    const std::vector<std::size_t> idx =
+        core::select_indices(spec, cache, begin, end);
+    SampledFlowTable table(timeout, static_cast<std::size_t>(params.capacity));
+    for (std::size_t i : idx) table.offer(cfg.interval[i]);
+    table.flush();
+    out.replications.push_back(score_estimate(size_dist_of(table.records()),
+                                              truth, cfg.granularity, est,
+                                              params));
+  }
+  return out;
+}
+
+std::vector<std::uint64_t> flow_ladder() { return {10, 100, 1000}; }
+
+}  // namespace netsample::flow

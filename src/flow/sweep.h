@@ -1,0 +1,60 @@
+// Flow-workload experiment cells: sample, aggregate, invert, score.
+//
+// A flow cell reuses the packet-sweep cell vocabulary (exper::CellConfig:
+// method, granularity k, interval, replications, seed) but changes what is
+// measured: each replication's selected packets feed a bounded
+// SampledFlowTable, the resulting sampled flow-size distribution is
+// inverted back to an estimate of the original distribution
+// (flow/inversion.h), and the estimate is scored against the cell's ground
+// truth with the same chi-squared/phi machinery the packet sweeps use
+// (core::score_counts at fraction 1.0 — the inversion already rescaled to
+// population scale). Ground truth is the uncapped flow table over every
+// packet of the interval, computed once per cell.
+//
+// run_flow_cell is the exper::RunOptions::cell_runner payload for
+// `netsample flows --sweep` — both the in-process ParallelRunner path and
+// the sharded worker path call exactly this function, which is what makes
+// the byte-identical --jobs/--workers contract hold.
+#pragma once
+
+#include <cstdint>
+
+#include "exper/runner.h"
+#include "flow/inversion.h"
+
+namespace netsample::flow {
+
+struct FlowParams {
+  /// Flow idle timeout applied to both the sampled tables and the ground
+  /// truth (microseconds).
+  std::uint64_t idle_timeout_usec{30'000'000};
+  /// Sampled-table capacity cap; 0 = unbounded. Ground truth is always
+  /// uncapped.
+  std::uint64_t capacity{0};
+  /// EM iteration budget (kEm only).
+  int em_iters{60};
+
+  friend bool operator==(const FlowParams&, const FlowParams&) = default;
+};
+
+/// Run one flow cell under `est`. Uses cfg.method / cfg.granularity /
+/// cfg.interval / cfg.replications / cfg.base_seed / cfg.cache /
+/// cfg.mean_interarrival_usec exactly as run_cell does (replication_spec
+/// derives the same per-rep sampler specs); cfg.target is ignored. Requires
+/// cfg.cache covering the interval (throws std::invalid_argument
+/// otherwise). Polls cfg.cancel between replications.
+///
+/// Scoring: kTailRescale is compared against the truth truncated to sizes
+/// >= k (its comparable support); kEm against the full truth. A cell whose
+/// comparison population is empty (e.g. no flow reached k packets) scores
+/// as the degenerate zero-disparity metric with population_n = 0 rather
+/// than throwing — sweeps over aggressive k must not abort.
+[[nodiscard]] exper::CellResult run_flow_cell(const exper::CellConfig& cfg,
+                                              const FlowParams& params,
+                                              Estimator est);
+
+/// Default granularity ladder for flow sweeps: {10, 100, 1000}, the
+/// sampling fractions the inversion literature reports.
+[[nodiscard]] std::vector<std::uint64_t> flow_ladder();
+
+}  // namespace netsample::flow

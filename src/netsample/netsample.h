@@ -18,6 +18,8 @@
 //   Sampling        core:: samplers, targets, φ metrics, design helpers
 //   Experiments     exper:: Experiment, CellConfig/run_cell, sweeps,
 //                   ParallelRunner, checkpoint journal
+//   Flow workload   flow:: sampled-flow tables, flow-size distributions,
+//                   inversion estimators, run_flow_cell
 //   Streaming       stream:: Engine, sources, SPSC ring, run_pipeline
 //   Fault injection faultsim::, characterization charact::, NSFNET
 //                   collection model collector::
@@ -81,6 +83,12 @@
 #include "exper/journal.h"     // IWYU pragma: export
 #include "exper/parallel.h"    // IWYU pragma: export
 #include "exper/runner.h"      // IWYU pragma: export
+
+// Flow workload: sampled-flow aggregation and size-distribution inversion.
+#include "flow/inversion.h"      // IWYU pragma: export
+#include "flow/sampled_table.h"  // IWYU pragma: export
+#include "flow/size_dist.h"      // IWYU pragma: export
+#include "flow/sweep.h"          // IWYU pragma: export
 
 // Sharded multi-process sweeps over a memory-mapped trace store.
 #include "shard/coordinator.h"  // IWYU pragma: export

@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "exper/parallel.h"
+#include "shard/grid.h"
 #include "util/status.h"
 
 namespace netsample {
@@ -93,5 +94,14 @@ struct Result {
 /// Adapt a fault-tolerant sweep report: status = first_failure(), rows =
 /// one line per cell (method, target, k, attempts, φ summary).
 [[nodiscard]] Result<exper::RunReport> as_result(exper::RunReport report);
+
+/// Adapt a flow-workload sweep report (netsample flows --sweep): same
+/// envelope, but the "target" column becomes the inversion estimator (read
+/// from `spec` by task index — the estimator lives outside CellConfig) and
+/// "mean n" is the mean estimated original flow count. `spec` must be the
+/// kFlow spec the grid was built from; throws std::invalid_argument when
+/// the cell count disagrees.
+[[nodiscard]] Result<exper::RunReport> as_flow_result(
+    exper::RunReport report, const shard::SweepSpec& spec);
 
 }  // namespace netsample

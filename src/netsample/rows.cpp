@@ -138,6 +138,50 @@ void emit(const Table& table, RowFormat format, std::ostream& os,
   }
 }
 
+Result<exper::RunReport> as_flow_result(exper::RunReport report,
+                                        const shard::SweepSpec& spec) {
+  if (spec.workload != shard::Workload::kFlow) {
+    throw std::invalid_argument("as_flow_result: not a flow sweep spec");
+  }
+  if (report.cells.size() != spec.cell_count()) {
+    throw std::invalid_argument("as_flow_result: report has " +
+                                std::to_string(report.cells.size()) +
+                                " cells, spec expects " +
+                                std::to_string(spec.cell_count()));
+  }
+  Result<exper::RunReport> out;
+  out.status = report.first_failure();
+  out.rows.columns = {"cell",   "method",   "estimator", "k",
+                      "status", "attempts", "phi mean",  "phi min",
+                      "phi max", "mean n"};
+  for (std::size_t i = 0; i < report.cells.size(); ++i) {
+    const auto& cell = report.cells[i];
+    const auto& config = cell.result.config;
+    std::vector<std::string> row;
+    row.push_back(std::to_string(i));
+    row.push_back(core::method_name(config.method));
+    row.push_back(flow::estimator_name(shard::grid_estimator(spec, i)));
+    row.push_back(std::to_string(config.granularity));
+    row.push_back(cell.status.is_ok()
+                      ? (cell.from_journal ? "ok (journal)" : "ok")
+                      : cell.status.to_string());
+    row.push_back(std::to_string(cell.attempts));
+    if (cell.status.is_ok() && !cell.result.replications.empty()) {
+      const auto phis = cell.result.phi_values();
+      const auto [mn, mx] = std::minmax_element(phis.begin(), phis.end());
+      row.push_back(fmt_double(cell.result.phi_mean(), 4));
+      row.push_back(fmt_double(*mn, 4));
+      row.push_back(fmt_double(*mx, 4));
+      row.push_back(fmt_double(cell.result.mean_sample_size(), 1));
+    } else {
+      row.insert(row.end(), {"-", "-", "-", "-"});
+    }
+    out.rows.add_row(std::move(row));
+  }
+  out.value = std::move(report);
+  return out;
+}
+
 Result<exper::RunReport> as_result(exper::RunReport report) {
   Result<exper::RunReport> out;
   out.status = report.first_failure();

@@ -108,6 +108,22 @@ std::string encode_sweep_spec(const SweepSpec& spec) {
     std::snprintf(buf, sizeof buf, "%" PRIu64, spec.granularities[i]);
     out += buf;
   }
+  if (spec.workload == Workload::kFlow) {
+    // Flow fields only appear for flow specs, so packet-sweep encodings are
+    // byte-identical to what older coordinators/workers produced.
+    out += ";workload=flow;est=";
+    for (std::size_t i = 0; i < spec.estimators.size(); ++i) {
+      if (i != 0) out += ',';
+      out += flow::estimator_token(spec.estimators[i]);
+    }
+    std::snprintf(buf, sizeof buf, ";ftimeout=%" PRIu64,
+                  spec.flow.idle_timeout_usec);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ";fcap=%" PRIu64, spec.flow.capacity);
+    out += buf;
+    std::snprintf(buf, sizeof buf, ";emiters=%d", spec.flow.em_iters);
+    out += buf;
+  }
   return out;
 }
 
@@ -115,6 +131,7 @@ bool decode_sweep_spec(const std::string& text, SweepSpec* spec) {
   SweepSpec parsed;
   bool saw_v = false, saw_seed = false, saw_reps = false;
   bool saw_targets = false, saw_methods = false, saw_k = false;
+  bool saw_flow_field = false;
   try {
     for (const std::string& field : split(text, ';')) {
       const std::size_t eq = field.find('=');
@@ -149,6 +166,25 @@ bool decode_sweep_spec(const std::string& text, SweepSpec* spec) {
           parsed.granularities.push_back(u);
         }
         saw_k = true;
+      } else if (name == "workload") {
+        if (value != "flow") return false;  // kPacket never emits the field
+        parsed.workload = Workload::kFlow;
+      } else if (name == "est") {
+        for (const std::string& e : split(value, ',')) {
+          parsed.estimators.push_back(flow::parse_estimator_token(e));
+        }
+      } else if (name == "ftimeout") {
+        if (!parse_u64(value, &u) || u == 0) return false;
+        parsed.flow.idle_timeout_usec = u;
+        saw_flow_field = true;
+      } else if (name == "fcap") {
+        if (!parse_u64(value, &u)) return false;
+        parsed.flow.capacity = u;
+        saw_flow_field = true;
+      } else if (name == "emiters") {
+        if (!parse_u64(value, &u) || u == 0 || u > 1000000) return false;
+        parsed.flow.em_iters = static_cast<int>(u);
+        saw_flow_field = true;
       } else {
         return false;
       }
@@ -158,6 +194,13 @@ bool decode_sweep_spec(const std::string& text, SweepSpec* spec) {
   }
   if (!(saw_v && saw_seed && saw_reps && saw_targets && saw_methods && saw_k)) {
     return false;
+  }
+  if (parsed.workload == Workload::kFlow && parsed.estimators.empty()) {
+    return false;
+  }
+  if (parsed.workload == Workload::kPacket &&
+      (!parsed.estimators.empty() || saw_flow_field)) {
+    return false;  // flow-only fields without workload=flow are malformed
   }
   if (parsed.cell_count() == 0) return false;
   *spec = std::move(parsed);
@@ -170,19 +213,37 @@ std::vector<exper::GridTask> build_grid(const SweepSpec& spec,
                                         const core::BinnedTraceCache* cache) {
   std::vector<exper::GridTask> tasks;
   tasks.reserve(spec.cell_count());
+  const auto push_cell = [&](core::Target target, core::Method method,
+                             std::uint64_t k) {
+    exper::CellConfig cfg;
+    cfg.method = method;
+    cfg.target = target;
+    cfg.granularity = k;
+    cfg.interval = interval;
+    cfg.mean_interarrival_usec = mean_interarrival_usec;
+    cfg.replications = spec.replications;
+    cfg.base_seed = spec.base_seed;
+    cfg.cache = cache;
+    tasks.push_back(exper::GridTask{cfg, /*interval_index=*/0});
+  };
+  if (spec.workload == Workload::kFlow) {
+    // Estimator-major: both estimator blocks hold IDENTICAL configs (the
+    // estimator is applied by the cell runner via grid_estimator), so each
+    // (method, k) pair's replications draw the same samples under both
+    // estimators — a paired comparison by construction.
+    for (std::size_t e = 0; e < spec.estimators.size(); ++e) {
+      for (const core::Method method : spec.methods) {
+        for (const std::uint64_t k : spec.granularities) {
+          push_cell(core::Target::kPacketSize, method, k);
+        }
+      }
+    }
+    return tasks;
+  }
   for (const core::Target target : spec.targets) {
     for (const core::Method method : spec.methods) {
       for (const std::uint64_t k : spec.granularities) {
-        exper::CellConfig cfg;
-        cfg.method = method;
-        cfg.target = target;
-        cfg.granularity = k;
-        cfg.interval = interval;
-        cfg.mean_interarrival_usec = mean_interarrival_usec;
-        cfg.replications = spec.replications;
-        cfg.base_seed = spec.base_seed;
-        cfg.cache = cache;
-        tasks.push_back(exper::GridTask{cfg, /*interval_index=*/0});
+        push_cell(target, method, k);
       }
     }
   }
@@ -202,6 +263,18 @@ std::string grid_journal_key(const exper::GridTask& task,
                              std::uint64_t base_seed) {
   return exper::cell_journal_key(derived_cell_config(task, base_seed),
                                  task.interval_index);
+}
+
+flow::Estimator grid_estimator(const SweepSpec& spec, std::size_t index) {
+  if (spec.workload != Workload::kFlow) {
+    throw std::invalid_argument("grid_estimator: not a flow sweep");
+  }
+  const std::size_t inner = spec.methods.size() * spec.granularities.size();
+  const std::size_t e = inner == 0 ? spec.estimators.size() : index / inner;
+  if (e >= spec.estimators.size()) {
+    throw std::invalid_argument("grid_estimator: task index out of range");
+  }
+  return spec.estimators[e];
 }
 
 }  // namespace netsample::shard

@@ -17,12 +17,24 @@
 #include "core/targets.h"
 #include "core/trace_cache.h"
 #include "exper/parallel.h"
+#include "flow/sweep.h"
 #include "trace/trace.h"
 
 namespace netsample::shard {
 
-/// What to sweep. The grid is the cross product in canonical task order:
-/// target-major, then method, then granularity (the figures' row order).
+/// Which per-cell payload the sweep runs: the packet-target scoring of
+/// exper::run_cell, or the flow aggregation + inversion of
+/// flow::run_flow_cell.
+enum class Workload {
+  kPacket,
+  kFlow,
+};
+
+/// What to sweep. The grid is the cross product in canonical task order —
+/// packet workload: target-major, then method, then granularity (the
+/// figures' row order); flow workload: estimator-major, then method, then
+/// granularity (targets is a single placeholder entry so the wire encoding
+/// keeps its required fields).
 struct SweepSpec {
   std::vector<core::Target> targets;
   std::vector<core::Method> methods;
@@ -30,8 +42,17 @@ struct SweepSpec {
   int replications{5};
   std::uint64_t base_seed{1};
 
+  Workload workload{Workload::kPacket};
+  /// Flow workload only: the inversion estimators swept (outermost grid
+  /// axis). Must be non-empty for kFlow.
+  std::vector<flow::Estimator> estimators;
+  /// Flow workload only: table/inversion parameters shared by every cell.
+  flow::FlowParams flow;
+
   [[nodiscard]] std::size_t cell_count() const {
-    return targets.size() * methods.size() * granularities.size();
+    const std::size_t inner = methods.size() * granularities.size();
+    return workload == Workload::kFlow ? estimators.size() * inner
+                                       : targets.size() * inner;
   }
 };
 
@@ -68,7 +89,17 @@ struct SweepSpec {
 
 /// Checkpoint-journal key of a grid task — cell_journal_key over the derived
 /// config, byte-identical to what ParallelRunner writes for the same grid.
+/// NOTE: flow cells differing only in estimator share a key (the estimator
+/// lives outside CellConfig), so flow sweeps run journal-less — see
+/// docs/FLOWS.md.
 [[nodiscard]] std::string grid_journal_key(const exper::GridTask& task,
                                            std::uint64_t base_seed);
+
+/// Estimator of grid task `index` of a kFlow spec (the estimator is the
+/// outermost axis of the canonical order, so it is index / (methods x
+/// granularities)). Throws std::invalid_argument for a kPacket spec or an
+/// out-of-range index.
+[[nodiscard]] flow::Estimator grid_estimator(const SweepSpec& spec,
+                                             std::size_t index);
 
 }  // namespace netsample::shard

@@ -28,6 +28,15 @@ namespace netsample::synth {
 [[nodiscard]] TraceModelConfig fixwest_minutes_config(double minutes,
                                                       std::uint64_t seed = 29);
 
+/// The flow-workload parent population: the SDSC mix re-weighted toward
+/// flow-train structure with heavy-tailed (Pareto, shape 1.25) train
+/// lengths, the regime the flow-size inversion estimators are built for —
+/// many single-packet transactions plus a long tail of bulk trains reaching
+/// thousands of packets. Feeds `netsample generate --flow-mix` and the
+/// flow-sweep tests (docs/FLOWS.md).
+[[nodiscard]] TraceModelConfig flow_mix_minutes_config(double minutes,
+                                                       std::uint64_t seed = 31);
+
 /// Ablation transform: remove the packet-train burst structure while
 /// preserving the packet-size marginal, the mean rate, and the per-second
 /// modulation. Every train becomes a single packet (flow weights are

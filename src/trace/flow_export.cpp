@@ -75,11 +75,24 @@ StatusOr<std::vector<FlowRecord>> parse_flows(
                   "flow export: unsupported version " + std::to_string(version));
   }
   const std::uint64_t count = read_u64(bytes.data() + 8);
-  if (bytes.size() < kHeaderSize + count * kRecordSize) {
+  // Check count against the payload actually present BEFORE computing the
+  // byte total: a hostile count near 2^64 would overflow
+  // kHeaderSize + count * kRecordSize and wrap past the truncation check.
+  const std::uint64_t payload = bytes.size() - kHeaderSize;
+  if (count > payload / kRecordSize) {
     return Status(StatusCode::kDataLoss,
                   "flow export: truncated payload (have " +
                       std::to_string(bytes.size()) + " bytes, need " +
-                      std::to_string(kHeaderSize + count * kRecordSize) + ")");
+                      std::to_string(count) + " records of " +
+                      std::to_string(kRecordSize) + ")");
+  }
+  if (payload != count * kRecordSize) {
+    // Trailing bytes mean the writer and the header disagree about how many
+    // records exist — a count-vs-payload corruption, not harmless padding.
+    return Status(StatusCode::kDataLoss,
+                  "flow export: count/payload mismatch (" +
+                      std::to_string(payload - count * kRecordSize) +
+                      " trailing bytes)");
   }
 
   std::vector<FlowRecord> records;

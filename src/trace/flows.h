@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "trace/trace.h"
+#include "util/rng.h"
 
 namespace netsample::trace {
 
@@ -30,13 +31,18 @@ struct FlowKey {
 
 struct FlowKeyHash {
   std::size_t operator()(const FlowKey& k) const noexcept {
-    std::uint64_t h = k.src.value();
-    h = h * 0x9E3779B97F4A7C15ULL + k.dst.value();
-    h = h * 0x9E3779B97F4A7C15ULL +
-        ((std::uint64_t{k.src_port} << 24) | (std::uint64_t{k.dst_port} << 8) |
-         k.protocol);
-    h ^= h >> 29;
-    return static_cast<std::size_t>(h * 0xBF58476D1CE4E5B9ULL >> 16);
+    // Pack the 13 key bytes into two disjoint words and run each through
+    // the full SplitMix64 finalizer. The earlier multiply-add chain had
+    // poor avalanche (single-bit key flips moved only a handful of output
+    // bits), which clustered structured 5-tuple populations — sequential
+    // ports, /24 scans — into few buckets. Pinned by the collision /
+    // avalanche regression in tests/test_flows.cpp.
+    const std::uint64_t addrs =
+        (std::uint64_t{k.src.value()} << 32) | k.dst.value();
+    const std::uint64_t rest = (std::uint64_t{k.src_port} << 48) |
+                               (std::uint64_t{k.dst_port} << 32) | k.protocol;
+    return static_cast<std::size_t>(
+        mix64(addrs ^ mix64(rest + 0x9E3779B97F4A7C15ULL)));
   }
 };
 
@@ -55,6 +61,8 @@ struct FlowRecord {
     return packets == 0 ? 0.0
                         : static_cast<double>(bytes) / static_cast<double>(packets);
   }
+
+  friend bool operator==(const FlowRecord&, const FlowRecord&) = default;
 };
 
 /// Streaming flow table with idle-timeout expiry.

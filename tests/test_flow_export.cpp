@@ -77,6 +77,71 @@ TEST(FlowExport, RejectsTruncation) {
   EXPECT_EQ(parse_flows(bytes).status().code(), StatusCode::kDataLoss);
 }
 
+// EVERY proper prefix of a valid file must be rejected as data loss (or,
+// below 5 bytes, before the version/magic fields are even complete, still
+// never accepted). A collector that dies mid-write must not yield a
+// silently-short flow list.
+TEST(FlowExport, RejectsEveryTruncatedPrefix) {
+  const auto bytes = serialize_flows(sample_records());
+  for (std::size_t n = 0; n < bytes.size(); ++n) {
+    const std::vector<std::uint8_t> prefix(bytes.begin(), bytes.begin() + n);
+    const auto parsed = parse_flows(prefix);
+    ASSERT_FALSE(parsed.has_value()) << "accepted prefix of " << n << " bytes";
+    EXPECT_EQ(parsed.status().code(), StatusCode::kDataLoss)
+        << "prefix length " << n;
+  }
+}
+
+// A header count that disagrees with the payload length is data loss in
+// both directions: count too high (payload short) and count too low
+// (trailing bytes). Either way the record stream cannot be trusted.
+TEST(FlowExport, RejectsCountPayloadMismatch) {
+  const auto patch_count = [](std::vector<std::uint8_t> bytes,
+                              std::uint64_t count) {
+    for (int i = 0; i < 8; ++i) {
+      bytes[8 + i] = static_cast<std::uint8_t>(count >> (8 * i));
+    }
+    return bytes;
+  };
+  const auto bytes = serialize_flows(sample_records());  // count = 2
+
+  EXPECT_EQ(parse_flows(patch_count(bytes, 3)).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(parse_flows(patch_count(bytes, 1)).status().code(),
+            StatusCode::kDataLoss);
+  EXPECT_EQ(parse_flows(patch_count(bytes, 0)).status().code(),
+            StatusCode::kDataLoss);
+  // Adversarial counts near 2^64: count * record-size would wrap a naive
+  // 64-bit multiply right past the truncation check. The parser must
+  // reject these, not crash or accept.
+  EXPECT_EQ(
+      parse_flows(patch_count(bytes, 0xFFFF'FFFF'FFFF'FFFFULL)).status().code(),
+      StatusCode::kDataLoss);
+  EXPECT_EQ(
+      parse_flows(patch_count(bytes, (1ULL << 60) + 1)).status().code(),
+      StatusCode::kDataLoss);
+
+  // Trailing garbage after the declared records is also a mismatch.
+  auto extra = bytes;
+  extra.push_back(0xAB);
+  EXPECT_EQ(parse_flows(extra).status().code(), StatusCode::kDataLoss);
+}
+
+// Version skew is kUnimplemented (exit-70 class), distinct from corruption:
+// the file may be fine, this reader just cannot decode it.
+TEST(FlowExport, RejectsVersionSkewDistinctly) {
+  for (const std::uint16_t version : {std::uint16_t{0}, std::uint16_t{2},
+                                      std::uint16_t{0x7FFF}}) {
+    auto bytes = serialize_flows(sample_records());
+    bytes[4] = static_cast<std::uint8_t>(version & 0xFF);
+    bytes[5] = static_cast<std::uint8_t>(version >> 8);
+    const auto parsed = parse_flows(bytes);
+    ASSERT_FALSE(parsed.has_value()) << "version " << version;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kUnimplemented)
+        << "version " << version;
+  }
+}
+
 TEST(FlowExport, FileRoundTrip) {
   const auto path =
       (std::filesystem::temp_directory_path() / "netsample_flows.nsfe").string();

@@ -137,5 +137,105 @@ TEST(FlowKeyHash, DistinctKeysRarelyCollide) {
   EXPECT_EQ(hashes.size(), static_cast<std::size_t>(total));
 }
 
+// Regression for the mix64-based hash: structured 5-tuple populations —
+// exactly what real traffic looks like (sequential client ports, /24
+// scans, one busy server) — must spread across buckets like random keys
+// would. The earlier multiply-add chain failed this badly: its low output
+// bits barely depended on the address words, so power-of-two bucket counts
+// collapsed structured populations into a few buckets.
+TEST(FlowKeyHash, StructuredPopulationsSpreadAcrossBuckets) {
+  FlowKeyHash h;
+  const std::size_t kBuckets = 256;  // power of two: uses only low bits
+
+  const auto chi2_ok = [&](const std::vector<FlowKey>& keys) {
+    std::vector<int> bucket(kBuckets, 0);
+    for (const auto& k : keys) ++bucket[h(k) % kBuckets];
+    const double expect =
+        static_cast<double>(keys.size()) / static_cast<double>(kBuckets);
+    double chi2 = 0.0;
+    for (int c : bucket) {
+      const double d = static_cast<double>(c) - expect;
+      chi2 += d * d / expect;
+    }
+    // 255 dof: mean 255, sd ~22.6. Anything under mean + 5 sd is healthy;
+    // the pre-fix hash scored in the thousands on these populations.
+    return chi2 < 255.0 + 5.0 * 22.6;
+  };
+
+  // One busy server, sequential ephemeral client ports.
+  std::vector<FlowKey> seq_ports;
+  for (std::uint16_t port = 1024; port < 1024 + 2048; ++port) {
+    seq_ports.push_back({kA, kB, port, 80, 6});
+  }
+  EXPECT_TRUE(chi2_ok(seq_ports)) << "sequential source ports";
+
+  // A /24 scan: every destination host in one subnet, fixed ports.
+  std::vector<FlowKey> scan;
+  for (int net = 0; net < 8; ++net) {
+    for (int host = 0; host < 256; ++host) {
+      scan.push_back({kA,
+                      net::Ipv4Address(192, 168, static_cast<std::uint8_t>(net),
+                                       static_cast<std::uint8_t>(host)),
+                      31337, 443, 6});
+    }
+  }
+  EXPECT_TRUE(chi2_ok(scan)) << "/24 destination scan";
+
+  // Sequential source addresses (DHCP pool), fixed everything else.
+  std::vector<FlowKey> pool;
+  for (int i = 0; i < 2048; ++i) {
+    pool.push_back({net::Ipv4Address(10, 1, static_cast<std::uint8_t>(i / 256),
+                                     static_cast<std::uint8_t>(i % 256)),
+                    kB, 5000, 25, 17});
+  }
+  EXPECT_TRUE(chi2_ok(pool)) << "sequential source addresses";
+}
+
+// Avalanche: flipping any single input bit must flip close to half the
+// output bits on average. The multiply-add chain moved only a handful for
+// port-bit flips; the SplitMix64 finalizer is designed for exactly this.
+TEST(FlowKeyHash, SingleBitFlipsAvalanche) {
+  FlowKeyHash h;
+  const FlowKey base{kA, kB, 1024, 80, 6};
+  const std::size_t base_hash = h(base);
+
+  double total_flipped = 0.0;
+  int flips = 0;
+  const auto probe = [&](const FlowKey& k) {
+    const std::size_t x = base_hash ^ h(k);
+    total_flipped += __builtin_popcountll(x);
+    ++flips;
+    // Every single-bit change must disturb the hash substantially — at
+    // least 16 of 64 bits even in the worst case.
+    EXPECT_GE(__builtin_popcountll(x), 16);
+  };
+
+  for (int b = 0; b < 16; ++b) {
+    FlowKey k = base;
+    k.src_port = static_cast<std::uint16_t>(k.src_port ^ (1u << b));
+    probe(k);
+    k = base;
+    k.dst_port = static_cast<std::uint16_t>(k.dst_port ^ (1u << b));
+    probe(k);
+  }
+  for (int b = 0; b < 32; ++b) {
+    FlowKey k = base;
+    k.src = net::Ipv4Address(k.src.value() ^ (1u << b));
+    probe(k);
+    k = base;
+    k.dst = net::Ipv4Address(k.dst.value() ^ (1u << b));
+    probe(k);
+  }
+  for (int b = 0; b < 8; ++b) {
+    FlowKey k = base;
+    k.protocol = static_cast<std::uint8_t>(k.protocol ^ (1u << b));
+    probe(k);
+  }
+  // Mean across all flips should hover near 32 bits.
+  const double mean = total_flipped / flips;
+  EXPECT_GT(mean, 28.0);
+  EXPECT_LT(mean, 36.0);
+}
+
 }  // namespace
 }  // namespace netsample::trace

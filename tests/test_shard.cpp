@@ -235,6 +235,78 @@ TEST(ShardGrid, SweepSpecDecoderIsStrict) {
       decode_sweep_spec("v=1;seed=7;reps=2;targets=size;k=8", &spec));
 }
 
+TEST(ShardGrid, FlowSweepSpecCodecRoundTrips) {
+  SweepSpec original;
+  original.workload = Workload::kFlow;
+  original.targets = {core::Target::kPacketSize};
+  original.methods = {core::Method::kSystematicCount,
+                      core::Method::kSimpleRandom};
+  original.granularities = {10, 100, 1000};
+  original.replications = 3;
+  original.base_seed = 99;
+  original.estimators = {flow::Estimator::kTailRescale, flow::Estimator::kEm};
+  original.flow.idle_timeout_usec = 15'000'000;
+  original.flow.capacity = 4096;
+  original.flow.em_iters = 120;
+
+  const std::string wire = encode_sweep_spec(original);
+  SweepSpec decoded;
+  ASSERT_TRUE(decode_sweep_spec(wire, &decoded)) << wire;
+  EXPECT_EQ(decoded.workload, Workload::kFlow);
+  EXPECT_EQ(decoded.methods, original.methods);
+  EXPECT_EQ(decoded.granularities, original.granularities);
+  EXPECT_EQ(decoded.replications, original.replications);
+  EXPECT_EQ(decoded.base_seed, original.base_seed);
+  EXPECT_EQ(decoded.estimators, original.estimators);
+  EXPECT_EQ(decoded.flow, original.flow);
+  EXPECT_EQ(decoded.cell_count(), original.cell_count());
+  EXPECT_EQ(encode_sweep_spec(decoded), wire);
+
+  // A packet spec must not grow flow fields on the wire — old workers keep
+  // decoding new coordinators' packet sweeps.
+  const std::string packet_wire = encode_sweep_spec(small_spec());
+  EXPECT_EQ(packet_wire.find("workload="), std::string::npos);
+  EXPECT_EQ(packet_wire.find("est="), std::string::npos);
+
+  // grid_estimator maps task index -> estimator (outermost axis).
+  const std::size_t inner =
+      original.methods.size() * original.granularities.size();
+  EXPECT_EQ(grid_estimator(original, 0), flow::Estimator::kTailRescale);
+  EXPECT_EQ(grid_estimator(original, inner - 1),
+            flow::Estimator::kTailRescale);
+  EXPECT_EQ(grid_estimator(original, inner), flow::Estimator::kEm);
+  EXPECT_THROW((void)grid_estimator(original, 2 * inner),
+               std::invalid_argument);
+  EXPECT_THROW((void)grid_estimator(small_spec(), 0), std::invalid_argument);
+}
+
+TEST(ShardGrid, FlowSweepSpecDecoderIsStrict) {
+  SweepSpec spec;
+  const std::string base =
+      "v=1;seed=7;reps=2;targets=size;methods=random;k=8";
+  // est without workload=flow: rejected.
+  EXPECT_FALSE(decode_sweep_spec(base + ";est=em", &spec));
+  EXPECT_FALSE(decode_sweep_spec(base + ";ftimeout=1000", &spec));
+  // flow workload without estimators: rejected.
+  EXPECT_FALSE(decode_sweep_spec(base + ";workload=flow", &spec));
+  EXPECT_FALSE(decode_sweep_spec(base + ";workload=flow;est=", &spec));
+  // Unknown estimator token / workload name: rejected.
+  EXPECT_FALSE(
+      decode_sweep_spec(base + ";workload=flow;est=magic", &spec));
+  EXPECT_FALSE(decode_sweep_spec(base + ";workload=stream;est=em", &spec));
+  // Out-of-range parameters: rejected.
+  EXPECT_FALSE(decode_sweep_spec(
+      base + ";workload=flow;est=em;ftimeout=0", &spec));
+  EXPECT_FALSE(decode_sweep_spec(
+      base + ";workload=flow;est=em;emiters=0", &spec));
+  // The full well-formed flow line is accepted.
+  EXPECT_TRUE(decode_sweep_spec(
+      base + ";workload=flow;est=rescale,em;ftimeout=30000000;fcap=0;"
+             "emiters=60",
+      &spec));
+  EXPECT_EQ(spec.estimators.size(), 2u);
+}
+
 TEST(ShardGrid, JournalKeysMatchWhatParallelRunnerWrites) {
   const auto& f = fixture();
   const SweepSpec spec = small_spec();

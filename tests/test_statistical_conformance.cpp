@@ -29,6 +29,8 @@
 #include "core/trace_cache.h"
 #include "exper/experiment.h"
 #include "exper/runner.h"
+#include "flow/inversion.h"
+#include "util/rng.h"
 
 namespace netsample {
 namespace {
@@ -197,6 +199,191 @@ TEST_F(ConformanceTest, SimpleRandomSampleSizeIsExact) {
           << "k=" << k << " seed=" << seed;
     }
   }
+}
+
+// ---- Flow-size inversion conformance ----
+//
+// Direct simulation of the inversion problem, no traces: draw M flow sizes
+// from a known mix, thin every packet independently with probability p
+// (the exact generative model both estimators assume), and require the
+// estimators to recover what they claim to recover. Tolerances are derived
+// from the simulation itself, not tuned:
+//
+//   * The observed flow count C is a sum of independent Bernoulli(q_s)
+//     with q_s = 1 - (1-p)^s, so sd(C) = sqrt(sum q_s (1-q_s)). The EM
+//     total-flow estimate N-hat is proportional to C to first order, so
+//     its relative 4-sigma band is 4*sd(C)/E[C], plus a fixed 10%
+//     modeling allowance for the geometric support grid (~1.3x spacing
+//     quantizes sizes by up to ~15% at the top of a bin).
+//   * Everything is seeded: a failure is a regression, never flake.
+
+/// One simulated thinning experiment over a drawn flow-size population.
+struct ThinSim {
+  flow::SizeDist truth;    // all M flows
+  flow::SizeDist sampled;  // flows with >= 1 sampled packet, by observed size
+  double q_sum{0};         // E[C] = sum of per-flow detection probabilities
+  double q_var{0};         // Var(C) = sum q_s (1 - q_s)
+};
+
+enum class Mix { kPareto, kGeometric };
+
+ThinSim simulate_thinning(Mix mix, std::size_t flows, double p,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  ThinSim sim;
+  for (std::size_t i = 0; i < flows; ++i) {
+    std::uint64_t s;
+    if (mix == Mix::kPareto) {
+      // xm = 0.5/p keeps detection probability >= 1 - e^{-0.5} even at the
+      // smallest sizes; alpha = 1.3 is the heavy-tail regime the inversion
+      // literature targets. Capped so a single extreme draw cannot blow up
+      // the per-packet thinning loop.
+      s = static_cast<std::uint64_t>(rng.pareto(0.5 / p, 1.3));
+      s = std::min<std::uint64_t>(s, 2'000'000);
+    } else {
+      // Geometric with mean ~ 2/p: mostly small flows, thin tail.
+      s = 1 + rng.geometric(p / (2.0 - p));
+    }
+    sim.truth.add(s);
+    const double q = 1.0 - std::pow(1.0 - p, static_cast<double>(s));
+    sim.q_sum += q;
+    sim.q_var += q * (1.0 - q);
+    std::uint64_t j = 0;
+    for (std::uint64_t t = 0; t < s; ++t) j += rng.bernoulli(p) ? 1 : 0;
+    if (j > 0) sim.sampled.add(j);
+  }
+  return sim;
+}
+
+const double kThinProbs[] = {1.0 / 10, 1.0 / 100, 1.0 / 1000};
+
+// EM recovers the total flow count (seen + unseen) within its sampling
+// 4-sigma band plus the grid allowance, for both mixes, down to p = 1/1000.
+TEST(InversionConformance, EmRecoversTotalFlows) {
+  for (const Mix mix : {Mix::kPareto, Mix::kGeometric}) {
+    for (const double p : kThinProbs) {
+      const std::size_t kFlows = 4000;
+      const auto sim = simulate_thinning(mix, kFlows, p, 91);
+      const auto r = flow::invert_em(sim.sampled, p);
+      // Three error sources, each bounded separately:
+      //   * sampling noise in the observed count C (4-sigma band);
+      //   * support-grid quantization (~1.3x spacing), fixed 10%;
+      //   * unseen-mass extrapolation: the count of barely-detectable
+      //     flows is ill-conditioned (their Fisher information vanishes
+      //     as q_s -> 0), so this term scales with the fraction of flows
+      //     EM never saw and must extrapolate.
+      const double unseen_frac = 1.0 - sim.q_sum / static_cast<double>(kFlows);
+      const double rel_tol = 4.0 * std::sqrt(sim.q_var) / sim.q_sum + 0.10 +
+                             0.25 * unseen_frac;
+      const double rel_err =
+          std::fabs(r.total_flows - static_cast<double>(kFlows)) / kFlows;
+      EXPECT_LE(rel_err, rel_tol)
+          << (mix == Mix::kPareto ? "pareto" : "geometric") << " p=" << p
+          << " N-hat=" << r.total_flows;
+      // Total packets: sum of j/p is unbiased for the true packet total,
+      // and EM preserves observed packet mass up to grid quantization.
+      const double pkt_err =
+          std::fabs(r.estimated.total_packets() - sim.truth.total_packets()) /
+          sim.truth.total_packets();
+      EXPECT_LE(pkt_err, 0.20)
+          << (mix == Mix::kPareto ? "pareto" : "geometric") << " p=" << p;
+    }
+  }
+}
+
+// The EM ascent property, asserted exactly (up to accumulated rounding):
+// the zero-truncated observed-data log-likelihood never decreases.
+TEST(InversionConformance, EmLogLikelihoodIsMonotone) {
+  for (const Mix mix : {Mix::kPareto, Mix::kGeometric}) {
+    for (const double p : kThinProbs) {
+      const auto sim = simulate_thinning(mix, 2000, p, 17);
+      const auto r = flow::invert_em(sim.sampled, p);
+      ASSERT_FALSE(r.log_likelihood.empty());
+      for (std::size_t i = 1; i < r.log_likelihood.size(); ++i) {
+        const double prev = r.log_likelihood[i - 1];
+        const double cur = r.log_likelihood[i];
+        EXPECT_GE(cur, prev - 1e-7 * (std::fabs(prev) + 1.0))
+            << "iteration " << i << " p=" << p;
+      }
+    }
+  }
+}
+
+// Tail rescaling conforms to its exact sampling theory. The estimated tail
+// count at threshold T = 5k is #{flows with observed j >= 5}, whose
+// distribution under binomial thinning is known in closed form from the
+// drawn truth: E = sum_s n_s P(Bin(s,p) >= 5), Var = sum_s n_s P (1-P).
+// The implementation must land within 4 sigma of that prediction — this
+// pins the code to the math WITHOUT hiding the estimator's inherent
+// boundary blur (flows just below T inflate the estimate when the size
+// density decays quickly; that bias is part of the prediction, not noise).
+// A looser accuracy check then bounds the blur itself on the heavy-tailed
+// mix the rescaler is designed for.
+TEST(InversionConformance, TailRescaleMatchesSamplingTheory) {
+  const auto log_binom_tail_lt5 = [](std::uint64_t s, double p) {
+    // P(Bin(s,p) <= 4), summed in ordinary space (terms are tiny or O(1)).
+    double total = 0.0;
+    const double lq = std::log1p(-p);
+    double lcoef = 0.0;  // log C(s, j)
+    for (std::uint64_t j = 0; j <= 4 && j <= s; ++j) {
+      if (j > 0) {
+        lcoef += std::log(static_cast<double>(s - j + 1)) -
+                 std::log(static_cast<double>(j));
+      }
+      total += std::exp(lcoef + static_cast<double>(j) * std::log(p) +
+                        static_cast<double>(s - j) * lq);
+    }
+    return std::min(total, 1.0);
+  };
+  for (const Mix mix : {Mix::kPareto, Mix::kGeometric}) {
+    for (const double p : kThinProbs) {
+      const auto k = static_cast<std::uint64_t>(std::llround(1.0 / p));
+      const auto sim = simulate_thinning(mix, 4000, p, 53);
+      const auto est = flow::invert_tail_rescale(sim.sampled, k);
+      const std::uint64_t threshold = 5 * k;
+      double expect = 0.0;
+      double var = 0.0;
+      for (std::uint64_t s = 1; s <= sim.truth.max_size(); ++s) {
+        const double n = sim.truth.count(s);
+        if (n == 0.0) continue;
+        const double tail_p = 1.0 - log_binom_tail_lt5(s, p);
+        expect += n * tail_p;
+        var += n * tail_p * (1.0 - tail_p);
+      }
+      const double got = est.tail_flows(threshold);
+      EXPECT_LE(std::fabs(got - expect), 4.0 * std::sqrt(var) + 1.0)
+          << (mix == Mix::kPareto ? "pareto" : "geometric") << " p=" << p
+          << " got=" << got << " expect=" << expect;
+
+      // On the heavy-tailed mix (the rescaler's design domain) the blur
+      // stays bounded: the estimate is within a factor of two of truth.
+      if (mix == Mix::kPareto) {
+        const double want = sim.truth.tail_flows(threshold);
+        ASSERT_GT(want, 50.0) << "tail too thin to test at p=" << p;
+        EXPECT_GT(got, 0.5 * want) << "p=" << p;
+        EXPECT_LT(got, 2.0 * want) << "p=" << p;
+      }
+    }
+  }
+}
+
+// Degenerate and validation paths of the inversion API.
+TEST(InversionConformance, EdgeCases) {
+  flow::SizeDist empty;
+  EXPECT_EQ(flow::invert_em(empty, 0.5).total_flows, 0.0);
+  EXPECT_TRUE(flow::invert_tail_rescale(empty, 10).empty());
+  EXPECT_THROW(flow::invert_em(empty, 0.0), std::invalid_argument);
+  EXPECT_THROW(flow::invert_em(empty, 1.5), std::invalid_argument);
+  EXPECT_THROW(flow::invert_tail_rescale(empty, 0), std::invalid_argument);
+
+  // p = 1 is the identity: nothing is thinned, nothing is unseen.
+  flow::SizeDist d;
+  d.add(3, 2.0);
+  d.add(7, 1.0);
+  const auto r = flow::invert_em(d, 1.0);
+  EXPECT_EQ(r.total_flows, 3.0);
+  EXPECT_EQ(r.estimated.count(3), 2.0);
+  EXPECT_EQ(r.estimated.count(7), 1.0);
 }
 
 }  // namespace

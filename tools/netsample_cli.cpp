@@ -5,6 +5,8 @@
 //   netsample sample   trace.pcap --method systematic --k 50 --out out.pcap
 //   netsample score    trace.pcap --method systematic --k 50 [--reps 5]
 //   netsample flows    trace.pcap [--timeout 30] [--top 10]
+//   netsample flows    trace.pcap --sweep [--estimators rescale,em]
+//                      [--grid-k 10,100,1000] [--flow-cap N] [--workers N]
 //   netsample design   --mu 232 --sigma 236 --accuracy 5 [--population N]
 //   netsample charact  trace.pcap [--node t1|t3] [--k 50]
 //   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
@@ -79,7 +81,8 @@ int usage() {
       "  inspect    summarize a pcap capture (Tables 2/3 style)\n"
       "  sample     draw a sampled sub-trace and write it as pcap\n"
       "  score      score a sampling discipline against the capture (phi)\n"
-      "  flows      assemble 5-tuple flows and print top talkers\n"
+      "  flows      assemble 5-tuple flows and print top talkers; with\n"
+      "             --sweep, run the sampled-flow inversion workload\n"
       "  design     Cochran sample-size planning\n"
       "  charact    run the NSFNET characterization objects\n"
       "  impair     sweep measurement impairments and report phi degradation\n"
@@ -159,7 +162,14 @@ int cmd_generate(ArgParser& args) {
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed"));
   const std::string out = args.get_string("out");
 
-  auto cfg = synth::sdsc_minutes_config(minutes, seed);
+  if (args.get_bool("flow-mix") && args.get_bool("poisson")) {
+    std::cerr << "error: --flow-mix and --poisson are mutually exclusive "
+                 "(one adds flow-train structure, the other removes it)\n";
+    return kExitUsage;
+  }
+  auto cfg = args.get_bool("flow-mix")
+                 ? synth::flow_mix_minutes_config(minutes, seed)
+                 : synth::sdsc_minutes_config(minutes, seed);
   if (args.get_bool("poisson")) cfg = synth::poissonified(cfg);
   synth::TraceModel model(cfg);
   const auto t = model.generate();
@@ -525,7 +535,9 @@ int cmd_watch(ArgParser& args) {
   return 0;
 }
 
-int cmd_flows(ArgParser& args) {
+/// `netsample flows` without --sweep: assemble every flow and print the top
+/// talkers (the original behavior of the subcommand).
+int flow_top_talkers(ArgParser& args) {
   auto t = load(args.positionals().at(0), args);
   if (!t) return fail(t.status());
   trace::FlowTable table(MicroDuration::from_seconds(args.get_double("timeout")));
@@ -635,6 +647,24 @@ std::vector<std::uint64_t> parse_k_list(const std::string& list) {
   return out;
 }
 
+/// Apply --methods to a spec: "all" keeps the default 5, otherwise a
+/// comma-separated token list replaces them. Throws on empties/unknowns.
+void apply_methods_flag(const ArgParser& args, shard::SweepSpec* spec) {
+  const std::string methods = args.get_string("methods");
+  if (methods == "all") return;
+  spec->methods.clear();
+  std::size_t pos = 0;
+  while (pos <= methods.size()) {
+    const std::size_t comma = std::min(methods.find(',', pos), methods.size());
+    const std::string item = methods.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (!item.empty()) spec->methods.push_back(shard::parse_method_token(item));
+  }
+  if (spec->methods.empty()) {
+    throw std::invalid_argument("--methods needs at least one method");
+  }
+}
+
 /// The sweep grid requested on the command line: the full paper grid pruned
 /// by --target / --methods / --grid-k.
 shard::SweepSpec sweep_spec_from_args(const ArgParser& args) {
@@ -649,22 +679,53 @@ shard::SweepSpec sweep_spec_from_args(const ArgParser& args) {
   } else if (which != "both") {
     throw std::invalid_argument("sweep --target must be both|size|iat");
   }
-  const std::string methods = args.get_string("methods");
-  if (methods != "all") {
-    spec.methods.clear();
-    std::size_t pos = 0;
-    while (pos <= methods.size()) {
-      const std::size_t comma = std::min(methods.find(',', pos), methods.size());
-      const std::string item = methods.substr(pos, comma - pos);
-      pos = comma + 1;
-      if (!item.empty()) spec.methods.push_back(shard::parse_method_token(item));
-    }
-    if (spec.methods.empty()) {
-      throw std::invalid_argument("--methods needs at least one method");
-    }
-  }
+  apply_methods_flag(args, &spec);
   const std::string ks = args.get_string("grid-k");
   if (ks != "ladder") spec.granularities = parse_k_list(ks);
+  return spec;
+}
+
+/// The flow-workload grid of `netsample flows --sweep`: estimators x methods
+/// x granularities, with the flow-table/inversion parameters attached.
+shard::SweepSpec flow_spec_from_args(const ArgParser& args) {
+  shard::SweepSpec spec = shard::default_sweep_spec();
+  spec.workload = shard::Workload::kFlow;
+  // Placeholder target: required by the spec codec, ignored by flow cells.
+  spec.targets = {core::Target::kPacketSize};
+  spec.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.replications = static_cast<int>(args.get_int("reps"));
+  apply_methods_flag(args, &spec);
+  const std::string ks = args.get_string("grid-k");
+  spec.granularities = ks == "ladder" ? flow::flow_ladder() : parse_k_list(ks);
+
+  const std::string estimators = args.get_string("estimators");
+  std::size_t pos = 0;
+  while (pos <= estimators.size()) {
+    const std::size_t comma =
+        std::min(estimators.find(',', pos), estimators.size());
+    const std::string item = estimators.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (!item.empty()) {
+      spec.estimators.push_back(flow::parse_estimator_token(item));
+    }
+  }
+  if (spec.estimators.empty()) {
+    throw std::invalid_argument("--estimators needs at least one of rescale|em");
+  }
+
+  const double timeout_s = args.get_double("timeout");
+  if (!(timeout_s > 0.0)) {
+    throw std::invalid_argument("flows --timeout must be > 0 seconds");
+  }
+  spec.flow.idle_timeout_usec = static_cast<std::uint64_t>(timeout_s * 1e6);
+  spec.flow.capacity = static_cast<std::uint64_t>(tools::checked_count(
+      "--flow-cap", args.get_string("flow-cap"), 1000000000));
+  const int em_iters = tools::checked_count("--em-iters",
+                                            args.get_string("em-iters"), 100000);
+  if (em_iters == 0) {
+    throw std::invalid_argument("--em-iters must be >= 1");
+  }
+  spec.flow.em_iters = em_iters;
   return spec;
 }
 
@@ -680,49 +741,150 @@ std::string self_exe(const char* argv0) {
   return argv0;
 }
 
+/// The validated sharding vocabulary, read up front so a malformed flag is
+/// a usage error (64) before any capture is parsed or store written.
+struct ShardFlags {
+  int workers{0};
+  int chaos{0};
+  int max_respawns{0};
+  int depart{0};
+  int connect_retries{0};
+  double heartbeat{0};
+  double lease_timeout{0};
+  std::string transport;
+  std::string listen;
+  std::string netfault;
+};
+
+/// Throws std::invalid_argument / StatusError on malformed flags — both map
+/// to exit 64 in main().
+ShardFlags shard_flags_from_args(const ArgParser& args) {
+  ShardFlags f;
+  f.workers =
+      tools::checked_count("--workers", args.get_string("workers"), 4096);
+  f.chaos = tools::checked_count(
+      "--chaos-kill-after", args.get_string("chaos-kill-after"), 1000000000);
+  f.max_respawns = tools::checked_count(
+      "--max-respawns", args.get_string("max-respawns"), 1000000000);
+  f.depart = tools::checked_count(
+      "--depart-after", args.get_string("depart-after"), 1000000000);
+  f.heartbeat = tools::checked_seconds(
+      "--heartbeat-interval", args.get_string("heartbeat-interval"), 3600.0);
+  f.lease_timeout = tools::checked_seconds(
+      "--lease-timeout", args.get_string("lease-timeout"), 3600.0);
+  f.connect_retries = tools::checked_count(
+      "--connect-retries", args.get_string("connect-retries"), 1000);
+  f.transport = args.get_string("transport");
+  if (f.transport != "pipe" && f.transport != "socket") {
+    throw std::invalid_argument("--transport must be pipe or socket, got \"" +
+                                f.transport + "\"");
+  }
+  f.listen = args.get_string("listen");
+  if (f.transport == "socket") {
+    auto hp = shard::parse_host_port(f.listen);
+    if (!hp.has_value()) throw StatusError(hp.status());
+  }
+  if (args.has("netfault")) {
+    f.netfault = args.get_string("netfault");
+    // Validate the schedule coordinator-side so a typo is a usage error
+    // here, not a kInternal after W workers die trying to parse it.
+    auto nf = faultsim::parse_netfault_spec(f.netfault);
+    if (!nf.has_value()) throw StatusError(nf.status());
+  }
+  return f;
+}
+
+/// Run `spec` sharded over f.workers processes and re-dress the shard
+/// outcomes as an exper::RunReport so the table renders through the exact
+/// same code path as the in-process run (byte-identical output). Throws
+/// StatusError on store/coordinator failure. Scheduling facts (store reuse,
+/// leases, respawns) go to stderr so stdout stays byte-diffable across
+/// worker counts.
+exper::RunReport run_sharded_report(const shard::SweepSpec& spec,
+                                    const std::vector<exper::GridTask>& grid,
+                                    exper::Experiment& ex,
+                                    const ShardFlags& f, const ArgParser& args,
+                                    const char* argv0,
+                                    exper::CheckpointJournal* journal) {
+  const std::string store_path = args.has("store")
+                                     ? args.get_string("store")
+                                     : args.positionals().at(0) + ".nstore";
+  shard::StoreBackend& backend =
+      shard::store_backend(args.get_string("store-backend"));
+  // Amortization: a valid store for this population is reused as-is; the
+  // trace is re-binned and re-serialized only when none exists yet.
+  bool wrote_store = false;
+  {
+    auto existing = shard::TraceStore::open(store_path, backend);
+    if (!existing.has_value() ||
+        existing->packet_count() != ex.population_size()) {
+      const double mean_size =
+          trace::summarize_population(ex.full()).packet_size.mean;
+      const Status st = shard::write_trace_store(
+          store_path, ex.binned_cache(), ex.mean_interarrival_usec(),
+          mean_size);
+      if (!st.is_ok()) throw StatusError(st);
+      wrote_store = true;
+    }
+  }
+  std::cerr << "store: " << (wrote_store ? "wrote " : "reusing ") << store_path
+            << "\n";
+
+  shard::CoordinatorOptions copts;
+  copts.workers = f.workers;
+  copts.store_path = store_path;
+  copts.backend = args.get_string("store-backend");
+  copts.journal = journal;
+  copts.worker_command = {self_exe(argv0), "worker"};
+  copts.chaos_kill_after = f.chaos > 0 ? f.chaos : -1;
+  copts.max_respawns = f.max_respawns;
+  copts.first_worker_depart_after = f.depart > 0 ? f.depart : -1;
+  if (f.transport == "socket") {
+    copts.transport = shard::TransportKind::kSocket;
+  }
+  copts.listen = f.listen;
+  copts.heartbeat_interval_s = f.heartbeat;
+  copts.lease_timeout_s = f.lease_timeout;
+  copts.connect_retries = f.connect_retries;
+  copts.netfault = f.netfault;
+
+  auto sharded = shard::run_sharded_sweep(spec, copts);
+  if (wrote_store && !args.get_bool("keep-store")) {
+    (void)std::remove(store_path.c_str());
+  }
+  if (!sharded.has_value()) throw StatusError(sharded.status());
+
+  std::cerr << "workers: " << sharded->workers_spawned << " spawned, "
+            << sharded->leases_granted << " leases, "
+            << sharded->reassignments << " reassigned, "
+            << sharded->workers_departed << " departed, "
+            << sharded->leases_expired << " expired, " << sharded->reconnects
+            << " reconnects, " << sharded->workers_died
+            << " died; worker cache builds " << sharded->worker_cache_builds
+            << ", maps " << sharded->worker_cache_maps << "\n";
+
+  exper::RunReport rr;
+  rr.cells.resize(sharded->cells.size());
+  for (std::size_t i = 0; i < sharded->cells.size(); ++i) {
+    auto& cell = rr.cells[i];
+    auto& from = sharded->cells[i];
+    cell.status = from.status;
+    cell.from_journal = from.from_journal;
+    cell.attempts = from.from_journal ? 0 : 1;
+    cell.result.config = shard::derived_cell_config(grid[i], spec.base_seed);
+    cell.result.replications = std::move(from.replications);
+  }
+  return rr;
+}
+
 /// `netsample sweep` — the whole method x granularity grid over one capture.
 /// --workers 0 (default) runs in-process on ParallelRunner threads (--jobs);
 /// --workers N shards the grid over N processes that mmap a shared
 /// TraceStore. Both paths print bit-identical tables and write bit-identical
 /// journals: seeds derive from grid coordinates, never from scheduling.
-/// Scheduling facts (store reuse, leases, respawns) go to stderr so stdout
-/// stays byte-diffable across worker counts.
 int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
               const char* argv0) {
-  // Validate the whole sharding vocabulary up front: a malformed flag is a
-  // usage error (64) before any capture is parsed or store written.
-  const int workers =
-      tools::checked_count("--workers", args.get_string("workers"), 4096);
-  const int chaos = tools::checked_count(
-      "--chaos-kill-after", args.get_string("chaos-kill-after"), 1000000000);
-  const int max_respawns = tools::checked_count(
-      "--max-respawns", args.get_string("max-respawns"), 1000000000);
-  const int depart = tools::checked_count(
-      "--depart-after", args.get_string("depart-after"), 1000000000);
-  const double heartbeat = tools::checked_seconds(
-      "--heartbeat-interval", args.get_string("heartbeat-interval"), 3600.0);
-  const double lease_timeout = tools::checked_seconds(
-      "--lease-timeout", args.get_string("lease-timeout"), 3600.0);
-  const int connect_retries = tools::checked_count(
-      "--connect-retries", args.get_string("connect-retries"), 1000);
-  const std::string transport = args.get_string("transport");
-  if (transport != "pipe" && transport != "socket") {
-    throw std::invalid_argument("--transport must be pipe or socket, got \"" +
-                                transport + "\"");
-  }
-  const std::string listen = args.get_string("listen");
-  if (transport == "socket") {
-    auto hp = shard::parse_host_port(listen);
-    if (!hp.has_value()) return fail(hp.status());
-  }
-  std::string netfault;
-  if (args.has("netfault")) {
-    netfault = args.get_string("netfault");
-    // Validate the schedule coordinator-side so a typo is a usage error
-    // here, not a kInternal after W workers die trying to parse it.
-    auto nf = faultsim::parse_netfault_spec(netfault);
-    if (!nf.has_value()) return fail(nf.status());
-  }
+  const ShardFlags flags = shard_flags_from_args(args);
 
   auto t = load(args.positionals().at(0), args);
   if (!t) return fail(t.status());
@@ -750,7 +912,7 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
                                       &ex.binned_cache());
 
   exper::RunReport rr;
-  if (workers == 0) {
+  if (flags.workers == 0) {
     // In-process path: ParallelRunner with kSkip matches the coordinator's
     // quarantine-and-continue semantics.
     exper::RunOptions ropts;
@@ -759,76 +921,8 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
     exper::ParallelRunner runner(common.jobs);
     rr = runner.run(grid, spec.base_seed, ropts);
   } else {
-    const std::string store_path = args.has("store")
-                                       ? args.get_string("store")
-                                       : args.positionals().at(0) + ".nstore";
-    shard::StoreBackend& backend =
-        shard::store_backend(args.get_string("store-backend"));
-    // Amortization: a valid store for this population is reused as-is; the
-    // trace is re-binned and re-serialized only when none exists yet.
-    bool wrote_store = false;
-    {
-      auto existing = shard::TraceStore::open(store_path, backend);
-      if (!existing.has_value() ||
-          existing->packet_count() != ex.population_size()) {
-        const double mean_size =
-            trace::summarize_population(ex.full()).packet_size.mean;
-        const Status st = shard::write_trace_store(
-            store_path, ex.binned_cache(), ex.mean_interarrival_usec(),
-            mean_size);
-        if (!st.is_ok()) return fail(st);
-        wrote_store = true;
-      }
-    }
-    std::cerr << "store: " << (wrote_store ? "wrote " : "reusing ")
-              << store_path << "\n";
-
-    shard::CoordinatorOptions copts;
-    copts.workers = workers;
-    copts.store_path = store_path;
-    copts.backend = args.get_string("store-backend");
-    copts.journal = have_journal ? &journal : nullptr;
-    copts.worker_command = {self_exe(argv0), "worker"};
-    copts.chaos_kill_after = chaos > 0 ? chaos : -1;
-    copts.max_respawns = max_respawns;
-    copts.first_worker_depart_after = depart > 0 ? depart : -1;
-    if (transport == "socket") {
-      copts.transport = shard::TransportKind::kSocket;
-    }
-    copts.listen = listen;
-    copts.heartbeat_interval_s = heartbeat;
-    copts.lease_timeout_s = lease_timeout;
-    copts.connect_retries = connect_retries;
-    copts.netfault = netfault;
-
-    auto sharded = shard::run_sharded_sweep(spec, copts);
-    if (wrote_store && !args.get_bool("keep-store")) {
-      (void)std::remove(store_path.c_str());
-    }
-    if (!sharded.has_value()) return fail(sharded.status());
-
-    std::cerr << "workers: " << sharded->workers_spawned << " spawned, "
-              << sharded->leases_granted << " leases, "
-              << sharded->reassignments << " reassigned, "
-              << sharded->workers_departed << " departed, "
-              << sharded->leases_expired << " expired, "
-              << sharded->reconnects << " reconnects, "
-              << sharded->workers_died << " died; worker cache builds "
-              << sharded->worker_cache_builds << ", maps "
-              << sharded->worker_cache_maps << "\n";
-
-    // Re-dress the shard outcomes as a RunReport so the table renders
-    // through the exact same code path (byte-identical output).
-    rr.cells.resize(sharded->cells.size());
-    for (std::size_t i = 0; i < sharded->cells.size(); ++i) {
-      auto& cell = rr.cells[i];
-      auto& from = sharded->cells[i];
-      cell.status = from.status;
-      cell.from_journal = from.from_journal;
-      cell.attempts = from.from_journal ? 0 : 1;
-      cell.result.config = shard::derived_cell_config(grid[i], spec.base_seed);
-      cell.result.replications = std::move(from.replications);
-    }
+    rr = run_sharded_report(spec, grid, ex, flags, args, argv0,
+                            have_journal ? &journal : nullptr);
   }
 
   const auto result = as_result(std::move(rr));
@@ -837,6 +931,62 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
     std::cerr << "quarantined: cell " << i << " ("
               << core::target_name(grid[i].config.target) << ") after "
               << result->cells[i].attempts << " attempt(s): "
+              << result->cells[i].status.to_string() << "\n";
+  }
+  if (!result.ok()) return fail(result.status);
+  return 0;
+}
+
+/// `netsample flows` — top talkers by default; with --sweep, the flow
+/// workload: estimators x methods x granularities cells that sample the
+/// capture, aggregate sampled flows under memory pressure (--flow-cap),
+/// invert the sampled flow-size distribution, and score the estimate
+/// against the interval's ground truth. Like `sweep`, --workers N shards
+/// the grid over processes and stdout stays byte-diffable across
+/// --jobs/--workers. No --resume: flow cells differing only in estimator
+/// share a journal key (docs/FLOWS.md).
+int cmd_flows(ArgParser& args, const tools::CommonOptions& common,
+              const char* argv0) {
+  if (!args.get_bool("sweep")) return flow_top_talkers(args);
+  const ShardFlags flags = shard_flags_from_args(args);
+  if (args.has("resume")) {
+    std::cerr << "error: flows --sweep does not support --resume (flow cells "
+                 "differing only in estimator share a journal key)\n";
+    return kExitUsage;
+  }
+
+  auto t = load(args.positionals().at(0), args, std::cerr);
+  if (!t) return fail(t.status());
+  exper::Experiment ex(std::move(*t));
+
+  const shard::SweepSpec spec = flow_spec_from_args(args);
+  const auto grid = shard::build_grid(spec, ex.full(),
+                                      ex.mean_interarrival_usec(),
+                                      &ex.binned_cache());
+
+  exper::RunReport rr;
+  if (flags.workers == 0) {
+    exper::RunOptions ropts;
+    ropts.on_error = exper::FailPolicy::kSkip;
+    // The workload hook: identical to what sharded workers run per cell.
+    ropts.cell_runner = [&spec](const exper::CellConfig& cfg,
+                                std::size_t index) {
+      return flow::run_flow_cell(cfg, spec.flow,
+                                 shard::grid_estimator(spec, index));
+    };
+    exper::ParallelRunner runner(common.jobs);
+    rr = runner.run(grid, spec.base_seed, ropts);
+  } else {
+    rr = run_sharded_report(spec, grid, ex, flags, args, argv0,
+                            /*journal=*/nullptr);
+  }
+
+  const auto result = as_flow_result(std::move(rr), spec);
+  emit(result.rows, RowFormat::kAligned, std::cout);
+  for (const std::size_t i : result->quarantined()) {
+    std::cerr << "quarantined: cell " << i << " ("
+              << flow::estimator_name(shard::grid_estimator(spec, i))
+              << ") after " << result->cells[i].attempts << " attempt(s): "
               << result->cells[i].status.to_string() << "\n";
   }
   if (!result.ok()) return fail(result.status);
@@ -917,6 +1067,20 @@ int main(int argc, char** argv) {
                 "both");
   args.add_flag("timeout", "SEC", "flow idle timeout seconds", "30");
   args.add_flag("top", "N", "top talkers to print", "10");
+  args.add_flag("sweep", "",
+                "flows: run the flow-workload sweep (sampled-flow "
+                "aggregation + size-distribution inversion) instead of "
+                "printing top talkers");
+  args.add_flag("estimators", "LIST",
+                "flows --sweep: comma-separated inversion estimators "
+                "(rescale|em)", "rescale,em");
+  args.add_flag("flow-cap", "N",
+                "flows --sweep: sampled-flow table capacity, 0 = unbounded",
+                "0");
+  args.add_flag("em-iters", "N", "flows --sweep: EM iteration budget", "60");
+  args.add_flag("flow-mix", "",
+                "generate: heavy-tailed flow-train mix (Pareto train "
+                "lengths) for the flow workload");
   args.add_flag("mu", "M", "population mean (design)", "232");
   args.add_flag("sigma", "S", "population stddev (design)", "236");
   args.add_flag("accuracy", "R", "accuracy percent (design)", "5");
@@ -1013,7 +1177,7 @@ int main(int argc, char** argv) {
       if (cmd == "inspect") return cmd_inspect(args);
       if (cmd == "sample") return cmd_sample(args);
       if (cmd == "score") return cmd_score(args, common);
-      if (cmd == "flows") return cmd_flows(args);
+      if (cmd == "flows") return cmd_flows(args, common, argv[0]);
       if (cmd == "impair") return cmd_impair(args);
       if (cmd == "watch") return cmd_watch(args);
       if (cmd == "sweep") return cmd_sweep(args, common, argv[0]);
