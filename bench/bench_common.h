@@ -239,12 +239,8 @@ inline void csv_row(const std::vector<std::string>& fields) {
   std::cout << netsample::csv_line(fields, "CSV") << "\n";
 }
 
-/// Old name for csv_row(); gone after the next release (docs/API.md,
-/// "Deprecation policy").
-[[deprecated("use bench::csv_row(); bench::csv() is removed in the next "
-             "release")]]
-inline void csv(const std::vector<std::string>& fields) {
-  csv_row(fields);
-}
+// bench::csv, the pre-facade name for csv_row(), was deprecated in v1.0
+// and removed in v1.1 per the one-minor-release grace window (docs/API.md,
+// "Deprecation policy"). CI greps that it stays gone.
 
 }  // namespace netsample::bench

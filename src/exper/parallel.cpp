@@ -237,7 +237,8 @@ RunReport ParallelRunner::run(const std::vector<GridTask>& tasks,
     cfg.cancel = nullptr;
     configs.push_back(cfg);
     keys.push_back(opts.journal != nullptr
-                       ? cell_journal_key(cfg, t.interval_index)
+                       ? cell_journal_key(cfg, t.interval_index) +
+                             t.journal_suffix
                        : std::string());
   }
 

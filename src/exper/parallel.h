@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "exper/journal.h"
@@ -46,9 +47,14 @@ namespace netsample::exper {
 /// One cell of an experiment grid. `interval_index` identifies which
 /// measurement interval the cell's view is (0 when only one interval is
 /// swept); it feeds the seed derivation, not the execution.
+/// `journal_suffix` is appended to the cell's checkpoint-journal key for
+/// grids where several tasks share identical CellConfig coordinates but
+/// run different workloads (the flow grid repeats each cell once per
+/// inversion estimator); it feeds neither seeds nor execution.
 struct GridTask {
   CellConfig config;
   std::uint64_t interval_index{0};
+  std::string journal_suffix{};
 };
 
 /// What a sweep does when a cell fails (throws / times out).

@@ -21,12 +21,16 @@
 //   Flow workload   flow:: sampled-flow tables, flow-size distributions,
 //                   inversion estimators, run_flow_cell
 //   Streaming       stream:: Engine, sources, SPSC ring, run_pipeline
+//   Sessions        netsample::SessionSpec (v1.1) — the shared session
+//                   vocabulary of `watch` and `serve`
+//   Serving         serve:: daemon, wire protocol, loadgen driver
 //   Fault injection faultsim::, characterization charact::, NSFNET
 //                   collection model collector::
 //   Observability   obs:: metrics registry, spans, exporters
 #pragma once
 
 #include "netsample/result.h"   // IWYU pragma: export
+#include "netsample/session.h"  // IWYU pragma: export
 #include "netsample/version.h"  // IWYU pragma: export
 
 // Substrate.
@@ -103,6 +107,11 @@
 #include "stream/pipeline.h"  // IWYU pragma: export
 #include "stream/ring.h"      // IWYU pragma: export
 #include "stream/source.h"    // IWYU pragma: export
+
+// Multi-tenant scoring daemon (link netsample_serve to use these).
+#include "serve/loadgen.h"    // IWYU pragma: export
+#include "serve/protocol.h"   // IWYU pragma: export
+#include "serve/serve.h"      // IWYU pragma: export
 
 // Observability.
 #include "obs/export.h"   // IWYU pragma: export

@@ -13,8 +13,9 @@
 //   Result<T>      — Status + typed value + presentation-ready Table
 //   as_result()    — adapters from the typed shapes (RunReport today)
 //
-// Old entry points (bench::csv) survive one release as [[deprecated]]
-// wrappers over csv_line — see docs/API.md, "Deprecation policy".
+// Old entry points honored the deprecation policy and are gone: bench::csv
+// shipped one release as a [[deprecated]] wrapper over csv_line and was
+// removed in v1.1 — see docs/API.md, "Deprecation policy".
 #pragma once
 
 #include <optional>

@@ -1,0 +1,300 @@
+#include "netsample/session.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <utility>
+
+#include "core/targets.h"
+#include "exper/runner.h"
+#include "shard/grid.h"
+#include "util/format.h"
+
+namespace netsample {
+
+namespace {
+
+bool valid_token(const std::string& text, std::size_t max_len) {
+  if (text.empty() || text.size() > max_len) return false;
+  for (const char c : text) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '.' || c == '_' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+std::size_t target_lane_multiplier(const std::string& targets) {
+  return targets == "both" ? 2 : 1;
+}
+
+/// The CellConfig a session's lanes derive from — the same shape
+/// `netsample watch` has always built from its flags.
+exper::CellConfig session_cell_config(const SessionSpec& spec) {
+  exper::CellConfig cfg;
+  cfg.method = spec.method;
+  cfg.granularity = spec.granularity;
+  cfg.mean_interarrival_usec = spec.mean_iat_usec;
+  cfg.replications = spec.replications;
+  cfg.base_seed = spec.seed;
+  return cfg;
+}
+
+std::string fmt_g17(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+bool parse_u64_field(const std::string& text, std::uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = v;
+  return true;
+}
+
+bool parse_double_field(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(text.c_str(), &end);
+  if (errno == ERANGE || end != text.c_str() + text.size() ||
+      !std::isfinite(v)) {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+}  // namespace
+
+Status validate_session_spec(const SessionSpec& spec) {
+  const auto invalid = [](const std::string& msg) {
+    return Status(StatusCode::kInvalidArgument, "session: " + msg);
+  };
+  if (spec.granularity == 0) return invalid("granularity k must be >= 1");
+  if (spec.replications < 1 || spec.replications > 1000000) {
+    return invalid("replications must be in [1, 1000000]");
+  }
+  if (spec.targets != "both" && spec.targets != "size" &&
+      spec.targets != "iat") {
+    return invalid("targets must be both|size|iat, got \"" + spec.targets +
+                   "\"");
+  }
+  const std::size_t lanes = static_cast<std::size_t>(spec.replications) *
+                            target_lane_multiplier(spec.targets);
+  if (lanes > stream::Engine::kMaxLanes) {
+    return invalid("lane count " + std::to_string(lanes) + " exceeds " +
+                   std::to_string(stream::Engine::kMaxLanes) +
+                   " (replications x targets)");
+  }
+  if (spec.method == core::Method::kSimpleRandom && spec.population == 0) {
+    return invalid(
+        "method random draws Algorithm S over a known population; "
+        "set population N (e.g. from the previous collection cycle)");
+  }
+  if ((spec.method == core::Method::kSystematicTimer ||
+       spec.method == core::Method::kStratifiedTimer) &&
+      !(spec.mean_iat_usec > 0)) {
+    return invalid("timer methods need mean-iat USEC to size the timer period");
+  }
+  if (!finite_nonneg(spec.window_s)) return invalid("window must be >= 0 s");
+  if (!finite_nonneg(spec.stride_s)) return invalid("stride must be >= 0 s");
+  if (!finite_nonneg(spec.deadline_s)) {
+    return invalid("deadline must be >= 0 s");
+  }
+  if (!finite_nonneg(spec.mean_iat_usec)) {
+    return invalid("mean-iat must be >= 0 usec");
+  }
+  if (spec.chunk_packets == 0) return invalid("chunk must be >= 1 packet");
+  if (spec.ring_capacity == 0) return invalid("ring must be >= 1 chunk");
+  if (!valid_token(spec.tenant, 64)) {
+    return invalid("tenant must be 1-64 chars of [A-Za-z0-9._-], got \"" +
+                   spec.tenant + "\"");
+  }
+  return Status::ok();
+}
+
+std::vector<stream::LaneSpec> session_lanes(const SessionSpec& spec) {
+  exper::CellConfig cfg = session_cell_config(spec);
+  std::vector<stream::LaneSpec> lanes;
+  for (const auto target :
+       {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
+    if (spec.targets == "size" && target != core::Target::kPacketSize) continue;
+    if (spec.targets == "iat" && target != core::Target::kInterarrivalTime) {
+      continue;
+    }
+    const char* prefix = target == core::Target::kPacketSize ? "size" : "iat";
+    cfg.target = target;
+    for (auto& lane : stream::lanes_for_cell(cfg, spec.population)) {
+      lane.label = std::string(prefix) + "/" + lane.label;
+      lanes.push_back(std::move(lane));
+    }
+  }
+  return lanes;
+}
+
+stream::EngineOptions session_engine_options(const SessionSpec& spec,
+                                             const util::CancelToken* cancel) {
+  stream::EngineOptions opts;
+  opts.window = MicroDuration::from_seconds(spec.window_s);
+  opts.stride = MicroDuration::from_seconds(spec.stride_s);
+  if (opts.stride.usec == 0) opts.stride = opts.window;  // tumbling
+  opts.cancel = cancel;
+  return opts;
+}
+
+const std::vector<std::string>& session_row_columns() {
+  static const std::vector<std::string> columns = {
+      "tick", "final",  "start_usec", "end_usec",     "packets", "lane",
+      "target", "k",    "n",          "phi",          "significance"};
+  return columns;
+}
+
+std::vector<std::vector<std::string>> session_row_cells(
+    const stream::WindowScore& score) {
+  std::vector<std::vector<std::string>> rows;
+  rows.reserve(score.lanes.size());
+  for (const auto& lane : score.lanes) {
+    rows.push_back({
+        std::to_string(score.tick),
+        score.is_final ? "1" : "0",
+        std::to_string(score.window_start.usec),
+        std::to_string(score.window_end.usec),
+        std::to_string(score.packets_seen),
+        lane.label,
+        core::target_name(lane.target),
+        std::to_string(lane.granularity),
+        std::to_string(lane.metrics.sample_n),
+        fmt_double(lane.metrics.phi, 6),
+        fmt_double(lane.metrics.significance, 6),
+    });
+  }
+  return rows;
+}
+
+std::string encode_session_spec(const SessionSpec& spec) {
+  std::string out = "v=1";
+  out += ",m=";
+  out += shard::method_token(spec.method);
+  char buf[96];
+  std::snprintf(buf, sizeof buf, ",k=%" PRIu64, spec.granularity);
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",r=%d", spec.replications);
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",s=%" PRIu64, spec.seed);
+  out += buf;
+  out += ",t=" + spec.targets;
+  out += ",w=" + fmt_g17(spec.window_s);
+  out += ",st=" + fmt_g17(spec.stride_s);
+  std::snprintf(buf, sizeof buf, ",pop=%" PRIu64, spec.population);
+  out += buf;
+  out += ",iat=" + fmt_g17(spec.mean_iat_usec);
+  std::snprintf(buf, sizeof buf, ",chunk=%zu,ring=%zu", spec.chunk_packets,
+                spec.ring_capacity);
+  out += buf;
+  out += ",dl=" + fmt_g17(spec.deadline_s);
+  out += ",tn=" + spec.tenant;
+  return out;
+}
+
+bool decode_session_spec(const std::string& text, SessionSpec* spec) {
+  SessionSpec parsed;
+  // Every field encode_session_spec writes is required exactly once; the
+  // strictness is the point (a truncated OPEN must not half-apply).
+  bool seen[14] = {};
+  enum Field {
+    kV, kM, kK, kR, kS, kT, kW, kSt, kPop, kIat, kChunk, kRing, kDl, kTn
+  };
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t comma = std::min(text.find(',', start), text.size());
+    const std::string field = text.substr(start, comma - start);
+    start = comma + 1;
+    const std::size_t eq = field.find('=');
+    if (eq == std::string::npos) return false;
+    const std::string name = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    std::uint64_t u = 0;
+    double d = 0;
+    Field which;
+    if (name == "v") {
+      if (value != "1") return false;
+      which = kV;
+    } else if (name == "m") {
+      try {
+        parsed.method = shard::parse_method_token(value);
+      } catch (const std::invalid_argument&) {
+        return false;
+      }
+      which = kM;
+    } else if (name == "k") {
+      if (!parse_u64_field(value, &u)) return false;
+      parsed.granularity = u;
+      which = kK;
+    } else if (name == "r") {
+      if (!parse_u64_field(value, &u) || u == 0 || u > 1000000) return false;
+      parsed.replications = static_cast<int>(u);
+      which = kR;
+    } else if (name == "s") {
+      if (!parse_u64_field(value, &u)) return false;
+      parsed.seed = u;
+      which = kS;
+    } else if (name == "t") {
+      if (value != "both" && value != "size" && value != "iat") return false;
+      parsed.targets = value;
+      which = kT;
+    } else if (name == "w") {
+      if (!parse_double_field(value, &d)) return false;
+      parsed.window_s = d;
+      which = kW;
+    } else if (name == "st") {
+      if (!parse_double_field(value, &d)) return false;
+      parsed.stride_s = d;
+      which = kSt;
+    } else if (name == "pop") {
+      if (!parse_u64_field(value, &u)) return false;
+      parsed.population = u;
+      which = kPop;
+    } else if (name == "iat") {
+      if (!parse_double_field(value, &d)) return false;
+      parsed.mean_iat_usec = d;
+      which = kIat;
+    } else if (name == "chunk") {
+      if (!parse_u64_field(value, &u) || u == 0) return false;
+      parsed.chunk_packets = static_cast<std::size_t>(u);
+      which = kChunk;
+    } else if (name == "ring") {
+      if (!parse_u64_field(value, &u) || u == 0) return false;
+      parsed.ring_capacity = static_cast<std::size_t>(u);
+      which = kRing;
+    } else if (name == "dl") {
+      if (!parse_double_field(value, &d)) return false;
+      parsed.deadline_s = d;
+      which = kDl;
+    } else if (name == "tn") {
+      if (!valid_token(value, 64)) return false;
+      parsed.tenant = value;
+      which = kTn;
+    } else {
+      return false;
+    }
+    if (seen[which]) return false;
+    seen[which] = true;
+  }
+  for (const bool s : seen) {
+    if (!s) return false;
+  }
+  *spec = std::move(parsed);
+  return true;
+}
+
+}  // namespace netsample

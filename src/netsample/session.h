@@ -1,0 +1,103 @@
+// The facade's session vocabulary (API v1.1): one struct describing a
+// streaming scoring session, shared by `netsample watch` (one session per
+// process) and `netsample serve` (thousands multiplexed over a daemon).
+//
+// Before v1.1 the watch subcommand plumbed every knob flag-by-flag into
+// CellConfig + EngineOptions + PipelineOptions by hand; a serve daemon
+// would have had to duplicate that plumbing — and any drift between the
+// two would silently break the serve-equals-watch byte-identity contract
+// (docs/SERVING.md). SessionSpec is the single truth:
+//
+//   SessionSpec        — everything that identifies a session's scoring
+//                        behavior (method, k, reps, seed, targets, window,
+//                        stride, chunk, ring, deadline) plus the tenant it
+//                        bills to
+//   validate_*         — the one validator both entry points run
+//   session_lanes      — the stream::Engine lane set ("size/r0", "iat/r1",
+//                        ... — exactly watch's lane labels)
+//   session_row_*      — the JSONL/CSV row vocabulary of watch, reused
+//                        verbatim by serve ROWS payloads
+//   encode_/decode_*   — the space-free wire form carried by the serve
+//                        protocol's OPEN message
+//
+// Determinism: two engines built from equal specs and fed the same packet
+// sequence emit byte-identical rows regardless of chunking (the Engine
+// contract), which is what makes a serve session diffable against a watch
+// run of the same capture.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/samplers.h"
+#include "stream/engine.h"
+#include "util/status.h"
+
+namespace netsample {
+
+/// One streaming scoring session. Defaults mirror `netsample watch`'s
+/// flag defaults; encode/decode round-trip every field.
+struct SessionSpec {
+  core::Method method{core::Method::kSystematicCount};
+  std::uint64_t granularity{50};   // 1-in-k
+  int replications{5};
+  std::uint64_t seed{1};
+  /// Which histogram targets get lanes: "both", "size", or "iat".
+  std::string targets{"both"};
+  double window_s{0};    // rolling window; 0 = drain mode
+  double stride_s{0};    // snapshot period; 0 = one per window
+  /// Population size for simple random sampling on a live stream (the
+  /// paper's operational setting: N comes from the previous cycle).
+  std::uint64_t population{0};
+  /// Population mean interarrival (usec) for the timer methods.
+  double mean_iat_usec{0};
+  std::size_t chunk_packets{4096};  // packets per pipeline/ring chunk
+  std::size_t ring_capacity{16};    // ring capacity in chunks
+  double deadline_s{0};             // wall-clock budget; 0 = none
+  /// Budget bucket the session bills to (serve admission control).
+  std::string tenant{"default"};
+
+  [[nodiscard]] bool operator==(const SessionSpec&) const = default;
+};
+
+/// The one validator behind watch flags and serve OPEN: kInvalidArgument
+/// with a user-facing message on any inconsistency (random without a
+/// population, timer-* without --mean-iat, unknown targets, a lane count
+/// beyond stream::Engine::kMaxLanes, zero chunk/ring, non-finite or
+/// negative durations, a tenant that would break the wire encoding).
+[[nodiscard]] Status validate_session_spec(const SessionSpec& spec);
+
+/// Lane set of a valid spec: per-replication lanes for each requested
+/// target, labelled "size/r0" ... "iat/rN" exactly as `netsample watch`
+/// has always labelled them.
+[[nodiscard]] std::vector<stream::LaneSpec> session_lanes(
+    const SessionSpec& spec);
+
+/// Engine options of a valid spec (stride 0 resolves to the window —
+/// tumbling — matching watch). `cancel` is borrowed, may be null.
+[[nodiscard]] stream::EngineOptions session_engine_options(
+    const SessionSpec& spec, const util::CancelToken* cancel = nullptr);
+
+/// The streaming row vocabulary: tick, final, start_usec, end_usec,
+/// packets, lane, target, k, n, phi, significance.
+[[nodiscard]] const std::vector<std::string>& session_row_columns();
+
+/// One row of cells per lane of `score`, in lane order — the exact cell
+/// strings watch prints (phi/significance via fmt_double(·, 6)).
+[[nodiscard]] std::vector<std::vector<std::string>> session_row_cells(
+    const stream::WindowScore& score);
+
+/// Space-free single-token wire encoding ("v=1,m=systematic,k=50,...");
+/// doubles are printed with %.17g so decode round-trips them exactly.
+[[nodiscard]] std::string encode_session_spec(const SessionSpec& spec);
+
+/// Strict parser for encode_session_spec output: false on unknown fields,
+/// missing required fields, duplicates, or malformed values. A decoded
+/// spec still needs validate_session_spec (the codec checks shape, not
+/// policy).
+[[nodiscard]] bool decode_session_spec(const std::string& text,
+                                       SessionSpec* spec);
+
+}  // namespace netsample

@@ -1,13 +1,15 @@
 // Version of the netsample public API (the facade in netsample.h).
 //
-// The integer NETSAMPLE_API_VERSION is MAJOR * 1000 + MINOR. MAJOR bumps
-// on breaking changes to the supported surface, MINOR on additions.
-// Deprecated entry points survive exactly one MINOR release after their
-// replacement ships (docs/API.md, "Deprecation policy").
+// The integer NETSAMPLE_API_VERSION is MAJOR * 1000 + MINOR, with MINOR
+// stepping by 100 per minor release (v1.1 = 1100). MAJOR bumps on breaking
+// changes to the supported surface, MINOR on additions. Deprecated entry
+// points survive exactly one MINOR release after their replacement ships
+// (docs/API.md, "Deprecation policy") — v1.1 collects on that: bench::csv,
+// deprecated in v1.0, is gone.
 #pragma once
 
 #define NETSAMPLE_API_VERSION_MAJOR 1
-#define NETSAMPLE_API_VERSION_MINOR 0
+#define NETSAMPLE_API_VERSION_MINOR 100
 #define NETSAMPLE_API_VERSION \
   (NETSAMPLE_API_VERSION_MAJOR * 1000 + NETSAMPLE_API_VERSION_MINOR)
 
@@ -15,6 +17,6 @@ namespace netsample {
 
 inline constexpr int kApiVersionMajor = NETSAMPLE_API_VERSION_MAJOR;
 inline constexpr int kApiVersionMinor = NETSAMPLE_API_VERSION_MINOR;
-inline constexpr char kApiVersionString[] = "1.0";
+inline constexpr char kApiVersionString[] = "1.1";
 
 }  // namespace netsample

@@ -1,0 +1,70 @@
+// Load generator for `netsample serve` (the `netsample loadgen`
+// subcommand and the CI serve-smoke drill).
+//
+// Replays one in-memory packet sequence as N concurrent sessions spread
+// over C connections: all OPENs first (true concurrency, not N sequential
+// sessions), then round-robin FEED interleaving so every session's chunks
+// contend with every other's, then CLOSE and a latency-stamped wait for
+// CLOSED. Two assertions ride along:
+//
+//   latency        p99 of CLOSE->CLOSED (the enqueue-to-row flush path
+//                  through ring + pool + engine + transport) against a
+//                  caller-supplied bound;
+//   determinism    sessions share the packet sequence and, within a seed
+//                  group, the spec — so their ROWS payload sequences must
+//                  be byte-identical however the daemon interleaved them.
+//                  Any divergence is cross-session nondeterminism, the one
+//                  thing the serve architecture must never exhibit.
+//
+// With close_sessions=false the driver skips CLOSE and waits for the
+// daemon to finish the sessions itself — the SIGTERM drain drill.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "netsample/session.h"
+#include "trace/packet_record.h"
+
+namespace netsample::serve {
+
+struct LoadgenOptions {
+  std::string connect;           // daemon "host:port"
+  std::size_t sessions{64};
+  std::size_t connections{8};    // transports the sessions multiplex over
+  netsample::SessionSpec spec;   // template; see seed_groups
+  /// Session i runs spec.seed + (i % seed_groups). 1 = every session
+  /// identical (the strongest determinism check); sessions = all distinct.
+  std::size_t seed_groups{1};
+  std::size_t feed_packets{512};  // packets per FEED line
+  /// Assert p99 CLOSE->CLOSED latency <= this many ms (0 = report only).
+  double p99_ms{0};
+  /// Write session s0's ROWS payload lines here (byte-diff vs watch).
+  std::string dump_rows_path{};
+  /// False: never send CLOSE; wait for the daemon's drain to CLOSED us.
+  bool close_sessions{true};
+  double timeout_s{120};
+};
+
+struct LoadgenReport {
+  bool ok{false};
+  std::string error;         // first failure, empty when ok
+  std::size_t sessions{0};
+  std::size_t completed{0};  // reached CLOSED
+  std::size_t shed{0};
+  std::size_t rejected{0};
+  std::uint64_t rows{0};     // ROWS lines received, all sessions
+  double p99_ms{0};          // 0 when no latencies were measured
+  double max_ms{0};
+  bool deterministic{true};
+};
+
+/// Drive the drill. Failures (dial errors, timeouts, nondeterminism, a
+/// missed p99 bound) come back in the report, never as exceptions.
+[[nodiscard]] LoadgenReport run_loadgen(
+    const LoadgenOptions& options,
+    std::span<const trace::PacketRecord> packets);
+
+}  // namespace netsample::serve

@@ -1,0 +1,88 @@
+// The `netsample serve` session wire protocol (docs/SERVING.md).
+//
+// One client connection is one shard::Transport carrying newline-framed
+// lines, exactly like the sweep lease wire. A connection multiplexes many
+// sessions; every line names the session it concerns:
+//
+//   client -> server
+//     OPEN <id> <spec>          spec = netsample::encode_session_spec()
+//     FEED <id> <ts>:<len> ...  packets in arrival order (usec:bytes)
+//     CLOSE <id>                no more FEEDs; flush and finish
+//     STATS                     one-line server counters
+//     BYE                       client departing; open sessions discarded
+//
+//   server -> client
+//     OPENED <id>
+//     REJECT <id> <reason> [detail...]   admission control said no
+//     ROWS <id> <json>          one streaming row; the payload after the
+//                               second space is byte-identical to a
+//                               `netsample watch --format jsonl` line
+//     SHED <id> <reason>        session dropped under pressure (terminal)
+//     CLOSED <id> rows=N packets=N       clean finish (terminal)
+//     STATS <k>=<v> ...
+//     ERROR <detail...>         protocol violation; connection stays up
+//
+// FEED timestamps are salvaged with the same running-max clamp rule as
+// stream::PcapSource (trace::TimePolicy::kClamp), so a serve session fed
+// from a capture replay scores exactly what `netsample watch` scores on
+// the same file. Strict framing is inherited from the transport: a torn
+// line from a dying peer is discarded, never half-parsed.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "trace/packet_record.h"
+#include "util/timeval.h"
+
+namespace netsample::serve {
+
+/// Session ids are client-chosen tokens of [A-Za-z0-9._-], at most this
+/// long — the same alphabet as SessionSpec tenants, for the same reason
+/// (they travel space-delimited on the wire).
+inline constexpr std::size_t kMaxSessionIdLen = 64;
+
+[[nodiscard]] bool valid_session_id(const std::string& id);
+
+enum class ClientCommand {
+  kOpen,
+  kFeed,
+  kClose,
+  kStats,
+  kBye,
+};
+
+/// One parsed client line.
+struct ClientMessage {
+  ClientCommand command{ClientCommand::kStats};
+  std::string session_id;  // OPEN / FEED / CLOSE
+  std::string payload;     // OPEN: encoded spec; FEED: packet tokens
+};
+
+/// Parse one client line. False on an unknown verb, a malformed session
+/// id, or missing operands, with a human-readable reason in *error (the
+/// server echoes it on an ERROR line).
+[[nodiscard]] bool parse_client_line(const std::string& line,
+                                     ClientMessage* msg, std::string* error);
+
+/// Decoded FEED payload plus the salvage tally.
+struct FeedChunk {
+  std::vector<trace::PacketRecord> packets;
+  std::size_t clamped{0};  // timestamps that ran backwards and were clamped
+};
+
+/// Parse a FEED payload ("<ts>:<len> ..."). `last_ts` is the session's
+/// running-max timestamp, carried across FEED lines and updated here;
+/// out-of-order timestamps are clamped to it and counted. False on any
+/// malformed token (zero or oversized length, non-numeric fields) — the
+/// session cannot be trusted past a garbled FEED and is shed.
+[[nodiscard]] bool parse_feed_payload(const std::string& payload,
+                                      MicroTime* last_ts, FeedChunk* out);
+
+/// Encode packets as a FEED payload (the loadgen/test side of the codec).
+[[nodiscard]] std::string encode_feed_payload(
+    std::span<const trace::PacketRecord> packets);
+
+}  // namespace netsample::serve

@@ -214,7 +214,7 @@ std::vector<exper::GridTask> build_grid(const SweepSpec& spec,
   std::vector<exper::GridTask> tasks;
   tasks.reserve(spec.cell_count());
   const auto push_cell = [&](core::Target target, core::Method method,
-                             std::uint64_t k) {
+                             std::uint64_t k, std::string journal_suffix) {
     exper::CellConfig cfg;
     cfg.method = method;
     cfg.target = target;
@@ -224,17 +224,23 @@ std::vector<exper::GridTask> build_grid(const SweepSpec& spec,
     cfg.replications = spec.replications;
     cfg.base_seed = spec.base_seed;
     cfg.cache = cache;
-    tasks.push_back(exper::GridTask{cfg, /*interval_index=*/0});
+    tasks.push_back(exper::GridTask{cfg, /*interval_index=*/0,
+                                    std::move(journal_suffix)});
   };
   if (spec.workload == Workload::kFlow) {
     // Estimator-major: both estimator blocks hold IDENTICAL configs (the
     // estimator is applied by the cell runner via grid_estimator), so each
     // (method, k) pair's replications draw the same samples under both
-    // estimators — a paired comparison by construction.
+    // estimators — a paired comparison by construction. The estimator must
+    // therefore enter the journal key some other way: as the task's
+    // journal_suffix (docs/FLOWS.md §4), which is what lets flow sweeps
+    // checkpoint/--resume without the two blocks aliasing each other.
     for (std::size_t e = 0; e < spec.estimators.size(); ++e) {
+      const std::string suffix =
+          std::string(";e=") + flow::estimator_token(spec.estimators[e]);
       for (const core::Method method : spec.methods) {
         for (const std::uint64_t k : spec.granularities) {
-          push_cell(core::Target::kPacketSize, method, k);
+          push_cell(core::Target::kPacketSize, method, k, suffix);
         }
       }
     }
@@ -243,7 +249,7 @@ std::vector<exper::GridTask> build_grid(const SweepSpec& spec,
   for (const core::Target target : spec.targets) {
     for (const core::Method method : spec.methods) {
       for (const std::uint64_t k : spec.granularities) {
-        push_cell(target, method, k);
+        push_cell(target, method, k, std::string());
       }
     }
   }
@@ -262,7 +268,8 @@ exper::CellConfig derived_cell_config(const exper::GridTask& task,
 std::string grid_journal_key(const exper::GridTask& task,
                              std::uint64_t base_seed) {
   return exper::cell_journal_key(derived_cell_config(task, base_seed),
-                                 task.interval_index);
+                                 task.interval_index) +
+         task.journal_suffix;
 }
 
 flow::Estimator grid_estimator(const SweepSpec& spec, std::size_t index) {

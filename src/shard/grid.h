@@ -88,10 +88,11 @@ struct SweepSpec {
                                                     std::uint64_t base_seed);
 
 /// Checkpoint-journal key of a grid task — cell_journal_key over the derived
-/// config, byte-identical to what ParallelRunner writes for the same grid.
-/// NOTE: flow cells differing only in estimator share a key (the estimator
-/// lives outside CellConfig), so flow sweeps run journal-less — see
-/// docs/FLOWS.md.
+/// config plus the task's journal_suffix, byte-identical to what
+/// ParallelRunner writes for the same grid. Flow cells differing only in
+/// estimator (the estimator lives outside CellConfig) are disambiguated by
+/// the ";e=<estimator>" suffix build_grid stamps on them, which is what
+/// makes `netsample flows --sweep --resume` sound — see docs/FLOWS.md §4.
 [[nodiscard]] std::string grid_journal_key(const exper::GridTask& task,
                                            std::uint64_t base_seed);
 

@@ -14,12 +14,13 @@ namespace netsample {
 namespace {
 
 TEST(FacadeVersion, ConstantsAgree) {
-  EXPECT_EQ(NETSAMPLE_API_VERSION, 1000);
+  // v1.1: MINOR steps by 100 per minor release, so "1.1" encodes as 1100.
+  EXPECT_EQ(NETSAMPLE_API_VERSION, 1100);
   EXPECT_EQ(kApiVersionMajor, NETSAMPLE_API_VERSION_MAJOR);
   EXPECT_EQ(kApiVersionMinor, NETSAMPLE_API_VERSION_MINOR);
   EXPECT_EQ(std::string(kApiVersionString),
             std::to_string(kApiVersionMajor) + "." +
-                std::to_string(kApiVersionMinor));
+                std::to_string(kApiVersionMinor / 100));
 }
 
 TEST(RowEmitter, CsvLineQuotesOnlyWhenNeeded) {

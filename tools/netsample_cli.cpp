@@ -11,6 +11,8 @@
 //   netsample charact  trace.pcap [--node t1|t3] [--k 50]
 //   netsample impair   trace.pcap --method systematic --k 50 [--fault all]
 //   netsample watch    trace.pcap --method systematic --k 50 --window 5
+//   netsample serve    [--listen 127.0.0.1:0] [--lanes N] [--max-sessions N]
+//   netsample loadgen  trace.pcap --connect HOST:PORT [--sessions N]
 //   netsample stats    metrics.json [--masked]
 //   netsample sweep    trace.pcap [--workers N] [--resume journal.ckpt]
 //   netsample worker   --store trace.nstore   (spawned by sweep, not users)
@@ -30,6 +32,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -87,6 +90,10 @@ int usage() {
       "  charact    run the NSFNET characterization objects\n"
       "  impair     sweep measurement impairments and report phi degradation\n"
       "  watch      stream a capture and emit windowed phi snapshots\n"
+      "  serve      multi-tenant streaming scoring daemon: watch sessions\n"
+      "             multiplexed over TCP with per-tenant budgets\n"
+      "  loadgen    replay a capture as N concurrent serve sessions and\n"
+      "             assert latency and cross-session determinism\n"
       "  stats      pretty-print a --metrics-out JSON snapshot\n"
       "  sweep      score the whole method x k grid, optionally sharded\n"
       "             over --workers N processes on a memory-mapped store\n"
@@ -422,90 +429,55 @@ int cmd_impair(ArgParser& args) {
   return 0;
 }
 
+/// Session description shared by `watch`, `serve` defaults, and `loadgen`:
+/// the watch flag vocabulary maps 1:1 onto the facade's SessionSpec (API
+/// v1.1), and the one validator behind watch and serve OPEN runs here — a
+/// bad combination is kInvalidArgument (exit 64) before any capture opens.
+SessionSpec session_spec_from_args(const ArgParser& args) {
+  SessionSpec spec;
+  spec.method = parse_method(args.get_string("method"));
+  spec.granularity = static_cast<std::uint64_t>(args.get_int("k"));
+  spec.replications = static_cast<int>(args.get_int("reps"));
+  spec.seed = static_cast<std::uint64_t>(args.get_int("seed"));
+  spec.targets = args.get_string("target");
+  spec.window_s = args.get_double("window");
+  spec.stride_s = args.get_double("stride");
+  spec.population = static_cast<std::uint64_t>(args.get_int("population"));
+  spec.mean_iat_usec = args.get_double("mean-iat");
+  spec.chunk_packets = static_cast<std::size_t>(args.get_int("chunk"));
+  spec.ring_capacity = static_cast<std::size_t>(args.get_int("ring"));
+  spec.deadline_s = args.get_double("deadline");
+  spec.tenant = args.get_string("tenant");
+  const Status status = validate_session_spec(spec);
+  if (!status.is_ok()) throw StatusError(status);
+  return spec;
+}
+
 /// `netsample watch` — the streaming scorer on a capture: the pcap is
 /// decoded record-at-a-time through the SPSC pipeline into a stream::Engine,
 /// which emits one row per (window, lane) as snapshots tick by. Memory is
 /// O(window), never O(trace); stdout carries nothing but the rows.
+///
+/// Since API v1.1 the engine is built entirely from a SessionSpec — the same
+/// struct `serve` decodes from an OPEN line — so a serve session's ROWS
+/// payloads are byte-identical to this subcommand's jsonl by construction.
 int cmd_watch(ArgParser& args) {
   const std::string format = args.get_string("format");
   if (format != "jsonl" && format != "csv") {
     throw std::invalid_argument("unknown --format '" + format +
                                 "' (jsonl|csv)");
   }
-  const std::string which = args.get_string("target");
-  if (which != "both" && which != "size" && which != "iat") {
-    throw std::invalid_argument("watch --target must be both|size|iat");
-  }
-
-  exper::CellConfig cfg;
-  cfg.method = parse_method(args.get_string("method"));
-  cfg.granularity = static_cast<std::uint64_t>(args.get_int("k"));
-  cfg.mean_interarrival_usec = args.get_double("mean-iat");
-  cfg.replications = static_cast<int>(args.get_int("reps"));
-  cfg.base_seed = static_cast<std::uint64_t>(args.get_int("seed"));
-
-  // A live stream has no materialized trace, so the knobs batch scoring
-  // derives from the capture must come from the operator (the paper's
-  // operational setting: N and the mean gap come from the previous
-  // collection cycle).
-  const auto population =
-      static_cast<std::uint64_t>(args.get_int("population"));
-  if (cfg.method == core::Method::kSimpleRandom && population == 0) {
-    throw std::invalid_argument(
-        "watch --method random draws Algorithm S over a known population; "
-        "pass --population N (e.g. from the previous collection cycle)");
-  }
-  if ((cfg.method == core::Method::kSystematicTimer ||
-       cfg.method == core::Method::kStratifiedTimer) &&
-      cfg.mean_interarrival_usec <= 0) {
-    throw std::invalid_argument(
-        "watch --method timer-* needs --mean-iat USEC to size the timer "
-        "period");
-  }
-
-  std::vector<stream::LaneSpec> lanes;
-  for (const auto target :
-       {core::Target::kPacketSize, core::Target::kInterarrivalTime}) {
-    if (which == "size" && target != core::Target::kPacketSize) continue;
-    if (which == "iat" && target != core::Target::kInterarrivalTime) continue;
-    const char* prefix =
-        target == core::Target::kPacketSize ? "size" : "iat";
-    cfg.target = target;
-    for (auto& lane : stream::lanes_for_cell(cfg, population)) {
-      lane.label = std::string(prefix) + "/" + lane.label;
-      lanes.push_back(std::move(lane));
-    }
-  }
+  const SessionSpec spec = session_spec_from_args(args);
 
   util::CancelToken cancel;
-  cancel.set_deadline_after(args.get_double("deadline"));
+  cancel.set_deadline_after(spec.deadline_s);
+  stream::Engine engine(session_lanes(spec),
+                        session_engine_options(spec, &cancel));
 
-  stream::EngineOptions eopts;
-  eopts.window = MicroDuration::from_seconds(args.get_double("window"));
-  eopts.stride = MicroDuration::from_seconds(args.get_double("stride"));
-  if (eopts.stride.usec == 0) eopts.stride = eopts.window;  // tumbling
-  eopts.cancel = &cancel;
-  stream::Engine engine(std::move(lanes), eopts);
-
-  const std::vector<std::string> columns = {
-      "tick", "final",  "start_usec", "end_usec",     "packets", "lane",
-      "target", "k",    "n",          "phi",          "significance"};
+  const std::vector<std::string>& columns = session_row_columns();
   if (format == "csv") std::cout << csv_line(columns) << "\n";
   const auto emit_score = [&](const stream::WindowScore& w) {
-    for (const auto& lane : w.lanes) {
-      const std::vector<std::string> cells = {
-          std::to_string(w.tick),
-          w.is_final ? "1" : "0",
-          std::to_string(w.window_start.usec),
-          std::to_string(w.window_end.usec),
-          std::to_string(w.packets_seen),
-          lane.label,
-          core::target_name(lane.target),
-          std::to_string(lane.granularity),
-          std::to_string(lane.metrics.sample_n),
-          fmt_double(lane.metrics.phi, 6),
-          fmt_double(lane.metrics.significance, 6),
-      };
+    for (const auto& cells : session_row_cells(w)) {
       std::cout << (format == "csv" ? csv_line(cells)
                                     : json_line(columns, cells))
                 << "\n";
@@ -517,8 +489,8 @@ int cmd_watch(ArgParser& args) {
   if (!source.ok()) return fail(source.status());
 
   stream::PipelineOptions popts;
-  popts.chunk_packets = static_cast<std::size_t>(args.get_int("chunk"));
-  popts.ring_capacity = static_cast<std::size_t>(args.get_int("ring"));
+  popts.chunk_packets = spec.chunk_packets;
+  popts.ring_capacity = spec.ring_capacity;
   popts.cancel = &cancel;
   const auto report = stream::run_pipeline(source, engine, popts);
   if (!report.status.is_ok()) return fail(report.status);
@@ -532,6 +504,155 @@ int cmd_watch(ArgParser& args) {
             << source.clamped() << " clamped timestamps); ring peak "
             << report.ring.occupancy_peak << "/" << popts.ring_capacity
             << ", blocked pushes " << report.ring.blocked_pushes << "\n";
+  return 0;
+}
+
+// `serve` leaves cleanly on SIGTERM/SIGINT: the handlers only raise a flag,
+// the daemon's poll loop notices it via ServeOptions::stop_check and drains
+// every open session (final ROWS + CLOSED) before run() returns — the same
+// discipline as the sharded worker's clean departure.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void serve_stop_handler(int) { g_serve_stop = 1; }
+
+/// Installs the drain-on-signal handlers for the lifetime of a serve run.
+/// No SA_RESTART: poll() must wake with EINTR so the flag is seen promptly.
+/// SIGPIPE is ignored for the whole process — a client that disconnects
+/// mid-write must surface as EPIPE on that transport, not kill the daemon.
+class ServeSignalGuard {
+ public:
+  ServeSignalGuard() {
+    g_serve_stop = 0;
+    struct sigaction sa{};
+    sa.sa_handler = serve_stop_handler;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    ::sigaction(SIGTERM, &sa, &old_term_);
+    ::sigaction(SIGINT, &sa, &old_int_);
+    std::signal(SIGPIPE, SIG_IGN);
+  }
+  ~ServeSignalGuard() {
+    ::sigaction(SIGTERM, &old_term_, nullptr);
+    ::sigaction(SIGINT, &old_int_, nullptr);
+  }
+
+ private:
+  struct sigaction old_term_{};
+  struct sigaction old_int_{};
+};
+
+/// `netsample serve` — the multi-tenant streaming scoring daemon
+/// (docs/SERVING.md): sessions arrive over TCP as OPEN lines carrying an
+/// encoded SessionSpec, each one scored by a per-session engine fed from a
+/// bounded ring and drained on a shared lane pool. --max-sessions /
+/// --max-ring-bytes / --max-pps set the default per-tenant budget (0 =
+/// unlimited). Prints `listening HOST:PORT` to stdout (flushed) once bound
+/// so scripts can parse the ephemeral port, then serves until
+/// SIGTERM/SIGINT and exits 0 after the drain.
+int cmd_serve(ArgParser& args) {
+  serve::ServeOptions sopts;
+  sopts.listen = args.get_string("listen");
+  sopts.lanes = static_cast<std::size_t>(
+      tools::checked_count("--lanes", args.get_string("lanes"), 4096));
+  sopts.default_budget.max_sessions = static_cast<std::size_t>(
+      tools::checked_count("--max-sessions", args.get_string("max-sessions"),
+                           1000000000));
+  sopts.default_budget.max_ring_bytes = static_cast<std::size_t>(
+      tools::checked_count("--max-ring-bytes",
+                           args.get_string("max-ring-bytes"), 2000000000));
+  sopts.default_budget.max_pps =
+      tools::checked_seconds("--max-pps", args.get_string("max-pps"), 1e12);
+  sopts.stop_check = [] { return g_serve_stop != 0; };
+
+  serve::Server server(std::move(sopts));
+  server.start();  // StatusError on a bad/busy bind (exit 64)
+  std::cout << "listening " << server.address() << "\n" << std::flush;
+
+  ServeSignalGuard signals;
+  server.run();
+
+  const serve::ServeStats s = server.stats();
+  std::cerr << "serve: " << s.sessions_opened << " opened, "
+            << s.sessions_closed << " closed, " << s.sessions_rejected
+            << " rejected, " << s.sessions_shed << " shed; "
+            << fmt_count(s.packets) << " packets in, " << fmt_count(s.rows)
+            << " rows out\n";
+  return 0;
+}
+
+/// `netsample loadgen` — drive a running serve daemon with N concurrent
+/// sessions replaying the capture and assert the serving contract: every
+/// un-shed session reaches CLOSED, sessions sharing a seed group emit
+/// byte-identical rows however the daemon interleaved them, and (with
+/// --p99-ms) the p99 CLOSE->CLOSED latency stays under the bound. The
+/// capture is read through stream::PcapSource so the packet sequence —
+/// clamping rule included — is exactly what `watch` scores, which is what
+/// makes --dump-rows byte-diffable against a watch run.
+int cmd_loadgen(ArgParser& args) {
+  if (!args.has("connect")) {
+    std::cerr << "error: loadgen requires --connect HOST:PORT (a running "
+                 "`netsample serve`)\n";
+    return kExitUsage;
+  }
+  serve::LoadgenOptions lopts;
+  lopts.connect = args.get_string("connect");
+  auto hp = shard::parse_host_port(lopts.connect);
+  if (!hp.has_value()) return fail(hp.status());
+  lopts.sessions = static_cast<std::size_t>(
+      tools::checked_count("--sessions", args.get_string("sessions"),
+                           1000000));
+  lopts.connections = static_cast<std::size_t>(
+      tools::checked_count("--connections", args.get_string("connections"),
+                           100000));
+  lopts.seed_groups = static_cast<std::size_t>(
+      tools::checked_count("--seed-groups", args.get_string("seed-groups"),
+                           1000000));
+  lopts.feed_packets = static_cast<std::size_t>(
+      tools::checked_count("--feed-chunk", args.get_string("feed-chunk"),
+                           1000000000));
+  if (lopts.sessions == 0 || lopts.connections == 0 ||
+      lopts.seed_groups == 0 || lopts.feed_packets == 0) {
+    throw std::invalid_argument(
+        "loadgen --sessions/--connections/--seed-groups/--feed-chunk must "
+        "be >= 1");
+  }
+  lopts.p99_ms =
+      tools::checked_seconds("--p99-ms", args.get_string("p99-ms"), 1e9);
+  if (args.has("dump-rows")) lopts.dump_rows_path = args.get_string("dump-rows");
+  lopts.close_sessions = !args.get_bool("no-close");
+  lopts.spec = session_spec_from_args(args);
+  // --deadline bounds the whole drill (daemons that wedge must fail it),
+  // not each session: a per-session deadline would shed under load and
+  // make the latency assertion vacuous.
+  const double deadline = args.get_double("deadline");
+  if (deadline > 0) lopts.timeout_s = deadline;
+  lopts.spec.deadline_s = 0;
+
+  std::vector<trace::PacketRecord> packets;
+  {
+    stream::PcapSource source(args.positionals().at(0));
+    if (!source.ok()) return fail(source.status());
+    std::vector<trace::PacketRecord> chunk;
+    while (true) {
+      chunk.clear();
+      if (!source.next_chunk(4096, chunk)) break;
+      packets.insert(packets.end(), chunk.begin(), chunk.end());
+    }
+    if (!source.status().is_ok()) return fail(source.status());
+  }
+
+  std::signal(SIGPIPE, SIG_IGN);  // daemon death -> report, not our death
+  const serve::LoadgenReport report = serve::run_loadgen(lopts, packets);
+  std::cerr << "loadgen: " << report.completed << "/" << report.sessions
+            << " sessions closed, " << report.shed << " shed, "
+            << report.rejected << " rejected, " << fmt_count(report.rows)
+            << " rows; p99 " << fmt_double(report.p99_ms, 2) << " ms, max "
+            << fmt_double(report.max_ms, 2) << " ms, "
+            << (report.deterministic ? "deterministic" : "NONDETERMINISTIC")
+            << "\n";
+  if (!report.ok) {
+    std::cerr << "error: loadgen: " << report.error << "\n";
+    return kExitInternal;
+  }
   return 0;
 }
 
@@ -943,16 +1064,29 @@ int cmd_sweep(ArgParser& args, const tools::CommonOptions& common,
 /// invert the sampled flow-size distribution, and score the estimate
 /// against the interval's ground truth. Like `sweep`, --workers N shards
 /// the grid over processes and stdout stays byte-diffable across
-/// --jobs/--workers. No --resume: flow cells differing only in estimator
-/// share a journal key (docs/FLOWS.md).
+/// --jobs/--workers, and --resume replays journaled cells: flow tasks carry
+/// a per-estimator journal-key suffix (docs/FLOWS.md §4), so the two
+/// estimator blocks — identical CellConfigs by design — never alias.
 int cmd_flows(ArgParser& args, const tools::CommonOptions& common,
               const char* argv0) {
   if (!args.get_bool("sweep")) return flow_top_talkers(args);
   const ShardFlags flags = shard_flags_from_args(args);
+
+  exper::CheckpointJournal journal;
+  bool have_journal = false;
   if (args.has("resume")) {
-    std::cerr << "error: flows --sweep does not support --resume (flow cells "
-                 "differing only in estimator share a journal key)\n";
-    return kExitUsage;
+    auto opened = exper::CheckpointJournal::open(args.get_string("resume"));
+    if (!opened) return fail(opened.status());
+    journal = std::move(*opened);
+    // Banner on stderr, unlike sweep's: the flows table on stdout must stay
+    // byte-diffable between a resumed and an uninterrupted run.
+    std::cerr << "journal " << journal.path() << ": " << journal.size()
+              << " cells already complete";
+    if (journal.dropped_lines() > 0) {
+      std::cerr << " (" << journal.dropped_lines() << " torn lines dropped)";
+    }
+    std::cerr << "\n";
+    have_journal = true;
   }
 
   auto t = load(args.positionals().at(0), args, std::cerr);
@@ -968,6 +1102,7 @@ int cmd_flows(ArgParser& args, const tools::CommonOptions& common,
   if (flags.workers == 0) {
     exper::RunOptions ropts;
     ropts.on_error = exper::FailPolicy::kSkip;
+    if (have_journal) ropts.journal = &journal;
     // The workload hook: identical to what sharded workers run per cell.
     ropts.cell_runner = [&spec](const exper::CellConfig& cfg,
                                 std::size_t index) {
@@ -978,7 +1113,7 @@ int cmd_flows(ArgParser& args, const tools::CommonOptions& common,
     rr = runner.run(grid, spec.base_seed, ropts);
   } else {
     rr = run_sharded_report(spec, grid, ex, flags, args, argv0,
-                            /*journal=*/nullptr);
+                            have_journal ? &journal : nullptr);
   }
 
   const auto result = as_flow_result(std::move(rr), spec);
@@ -1101,8 +1236,8 @@ int main(int argc, char** argv) {
   args.add_flag("cell-timeout", "SEC",
                 "score: per-cell watchdog deadline, 0 = none", "0");
   args.add_flag("resume", "FILE",
-                "score: checkpoint journal; completed cells are replayed "
-                "from it and new ones appended");
+                "score/sweep/flows --sweep: checkpoint journal; completed "
+                "cells are replayed from it and new ones appended");
   args.add_flag("fault", "F",
                 "impair: truncate|bitflip|clock-back|clock-forward|duplicate|"
                 "drop-burst, or 'all'", "all");
@@ -1123,6 +1258,38 @@ int main(int argc, char** argv) {
                 "0");
   args.add_flag("mean-iat", "USEC",
                 "watch: population mean interarrival for timer methods", "0");
+  args.add_flag("tenant", "NAME",
+                "watch/loadgen: budget bucket the session bills to",
+                "default");
+  args.add_flag("lanes", "N",
+                "serve: scoring threads shared by all sessions, 0 = one per "
+                "hardware thread", "0");
+  args.add_flag("max-sessions", "N",
+                "serve: per-tenant concurrent-session budget, 0 = unlimited",
+                "0");
+  args.add_flag("max-ring-bytes", "N",
+                "serve: per-tenant queued-packet-bytes budget before "
+                "shedding, 0 = unlimited", "0");
+  args.add_flag("max-pps", "RATE",
+                "serve: per-tenant sustained packets/sec budget (1 s burst), "
+                "0 = unlimited", "0");
+  args.add_flag("sessions", "N", "loadgen: concurrent sessions to replay",
+                "64");
+  args.add_flag("connections", "N",
+                "loadgen: transports the sessions multiplex over", "8");
+  args.add_flag("seed-groups", "N",
+                "loadgen: distinct seeds; sessions within a group must emit "
+                "byte-identical rows", "1");
+  args.add_flag("feed-chunk", "N", "loadgen: packets per FEED line", "512");
+  args.add_flag("p99-ms", "MS",
+                "loadgen: assert p99 CLOSE->CLOSED latency <= MS, 0 = "
+                "report only", "0");
+  args.add_flag("dump-rows", "FILE",
+                "loadgen: write session s0's ROWS payloads here (byte-diff "
+                "vs watch)");
+  args.add_flag("no-close", "",
+                "loadgen: never send CLOSE; wait for the daemon's drain "
+                "(SIGTERM drill)");
   args.add_flag("masked", "",
                 "stats: print the deterministic-only JSON instead of the "
                 "human table");
@@ -1169,7 +1336,7 @@ int main(int argc, char** argv) {
     }
     if (cmd == "inspect" || cmd == "sample" || cmd == "score" ||
         cmd == "flows" || cmd == "charact" || cmd == "impair" ||
-        cmd == "watch" || cmd == "sweep") {
+        cmd == "watch" || cmd == "sweep" || cmd == "loadgen") {
       if (args.positionals().empty()) {
         std::cerr << "error: " << cmd << " requires a pcap file argument\n";
         return kExitUsage;
@@ -1181,8 +1348,10 @@ int main(int argc, char** argv) {
       if (cmd == "impair") return cmd_impair(args);
       if (cmd == "watch") return cmd_watch(args);
       if (cmd == "sweep") return cmd_sweep(args, common, argv[0]);
+      if (cmd == "loadgen") return cmd_loadgen(args);
       return cmd_charact(args);
     }
+    if (cmd == "serve") return cmd_serve(args);
     if (cmd == "worker") return cmd_worker(args);
     if (cmd == "journal") return cmd_journal(args);
     if (cmd == "design") return cmd_design(args);
